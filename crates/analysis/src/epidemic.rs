@@ -1,0 +1,207 @@
+//! Exact expectations for epidemic spreading under uniform pairing.
+//!
+//! After stabilization (Theorem 3.4), Circles' endgame is a pure *epidemic*:
+//! the `⟨μ|μ⟩` agent's output spreads to everyone it (transitively) meets.
+//! Under the uniform-random scheduler this process has a closed-form
+//! expected duration, which experiment E17 compares against the measured
+//! output-propagation tail of real Circles runs.
+//!
+//! With `i` informed agents out of `n`, one uniformly random ordered pair
+//! informs someone new with probability
+//!
+//! - `2·i·(n−i) / (n(n−1))` when either participant can transmit
+//!   (*two-way*, the relevant mode for Circles' rule 2, which fires for
+//!   both orientations), or
+//! - `i·(n−i) / (n(n−1))` when only the initiator transmits (*one-way*).
+//!
+//! Summing geometric waiting times telescopes into harmonic numbers:
+//! starting from one informed agent,
+//!
+//! ```text
+//! E[steps, two-way] = (n−1)·H_{n−1}          H_m = Σ_{j=1}^{m} 1/j
+//! E[steps, one-way] = 2·(n−1)·H_{n−1}
+//! ```
+
+/// Transmission mode of an epidemic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transmission {
+    /// Either participant of an interaction informs the other.
+    TwoWay,
+    /// Only the initiator informs the responder.
+    OneWay,
+}
+
+/// The harmonic number `H_m = Σ_{j=1}^{m} 1/j` (`H_0 = 0`).
+pub fn harmonic(m: u64) -> f64 {
+    (1..=m).map(|j| 1.0 / j as f64).sum()
+}
+
+/// Exact expected number of interactions for an epidemic to reach all `n`
+/// agents starting from `i0` informed ones.
+///
+/// # Panics
+///
+/// Panics when `i0 == 0` (nothing ever spreads) or `i0 > n` or `n < 2`.
+pub fn expected_epidemic_interactions(n: u64, i0: u64, mode: Transmission) -> f64 {
+    assert!(n >= 2, "an epidemic needs at least two agents");
+    assert!(i0 >= 1, "an epidemic needs at least one informed agent");
+    assert!(i0 <= n, "more informed agents than agents");
+    let factor = match mode {
+        Transmission::TwoWay => 1.0,
+        Transmission::OneWay => 2.0,
+    };
+    // Σ_{i=i0}^{n-1} n(n−1) / (2 i (n−i)), with 1/(i(n−i)) split into
+    // harmonic tails; the direct sum is exact and O(n), which is plenty.
+    let mut acc = 0.0;
+    for i in i0..n {
+        acc += n as f64 * (n - 1) as f64 / (2.0 * i as f64 * (n - i) as f64);
+    }
+    factor * acc
+}
+
+/// [`expected_epidemic_interactions`] in parallel-time units (divided by
+/// `n`).
+pub fn expected_epidemic_parallel_time(n: u64, i0: u64, mode: Transmission) -> f64 {
+    expected_epidemic_interactions(n, i0, mode) / n as f64
+}
+
+/// Exact expected interactions for a *source-only* epidemic: `sources`
+/// fixed transmitters, `uninformed` receivers, and **no** transitive spread
+/// — an agent learns only by meeting a source directly.
+///
+/// This is the exact model of Circles' output tail: after stabilization the
+/// only transmitters are the `⟨μ|μ⟩` agents (whose number equals the
+/// winner's margin — one per singleton greedy set `G_p = {μ}`), because
+/// rule 2 copies outputs *from self-loop agents only*; a converted agent
+/// does not itself convert others. With `j` uninformed agents left, the
+/// probability that a uniform ordered pair informs someone is
+/// `2·sources·j / (n(n−1))`, so
+///
+/// ```text
+/// E[steps] = n(n−1)·H_{uninformed} / (2·sources)
+/// ```
+///
+/// # Panics
+///
+/// Panics when `sources == 0` (with uninformed agents left, nothing ever
+/// spreads), or when `sources + uninformed > n`, or `n < 2`.
+pub fn expected_source_epidemic_interactions(n: u64, sources: u64, uninformed: u64) -> f64 {
+    assert!(n >= 2, "an epidemic needs at least two agents");
+    assert!(
+        sources + uninformed <= n,
+        "sources + uninformed exceed the population"
+    );
+    if uninformed == 0 {
+        return 0.0;
+    }
+    assert!(sources >= 1, "a source epidemic needs at least one source");
+    n as f64 * (n - 1) as f64 * harmonic(uninformed) / (2.0 * sources as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_way_matches_harmonic_closed_form() {
+        // From one informed agent: E = (n−1)·H_{n−1}.
+        for n in 2..=200u64 {
+            let direct = expected_epidemic_interactions(n, 1, Transmission::TwoWay);
+            let closed = (n - 1) as f64 * harmonic(n - 1);
+            assert!(
+                (direct - closed).abs() < 1e-8 * closed.max(1.0),
+                "n={n}: {direct} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_is_twice_two_way() {
+        for n in [2u64, 5, 32, 100] {
+            let one = expected_epidemic_interactions(n, 1, Transmission::OneWay);
+            let two = expected_epidemic_interactions(n, 1, Transmission::TwoWay);
+            assert!((one - 2.0 * two).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn n_two_base_case() {
+        // One informed of two: success probability 1 (two-way), 1/2 (one-way).
+        assert!((expected_epidemic_interactions(2, 1, Transmission::TwoWay) - 1.0).abs() < 1e-12);
+        assert!((expected_epidemic_interactions(2, 1, Transmission::OneWay) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_informed_needs_zero_steps() {
+        assert_eq!(expected_epidemic_interactions(7, 7, Transmission::TwoWay), 0.0);
+    }
+
+    #[test]
+    fn more_informed_is_faster() {
+        let from_one = expected_epidemic_interactions(64, 1, Transmission::TwoWay);
+        let from_half = expected_epidemic_interactions(64, 32, Transmission::TwoWay);
+        assert!(from_half < from_one);
+    }
+
+    #[test]
+    fn parallel_time_is_interactions_over_n() {
+        let n = 50;
+        let steps = expected_epidemic_interactions(n, 1, Transmission::TwoWay);
+        let t = expected_epidemic_parallel_time(n, 1, Transmission::TwoWay);
+        assert!((t - steps / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one informed")]
+    fn zero_informed_panics() {
+        let _ = expected_epidemic_interactions(5, 0, Transmission::TwoWay);
+    }
+
+    #[test]
+    fn source_epidemic_closed_form() {
+        // n=4, 1 source, 2 uninformed: E = 4·3·(1 + 1/2)/2 = 9.
+        let e = expected_source_epidemic_interactions(4, 1, 2);
+        assert!((e - 9.0).abs() < 1e-12);
+        // Doubling the sources halves the time.
+        let e2 = expected_source_epidemic_interactions(4, 2, 2);
+        assert!((e2 - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_epidemic_with_no_uninformed_is_zero() {
+        assert_eq!(expected_source_epidemic_interactions(8, 0, 0), 0.0);
+        assert_eq!(expected_source_epidemic_interactions(8, 3, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn source_epidemic_needs_a_source() {
+        let _ = expected_source_epidemic_interactions(8, 0, 3);
+    }
+
+    #[test]
+    fn source_epidemic_is_slower_than_transitive() {
+        // Without transitive spread the tail is much longer than a full
+        // epidemic from the same start.
+        let source = expected_source_epidemic_interactions(64, 1, 63);
+        let full = expected_epidemic_interactions(64, 1, Transmission::TwoWay);
+        assert!(source > 2.0 * full);
+    }
+
+    #[test]
+    fn growth_is_n_log_n_shaped() {
+        // E(2n)/E(n) → slightly above 2 (the log factor): sanity-check the
+        // asymptotic shape that E17 plots.
+        let e1 = expected_epidemic_interactions(512, 1, Transmission::TwoWay);
+        let e2 = expected_epidemic_interactions(1024, 1, Transmission::TwoWay);
+        let ratio = e2 / e1;
+        assert!(ratio > 2.0 && ratio < 2.5, "ratio {ratio} not n·log n shaped");
+    }
+}

@@ -1,0 +1,167 @@
+//! E1 — state complexity: Circles' `k³` against the `Ω(k²)` lower bound,
+//! the prior `O(k⁷)` upper bound, and the baselines' state counts; plus the
+//! number of states a real execution actually visits.
+//!
+//! Paper anchor: the Contribution paragraph of §1 ("state complexity of
+//! `k³`, … improves upon the best known upper bound of `O(k⁷)` … narrows
+//! the gap with the best known lower bound of `Ω(k²)`").
+
+use std::collections::HashSet;
+
+use circles_core::{CirclesProtocol, Color};
+use pp_baselines::{CancellationPlurality, FourStateMajority, UndecidedDynamics};
+use pp_protocol::{EnumerableProtocol, Population, Simulation, UniformPairScheduler};
+
+use crate::plot::LinePlot;
+use crate::table::Table;
+use crate::workloads::{margin_workload, shuffled};
+
+/// Parameters for E1.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Color counts to sweep.
+    pub ks: Vec<u16>,
+    /// Population size for the visited-state measurement.
+    pub n: usize,
+    /// Seed for the visited-state run.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ks: vec![2, 3, 4, 6, 8, 12, 16, 24, 32],
+            n: 256,
+            seed: 7,
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            ks: vec![2, 3, 4],
+            n: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// Runs E1 and returns the table plus the state-count figure (log-log: the
+/// `k²`/`k³`/`k⁷` curves and the states actually visited).
+pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
+    let table = run(params);
+    let series = |col: usize| -> Vec<(f64, f64)> {
+        table
+            .rows()
+            .iter()
+            .map(|row| (row[0].parse().unwrap(), row[col].parse::<f64>().unwrap()))
+            .collect()
+    };
+    let figure = LinePlot::new("E1: state complexity vs k")
+        .axis_labels("k", "states per agent")
+        .log_x()
+        .log_y()
+        .with_series("lower bound k²", series(1))
+        .with_series("circles k³", series(2))
+        .with_series("prior bound k⁷", series(3))
+        .with_series("visited in one run", series(4));
+    (table, vec![("e01_states".to_string(), figure)])
+}
+
+/// Runs E1 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E1 — state complexity: k³ vs bounds and baselines",
+        &[
+            "k",
+            "lower bound k²",
+            "circles k³",
+            "prior bound k⁷",
+            "circles states visited (n=given)",
+            "4-state (k=2 only)",
+            "USD 2k",
+            "cancellation 2k",
+        ],
+    );
+    for &k in &params.ks {
+        let protocol = CirclesProtocol::new(k).expect("k >= 1");
+        let declared = protocol.state_complexity();
+        assert_eq!(declared, usize::from(k).pow(3), "state space must be k³");
+        let visited = visited_states(&protocol, params.n, params.seed);
+        let four_state = if k == 2 {
+            FourStateMajority::new().state_complexity().to_string()
+        } else {
+            "-".to_string()
+        };
+        table.push_row(vec![
+            k.to_string(),
+            usize::from(k).pow(2).to_string(),
+            declared.to_string(),
+            format!("{:.2e}", (f64::from(k)).powi(7)),
+            visited.to_string(),
+            four_state,
+            UndecidedDynamics::new(k).state_complexity().to_string(),
+            CancellationPlurality::new(k).state_complexity().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Counts distinct states observed over one uniform-random run to silence.
+fn visited_states(protocol: &CirclesProtocol, n: usize, seed: u64) -> usize {
+    let k = protocol.k();
+    let margin = (n / 16).max(1);
+    let inputs: Vec<Color> = shuffled(margin_workload(n, k, margin), seed);
+    let population = Population::from_inputs(protocol, &inputs);
+    let mut seen: HashSet<circles_core::CirclesState> =
+        population.iter().cloned().collect();
+    let mut sim = Simulation::new(protocol, population, UniformPairScheduler::new(), seed);
+    let budget = (n as u64) * (n as u64) * 64;
+    let _ = sim.run_until_silent_observed(budget, n as u64, |report| {
+        seen.insert(report.after.0);
+        seen.insert(report.after.1);
+    });
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_row_per_k() {
+        let params = Params::quick();
+        let table = run(&params);
+        assert_eq!(table.len(), params.ks.len());
+    }
+
+    #[test]
+    fn visited_never_exceeds_declared() {
+        let params = Params::quick();
+        let table = run(&params);
+        for row in table.rows() {
+            let declared: usize = row[2].parse().unwrap();
+            let visited: usize = row[4].parse().unwrap();
+            assert!(visited <= declared, "visited {visited} > declared {declared}");
+        }
+    }
+
+    #[test]
+    fn four_state_column_only_for_binary() {
+        let table = run(&Params::quick());
+        assert_eq!(table.rows()[0][5], "4"); // k = 2
+        assert_eq!(table.rows()[1][5], "-"); // k = 3
+    }
+
+    #[test]
+    fn figure_plots_all_four_curves() {
+        let (_, figures) = run_with_figures(&Params::quick());
+        assert_eq!(figures.len(), 1);
+        let svg = figures[0].1.to_svg();
+        for label in ["k²", "k³", "k⁷", "visited"] {
+            assert!(svg.contains(label), "missing series {label}");
+        }
+    }
+}

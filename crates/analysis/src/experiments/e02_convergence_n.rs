@@ -1,0 +1,188 @@
+//! E2 — convergence versus population size `n` under the uniform-random
+//! scheduler.
+//!
+//! Paper anchor: Theorem 3.7 guarantees eventual correctness but proves no
+//! time bound; this experiment characterizes the empirical interaction
+//! complexity (total and parallel time — interactions divided by `n`) and
+//! doubles as an always-correct check at scale (the `correct` column must
+//! read `1.00`).
+
+use crate::plot::LinePlot;
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::{log_log_slope, Summary};
+use crate::table::{fmt_f64, Table};
+use crate::trial::run_counting_trial;
+use crate::workloads::{margin_workload, true_winner};
+use circles_core::CirclesProtocol;
+
+/// Parameters for E2.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Color counts to sweep.
+    pub ks: Vec<u16>,
+    /// Population sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Seeds per configuration.
+    pub seeds: u64,
+    /// Winner margin as a fraction of `n` (at least 1 agent).
+    pub margin_fraction: f64,
+    /// Interaction budget per run.
+    pub max_steps: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            ks: vec![2, 4, 8],
+            ns: vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096],
+            seeds: 32,
+            margin_fraction: 0.1,
+            max_steps: 2_000_000_000,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            ks: vec![2, 3],
+            ns: vec![8, 16, 32],
+            seeds: 4,
+            margin_fraction: 0.2,
+            max_steps: 50_000_000,
+            threads: 2,
+        }
+    }
+}
+
+/// Runs E2 and returns the table plus the consensus-scaling figure (log-log
+/// interactions-to-consensus vs `n`, one series per `k`).
+pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
+    let table = run(params);
+    let mut figure = LinePlot::new("E2: interactions to consensus vs n")
+        .axis_labels("n", "interactions to consensus")
+        .log_x()
+        .log_y();
+    for &k in &params.ks {
+        let points: Vec<(f64, f64)> = table
+            .rows()
+            .iter()
+            .filter(|row| row[0] == k.to_string() && row[1] != "slope")
+            .map(|row| {
+                (row[1].parse().expect("n column"), row[5].parse().expect("consensus column"))
+            })
+            .collect();
+        if !points.is_empty() {
+            figure = figure.with_series(format!("k={k}"), points);
+        }
+    }
+    (table, vec![("e02_scaling".to_string(), figure)])
+}
+
+/// Runs E2 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E2 — convergence vs n (uniform-random scheduler)",
+        &[
+            "k",
+            "n",
+            "seeds",
+            "silence mean",
+            "silence std",
+            "consensus mean",
+            "parallel time (consensus/n)",
+            "correct",
+        ],
+    );
+    for &k in &params.ks {
+        let mut scaling_points = Vec::new();
+        for &n in &params.ns {
+            // A margin workload needs at least one agent per loser plus the
+            // margin; skip degenerate (n, k) combinations.
+            if n < 4 * usize::from(k) {
+                continue;
+            }
+            let margin = ((n as f64 * params.margin_fraction) as usize).max(1);
+            let inputs = margin_workload(n, k, margin);
+            let protocol = CirclesProtocol::new(k).expect("k >= 1");
+            let expected = true_winner(&inputs, k);
+            let results = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+                run_counting_trial(&protocol, &inputs, seed, expected, params.max_steps)
+                    .expect("trial failed")
+            });
+            let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
+            let consensuses: Vec<f64> =
+                results.iter().map(|r| r.steps_to_consensus as f64).collect();
+            let correct_rate = results.iter().filter(|r| r.correct).count() as f64
+                / results.len() as f64;
+            let silence = Summary::from_samples(&silences);
+            let consensus = Summary::from_samples(&consensuses);
+            scaling_points.push((n as f64, consensus.mean.max(1.0)));
+            table.push_row(vec![
+                k.to_string(),
+                n.to_string(),
+                params.seeds.to_string(),
+                fmt_f64(silence.mean),
+                fmt_f64(silence.std),
+                fmt_f64(consensus.mean),
+                fmt_f64(consensus.mean / n as f64),
+                format!("{correct_rate:.2}"),
+            ]);
+        }
+        if scaling_points.len() >= 2 {
+            let slope = log_log_slope(&scaling_points);
+            table.push_row(vec![
+                k.to_string(),
+                "slope".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("n^{slope:.2}"),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_correct_at_small_scale() {
+        let table = run(&Params::quick());
+        for row in table.rows() {
+            if row[1] != "slope" {
+                assert_eq!(row[7], "1.00", "incorrect run in row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_rows_for_each_feasible_configuration_plus_slopes() {
+        let p = Params::quick();
+        let table = run(&p);
+        let feasible: usize = p
+            .ks
+            .iter()
+            .map(|&k| p.ns.iter().filter(|&&n| n >= 4 * usize::from(k)).count())
+            .sum();
+        assert_eq!(table.len(), feasible + p.ks.len());
+    }
+
+    #[test]
+    fn figure_has_one_series_per_k() {
+        let p = Params::quick();
+        let (_, figures) = run_with_figures(&p);
+        let svg = figures[0].1.to_svg();
+        for k in &p.ks {
+            assert!(svg.contains(&format!("k={k}")), "missing series for k={k}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! E3 — convergence versus the number of colors `k` at fixed `n`.
+//!
+//! Circles' state space grows as `k³`, but how does *time* respond to more
+//! colors? More colors mean longer circles to assemble (`⋃ f(G_p)` has
+//! arcs spanning more distinct colors) but also fewer agents per color.
+
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::{log_log_slope, Summary};
+use crate::table::{fmt_f64, Table};
+use crate::trial::run_counting_trial;
+use crate::workloads::{margin_workload, photo_finish_workload, true_winner};
+use circles_core::CirclesProtocol;
+
+/// Parameters for E3.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Fixed population size.
+    pub n: usize,
+    /// Color counts to sweep.
+    pub ks: Vec<u16>,
+    /// Seeds per configuration.
+    pub seeds: u64,
+    /// Interaction budget per run.
+    pub max_steps: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 1024,
+            ks: vec![2, 3, 4, 6, 8, 12, 16, 24, 32],
+            seeds: 32,
+            max_steps: 2_000_000_000,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            n: 48,
+            ks: vec![2, 3, 4],
+            seeds: 4,
+            max_steps: 50_000_000,
+            threads: 2,
+        }
+    }
+}
+
+/// Runs E3 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E3 — convergence vs k (fixed n, uniform-random scheduler)",
+        &[
+            "k",
+            "n",
+            "workload",
+            "seeds",
+            "silence mean",
+            "consensus mean",
+            "consensus p90",
+            "correct",
+        ],
+    );
+    let mut scaling_points = Vec::new();
+    for &k in &params.ks {
+        for (label, inputs) in [
+            (
+                "margin 10%",
+                margin_workload(params.n, k, (params.n / 10).max(1)),
+            ),
+            ("photo finish", photo_finish_workload(params.n, k)),
+        ] {
+            let protocol = CirclesProtocol::new(k).expect("k >= 1");
+            let expected = true_winner(&inputs, k);
+            let results = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+                run_counting_trial(&protocol, &inputs, seed, expected, params.max_steps)
+                    .expect("trial failed")
+            });
+            let consensuses: Vec<f64> =
+                results.iter().map(|r| r.steps_to_consensus as f64).collect();
+            let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
+            let correct_rate = results.iter().filter(|r| r.correct).count() as f64
+                / results.len() as f64;
+            let consensus = Summary::from_samples(&consensuses);
+            let silence = Summary::from_samples(&silences);
+            if label == "margin 10%" {
+                scaling_points.push((f64::from(k), consensus.mean.max(1.0)));
+            }
+            table.push_row(vec![
+                k.to_string(),
+                params.n.to_string(),
+                label.to_string(),
+                params.seeds.to_string(),
+                fmt_f64(silence.mean),
+                fmt_f64(consensus.mean),
+                fmt_f64(consensus.p90),
+                format!("{correct_rate:.2}"),
+            ]);
+        }
+    }
+    if scaling_points.len() >= 2 {
+        let slope = log_log_slope(&scaling_points);
+        table.push_row(vec![
+            "slope".to_string(),
+            "-".to_string(),
+            "margin 10%".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("k^{slope:.2}"),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_correct_and_shaped() {
+        let p = Params::quick();
+        let table = run(&p);
+        // Two workloads per k plus one slope row.
+        assert_eq!(table.len(), 2 * p.ks.len() + 1);
+        for row in table.rows() {
+            if row[0] != "slope" {
+                assert_eq!(row[7], "1.00");
+            }
+        }
+    }
+}

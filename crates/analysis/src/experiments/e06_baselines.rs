@@ -1,0 +1,219 @@
+//! E6 — Circles against the baselines: states, correctness, speed.
+//!
+//! Paper anchor: §1's positioning of Circles among always-correct
+//! protocols. At `k = 2` the 4-state protocol is the gold standard and
+//! Circles matches its always-correctness with 8 states. For `k ≥ 3`,
+//! undecided-state dynamics and greedy cancellation are smaller and often
+//! faster — but not correct: their failure rates on close races are the
+//! point of this table.
+
+use circles_core::{CirclesProtocol, Color};
+use pp_baselines::{CancellationPlurality, FourStateMajority, UndecidedDynamics};
+use pp_protocol::{EnumerableProtocol, UniformPairScheduler};
+
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::Summary;
+use crate::table::{fmt_f64, Table};
+use crate::trial::{run_trial, TrialResult};
+use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_winner};
+
+/// Parameters for E6.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Population size.
+    pub n: usize,
+    /// Color counts (2 exercises the 4-state baseline too).
+    pub ks: Vec<u16>,
+    /// Seeds per configuration.
+    pub seeds: u64,
+    /// Interaction budget.
+    pub max_steps: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 128,
+            ks: vec![2, 3, 5, 8],
+            seeds: 64,
+            max_steps: 500_000_000,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            n: 24,
+            ks: vec![2, 3],
+            seeds: 8,
+            max_steps: 20_000_000,
+            threads: 2,
+        }
+    }
+}
+
+struct ProtocolRow {
+    name: &'static str,
+    states: usize,
+    results: Vec<TrialResult>,
+}
+
+fn run_protocol(
+    name: &'static str,
+    k: u16,
+    inputs: &[Color],
+    expected: Color,
+    seeds: &[u64],
+    threads: usize,
+    max_steps: u64,
+) -> Option<ProtocolRow> {
+    match name {
+        "circles" => {
+            let p = CirclesProtocol::new(k).expect("k >= 1");
+            Some(ProtocolRow {
+                name,
+                states: p.state_complexity(),
+                results: run_seeded(seeds, threads, |seed| {
+                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
+                        .expect("trial")
+                }),
+            })
+        }
+        "four-state" => {
+            if k != 2 {
+                return None;
+            }
+            let p = FourStateMajority::new();
+            Some(ProtocolRow {
+                name,
+                states: p.state_complexity(),
+                results: run_seeded(seeds, threads, |seed| {
+                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
+                        .expect("trial")
+                }),
+            })
+        }
+        "undecided" => {
+            let p = UndecidedDynamics::new(k);
+            Some(ProtocolRow {
+                name,
+                states: p.state_complexity(),
+                results: run_seeded(seeds, threads, |seed| {
+                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
+                        .expect("trial")
+                }),
+            })
+        }
+        "cancellation" => {
+            let p = CancellationPlurality::new(k);
+            Some(ProtocolRow {
+                name,
+                states: p.state_complexity(),
+                results: run_seeded(seeds, threads, |seed| {
+                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
+                        .expect("trial")
+                }),
+            })
+        }
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+/// The protocols E6 compares.
+pub const PROTOCOLS: [&str; 4] = ["circles", "four-state", "undecided", "cancellation"];
+
+/// Runs E6 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E6 — Circles vs baselines (uniform-random scheduler)",
+        &[
+            "k",
+            "workload",
+            "protocol",
+            "states",
+            "correct rate",
+            "stabilized rate",
+            "consensus mean (correct runs)",
+        ],
+    );
+    let seeds = seed_range(params.seeds);
+    for &k in &params.ks {
+        let workloads = [
+            ("photo finish", shuffled(photo_finish_workload(params.n, k), 5)),
+            (
+                "margin 12%",
+                shuffled(margin_workload(params.n, k, (params.n / 8).max(1)), 5),
+            ),
+        ];
+        for (wl_name, inputs) in workloads {
+            let expected = true_winner(&inputs, k);
+            for proto in PROTOCOLS {
+                let Some(row) = run_protocol(
+                    proto,
+                    k,
+                    &inputs,
+                    expected,
+                    &seeds,
+                    params.threads,
+                    params.max_steps,
+                ) else {
+                    continue;
+                };
+                let total = row.results.len();
+                let correct = row.results.iter().filter(|r| r.correct).count();
+                let stabilized = row.results.iter().filter(|r| r.stabilized).count();
+                let correct_times: Vec<f64> = row
+                    .results
+                    .iter()
+                    .filter(|r| r.correct)
+                    .map(|r| r.steps_to_consensus as f64)
+                    .collect();
+                let mean = if correct_times.is_empty() {
+                    "-".to_string()
+                } else {
+                    fmt_f64(Summary::from_samples(&correct_times).mean)
+                };
+                table.push_row(vec![
+                    k.to_string(),
+                    wl_name.to_string(),
+                    row.name.to_string(),
+                    row.states.to_string(),
+                    format!("{:.2}", correct as f64 / total as f64),
+                    format!("{:.2}", stabilized as f64 / total as f64),
+                    mean,
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circles_rows_are_always_correct() {
+        let table = run(&Params::quick());
+        for row in table.rows() {
+            if row[2] == "circles" {
+                assert_eq!(row[4], "1.00", "circles failed: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_state_only_at_k2() {
+        let table = run(&Params::quick());
+        for row in table.rows() {
+            if row[2] == "four-state" {
+                assert_eq!(row[0], "2");
+            }
+        }
+    }
+}

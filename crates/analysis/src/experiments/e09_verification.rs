@@ -1,0 +1,187 @@
+//! E9 — the exhaustive verification grid.
+//!
+//! Paper anchor: Theorems 3.4 and 3.7 and Lemma 3.6 are ∀-schedule claims;
+//! for every input profile on the grid this experiment model-checks the
+//! three facts of `DESIGN.md` §5 (exchange DAG, unique predicted terminal,
+//! majority-only self-loops) — a *complete* per-instance verification under
+//! weak fairness — and cross-validates small instances on the full state
+//! space with the global-fairness BSCC criterion.
+
+use circles_core::Color;
+use pp_mc::circles::{verify_circles_full, verify_circles_instance};
+use pp_mc::ExploreLimits;
+
+use crate::table::Table;
+
+/// Parameters for E9.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// `(k, max_n)` pairs: verify every input profile with `n` from 2 to
+    /// `max_n` over `k` colors.
+    pub grids: Vec<(u16, usize)>,
+    /// `(k, max_n)` pairs for the more expensive full-state-space check.
+    pub full_grids: Vec<(u16, usize)>,
+    /// Exploration limits per instance.
+    pub limits: ExploreLimits,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            grids: vec![(2, 12), (3, 9), (4, 7), (5, 6), (6, 5)],
+            full_grids: vec![(2, 6), (3, 5)],
+            limits: ExploreLimits::default(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            grids: vec![(2, 5), (3, 4)],
+            full_grids: vec![(2, 4)],
+            limits: ExploreLimits::default(),
+        }
+    }
+}
+
+/// All color-count profiles (compositions of `n` into `k` parts, zeros
+/// allowed). Color identities matter to Circles (weights are cyclic
+/// distances), so profiles are *not* deduplicated up to permutation.
+pub fn enumerate_profiles(n: usize, k: u16) -> Vec<Vec<usize>> {
+    fn rec(remaining: usize, slots: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if slots == 1 {
+            prefix.push(remaining);
+            out.push(prefix.clone());
+            prefix.pop();
+            return;
+        }
+        for take in 0..=remaining {
+            prefix.push(take);
+            rec(remaining - take, slots - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, usize::from(k), &mut Vec::new(), &mut out);
+    out
+}
+
+fn profile_to_inputs(profile: &[usize]) -> Vec<Color> {
+    let mut inputs = Vec::new();
+    for (color, &count) in profile.iter().enumerate() {
+        for _ in 0..count {
+            inputs.push(Color(color as u16));
+        }
+    }
+    inputs
+}
+
+/// Runs E9 and returns the table.
+///
+/// # Panics
+///
+/// Panics when any instance fails verification — a verification failure
+/// falsifies the paper (or this implementation) and must halt the harness.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E9 — exhaustive verification grid (weak fairness, facts 1-3)",
+        &[
+            "k",
+            "n",
+            "instances",
+            "verified",
+            "ties among them",
+            "max braket configs",
+            "full-space check",
+            "full max configs",
+        ],
+    );
+    for &(k, max_n) in &params.grids {
+        for n in 2..=max_n {
+            let mut instances = 0usize;
+            let mut verified = 0usize;
+            let mut ties = 0usize;
+            let mut max_configs = 0usize;
+            for profile in enumerate_profiles(n, k) {
+                let inputs = profile_to_inputs(&profile);
+                if inputs.is_empty() {
+                    continue;
+                }
+                instances += 1;
+                let report = verify_circles_instance(&inputs, k, params.limits)
+                    .expect("exploration failed");
+                max_configs = max_configs.max(report.config_count);
+                if report.winner.is_none() {
+                    ties += 1;
+                }
+                assert!(
+                    report.verified,
+                    "instance {profile:?} (k={k}) failed verification: {report:?}"
+                );
+                verified += 1;
+            }
+            let full = params
+                .full_grids
+                .iter()
+                .any(|&(fk, fn_)| fk == k && n <= fn_);
+            let (full_status, full_max) = if full {
+                let mut full_max = 0usize;
+                for profile in enumerate_profiles(n, k) {
+                    let inputs = profile_to_inputs(&profile);
+                    if inputs.is_empty() {
+                        continue;
+                    }
+                    let report = verify_circles_full(&inputs, k, params.limits)
+                        .expect("full exploration failed");
+                    full_max = full_max.max(report.config_count);
+                    let has_winner = circles_core::GreedyDecomposition::from_inputs(&inputs, k)
+                        .expect("valid")
+                        .winner()
+                        .is_some();
+                    assert!(report.eventually_silent, "not silent: {profile:?}");
+                    assert_eq!(
+                        report.stably_computes, has_winner,
+                        "BSCC criterion mismatch on {profile:?}"
+                    );
+                }
+                ("pass".to_string(), full_max.to_string())
+            } else {
+                ("-".to_string(), "-".to_string())
+            };
+            table.push_row(vec![
+                k.to_string(),
+                n.to_string(),
+                instances.to_string(),
+                verified.to_string(),
+                ties.to_string(),
+                max_configs.to_string(),
+                full_status,
+                full_max,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_enumeration_counts() {
+        // Compositions of n into k parts: C(n+k-1, k-1).
+        assert_eq!(enumerate_profiles(4, 2).len(), 5);
+        assert_eq!(enumerate_profiles(5, 3).len(), 21);
+    }
+
+    #[test]
+    fn quick_grid_verifies() {
+        let table = run(&Params::quick());
+        assert!(!table.is_empty());
+        for row in table.rows() {
+            assert_eq!(row[2], row[3], "not all instances verified: {row:?}");
+        }
+    }
+}

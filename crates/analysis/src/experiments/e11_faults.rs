@@ -1,0 +1,180 @@
+//! E11 — out-of-model robustness: crash-and-restart faults.
+//!
+//! The population-protocol model has no failures, and Circles' correctness
+//! proof leans on the global bra-ket invariant (Lemma 3.3) that a crashed
+//! agent restarting as a fresh self-loop violates. This exploratory
+//! experiment (not a paper claim — an adoption question) measures how the
+//! protocol degrades: does it still stabilize? how often is the final
+//! consensus still correct? does conservation ever recover?
+//!
+//! Intuition for the observed shape: a restart removes one ket from
+//! circulation and injects a duplicate self-ket. Stabilization survives (the
+//! potential argument never needed conservation), but the terminal
+//! configuration can gain a *wrong* self-loop, and with margin-1 races a
+//! single well-timed crash can flip the winner.
+
+use circles_core::Color;
+use pp_extensions::faults::{run_with_faults, Fault, FaultPlan};
+use pp_protocol::UniformPairScheduler;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::runner::{run_seeded, seed_range};
+use crate::table::Table;
+use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_winner};
+
+/// Parameters for E11.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Population size.
+    pub n: usize,
+    /// Number of colors.
+    pub k: u16,
+    /// Fault counts to sweep.
+    pub fault_counts: Vec<usize>,
+    /// Seeds per configuration.
+    pub seeds: u64,
+    /// Interaction budget.
+    pub max_steps: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 96,
+            k: 4,
+            fault_counts: vec![0, 1, 2, 4, 8, 16],
+            seeds: 48,
+            max_steps: 200_000_000,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            n: 16,
+            k: 3,
+            fault_counts: vec![0, 2],
+            seeds: 4,
+            max_steps: 20_000_000,
+            threads: 2,
+        }
+    }
+}
+
+struct FaultTrialOutcome {
+    stabilized: bool,
+    correct: bool,
+    conserved: bool,
+}
+
+fn one_trial(
+    inputs: &[Color],
+    k: u16,
+    faults: usize,
+    seed: u64,
+    max_steps: u64,
+) -> FaultTrialOutcome {
+    // Workload generators may return slightly fewer agents than requested;
+    // sample agents from the actual population.
+    let n = inputs.len();
+    // Faults strike at random agents, spread over the early mixing phase
+    // (steps 1 .. 8n), where the invariant damage is most consequential.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    let mut plan = FaultPlan::new();
+    for _ in 0..faults {
+        plan.push(Fault {
+            at_step: rng.random_range(1..(8 * n as u64)),
+            agent: rng.random_range(0..n),
+        });
+    }
+    let report = run_with_faults(
+        inputs,
+        k,
+        UniformPairScheduler::new(),
+        seed,
+        &plan,
+        max_steps,
+    )
+    .expect("fault trial failed");
+    FaultTrialOutcome {
+        stabilized: report.stabilized,
+        correct: report.correct,
+        conserved: report.conserved_at_end,
+    }
+}
+
+/// Runs E11 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E11 — crash-and-restart robustness (exploratory, out of model)",
+        &[
+            "workload",
+            "faults",
+            "seeds",
+            "stabilized rate",
+            "correct rate",
+            "conservation intact rate",
+        ],
+    );
+    let workloads = [
+        (
+            "margin 12%",
+            shuffled(margin_workload(params.n, params.k, (params.n / 8).max(1)), 3),
+        ),
+        (
+            "photo finish",
+            shuffled(photo_finish_workload(params.n, params.k), 3),
+        ),
+    ];
+    for (name, inputs) in &workloads {
+        let _ = true_winner(inputs, params.k); // validates the workload
+        for &faults in &params.fault_counts {
+            let outcomes = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+                one_trial(inputs, params.k, faults, seed, params.max_steps)
+            });
+            let total = outcomes.len() as f64;
+            let rate = |f: &dyn Fn(&FaultTrialOutcome) -> bool| {
+                outcomes.iter().filter(|o| f(o)).count() as f64 / total
+            };
+            table.push_row(vec![
+                name.to_string(),
+                faults.to_string(),
+                params.seeds.to_string(),
+                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.stabilized)),
+                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.correct)),
+                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.conserved)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_faults_is_perfect() {
+        let table = run(&Params::quick());
+        for row in table.rows() {
+            if row[1] == "0" {
+                assert_eq!(row[3], "1.00");
+                assert_eq!(row[4], "1.00");
+                assert_eq!(row[5], "1.00");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_cover_workloads_and_fault_counts() {
+        let p = Params::quick();
+        let table = run(&p);
+        assert_eq!(table.len(), 2 * p.fault_counts.len());
+    }
+}

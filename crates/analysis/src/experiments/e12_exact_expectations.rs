@@ -1,0 +1,158 @@
+//! E12 — exact expected convergence times vs simulation estimates.
+//!
+//! For instances small enough to enumerate, the uniform-random execution is
+//! an absorbing Markov chain over anonymous configurations whose expected
+//! hitting time of the silent set is *exactly* solvable. This experiment
+//! computes that exact value and compares it with the empirical mean from
+//! both simulation engines — a quantitative, end-to-end validation of the
+//! entire measurement pipeline (engines, silence detection, statistics):
+//! the sampled means must land within their 95% confidence intervals of the
+//! exact value.
+
+use circles_core::{CirclesProtocol, Color};
+use pp_mc::{ExploreLimits, UniformChain};
+use pp_protocol::{CountConfig, Protocol};
+
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::Summary;
+use crate::table::{fmt_f64, Table};
+use crate::trial::{run_counting_trial, run_trial};
+use crate::workloads::true_winner;
+use pp_protocol::UniformPairScheduler;
+
+/// Parameters for E12.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Instances as (count profile, k).
+    pub instances: Vec<(Vec<usize>, u16)>,
+    /// Seeds per engine per instance.
+    pub seeds: u64,
+    /// Exploration limits for the exact chain.
+    pub limits: ExploreLimits,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            instances: vec![
+                (vec![2, 1], 2),
+                (vec![3, 2], 2),
+                (vec![5, 3], 2),
+                (vec![2, 1, 1], 3),
+                (vec![3, 2, 1], 3),
+                (vec![3, 2, 2], 3),
+                (vec![3, 2, 1, 1], 4),
+            ],
+            seeds: 4000,
+            limits: ExploreLimits::default(),
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            instances: vec![(vec![2, 1], 2), (vec![2, 1, 1], 3)],
+            seeds: 600,
+            limits: ExploreLimits::default(),
+            threads: 2,
+        }
+    }
+}
+
+fn inputs_of(profile: &[usize]) -> Vec<Color> {
+    let mut inputs = Vec::new();
+    for (color, &count) in profile.iter().enumerate() {
+        inputs.extend(std::iter::repeat_n(Color(color as u16), count));
+    }
+    inputs
+}
+
+/// Runs E12 and returns the table.
+///
+/// # Panics
+///
+/// Panics when an instance's exact expectation does not exist (it always
+/// does for Circles) or an engine's sampled mean falls outside five standard
+/// errors of the exact value — that would indicate an engine bug, and the
+/// harness must not report numbers from a broken engine.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E12 — exact expected interactions to silence vs engine estimates",
+        &[
+            "profile",
+            "k",
+            "chain configs",
+            "exact E[steps]",
+            "indexed mean ± ci95",
+            "counting mean ± ci95",
+            "indexed z",
+            "counting z",
+        ],
+    );
+    for (profile, k) in &params.instances {
+        let inputs = inputs_of(profile);
+        let protocol = CirclesProtocol::new(*k).expect("k >= 1");
+        let expected_winner = true_winner(&inputs, *k);
+        let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+        let chain =
+            UniformChain::build(&protocol, &initial, params.limits).expect("chain build");
+        let exact = chain
+            .expected_steps_to_silence(1e-12, 100_000)
+            .expect("finite expectation for circles");
+
+        let indexed: Vec<f64> = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+            run_trial(
+                &protocol,
+                &inputs,
+                UniformPairScheduler::new(),
+                seed,
+                expected_winner,
+                100_000_000,
+            )
+            .expect("trial")
+            .steps_to_silence as f64
+        });
+        let counting: Vec<f64> = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+            run_counting_trial(&protocol, &inputs, seed, expected_winner, 100_000_000)
+                .expect("trial")
+                .steps_to_silence as f64
+        });
+        let si = Summary::from_samples(&indexed);
+        let sc = Summary::from_samples(&counting);
+        let z = |s: &Summary| (s.mean - exact) / (s.std / (s.count as f64).sqrt()).max(1e-12);
+        let zi = z(&si);
+        let zc = z(&sc);
+        assert!(
+            zi.abs() < 5.0 && zc.abs() < 5.0,
+            "engine mean deviates from exact value: profile {profile:?}, z = {zi:.2}/{zc:.2}"
+        );
+        table.push_row(vec![
+            format!("{profile:?}"),
+            k.to_string(),
+            chain.len().to_string(),
+            format!("{exact:.4}"),
+            format!("{} ± {}", fmt_f64(si.mean), fmt_f64(si.ci95())),
+            format!("{} ± {}", fmt_f64(sc.mean), fmt_f64(sc.ci95())),
+            format!("{zi:.2}"),
+            format!("{zc:.2}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_match_exact_values() {
+        // The assertions inside run() are the test: z-scores within 5 SE.
+        let table = run(&Params::quick());
+        assert_eq!(table.len(), Params::quick().instances.len());
+    }
+}

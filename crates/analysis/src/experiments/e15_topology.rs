@@ -1,0 +1,236 @@
+//! E15 — how load-bearing is the complete interaction graph?
+//!
+//! Paper anchor: Definition 1.2 quantifies weak fairness over *all* pairs —
+//! implicitly the complete graph. Theorem 3.4 (finitely many exchanges)
+//! survives any topology, but Lemma 3.6's argument summons an exchange
+//! between two specific agents that an incomplete graph may never let meet,
+//! so on restricted topologies Circles can (a) freeze in a non-predicted
+//! bra-ket multiset with wrong outputs, or (b) retain two non-adjacent
+//! self-loops of different colors and oscillate forever. This experiment
+//! sweeps classical topologies and reports how often each failure mode
+//! occurs and what the slowdown is when runs do finish.
+
+use circles_core::{prediction, CirclesProtocol, Color};
+use pp_protocol::{Population, Simulation};
+use pp_topology::{is_graph_silent, EdgeScheduler, InteractionGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::Summary;
+use crate::table::{fmt_f64, Table};
+use crate::workloads::{margin_workload, shuffled, true_winner};
+
+/// Parameters for E15.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Population size. Must be a perfect square ≥ 9 so the grid topology
+    /// is well-formed (validated by [`run`]).
+    pub n: usize,
+    /// Color counts to sweep.
+    pub ks: Vec<u16>,
+    /// Seeds per (topology, k) cell — each seed reshuffles the input
+    /// placement on the graph.
+    pub seeds: u64,
+    /// Winner margin as a fraction of `n`.
+    pub margin_fraction: f64,
+    /// Interaction budget per run; non-silent runs are cut off here and
+    /// scored as non-stabilized.
+    pub max_steps: u64,
+    /// Degree of the random regular topology.
+    pub regular_degree: usize,
+    /// Seed for generating the random topologies (fixed so every cell sees
+    /// the same graph).
+    pub graph_seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 64,
+            ks: vec![2, 4],
+            seeds: 24,
+            margin_fraction: 0.15,
+            max_steps: 8_000_000,
+            regular_degree: 4,
+            graph_seed: 0xC1AC1E5,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            n: 16,
+            ks: vec![2],
+            seeds: 6,
+            margin_fraction: 0.25,
+            max_steps: 2_000_000,
+            regular_degree: 4,
+            graph_seed: 0xC1AC1E5,
+            threads: 2,
+        }
+    }
+}
+
+fn topologies(params: &Params) -> Vec<InteractionGraph> {
+    let n = params.n;
+    let side = (n as f64).sqrt().round() as usize;
+    assert_eq!(side * side, n, "E15 requires a square n for the grid topology");
+    let mut rng = StdRng::seed_from_u64(params.graph_seed);
+    vec![
+        InteractionGraph::complete(n).expect("n >= 2"),
+        InteractionGraph::random_regular(n, params.regular_degree, &mut rng)
+            .expect("regular graph exists"),
+        InteractionGraph::grid(side, side).expect("grid"),
+        InteractionGraph::cycle(n).expect("cycle"),
+        InteractionGraph::path(n).expect("path"),
+        InteractionGraph::star(n).expect("star"),
+    ]
+}
+
+/// Per-run verdict on a restricted topology.
+#[derive(Debug, Clone, Copy)]
+struct Verdict {
+    silent: bool,
+    predicted_brakets: bool,
+    correct_outputs: bool,
+    parallel_time: f64,
+}
+
+fn run_one(
+    protocol: &CirclesProtocol,
+    graph: &InteractionGraph,
+    inputs: &[Color],
+    seed: u64,
+    max_steps: u64,
+) -> Verdict {
+    let k = protocol.k();
+    let population = Population::from_inputs(protocol, inputs);
+    let n = population.len();
+    let scheduler = EdgeScheduler::new(graph.clone());
+    let mut sim = Simulation::new(protocol, population, scheduler, seed);
+
+    // Quiescence on a restricted topology is *graph* silence: no edge
+    // carries a productive interaction. The engine's own silence notion
+    // ranges over all pairs and would misclassify frozen sparse-graph runs
+    // as still running.
+    let chunk = (4 * n as u64).max(64);
+    let mut silent = is_graph_silent(graph, sim.population(), protocol);
+    while !silent && sim.stats().steps < max_steps {
+        let budget = chunk.min(max_steps - sim.stats().steps);
+        sim.run_observed(budget, |_| ()).expect("edge scheduler never fails");
+        silent = is_graph_silent(graph, sim.population(), protocol);
+    }
+
+    let winner = true_winner(inputs, k);
+    let predicted = prediction::predicted_brakets(inputs, k).expect("nonempty inputs");
+    let brakets = prediction::braket_config_of_population(sim.population());
+    let outputs = sim.population().output_counts(protocol);
+    let correct_outputs = outputs.len() == 1 && outputs.keys().next() == Some(&winner);
+    Verdict {
+        silent,
+        predicted_brakets: brakets == predicted,
+        correct_outputs,
+        parallel_time: if silent {
+            sim.stats().last_change_step as f64 / n as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// Runs E15 and returns the table.
+pub fn run(params: &Params) -> Table {
+    let mut table = Table::new(
+        "E15 — Circles on restricted interaction topologies",
+        &[
+            "topology",
+            "diameter",
+            "k",
+            "seeds",
+            "silent",
+            "predicted bra-kets",
+            "correct outputs",
+            "parallel time (silent runs)",
+        ],
+    );
+    for graph in topologies(params) {
+        for &k in &params.ks {
+            let margin = ((params.n as f64 * params.margin_fraction) as usize).max(1);
+            let base_inputs = margin_workload(params.n, k, margin);
+            let n = base_inputs.len();
+            let side_ok = n == params.n;
+            // margin_workload may return slightly fewer agents; regenerate
+            // topology-compatible inputs by padding with the winner.
+            let mut inputs = base_inputs;
+            if !side_ok {
+                let winner = true_winner(&inputs, k);
+                while inputs.len() < params.n {
+                    inputs.push(winner);
+                }
+            }
+            let protocol = CirclesProtocol::new(k).expect("k >= 1");
+            let verdicts = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+                let placed = shuffled(inputs.clone(), seed);
+                run_one(&protocol, &graph, &placed, seed, params.max_steps)
+            });
+            let frac = |f: &dyn Fn(&Verdict) -> bool| {
+                verdicts.iter().filter(|v| f(v)).count() as f64 / verdicts.len() as f64
+            };
+            let silent_times: Vec<f64> = verdicts
+                .iter()
+                .filter(|v| v.silent)
+                .map(|v| v.parallel_time)
+                .collect();
+            let time_cell = if silent_times.is_empty() {
+                "-".to_string()
+            } else {
+                fmt_f64(Summary::from_samples(&silent_times).mean)
+            };
+            table.push_row(vec![
+                graph.name().to_string(),
+                graph.diameter().map_or("-".into(), |d| d.to_string()),
+                k.to_string(),
+                params.seeds.to_string(),
+                format!("{:.2}", frac(&|v| v.silent)),
+                format!("{:.2}", frac(&|v| v.predicted_brakets)),
+                format!("{:.2}", frac(&|v| v.correct_outputs)),
+                time_cell,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_always_correct_and_predicted() {
+        let table = run(&Params::quick());
+        let complete_rows: Vec<_> = table
+            .rows()
+            .iter()
+            .filter(|r| r[0].starts_with("complete"))
+            .collect();
+        assert!(!complete_rows.is_empty());
+        for row in complete_rows {
+            assert_eq!(row[4], "1.00", "complete graph must be silent: {row:?}");
+            assert_eq!(row[5], "1.00", "complete graph must match Lemma 3.6: {row:?}");
+            assert_eq!(row[6], "1.00", "complete graph must be correct: {row:?}");
+        }
+    }
+
+    #[test]
+    fn all_topologies_report() {
+        let p = Params::quick();
+        let table = run(&p);
+        assert_eq!(table.len(), 6 * p.ks.len());
+    }
+}

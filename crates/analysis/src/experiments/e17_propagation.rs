@@ -1,0 +1,242 @@
+//! E17 — the output-propagation tail against its exact epidemic model.
+//!
+//! Paper anchor: Theorem 3.7's endgame — "the agent(s) with bra-ket ⟨μ|μ⟩
+//! will transmit their output color to the rest of the population". That
+//! tail has an exact structure the proof does not need but we can verify:
+//! rule 2 copies outputs *from self-loop agents only*, so post-stabilization
+//! the transmitters are precisely the `⟨μ|μ⟩` agents, whose number equals
+//! the winner's margin (one per singleton greedy set), and conversion is
+//! non-transitive — a *source-only* epidemic. Its expected duration is
+//! `n(n−1)·H_u / (2s)` for `s` sources and `u` unconverted agents
+//! ([`expected_source_epidemic_interactions`]). This experiment instruments
+//! real runs (last ket exchange, unconverted count at that instant) and
+//! compares the measured tail with the per-run closed form; the ratio
+//! should hover around 1.
+//!
+//! [`expected_source_epidemic_interactions`]: crate::epidemic::expected_source_epidemic_interactions
+
+use circles_core::{CirclesProtocol, Color};
+use pp_protocol::{Population, Simulation, UniformPairScheduler};
+
+use crate::epidemic::expected_source_epidemic_interactions;
+use crate::plot::LinePlot;
+use crate::runner::{run_seeded, seed_range};
+use crate::stats::Summary;
+use crate::table::{fmt_f64, Table};
+use crate::workloads::{margin_workload, shuffled, true_winner};
+
+/// Parameters for E17.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of colors.
+    pub k: u16,
+    /// Population sizes to sweep.
+    pub ns: Vec<usize>,
+    /// Winner margin in agents — this is also the number of `⟨μ|μ⟩`
+    /// sources in the tail, so it is held *absolute* (a margin that grows
+    /// with `n` floods the population with sources and the tail vanishes
+    /// before the last exchange).
+    pub margin: usize,
+    /// Seeds per population size.
+    pub seeds: u64,
+    /// Interaction budget per run.
+    pub max_steps: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            k: 3,
+            ns: vec![64, 128, 256, 512],
+            margin: 2,
+            seeds: 32,
+            max_steps: 400_000_000,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+impl Params {
+    /// CI-scale preset.
+    pub fn quick() -> Self {
+        Params {
+            k: 2,
+            ns: vec![24, 48],
+            margin: 2,
+            seeds: 8,
+            max_steps: 20_000_000,
+            threads: 2,
+        }
+    }
+}
+
+/// One instrumented run's tail measurements.
+#[derive(Debug, Clone, Copy)]
+struct TailSample {
+    /// Steps from the last ket exchange to everlasting output consensus.
+    measured_tail: f64,
+    /// `n(n−1)·H_u / (2s)` with the run's own `u` and `s`.
+    predicted_tail: f64,
+    /// Unconverted agents at stabilization.
+    unconverted: f64,
+    /// `⟨μ|μ⟩` sources in the terminal configuration.
+    sources: f64,
+}
+
+/// Runs E17 and returns the table plus the tail-scaling figure.
+pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
+    let mut table = Table::new(
+        "E17 — output-propagation tail vs the source-epidemic closed form",
+        &[
+            "n",
+            "seeds",
+            "tail steps (measured)",
+            "tail steps (predicted)",
+            "ratio",
+            "unconverted u mean",
+            "sources s",
+        ],
+    );
+    let mut measured_points = Vec::new();
+    let mut predicted_points = Vec::new();
+    for &n in &params.ns {
+        let inputs = margin_workload(n, params.k, params.margin);
+        let protocol = CirclesProtocol::new(params.k).expect("k >= 1");
+        let samples = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
+            let placed = shuffled(inputs.clone(), seed);
+            instrumented_run(&protocol, &placed, seed, params.max_steps)
+        });
+        let measured = Summary::from_samples(
+            &samples.iter().map(|s| s.measured_tail).collect::<Vec<f64>>(),
+        );
+        let predicted = Summary::from_samples(
+            &samples.iter().map(|s| s.predicted_tail).collect::<Vec<f64>>(),
+        );
+        let unconverted = Summary::from_samples(
+            &samples.iter().map(|s| s.unconverted).collect::<Vec<f64>>(),
+        );
+        let sources = Summary::from_samples(
+            &samples.iter().map(|s| s.sources).collect::<Vec<f64>>(),
+        );
+        measured_points.push((inputs.len() as f64, measured.mean));
+        predicted_points.push((inputs.len() as f64, predicted.mean));
+        let ratio_cell = if predicted.mean > 0.0 {
+            fmt_f64(measured.mean / predicted.mean)
+        } else {
+            "-".to_string() // tail already converted at stabilization
+        };
+        table.push_row(vec![
+            inputs.len().to_string(),
+            params.seeds.to_string(),
+            fmt_f64(measured.mean),
+            fmt_f64(predicted.mean),
+            ratio_cell,
+            fmt_f64(unconverted.mean),
+            fmt_f64(sources.mean),
+        ]);
+    }
+    let figure = LinePlot::new("E17: propagation tail, measured vs closed form")
+        .axis_labels("n", "tail interactions")
+        .log_x()
+        .log_y()
+        .with_series("measured", measured_points)
+        .with_series("n(n-1)·H_u/(2s)", predicted_points);
+    (table, vec![("e17_propagation".to_string(), figure)])
+}
+
+/// Instrumented Circles run: detects the last ket exchange and the
+/// conversion state at that instant, then measures the tail to consensus.
+fn instrumented_run(
+    protocol: &CirclesProtocol,
+    inputs: &[Color],
+    seed: u64,
+    max_steps: u64,
+) -> TailSample {
+    let k = protocol.k();
+    let winner = true_winner(inputs, k);
+    let population = Population::from_inputs(protocol, inputs);
+    let n = population.len() as u64;
+    let mut sim = Simulation::new(protocol, population, UniformPairScheduler::new(), seed);
+
+    let mut outputting_winner = inputs.iter().filter(|&&c| c == winner).count() as u64;
+    let mut last_exchange_step = 0u64;
+    let mut unconverted_at_exchange = n - outputting_winner;
+    let report = sim
+        .run_until_silent_observed(max_steps, n.max(16), |step| {
+            for (before, after) in
+                [(&step.before.0, &step.after.0), (&step.before.1, &step.after.1)]
+            {
+                match (before.out == winner, after.out == winner) {
+                    (false, true) => outputting_winner += 1,
+                    (true, false) => outputting_winner -= 1,
+                    _ => {}
+                }
+            }
+            let exchanged = step.before.0.braket != step.after.0.braket
+                || step.before.1.braket != step.after.1.braket;
+            if exchanged {
+                last_exchange_step = step.step;
+                unconverted_at_exchange = n - outputting_winner;
+            }
+        })
+        .expect("Circles always silences under uniform scheduling within budget");
+
+    // Sources: ⟨μ|μ⟩ multiplicity in the terminal configuration (equals the
+    // margin by Lemmas 3.2 + 3.6).
+    let sources = sim
+        .population()
+        .iter()
+        .filter(|s| s.braket.is_self_loop() && s.braket.bra == winner)
+        .count() as u64;
+    let measured_tail = report.steps_to_consensus.saturating_sub(last_exchange_step) as f64;
+    let predicted_tail =
+        expected_source_epidemic_interactions(n, sources.max(1), unconverted_at_exchange);
+    TailSample {
+        measured_tail,
+        predicted_tail,
+        unconverted: unconverted_at_exchange as f64,
+        sources: sources as f64,
+    }
+}
+
+/// Runs E17 and returns the table.
+pub fn run(params: &Params) -> Table {
+    run_with_figures(params).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_tail_tracks_the_closed_form() {
+        let (table, figures) = run_with_figures(&Params::quick());
+        for row in table.rows() {
+            if row[4] == "-" {
+                continue; // degenerate: tail already converted
+            }
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "tail ratio {ratio} far from 1: {row:?}"
+            );
+        }
+        assert_eq!(figures.len(), 1);
+    }
+
+    #[test]
+    fn sources_equal_the_margin() {
+        let p = Params::quick();
+        let (table, _) = run_with_figures(&p);
+        for row in table.rows() {
+            let sources: f64 = row[6].parse().unwrap();
+            assert!(
+                (sources - p.margin as f64).abs() <= 1.0,
+                "terminal ⟨μ|μ⟩ count {sources} differs from margin {}: {row:?}",
+                p.margin
+            );
+        }
+    }
+}

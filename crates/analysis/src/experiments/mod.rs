@@ -1,0 +1,29 @@
+//! The experiment suite E1–E17 (see `DESIGN.md` §7 and `EXPERIMENTS.md`).
+//!
+//! Each experiment is a parameterized function returning a [`Table`]; the
+//! parameter structs provide [`Default`] (paper-scale) and `quick()`
+//! (CI-scale) presets. The `pp-bench` binaries run the defaults and write
+//! the tables under `results/`. Figure-shaped experiments (E13, E14, E16,
+//! E17) additionally expose `run_with_figures`, returning
+//! [`LinePlot`](crate::plot::LinePlot)s that the binaries render to
+//! `results/*.svg`.
+//!
+//! [`Table`]: crate::table::Table
+
+pub mod e01_state_complexity;
+pub mod e02_convergence_n;
+pub mod e03_convergence_k;
+pub mod e04_exchanges;
+pub mod e05_schedulers;
+pub mod e06_baselines;
+pub mod e07_ties;
+pub mod e08_unordered;
+pub mod e09_verification;
+pub mod e10_ablation;
+pub mod e11_faults;
+pub mod e12_exact_expectations;
+pub mod e13_meanfield;
+pub mod e14_energy;
+pub mod e15_topology;
+pub mod e16_binary_landscape;
+pub mod e17_propagation;

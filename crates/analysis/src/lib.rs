@@ -1,0 +1,37 @@
+//! Experiment harness for the Circles reproduction.
+//!
+//! The paper is a brief announcement without an evaluation section, so the
+//! "tables and figures" this crate regenerates are the paper's checkable
+//! claims plus the experiment suite E1–E17 defined in `DESIGN.md` §7 and
+//! recorded in `EXPERIMENTS.md`. Each experiment lives in [`experiments`]
+//! as a parameterized function returning a [`Table`]; the `pp-bench` crate
+//! provides one binary per experiment that runs the full-scale parameters
+//! and writes `results/*.md` / `results/*.csv` (and `results/*.svg` for the
+//! figure-shaped experiments).
+//!
+//! Supporting modules:
+//!
+//! - [`stats`]: summaries (mean/std/min/median/max/percentiles) and log-log
+//!   slope estimation for scaling exponents.
+//! - [`table`]: plain CSV + Markdown table rendering (no external deps).
+//! - [`plot`]: dependency-free SVG line charts for the figures.
+//! - [`runner`]: seed-parallel trial execution on `std::thread`.
+//! - [`workloads`]: input-multiset generators (controlled margins,
+//!   geometric profiles, adversarially close races).
+//! - [`trial`]: one-shot protocol runs with a uniform measurement record.
+//! - [`epidemic`]: exact expectations for the output-propagation epidemic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epidemic;
+pub mod experiments;
+pub mod plot;
+pub mod runner;
+pub mod stats;
+pub mod table;
+pub mod trial;
+pub mod workloads;
+
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,448 @@
+//! Dependency-free SVG line charts for the experiment figures.
+//!
+//! Every experiment writes tables (CSV + Markdown); the figure-shaped ones
+//! (scaling curves, density trajectories, descent traces) additionally
+//! render an SVG under `results/`. The writer is deliberately small: linear
+//! or log₁₀ axes, nice-number ticks, a qualitative palette, and a legend —
+//! enough to eyeball the *shape* claims (who wins, what the slope is, where
+//! crossovers fall) without pulling in a plotting stack.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One named line series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from `(x, y)` points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The data points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// A line chart under construction (consuming builder).
+///
+/// # Example
+///
+/// ```
+/// use pp_analysis::plot::LinePlot;
+///
+/// let svg = LinePlot::new("state complexity")
+///     .axis_labels("k", "states")
+///     .log_x()
+///     .log_y()
+///     .with_series("k^3", (2..=32).map(|k| (k as f64, (k as f64).powi(3))).collect())
+///     .to_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("state complexity"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+    log_y: bool,
+    width: f64,
+    height: f64,
+    series: Vec<Series>,
+}
+
+const MARGIN_LEFT: f64 = 74.0;
+const MARGIN_RIGHT: f64 = 18.0;
+const MARGIN_TOP: f64 = 38.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+impl LinePlot {
+    /// Starts a chart with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        LinePlot {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            log_y: false,
+            width: 640.0,
+            height: 420.0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn axis_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Uses a log₁₀ x-axis. Points with `x ≤ 0` are dropped (they have no
+    /// finite log coordinate).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a log₁₀ y-axis. Points with `y ≤ 0` are dropped.
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Overrides the canvas size (default 640 × 420).
+    pub fn size(mut self, width: u32, height: u32) -> Self {
+        self.width = f64::from(width.max(200));
+        self.height = f64::from(height.max(150));
+        self
+    }
+
+    /// Adds a series.
+    pub fn with_series(mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series::new(label, points));
+        self
+    }
+
+    /// Points of `series` that survive the log-axis domain filters, mapped
+    /// to plot coordinates (log₁₀ applied where requested).
+    fn visible_points(&self, series: &Series) -> Vec<(f64, f64)> {
+        series
+            .points
+            .iter()
+            .filter(|(x, y)| {
+                x.is_finite() && y.is_finite() && (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0)
+            })
+            .map(|&(x, y)| {
+                (
+                    if self.log_x { x.log10() } else { x },
+                    if self.log_y { y.log10() } else { y },
+                )
+            })
+            .collect()
+    }
+
+    /// Renders the chart.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<Vec<(f64, f64)>> =
+            self.series.iter().map(|s| self.visible_points(s)).collect();
+        let flat: Vec<(f64, f64)> = all.iter().flatten().copied().collect();
+        let (x_min, x_max) = padded_bounds(flat.iter().map(|p| p.0));
+        let (y_min, y_max) = padded_bounds(flat.iter().map(|p| p.1));
+
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = move |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = move |y: f64| MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut svg = String::with_capacity(8 * 1024);
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="Helvetica,Arial,sans-serif">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(svg, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+
+        // Title.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            self.width / 2.0,
+            escape(&self.title)
+        );
+
+        // Grid + ticks.
+        for t in ticks(x_min, x_max, self.log_x) {
+            let px = sx(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{px:.1}" y1="{}" x2="{px:.1}" y2="{}" stroke="#dddddd" stroke-width="1"/>"##,
+                MARGIN_TOP,
+                MARGIN_TOP + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{px:.1}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+                MARGIN_TOP + plot_h + 16.0,
+                tick_label(t, self.log_x)
+            );
+        }
+        for t in ticks(y_min, y_max, self.log_y) {
+            let py = sy(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#dddddd" stroke-width="1"/>"##,
+                MARGIN_LEFT,
+                MARGIN_LEFT + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+                MARGIN_LEFT - 6.0,
+                py + 4.0,
+                tick_label(t, self.log_y)
+            );
+        }
+
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<rect x="{}" y="{}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black" stroke-width="1"/>"#,
+            MARGIN_LEFT, MARGIN_TOP
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            self.height - 14.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (idx, points) in all.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            if points.len() > 1 {
+                let path: Vec<String> = points
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                    path.join(" ")
+                );
+            }
+            for &(x, y) in points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+        }
+
+        // Legend (top-left corner of the plot area).
+        for (idx, series) in self.series.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            let ly = MARGIN_TOP + 14.0 + idx as f64 * 16.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="2.5"/>"#,
+                MARGIN_LEFT + 8.0,
+                MARGIN_LEFT + 30.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{:.1}" font-size="11">{}</text>"#,
+                MARGIN_LEFT + 35.0,
+                ly + 4.0,
+                escape(series.label())
+            );
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the chart to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.to_svg())
+    }
+}
+
+/// 5%-padded bounds, with degenerate and empty ranges widened to unit size.
+fn padded_bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0); // no visible data
+    }
+    if min == max {
+        return (min - 0.5, max + 0.5);
+    }
+    let pad = (max - min) * 0.05;
+    (min - pad, max + pad)
+}
+
+/// Tick positions in *plot* coordinates. For log axes the coordinates are
+/// already log₁₀, so integer positions are decades.
+fn ticks(min: f64, max: f64, log: bool) -> Vec<f64> {
+    if log {
+        let lo = min.ceil() as i64;
+        let hi = max.floor() as i64;
+        if lo <= hi && (hi - lo) <= 24 {
+            return (lo..=hi).map(|d| d as f64).collect();
+        }
+    }
+    // Nice-number linear ticks, ~5 intervals.
+    let span = max - min;
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let nice = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (min / nice).ceil() as i64;
+    let end = (max / nice).floor() as i64;
+    (start..=end).map(|i| i as f64 * nice).collect()
+}
+
+fn tick_label(t: f64, log: bool) -> String {
+    if log {
+        let v = 10f64.powf(t);
+        return compact(v);
+    }
+    compact(t)
+}
+
+/// Compact numeric label: integers plain, large values with exponents.
+fn compact(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e5 || (a > 0.0 && a < 1e-3) {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_plot() -> LinePlot {
+        LinePlot::new("demo")
+            .axis_labels("x", "y")
+            .with_series("linear", vec![(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+            .with_series("square", vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)])
+    }
+
+    #[test]
+    fn svg_has_expected_structure() {
+        let svg = basic_plot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">demo<"));
+        assert!(svg.contains(">linear<"));
+        assert!(svg.contains(">square<"));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let svg = LinePlot::new("log")
+            .log_x()
+            .log_y()
+            .with_series("s", vec![(0.0, 1.0), (-1.0, 2.0), (10.0, 100.0), (100.0, 1000.0)])
+            .to_svg();
+        // Only the two positive points survive.
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        let svg = LinePlot::new("flat")
+            .with_series("s", vec![(1.0, 5.0), (2.0, 5.0)])
+            .to_svg();
+        // Renders without NaN coordinates.
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let svg = LinePlot::new("empty").to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = LinePlot::new("a < b & c")
+            .with_series("x<y", vec![(1.0, 1.0)])
+            .to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn linear_ticks_are_nice_numbers() {
+        let t = ticks(0.0, 10.0, false);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t2 = ticks(0.0, 1.0, false);
+        assert_eq!(t2, vec![0.0, 0.2, 0.4, 0.6000000000000001, 0.8, 1.0]);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = ticks(0.0, 3.2, true); // 10^0 .. 10^3.2
+        assert_eq!(t, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn compact_labels() {
+        assert_eq!(compact(3.0), "3");
+        assert_eq!(compact(0.25), "0.25");
+        assert_eq!(compact(1_000_000.0), "1e6");
+        assert_eq!(compact(10.0), "10");
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("pp_analysis_plot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chart.svg");
+        basic_plot().write(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! Sample statistics and scaling-exponent estimation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (midpoint interpolation).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// 10th percentile (nearest-rank interpolation).
+    pub p10: f64,
+    /// 90th percentile (nearest-rank interpolation).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or non-finite values — experiment code
+    /// producing NaNs is a bug to surface, not to average over.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of an empty sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "summary of non-finite samples"
+        );
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Summary {
+            count,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            median: percentile_of_sorted(&sorted, 50.0),
+            max: sorted[count - 1],
+            p10: percentile_of_sorted(&sorted, 10.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+        }
+    }
+}
+
+impl Summary {
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean (`1.96·σ/√n`; 0 for a single sample). With the 16–64 seeds
+    /// the experiments use, the CLT approximation is adequate for the
+    /// reporting precision of the tables.
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Percentile by linear interpolation on an already-sorted sample.
+fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the empirical scaling
+/// exponent `α` in `y ≈ c·x^α`.
+///
+/// # Panics
+///
+/// Panics when fewer than two points are given or any coordinate is not
+/// strictly positive.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log slope needs positive coordinates"
+    );
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Sample std of 1..5 is sqrt(2.5).
+        assert!((s.std - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p90, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_rejects_nan() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_size() {
+        let small = Summary::from_samples(&[1.0, 3.0, 5.0, 7.0]);
+        let big_samples: Vec<f64> = (0..64).map(|i| f64::from(i % 8)).collect();
+        let big = Summary::from_samples(&big_samples);
+        assert!(small.ci95() > 0.0);
+        assert!(big.ci95() < small.ci95());
+        assert_eq!(Summary::from_samples(&[4.2]).ci95(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_samples(&[0.0, 10.0]);
+        assert!((s.p10 - 1.0).abs() < 1e-12);
+        assert!((s.p90 - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_recovers_exponent() {
+        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (10 * i) as f64;
+            (x, 3.0 * x.powf(2.0))
+        }).collect();
+        let slope = log_log_slope(&points);
+        assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn slope_rejects_nonpositive() {
+        let _ = log_log_slope(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,152 @@
+//! One-shot protocol trials with a uniform measurement record.
+
+use circles_core::Color;
+use pp_protocol::{CountingSimulation, FrameworkError, Population, Protocol, Scheduler, Simulation};
+
+/// The measurements every experiment cares about, protocol-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialResult {
+    /// Interactions until the last state change (exact).
+    pub steps_to_silence: u64,
+    /// Interactions until outputs were unanimous forever (exact).
+    pub steps_to_consensus: u64,
+    /// Number of state-changing interactions.
+    pub state_changes: u64,
+    /// Whether the run reached silence within budget.
+    pub stabilized: bool,
+    /// Whether the final unanimous output equals the expected winner.
+    pub correct: bool,
+}
+
+/// Runs a protocol whose output is a [`Color`] to silence under the given
+/// scheduler and compares the consensus with `expected`.
+///
+/// A run that exhausts `max_steps` without silence is reported with
+/// `stabilized == false, correct == false` rather than as an error — for
+/// baseline protocols, failing to stabilize is a *finding*.
+///
+/// # Errors
+///
+/// Propagates non-budget framework errors (scheduler misbehaviour).
+pub fn run_trial<P, Sch>(
+    protocol: &P,
+    inputs: &[P::Input],
+    scheduler: Sch,
+    seed: u64,
+    expected: Color,
+    max_steps: u64,
+) -> Result<TrialResult, FrameworkError>
+where
+    P: Protocol<Output = Color>,
+    Sch: Scheduler<P::State>,
+{
+    let population = Population::from_inputs(protocol, inputs);
+    let check_interval = (population.len() as u64).max(16);
+    let mut sim = Simulation::new(protocol, population, scheduler, seed);
+    match sim.run_until_silent(max_steps, check_interval) {
+        Ok(report) => Ok(TrialResult {
+            steps_to_silence: report.steps_to_silence,
+            steps_to_consensus: report.steps_to_consensus,
+            state_changes: report.state_changes,
+            stabilized: true,
+            correct: report.consensus == Some(expected),
+        }),
+        Err(FrameworkError::MaxStepsExceeded { .. }) => Ok(TrialResult {
+            steps_to_silence: sim.stats().last_change_step,
+            steps_to_consensus: max_steps,
+            state_changes: sim.stats().state_changes,
+            stabilized: false,
+            correct: false,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// Like [`run_trial`] but on the count-based engine (uniform-random
+/// scheduling only) — the fast path for large populations.
+///
+/// # Errors
+///
+/// Propagates non-budget framework errors.
+pub fn run_counting_trial<P>(
+    protocol: &P,
+    inputs: &[P::Input],
+    seed: u64,
+    expected: Color,
+    max_steps: u64,
+) -> Result<TrialResult, FrameworkError>
+where
+    P: Protocol<Output = Color>,
+{
+    let mut sim = CountingSimulation::from_inputs(protocol, inputs, seed);
+    let check_interval = (sim.n() as u64).max(64);
+    match sim.run_until_silent(max_steps, check_interval) {
+        Ok(report) => Ok(TrialResult {
+            steps_to_silence: report.steps_to_silence,
+            steps_to_consensus: report.steps_to_consensus,
+            state_changes: report.state_changes,
+            stabilized: true,
+            correct: report.consensus == Some(expected),
+        }),
+        Err(FrameworkError::MaxStepsExceeded { .. }) => Ok(TrialResult {
+            steps_to_silence: 0,
+            steps_to_consensus: max_steps,
+            state_changes: 0,
+            stabilized: false,
+            correct: false,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circles_core::CirclesProtocol;
+    use pp_protocol::UniformPairScheduler;
+
+    #[test]
+    fn circles_trial_is_correct() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = [0, 0, 0, 1, 2].map(Color).to_vec();
+        let result = run_trial(
+            &protocol,
+            &inputs,
+            UniformPairScheduler::new(),
+            1,
+            Color(0),
+            1_000_000,
+        )
+        .unwrap();
+        assert!(result.stabilized);
+        assert!(result.correct);
+        assert!(result.steps_to_consensus <= result.steps_to_silence + 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_finding_not_an_error() {
+        let protocol = CirclesProtocol::new(4).unwrap();
+        let inputs: Vec<Color> = (0..64).map(|i| Color((i % 3) as u16)).collect();
+        // Color 0 wins 22/21/21; budget of 3 steps cannot stabilize.
+        let result = run_trial(
+            &protocol,
+            &inputs,
+            UniformPairScheduler::new(),
+            2,
+            Color(0),
+            3,
+        )
+        .unwrap();
+        assert!(!result.stabilized);
+        assert!(!result.correct);
+    }
+
+    #[test]
+    fn counting_trial_matches_expectation() {
+        let protocol = CirclesProtocol::new(2).unwrap();
+        let inputs: Vec<Color> = (0..50).map(|i| Color(u16::from(i < 30))).collect();
+        let result = run_counting_trial(&protocol, &inputs, 3, Color(1), 10_000_000).unwrap();
+        assert!(result.stabilized);
+        assert!(result.correct);
+    }
+}

@@ -1,0 +1,349 @@
+//! Input-multiset generators with controlled plurality margins.
+
+use circles_core::{Color, GreedyDecomposition};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds a multiset where color 0 wins by exactly `margin` over a field of
+/// equally supported losers: losers get `b` agents each and the winner gets
+/// `b + margin`, where `b` is the largest value fitting `n` (leftover agents
+/// are discarded by reducing `n` — the function returns the actual inputs,
+/// whose length may be slightly below the requested `n`).
+///
+/// # Panics
+///
+/// Panics when `k == 0`, `margin == 0`, or the requested size cannot host
+/// one agent per loser plus the margin.
+pub fn margin_workload(n: usize, k: u16, margin: usize) -> Vec<Color> {
+    assert!(k > 0, "k must be positive");
+    assert!(margin > 0, "margin must be positive (ties are a separate workload)");
+    let k_usize = usize::from(k);
+    if k_usize == 1 {
+        return vec![Color(0); n];
+    }
+    let b = n.saturating_sub(margin) / k_usize;
+    assert!(
+        b >= 1 || k_usize == 1,
+        "population {n} too small for {k} colors with margin {margin}"
+    );
+    let mut inputs = Vec::with_capacity(b * k_usize + margin);
+    for _ in 0..(b + margin) {
+        inputs.push(Color(0));
+    }
+    for c in 1..k {
+        for _ in 0..b {
+            inputs.push(Color(c));
+        }
+    }
+    inputs
+}
+
+/// A geometric profile: color `i` gets weight `ratio^i` (winner 0), with a
+/// guaranteed strict margin of at least 1 (enforced by construction).
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `ratio <= 1.0` or the population is too small to
+/// give each color at least one agent.
+pub fn geometric_workload(n: usize, k: u16, ratio: f64) -> Vec<Color> {
+    assert!(k > 0, "k must be positive");
+    assert!(ratio > 1.0, "ratio must exceed 1 for a strict winner");
+    let k_usize = usize::from(k);
+    assert!(n > k_usize, "population too small");
+    // Raw weights, largest first.
+    let weights: Vec<f64> = (0..k_usize).map(|i| ratio.powi(-(i as i32))).collect();
+    let total: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+        .collect();
+    // Distribute the remainder to the winner; then enforce strictness.
+    let assigned: usize = counts.iter().sum();
+    counts[0] += n.saturating_sub(assigned);
+    if counts[0] <= counts[1] {
+        counts[0] = counts[1] + 1;
+    }
+    let mut inputs = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            inputs.push(Color(i as u16));
+        }
+    }
+    inputs
+}
+
+/// The tightest race expressible for `(n, k)`: the winner (color 0) leads
+/// the runner-up by exactly 1 whenever some margin-1 profile sums to `n`,
+/// and by the minimal achievable margin otherwise (e.g. `k = 2` with even
+/// `n` forces margin 2).
+///
+/// Construction: pick the smallest `m` such that the winner at `m + 1` and
+/// `k - 1` losers capped at `m` can absorb `n`, then fill losers greedily.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or the population cannot host `k` colors.
+pub fn photo_finish_workload(n: usize, k: u16) -> Vec<Color> {
+    assert!(k > 0, "k must be positive");
+    let k_usize = usize::from(k);
+    if k_usize == 1 {
+        return vec![Color(0); n];
+    }
+    assert!(n > k_usize, "population too small for a strict photo finish");
+    // Smallest m with 0 <= n - (m+1) <= m(k-1).
+    let mut m = (n - 1).div_ceil(k_usize);
+    while (n as i64 - (m as i64 + 1)) > (m * (k_usize - 1)) as i64 {
+        m += 1;
+    }
+    let mut counts = vec![0usize; k_usize];
+    counts[0] = m + 1;
+    let mut rest = n - (m + 1);
+    for slot in counts.iter_mut().skip(1) {
+        let take = rest.min(m);
+        *slot = take;
+        rest -= take;
+    }
+    debug_assert_eq!(rest, 0);
+    let mut inputs = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            inputs.push(Color(i as u16));
+        }
+    }
+    inputs
+}
+
+/// A perfectly tied workload: the top `ways` colors share the maximum count.
+///
+/// # Panics
+///
+/// Panics when `ways < 2`, `ways > k`, or the population cannot host the
+/// tie.
+pub fn tie_workload(n: usize, k: u16, ways: u16) -> Vec<Color> {
+    assert!(ways >= 2, "a tie involves at least two colors");
+    assert!(ways <= k, "cannot tie more colors than exist");
+    let ways_usize = usize::from(ways);
+    assert!(n >= 2 * ways_usize, "population too small for the tie");
+    // Tied colors get `top` each; remaining colors share what's left with
+    // counts strictly below `top`.
+    let rest = usize::from(k) - ways_usize;
+    let mut top = n / ways_usize;
+    let mut counts;
+    loop {
+        assert!(top >= 1, "cannot construct tie for n={n}, k={k}, ways={ways}");
+        counts = vec![top; ways_usize];
+        let mut leftover = n - top * ways_usize;
+        let mut extra = vec![0usize; rest];
+        let cap = top.saturating_sub(1);
+        for slot in extra.iter_mut() {
+            let take = leftover.min(cap);
+            *slot = take;
+            leftover -= take;
+        }
+        if leftover == 0 {
+            counts.extend(extra);
+            break;
+        }
+        // Too much leftover to hide below the tie line: lower the line.
+        top -= 1;
+    }
+    let mut inputs = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            inputs.push(Color(i as u16));
+        }
+    }
+    inputs
+}
+
+/// A tied workload that keeps the *losers* as populated as possible: the
+/// `ways` winners share the smallest feasible maximum count, and the
+/// remaining colors absorb everything else (each strictly below the tie
+/// line). Use this when measuring where losers' frozen outputs end up
+/// (experiment E7); [`tie_workload`] maximizes the tie mass instead and can
+/// leave loser colors empty.
+///
+/// # Panics
+///
+/// Same conditions as [`tie_workload`].
+pub fn tie_workload_balanced(n: usize, k: u16, ways: u16) -> Vec<Color> {
+    assert!(ways >= 2, "a tie involves at least two colors");
+    assert!(ways <= k, "cannot tie more colors than exist");
+    let ways_usize = usize::from(ways);
+    let losers = usize::from(k) - ways_usize;
+    assert!(n >= 2 * ways_usize, "population too small for the tie");
+    // Smallest feasible tie line: leftover fits under the losers' cap.
+    let mut top = n.div_ceil(usize::from(k)).max(1);
+    loop {
+        let leftover = n as i64 - (ways_usize * top) as i64;
+        if leftover >= 0 && leftover <= (losers * top.saturating_sub(1)) as i64 {
+            break;
+        }
+        top += 1;
+    }
+    let mut counts = vec![top; ways_usize];
+    let mut leftover = n - ways_usize * top;
+    for _ in 0..losers {
+        let take = leftover.min(top - 1);
+        counts.push(take);
+        leftover -= take;
+    }
+    debug_assert_eq!(leftover, 0);
+    let mut inputs = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            inputs.push(Color(i as u16));
+        }
+    }
+    inputs
+}
+
+/// Shuffles a workload deterministically (agent order is irrelevant to
+/// anonymous dynamics but matters to index-based schedulers like the
+/// clustered one).
+pub fn shuffled(mut inputs: Vec<Color>, seed: u64) -> Vec<Color> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    inputs.shuffle(&mut rng);
+    inputs
+}
+
+/// The unique winner of a workload, as ground truth for correctness checks.
+///
+/// # Panics
+///
+/// Panics when the workload is invalid or tied — generator outputs are
+/// supposed to be strict unless explicitly tied.
+pub fn true_winner(inputs: &[Color], k: u16) -> Color {
+    GreedyDecomposition::from_inputs(inputs, k)
+        .expect("valid workload")
+        .winner()
+        .expect("workload has a unique winner")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_of(inputs: &[Color], k: u16) -> Vec<usize> {
+        let mut counts = vec![0usize; usize::from(k)];
+        for c in inputs {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn margin_workload_has_exact_margin() {
+        let inputs = margin_workload(100, 4, 5);
+        let counts = counts_of(&inputs, 4);
+        assert_eq!(counts[0], counts[1] + 5);
+        assert!(counts[1] == counts[2] && counts[2] == counts[3]);
+        assert_eq!(true_winner(&inputs, 4), Color(0));
+    }
+
+    #[test]
+    fn margin_one_is_strict() {
+        let inputs = margin_workload(16, 3, 1);
+        let g = GreedyDecomposition::from_inputs(&inputs, 3).unwrap();
+        assert_eq!(g.winner(), Some(Color(0)));
+    }
+
+    #[test]
+    fn geometric_is_strictly_decreasing_at_top() {
+        let inputs = geometric_workload(100, 4, 2.0);
+        let counts = counts_of(&inputs, 4);
+        assert!(counts[0] > counts[1]);
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(true_winner(&inputs, 4), Color(0));
+    }
+
+    #[test]
+    fn photo_finish_margin_is_one_when_achievable() {
+        for (n, k) in [(10, 3), (17, 4), (100, 7), (9, 2), (13, 3), (14, 3)] {
+            let inputs = photo_finish_workload(n, k);
+            let counts = counts_of(&inputs, k);
+            let max_rest = *counts[1..].iter().max().unwrap();
+            assert_eq!(counts[0], max_rest + 1, "n={n} k={k}: {counts:?}");
+            assert_eq!(inputs.len(), n);
+        }
+    }
+
+    #[test]
+    fn photo_finish_even_binary_population_gets_minimal_margin() {
+        // Margin 1 is impossible for k=2 with even n; minimal is 2.
+        let inputs = photo_finish_workload(10, 2);
+        let counts = counts_of(&inputs, 2);
+        assert_eq!(counts, vec![6, 4]);
+    }
+
+    #[test]
+    fn tie_workload_is_tied() {
+        let inputs = tie_workload(12, 4, 2);
+        let g = GreedyDecomposition::from_inputs(&inputs, 4).unwrap();
+        assert!(g.is_tie());
+        assert_eq!(g.winners().len(), 2);
+        assert_eq!(inputs.len(), 12);
+    }
+
+    #[test]
+    fn three_way_tie() {
+        let inputs = tie_workload(9, 3, 3);
+        let g = GreedyDecomposition::from_inputs(&inputs, 3).unwrap();
+        assert_eq!(g.winners().len(), 3);
+    }
+
+    #[test]
+    fn tie_with_remainder_hides_it_below_the_line() {
+        // n=11, ways=2, k=3: tied pair must strictly lead the third color.
+        let inputs = tie_workload(11, 3, 2);
+        let g = GreedyDecomposition::from_inputs(&inputs, 3).unwrap();
+        assert_eq!(g.winners().len(), 2);
+        assert_eq!(inputs.len(), 11);
+    }
+
+    #[test]
+    fn balanced_tie_keeps_losers_populated() {
+        let inputs = tie_workload_balanced(120, 3, 2);
+        let counts = counts_of(&inputs, 3);
+        let g = GreedyDecomposition::from_inputs(&inputs, 3).unwrap();
+        assert_eq!(g.winners().len(), 2);
+        assert!(counts[2] > 0, "loser color left empty: {counts:?}");
+        assert!(counts[2] < counts[0]);
+        assert_eq!(inputs.len(), 120);
+    }
+
+    #[test]
+    fn balanced_tie_three_way_with_loser() {
+        let inputs = tie_workload_balanced(100, 4, 3);
+        let counts = counts_of(&inputs, 4);
+        let g = GreedyDecomposition::from_inputs(&inputs, 4).unwrap();
+        assert_eq!(g.winners().len(), 3);
+        assert!(counts[3] > 0);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let base = margin_workload(30, 3, 2);
+        let a = shuffled(base.clone(), 9);
+        let b = shuffled(base.clone(), 9);
+        assert_eq!(a, b);
+        let mut sa = a.clone();
+        let mut sb = base.clone();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn single_color_workloads() {
+        assert_eq!(margin_workload(5, 1, 1), vec![Color(0); 5]);
+        assert_eq!(photo_finish_workload(5, 1), vec![Color(0); 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn zero_margin_rejected() {
+        let _ = margin_workload(10, 2, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The 3-state *approximate majority* protocol (Angluin–Aspnes–Eisenstat).
+//!
+//! States `{X, Y, ⊥}`: one state per color plus a single undecided "blank".
+//! Transitions (both orientations):
+//!
+//! ```text
+//! X + Y → X + ⊥      (a decided agent blanks an opposing decided agent)
+//! Y + X → ⊥ + X
+//! X + ⊥ → X + X      (a decided agent recruits a blank)
+//! Y + ⊥ → Y + Y
+//! ```
+//!
+//! With three states this protocol sits *below* the `Ω(k²)` always-correct
+//! lower bound the Circles paper cites — and indeed it is **not**
+//! always-correct: under uniform-random scheduling it converges to the
+//! initial majority with probability `1 − o(1)` only when the margin is
+//! `ω(√n log n)`, and at margin `O(√n)` it errs with constant probability.
+//! It is the canonical "fast but approximate" point of the
+//! state-complexity/correctness trade-off Circles navigates, which is why
+//! experiment E16 plots it next to the always-correct 4-state automaton and
+//! Circles itself.
+//!
+//! A subtlety worth documenting for reuse: this implementation makes the
+//! *initiator* act on the responder (one-directional rules in both
+//! orientations), which matches the standard two-way-communication form of
+//! the protocol and keeps it symmetric in effect.
+
+use circles_core::Color;
+use pp_protocol::{EnumerableProtocol, Protocol};
+
+/// A 3-state agent: decided on one of two colors, or blank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TriState {
+    /// Decided on color 0 (`X`).
+    Zero,
+    /// Decided on color 1 (`Y`).
+    One,
+    /// Undecided (`⊥`). Outputs color 0 by convention — approximate
+    /// majority's guarantee only concerns runs that *finish*, where no
+    /// blanks remain.
+    Blank,
+}
+
+impl TriState {
+    /// The color this state outputs (blank agents report color 0 by the
+    /// documented convention).
+    pub fn color(self) -> Color {
+        match self {
+            TriState::Zero | TriState::Blank => Color(0),
+            TriState::One => Color(1),
+        }
+    }
+}
+
+/// The 3-state approximate-majority protocol for `k = 2`.
+///
+/// # Example
+///
+/// With a comfortable margin the protocol converges to the majority:
+///
+/// ```
+/// use circles_core::Color;
+/// use pp_baselines::ApproximateMajority;
+/// use pp_protocol::{Population, Simulation, UniformPairScheduler};
+///
+/// let protocol = ApproximateMajority::new();
+/// let inputs: Vec<Color> = [0, 0, 0, 0, 0, 0, 1, 1].map(Color).to_vec();
+/// let population = Population::from_inputs(&protocol, &inputs);
+/// let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 5);
+/// let report = sim.run_until_silent(100_000, 8)?;
+/// assert_eq!(report.consensus, Some(Color(0)));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproximateMajority {
+    _private: (),
+}
+
+impl ApproximateMajority {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        ApproximateMajority { _private: () }
+    }
+}
+
+impl Protocol for ApproximateMajority {
+    type State = TriState;
+    type Input = Color;
+    type Output = Color;
+
+    fn name(&self) -> &str {
+        "approximate-majority"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the input color is not 0 or 1 — this protocol is
+    /// specific to `k = 2`.
+    fn input(&self, input: &Color) -> TriState {
+        match input.0 {
+            0 => TriState::Zero,
+            1 => TriState::One,
+            other => panic!("approximate majority is binary; got color {other}"),
+        }
+    }
+
+    fn output(&self, state: &TriState) -> Color {
+        state.color()
+    }
+
+    fn transition(&self, initiator: &TriState, responder: &TriState) -> (TriState, TriState) {
+        use TriState::*;
+        match (*initiator, *responder) {
+            (Zero, One) => (Zero, Blank),
+            (One, Zero) => (One, Blank),
+            (Zero, Blank) => (Zero, Zero),
+            (One, Blank) => (One, One),
+            (Blank, Zero) => (Zero, Zero),
+            (Blank, One) => (One, One),
+            other => other,
+        }
+    }
+
+    // Not symmetric: X + Y blanks the *responder*, so the initiator's color
+    // survives the clash — the default `is_symmetric() == false` stands.
+}
+
+impl EnumerableProtocol for ApproximateMajority {
+    fn states(&self) -> Vec<TriState> {
+        vec![TriState::Zero, TriState::One, TriState::Blank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Population, Simulation, UniformPairScheduler};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn run(inputs: &[u16], seed: u64) -> Option<Color> {
+        let protocol = ApproximateMajority::new();
+        let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+        let population = Population::from_inputs(&protocol, &colors);
+        let mut sim =
+            Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        sim.run_until_silent(1_000_000, 8).ok().and_then(|r| r.consensus)
+    }
+
+    #[test]
+    fn state_complexity_is_three() {
+        assert_eq!(ApproximateMajority::new().state_complexity(), 3);
+    }
+
+    #[test]
+    fn clash_is_initiator_asymmetric_and_recruitment_is_not() {
+        let p = ApproximateMajority::new();
+        // X + Y: the initiator's color survives either way round.
+        assert_eq!(
+            p.transition(&TriState::Zero, &TriState::One),
+            (TriState::Zero, TriState::Blank)
+        );
+        assert_eq!(
+            p.transition(&TriState::One, &TriState::Zero),
+            (TriState::One, TriState::Blank)
+        );
+        // Recruitment of blanks works in both roles.
+        assert_eq!(
+            p.transition(&TriState::Blank, &TriState::One),
+            (TriState::One, TriState::One)
+        );
+        assert_eq!(
+            p.transition(&TriState::One, &TriState::Blank),
+            (TriState::One, TriState::One)
+        );
+    }
+
+    #[test]
+    fn converges_with_clear_majority() {
+        // Margin 10 at n = 14: the error probability is negligible, and the
+        // seeds are fixed, so this is a deterministic check.
+        let inputs = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        for seed in 0..10 {
+            assert_eq!(run(&inputs, seed), Some(Color(0)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        // All-X is silent; so is all-Y.
+        let p = ApproximateMajority::new();
+        assert!(p.is_null_interaction(&TriState::Zero, &TriState::Zero));
+        assert!(p.is_null_interaction(&TriState::One, &TriState::One));
+        // X + Y is productive: no deadlock short of consensus.
+        assert!(!p.is_null_interaction(&TriState::Zero, &TriState::One));
+        assert!(!p.is_null_interaction(&TriState::Zero, &TriState::Blank));
+    }
+
+    #[test]
+    fn errs_with_constant_probability_at_margin_two() {
+        // n = 10, margin 2 (6 vs 4): the minority must win in a noticeable
+        // fraction of runs — that failure is the point of this baseline.
+        let mut wrong = 0;
+        let trials = 400;
+        for seed in 0..trials {
+            if run(&[0, 0, 0, 0, 0, 0, 1, 1, 1, 1], seed) == Some(Color(1)) {
+                wrong += 1;
+            }
+        }
+        assert!(
+            wrong > trials / 20,
+            "only {wrong}/{trials} wrong runs; approximate majority should err often at margin 2"
+        );
+        assert!(
+            wrong < trials / 2,
+            "{wrong}/{trials} wrong runs; the majority should still win more often than not"
+        );
+    }
+
+    #[test]
+    fn every_run_ends_in_unanimous_decided_states() {
+        // Whatever the verdict, a silent configuration has no blanks and a
+        // single decided color (X+Y and X+⊥ are both productive).
+        let protocol = ApproximateMajority::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.random_range(4..40);
+            let zeros = rng.random_range(1..n);
+            let inputs: Vec<Color> = (0..n).map(|i| Color(u16::from(i >= zeros))).collect();
+            let population = Population::from_inputs(&protocol, &inputs);
+            let seed = rng.random();
+            let mut sim =
+                Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+            let report = sim.run_until_silent(1_000_000, 8).unwrap();
+            assert!(report.consensus.is_some(), "silent but not unanimous");
+            let states: std::collections::HashSet<_> =
+                sim.population().iter().copied().collect();
+            assert!(!states.contains(&TriState::Blank), "blank survived silence");
+            assert_eq!(states.len(), 1, "two decided colors cannot both be silent");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_input_panics() {
+        let _ = ApproximateMajority::new().input(&Color(2));
+    }
+}

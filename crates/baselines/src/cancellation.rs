@@ -1,0 +1,221 @@
+//! Greedy pairwise cancellation for `k` colors.
+//!
+//! Token-bearing agents of *different* colors annihilate each other's tokens;
+//! blank agents copy the color of any token they meet. For `k = 2` the token
+//! difference per color pair is invariant, so the majority's tokens survive
+//! and the protocol is always correct. For `k ≥ 3` it is **not** a plurality
+//! protocol: cancellations between minority colors can leave a non-plurality
+//! color with the last surviving tokens (e.g. counts 5/4/4 where the
+//! plurality's tokens are spent against one minority while the other minority
+//! survives). Experiment E6 measures how often this happens under the
+//! uniform-random scheduler; the paper's Circles protocol exists precisely
+//! because getting plurality right for general `k` is this subtle.
+
+use circles_core::Color;
+use pp_protocol::{EnumerableProtocol, Protocol};
+
+/// An agent's state in the cancellation protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CancellationState {
+    /// Carries a token of its input color.
+    Token(Color),
+    /// Token spent; outputs the most recently seen token color.
+    Blank(Color),
+}
+
+impl CancellationState {
+    /// The color this agent currently reports.
+    pub fn color(self) -> Color {
+        match self {
+            CancellationState::Token(c) | CancellationState::Blank(c) => c,
+        }
+    }
+
+    /// Whether the agent still carries a token.
+    pub fn has_token(self) -> bool {
+        matches!(self, CancellationState::Token(_))
+    }
+}
+
+/// The pairwise-cancellation protocol over `k` colors; see the
+/// module-level documentation above for why it fails for `k >= 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancellationPlurality {
+    k: u16,
+}
+
+impl CancellationPlurality {
+    /// Creates the protocol for `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: u16) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        CancellationPlurality { k }
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+}
+
+impl Protocol for CancellationPlurality {
+    type State = CancellationState;
+    type Input = Color;
+    type Output = Color;
+
+    fn name(&self) -> &str {
+        "cancellation"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the input color is `>= k`.
+    fn input(&self, input: &Color) -> CancellationState {
+        assert!(input.0 < self.k, "input color {input} out of range");
+        CancellationState::Token(*input)
+    }
+
+    fn output(&self, state: &CancellationState) -> Color {
+        state.color()
+    }
+
+    fn transition(
+        &self,
+        initiator: &CancellationState,
+        responder: &CancellationState,
+    ) -> (CancellationState, CancellationState) {
+        use CancellationState::*;
+        match (*initiator, *responder) {
+            // Tokens of different colors annihilate; each remembers its own
+            // color as its (stale) opinion.
+            (Token(x), Token(y)) if x != y => (Blank(x), Blank(y)),
+            // Blanks copy the color of a surviving token.
+            (Token(x), Blank(y)) if x != y => (Token(x), Blank(x)),
+            (Blank(y), Token(x)) if x != y => (Blank(x), Token(x)),
+            other => other,
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for CancellationPlurality {
+    fn states(&self) -> Vec<CancellationState> {
+        let mut out = Vec::with_capacity(2 * usize::from(self.k));
+        for c in 0..self.k {
+            out.push(CancellationState::Token(Color(c)));
+        }
+        for c in 0..self.k {
+            out.push(CancellationState::Blank(Color(c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Population, Simulation, UniformPairScheduler};
+    use pp_schedulers::TraceScheduler;
+    use pp_protocol::InteractionTrace;
+
+    #[test]
+    fn state_complexity_is_two_k() {
+        assert_eq!(CancellationPlurality::new(4).state_complexity(), 8);
+    }
+
+    #[test]
+    fn tokens_annihilate() {
+        let p = CancellationPlurality::new(3);
+        let (a, b) = p.transition(
+            &CancellationState::Token(Color(0)),
+            &CancellationState::Token(Color(2)),
+        );
+        assert_eq!(a, CancellationState::Blank(Color(0)));
+        assert_eq!(b, CancellationState::Blank(Color(2)));
+    }
+
+    #[test]
+    fn blanks_copy_tokens() {
+        let p = CancellationPlurality::new(3);
+        let (a, b) = p.transition(
+            &CancellationState::Blank(Color(1)),
+            &CancellationState::Token(Color(2)),
+        );
+        assert_eq!(a, CancellationState::Blank(Color(2)));
+        assert_eq!(b, CancellationState::Token(Color(2)));
+    }
+
+    #[test]
+    fn binary_case_is_correct() {
+        let p = CancellationPlurality::new(2);
+        let inputs: Vec<Color> = [0, 0, 0, 0, 1, 1, 1].map(Color).to_vec();
+        let population = Population::from_inputs(&p, &inputs);
+        let mut sim = Simulation::new(&p, population, UniformPairScheduler::new(), 2);
+        let report = sim.run_until_silent(1_000_000, 8).unwrap();
+        assert_eq!(report.consensus, Some(Color(0)));
+    }
+
+    #[test]
+    fn adversarial_schedule_defeats_plurality_for_three_colors() {
+        // Counts 3/2/2 over colors 0/1/2: color 0 is the strict plurality.
+        // Agents: [0,0,0,1,1,2,2] (indices 0-6).
+        // Schedule: spend all of color 0's tokens against color 1, then let
+        // color 2 survive and convert everyone.
+        let p = CancellationPlurality::new(3);
+        let inputs: Vec<Color> = [0, 0, 0, 1, 1, 2, 2].map(Color).to_vec();
+        let population = Population::from_inputs(&p, &inputs);
+        let pairs = vec![
+            (0, 3), // 0-token kills 1-token
+            (1, 4), // 0-token kills 1-token
+            (2, 5), // last 0-token killed by a 2-token
+            // remaining token: agent 6 (color 2); convert all blanks:
+            (6, 0),
+            (6, 1),
+            (6, 2),
+            (6, 3),
+            (6, 4),
+            (6, 5),
+        ];
+        let trace = InteractionTrace::from_pairs(7, pairs).unwrap();
+        let mut sim = Simulation::new(&p, population, TraceScheduler::new(trace), 0);
+        for _ in 0..9 {
+            let _ = sim.step().unwrap();
+        }
+        // The non-plurality color 2 won.
+        assert_eq!(
+            sim.population().output_consensus(&p),
+            Some(Color(2)),
+            "expected the adversarial schedule to elect color 2"
+        );
+    }
+
+    #[test]
+    fn all_tokens_spent_leaves_stale_outputs() {
+        // Perfectly balanced k=2 input (a tie): every token can cancel, and
+        // outputs stay split — the protocol stalls, like Circles does under
+        // ties but without Circles' invariant structure.
+        let p = CancellationPlurality::new(2);
+        let inputs: Vec<Color> = [0, 1, 0, 1].map(Color).to_vec();
+        let population = Population::from_inputs(&p, &inputs);
+        let pairs = vec![(0, 1), (2, 3)];
+        let trace = InteractionTrace::from_pairs(4, pairs).unwrap();
+        let mut sim = Simulation::new(&p, population, TraceScheduler::new(trace), 0);
+        for _ in 0..2 {
+            let _ = sim.step().unwrap();
+        }
+        assert!(sim.population().iter().all(|s| !s.has_token()));
+        assert_eq!(sim.population().output_consensus(&p), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_validated() {
+        let _ = CancellationPlurality::new(1).input(&Color(1));
+    }
+}

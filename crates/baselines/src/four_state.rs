@@ -1,0 +1,206 @@
+//! The classical 4-state exact-majority protocol (`k = 2`).
+//!
+//! States `{A, B, a, b}`: a *strong* and a *weak* variant per color.
+//! Transitions:
+//!
+//! ```text
+//! A + B → a + b      (strong opposites annihilate into weak)
+//! A + b → A + a      (a strong agent converts opposing weak agents)
+//! B + a → B + b
+//! ```
+//!
+//! The difference `#A − #B` of strong counts is invariant, so with a strict
+//! majority the minority's strong agents die out, the surviving strong color
+//! converts every opposing weak agent, and all outputs agree with the
+//! majority — under *any* weakly fair scheduler. This is the
+//! Draief–Vojnović / Mertzios-style automaton the literature credits with
+//! optimal state count for always-correct exact majority.
+
+use circles_core::Color;
+use pp_protocol::{EnumerableProtocol, Protocol};
+
+/// A 4-state agent: strong or weak, for one of two colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FourState {
+    /// Strong opinion for color 0 (`A`).
+    StrongZero,
+    /// Strong opinion for color 1 (`B`).
+    StrongOne,
+    /// Weak opinion for color 0 (`a`).
+    WeakZero,
+    /// Weak opinion for color 1 (`b`).
+    WeakOne,
+}
+
+impl FourState {
+    /// The color this state outputs.
+    pub fn color(self) -> Color {
+        match self {
+            FourState::StrongZero | FourState::WeakZero => Color(0),
+            FourState::StrongOne | FourState::WeakOne => Color(1),
+        }
+    }
+
+    /// Whether the state is strong.
+    pub fn is_strong(self) -> bool {
+        matches!(self, FourState::StrongZero | FourState::StrongOne)
+    }
+}
+
+/// The 4-state exact-majority protocol. See the module-level documentation
+/// above for the transition table and correctness argument.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::Color;
+/// use pp_baselines::FourStateMajority;
+/// use pp_protocol::{Population, Simulation, UniformPairScheduler};
+///
+/// let protocol = FourStateMajority::new();
+/// let inputs: Vec<Color> = [0, 0, 0, 1, 1].map(Color).to_vec();
+/// let population = Population::from_inputs(&protocol, &inputs);
+/// let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 3);
+/// let report = sim.run_until_silent(100_000, 8)?;
+/// assert_eq!(report.consensus, Some(Color(0)));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FourStateMajority {
+    _private: (),
+}
+
+impl FourStateMajority {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        FourStateMajority { _private: () }
+    }
+}
+
+impl Protocol for FourStateMajority {
+    type State = FourState;
+    type Input = Color;
+    type Output = Color;
+
+    fn name(&self) -> &str {
+        "four-state-majority"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the input color is not 0 or 1 — this protocol is
+    /// specific to `k = 2`.
+    fn input(&self, input: &Color) -> FourState {
+        match input.0 {
+            0 => FourState::StrongZero,
+            1 => FourState::StrongOne,
+            other => panic!("four-state majority is binary; got color {other}"),
+        }
+    }
+
+    fn output(&self, state: &FourState) -> Color {
+        state.color()
+    }
+
+    fn transition(&self, initiator: &FourState, responder: &FourState) -> (FourState, FourState) {
+        use FourState::*;
+        match (*initiator, *responder) {
+            // Strong opposites annihilate into weak.
+            (StrongZero, StrongOne) => (WeakZero, WeakOne),
+            (StrongOne, StrongZero) => (WeakOne, WeakZero),
+            // Strong converts opposing weak.
+            (StrongZero, WeakOne) => (StrongZero, WeakZero),
+            (WeakOne, StrongZero) => (WeakZero, StrongZero),
+            (StrongOne, WeakZero) => (StrongOne, WeakOne),
+            (WeakZero, StrongOne) => (WeakOne, StrongOne),
+            // Everything else is a null interaction.
+            other => other,
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for FourStateMajority {
+    fn states(&self) -> Vec<FourState> {
+        vec![
+            FourState::StrongZero,
+            FourState::StrongOne,
+            FourState::WeakZero,
+            FourState::WeakOne,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Population, Simulation, UniformPairScheduler};
+
+    #[test]
+    fn state_complexity_is_four() {
+        assert_eq!(FourStateMajority::new().state_complexity(), 4);
+    }
+
+    #[test]
+    fn strong_difference_is_invariant() {
+        let p = FourStateMajority::new();
+        let diff = |s: &[FourState]| -> i64 {
+            s.iter()
+                .map(|x| match x {
+                    FourState::StrongZero => 1,
+                    FourState::StrongOne => -1,
+                    _ => 0,
+                })
+                .sum()
+        };
+        for a in p.states() {
+            for b in p.states() {
+                let (a2, b2) = p.transition(&a, &b);
+                assert_eq!(diff(&[a, b]), diff(&[a2, b2]), "at ({a:?}, {b:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_majority() {
+        let p = FourStateMajority::new();
+        let inputs: Vec<Color> = [1, 1, 1, 1, 0, 0, 0].map(Color).to_vec();
+        let population = Population::from_inputs(&p, &inputs);
+        let mut sim = Simulation::new(&p, population, UniformPairScheduler::new(), 17);
+        let report = sim.run_until_silent(1_000_000, 8).unwrap();
+        assert_eq!(report.consensus, Some(Color(1)));
+    }
+
+    #[test]
+    fn minority_of_one_strong_agent_wins_margin() {
+        let p = FourStateMajority::new();
+        let inputs: Vec<Color> = [0, 0, 0, 1, 1].map(Color).to_vec();
+        let population = Population::from_inputs(&p, &inputs);
+        let mut sim = Simulation::new(&p, population, UniformPairScheduler::new(), 4);
+        let report = sim.run_until_silent(1_000_000, 8).unwrap();
+        assert_eq!(report.consensus, Some(Color(0)));
+        // The final population keeps exactly the strong margin.
+        let strong = sim
+            .population()
+            .iter()
+            .filter(|s| s.is_strong())
+            .count();
+        assert_eq!(strong, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn rejects_non_binary_colors() {
+        let _ = FourStateMajority::new().input(&Color(2));
+    }
+
+    #[test]
+    fn weak_pairs_are_null() {
+        let p = FourStateMajority::new();
+        assert!(p.is_null_interaction(&FourState::WeakZero, &FourState::WeakOne));
+        assert!(p.is_null_interaction(&FourState::WeakOne, &FourState::WeakOne));
+    }
+}

@@ -1,0 +1,42 @@
+//! Baseline majority/plurality population protocols.
+//!
+//! The Circles paper positions its `k³` state complexity against prior
+//! protocols. The exact `O(k⁷)` construction of Gąsieniec et al. \[10\] is not
+//! reconstructible from the brief announcement (its state count enters the
+//! experiments analytically — see `DESIGN.md` §4); this crate implements the
+//! classical baselines that anchor the correctness/speed/state-count
+//! trade-offs empirically:
+//!
+//! - [`FourStateMajority`]: the classical always-correct *exact majority*
+//!   protocol for `k = 2` with 4 states — the benchmark Circles matches at
+//!   `k = 2` with `8 = 2³` states.
+//! - [`UndecidedDynamics`]: undecided-state dynamics (the paper's reference
+//!   \[5\] family): fast, tiny (2k states in our output-faithful encoding),
+//!   but only correct with high probability under uniform-random scheduling
+//!   — and breakable by an adversarial weakly fair scheduler.
+//! - [`CancellationPlurality`]: greedy pairwise cancellation (2k states).
+//!   Correct for `k = 2` (token difference is invariant), *incorrect* for
+//!   `k ≥ 3`: schedules exist — and occur with noticeable probability — in
+//!   which a non-plurality color survives. Experiment E6 quantifies this.
+//! - [`ApproximateMajority`]: the 3-state Angluin–Aspnes–Eisenstat
+//!   protocol — below the `Ω(k²)` always-correct lower bound, and
+//!   accordingly wrong with constant probability at small margins.
+//!   Experiment E16 places it on the state-count/accuracy plane next to
+//!   the 4-state automaton and Circles.
+//!
+//! All four implement [`pp_protocol::Protocol`] and
+//! [`pp_protocol::EnumerableProtocol`], so the same engines, schedulers and
+//! model checker apply to them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approximate;
+mod cancellation;
+mod four_state;
+mod undecided;
+
+pub use approximate::{ApproximateMajority, TriState};
+pub use cancellation::{CancellationPlurality, CancellationState};
+pub use four_state::{FourStateMajority, FourState};
+pub use undecided::{UndecidedDynamics, UndecidedState};

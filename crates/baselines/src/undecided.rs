@@ -1,0 +1,198 @@
+//! Undecided-state dynamics (USD) for `k` colors.
+//!
+//! The plurality-consensus dynamics of the gossip literature (the paper's
+//! reference [5], Becchetti et al., SODA 2015), phrased as a population
+//! protocol: when two agents with *different* decided colors meet, the
+//! responder loses its opinion; an undecided agent adopts the color of any
+//! decided agent it meets.
+//!
+//! Fast and tiny, but only correct *with high probability* under
+//! uniform-random scheduling when the plurality has a sufficient margin —
+//! and an adversarial weakly fair scheduler can make any color win.
+//! Experiments E5/E6 use it as the "fast but fragile" contrast to Circles'
+//! always-correctness.
+//!
+//! Our encoding keeps the last decided color inside the undecided state so
+//! that every agent always has a well-defined output; this costs a factor 2
+//! (2k states instead of k+1) but makes output accounting faithful.
+
+use circles_core::Color;
+use pp_protocol::{EnumerableProtocol, Protocol};
+
+/// An agent's state in undecided-state dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UndecidedState {
+    /// Holds an opinion.
+    Decided(Color),
+    /// Lost its opinion; remembers the last one for output purposes.
+    Undecided(Color),
+}
+
+impl UndecidedState {
+    /// The color this agent currently reports.
+    pub fn color(self) -> Color {
+        match self {
+            UndecidedState::Decided(c) | UndecidedState::Undecided(c) => c,
+        }
+    }
+
+    /// Whether the agent holds an opinion.
+    pub fn is_decided(self) -> bool {
+        matches!(self, UndecidedState::Decided(_))
+    }
+}
+
+/// Undecided-state dynamics over `k` colors; see the module-level
+/// documentation above for the transition rules and caveats.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::Color;
+/// use pp_baselines::UndecidedDynamics;
+/// use pp_protocol::{Population, Simulation, UniformPairScheduler};
+///
+/// let protocol = UndecidedDynamics::new(3);
+/// let inputs: Vec<Color> = [0, 0, 0, 0, 0, 1, 2].map(Color).to_vec();
+/// let population = Population::from_inputs(&protocol, &inputs);
+/// let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 11);
+/// let report = sim.run_until_silent(1_000_000, 8)?;
+/// // With this margin USD almost always lands on the plurality color —
+/// // but unlike Circles, it carries no guarantee.
+/// assert!(report.consensus.is_some());
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndecidedDynamics {
+    k: u16,
+}
+
+impl UndecidedDynamics {
+    /// Creates the dynamics for `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: u16) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        UndecidedDynamics { k }
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+}
+
+impl Protocol for UndecidedDynamics {
+    type State = UndecidedState;
+    type Input = Color;
+    type Output = Color;
+
+    fn name(&self) -> &str {
+        "undecided-dynamics"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the input color is `>= k`.
+    fn input(&self, input: &Color) -> UndecidedState {
+        assert!(input.0 < self.k, "input color {input} out of range");
+        UndecidedState::Decided(*input)
+    }
+
+    fn output(&self, state: &UndecidedState) -> Color {
+        state.color()
+    }
+
+    fn transition(
+        &self,
+        initiator: &UndecidedState,
+        responder: &UndecidedState,
+    ) -> (UndecidedState, UndecidedState) {
+        use UndecidedState::*;
+        match (*initiator, *responder) {
+            (Decided(x), Decided(y)) if x != y => (Decided(x), Undecided(y)),
+            (Undecided(_), Decided(x)) => (Decided(x), Decided(x)),
+            (Decided(x), Undecided(_)) => (Decided(x), Decided(x)),
+            other => other,
+        }
+    }
+}
+
+impl EnumerableProtocol for UndecidedDynamics {
+    fn states(&self) -> Vec<UndecidedState> {
+        let mut out = Vec::with_capacity(2 * usize::from(self.k));
+        for c in 0..self.k {
+            out.push(UndecidedState::Decided(Color(c)));
+        }
+        for c in 0..self.k {
+            out.push(UndecidedState::Undecided(Color(c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Population, Simulation, UniformPairScheduler};
+
+    #[test]
+    fn state_complexity_is_two_k() {
+        assert_eq!(UndecidedDynamics::new(5).state_complexity(), 10);
+    }
+
+    #[test]
+    fn decided_clash_undecides_responder() {
+        let p = UndecidedDynamics::new(3);
+        let (a, b) = p.transition(
+            &UndecidedState::Decided(Color(0)),
+            &UndecidedState::Decided(Color(2)),
+        );
+        assert_eq!(a, UndecidedState::Decided(Color(0)));
+        assert_eq!(b, UndecidedState::Undecided(Color(2)));
+    }
+
+    #[test]
+    fn undecided_adopts() {
+        let p = UndecidedDynamics::new(3);
+        let (a, b) = p.transition(
+            &UndecidedState::Undecided(Color(1)),
+            &UndecidedState::Decided(Color(2)),
+        );
+        assert_eq!(a, UndecidedState::Decided(Color(2)));
+        assert_eq!(b, UndecidedState::Decided(Color(2)));
+    }
+
+    #[test]
+    fn same_color_is_null() {
+        let p = UndecidedDynamics::new(2);
+        assert!(p.is_null_interaction(
+            &UndecidedState::Decided(Color(1)),
+            &UndecidedState::Decided(Color(1))
+        ));
+        assert!(p.is_null_interaction(
+            &UndecidedState::Undecided(Color(0)),
+            &UndecidedState::Undecided(Color(1))
+        ));
+    }
+
+    #[test]
+    fn lands_on_some_consensus() {
+        let p = UndecidedDynamics::new(4);
+        let inputs: Vec<Color> = (0..40).map(|i| Color(if i < 25 { 0 } else { (i % 3 + 1) as u16 })).collect();
+        let population = Population::from_inputs(&p, &inputs);
+        let mut sim = Simulation::new(&p, population, UniformPairScheduler::new(), 5);
+        let report = sim.run_until_silent(10_000_000, 32).unwrap();
+        // Strong margin: should land on color 0 here (probabilistic but
+        // seed-pinned).
+        assert_eq!(report.consensus, Some(Color(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_validated() {
+        let _ = UndecidedDynamics::new(2).input(&Color(2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the baseline protocols' defining invariants.
+
+use circles_core::Color;
+use pp_baselines::{CancellationPlurality, CancellationState, FourState, FourStateMajority, UndecidedDynamics};
+use pp_protocol::{Population, Simulation, UniformPairScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Four-state majority: the strong-count difference is invariant under
+    /// any interaction sequence, and with a strict majority the final
+    /// consensus is always the majority color.
+    #[test]
+    fn four_state_invariant_and_correctness(
+        zeros in 1usize..8,
+        ones in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(zeros != ones);
+        let mut inputs = vec![Color(0); zeros];
+        inputs.extend(vec![Color(1); ones]);
+        let protocol = FourStateMajority::new();
+        let population = Population::from_inputs(&protocol, &inputs);
+        let diff = |p: &Population<FourState>| -> i64 {
+            p.iter()
+                .map(|s| match s {
+                    FourState::StrongZero => 1i64,
+                    FourState::StrongOne => -1,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let initial_diff = diff(&population);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..200 {
+            let _ = sim.step().unwrap();
+            prop_assert_eq!(diff(sim.population()), initial_diff);
+        }
+        let report = sim.run_until_silent(10_000_000, 8).unwrap();
+        let expected = Color(u16::from(ones > zeros));
+        prop_assert_eq!(report.consensus, Some(expected));
+    }
+
+    /// Undecided dynamics: the number of *decided* agents never increases
+    /// by more than it should — decided agents are only created from
+    /// undecided ones by adoption, so (#decided colors present) never
+    /// grows, and total population is preserved.
+    #[test]
+    fn undecided_dynamics_opinions_only_disappear(
+        raw in proptest::collection::vec(0u16..4, 2..16),
+        seed in any::<u64>(),
+        steps in 1u64..400,
+    ) {
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c)).collect();
+        let protocol = UndecidedDynamics::new(4);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let colors_present = |p: &Population<pp_baselines::UndecidedState>| {
+            p.iter()
+                .filter(|s| s.is_decided())
+                .map(|s| s.color())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        let mut last = colors_present(&population);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+            let now = colors_present(sim.population());
+            prop_assert!(now.is_subset(&last), "a dead opinion was resurrected");
+            last = now;
+        }
+    }
+
+    /// Cancellation: the per-color token-count *differences* are invariant
+    /// for k = 2 (which is why the binary case is correct).
+    #[test]
+    fn cancellation_binary_token_difference_invariant(
+        zeros in 1usize..8,
+        ones in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut inputs = vec![Color(0); zeros];
+        inputs.extend(vec![Color(1); ones]);
+        let protocol = CancellationPlurality::new(2);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let token_diff = |p: &Population<CancellationState>| -> i64 {
+            p.iter()
+                .map(|s| match s {
+                    CancellationState::Token(Color(0)) => 1i64,
+                    CancellationState::Token(Color(1)) => -1,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let initial = token_diff(&population);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..300 {
+            let _ = sim.step().unwrap();
+            prop_assert_eq!(token_diff(sim.population()), initial);
+        }
+    }
+
+    /// Cancellation never creates tokens: the total token count is
+    /// non-increasing for any k.
+    #[test]
+    fn cancellation_tokens_never_increase(
+        raw in proptest::collection::vec(0u16..5, 2..14),
+        seed in any::<u64>(),
+    ) {
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c)).collect();
+        let protocol = CancellationPlurality::new(5);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let count_tokens = |p: &Population<CancellationState>| {
+            p.iter().filter(|s| s.has_token()).count()
+        };
+        let mut last = count_tokens(&population);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..300 {
+            let _ = sim.step().unwrap();
+            let now = count_tokens(sim.population());
+            prop_assert!(now <= last);
+            last = now;
+        }
+    }
+}

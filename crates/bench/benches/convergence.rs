@@ -1,0 +1,63 @@
+//! End-to-end convergence latency on small, fixed instances — the
+//! wall-clock cost of one complete Circles run per engine and per baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use circles_core::{CirclesProtocol, Color};
+use pp_analysis::workloads::{photo_finish_workload, shuffled};
+use pp_baselines::UndecidedDynamics;
+use pp_protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
+
+fn bench_circles_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circles_to_silence");
+    group.sample_size(10);
+    for (n, k) in [(64usize, 2u16), (64, 8), (256, 8)] {
+        let inputs: Vec<Color> = shuffled(photo_finish_workload(n, k), 3);
+        let protocol = CirclesProtocol::new(k).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let population = Population::from_inputs(&protocol, inputs);
+                    let mut sim = Simulation::new(
+                        &protocol,
+                        population,
+                        UniformPairScheduler::new(),
+                        7,
+                    );
+                    let report = sim.run_until_silent(500_000_000, n as u64).unwrap();
+                    report.steps_to_silence
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counting_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_to_silence");
+    group.sample_size(10);
+    let (n, k) = (1024usize, 8u16);
+    let inputs: Vec<Color> = photo_finish_workload(n, k);
+    let protocol = CirclesProtocol::new(k).unwrap();
+    group.bench_function(format!("circles_n{n}_k{k}"), |b| {
+        b.iter(|| {
+            let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 7);
+            let report = sim.run_until_silent(5_000_000_000, 1024).unwrap();
+            report.steps_to_silence
+        })
+    });
+    let usd = UndecidedDynamics::new(k);
+    group.bench_function(format!("usd_n{n}_k{k}"), |b| {
+        b.iter(|| {
+            let mut sim = CountingSimulation::from_inputs(&usd, &inputs, 7);
+            let report = sim.run_until_silent(5_000_000_000, 1024).unwrap();
+            report.steps_to_silence
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circles_convergence, bench_counting_convergence);
+criterion_main!(benches);

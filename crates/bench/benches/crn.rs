@@ -1,0 +1,105 @@
+//! CRN-layer throughput: network construction, Gillespie firing rate, and
+//! mean-field integration speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use circles_core::{CirclesProtocol, CirclesState, Color};
+use pp_crn::{MeanField, ReactionNetwork, StochasticSimulation};
+use pp_protocol::{CountConfig, Protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn network_for(k: u16) -> (CirclesProtocol, ReactionNetwork<CirclesState>) {
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+    let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
+    (protocol, network)
+}
+
+fn initial_for(protocol: &CirclesProtocol, n: usize) -> CountConfig<CirclesState> {
+    let k = protocol.k();
+    let mut initial = CountConfig::new();
+    // Geometric-ish profile with a strict leader.
+    let mut remaining = n;
+    for i in 0..k {
+        let share = if i + 1 == k { remaining } else { (remaining * 3).div_ceil(5) };
+        initial.insert(protocol.input(&Color(i)), share);
+        remaining -= share;
+        if remaining == 0 {
+            break;
+        }
+    }
+    initial
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crn_network_closure");
+    group.sample_size(10);
+    for k in [3u16, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
+            b.iter(|| {
+                let (_, network) = network_for(k);
+                network.reaction_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gillespie_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crn_gillespie_steps");
+    group.sample_size(10);
+    const STEPS: u64 = 20_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for (n, k) in [(1_024usize, 4u16), (65_536, 4), (1_024, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let (protocol, network) = network_for(k);
+                let initial = initial_for(&protocol, n);
+                b.iter(|| {
+                    let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut fired = 0u64;
+                    while fired < STEPS {
+                        if sim.step(&mut rng).is_none() {
+                            break; // silent early: restart measures the same work
+                        }
+                        fired += 1;
+                    }
+                    (fired, sim.time())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_meanfield_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crn_meanfield_rk4");
+    group.sample_size(10);
+    for k in [3u16, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
+            let (protocol, network) = network_for(k);
+            let initial = initial_for(&protocol, 1_000_000);
+            let x0 = network
+                .densities(&network.counts_from_config(&initial).unwrap());
+            let field = MeanField::new(&network);
+            b.iter(|| {
+                field
+                    .integrate(x0.clone(), 5.0, 0.01, |_, _| ())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_network_construction,
+    bench_gillespie_steps,
+    bench_meanfield_integration
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Model-checker throughput: configurations explored per second and
+//! end-to-end verification latency on representative instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use circles_core::Color;
+use pp_mc::circles::{verify_circles_full, verify_circles_instance};
+use pp_mc::ExploreLimits;
+
+fn instance(profile: &[usize]) -> Vec<Color> {
+    let mut inputs = Vec::new();
+    for (color, &count) in profile.iter().enumerate() {
+        inputs.extend(std::iter::repeat_n(Color(color as u16), count));
+    }
+    inputs
+}
+
+fn bench_verify_brakets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_weak_fairness");
+    group.sample_size(10);
+    for (name, profile, k) in [
+        ("k2_n8", vec![5usize, 3], 2u16),
+        ("k3_n7", vec![3, 2, 2], 3),
+        ("k4_n6", vec![2, 2, 1, 1], 4),
+    ] {
+        let inputs = instance(&profile);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
+            b.iter(|| {
+                let report =
+                    verify_circles_instance(inputs, k, ExploreLimits::default()).unwrap();
+                assert!(report.verified);
+                report.config_count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_full_state_space");
+    group.sample_size(10);
+    for (name, profile, k) in [("k2_n6", vec![4usize, 2], 2u16), ("k3_n5", vec![2, 2, 1], 3)] {
+        let inputs = instance(&profile);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
+            b.iter(|| {
+                let report = verify_circles_full(inputs, k, ExploreLimits::default()).unwrap();
+                assert!(report.eventually_silent);
+                report.config_count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_brakets, bench_verify_full);
+criterion_main!(benches);

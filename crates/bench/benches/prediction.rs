@@ -1,0 +1,60 @@
+//! Cost of the executable theory: greedy decomposition, terminal
+//! prediction, potential computation, and stability checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circles_core::potential::weight_vector;
+use circles_core::prediction::{is_exchange_stable, predicted_brakets};
+use circles_core::{Color, GreedyDecomposition};
+use pp_analysis::workloads::geometric_workload;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_decomposition");
+    group.sample_size(20);
+    for (n, k) in [(1_000usize, 16u16), (100_000, 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let inputs: Vec<Color> = geometric_workload(n, k, 1.3);
+                b.iter(|| GreedyDecomposition::from_inputs(black_box(&inputs), k).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicted_brakets");
+    group.sample_size(20);
+    for (n, k) in [(1_000usize, 16u16), (100_000, 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let inputs: Vec<Color> = geometric_workload(n, k, 1.3);
+                b.iter(|| predicted_brakets(black_box(&inputs), k).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_potential_and_stability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_checks");
+    group.sample_size(20);
+    let (n, k) = (100_000usize, 32u16);
+    let inputs: Vec<Color> = geometric_workload(n, k, 1.3);
+    let config = predicted_brakets(&inputs, k).unwrap();
+    group.bench_function("weight_vector_100k", |b| {
+        b.iter(|| weight_vector(black_box(&config), k))
+    });
+    group.bench_function("is_exchange_stable_100k", |b| {
+        b.iter(|| is_exchange_stable(black_box(&config), k))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_prediction, bench_potential_and_stability);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Engine throughput: interactions per second for the indexed and the
+//! count-based simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use circles_core::{CirclesProtocol, Color};
+use pp_analysis::workloads::{photo_finish_workload, shuffled};
+use pp_protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
+
+fn bench_indexed_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_sim_steps");
+    group.sample_size(10);
+    const STEPS: u64 = 50_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for (n, k) in [(256usize, 8u16), (1024, 8), (1024, 32)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let protocol = CirclesProtocol::new(k).unwrap();
+                let inputs: Vec<Color> = shuffled(photo_finish_workload(n, k), 1);
+                b.iter(|| {
+                    let population = Population::from_inputs(&protocol, &inputs);
+                    let mut sim = Simulation::new(
+                        &protocol,
+                        population,
+                        UniformPairScheduler::new(),
+                        42,
+                    );
+                    for _ in 0..STEPS {
+                        let _ = sim.step().unwrap();
+                    }
+                    sim.stats().state_changes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_counting_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_sim_steps");
+    group.sample_size(10);
+    const STEPS: u64 = 50_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for (n, k) in [(1024usize, 8u16), (65_536, 8), (1_048_576, 8)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                let protocol = CirclesProtocol::new(k).unwrap();
+                let inputs: Vec<Color> = photo_finish_workload(n, k);
+                b.iter(|| {
+                    let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 42);
+                    for _ in 0..STEPS {
+                        let _ = sim.step().unwrap();
+                    }
+                    sim.steps()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexed_steps, bench_counting_steps);
+criterion_main!(benches);

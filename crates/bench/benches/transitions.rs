@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the Circles transition function and its pieces.
+//!
+//! The transition is the innermost loop of every engine; the paper's
+//! protocol performs two weight computations, a min comparison and an
+//! optional swap — this bench pins its cost across `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use circles_core::{weight, would_exchange, BraKet, CirclesProtocol, Color};
+use pp_protocol::Protocol;
+
+fn bench_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight");
+    group.sample_size(20);
+    for k in [4u16, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let arcs: Vec<BraKet> = (0..k)
+                .map(|i| BraKet::new(Color(i), Color((i * 7 + 3) % k)))
+                .collect();
+            b.iter(|| {
+                let mut acc = 0u64;
+                for arc in &arcs {
+                    acc += u64::from(weight(k, black_box(*arc)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_would_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("would_exchange");
+    group.sample_size(20);
+    for k in [4u16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let arcs: Vec<(BraKet, BraKet)> = (0..k)
+                .map(|i| {
+                    (
+                        BraKet::new(Color(i), Color((i + 1) % k)),
+                        BraKet::new(Color((i * 3) % k), Color((i * 5 + 2) % k)),
+                    )
+                })
+                .collect();
+            b.iter(|| {
+                let mut fired = 0usize;
+                for (x, y) in &arcs {
+                    if would_exchange(k, black_box(*x), black_box(*y)).is_some() {
+                        fired += 1;
+                    }
+                }
+                fired
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circles_transition");
+    group.sample_size(20);
+    for k in [4u16, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let protocol = CirclesProtocol::new(k).unwrap();
+            let states: Vec<_> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+            b.iter(|| {
+                let mut acc = 0u32;
+                for a in &states {
+                    for bq in &states {
+                        let (x, y) = protocol.transition(black_box(a), black_box(bq));
+                        acc ^= u32::from(x.out.0) ^ u32::from(y.braket.ket.0);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weight, bench_would_exchange, bench_full_transition);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates experiment E1 (`state_complexity`); see DESIGN.md §7.
+
+use pp_analysis::experiments::e01_state_complexity::{run_with_figures, Params};
+
+fn main() {
+    let params = if pp_bench::quick_requested() {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let (table, figures) = run_with_figures(&params);
+    pp_bench::emit_with_figures(&table, "e01_state_complexity", &figures);
+}

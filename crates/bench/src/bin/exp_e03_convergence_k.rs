@@ -1,0 +1,13 @@
+//! Regenerates experiment E3 (`convergence_k`); see DESIGN.md §7.
+
+use pp_analysis::experiments::e03_convergence_k::{run, Params};
+
+fn main() {
+    let params = if pp_bench::quick_requested() {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let table = run(&params);
+    pp_bench::emit(&table, "e03_convergence_k");
+}

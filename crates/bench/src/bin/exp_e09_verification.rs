@@ -1,0 +1,13 @@
+//! Regenerates experiment E9 (`verification`); see DESIGN.md §7.
+
+use pp_analysis::experiments::e09_verification::{run, Params};
+
+fn main() {
+    let params = if pp_bench::quick_requested() {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let table = run(&params);
+    pp_bench::emit(&table, "e09_verification");
+}

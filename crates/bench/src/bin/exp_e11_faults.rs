@@ -1,0 +1,13 @@
+//! Regenerates experiment E11 (`faults`); see DESIGN.md §7.
+
+use pp_analysis::experiments::e11_faults::{run, Params};
+
+fn main() {
+    let params = if pp_bench::quick_requested() {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let table = run(&params);
+    pp_bench::emit(&table, "e11_faults");
+}

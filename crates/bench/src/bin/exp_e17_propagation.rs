@@ -1,0 +1,13 @@
+//! Regenerates experiment E17 (`propagation`); see DESIGN.md §7.
+
+use pp_analysis::experiments::e17_propagation::{run_with_figures, Params};
+
+fn main() {
+    let params = if pp_bench::quick_requested() {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let (table, figures) = run_with_figures(&params);
+    pp_bench::emit_with_figures(&table, "e17_propagation", &figures);
+}

@@ -1,0 +1,55 @@
+//! Runs the full experiment suite E1–E17 in sequence and writes every
+//! table (and figure) under `results/`. Pass `--quick` for the CI-scale
+//! presets.
+//!
+//! ```text
+//! cargo run --release -p pp-bench --bin run_all_experiments
+//! ```
+
+use pp_analysis::experiments as exp;
+
+fn main() {
+    let quick = pp_bench::quick_requested();
+    macro_rules! run {
+        ($module:ident, $basename:literal) => {{
+            eprintln!("=== running {} ===", $basename);
+            let params = if quick {
+                exp::$module::Params::quick()
+            } else {
+                exp::$module::Params::default()
+            };
+            let table = exp::$module::run(&params);
+            pp_bench::emit(&table, $basename);
+        }};
+    }
+    macro_rules! run_figures {
+        ($module:ident, $basename:literal) => {{
+            eprintln!("=== running {} ===", $basename);
+            let params = if quick {
+                exp::$module::Params::quick()
+            } else {
+                exp::$module::Params::default()
+            };
+            let (table, figures) = exp::$module::run_with_figures(&params);
+            pp_bench::emit_with_figures(&table, $basename, &figures);
+        }};
+    }
+    run_figures!(e01_state_complexity, "e01_state_complexity");
+    run_figures!(e02_convergence_n, "e02_convergence_n");
+    run!(e03_convergence_k, "e03_convergence_k");
+    run!(e04_exchanges, "e04_exchanges");
+    run!(e05_schedulers, "e05_schedulers");
+    run!(e06_baselines, "e06_baselines");
+    run!(e07_ties, "e07_ties");
+    run!(e08_unordered, "e08_unordered");
+    run!(e09_verification, "e09_verification");
+    run!(e10_ablation, "e10_ablation");
+    run!(e11_faults, "e11_faults");
+    run!(e12_exact_expectations, "e12_exact_expectations");
+    run_figures!(e13_meanfield, "e13_meanfield");
+    run_figures!(e14_energy, "e14_energy");
+    run!(e15_topology, "e15_topology");
+    run_figures!(e16_binary_landscape, "e16_binary_landscape");
+    run_figures!(e17_propagation, "e17_propagation");
+    eprintln!("=== all experiments complete ===");
+}

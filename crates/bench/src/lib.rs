@@ -1,0 +1,79 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each `exp_e*` binary regenerates one table of the experiment suite
+//! (DESIGN.md §7) and writes it under `results/` as Markdown + CSV;
+//! figure-shaped experiments also render SVG charts next to their tables.
+//! All binaries accept `--quick` to run the CI-scale preset instead of the
+//! full parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::Path;
+
+use pp_analysis::plot::LinePlot;
+use pp_analysis::Table;
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints the table and writes `results/<basename>.{md,csv}` relative to
+/// the workspace root (or the current directory when run elsewhere).
+///
+/// # Panics
+///
+/// Panics when the results directory is not writable — an experiment whose
+/// output vanishes silently is worse than a crash.
+pub fn emit(table: &Table, basename: &str) {
+    print!("{}", table.to_markdown());
+    let dir = results_dir();
+    table
+        .write_files(&dir, basename)
+        .unwrap_or_else(|e| panic!("cannot write results to {}: {e}", dir.display()));
+    eprintln!("wrote {}/{basename}.md and .csv", dir.display());
+}
+
+/// Renders a figure to `results/<basename>.svg`.
+///
+/// # Panics
+///
+/// Panics when the results directory is not writable, matching [`emit`].
+pub fn emit_figure(plot: &LinePlot, basename: &str) {
+    let dir = results_dir();
+    let path = dir.join(format!("{basename}.svg"));
+    plot.write(&path)
+        .unwrap_or_else(|e| panic!("cannot write figure to {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// Emits a table plus its companion figures.
+pub fn emit_with_figures(table: &Table, basename: &str, figures: &[(String, LinePlot)]) {
+    emit(table, basename);
+    for (name, plot) in figures {
+        emit_figure(plot, name);
+    }
+}
+
+/// `results/` next to the workspace `Cargo.toml` when discoverable, else
+/// relative to the current directory.
+pub fn results_dir() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // crates/bench -> workspace root.
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| Path::new("results").to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_ends_with_results() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Bra-kets `⟨i|j⟩`, their weights, and the ket-exchange rule.
+//!
+//! The paper borrows quantum mechanics' bra-ket notation purely as an ordered
+//! pair: for an agent storing `⟨i|j⟩`, `i` is its *bra* and `j` its *ket*.
+//! Bras never move between agents (Lemma 3.3's proof relies on this); kets
+//! are exchanged to greedily minimize weight.
+
+use std::fmt;
+
+use crate::color::Color;
+
+/// An ordered pair `⟨bra|ket⟩` of colors.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::{weight, BraKet, Color};
+///
+/// let arc = BraKet::new(Color(1), Color(4));
+/// assert_eq!(weight(5, arc), 3);          // (4 - 1) mod 5
+/// assert_eq!(weight(5, BraKet::self_loop(Color(2))), 5); // self-loops weigh k
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BraKet {
+    /// The bra `i` of `⟨i|j⟩`; fixed at initialization, never transferred.
+    pub bra: Color,
+    /// The ket `j` of `⟨i|j⟩`; exchanged between agents by the protocol.
+    pub ket: Color,
+}
+
+impl BraKet {
+    /// Creates `⟨bra|ket⟩`.
+    pub fn new(bra: Color, ket: Color) -> Self {
+        BraKet { bra, ket }
+    }
+
+    /// Creates the self-loop `⟨i|i⟩`.
+    pub fn self_loop(color: Color) -> Self {
+        BraKet { bra: color, ket: color }
+    }
+
+    /// Whether this is a self-loop `⟨i|i⟩`.
+    pub fn is_self_loop(&self) -> bool {
+        self.bra == self.ket
+    }
+}
+
+impl fmt::Display for BraKet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}|{}⟩", self.bra.0, self.ket.0)
+    }
+}
+
+/// The weight of a bra-ket (paper §2):
+///
+/// ```text
+/// w(⟨i|j⟩) = k            if i = j
+///            (j − i) mod k otherwise
+/// ```
+///
+/// Weights lie in `[1, k]`; self-loops carry the maximum weight `k`, which is
+/// what makes them the least stable arcs — any color strictly "inside" an arc
+/// can insert itself, and any self-loop pair of distinct colors must split.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if either color is `>= k`.
+pub fn weight(k: u16, braket: BraKet) -> u32 {
+    debug_assert!(braket.bra.0 < k && braket.ket.0 < k, "color out of range for k={k}");
+    if braket.bra == braket.ket {
+        u32::from(k)
+    } else {
+        // Euclidean remainder of (ket - bra) mod k, computed without sign
+        // issues: add k before reducing.
+        let j = u32::from(braket.ket.0);
+        let i = u32::from(braket.bra.0);
+        let k32 = u32::from(k);
+        (j + k32 - i) % k32
+    }
+}
+
+/// Decides the ket-exchange rule of the transition function (paper §2, step
+/// 1): two agents holding `x` and `y` exchange kets **iff doing so strictly
+/// decreases the minimum** of their two weights.
+///
+/// Returns the post-exchange bra-kets `Some((x', y'))` when the exchange
+/// fires, `None` otherwise.
+pub fn would_exchange(k: u16, x: BraKet, y: BraKet) -> Option<(BraKet, BraKet)> {
+    let x2 = BraKet::new(x.bra, y.ket);
+    let y2 = BraKet::new(y.bra, x.ket);
+    let old_min = weight(k, x).min(weight(k, y));
+    let new_min = weight(k, x2).min(weight(k, y2));
+    if new_min < old_min {
+        Some((x2, y2))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bk(i: u16, j: u16) -> BraKet {
+        BraKet::new(Color(i), Color(j))
+    }
+
+    #[test]
+    fn weight_of_self_loop_is_k() {
+        for k in 1..=8u16 {
+            for i in 0..k {
+                assert_eq!(weight(k, bk(i, i)), u32::from(k));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_is_cyclic_distance() {
+        assert_eq!(weight(5, bk(1, 4)), 3);
+        assert_eq!(weight(5, bk(4, 1)), 2); // wraps around
+        assert_eq!(weight(10, bk(8, 3)), 5);
+        assert_eq!(weight(2, bk(0, 1)), 1);
+        assert_eq!(weight(2, bk(1, 0)), 1);
+    }
+
+    #[test]
+    fn weights_lie_in_one_to_k() {
+        for k in 1..=9u16 {
+            for i in 0..k {
+                for j in 0..k {
+                    let w = weight(k, bk(i, j));
+                    assert!(w >= 1 && w <= u32::from(k), "w({i},{j})={w} for k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_distinct_self_loops_always_exchange() {
+        // ⟨x|x⟩ + ⟨y|y⟩ (x ≠ y) → ⟨x|y⟩ + ⟨y|x⟩; min drops from k to < k.
+        for k in 2..=7u16 {
+            for x in 0..k {
+                for y in 0..k {
+                    if x == y {
+                        continue;
+                    }
+                    let swapped = would_exchange(k, bk(x, x), bk(y, y));
+                    assert_eq!(swapped, Some((bk(x, y), bk(y, x))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_self_loops_do_not_exchange() {
+        assert_eq!(would_exchange(4, bk(2, 2), bk(2, 2)), None);
+    }
+
+    #[test]
+    fn color_inside_arc_inserts_itself() {
+        // ⟨0|3⟩ (weight 3 in k=5) meets ⟨1|1⟩ (weight 5): exchanging gives
+        // ⟨0|1⟩ (weight 1) and ⟨1|3⟩ (weight 2): min 3 → 1, fires.
+        assert_eq!(
+            would_exchange(5, bk(0, 3), bk(1, 1)),
+            Some((bk(0, 1), bk(1, 3)))
+        );
+    }
+
+    #[test]
+    fn color_outside_arc_does_not_insert() {
+        // ⟨0|1⟩ (weight 1, k=5) meets ⟨3|3⟩ (weight 5): exchange would give
+        // ⟨0|3⟩ (weight 3) and ⟨3|1⟩ (weight 3): min 1 → 3, refused.
+        assert_eq!(would_exchange(5, bk(0, 1), bk(3, 3)), None);
+    }
+
+    #[test]
+    fn exchange_is_symmetric_in_arguments() {
+        for k in 2..=5u16 {
+            for a in 0..k {
+                for b in 0..k {
+                    for c in 0..k {
+                        for d in 0..k {
+                            let xy = would_exchange(k, bk(a, b), bk(c, d));
+                            let yx = would_exchange(k, bk(c, d), bk(a, b));
+                            match (xy, yx) {
+                                (None, None) => {}
+                                (Some((x2, y2)), Some((y3, x3))) => {
+                                    assert_eq!((x2, y2), (x3, y3));
+                                }
+                                other => panic!("asymmetric exchange: {other:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_agrees_with_bruteforce_min_comparison() {
+        for k in 2..=6u16 {
+            for a in 0..k {
+                for b in 0..k {
+                    for c in 0..k {
+                        for d in 0..k {
+                            let x = bk(a, b);
+                            let y = bk(c, d);
+                            let old_min = weight(k, x).min(weight(k, y));
+                            let new_min = weight(k, bk(a, d)).min(weight(k, bk(c, b)));
+                            let expect = new_min < old_min;
+                            assert_eq!(would_exchange(k, x, y).is_some(), expect);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_braket_notation() {
+        assert_eq!(bk(1, 2).to_string(), "⟨1|2⟩");
+    }
+
+    #[test]
+    fn k_equals_one_is_degenerate_but_total() {
+        assert_eq!(weight(1, bk(0, 0)), 1);
+        assert_eq!(would_exchange(1, bk(0, 0), bk(0, 0)), None);
+    }
+}

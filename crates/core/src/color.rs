@@ -1,0 +1,74 @@
+//! The [`Color`] newtype: an input color in `[0, k-1]`.
+
+use std::fmt;
+
+/// An input color (an "opinion") in `[0, k-1]`.
+///
+/// Colors are numeric in the ordered setting the paper's main protocol works
+/// in: the weight function computes cyclic distances between colors. The
+/// unordered-setting extension (paper §4) treats colors as opaque and is
+/// implemented in the `pp-extensions` crate.
+///
+/// The inner value is public: `Color` is a plain, passive identifier and the
+/// protocol constructors validate ranges at the boundary.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::Color;
+///
+/// let c = Color(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "c3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Color(pub u16);
+
+impl Color {
+    /// The color's numeric index as a `usize`, for table lookups.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u16> for Color {
+    fn from(value: u16) -> Self {
+        Color(value)
+    }
+}
+
+impl From<Color> for u16 {
+    fn from(value: Color) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Color(1) < Color(2));
+        assert_eq!(Color(4), Color(4));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c: Color = 9u16.into();
+        let v: u16 = c.into();
+        assert_eq!(v, 9);
+        assert_eq!(c.index(), 9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Color(0).to_string(), "c0");
+    }
+}

@@ -1,0 +1,183 @@
+//! The energy-minimization view of Circles.
+//!
+//! The paper's title credits the design to "energy minimization in chemical
+//! settings": read each bra-ket as a chemical *bond* whose energy is its
+//! weight. Self-loops are maximally strained bonds (energy `k`); a ket
+//! exchange is a reaction that is allowed precisely when it relaxes the
+//! weakest of the two bonds involved. Stabilization (Theorem 3.4) is the
+//! statement that the system reaches a local — and by Lemma 3.6 global,
+//! unique — energy minimum.
+//!
+//! This module exposes the quantities that make that narrative measurable:
+//! per-bond energies, total energy, the energy histogram, and a descent
+//! recorder for plotting energy over the course of a run. Note that the
+//! *Lyapunov function* of the protocol is the lexicographic potential of
+//! [`crate::potential`], not the total energy — the total can transiently
+//! rise; the descent recorder demonstrates exactly that in experiment E4.
+
+use pp_protocol::CountConfig;
+
+use crate::braket::{weight, BraKet};
+use crate::protocol::CirclesState;
+
+/// Total energy: the sum of all bond weights.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::energy::total_energy;
+/// use circles_core::{BraKet, Color};
+/// use pp_protocol::CountConfig;
+///
+/// let config: CountConfig<BraKet> =
+///     [BraKet::self_loop(Color(0)), BraKet::new(Color(0), Color(1))].into_iter().collect();
+/// assert_eq!(total_energy(&config, 3), 3 + 1);
+/// ```
+pub fn total_energy(config: &CountConfig<BraKet>, k: u16) -> u64 {
+    config
+        .iter()
+        .map(|(b, c)| u64::from(weight(k, *b)) * c as u64)
+        .sum()
+}
+
+/// Total energy of a full-state configuration.
+pub fn total_energy_of_states(config: &CountConfig<CirclesState>, k: u16) -> u64 {
+    config
+        .iter()
+        .map(|(s, c)| u64::from(weight(k, s.braket)) * c as u64)
+        .sum()
+}
+
+/// Histogram of bond energies: `histogram[w - 1]` = number of bonds with
+/// weight `w`, for `w` in `[1, k]`.
+pub fn energy_histogram(config: &CountConfig<BraKet>, k: u16) -> Vec<usize> {
+    let mut hist = vec![0usize; usize::from(k)];
+    for (b, c) in config.iter() {
+        hist[(weight(k, *b) - 1) as usize] += c;
+    }
+    hist
+}
+
+/// The theoretical minimum total energy for an input multiset — the energy
+/// of the predicted terminal configuration of Lemma 3.6.
+///
+/// # Errors
+///
+/// Propagates input validation errors.
+pub fn terminal_energy(
+    inputs: &[crate::Color],
+    k: u16,
+) -> Result<u64, crate::CirclesError> {
+    let predicted = crate::prediction::predicted_brakets(inputs, k)?;
+    Ok(total_energy(&predicted, k))
+}
+
+/// One sample along an energy descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergySample {
+    /// Interaction index at which the sample was taken.
+    pub step: u64,
+    /// Total energy after that interaction.
+    pub total: u64,
+    /// Number of self-loop bonds (maximum-energy bonds) present.
+    pub self_loops: usize,
+}
+
+/// Records total-energy samples along a run, for descent plots (E4) and the
+/// chemical example.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyTrace {
+    samples: Vec<EnergySample>,
+}
+
+impl EnergyTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        EnergyTrace { samples: Vec::new() }
+    }
+
+    /// Records a sample from the current configuration.
+    pub fn record(&mut self, step: u64, config: &CountConfig<BraKet>, k: u16) {
+        let self_loops = config
+            .iter()
+            .filter(|(b, _)| b.is_self_loop())
+            .map(|(_, c)| c)
+            .sum();
+        self.samples.push(EnergySample {
+            step,
+            total: total_energy(config, k),
+            self_loops,
+        });
+    }
+
+    /// The recorded samples, in order.
+    pub fn samples(&self) -> &[EnergySample] {
+        &self.samples
+    }
+
+    /// Whether the recorded total energy is non-increasing. Not guaranteed
+    /// by the protocol (the Lyapunov function is lexicographic, not the
+    /// sum); exposed so experiments can report how often the sum transiently
+    /// rises.
+    pub fn is_monotone_nonincreasing(&self) -> bool {
+        self.samples.windows(2).all(|w| w[1].total <= w[0].total)
+    }
+
+    /// Largest single-step energy increase observed (0 if none).
+    pub fn max_rise(&self) -> u64 {
+        self.samples
+            .windows(2)
+            .map(|w| w[1].total.saturating_sub(w[0].total))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    fn bk(i: u16, j: u16) -> BraKet {
+        BraKet::new(Color(i), Color(j))
+    }
+
+    #[test]
+    fn initial_energy_is_n_times_k() {
+        // All agents start as self-loops with weight k.
+        let config: CountConfig<BraKet> =
+            [bk(0, 0), bk(1, 1), bk(2, 2), bk(2, 2)].into_iter().collect();
+        assert_eq!(total_energy(&config, 5), 4 * 5);
+    }
+
+    #[test]
+    fn histogram_counts_by_weight() {
+        let config: CountConfig<BraKet> = [bk(0, 1), bk(1, 0), bk(2, 2)].into_iter().collect();
+        // k=3: w(0,1)=1, w(1,0)=2, w(2,2)=3.
+        assert_eq!(energy_histogram(&config, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn terminal_energy_is_below_initial() {
+        let inputs: Vec<Color> = [0, 0, 0, 1, 1, 2].map(Color).to_vec();
+        let terminal = terminal_energy(&inputs, 3).unwrap();
+        let initial = 6 * 3; // n self-loops of weight k
+        assert!(terminal < initial, "terminal {terminal} >= initial {initial}");
+    }
+
+    #[test]
+    fn trace_records_and_detects_rises() {
+        let mut trace = EnergyTrace::new();
+        let high: CountConfig<BraKet> = [bk(0, 0), bk(1, 1)].into_iter().collect();
+        let low: CountConfig<BraKet> = [bk(0, 1), bk(1, 0)].into_iter().collect();
+        trace.record(0, &high, 2);
+        trace.record(1, &low, 2);
+        assert!(trace.is_monotone_nonincreasing());
+        assert_eq!(trace.max_rise(), 0);
+        trace.record(2, &high, 2);
+        assert!(!trace.is_monotone_nonincreasing());
+        assert_eq!(trace.max_rise(), 2);
+        assert_eq!(trace.samples().len(), 3);
+        assert_eq!(trace.samples()[0].self_loops, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for Circles construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::color::Color;
+
+/// Errors from constructing or feeding the Circles protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CirclesError {
+    /// `k = 0`: the protocol needs at least one color.
+    ZeroColors,
+    /// A color index was outside `[0, k-1]`.
+    ColorOutOfRange {
+        /// The offending color.
+        color: Color,
+        /// The number of colors the protocol was built for.
+        k: u16,
+    },
+    /// An operation that requires at least one agent got none.
+    EmptyInput,
+    /// Two terms of an ordinal in Cantor normal form share a degree.
+    DuplicateOrdinalDegree {
+        /// The repeated degree.
+        degree: u64,
+    },
+}
+
+impl fmt::Display for CirclesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CirclesError::ZeroColors => write!(f, "k must be at least 1"),
+            CirclesError::ColorOutOfRange { color, k } => {
+                write!(f, "color {color} out of range for k={k}")
+            }
+            CirclesError::EmptyInput => write!(f, "input multiset is empty"),
+            CirclesError::DuplicateOrdinalDegree { degree } => {
+                write!(f, "duplicate ordinal term of degree {degree}")
+            }
+        }
+    }
+}
+
+impl Error for CirclesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CirclesError::ZeroColors.to_string(), "k must be at least 1");
+        assert_eq!(
+            CirclesError::ColorOutOfRange { color: Color(7), k: 3 }.to_string(),
+            "color c7 out of range for k=3"
+        );
+        assert_eq!(CirclesError::EmptyInput.to_string(), "input multiset is empty");
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CirclesError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Greedy independent sets (paper Definition 3.1) and the majority-color
+//! lemma (Lemma 3.2).
+//!
+//! The input multiset is partitioned into sets `G₁, G₂, …, G_q`: `G₁` takes
+//! one copy of every color present, `G₂` one copy of every color still
+//! remaining, and so on. Equivalently, `G_p` is the set of colors whose
+//! count is at least `p`, and `q` is the maximum count.
+//!
+//! Lemma 3.2: when a unique color `μ` has relative majority, `G_q = {μ}` and
+//! no other set is a singleton of a different color.
+
+use std::collections::BTreeMap;
+
+use crate::color::Color;
+use crate::error::CirclesError;
+
+/// The greedy-independent-set decomposition of an input multiset.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::{Color, GreedyDecomposition};
+///
+/// // counts: c0 ×1, c1 ×3, c2 ×2
+/// let inputs: Vec<Color> = [1, 2, 1, 0, 1, 2].map(Color).to_vec();
+/// let g = GreedyDecomposition::from_inputs(&inputs, 3)?;
+/// assert_eq!(g.num_sets(), 3);
+/// assert_eq!(g.set(1), [Color(0), Color(1), Color(2)]);
+/// assert_eq!(g.set(2), [Color(1), Color(2)]);
+/// assert_eq!(g.set(3), [Color(1)]);
+/// assert_eq!(g.winner(), Some(Color(1)));
+/// # Ok::<(), circles_core::CirclesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyDecomposition {
+    k: u16,
+    /// `counts[c]` = multiplicity of color `c` in the input multiset.
+    counts: Vec<usize>,
+    /// `q` = maximum multiplicity (number of greedy sets).
+    q: usize,
+    n: usize,
+}
+
+impl GreedyDecomposition {
+    /// Builds the decomposition of `inputs` over `k` colors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirclesError::EmptyInput`] for an empty multiset,
+    /// [`CirclesError::ZeroColors`] for `k = 0`, and
+    /// [`CirclesError::ColorOutOfRange`] when an input is `>= k`.
+    pub fn from_inputs(inputs: &[Color], k: u16) -> Result<Self, CirclesError> {
+        if k == 0 {
+            return Err(CirclesError::ZeroColors);
+        }
+        if inputs.is_empty() {
+            return Err(CirclesError::EmptyInput);
+        }
+        let mut counts = vec![0usize; usize::from(k)];
+        for &c in inputs {
+            if c.0 >= k {
+                return Err(CirclesError::ColorOutOfRange { color: c, k });
+            }
+            counts[c.index()] += 1;
+        }
+        let q = counts.iter().copied().max().unwrap_or(0);
+        Ok(GreedyDecomposition {
+            k,
+            counts,
+            q,
+            n: inputs.len(),
+        })
+    }
+
+    /// Builds the decomposition from a color-count histogram.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_inputs`](Self::from_inputs).
+    pub fn from_counts(counts: &BTreeMap<Color, usize>, k: u16) -> Result<Self, CirclesError> {
+        let mut inputs = Vec::new();
+        for (&c, &count) in counts {
+            for _ in 0..count {
+                inputs.push(c);
+            }
+        }
+        Self::from_inputs(&inputs, k)
+    }
+
+    /// Number of colors `k`.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Population size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Multiplicity of `color` in the input multiset.
+    pub fn count(&self, color: Color) -> usize {
+        self.counts.get(color.index()).copied().unwrap_or(0)
+    }
+
+    /// The number of greedy sets, `q` = the maximum multiplicity.
+    pub fn num_sets(&self) -> usize {
+        self.q
+    }
+
+    /// The greedy set `G_p` (1-based, `1 <= p <= q`): the colors with count
+    /// at least `p`, in increasing color order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is `0` or greater than [`num_sets`](Self::num_sets).
+    pub fn set(&self, p: usize) -> Vec<Color> {
+        assert!(p >= 1 && p <= self.q, "greedy set index {p} out of [1, {}]", self.q);
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= p)
+            .map(|(i, _)| Color(i as u16))
+            .collect()
+    }
+
+    /// Iterates over all greedy sets `G₁ … G_q`.
+    pub fn sets(&self) -> impl Iterator<Item = Vec<Color>> + '_ {
+        (1..=self.q).map(|p| self.set(p))
+    }
+
+    /// The colors with maximum multiplicity (the winners; more than one in a
+    /// tie).
+    pub fn winners(&self) -> Vec<Color> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == self.q && c > 0)
+            .map(|(i, _)| Color(i as u16))
+            .collect()
+    }
+
+    /// The unique relative-majority color, or `None` on a tie.
+    pub fn winner(&self) -> Option<Color> {
+        let winners = self.winners();
+        if winners.len() == 1 {
+            Some(winners[0])
+        } else {
+            None
+        }
+    }
+
+    /// Whether the maximum multiplicity is attained by several colors.
+    pub fn is_tie(&self) -> bool {
+        self.winners().len() > 1
+    }
+
+    /// Verifies that the sets form a partition of the input multiset:
+    /// each color `c` appears in exactly `count(c)` many sets, namely
+    /// `G₁ … G_{count(c)}` (the defining property of the greedy
+    /// construction).
+    pub fn is_partition(&self) -> bool {
+        for (i, &c) in self.counts.iter().enumerate() {
+            let color = Color(i as u16);
+            let member_of = (1..=self.q).filter(|&p| self.set(p).contains(&color)).count();
+            if member_of != c {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(xs: &[u16]) -> Vec<Color> {
+        xs.iter().map(|&x| Color(x)).collect()
+    }
+
+    #[test]
+    fn sets_are_nested_decreasing() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[0, 0, 0, 1, 1, 3]), 4).unwrap();
+        assert_eq!(g.num_sets(), 3);
+        assert_eq!(g.set(1), colors(&[0, 1, 3]));
+        assert_eq!(g.set(2), colors(&[0, 1]));
+        assert_eq!(g.set(3), colors(&[0]));
+        // Nesting: G_{p+1} ⊆ G_p.
+        for p in 1..g.num_sets() {
+            let outer = g.set(p);
+            for c in g.set(p + 1) {
+                assert!(outer.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_majority_in_every_set() {
+        // μ = 2 with count 4; all sets must contain μ, G_q = {μ}, and no
+        // other singleton color exists.
+        let g = GreedyDecomposition::from_inputs(&colors(&[2, 2, 2, 2, 1, 1, 0, 0, 0]), 3).unwrap();
+        let mu = g.winner().unwrap();
+        assert_eq!(mu, Color(2));
+        for p in 1..=g.num_sets() {
+            assert!(g.set(p).contains(&mu));
+        }
+        assert_eq!(g.set(g.num_sets()), vec![mu]);
+        for p in 1..=g.num_sets() {
+            let set = g.set(p);
+            if set.len() == 1 {
+                assert_eq!(set[0], mu, "non-majority singleton set G_{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_detected() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[0, 0, 1, 1, 2]), 3).unwrap();
+        assert!(g.is_tie());
+        assert_eq!(g.winner(), None);
+        assert_eq!(g.winners(), colors(&[0, 1]));
+    }
+
+    #[test]
+    fn partition_property_holds() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[5, 5, 1, 0, 5, 1]), 6).unwrap();
+        assert!(g.is_partition());
+    }
+
+    #[test]
+    fn single_color_population() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[1, 1, 1]), 2).unwrap();
+        assert_eq!(g.num_sets(), 3);
+        for p in 1..=3 {
+            assert_eq!(g.set(p), vec![Color(1)]);
+        }
+        assert_eq!(g.winner(), Some(Color(1)));
+    }
+
+    #[test]
+    fn single_agent() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[0]), 1).unwrap();
+        assert_eq!(g.num_sets(), 1);
+        assert_eq!(g.winner(), Some(Color(0)));
+    }
+
+    #[test]
+    fn absent_colors_are_skipped() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[3, 3]), 9).unwrap();
+        assert_eq!(g.set(1), vec![Color(3)]);
+        assert_eq!(g.count(Color(0)), 0);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        assert_eq!(
+            GreedyDecomposition::from_inputs(&[], 3).unwrap_err(),
+            CirclesError::EmptyInput
+        );
+        assert_eq!(
+            GreedyDecomposition::from_inputs(&colors(&[0]), 0).unwrap_err(),
+            CirclesError::ZeroColors
+        );
+        assert_eq!(
+            GreedyDecomposition::from_inputs(&colors(&[4]), 3).unwrap_err(),
+            CirclesError::ColorOutOfRange { color: Color(4), k: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [1, 2]")]
+    fn set_index_zero_panics() {
+        let g = GreedyDecomposition::from_inputs(&colors(&[0, 0, 1]), 2).unwrap();
+        let _ = g.set(0);
+    }
+
+    #[test]
+    fn from_counts_agrees_with_from_inputs() {
+        let mut counts = BTreeMap::new();
+        counts.insert(Color(0), 2);
+        counts.insert(Color(2), 1);
+        let a = GreedyDecomposition::from_counts(&counts, 3).unwrap();
+        let b = GreedyDecomposition::from_inputs(&colors(&[0, 0, 2]), 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

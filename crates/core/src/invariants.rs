@@ -1,0 +1,145 @@
+//! The global bra-ket invariant (paper Lemma 3.3) and related checks.
+//!
+//! Lemma 3.3: in every configuration and for every color `i`, the number of
+//! bras `⟨i|` equals the number of kets `|i⟩`. The proof is structural —
+//! agents start as self-loops and only ever *exchange* kets — and this module
+//! makes the invariant checkable on any live configuration, which is how the
+//! property tests and the fault-injection experiments detect corruption.
+
+use pp_protocol::{CountConfig, Population};
+
+use crate::braket::BraKet;
+use crate::color::Color;
+use crate::protocol::CirclesState;
+
+/// Per-color tallies of bras and kets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BraKetTally {
+    /// `bras[c]` = number of agents whose bra is color `c`.
+    pub bras: Vec<usize>,
+    /// `kets[c]` = number of agents whose ket is color `c`.
+    pub kets: Vec<usize>,
+}
+
+impl BraKetTally {
+    /// Tallies a bra-ket multiset over `k` colors.
+    pub fn of(config: &CountConfig<BraKet>, k: u16) -> Self {
+        let mut bras = vec![0usize; usize::from(k)];
+        let mut kets = vec![0usize; usize::from(k)];
+        for (b, c) in config.iter() {
+            bras[b.bra.index()] += c;
+            kets[b.ket.index()] += c;
+        }
+        BraKetTally { bras, kets }
+    }
+
+    /// Whether the Lemma 3.3 invariant holds: per color, #bras == #kets.
+    pub fn is_conserved(&self) -> bool {
+        self.bras == self.kets
+    }
+
+    /// Colors violating conservation, as `(color, #bras, #kets)`.
+    pub fn violations(&self) -> Vec<(Color, usize, usize)> {
+        self.bras
+            .iter()
+            .zip(&self.kets)
+            .enumerate()
+            .filter(|(_, (b, k))| b != k)
+            .map(|(i, (b, k))| (Color(i as u16), *b, *k))
+            .collect()
+    }
+}
+
+/// Checks Lemma 3.3 on a bra-ket multiset.
+pub fn conservation_holds(config: &CountConfig<BraKet>, k: u16) -> bool {
+    BraKetTally::of(config, k).is_conserved()
+}
+
+/// Checks Lemma 3.3 on an indexed population of full states.
+pub fn population_conserves(population: &Population<CirclesState>, k: u16) -> bool {
+    let config: CountConfig<BraKet> = population.iter().map(|s| s.braket).collect();
+    conservation_holds(&config, k)
+}
+
+/// Checks that the multiset of *bras* matches the input color multiset —
+/// bras never move, so this holds in every reachable configuration and pins
+/// the greedy decomposition of Lemma 3.6 to the inputs.
+pub fn bras_match_inputs(
+    population: &Population<CirclesState>,
+    inputs: &[Color],
+    k: u16,
+) -> bool {
+    let mut expected = vec![0usize; usize::from(k)];
+    for c in inputs {
+        expected[c.index()] += 1;
+    }
+    let mut actual = vec![0usize; usize::from(k)];
+    for s in population.iter() {
+        actual[s.braket.bra.index()] += 1;
+    }
+    expected == actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bk(i: u16, j: u16) -> BraKet {
+        BraKet::new(Color(i), Color(j))
+    }
+
+    #[test]
+    fn initial_configuration_conserves() {
+        let config: CountConfig<BraKet> = [bk(0, 0), bk(1, 1), bk(1, 1)].into_iter().collect();
+        assert!(conservation_holds(&config, 2));
+    }
+
+    #[test]
+    fn swapped_kets_conserve() {
+        let config: CountConfig<BraKet> = [bk(0, 1), bk(1, 0)].into_iter().collect();
+        assert!(conservation_holds(&config, 2));
+    }
+
+    #[test]
+    fn corruption_is_detected_with_details() {
+        // Two agents both holding ket |1⟩ but only one bra ⟨1| exists.
+        let config: CountConfig<BraKet> = [bk(0, 1), bk(1, 1)].into_iter().collect();
+        let tally = BraKetTally::of(&config, 2);
+        assert!(!tally.is_conserved());
+        assert_eq!(
+            tally.violations(),
+            vec![(Color(0), 1, 0), (Color(1), 1, 2)]
+        );
+    }
+
+    #[test]
+    fn population_check_projects_out_outs() {
+        let population: Population<CirclesState> = [
+            CirclesState { braket: bk(0, 1), out: Color(0) },
+            CirclesState { braket: bk(1, 0), out: Color(1) },
+        ]
+        .into_iter()
+        .collect();
+        assert!(population_conserves(&population, 2));
+    }
+
+    #[test]
+    fn bras_match_inputs_detects_drift() {
+        let inputs = vec![Color(0), Color(1)];
+        let good: Population<CirclesState> = [
+            CirclesState { braket: bk(0, 1), out: Color(0) },
+            CirclesState { braket: bk(1, 0), out: Color(0) },
+        ]
+        .into_iter()
+        .collect();
+        assert!(bras_match_inputs(&good, &inputs, 2));
+
+        let bad: Population<CirclesState> = [
+            CirclesState { braket: bk(0, 1), out: Color(0) },
+            CirclesState { braket: bk(0, 0), out: Color(0) },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!bras_match_inputs(&bad, &inputs, 2));
+    }
+}

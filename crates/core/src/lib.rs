@@ -1,0 +1,118 @@
+//! # The Circles protocol
+//!
+//! A faithful implementation of the **Circles** population protocol from
+//! *"Brief Announcement: Minimizing Energy Solves Relative Majority with a
+//! Cubic Number of States in Population Protocols"* (Breitkopf, Dallot,
+//! El-Hayek, Schmid — PODC 2025), together with the paper's proof artifacts
+//! as executable, testable theory.
+//!
+//! ## The protocol (paper §2)
+//!
+//! Each agent stores a *bra-ket* `⟨i|j⟩` plus an output color `out`, all in
+//! `[0, k-1]` — exactly `k³` states. Every bra-ket has a weight
+//!
+//! ```text
+//! w(⟨i|j⟩) = k            if i = j
+//!            (j − i) mod k otherwise
+//! ```
+//!
+//! When two agents interact they (1) exchange their kets if and only if this
+//! *strictly decreases the minimum* of their two weights, then (2) if either
+//! agent is a self-loop `⟨i|i⟩`, both set `out := i`. Under any weakly fair
+//! scheduler all agents eventually output the relative-majority color,
+//! forever (paper Theorem 3.7).
+//!
+//! ## Executable theory
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Greedy independent sets (Def. 3.1), Lemma 3.2 | [`greedy`] |
+//! | Global bra-ket invariant (Lemma 3.3) | [`invariants`] |
+//! | Lexicographic potential (Theorem 3.4) | [`potential`] |
+//! | Circle bra-ket sets and predicted terminal configuration (Def. 3.5, Lemma 3.6) | [`prediction`] |
+//! | Energy-minimization view (title, §1) | [`energy`] |
+//! | Ablation variants of the exchange rule | [`variants`] |
+//!
+//! # Example
+//!
+//! ```
+//! use circles_core::{CirclesProtocol, Color};
+//! use pp_protocol::{Population, Simulation, UniformPairScheduler};
+//!
+//! let protocol = CirclesProtocol::new(3)?;
+//! let inputs: Vec<Color> = [2, 0, 1, 2, 1, 2].map(Color).to_vec();
+//! let population = Population::from_inputs(&protocol, &inputs);
+//! let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 7);
+//! let report = sim.run_until_silent(1_000_000, 16)?;
+//! assert_eq!(report.consensus, Some(Color(2))); // color 2 has plurality 3
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod braket;
+mod color;
+pub mod energy;
+mod error;
+pub mod greedy;
+pub mod invariants;
+pub mod ordinal;
+pub mod potential;
+pub mod prediction;
+mod protocol;
+pub mod variants;
+
+pub use braket::{weight, would_exchange, BraKet};
+pub use color::Color;
+pub use error::CirclesError;
+pub use greedy::GreedyDecomposition;
+pub use protocol::{CirclesProtocol, CirclesState};
+
+/// Convenience: run Circles on `inputs` with `k` colors under the
+/// uniform-random scheduler until silent, and return the unanimous output.
+///
+/// Intended for examples and quick experiments; real measurement code should
+/// construct the simulation directly.
+///
+/// # Errors
+///
+/// Returns an error when `k` or the inputs are invalid, or when the run does
+/// not reach silence within `max_steps`.
+pub fn run_to_consensus(
+    inputs: &[Color],
+    k: u16,
+    seed: u64,
+    max_steps: u64,
+) -> Result<Color, Box<dyn std::error::Error>> {
+    use pp_protocol::{Population, Simulation, UniformPairScheduler};
+
+    let protocol = CirclesProtocol::new(k)?;
+    for c in inputs {
+        protocol.validate_color(*c)?;
+    }
+    let population = Population::from_inputs(&protocol, inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+    let report = sim.run_until_silent(max_steps, 64)?;
+    report
+        .consensus
+        .ok_or_else(|| "silent configuration without output consensus (tie?)".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_to_consensus_finds_plurality() {
+        let inputs: Vec<Color> = [0, 0, 1, 1, 1, 2].map(Color).to_vec();
+        let winner = run_to_consensus(&inputs, 3, 1, 1_000_000).unwrap();
+        assert_eq!(winner, Color(1));
+    }
+
+    #[test]
+    fn run_to_consensus_rejects_bad_color() {
+        let inputs = vec![Color(5)];
+        assert!(run_to_consensus(&inputs, 3, 1, 1000).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! The stabilization potential of Theorem 3.4.
+//!
+//! The paper defines, for a configuration `C` with sorted weights
+//! `w₁ ≤ w₂ ≤ … ≤ w_n`,
+//!
+//! ```text
+//! g(C) = ω^{n-1}·w₁ + ω^{n-2}·w₂ + … + ω·w_{n-1} + w_n
+//! ```
+//!
+//! with `ω` the smallest infinite ordinal. Comparing such ordinal
+//! polynomials is exactly *lexicographic comparison of the ascending-sorted
+//! weight vectors* (most significant coefficient first = smallest weight
+//! first), which is what this module implements. Every ket exchange strictly
+//! decreases the potential, so no execution — fair or not — exchanges kets
+//! infinitely often.
+
+use std::cmp::Ordering;
+
+use pp_protocol::CountConfig;
+
+use crate::braket::{weight, BraKet};
+use crate::protocol::CirclesState;
+
+/// The ascending-sorted weight vector of a bra-ket multiset — the
+/// coefficient list of the paper's ordinal potential `g(C)`, most
+/// significant first.
+pub fn weight_vector(config: &CountConfig<BraKet>, k: u16) -> Vec<u32> {
+    let mut ws: Vec<u32> = Vec::with_capacity(config.n());
+    for (b, c) in config.iter() {
+        let w = weight(k, *b);
+        for _ in 0..c {
+            ws.push(w);
+        }
+    }
+    ws.sort_unstable();
+    ws
+}
+
+/// The weight vector of a full-state configuration (outs ignored — the
+/// potential depends on bra-kets only).
+pub fn weight_vector_of_states(config: &CountConfig<CirclesState>, k: u16) -> Vec<u32> {
+    let mut ws: Vec<u32> = Vec::with_capacity(config.n());
+    for (s, c) in config.iter() {
+        let w = weight(k, s.braket);
+        for _ in 0..c {
+            ws.push(w);
+        }
+    }
+    ws.sort_unstable();
+    ws
+}
+
+/// Compares two configurations by potential: `Less` means `a` has strictly
+/// smaller potential than `b` (is closer to stabilization).
+///
+/// # Panics
+///
+/// Panics when the two vectors have different lengths — potentials are only
+/// comparable for the same population size.
+pub fn compare_weight_vectors(a: &[u32], b: &[u32]) -> Ordering {
+    assert_eq!(a.len(), b.len(), "potentials of different population sizes");
+    a.cmp(b)
+}
+
+/// A running tracker asserting that every ket exchange strictly decreases
+/// the potential (the executable form of Theorem 3.4's proof obligation).
+///
+/// Feed it the configuration after each interaction; it returns whether the
+/// potential decreased, stayed equal, or — which would falsify the theorem —
+/// increased while kets moved.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::potential::PotentialTracker;
+/// use circles_core::{BraKet, Color};
+/// use pp_protocol::CountConfig;
+///
+/// let initial: CountConfig<BraKet> =
+///     [BraKet::self_loop(Color(0)), BraKet::self_loop(Color(1))].into_iter().collect();
+/// let mut tracker = PotentialTracker::new(&initial, 2);
+/// // After the exchange ⟨0|0⟩⟨1|1⟩ → ⟨0|1⟩⟨1|0⟩:
+/// let after: CountConfig<BraKet> =
+///     [BraKet::new(Color(0), Color(1)), BraKet::new(Color(1), Color(0))].into_iter().collect();
+/// assert_eq!(tracker.observe(&after), std::cmp::Ordering::Less);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PotentialTracker {
+    k: u16,
+    current: Vec<u32>,
+    /// Number of strict decreases observed (= number of ket exchanges).
+    decreases: u64,
+}
+
+impl PotentialTracker {
+    /// Starts tracking from `initial`.
+    pub fn new(initial: &CountConfig<BraKet>, k: u16) -> Self {
+        PotentialTracker {
+            k,
+            current: weight_vector(initial, k),
+            decreases: 0,
+        }
+    }
+
+    /// The current weight vector.
+    pub fn current(&self) -> &[u32] {
+        &self.current
+    }
+
+    /// How many strict decreases have been observed.
+    pub fn decreases(&self) -> u64 {
+        self.decreases
+    }
+
+    /// Observes the next configuration and returns how the potential moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population size changed.
+    pub fn observe(&mut self, config: &CountConfig<BraKet>) -> Ordering {
+        let next = weight_vector(config, self.k);
+        let ord = compare_weight_vectors(&next, &self.current);
+        if ord == Ordering::Less {
+            self.decreases += 1;
+        }
+        self.current = next;
+        ord
+    }
+}
+
+/// An upper bound on the potential-descent chain length for population `n`
+/// and `k` colors: the number of distinct ascending-sorted weight vectors,
+/// i.e. multisets of size `n` over `[1, k]` — `C(n + k - 1, k - 1)`.
+///
+/// The *actual* number of exchanges is far smaller (experiment E4); this
+/// bound only certifies finiteness with concrete numbers. Saturates at
+/// `u128::MAX` for large parameters.
+pub fn descent_chain_bound(n: usize, k: u16) -> u128 {
+    // C(n + k - 1, k - 1) with saturation.
+    let k = u128::from(k);
+    let n = n as u128;
+    let mut result: u128 = 1;
+    for i in 0..(k - 1) {
+        result = match result.checked_mul(n + k - 1 - i) {
+            Some(v) => v / (i + 1),
+            None => return u128::MAX,
+        };
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::braket::would_exchange;
+    use crate::color::Color;
+
+    fn bk(i: u16, j: u16) -> BraKet {
+        BraKet::new(Color(i), Color(j))
+    }
+
+    #[test]
+    fn weight_vector_is_sorted_expansion() {
+        let config: CountConfig<BraKet> = [bk(0, 1), bk(1, 1), bk(0, 1)].into_iter().collect();
+        // k = 2: w(⟨0|1⟩) = 1 (twice), w(⟨1|1⟩) = 2.
+        assert_eq!(weight_vector(&config, 2), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn exchange_strictly_decreases_potential_exhaustively() {
+        // For every pair of bra-kets over small k that exchanges, the sorted
+        // two-element weight vector must strictly decrease lexicographically.
+        for k in 2..=6u16 {
+            for a in 0..k {
+                for b in 0..k {
+                    for c in 0..k {
+                        for d in 0..k {
+                            let x = bk(a, b);
+                            let y = bk(c, d);
+                            if let Some((x2, y2)) = would_exchange(k, x, y) {
+                                let mut old = [weight(k, x), weight(k, y)];
+                                let mut new = [weight(k, x2), weight(k, y2)];
+                                old.sort_unstable();
+                                new.sort_unstable();
+                                assert!(
+                                    new < old,
+                                    "exchange did not decrease potential: {x} {y} k={k}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_counts_decreases() {
+        let initial: CountConfig<BraKet> = [bk(0, 0), bk(1, 1), bk(2, 2)].into_iter().collect();
+        let mut tracker = PotentialTracker::new(&initial, 3);
+        let step1: CountConfig<BraKet> = [bk(0, 1), bk(1, 0), bk(2, 2)].into_iter().collect();
+        assert_eq!(tracker.observe(&step1), Ordering::Less);
+        assert_eq!(tracker.observe(&step1), Ordering::Equal);
+        assert_eq!(tracker.decreases(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different population sizes")]
+    fn tracker_rejects_size_change() {
+        let initial: CountConfig<BraKet> = [bk(0, 0)].into_iter().collect();
+        let mut tracker = PotentialTracker::new(&initial, 2);
+        let bigger: CountConfig<BraKet> = [bk(0, 0), bk(1, 1)].into_iter().collect();
+        let _ = tracker.observe(&bigger);
+    }
+
+    #[test]
+    fn chain_bound_small_values() {
+        // n=2, k=2: multisets of size 2 over {1,2}: {1,1},{1,2},{2,2} = 3.
+        assert_eq!(descent_chain_bound(2, 2), 3);
+        // n=3, k=3: C(5,2) = 10.
+        assert_eq!(descent_chain_bound(3, 3), 10);
+        // k=1: single weight value, exactly one vector.
+        assert_eq!(descent_chain_bound(10, 1), 1);
+    }
+
+    #[test]
+    fn chain_bound_saturates() {
+        assert_eq!(descent_chain_bound(usize::MAX / 2, 64), u128::MAX);
+    }
+}

@@ -1,0 +1,314 @@
+//! Circle bra-ket sets (paper Definition 3.5) and the predicted terminal
+//! configuration (Lemma 3.6).
+//!
+//! Lemma 3.6 states that after stabilization the multiset of bra-kets equals
+//! `⋃_{p=1..q} f(G_p)`, where for a greedy set `G_p` with elements
+//! `g₀ < g₁ < … < g_m`,
+//!
+//! ```text
+//! f(G_p) = { ⟨g₀|g₁⟩, ⟨g₁|g₂⟩, …, ⟨g_m|g₀⟩ }
+//! ```
+//!
+//! — a directed *circle* through the set's colors (a single self-loop for a
+//! singleton set). This module computes the prediction, checks whether a
+//! configuration is exchange-stable, and compares live configurations with
+//! the prediction. The model checker (`pp-mc`) uses these functions to
+//! verify Lemma 3.6 exhaustively on small instances.
+
+use pp_protocol::{CountConfig, Population};
+
+use crate::braket::{would_exchange, BraKet};
+use crate::color::Color;
+use crate::error::CirclesError;
+use crate::greedy::GreedyDecomposition;
+use crate::protocol::CirclesState;
+
+/// The circle bra-ket set `f(G)` of a sorted color set (Definition 3.5).
+///
+/// # Example
+///
+/// ```
+/// use circles_core::prediction::circle_of;
+/// use circles_core::{BraKet, Color};
+///
+/// let circle = circle_of(&[Color(1), Color(4), Color(6)]);
+/// assert_eq!(circle, vec![
+///     BraKet::new(Color(1), Color(4)),
+///     BraKet::new(Color(4), Color(6)),
+///     BraKet::new(Color(6), Color(1)),
+/// ]);
+/// // A singleton set yields its self-loop.
+/// assert_eq!(circle_of(&[Color(3)]), vec![BraKet::self_loop(Color(3))]);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `sorted_colors` is empty or not strictly increasing — greedy
+/// sets are sets, not multisets.
+pub fn circle_of(sorted_colors: &[Color]) -> Vec<BraKet> {
+    assert!(!sorted_colors.is_empty(), "circle of an empty set");
+    assert!(
+        sorted_colors.windows(2).all(|w| w[0] < w[1]),
+        "colors must be strictly increasing"
+    );
+    let m = sorted_colors.len();
+    (0..m)
+        .map(|l| BraKet::new(sorted_colors[l], sorted_colors[(l + 1) % m]))
+        .collect()
+}
+
+/// The predicted terminal bra-ket multiset `⋃_p f(G_p)` for the given input
+/// multiset (Lemma 3.6).
+///
+/// # Errors
+///
+/// Propagates input validation errors from [`GreedyDecomposition`].
+pub fn predicted_brakets(inputs: &[Color], k: u16) -> Result<CountConfig<BraKet>, CirclesError> {
+    let greedy = GreedyDecomposition::from_inputs(inputs, k)?;
+    Ok(predicted_brakets_of(&greedy))
+}
+
+/// The predicted terminal bra-ket multiset from an existing decomposition.
+pub fn predicted_brakets_of(greedy: &GreedyDecomposition) -> CountConfig<BraKet> {
+    let mut config = CountConfig::new();
+    for set in greedy.sets() {
+        for braket in circle_of(&set) {
+            config.insert(braket, 1);
+        }
+    }
+    config
+}
+
+/// The predicted final *full* configuration when a unique majority color
+/// exists: the predicted bra-kets, every agent outputting `μ`
+/// (Theorem 3.7).
+///
+/// # Errors
+///
+/// Propagates input validation errors; additionally returns `None` inside
+/// `Ok` when the input has a tie (no unique final output exists).
+pub fn predicted_final_config(
+    inputs: &[Color],
+    k: u16,
+) -> Result<Option<CountConfig<CirclesState>>, CirclesError> {
+    let greedy = GreedyDecomposition::from_inputs(inputs, k)?;
+    let Some(mu) = greedy.winner() else {
+        return Ok(None);
+    };
+    let mut config = CountConfig::new();
+    for (braket, count) in predicted_brakets_of(&greedy).iter() {
+        config.insert(
+            CirclesState {
+                braket: *braket,
+                out: mu,
+            },
+            count,
+        );
+    }
+    Ok(Some(config))
+}
+
+/// Extracts the bra-ket multiset of a full-state configuration (projecting
+/// out the `out` registers).
+pub fn braket_config(config: &CountConfig<CirclesState>) -> CountConfig<BraKet> {
+    let mut out = CountConfig::new();
+    for (s, c) in config.iter() {
+        out.insert(s.braket, c);
+    }
+    out
+}
+
+/// Extracts the bra-ket multiset of an indexed population.
+pub fn braket_config_of_population(population: &Population<CirclesState>) -> CountConfig<BraKet> {
+    population.iter().map(|s| s.braket).collect()
+}
+
+/// Whether no pair of bra-kets present in `config` can exchange kets: the
+/// configuration is *exchange-stable*. Weak fairness forces every execution's
+/// bra-ket tail to be exchange-stable, and Lemma 3.6 says the predicted
+/// multiset is the only reachable one.
+pub fn is_exchange_stable(config: &CountConfig<BraKet>, k: u16) -> bool {
+    // The exchange test is symmetric, so unordered pairs suffice; a bra-ket
+    // can pair with an identical one only at multiplicity >= 2 (and such a
+    // pair never exchanges — the swap reproduces the same two bra-kets, so
+    // the minimum cannot strictly decrease).
+    let states: Vec<(&BraKet, usize)> = config.iter().collect();
+    for (idx, (x, cx)) in states.iter().enumerate() {
+        if *cx >= 2 && would_exchange(k, **x, **x).is_some() {
+            return false;
+        }
+        for (y, _) in states.iter().skip(idx + 1) {
+            if would_exchange(k, **x, **y).is_some() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The number of self-loops per color in a bra-ket configuration, as
+/// `(color, count)` pairs for colors with at least one self-loop.
+pub fn self_loop_colors(config: &CountConfig<BraKet>) -> Vec<(Color, usize)> {
+    config
+        .iter()
+        .filter(|(b, _)| b.is_self_loop())
+        .map(|(b, c)| (b.bra, c))
+        .collect()
+}
+
+/// Compares a population's bra-kets against the Lemma 3.6 prediction.
+///
+/// # Errors
+///
+/// Propagates input validation errors.
+pub fn matches_prediction(
+    population: &Population<CirclesState>,
+    inputs: &[Color],
+    k: u16,
+) -> Result<bool, CirclesError> {
+    let predicted = predicted_brakets(inputs, k)?;
+    Ok(braket_config_of_population(population) == predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(xs: &[u16]) -> Vec<Color> {
+        xs.iter().map(|&x| Color(x)).collect()
+    }
+
+    fn bk(i: u16, j: u16) -> BraKet {
+        BraKet::new(Color(i), Color(j))
+    }
+
+    #[test]
+    fn circle_of_two_colors_is_two_cycle() {
+        assert_eq!(circle_of(&colors(&[2, 5])), vec![bk(2, 5), bk(5, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn circle_rejects_unsorted() {
+        let _ = circle_of(&colors(&[5, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn circle_rejects_empty() {
+        let _ = circle_of(&[]);
+    }
+
+    #[test]
+    fn prediction_for_paper_style_instance() {
+        // counts: c0 ×1, c1 ×3, c2 ×2 over k=3.
+        // G1 = {0,1,2} → ⟨0|1⟩⟨1|2⟩⟨2|0⟩
+        // G2 = {1,2}   → ⟨1|2⟩⟨2|1⟩
+        // G3 = {1}     → ⟨1|1⟩
+        let inputs = colors(&[1, 2, 1, 0, 1, 2]);
+        let predicted = predicted_brakets(&inputs, 3).unwrap();
+        assert_eq!(predicted.n(), 6);
+        assert_eq!(predicted.count(&bk(0, 1)), 1);
+        assert_eq!(predicted.count(&bk(1, 2)), 2);
+        assert_eq!(predicted.count(&bk(2, 0)), 1);
+        assert_eq!(predicted.count(&bk(2, 1)), 1);
+        assert_eq!(predicted.count(&bk(1, 1)), 1);
+    }
+
+    #[test]
+    fn prediction_preserves_population_size() {
+        // |⋃ f(G_p)| = Σ |G_p| = Σ counts = n.
+        let inputs = colors(&[0, 0, 0, 1, 2, 2, 4]);
+        let predicted = predicted_brakets(&inputs, 5).unwrap();
+        assert_eq!(predicted.n(), inputs.len());
+    }
+
+    #[test]
+    fn unique_majority_gives_single_self_loop_color() {
+        let inputs = colors(&[0, 0, 0, 1, 1, 2]);
+        let predicted = predicted_brakets(&inputs, 3).unwrap();
+        let loops = self_loop_colors(&predicted);
+        assert_eq!(loops, vec![(Color(0), 1)]);
+    }
+
+    #[test]
+    fn tie_gives_no_self_loop() {
+        let inputs = colors(&[0, 0, 1, 1]);
+        let predicted = predicted_brakets(&inputs, 2).unwrap();
+        assert!(self_loop_colors(&predicted).is_empty());
+        // Instead the top circle repeats q times.
+        assert_eq!(predicted.count(&bk(0, 1)), 2);
+        assert_eq!(predicted.count(&bk(1, 0)), 2);
+    }
+
+    #[test]
+    fn predicted_configuration_is_exchange_stable() {
+        for (inputs, k) in [
+            (colors(&[0, 0, 0, 1, 1, 2]), 3),
+            (colors(&[0, 1, 2, 3, 3]), 4),
+            (colors(&[5, 5, 5, 5]), 6),
+            (colors(&[0, 2, 2, 4, 4, 4, 7]), 8),
+        ] {
+            let predicted = predicted_brakets(&inputs, k).unwrap();
+            assert!(
+                is_exchange_stable(&predicted, k),
+                "prediction unstable for {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_config_with_two_colors_is_not_stable() {
+        let config: CountConfig<BraKet> =
+            [bk(0, 0), bk(1, 1)].into_iter().collect();
+        assert!(!is_exchange_stable(&config, 2));
+    }
+
+    #[test]
+    fn predicted_final_config_outputs_mu() {
+        let inputs = colors(&[2, 2, 0]);
+        let config = predicted_final_config(&inputs, 3).unwrap().unwrap();
+        for (s, _) in config.iter() {
+            assert_eq!(s.out, Color(2));
+        }
+        assert_eq!(config.n(), 3);
+    }
+
+    #[test]
+    fn predicted_final_config_none_on_tie() {
+        let inputs = colors(&[0, 1]);
+        assert_eq!(predicted_final_config(&inputs, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn braket_projection_collapses_outs() {
+        let config: CountConfig<CirclesState> = [
+            CirclesState { braket: bk(0, 1), out: Color(0) },
+            CirclesState { braket: bk(0, 1), out: Color(1) },
+        ]
+        .into_iter()
+        .collect();
+        let brakets = braket_config(&config);
+        assert_eq!(brakets.count(&bk(0, 1)), 2);
+    }
+
+    #[test]
+    fn conservation_in_prediction() {
+        // The prediction must satisfy Lemma 3.3: per color, #bras == #kets.
+        let inputs = colors(&[0, 0, 1, 2, 2, 2, 3]);
+        let predicted = predicted_brakets(&inputs, 4).unwrap();
+        for c in 0..4u16 {
+            let bras: usize = predicted
+                .iter()
+                .filter(|(b, _)| b.bra == Color(c))
+                .map(|(_, n)| n)
+                .sum();
+            let kets: usize = predicted
+                .iter()
+                .filter(|(b, _)| b.ket == Color(c))
+                .map(|(_, n)| n)
+                .sum();
+            assert_eq!(bras, kets, "conservation broken for color {c}");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Ablation variants of the ket-exchange rule (experiment E10).
+//!
+//! The paper's rule — exchange iff the exchange *strictly decreases the
+//! minimum* of the two weights — looks innocuous, but each of its
+//! ingredients is load-bearing:
+//!
+//! - **strictness** rules out livelock (the potential argument needs strict
+//!   descent);
+//! - **the minimum** (rather than the sum) is what the Lemma 3.6 induction
+//!   exploits: arcs of the innermost circles are locally optimal;
+//! - **conditionality** (versus always swapping) is what makes terminal
+//!   configurations exist at all.
+//!
+//! [`VariantCircles`] implements the protocol with a pluggable rule so the
+//! model checker and the experiment harness can demonstrate how each variant
+//! fails: livelocks (no silent configuration reachable on some schedule) or
+//! wrong/foreign terminal configurations.
+
+use std::fmt;
+
+use pp_protocol::{EnumerableProtocol, Protocol};
+
+use crate::braket::{weight, BraKet};
+use crate::color::Color;
+use crate::error::CirclesError;
+use crate::protocol::{CirclesProtocol, CirclesState};
+
+/// Which exchange rule a [`VariantCircles`] instance applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ExchangeRule {
+    /// The paper's rule: exchange iff the minimum weight strictly decreases.
+    StrictMinDecrease,
+    /// Exchange iff the minimum weight does not increase. Breaks Theorem
+    /// 3.4: states can swap forever (livelock under adversarial weakly fair
+    /// schedules).
+    NonStrictMinDecrease,
+    /// Exchange iff the *sum* of the two weights strictly decreases. A
+    /// plausible alternative "energy" that loses Lemma 3.6: foreign terminal
+    /// configurations become reachable.
+    SumDecrease,
+    /// Always exchange kets. Never stabilizes (except in trivial
+    /// configurations where the swap is a no-op).
+    AlwaysSwap,
+}
+
+impl ExchangeRule {
+    /// All rules, for sweeping in experiments.
+    pub const ALL: [ExchangeRule; 4] = [
+        ExchangeRule::StrictMinDecrease,
+        ExchangeRule::NonStrictMinDecrease,
+        ExchangeRule::SumDecrease,
+        ExchangeRule::AlwaysSwap,
+    ];
+
+    /// Short identifier for tables.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ExchangeRule::StrictMinDecrease => "strict-min",
+            ExchangeRule::NonStrictMinDecrease => "nonstrict-min",
+            ExchangeRule::SumDecrease => "sum",
+            ExchangeRule::AlwaysSwap => "always",
+        }
+    }
+
+    /// Decides whether agents holding `x` and `y` exchange kets under this
+    /// rule.
+    pub fn fires(&self, k: u16, x: BraKet, y: BraKet) -> bool {
+        let x2 = BraKet::new(x.bra, y.ket);
+        let y2 = BraKet::new(y.bra, x.ket);
+        let (wx, wy) = (weight(k, x), weight(k, y));
+        let (wx2, wy2) = (weight(k, x2), weight(k, y2));
+        match self {
+            ExchangeRule::StrictMinDecrease => wx2.min(wy2) < wx.min(wy),
+            ExchangeRule::NonStrictMinDecrease => wx2.min(wy2) <= wx.min(wy),
+            ExchangeRule::SumDecrease => wx2 + wy2 < wx + wy,
+            ExchangeRule::AlwaysSwap => true,
+        }
+    }
+}
+
+impl fmt::Display for ExchangeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Circles with a pluggable exchange rule — the paper's protocol when the
+/// rule is [`ExchangeRule::StrictMinDecrease`], an ablation otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantCircles {
+    k: u16,
+    rule: ExchangeRule,
+}
+
+impl VariantCircles {
+    /// Creates the variant protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirclesError::ZeroColors`] when `k == 0`.
+    pub fn new(k: u16, rule: ExchangeRule) -> Result<Self, CirclesError> {
+        if k == 0 {
+            return Err(CirclesError::ZeroColors);
+        }
+        Ok(VariantCircles { k, rule })
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// The rule in force.
+    pub fn rule(&self) -> ExchangeRule {
+        self.rule
+    }
+}
+
+impl Protocol for VariantCircles {
+    type State = CirclesState;
+    type Input = Color;
+    type Output = Color;
+
+    fn name(&self) -> &str {
+        match self.rule {
+            ExchangeRule::StrictMinDecrease => "circles[strict-min]",
+            ExchangeRule::NonStrictMinDecrease => "circles[nonstrict-min]",
+            ExchangeRule::SumDecrease => "circles[sum]",
+            ExchangeRule::AlwaysSwap => "circles[always]",
+        }
+    }
+
+    /// # Panics
+    ///
+    /// Panics when `input >= k`.
+    fn input(&self, input: &Color) -> CirclesState {
+        assert!(input.0 < self.k, "input color {input} out of range");
+        CirclesState::initial(*input)
+    }
+
+    fn output(&self, state: &CirclesState) -> Color {
+        state.out
+    }
+
+    fn transition(
+        &self,
+        initiator: &CirclesState,
+        responder: &CirclesState,
+    ) -> (CirclesState, CirclesState) {
+        let mut a = *initiator;
+        let mut b = *responder;
+        if self.rule.fires(self.k, a.braket, b.braket) {
+            std::mem::swap(&mut a.braket.ket, &mut b.braket.ket);
+        }
+        // Step 2 is shared with the paper's protocol. Under ablated rules
+        // two distinct self-loops can coexist after step 1; resolve the
+        // ambiguity deterministically in favor of the initiator, mirroring
+        // the paper's (vacuous there) clause order.
+        let loop_color = if a.braket.is_self_loop() {
+            Some(a.braket.bra)
+        } else if b.braket.is_self_loop() {
+            Some(b.braket.bra)
+        } else {
+            None
+        };
+        if let Some(i) = loop_color {
+            a.out = i;
+            b.out = i;
+        }
+        (a, b)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Only the paper's rule is guaranteed symmetric including the out
+        // tie-break; ablations may break symmetry via the initiator-first
+        // self-loop clause.
+        matches!(self.rule, ExchangeRule::StrictMinDecrease)
+    }
+}
+
+impl EnumerableProtocol for VariantCircles {
+    fn states(&self) -> Vec<CirclesState> {
+        CirclesProtocol::new(self.k)
+            .expect("k validated at construction")
+            .states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(bra: u16, ket: u16, out: u16) -> CirclesState {
+        CirclesState {
+            braket: BraKet::new(Color(bra), Color(ket)),
+            out: Color(out),
+        }
+    }
+
+    #[test]
+    fn strict_variant_matches_paper_protocol() {
+        let paper = CirclesProtocol::new(4).unwrap();
+        let variant = VariantCircles::new(4, ExchangeRule::StrictMinDecrease).unwrap();
+        for a in paper.states() {
+            for b in paper.states() {
+                assert_eq!(
+                    paper.transition(&a, &b),
+                    variant.transition(&a, &b),
+                    "divergence at {a} {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn always_swap_never_stabilizes_two_agents() {
+        let p = VariantCircles::new(2, ExchangeRule::AlwaysSwap).unwrap();
+        let a = state(0, 0, 0);
+        let b = state(1, 1, 1);
+        let (a1, b1) = p.transition(&a, &b);
+        // Kets swapped unconditionally.
+        assert_eq!(a1.braket, BraKet::new(Color(0), Color(1)));
+        assert_eq!(b1.braket, BraKet::new(Color(1), Color(0)));
+        // And swapping again returns to self-loops: a 2-cycle, no terminal.
+        let (a2, b2) = p.transition(&a1, &b1);
+        assert!(a2.braket.is_self_loop() && b2.braket.is_self_loop());
+    }
+
+    #[test]
+    fn nonstrict_allows_neutral_swaps() {
+        // The non-strict rule must (a) be implied by the strict rule and
+        // (b) additionally fire on some state-changing, min-preserving swap
+        // — the seed of its livelock.
+        let k = 5u16;
+        let mut found = false;
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    for d in 0..k {
+                        let x = BraKet::new(Color(a), Color(b));
+                        let y = BraKet::new(Color(c), Color(d));
+                        let strict = ExchangeRule::StrictMinDecrease.fires(k, x, y);
+                        let nonstrict = ExchangeRule::NonStrictMinDecrease.fires(k, x, y);
+                        assert!(!strict || nonstrict, "strict implies nonstrict");
+                        if nonstrict && !strict && b != d {
+                            found = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "no state-changing neutral swap exists for k=5");
+    }
+
+    #[test]
+    fn sum_rule_differs_from_min_rule() {
+        // Find a pair where the two rules disagree, witnessing the ablation
+        // is a genuinely different protocol.
+        let k = 5u16;
+        let mut disagree = false;
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    for d in 0..k {
+                        let x = BraKet::new(Color(a), Color(b));
+                        let y = BraKet::new(Color(c), Color(d));
+                        if ExchangeRule::SumDecrease.fires(k, x, y)
+                            != ExchangeRule::StrictMinDecrease.fires(k, x, y)
+                        {
+                            disagree = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(disagree);
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let ids: std::collections::HashSet<_> =
+            ExchangeRule::ALL.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), ExchangeRule::ALL.len());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(VariantCircles::new(0, ExchangeRule::SumDecrease).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests of the Circles theory modules against randomized
+//! instances — each property is a statement from the paper.
+
+use circles_core::energy::{terminal_energy, total_energy};
+use circles_core::invariants::BraKetTally;
+use circles_core::potential::{descent_chain_bound, weight_vector};
+use circles_core::prediction::{
+    braket_config_of_population, circle_of, is_exchange_stable, predicted_brakets,
+    self_loop_colors,
+};
+use circles_core::{
+    weight, would_exchange, BraKet, CirclesProtocol, Color, GreedyDecomposition,
+};
+use pp_protocol::{CountConfig, Population, Protocol, Simulation, UniformPairScheduler};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = (Vec<Color>, u16)> {
+    (1u16..=6).prop_flat_map(|k| {
+        (
+            proptest::collection::vec((0..k).prop_map(Color), 1..=12),
+            Just(k),
+        )
+    })
+}
+
+fn arb_braket(k: u16) -> impl Strategy<Value = BraKet> {
+    ((0..k), (0..k)).prop_map(|(i, j)| BraKet::new(Color(i), Color(j)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Weights are total and within [1, k] for every bra-ket.
+    #[test]
+    fn weights_are_in_range(k in 1u16..=64, i in 0u16..64, j in 0u16..64) {
+        prop_assume!(i < k && j < k);
+        let w = weight(k, BraKet::new(Color(i), Color(j)));
+        prop_assert!(w >= 1 && w <= u32::from(k));
+    }
+
+    /// Exchange symmetry: the rule never depends on argument order.
+    #[test]
+    fn exchange_is_argument_symmetric(k in 2u16..=9, seed in any::<u64>()) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = BraKet::new(Color(rng.random_range(0..k)), Color(rng.random_range(0..k)));
+            let y = BraKet::new(Color(rng.random_range(0..k)), Color(rng.random_range(0..k)));
+            let xy = would_exchange(k, x, y);
+            let yx = would_exchange(k, y, x);
+            match (xy, yx) {
+                (None, None) => {}
+                (Some((a, b)), Some((b2, a2))) => {
+                    prop_assert_eq!(a, a2);
+                    prop_assert_eq!(b, b2);
+                }
+                other => prop_assert!(false, "asymmetric exchange {:?}", other),
+            }
+        }
+    }
+
+    /// Exchanging never touches bras and conserves the ket multiset.
+    #[test]
+    fn exchange_conserves_bras_and_kets(
+        k in 2u16..=8,
+        x in (0u16..8, 0u16..8),
+        y in (0u16..8, 0u16..8),
+    ) {
+        prop_assume!(x.0 < k && x.1 < k && y.0 < k && y.1 < k);
+        let bx = BraKet::new(Color(x.0), Color(x.1));
+        let by = BraKet::new(Color(y.0), Color(y.1));
+        if let Some((nx, ny)) = would_exchange(k, bx, by) {
+            prop_assert_eq!(nx.bra, bx.bra);
+            prop_assert_eq!(ny.bra, by.bra);
+            let mut old_kets = [bx.ket, by.ket];
+            let mut new_kets = [nx.ket, ny.ket];
+            old_kets.sort();
+            new_kets.sort();
+            prop_assert_eq!(old_kets, new_kets);
+        }
+    }
+
+    /// Greedy sets: |G_1| + … + |G_q| = n and the winner (when unique) is in
+    /// all of them; G_q = {μ} (Lemma 3.2).
+    #[test]
+    fn greedy_decomposition_shape((inputs, k) in arb_instance()) {
+        let greedy = GreedyDecomposition::from_inputs(&inputs, k).unwrap();
+        let total: usize = greedy.sets().map(|s| s.len()).sum();
+        prop_assert_eq!(total, inputs.len());
+        if let Some(mu) = greedy.winner() {
+            prop_assert_eq!(greedy.set(greedy.num_sets()), vec![mu]);
+        }
+    }
+
+    /// The predicted terminal configuration (Lemma 3.6) always: has size n,
+    /// satisfies conservation (Lemma 3.3), is exchange-stable, and has
+    /// self-loops exactly for the unique winner (Lemma 3.2) or none on a
+    /// tie.
+    #[test]
+    fn prediction_invariants((inputs, k) in arb_instance()) {
+        let greedy = GreedyDecomposition::from_inputs(&inputs, k).unwrap();
+        let predicted = predicted_brakets(&inputs, k).unwrap();
+        prop_assert_eq!(predicted.n(), inputs.len());
+        prop_assert!(BraKetTally::of(&predicted, k).is_conserved());
+        prop_assert!(is_exchange_stable(&predicted, k));
+        let loops = self_loop_colors(&predicted);
+        match greedy.winner() {
+            Some(mu) => {
+                prop_assert!(!loops.is_empty());
+                prop_assert!(loops.iter().all(|(c, _)| *c == mu));
+            }
+            None => prop_assert!(loops.is_empty()),
+        }
+    }
+
+    /// The terminal energy never exceeds the initial all-self-loop energy,
+    /// and equals it exactly when only one color is present.
+    #[test]
+    fn terminal_energy_bounds((inputs, k) in arb_instance()) {
+        let initial = (inputs.len() as u64) * u64::from(k);
+        let terminal = terminal_energy(&inputs, k).unwrap();
+        prop_assert!(terminal <= initial);
+        let distinct: std::collections::HashSet<_> = inputs.iter().collect();
+        if distinct.len() == 1 {
+            prop_assert_eq!(terminal, initial);
+        }
+    }
+
+    /// circle_of over a sorted set conserves per-color bra/ket counts and
+    /// produces |G| arcs.
+    #[test]
+    fn circle_structure(mut raw in proptest::collection::btree_set(0u16..12, 1..8)) {
+        let colors: Vec<Color> = raw.iter().map(|&c| Color(c)).collect();
+        raw.clear();
+        let circle = circle_of(&colors);
+        prop_assert_eq!(circle.len(), colors.len());
+        let config: CountConfig<BraKet> = circle.iter().copied().collect();
+        prop_assert!(BraKetTally::of(&config, 12).is_conserved());
+    }
+
+    /// Simulation: total energy at silence equals the predicted terminal
+    /// energy (the unique ground state).
+    #[test]
+    fn energy_lands_on_ground_state((inputs, k) in arb_instance(), seed in any::<u64>()) {
+        prop_assume!(inputs.len() >= 2);
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        sim.run_until_silent(50_000_000, 16).unwrap();
+        let config = braket_config_of_population(sim.population());
+        prop_assert_eq!(
+            total_energy(&config, k),
+            terminal_energy(&inputs, k).unwrap()
+        );
+    }
+
+    /// The descent-chain bound is monotone in n and k.
+    #[test]
+    fn descent_bound_monotone(n in 1usize..200, k in 1u16..16) {
+        prop_assert!(descent_chain_bound(n, k) <= descent_chain_bound(n + 1, k));
+        prop_assert!(descent_chain_bound(n, k) <= descent_chain_bound(n, k + 1));
+    }
+
+    /// weight_vector is sorted ascending and has one entry per agent.
+    #[test]
+    fn weight_vector_shape(
+        k in 2u16..=6,
+        brakets in proptest::collection::vec((0u16..6, 0u16..6), 1..20),
+    ) {
+        let config: CountConfig<BraKet> = brakets
+            .iter()
+            .filter(|(i, j)| *i < k && *j < k)
+            .map(|&(i, j)| BraKet::new(Color(i), Color(j)))
+            .collect();
+        prop_assume!(!config.is_empty());
+        let v = weight_vector(&config, k);
+        prop_assert_eq!(v.len(), config.n());
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Transition totality: the protocol never panics on any state pair
+    /// from its declared state space, and outputs stay in range.
+    #[test]
+    fn transition_is_total_on_state_space(k in 1u16..=4, seed in any::<u64>()) {
+        use pp_protocol::EnumerableProtocol;
+        use rand::{seq::IndexedRandom, SeedableRng};
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let states = protocol.states();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let a = states.choose(&mut rng).unwrap();
+            let b = states.choose(&mut rng).unwrap();
+            let (x, y) = protocol.transition(a, b);
+            for s in [x, y] {
+                prop_assert!(s.braket.bra.0 < k);
+                prop_assert!(s.braket.ket.0 < k);
+                prop_assert!(s.out.0 < k);
+            }
+        }
+    }
+}
+
+/// Strategy sanity: `arb_braket` respects the color bound (meta-test kept
+/// because strategies are code too).
+#[test]
+fn arb_braket_respects_bounds() {
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for _ in 0..100 {
+        let b = arb_braket(5).new_tree(&mut runner).unwrap().current();
+        assert!(b.bra.0 < 5 && b.ket.0 < 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the CRN layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or simulating a reaction network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrnError {
+    /// The initial configuration contains no molecules (agents).
+    EmptyPopulation,
+    /// A single molecule cannot collide with anything.
+    PopulationTooSmall {
+        /// Number of molecules supplied.
+        n: usize,
+    },
+    /// The initial configuration contains a state that is not a species of
+    /// the network it is being simulated against.
+    UnknownSpecies {
+        /// Debug rendering of the offending state.
+        state: String,
+    },
+    /// The species closure exceeded the configured bound; the protocol's
+    /// reachable state space is too large for an explicit network.
+    ClosureTooLarge {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+    /// A non-finite or negative integration parameter was supplied.
+    BadIntegrationParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for CrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrnError::EmptyPopulation => write!(f, "initial configuration is empty"),
+            CrnError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} molecule(s) cannot collide")
+            }
+            CrnError::UnknownSpecies { state } => {
+                write!(f, "state {state} is not a species of this network")
+            }
+            CrnError::ClosureTooLarge { limit } => {
+                write!(f, "species closure exceeded the limit of {limit} species")
+            }
+            CrnError::BadIntegrationParameter { name } => {
+                write!(f, "integration parameter `{name}` must be finite and positive")
+            }
+        }
+    }
+}
+
+impl Error for CrnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            CrnError::EmptyPopulation,
+            CrnError::PopulationTooSmall { n: 1 },
+            CrnError::UnknownSpecies { state: "⟨0|1⟩".into() },
+            CrnError::ClosureTooLarge { limit: 10 },
+            CrnError::BadIntegrationParameter { name: "dt" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrnError>();
+    }
+}

@@ -1,0 +1,469 @@
+//! Exact stochastic simulation (Gillespie / SSA) of a protocol's reaction
+//! network.
+//!
+//! The continuous-time reading of a population protocol puts every ordered
+//! pair of agents on an independent Poisson clock of rate `1/(n-1)`, so each
+//! agent initiates interactions at rate 1 and a unit of time corresponds to
+//! `n` interactions — *parallel time*. Null interactions do not change the
+//! configuration, so the time to the next *state change* is exponential with
+//! rate equal to the total propensity of the productive reactions only; the
+//! simulation samples exactly that embedded process (a thinning of the full
+//! chain), which keeps silent detection free and sampling exact.
+//!
+//! Propensity of the ordered reaction `A + B → …`:
+//!
+//! ```text
+//! a(A,B) = N_A · N_B / (n-1)        A ≠ B
+//! a(A,A) = N_A · (N_A - 1) / (n-1)
+//! ```
+//!
+//! Sampling is two-level: first the initiator species `A` with weight
+//! `N_A · (W_A - [A productive with itself])` where `W_A = Σ_{B ∈
+//! partners(A)} N_B`, then the responder within `partners(A)`. The `W_A`
+//! accumulators are maintained incrementally through the network's influence
+//! lists, so a step costs `O(m + |partners(A)|)` for `m` present species —
+//! independent of the reaction count.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use pp_protocol::CountConfig;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::error::CrnError;
+use crate::network::{ReactionNetwork, SpeciesId};
+
+/// One fired reaction, as reported by [`StochasticSimulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiredReaction {
+    /// Initiator species at the time of the collision.
+    pub initiator: SpeciesId,
+    /// Responder species at the time of the collision.
+    pub responder: SpeciesId,
+    /// Product species `(initiator', responder')`.
+    pub products: (SpeciesId, SpeciesId),
+    /// Time elapsed since the previous state change (exponential holding
+    /// time of the productive process).
+    pub dt: f64,
+}
+
+/// Result of driving a stochastic simulation to silence (or a step budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsaReport {
+    /// Whether the configuration became silent (no productive reaction has
+    /// positive propensity).
+    pub silent: bool,
+    /// Productive reactions fired.
+    pub reactions: u64,
+    /// Continuous (parallel) time elapsed.
+    pub time: f64,
+}
+
+/// An exact continuous-time stochastic simulation over species counts.
+///
+/// # Example
+///
+/// ```
+/// use circles_core::{CirclesProtocol, Color};
+/// use pp_crn::{ReactionNetwork, StochasticSimulation};
+/// use pp_protocol::Protocol;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let protocol = CirclesProtocol::new(3)?;
+/// let inputs = [Color(0), Color(0), Color(1), Color(2)];
+/// let support: Vec<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+/// let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000)?;
+/// let initial = support.iter().copied().collect();
+/// let mut sim = StochasticSimulation::new(&network, &initial)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let report = sim.run_until_silent(&mut rng, 100_000);
+/// assert!(report.silent);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticSimulation<'a, S> {
+    network: &'a ReactionNetwork<S>,
+    counts: Vec<u64>,
+    /// `w[a] = Σ_{B ∈ partners(a)} N_B`, maintained incrementally.
+    w: Vec<i64>,
+    /// `self_productive[a]`: whether `(a, a)` is a productive reaction.
+    self_productive: Vec<bool>,
+    n: u64,
+    time: f64,
+    reactions: u64,
+}
+
+impl<'a, S: Clone + Eq + Ord + Hash + Debug> StochasticSimulation<'a, S> {
+    /// Creates a simulation of `network` from the anonymous configuration
+    /// `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::EmptyPopulation`] / [`CrnError::PopulationTooSmall`]
+    /// for degenerate populations and [`CrnError::UnknownSpecies`] when
+    /// `initial` contains a state outside the network.
+    pub fn new(
+        network: &'a ReactionNetwork<S>,
+        initial: &CountConfig<S>,
+    ) -> Result<Self, CrnError> {
+        let counts = network.counts_from_config(initial)?;
+        let n: u64 = counts.iter().sum();
+        if n < 2 {
+            return Err(CrnError::PopulationTooSmall { n: n as usize });
+        }
+        let m = network.species_count();
+        let mut w = vec![0i64; m];
+        let mut self_productive = vec![false; m];
+        for a in 0..m {
+            let mut acc = 0i64;
+            for p in network.partners(a as SpeciesId) {
+                acc += counts[p.responder as usize] as i64;
+                if p.responder as usize == a {
+                    self_productive[a] = true;
+                }
+            }
+            w[a] = acc;
+        }
+        Ok(StochasticSimulation {
+            network,
+            counts,
+            w,
+            self_productive,
+            n,
+            time: 0.0,
+            reactions: 0,
+        })
+    }
+
+    /// Continuous (parallel) time elapsed so far.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Productive reactions fired so far.
+    pub fn reactions_fired(&self) -> u64 {
+        self.reactions
+    }
+
+    /// Number of molecules (agents).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Current per-species counts, indexed by [`SpeciesId`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Current configuration as a state multiset.
+    pub fn config(&self) -> CountConfig<S> {
+        self.network.config_from_counts(&self.counts)
+    }
+
+    /// Initiator weight `N_A · (W_A - [A self-productive])` (integer part
+    /// of the propensity; the common factor `1/(n-1)` is applied once).
+    fn initiator_weight(&self, a: usize) -> u64 {
+        let count = self.counts[a];
+        if count == 0 {
+            return 0;
+        }
+        let adj = i64::from(self.self_productive[a]);
+        let partners = self.w[a] - adj;
+        debug_assert!(partners >= 0, "negative partner mass for species {a}");
+        count * partners as u64
+    }
+
+    /// Fires one reaction; returns `None` when the configuration is silent.
+    ///
+    /// Advances [`time`](Self::time) by an exponential holding time with
+    /// rate `total_weight / (n-1)`.
+    pub fn step(&mut self, rng: &mut StdRng) -> Option<FiredReaction> {
+        let m = self.network.species_count();
+        let mut total: u64 = 0;
+        for a in 0..m {
+            total += self.initiator_weight(a);
+        }
+        if total == 0 {
+            return None; // silent: no productive pair exists
+        }
+
+        // Holding time of the productive process.
+        let rate = total as f64 / (self.n - 1) as f64;
+        let u: f64 = rng.random();
+        let dt = -(1.0 - u).ln() / rate;
+        self.time += dt;
+
+        // Two-level sampling: initiator species, then responder species.
+        let mut r = rng.random_range(0..total);
+        let mut initiator = usize::MAX;
+        for a in 0..m {
+            let wa = self.initiator_weight(a);
+            if r < wa {
+                initiator = a;
+                break;
+            }
+            r -= wa;
+        }
+        debug_assert!(initiator != usize::MAX, "initiator sampling fell through");
+
+        let adj = i64::from(self.self_productive[initiator]);
+        let partner_total = (self.w[initiator] - adj) as u64;
+        let mut r2 = rng.random_range(0..partner_total);
+        let mut chosen = None;
+        for p in self.network.partners(initiator as SpeciesId) {
+            let mut nb = self.counts[p.responder as usize];
+            if p.responder as usize == initiator {
+                nb = nb.saturating_sub(1);
+            }
+            if r2 < nb {
+                chosen = Some(*p);
+                break;
+            }
+            r2 -= nb;
+        }
+        let partner = chosen.expect("responder sampling fell through");
+
+        // Apply A + B → A' + B' and maintain the W accumulators.
+        let (pa, pb) = partner.products;
+        let deltas = [
+            (initiator as SpeciesId, -1i64),
+            (partner.responder, -1),
+            (pa, 1),
+            (pb, 1),
+        ];
+        for (species, delta) in deltas {
+            let c = &mut self.counts[species as usize];
+            *c = c.checked_add_signed(delta).expect("species count underflow");
+            for &a in self.network.influences(species) {
+                self.w[a as usize] += delta;
+            }
+        }
+        self.reactions += 1;
+        Some(FiredReaction {
+            initiator: initiator as SpeciesId,
+            responder: partner.responder,
+            products: (pa, pb),
+            dt,
+        })
+    }
+
+    /// Fires reactions until the configuration is silent or `max_reactions`
+    /// have fired.
+    pub fn run_until_silent(&mut self, rng: &mut StdRng, max_reactions: u64) -> SsaReport {
+        let mut fired = 0;
+        while fired < max_reactions {
+            if self.step(rng).is_none() {
+                return SsaReport { silent: true, reactions: self.reactions, time: self.time };
+            }
+            fired += 1;
+        }
+        let silent = (0..self.network.species_count())
+            .all(|a| self.initiator_weight(a) == 0);
+        SsaReport { silent, reactions: self.reactions, time: self.time }
+    }
+
+    /// A density observable: `Σ_s f(state_s) · N_s / n`.
+    pub fn observe(&self, mut f: impl FnMut(&S) -> f64) -> f64 {
+        let mut acc = 0.0;
+        for (id, state) in self.network.species().iter() {
+            let c = self.counts[id as usize];
+            if c > 0 {
+                acc += f(state) * c as f64;
+            }
+        }
+        acc / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circles_core::{
+        invariants::conservation_holds, prediction, CirclesProtocol, CirclesState, Color,
+    };
+    use pp_protocol::Protocol;
+    use rand::SeedableRng;
+
+    /// Two-state epidemic: any informed participant informs the other.
+    struct Epidemic;
+    impl Protocol for Epidemic {
+        type State = bool;
+        type Input = bool;
+        type Output = bool;
+        fn name(&self) -> &str {
+            "epidemic"
+        }
+        fn input(&self, i: &bool) -> bool {
+            *i
+        }
+        fn output(&self, s: &bool) -> bool {
+            *s
+        }
+        fn transition(&self, a: &bool, b: &bool) -> (bool, bool) {
+            let informed = *a || *b;
+            (informed, informed)
+        }
+    }
+
+    fn circles_setup(
+        k: u16,
+        inputs: &[u16],
+    ) -> (CirclesProtocol, ReactionNetwork<CirclesState>, CountConfig<CirclesState>) {
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let support: Vec<_> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+        let network = ReactionNetwork::from_protocol(&protocol, &support, 100_000).unwrap();
+        let initial: CountConfig<_> =
+            inputs.iter().map(|&i| protocol.input(&Color(i))).collect();
+        (protocol, network, initial)
+    }
+
+    #[test]
+    fn epidemic_fires_exactly_n_minus_one_reactions() {
+        let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
+        let initial: CountConfig<bool> =
+            std::iter::once(true).chain(std::iter::repeat_n(false, 63)).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let report = sim.run_until_silent(&mut rng, 10_000);
+        assert!(report.silent);
+        assert_eq!(report.reactions, 63);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn epidemic_completion_time_matches_analytic_expectation() {
+        // Informed count i → productive rate 2·i·(n-i)/(n-1), so
+        // E[T] = Σ_{i=1}^{n-1} (n-1) / (2 i (n-i)).
+        let n = 32u64;
+        let expected: f64 =
+            (1..n).map(|i| (n - 1) as f64 / (2.0 * i as f64 * (n - i) as f64)).sum();
+        let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
+        let initial: CountConfig<bool> =
+            std::iter::once(true).chain(std::iter::repeat_n(false, n as usize - 1)).collect();
+        let trials = 600;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+            acc += sim.run_until_silent(&mut rng, 10_000).time;
+        }
+        let mean = acc / trials as f64;
+        let rel = (mean - expected).abs() / expected;
+        assert!(rel < 0.08, "mean {mean} vs expected {expected} (rel err {rel})");
+    }
+
+    #[test]
+    fn mass_is_conserved_across_steps() {
+        let (_, network, initial) = circles_setup(3, &[0, 0, 0, 1, 1, 2]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            if sim.step(&mut rng).is_none() {
+                break;
+            }
+            assert_eq!(sim.counts().iter().sum::<u64>(), 6);
+        }
+    }
+
+    #[test]
+    fn circles_braket_invariant_is_conserved() {
+        let (_, network, initial) = circles_setup(4, &[0, 0, 1, 1, 2, 3, 3, 3]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let fired = sim.step(&mut rng);
+            let brakets = prediction::braket_config(&sim.config());
+            assert!(conservation_holds(&brakets, 4), "Lemma 3.3 violated in SSA");
+            if fired.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn circles_ssa_reaches_predicted_terminal_brakets() {
+        // The SSA's embedded jump chain is the discrete uniform-pair chain
+        // conditioned on productive steps, so Lemma 3.6 applies verbatim:
+        // the terminal bra-ket multiset is ⋃_p f(G_p).
+        let inputs = [0u16, 0, 0, 1, 1, 2, 2, 3];
+        let (_, network, initial) = circles_setup(4, &inputs);
+        let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+        let predicted = prediction::predicted_brakets(&colors, 4).unwrap();
+        for seed in 0..20 {
+            let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = sim.run_until_silent(&mut rng, 100_000);
+            assert!(report.silent, "run {seed} did not stabilize");
+            assert_eq!(
+                prediction::braket_config(&sim.config()),
+                predicted,
+                "terminal bra-kets differ from Lemma 3.6 prediction (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn circles_ssa_reaches_majority_consensus() {
+        let (protocol, network, initial) = circles_setup(3, &[0, 0, 0, 0, 1, 1, 2]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let report = sim.run_until_silent(&mut rng, 100_000);
+        assert!(report.silent);
+        assert_eq!(sim.config().output_consensus(&protocol), Some(Color(0)));
+    }
+
+    #[test]
+    fn silent_configuration_yields_no_step() {
+        // All agents share one color: ⟨i|i⟩ everywhere is silent from the
+        // start (self-loop meets self-loop of the same color: null).
+        let (_, network, initial) = circles_setup(3, &[1, 1, 1, 1]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sim.step(&mut rng).is_none());
+        assert_eq!(sim.time(), 0.0);
+        assert_eq!(sim.reactions_fired(), 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_run() {
+        let (_, network, initial) = circles_setup(3, &[0, 0, 1, 1, 2]);
+        let run = |seed: u64| {
+            let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = sim.run_until_silent(&mut rng, 100_000);
+            (report.reactions, report.time.to_bits(), sim.config())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn population_of_one_is_rejected() {
+        let (_, network, _) = circles_setup(3, &[0, 1]);
+        let single: CountConfig<CirclesState> =
+            [CirclesState::initial(Color(0))].into_iter().collect();
+        assert_eq!(
+            StochasticSimulation::new(&network, &single).unwrap_err(),
+            CrnError::PopulationTooSmall { n: 1 }
+        );
+    }
+
+    #[test]
+    fn observe_computes_density_weighted_average() {
+        let (_, network, initial) = circles_setup(3, &[0, 0, 0, 1]);
+        let sim = StochasticSimulation::new(&network, &initial).unwrap();
+        // Fraction of agents whose bra is color 0: 3/4.
+        let frac = sim.observe(|s| f64::from(s.braket.bra == Color(0)));
+        assert!((frac - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_budget_reports_non_silent() {
+        let (_, network, initial) = circles_setup(3, &[0, 0, 1, 1, 2]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = sim.run_until_silent(&mut rng, 1);
+        assert_eq!(report.reactions, 1);
+        assert!(!report.silent, "one step cannot silence this instance");
+    }
+}

@@ -1,0 +1,72 @@
+//! Chemical-reaction-network (CRN) view of population protocols.
+//!
+//! The Circles paper's title credits its design to *energy minimization in
+//! chemical settings*: a population protocol is exactly a bimolecular
+//! chemical reaction network whose species are agent states and whose
+//! reactions are the productive ordered transitions `A + B → A' + B'`. This
+//! crate materializes that reading for any [`Protocol`]:
+//!
+//! - [`ReactionNetwork`]: the explicit network over the *species closure* of
+//!   an initial support (every state reachable by pairwise interactions),
+//!   with per-initiator adjacency for fast simulation.
+//! - [`StochasticSimulation`]: exact Gillespie/SSA sampling of the
+//!   continuous-time Markov chain in which every ordered agent pair carries
+//!   a rate-`1/(n-1)` Poisson clock — one time unit = `n` interactions
+//!   (*parallel time*). Null interactions are thinned away exactly.
+//! - [`MeanField`]: the large-`n` law-of-mass-action ODE
+//!   `dx_s/dt = Σ x_A x_B φ_s(A,B)` with an RK4 integrator — the
+//!   deterministic limit (Kurtz) the stochastic densities converge to.
+//! - [`ssa_density_trajectory`] / [`ode_density_trajectory`]: grid-sampled
+//!   density trajectories, used by experiments E13/E14 to measure how fast
+//!   the stochastic system approaches its fluid limit and how the Circles
+//!   energy descends in continuous time.
+//!
+//! # Example
+//!
+//! Stochastic and mean-field views of Circles with `k = 2`:
+//!
+//! ```
+//! use circles_core::{CirclesProtocol, Color};
+//! use pp_crn::{MeanField, ReactionNetwork, StochasticSimulation};
+//! use pp_protocol::{CountConfig, Protocol};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let protocol = CirclesProtocol::new(2)?;
+//! let support: Vec<_> = (0..2).map(|i| protocol.input(&Color(i))).collect();
+//! let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000)?;
+//!
+//! // Stochastic: 60 majority vs 40 minority agents.
+//! let mut initial = CountConfig::new();
+//! initial.insert(support[0], 60);
+//! initial.insert(support[1], 40);
+//! let mut sim = StochasticSimulation::new(&network, &initial)?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let report = sim.run_until_silent(&mut rng, 1_000_000);
+//! assert!(report.silent);
+//! assert_eq!(sim.config().output_consensus(&protocol), Some(Color(0)));
+//!
+//! // Mean field: the same instance as densities.
+//! let field = MeanField::new(&network);
+//! let x0 = network.densities(&network.counts_from_config(&initial)?);
+//! let (x, _) = field.run_to_equilibrium(x0, 1e-9, 0.02, 500.0)?;
+//! let majority_out = field.observe(&x, |s| f64::from(s.out == Color(0)));
+//! assert!(majority_out > 0.999);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`Protocol`]: pp_protocol::Protocol
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gillespie;
+mod network;
+mod ode;
+mod trajectory;
+
+pub use error::CrnError;
+pub use gillespie::{FiredReaction, SsaReport, StochasticSimulation};
+pub use network::{Partner, Reaction, ReactionNetwork, SpeciesId, SpeciesMap};
+pub use ode::MeanField;
+pub use trajectory::{ode_density_trajectory, ssa_density_trajectory, DensityTrajectory};

@@ -1,0 +1,189 @@
+//! Out-of-model fault injection: crash-and-restart agents and measure the
+//! damage.
+//!
+//! The population-protocol model has no failures; Circles' correctness proof
+//! leans on the global bra-ket invariant (Lemma 3.3), which a crashed agent
+//! restarting as a fresh `⟨c|c⟩` self-loop *violates* (its old bra
+//! disappears while its old ket may live on in another agent). This module
+//! deliberately breaks the invariant to measure, empirically, how the
+//! protocol degrades — the kind of robustness probe a practitioner would run
+//! before deploying the protocol on real sensors.
+//!
+//! A [`FaultPlan`] resets chosen agents to their *input* states at chosen
+//! steps during a run driven by [`run_with_faults`]; the report records
+//! whether the run still stabilized, whether the final consensus is correct,
+//! and whether conservation was violated along the way.
+
+use circles_core::invariants::population_conserves;
+use pp_protocol::Protocol;
+use circles_core::{CirclesProtocol, Color};
+use pp_protocol::{FrameworkError, Population, Scheduler, Simulation};
+
+/// One scheduled fault: at interaction `at_step`, agent `agent` forgets
+/// everything and restarts from its input color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Interaction index (1-based) *before* which the reset is applied.
+    pub at_step: u64,
+    /// The agent to reset.
+    pub agent: usize,
+}
+
+/// A batch of faults to inject into one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// Adds a fault; keeps the plan sorted by step.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+        self.faults.sort_by_key(|f| f.at_step);
+    }
+
+    /// The planned faults in step order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// Outcome of a faulty run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Whether the run reached a silent configuration within budget.
+    pub stabilized: bool,
+    /// The final unanimous output, if any.
+    pub consensus: Option<Color>,
+    /// Whether the final consensus equals the true plurality of the
+    /// *original* inputs.
+    pub correct: bool,
+    /// Whether bra-ket conservation (Lemma 3.3) held at the end — restarts
+    /// usually break it permanently.
+    pub conserved_at_end: bool,
+    /// Interactions executed.
+    pub steps: u64,
+}
+
+/// Runs Circles under `scheduler` with faults injected per `plan`.
+///
+/// # Errors
+///
+/// Propagates framework errors; a run that fails to stabilize is reported
+/// with `stabilized == false` rather than as an error.
+pub fn run_with_faults<Sch>(
+    inputs: &[Color],
+    k: u16,
+    scheduler: Sch,
+    seed: u64,
+    plan: &FaultPlan,
+    max_steps: u64,
+) -> Result<FaultReport, FrameworkError>
+where
+    Sch: Scheduler<circles_core::CirclesState>,
+{
+    let protocol = CirclesProtocol::new(k).expect("valid k");
+    let population = Population::from_inputs(&protocol, inputs);
+    let mut sim = Simulation::new(&protocol, population, scheduler, seed);
+
+    let truth = circles_core::GreedyDecomposition::from_inputs(inputs, k)
+        .expect("valid inputs")
+        .winner();
+
+    let mut next_fault = 0usize;
+    let mut stabilized = false;
+    while sim.stats().steps < max_steps {
+        while next_fault < plan.faults().len()
+            && plan.faults()[next_fault].at_step <= sim.stats().steps
+        {
+            let fault = plan.faults()[next_fault];
+            let fresh = protocol.input(&inputs[fault.agent]);
+            sim.inject_state(fault.agent, fresh)?;
+            next_fault += 1;
+        }
+        let _ = sim.step()?;
+        // Check silence only occasionally (it is O(d²)) and only after all
+        // faults have fired — a "silent" state before the last fault is not
+        // terminal.
+        if next_fault == plan.faults().len()
+            && sim.stats().steps % 64 == 0
+            && sim.population().is_silent(&protocol)
+        {
+            stabilized = true;
+            break;
+        }
+    }
+    if !stabilized && sim.population().is_silent(&protocol) {
+        stabilized = next_fault == plan.faults().len();
+    }
+
+    let consensus = sim.population().output_consensus(&protocol);
+    let conserved_at_end = population_conserves(sim.population(), k);
+    Ok(FaultReport {
+        stabilized,
+        correct: truth.is_some() && consensus == truth,
+        consensus,
+        conserved_at_end,
+        steps: sim.stats().steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::UniformPairScheduler;
+
+    fn colors(xs: &[u16]) -> Vec<Color> {
+        xs.iter().map(|&x| Color(x)).collect()
+    }
+
+    #[test]
+    fn fault_free_run_is_correct_and_conserved() {
+        let inputs = colors(&[0, 0, 0, 1, 1, 2]);
+        let report = run_with_faults(
+            &inputs,
+            3,
+            UniformPairScheduler::new(),
+            1,
+            &FaultPlan::new(),
+            1_000_000,
+        )
+        .unwrap();
+        assert!(report.stabilized);
+        assert!(report.correct);
+        assert!(report.conserved_at_end);
+    }
+
+    #[test]
+    fn early_fault_often_self_heals() {
+        // A reset at step 1 is close to a fresh start; the run should
+        // stabilize (possibly with broken conservation, since the old ket
+        // survives elsewhere).
+        let inputs = colors(&[0, 0, 0, 1, 1]);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault { at_step: 1, agent: 0 });
+        let report = run_with_faults(
+            &inputs,
+            2,
+            UniformPairScheduler::new(),
+            2,
+            &plan,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(report.stabilized, "{report:?}");
+    }
+
+    #[test]
+    fn plan_sorts_faults() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault { at_step: 50, agent: 1 });
+        plan.push(Fault { at_step: 10, agent: 0 });
+        assert_eq!(plan.faults()[0].at_step, 10);
+    }
+}

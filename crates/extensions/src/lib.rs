@@ -1,0 +1,37 @@
+//! Extensions of the Circles protocol (paper §4).
+//!
+//! The brief announcement sketches two extension directions and defers the
+//! constructions to a full version. This crate reconstructs what the sketch
+//! pins down and documents what it does not (see `DESIGN.md` §6):
+//!
+//! - [`ordering`]: the per-color leader-election + label protocol
+//!   ("generate an ordering between colors using `O(k²)` states"): every
+//!   agent starts as a leader; same-color leaders merge using interaction
+//!   asymmetry; leaders increment their numeric label whenever they meet a
+//!   leader with the same label; followers copy their leader's label.
+//! - [`unordered`]: the composition of the ordering protocol with Circles
+//!   for the *unordered* setting (colors comparable only for equality),
+//!   using `O(k⁴)` states: Circles runs over labels, and an agent whose
+//!   label changes enters an *undoing* phase in which it waits to recover
+//!   the ket matching its own bra before re-initializing — exactly the
+//!   paper's "wait to undo changes … until they are consistent again".
+//! - [`ties`]: tie semantics (report / break / share) as oracles and
+//!   checkers. The BA proves just enough theory to show vanilla Circles
+//!   *stalls* under ties (no self-loop survives, Lemma 3.2/3.6); a locally
+//!   checkable tie witness is not derivable from the BA, so no tie-handling
+//!   *protocol* is shipped — experiment E7 instead quantifies the stall.
+//! - [`faults`]: out-of-model crash/recovery injection, measuring Circles'
+//!   empirical self-healing (bra-ket conservation is deliberately violated
+//!   and the damage measured).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod ordering;
+pub mod ties;
+pub mod unordered;
+
+pub use ordering::{OrderingProtocol, OrderingState, Role};
+pub use ties::{TieAnalysis, TieSemantics};
+pub use unordered::{UnorderedCircles, UnorderedOutput, UnorderedState};

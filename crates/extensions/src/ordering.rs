@@ -1,0 +1,308 @@
+//! The color-ordering protocol of paper §4: per-color leader election plus
+//! collision-incremented numeric labels — `O(k²)` states.
+//!
+//! Quoting the paper: *"we perform leader-election between all agents of the
+//! same color (using the asymmetry of interactions) and have the leaders
+//! increment a numeric label every time they meet another leader with the
+//! same label. The non-leaders simply copy the label of their leader."*
+//!
+//! # Termination (sketch, verified by model checking for small instances)
+//!
+//! Same-color leader pairs meet infinitely often under weak fairness, and
+//! the first meeting demotes one — so after finitely many interactions at
+//! most one leader per color remains: `m ≤ #colors ≤ k` leaders. View the
+//! leaders' labels as chips on the cycle `Z_k`; a collision moves one chip
+//! forward by one. A chip moving out of a slot leaves at least one chip
+//! behind (collisions need two), so the number of empty slots never
+//! increases; it is finite, hence eventually constant, and from then on no
+//! chip ever enters an empty slot. The empty slots then cut the cycle into
+//! fixed linear arcs, inside which chips only move rightward a bounded
+//! distance — so collisions, which weak fairness keeps resolving while any
+//! exist, run out. Terminal: all leader labels distinct.
+
+use circles_core::Color;
+use pp_protocol::{EnumerableProtocol, Population, Protocol};
+
+/// Leader or follower, per color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Still in the running for its color's leadership.
+    Leader,
+    /// Demoted; copies its leader's label.
+    Follower,
+}
+
+/// State of the ordering protocol: opaque color, role, numeric label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrderingState {
+    /// The agent's input color. The protocol only ever compares colors for
+    /// *equality* — this is the unordered setting.
+    pub color: Color,
+    /// Leader/follower.
+    pub role: Role,
+    /// Numeric label in `[0, k-1]`.
+    pub label: u16,
+}
+
+/// The ordering protocol for at most `k` distinct colors. See the
+/// [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use circles_core::Color;
+/// use pp_extensions::OrderingProtocol;
+/// use pp_protocol::{Population, Simulation, UniformPairScheduler};
+///
+/// let protocol = OrderingProtocol::new(3);
+/// let inputs: Vec<Color> = [7, 7, 42, 42, 9].map(Color).to_vec(); // 3 distinct colors
+/// let population = Population::from_inputs(&protocol, &inputs);
+/// let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 5);
+/// let _ = sim.run_until_silent(1_000_000, 8)?;
+/// assert!(OrderingProtocol::labeling_is_valid(sim.population()));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderingProtocol {
+    k: u16,
+}
+
+impl OrderingProtocol {
+    /// Creates the protocol with label space `[0, k-1]`.
+    ///
+    /// `k` must be at least the number of *distinct* colors in the input
+    /// population, otherwise the label chips can never spread out and the
+    /// protocol livelocks (labels are pigeonholed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: u16) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        OrderingProtocol { k }
+    }
+
+    /// The label-space size.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Whether a population is correctly labeled: exactly one leader per
+    /// color, leader labels pairwise distinct, and every follower carries
+    /// its color's leader label.
+    pub fn labeling_is_valid(population: &Population<OrderingState>) -> bool {
+        use std::collections::HashMap;
+        let mut leader_label: HashMap<Color, Vec<u16>> = HashMap::new();
+        for s in population.iter() {
+            if s.role == Role::Leader {
+                leader_label.entry(s.color).or_default().push(s.label);
+            }
+        }
+        // One leader per present color.
+        if leader_label.values().any(|ls| ls.len() != 1) {
+            return false;
+        }
+        let colors_present: std::collections::HashSet<Color> =
+            population.iter().map(|s| s.color).collect();
+        if leader_label.len() != colors_present.len() {
+            return false;
+        }
+        // Distinct labels across leaders.
+        let mut labels: Vec<u16> = leader_label.values().map(|ls| ls[0]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != leader_label.len() {
+            return false;
+        }
+        // Followers synced.
+        population.iter().all(|s| {
+            s.role == Role::Leader || leader_label.get(&s.color).map(|ls| ls[0]) == Some(s.label)
+        })
+    }
+}
+
+impl Protocol for OrderingProtocol {
+    type State = OrderingState;
+    type Input = Color;
+    type Output = u16;
+
+    fn name(&self) -> &str {
+        "ordering"
+    }
+
+    fn input(&self, input: &Color) -> OrderingState {
+        OrderingState {
+            color: *input,
+            role: Role::Leader,
+            label: 0,
+        }
+    }
+
+    fn output(&self, state: &OrderingState) -> u16 {
+        state.label
+    }
+
+    fn transition(
+        &self,
+        initiator: &OrderingState,
+        responder: &OrderingState,
+    ) -> (OrderingState, OrderingState) {
+        let u = *initiator;
+        let mut v = *responder;
+        match (u.role, v.role) {
+            // Same color, both leaders: asymmetry demotes the responder,
+            // which adopts the surviving leader's label.
+            (Role::Leader, Role::Leader) if u.color == v.color => {
+                v.role = Role::Follower;
+                v.label = u.label;
+                (u, v)
+            }
+            // Distinct colors, both leaders, label collision: the responder
+            // moves its chip forward.
+            (Role::Leader, Role::Leader) if u.label == v.label => {
+                v.label = (v.label + 1) % self.k;
+                (u, v)
+            }
+            // Follower meets its color's leader: copy the label
+            // (either direction).
+            (Role::Leader, Role::Follower) if u.color == v.color => {
+                v.label = u.label;
+                (u, v)
+            }
+            (Role::Follower, Role::Leader) if u.color == v.color => {
+                let mut u2 = u;
+                u2.label = v.label;
+                (u2, v)
+            }
+            _ => (u, v),
+        }
+    }
+}
+
+impl EnumerableProtocol for OrderingProtocol {
+    /// `2k²` states per (opaque) color: role × label. Colors are an input
+    /// alphabet, not protocol memory — the state space the paper counts is
+    /// role × label relative to the agent's own color, so we enumerate over
+    /// a canonical color set of size `k`.
+    fn states(&self) -> Vec<OrderingState> {
+        let mut out = Vec::with_capacity(2 * usize::from(self.k) * usize::from(self.k));
+        for c in 0..self.k {
+            for label in 0..self.k {
+                for role in [Role::Leader, Role::Follower] {
+                    out.push(OrderingState {
+                        color: Color(c),
+                        role,
+                        label,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Simulation, UniformPairScheduler};
+    use pp_schedulers::RoundRobinScheduler;
+
+    fn run(inputs: &[u16], k: u16, seed: u64) -> Population<OrderingState> {
+        let protocol = OrderingProtocol::new(k);
+        let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+        let population = Population::from_inputs(&protocol, &colors);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        sim.run_until_silent(10_000_000, 16).expect("ordering did not stabilize");
+        sim.into_population()
+    }
+
+    #[test]
+    fn single_color_elects_single_leader() {
+        let population = run(&[3, 3, 3, 3], 1, 1);
+        assert!(OrderingProtocol::labeling_is_valid(&population));
+        let leaders = population.iter().filter(|s| s.role == Role::Leader).count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn three_colors_get_distinct_labels() {
+        let population = run(&[10, 10, 20, 20, 30, 30, 30], 3, 2);
+        assert!(OrderingProtocol::labeling_is_valid(&population));
+        let mut labels: Vec<u16> = population
+            .iter()
+            .filter(|s| s.role == Role::Leader)
+            .map(|s| s.label)
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels.len(), 3);
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn labels_stay_within_range() {
+        let population = run(&[1, 2, 3, 4], 4, 3);
+        assert!(population.iter().all(|s| s.label < 4));
+    }
+
+    #[test]
+    fn works_under_round_robin() {
+        let protocol = OrderingProtocol::new(2);
+        let colors: Vec<Color> = [5, 5, 6, 6, 6].map(Color).to_vec();
+        let population = Population::from_inputs(&protocol, &colors);
+        let mut sim = Simulation::new(&protocol, population, RoundRobinScheduler::new(), 0);
+        sim.run_until_silent(1_000_000, 20).unwrap();
+        assert!(OrderingProtocol::labeling_is_valid(sim.population()));
+    }
+
+    #[test]
+    fn spare_label_space_is_fine() {
+        // k larger than the number of distinct colors.
+        let population = run(&[1, 2], 5, 7);
+        assert!(OrderingProtocol::labeling_is_valid(&population));
+    }
+
+    #[test]
+    fn state_complexity_is_order_k_squared() {
+        // color × label × role = k · k · 2.
+        assert_eq!(OrderingProtocol::new(4).state_complexity(), 4 * 4 * 2);
+    }
+
+    #[test]
+    fn validity_rejects_bad_labelings() {
+        // Two leaders of the same color.
+        let bad: Population<OrderingState> = [
+            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
+            OrderingState { color: Color(1), role: Role::Leader, label: 1 },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!OrderingProtocol::labeling_is_valid(&bad));
+
+        // Colliding leader labels across colors.
+        let bad2: Population<OrderingState> = [
+            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
+            OrderingState { color: Color(2), role: Role::Leader, label: 0 },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!OrderingProtocol::labeling_is_valid(&bad2));
+
+        // Stale follower.
+        let bad3: Population<OrderingState> = [
+            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
+            OrderingState { color: Color(1), role: Role::Follower, label: 1 },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!OrderingProtocol::labeling_is_valid(&bad3));
+
+        // A color with no leader at all.
+        let bad4: Population<OrderingState> = [
+            OrderingState { color: Color(1), role: Role::Follower, label: 0 },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!OrderingProtocol::labeling_is_valid(&bad4));
+    }
+}

@@ -1,0 +1,246 @@
+//! Tie semantics (paper §4) — oracles and checkers.
+//!
+//! The paper names three ways a protocol could handle ties: **tie report**
+//! (all agents enter a special "tie" state), **tie break** (all agents agree
+//! on one winning color), and **tie share** (winners output their own color,
+//! losers output any winning color) — and defers the constructions to the
+//! full version.
+//!
+//! What the brief announcement's theory *does* pin down is how vanilla
+//! Circles behaves under a tie: by Lemma 3.2's proof structure, a color `i`
+//! has a singleton greedy set (and hence a terminal self-loop `⟨i|i⟩`,
+//! Lemma 3.6) iff `i` strictly beats every other color. Under a tie **no
+//! self-loop survives stabilization**, so output rule 2 eventually stops
+//! firing and outputs freeze at historical, possibly non-winning values.
+//! Experiment E7 measures that stall; [`TieAnalysis`] provides the ground
+//! truth and [`TieSemantics::is_satisfied_by`] checks final outputs against
+//! each semantics, so any future tie-handling layer can be validated against
+//! the same oracle.
+
+use circles_core::{CirclesError, Color, GreedyDecomposition};
+
+/// The tie-handling semantics named in paper §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieSemantics {
+    /// Every agent must (eventually, forever) indicate "tie".
+    Report,
+    /// Every agent must output the same winning color.
+    Break,
+    /// Winners output their own color; losers output *some* winning color.
+    Share,
+}
+
+/// Ground truth about an input multiset's winners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieAnalysis {
+    /// The colors attaining the maximum count.
+    pub winners: Vec<Color>,
+    /// The maximum count `q`.
+    pub max_count: usize,
+    /// Number of agents.
+    pub n: usize,
+}
+
+impl TieAnalysis {
+    /// Analyzes an input multiset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`GreedyDecomposition`].
+    pub fn of(inputs: &[Color], k: u16) -> Result<Self, CirclesError> {
+        let greedy = GreedyDecomposition::from_inputs(inputs, k)?;
+        Ok(TieAnalysis {
+            winners: greedy.winners(),
+            max_count: greedy.num_sets(),
+            n: greedy.n(),
+        })
+    }
+
+    /// Whether the input is tied.
+    pub fn is_tie(&self) -> bool {
+        self.winners.len() > 1
+    }
+}
+
+/// An agent's answer in a tie-aware protocol: either a color or an explicit
+/// tie report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TieAwareOutput {
+    /// The agent names a color.
+    Winner(Color),
+    /// The agent reports a tie.
+    Tie,
+}
+
+impl TieSemantics {
+    /// Checks final per-agent outputs against this semantics, given each
+    /// agent's input color and the ground-truth analysis.
+    ///
+    /// `outputs[i]` is agent `i`'s final answer; `inputs[i]` its input
+    /// color. For non-tied inputs all three semantics coincide: everyone
+    /// must name the unique winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outputs` and `inputs` have different lengths.
+    pub fn is_satisfied_by(
+        &self,
+        inputs: &[Color],
+        outputs: &[TieAwareOutput],
+        analysis: &TieAnalysis,
+    ) -> bool {
+        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+        if !analysis.is_tie() {
+            let mu = analysis.winners[0];
+            return outputs.iter().all(|o| *o == TieAwareOutput::Winner(mu));
+        }
+        match self {
+            TieSemantics::Report => outputs.iter().all(|o| *o == TieAwareOutput::Tie),
+            TieSemantics::Break => {
+                let mut named = None;
+                for o in outputs {
+                    match o {
+                        TieAwareOutput::Winner(c) if analysis.winners.contains(c) => {
+                            match named {
+                                None => named = Some(*c),
+                                Some(w) if w != *c => return false,
+                                _ => {}
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                true
+            }
+            TieSemantics::Share => inputs.iter().zip(outputs).all(|(input, o)| {
+                match o {
+                    TieAwareOutput::Winner(c) => {
+                        if analysis.winners.contains(input) {
+                            // Winners must output their own color.
+                            c == input
+                        } else {
+                            // Losers output any winning color.
+                            analysis.winners.contains(c)
+                        }
+                    }
+                    TieAwareOutput::Tie => false,
+                }
+            }),
+        }
+    }
+}
+
+/// The fraction of agents whose final Circles output is a winning color —
+/// the dispersion measurement of experiment E7 (1.0 would mean the stalled
+/// outputs happen to satisfy the *share* semantics' loser clause).
+pub fn winning_output_fraction(outputs: &[Color], analysis: &TieAnalysis) -> f64 {
+    if outputs.is_empty() {
+        return 0.0;
+    }
+    let hits = outputs
+        .iter()
+        .filter(|c| analysis.winners.contains(c))
+        .count();
+    hits as f64 / outputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(xs: &[u16]) -> Vec<Color> {
+        xs.iter().map(|&x| Color(x)).collect()
+    }
+
+    #[test]
+    fn analysis_detects_ties() {
+        let a = TieAnalysis::of(&colors(&[0, 0, 1, 1, 2]), 3).unwrap();
+        assert!(a.is_tie());
+        assert_eq!(a.winners, colors(&[0, 1]));
+        assert_eq!(a.max_count, 2);
+
+        let b = TieAnalysis::of(&colors(&[0, 0, 1]), 2).unwrap();
+        assert!(!b.is_tie());
+    }
+
+    #[test]
+    fn no_tie_all_semantics_require_unique_winner() {
+        let inputs = colors(&[0, 0, 1]);
+        let a = TieAnalysis::of(&inputs, 2).unwrap();
+        let good = vec![TieAwareOutput::Winner(Color(0)); 3];
+        let bad = vec![
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(0)),
+        ];
+        for semantics in [TieSemantics::Report, TieSemantics::Break, TieSemantics::Share] {
+            assert!(semantics.is_satisfied_by(&inputs, &good, &a));
+            assert!(!semantics.is_satisfied_by(&inputs, &bad, &a));
+        }
+    }
+
+    #[test]
+    fn report_semantics() {
+        let inputs = colors(&[0, 1]);
+        let a = TieAnalysis::of(&inputs, 2).unwrap();
+        let all_tie = vec![TieAwareOutput::Tie; 2];
+        assert!(TieSemantics::Report.is_satisfied_by(&inputs, &all_tie, &a));
+        let mixed = vec![TieAwareOutput::Tie, TieAwareOutput::Winner(Color(0))];
+        assert!(!TieSemantics::Report.is_satisfied_by(&inputs, &mixed, &a));
+    }
+
+    #[test]
+    fn break_semantics() {
+        let inputs = colors(&[0, 0, 1, 1]);
+        let a = TieAnalysis::of(&inputs, 2).unwrap();
+        let all_zero = vec![TieAwareOutput::Winner(Color(0)); 4];
+        assert!(TieSemantics::Break.is_satisfied_by(&inputs, &all_zero, &a));
+        let split = vec![
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(1)),
+        ];
+        assert!(!TieSemantics::Break.is_satisfied_by(&inputs, &split, &a));
+    }
+
+    #[test]
+    fn share_semantics() {
+        // Colors 0 and 1 tie at count 2; color 2 loses with count 1.
+        let inputs = colors(&[0, 0, 1, 1, 2]);
+        let a = TieAnalysis::of(&inputs, 3).unwrap();
+        assert_eq!(a.winners, colors(&[0, 1]));
+        let good = vec![
+            TieAwareOutput::Winner(Color(0)), // winner keeps own color
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(1)), // winner keeps own color
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(1)), // loser picks a winning color
+        ];
+        assert!(TieSemantics::Share.is_satisfied_by(&inputs, &good, &a));
+        let bad_winner = vec![
+            TieAwareOutput::Winner(Color(1)), // winner must not defect
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(0)),
+        ];
+        assert!(!TieSemantics::Share.is_satisfied_by(&inputs, &bad_winner, &a));
+        let bad_loser = vec![
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(0)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(1)),
+            TieAwareOutput::Winner(Color(2)), // loser naming a loser
+        ];
+        assert!(!TieSemantics::Share.is_satisfied_by(&inputs, &bad_loser, &a));
+    }
+
+    #[test]
+    fn winning_fraction_counts_hits() {
+        let a = TieAnalysis::of(&colors(&[0, 0, 1, 1]), 3).unwrap();
+        let outs = colors(&[0, 1, 2, 2]);
+        assert!((winning_output_fraction(&outs, &a) - 0.5).abs() < 1e-12);
+        assert_eq!(winning_output_fraction(&[], &a), 0.0);
+    }
+}

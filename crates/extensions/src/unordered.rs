@@ -1,0 +1,502 @@
+//! Circles for the *unordered* setting (paper §4): colors comparable only
+//! for equality, `O(k⁴)` states.
+//!
+//! Circles needs numeric colors (the weight function is a cyclic distance),
+//! so in the unordered setting agents first agree on a numbering via the
+//! [ordering protocol](crate::ordering) and run Circles over *labels*. The
+//! delicate part — the part the paper's sketch spends most of its words on —
+//! is what happens when an agent's label changes after it has already traded
+//! kets: resetting unilaterally would corrupt the global bra-ket invariant
+//! (Lemma 3.3), after which Lemma 3.6's terminal prediction no longer holds.
+//!
+//! Following the sketch ("*we need to put agents into special states in
+//! which they wait to undo changes they previously made to the population
+//! until they are 'consistent' again and ready to be re-initialized*"), an
+//! agent whose label must change enters an **Undoing** phase:
+//!
+//! - it stops participating in Circles exchanges;
+//! - when it meets any bra-ket-holding agent whose *ket equals its own
+//!   bra*, the two swap kets unconditionally — the undoing agent is now the
+//!   self-consistent `⟨b|b⟩` and can retire its bra-ket without breaking
+//!   conservation;
+//! - it then re-initializes: a leader adopts label `(b+1) mod k` (its label
+//!   collision target); a follower becomes **Unlabeled** and later adopts
+//!   its color's current label from any labeled same-color agent.
+//!
+//! Per-label conservation (#bras = #kets among bra-ket holders) is preserved
+//! by every rule — checked by [`UnorderedCircles::conservation_holds`] and property tests —
+//! and Circles is self-stabilizing with respect to ket permutations (its
+//! Lemma 3.6 induction only needs bra counts, which re-initialization makes
+//! match the final labeling), so after the ordering layer stabilizes the
+//! composition converges exactly like vanilla Circles.
+//!
+//! State count: `phase(4) × bra(k) × ket(k) × out(k)` per color plus
+//! `k` unlabeled `out` states per color = `k(4k³ + k) = O(k⁴)` — matching
+//! the paper's claim.
+
+use circles_core::{BraKet, CirclesProtocol, Color};
+use pp_protocol::{EnumerableProtocol, Population, Protocol};
+
+use crate::ordering::Role;
+
+/// Progress phase of an agent in the unordered composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnorderedPhase {
+    /// Labeled and participating in Circles (bra == current label).
+    Active(Role),
+    /// Label became stale; waiting to recover the ket matching its bra.
+    Undoing(Role),
+    /// Reset complete, waiting to adopt its color's label (followers only).
+    Unlabeled,
+}
+
+/// Full state of the unordered composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnorderedState {
+    /// The agent's opaque input color (equality comparisons only).
+    pub color: Color,
+    /// Phase (active / undoing / unlabeled).
+    pub phase: UnorderedPhase,
+    /// Circles bra-ket over *labels*; meaningless when `Unlabeled`
+    /// (normalized to `⟨0|0⟩` so equal logical states compare equal).
+    pub braket: BraKet,
+    /// Circles output register (a label).
+    pub out: u16,
+}
+
+impl UnorderedState {
+    /// The agent's current label: its bra while `Active`.
+    pub fn label(&self) -> Option<u16> {
+        match self.phase {
+            UnorderedPhase::Active(_) => Some(self.braket.bra.0),
+            _ => None,
+        }
+    }
+
+    /// Whether the agent currently holds a bra-ket (participates in
+    /// conservation).
+    pub fn holds_braket(&self) -> bool {
+        !matches!(self.phase, UnorderedPhase::Unlabeled)
+    }
+
+    fn role(&self) -> Option<Role> {
+        match self.phase {
+            UnorderedPhase::Active(r) | UnorderedPhase::Undoing(r) => Some(r),
+            UnorderedPhase::Unlabeled => None,
+        }
+    }
+}
+
+/// Output of the unordered composition: what the agent would answer when
+/// queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnorderedOutput {
+    /// The label the agent believes belongs to the winning color.
+    pub winner_label: u16,
+    /// Whether the agent believes its *own* color is the winner (its own
+    /// label equals `winner_label`). `false` while unlabeled/undoing and the
+    /// label is unknown.
+    pub own_color_wins: bool,
+}
+
+/// The unordered-setting Circles composition. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use circles_core::Color;
+/// use pp_extensions::UnorderedCircles;
+/// use pp_protocol::{Population, Simulation, UniformPairScheduler};
+///
+/// // Opaque colors 77 / 5 / 900: color 5 has plurality 3 of 6.
+/// let protocol = UnorderedCircles::new(3);
+/// let inputs: Vec<Color> = [77, 5, 5, 900, 5, 77].map(Color).to_vec();
+/// let population = Population::from_inputs(&protocol, &inputs);
+/// let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 9);
+/// let _ = sim.run_until_silent(10_000_000, 32)?;
+/// assert_eq!(UnorderedCircles::consensus_winner(sim.population()), Some(Color(5)));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnorderedCircles {
+    k: u16,
+}
+
+impl UnorderedCircles {
+    /// Creates the composition with label space `[0, k-1]`; `k` must be at
+    /// least the number of distinct colors in the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: u16) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        UnorderedCircles { k }
+    }
+
+    /// The label-space size.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+
+    /// Per-label bra-ket conservation among bra-ket-holding agents — the
+    /// composition's version of Lemma 3.3, which the undo machinery exists
+    /// to protect.
+    pub fn conservation_holds(population: &Population<UnorderedState>, k: u16) -> bool {
+        let mut bras = vec![0i64; usize::from(k)];
+        let mut kets = vec![0i64; usize::from(k)];
+        for s in population.iter() {
+            if s.holds_braket() {
+                bras[s.braket.bra.index()] += 1;
+                kets[s.braket.ket.index()] += 1;
+            }
+        }
+        bras == kets
+    }
+
+    /// When the population has converged (all outputs agree and agents are
+    /// active), returns the *color* that won: the color of the active agents
+    /// whose label equals the consensus winner label.
+    ///
+    /// Returns `None` when outputs disagree, some agent is still
+    /// unlabeled/undoing, or no agent holds the winning label.
+    pub fn consensus_winner(population: &Population<UnorderedState>) -> Option<Color> {
+        let protocol = UnorderedCircles {
+            k: u16::MAX, // k is irrelevant for reading outputs
+        };
+        let mut winner_label: Option<u16> = None;
+        for s in population.iter() {
+            if !matches!(s.phase, UnorderedPhase::Active(_)) {
+                return None;
+            }
+            let out = protocol.output(s).winner_label;
+            match winner_label {
+                None => winner_label = Some(out),
+                Some(w) if w != out => return None,
+                _ => {}
+            }
+        }
+        let w = winner_label?;
+        let mut winner_color: Option<Color> = None;
+        for s in population.iter() {
+            if s.label() == Some(w) {
+                match winner_color {
+                    None => winner_color = Some(s.color),
+                    Some(c) if c != s.color => return None, // inconsistent labeling
+                    _ => {}
+                }
+            }
+        }
+        winner_color
+    }
+
+    /// Completes an undo if the agent's bra-ket became self-consistent:
+    /// leaders re-enter with the incremented label, followers drop to
+    /// `Unlabeled`.
+    fn try_complete_undo(&self, s: &mut UnorderedState) {
+        if let UnorderedPhase::Undoing(role) = s.phase {
+            if s.braket.is_self_loop() {
+                match role {
+                    Role::Leader => {
+                        let next = (s.braket.bra.0 + 1) % self.k;
+                        s.braket = BraKet::self_loop(Color(next));
+                        s.out = next;
+                        s.phase = UnorderedPhase::Active(Role::Leader);
+                    }
+                    Role::Follower => {
+                        s.braket = BraKet::self_loop(Color(0));
+                        s.phase = UnorderedPhase::Unlabeled;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Puts an active agent into the undoing phase (immediately completing
+    /// it when its bra-ket is already self-consistent).
+    fn start_undo(&self, s: &mut UnorderedState) {
+        if let UnorderedPhase::Active(role) = s.phase {
+            s.phase = UnorderedPhase::Undoing(role);
+            self.try_complete_undo(s);
+        }
+    }
+}
+
+impl Protocol for UnorderedCircles {
+    type State = UnorderedState;
+    type Input = Color;
+    type Output = UnorderedOutput;
+
+    fn name(&self) -> &str {
+        "unordered-circles"
+    }
+
+    fn input(&self, input: &Color) -> UnorderedState {
+        UnorderedState {
+            color: *input,
+            phase: UnorderedPhase::Active(Role::Leader),
+            braket: BraKet::self_loop(Color(0)),
+            out: 0,
+        }
+    }
+
+    fn output(&self, state: &UnorderedState) -> UnorderedOutput {
+        UnorderedOutput {
+            winner_label: state.out,
+            own_color_wins: state.label() == Some(state.out),
+        }
+    }
+
+    fn transition(
+        &self,
+        initiator: &UnorderedState,
+        responder: &UnorderedState,
+    ) -> (UnorderedState, UnorderedState) {
+        let mut u = *initiator;
+        let mut v = *responder;
+
+        // Rule 1 — leader merge (asymmetric): same color, both leaders.
+        if u.color == v.color
+            && u.role() == Some(Role::Leader)
+            && v.role() == Some(Role::Leader)
+        {
+            match v.phase {
+                UnorderedPhase::Active(_) => {
+                    v.phase = UnorderedPhase::Active(Role::Follower);
+                    // If the labels disagree the demoted leader is now a
+                    // stale follower; it must undo and re-adopt.
+                    if u.label().is_some() && v.label() != u.label() {
+                        self.start_undo(&mut v);
+                    }
+                }
+                UnorderedPhase::Undoing(_) => {
+                    v.phase = UnorderedPhase::Undoing(Role::Follower);
+                }
+                UnorderedPhase::Unlabeled => unreachable!("unlabeled agents have no role"),
+            }
+            return (u, v);
+        }
+
+        // Rule 2 — label collision between active leaders of different
+        // colors: the responder's chip moves forward (via undo).
+        if let (UnorderedPhase::Active(Role::Leader), UnorderedPhase::Active(Role::Leader)) =
+            (u.phase, v.phase)
+        {
+            if u.braket.bra == v.braket.bra {
+                self.start_undo(&mut v);
+                return (u, v);
+            }
+        }
+
+        // Rule 3 — follower sync: an active follower learns its active
+        // same-color leader carries a different label.
+        {
+            let follower_first = matches!(u.phase, UnorderedPhase::Active(Role::Follower))
+                && matches!(v.phase, UnorderedPhase::Active(Role::Leader))
+                && u.color == v.color
+                && u.braket.bra != v.braket.bra;
+            if follower_first {
+                self.start_undo(&mut u);
+                return (u, v);
+            }
+            let follower_second = matches!(v.phase, UnorderedPhase::Active(Role::Follower))
+                && matches!(u.phase, UnorderedPhase::Active(Role::Leader))
+                && u.color == v.color
+                && u.braket.bra != v.braket.bra;
+            if follower_second {
+                self.start_undo(&mut v);
+                return (u, v);
+            }
+        }
+
+        // Rule 4 — unlabeled adoption: an unlabeled agent copies the label
+        // of an active same-color agent and re-enters Circles as a fresh
+        // self-loop (conservation: adds one bra and one ket of the label).
+        {
+            let adopt = |from: &UnorderedState, to: &mut UnorderedState| {
+                let label = from.braket.bra;
+                to.braket = BraKet::self_loop(label);
+                to.out = label.0;
+                to.phase = UnorderedPhase::Active(Role::Follower);
+            };
+            if matches!(u.phase, UnorderedPhase::Unlabeled)
+                && matches!(v.phase, UnorderedPhase::Active(_))
+                && u.color == v.color
+            {
+                adopt(&v, &mut u);
+                return (u, v);
+            }
+            if matches!(v.phase, UnorderedPhase::Unlabeled)
+                && matches!(u.phase, UnorderedPhase::Active(_))
+                && u.color == v.color
+            {
+                adopt(&u, &mut v);
+                return (u, v);
+            }
+        }
+
+        // Rule 5 — undo swap: an undoing agent recovers the ket equal to
+        // its bra from any bra-ket holder (unconditional ket swap).
+        {
+            let u_wants = matches!(u.phase, UnorderedPhase::Undoing(_))
+                && v.holds_braket()
+                && v.braket.ket == u.braket.bra;
+            let v_wants = matches!(v.phase, UnorderedPhase::Undoing(_))
+                && u.holds_braket()
+                && u.braket.ket == v.braket.bra;
+            if u_wants || v_wants {
+                let (ku, kv) = (u.braket.ket, v.braket.ket);
+                u.braket.ket = kv;
+                v.braket.ket = ku;
+                self.try_complete_undo(&mut u);
+                self.try_complete_undo(&mut v);
+                return (u, v);
+            }
+        }
+
+        // Rule 6 — Circles over labels between two active agents.
+        if matches!(u.phase, UnorderedPhase::Active(_))
+            && matches!(v.phase, UnorderedPhase::Active(_))
+        {
+            let (cu, cv) = CirclesProtocol::transition_states(
+                self.k,
+                circles_core::CirclesState { braket: u.braket, out: Color(u.out) },
+                circles_core::CirclesState { braket: v.braket, out: Color(v.out) },
+            );
+            u.braket = cu.braket;
+            u.out = cu.out.0;
+            v.braket = cv.braket;
+            v.out = cv.out.0;
+            return (u, v);
+        }
+
+        (u, v)
+    }
+}
+
+impl EnumerableProtocol for UnorderedCircles {
+    /// `O(k⁴)` states: `color × phase(4) × bra × ket × out` for bra-ket
+    /// holders plus `color × out` for unlabeled agents.
+    fn states(&self) -> Vec<UnorderedState> {
+        let k = self.k;
+        let mut out = Vec::new();
+        for color in 0..k {
+            for phase in [
+                UnorderedPhase::Active(Role::Leader),
+                UnorderedPhase::Active(Role::Follower),
+                UnorderedPhase::Undoing(Role::Leader),
+                UnorderedPhase::Undoing(Role::Follower),
+            ] {
+                for bra in 0..k {
+                    for ket in 0..k {
+                        for o in 0..k {
+                            out.push(UnorderedState {
+                                color: Color(color),
+                                phase,
+                                braket: BraKet::new(Color(bra), Color(ket)),
+                                out: o,
+                            });
+                        }
+                    }
+                }
+            }
+            for o in 0..k {
+                out.push(UnorderedState {
+                    color: Color(color),
+                    phase: UnorderedPhase::Unlabeled,
+                    braket: BraKet::self_loop(Color(0)),
+                    out: o,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::{Simulation, UniformPairScheduler};
+    use pp_schedulers::ShuffledRoundsScheduler;
+
+    fn converge(inputs: &[u16], k: u16, seed: u64) -> Population<UnorderedState> {
+        let protocol = UnorderedCircles::new(k);
+        let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+        let population = Population::from_inputs(&protocol, &colors);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        sim.run_until_silent(50_000_000, 64)
+            .expect("unordered circles did not stabilize");
+        sim.into_population()
+    }
+
+    #[test]
+    fn single_color_trivially_wins() {
+        let population = converge(&[9, 9, 9], 1, 1);
+        assert_eq!(
+            UnorderedCircles::consensus_winner(&population),
+            Some(Color(9))
+        );
+    }
+
+    #[test]
+    fn two_opaque_colors_majority_wins() {
+        let population = converge(&[100, 100, 100, 200, 200], 2, 2);
+        assert_eq!(
+            UnorderedCircles::consensus_winner(&population),
+            Some(Color(100))
+        );
+        assert!(UnorderedCircles::conservation_holds(&population, 2));
+    }
+
+    #[test]
+    fn three_opaque_colors_plurality_wins() {
+        let population = converge(&[7, 3, 3, 11, 3, 11], 3, 3);
+        assert_eq!(
+            UnorderedCircles::consensus_winner(&population),
+            Some(Color(3))
+        );
+    }
+
+    #[test]
+    fn conservation_holds_along_a_run() {
+        let protocol = UnorderedCircles::new(3);
+        let colors: Vec<Color> = [5, 5, 8, 8, 8, 13].map(Color).to_vec();
+        let population = Population::from_inputs(&protocol, &colors);
+        let mut sim = Simulation::new(&protocol, population, ShuffledRoundsScheduler::new(), 4);
+        for _ in 0..3000 {
+            let _ = sim.step().unwrap();
+            assert!(
+                UnorderedCircles::conservation_holds(sim.population(), 3),
+                "conservation broken at step {}",
+                sim.stats().steps
+            );
+        }
+    }
+
+    #[test]
+    fn output_says_whether_own_color_wins() {
+        let population = converge(&[100, 100, 100, 200, 200], 2, 5);
+        let protocol = UnorderedCircles::new(2);
+        for s in population.iter() {
+            let out = protocol.output(s);
+            assert_eq!(out.own_color_wins, s.color == Color(100));
+        }
+    }
+
+    #[test]
+    fn state_complexity_is_order_k_fourth() {
+        let p = UnorderedCircles::new(3);
+        // 3 colors × (4 phases × 27 brakets×outs ... ): color(3) × 4 × 3³ +
+        // color(3) × 3 unlabeled outs.
+        assert_eq!(p.state_complexity(), 3 * 4 * 27 + 3 * 3);
+    }
+
+    #[test]
+    fn larger_label_space_than_colors_converges() {
+        let population = converge(&[4, 4, 6], 4, 6);
+        assert_eq!(
+            UnorderedCircles::consensus_winner(&population),
+            Some(Color(4))
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the §4 extensions: label-range safety, leader
+//! uniqueness dynamics, and the undo machinery's conservation guarantee.
+
+use circles_core::Color;
+use pp_extensions::ordering::{OrderingProtocol, OrderingState, Role};
+use pp_extensions::unordered::{UnorderedCircles, UnorderedPhase};
+use pp_protocol::{Population, Simulation, UniformPairScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ordering: labels always stay in [0, k); per color, the number of
+    /// leaders never increases and never reaches zero.
+    #[test]
+    fn ordering_leader_counts_monotone(
+        raw in proptest::collection::vec(0u16..4, 2..10),
+        seed in any::<u64>(),
+        steps in 1u64..500,
+    ) {
+        let k = 4u16;
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c + 7)).collect();
+        let protocol = OrderingProtocol::new(k);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let leaders_per_color = |p: &Population<OrderingState>| {
+            let mut m = std::collections::HashMap::new();
+            for s in p.iter() {
+                if s.role == Role::Leader {
+                    *m.entry(s.color).or_insert(0usize) += 1;
+                }
+            }
+            m
+        };
+        let mut last = leaders_per_color(&population);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+            prop_assert!(sim.population().iter().all(|s| s.label < k));
+            let now = leaders_per_color(sim.population());
+            for (color, count) in &now {
+                prop_assert!(count <= last.get(color).unwrap_or(&0));
+                prop_assert!(*count >= 1, "color {color:?} lost all leaders");
+            }
+            last = now;
+        }
+    }
+
+    /// Unordered composition: per-label conservation holds at every step of
+    /// every run (the key invariant the undo machinery protects), and every
+    /// color keeps at least one leader.
+    #[test]
+    fn unordered_conservation_and_leadership(
+        raw in proptest::collection::vec(0u16..3, 2..8),
+        seed in any::<u64>(),
+        steps in 1u64..600,
+    ) {
+        let k = 3u16;
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c * 31 + 5)).collect();
+        let protocol = UnorderedCircles::new(k);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+            prop_assert!(
+                UnorderedCircles::conservation_holds(sim.population(), k),
+                "conservation broken at step {}",
+                sim.stats().steps
+            );
+            // Each color retains a leader (Active or Undoing).
+            let mut colors: std::collections::HashMap<Color, bool> =
+                std::collections::HashMap::new();
+            for s in sim.population().iter() {
+                let is_leader = matches!(
+                    s.phase,
+                    UnorderedPhase::Active(Role::Leader) | UnorderedPhase::Undoing(Role::Leader)
+                );
+                let entry = colors.entry(s.color).or_insert(false);
+                *entry |= is_leader;
+            }
+            for (color, has_leader) in colors {
+                prop_assert!(has_leader, "color {color:?} lost its leader");
+            }
+        }
+    }
+
+    /// Unordered composition: outputs are always labels in range, and
+    /// Active agents' bras stay in range.
+    #[test]
+    fn unordered_states_stay_in_label_space(
+        raw in proptest::collection::vec(0u16..3, 2..8),
+        seed in any::<u64>(),
+    ) {
+        let k = 3u16;
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c + 1000)).collect();
+        let protocol = UnorderedCircles::new(k);
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        for _ in 0..400 {
+            let _ = sim.step().unwrap();
+            for s in sim.population().iter() {
+                prop_assert!(s.out < k);
+                if s.holds_braket() {
+                    prop_assert!(s.braket.bra.0 < k && s.braket.ket.0 < k);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Composite, per-instance verification of the Circles protocol.
+//!
+//! [`verify_circles_instance`] checks the three exhaustive facts that —
+//! together with the weak-fairness propagation argument — establish
+//! Theorem 3.7 for a concrete input multiset (see the crate docs and
+//! `DESIGN.md` §5). [`verify_circles_full`] cross-validates on the *full*
+//! state space (outputs included) using the global-fairness BSCC criterion.
+
+use std::error::Error;
+use std::fmt;
+
+use circles_core::prediction::{predicted_brakets_of, self_loop_colors};
+use circles_core::{
+    would_exchange, BraKet, CirclesError, CirclesProtocol, Color, GreedyDecomposition,
+};
+use pp_protocol::{CountConfig, Protocol};
+
+use crate::error::McError;
+use crate::explore::{ExploreLimits, ReachabilityGraph};
+use crate::properties::{changes_always_terminate, check_stable_computation, is_eventually_silent};
+
+/// Errors from Circles verification: invalid instance or exploration limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The input multiset or `k` was invalid.
+    Circles(CirclesError),
+    /// Exploration exceeded its limits.
+    Mc(McError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Circles(e) => write!(f, "invalid circles instance: {e}"),
+            VerifyError::Mc(e) => write!(f, "exploration failed: {e}"),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Circles(e) => Some(e),
+            VerifyError::Mc(e) => Some(e),
+        }
+    }
+}
+
+impl From<CirclesError> for VerifyError {
+    fn from(e: CirclesError) -> Self {
+        VerifyError::Circles(e)
+    }
+}
+
+impl From<McError> for VerifyError {
+    fn from(e: McError) -> Self {
+        VerifyError::Mc(e)
+    }
+}
+
+/// The bra-ket projection of Circles as a standalone protocol: states are
+/// bra-kets, the transition is the ket-exchange rule alone. Sound because
+/// the exchange rule never reads the `out` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BraKetDynamics {
+    k: u16,
+}
+
+impl BraKetDynamics {
+    /// Creates the projected dynamics for `k` colors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirclesError::ZeroColors`] when `k == 0`.
+    pub fn new(k: u16) -> Result<Self, CirclesError> {
+        if k == 0 {
+            return Err(CirclesError::ZeroColors);
+        }
+        Ok(BraKetDynamics { k })
+    }
+
+    /// The number of colors.
+    pub fn k(&self) -> u16 {
+        self.k
+    }
+}
+
+impl Protocol for BraKetDynamics {
+    type State = BraKet;
+    type Input = Color;
+    type Output = ();
+
+    fn name(&self) -> &str {
+        "circles-brakets"
+    }
+
+    /// # Panics
+    ///
+    /// Panics when `input >= k`.
+    fn input(&self, input: &Color) -> BraKet {
+        assert!(input.0 < self.k, "input color {input} out of range");
+        BraKet::self_loop(*input)
+    }
+
+    fn output(&self, _state: &BraKet) {}
+
+    fn transition(&self, initiator: &BraKet, responder: &BraKet) -> (BraKet, BraKet) {
+        match would_exchange(self.k, *initiator, *responder) {
+            Some(pair) => pair,
+            None => (*initiator, *responder),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// The outcome of the weak-fairness verification of one Circles instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CirclesVerification {
+    /// Population size.
+    pub n: usize,
+    /// Number of colors.
+    pub k: u16,
+    /// The unique majority color, if any (`None` = tie).
+    pub winner: Option<Color>,
+    /// Reachable bra-ket configurations explored.
+    pub config_count: usize,
+    /// Fact 1: the exchange dynamics' changing-edge graph is a DAG (and has
+    /// no multiset-invariant swaps) — every schedule stabilizes.
+    pub exchange_dag: bool,
+    /// Number of reachable exchange-stable configurations (must be 1).
+    pub stable_config_count: usize,
+    /// Fact 2: the unique exchange-stable configuration equals the
+    /// Lemma 3.6 prediction `⋃ f(G_p)`.
+    pub stable_matches_prediction: bool,
+    /// Fact 3: self-loops in the terminal configuration are exactly the
+    /// majority color (unique winner) or absent (tie).
+    pub self_loops_correct: bool,
+    /// Conjunction of the three facts: the instance is verified. With a
+    /// unique winner this establishes Theorem 3.7 for every weakly fair
+    /// schedule; with a tie it establishes that outputs stall (no self-loop
+    /// survives to broadcast).
+    pub verified: bool,
+}
+
+/// Exhaustively verifies one Circles instance under weak fairness (facts
+/// 1–3 of the crate docs).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Circles`] for invalid instances and
+/// [`VerifyError::Mc`] when the configuration space exceeds `limits`.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn verify_circles_instance(
+    inputs: &[Color],
+    k: u16,
+    limits: ExploreLimits,
+) -> Result<CirclesVerification, VerifyError> {
+    let greedy = GreedyDecomposition::from_inputs(inputs, k)?;
+    let dynamics = BraKetDynamics::new(k)?;
+    let initial: CountConfig<BraKet> = inputs.iter().map(|c| BraKet::self_loop(*c)).collect();
+    let graph = ReachabilityGraph::explore(&dynamics, &initial, limits)?;
+
+    let exchange_dag = changes_always_terminate(&graph);
+    let stable = graph.silent_configs();
+    let predicted = predicted_brakets_of(&greedy);
+    let stable_matches_prediction =
+        stable.len() == 1 && graph.config(stable[0]) == predicted;
+
+    let loops = self_loop_colors(&predicted);
+    let winner = greedy.winner();
+    let self_loops_correct = match winner {
+        Some(mu) => loops.iter().all(|(c, _)| *c == mu) && !loops.is_empty(),
+        None => loops.is_empty(),
+    };
+
+    let verified = exchange_dag && stable_matches_prediction && self_loops_correct;
+    Ok(CirclesVerification {
+        n: inputs.len(),
+        k,
+        winner,
+        config_count: graph.len(),
+        exchange_dag,
+        stable_config_count: stable.len(),
+        stable_matches_prediction,
+        self_loops_correct,
+        verified,
+    })
+}
+
+/// Cross-validation on the full `k³` state space (outputs included): checks
+/// that Circles *stably computes* the majority color under the classical
+/// global-fairness BSCC criterion, and that every execution is eventually
+/// silent.
+///
+/// More expensive than [`verify_circles_instance`] (the `out` register
+/// multiplies the space); use for small instances.
+///
+/// # Errors
+///
+/// Same as [`verify_circles_instance`]; additionally inputs with a tie are
+/// rejected as [`CirclesError::EmptyInput`] is *not* — ties simply yield
+/// `holds == false` reports, since no unanimous output exists.
+pub fn verify_circles_full(
+    inputs: &[Color],
+    k: u16,
+    limits: ExploreLimits,
+) -> Result<FullVerification, VerifyError> {
+    let greedy = GreedyDecomposition::from_inputs(inputs, k)?;
+    let protocol = CirclesProtocol::new(k)?;
+    let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+    let graph = ReachabilityGraph::explore(&protocol, &initial, limits)?;
+    let eventually_silent = is_eventually_silent(&graph);
+    let (stably_computes, bottom_scc_count) = match greedy.winner() {
+        Some(mu) => {
+            let report = check_stable_computation(&graph, &protocol, &mu);
+            (report.holds, report.bottom_scc_count)
+        }
+        None => (false, 0),
+    };
+    Ok(FullVerification {
+        config_count: graph.len(),
+        eventually_silent,
+        stably_computes,
+        bottom_scc_count,
+    })
+}
+
+/// Outcome of [`verify_circles_full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullVerification {
+    /// Reachable full-state configurations.
+    pub config_count: usize,
+    /// Every bottom SCC is one silent configuration.
+    pub eventually_silent: bool,
+    /// The BSCC criterion for stably computing the majority color holds.
+    pub stably_computes: bool,
+    /// Number of bottom SCCs.
+    pub bottom_scc_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colors(xs: &[u16]) -> Vec<Color> {
+        xs.iter().map(|&x| Color(x)).collect()
+    }
+
+    #[test]
+    fn verifies_simple_majority_instance() {
+        let report =
+            verify_circles_instance(&colors(&[0, 0, 1]), 2, ExploreLimits::default()).unwrap();
+        assert!(report.verified, "{report:?}");
+        assert_eq!(report.winner, Some(Color(0)));
+        assert_eq!(report.stable_config_count, 1);
+    }
+
+    #[test]
+    fn verifies_three_color_instance() {
+        let report = verify_circles_instance(
+            &colors(&[0, 1, 1, 2, 2, 2]),
+            3,
+            ExploreLimits::default(),
+        )
+        .unwrap();
+        assert!(report.verified, "{report:?}");
+        assert_eq!(report.winner, Some(Color(2)));
+    }
+
+    #[test]
+    fn tie_instance_verifies_stall_behavior() {
+        let report =
+            verify_circles_instance(&colors(&[0, 0, 1, 1]), 2, ExploreLimits::default()).unwrap();
+        assert!(report.verified, "{report:?}");
+        assert_eq!(report.winner, None);
+    }
+
+    #[test]
+    fn full_verification_small_instance() {
+        let report =
+            verify_circles_full(&colors(&[0, 0, 1]), 2, ExploreLimits::default()).unwrap();
+        assert!(report.eventually_silent);
+        assert!(report.stably_computes);
+        assert_eq!(report.bottom_scc_count, 1);
+    }
+
+    #[test]
+    fn full_verification_three_colors() {
+        let report = verify_circles_full(
+            &colors(&[2, 2, 0, 1]),
+            3,
+            ExploreLimits::default(),
+        )
+        .unwrap();
+        assert!(report.eventually_silent);
+        assert!(report.stably_computes);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(matches!(
+            verify_circles_instance(&[], 2, ExploreLimits::default()),
+            Err(VerifyError::Circles(CirclesError::EmptyInput))
+        ));
+        assert!(matches!(
+            verify_circles_instance(&colors(&[5]), 2, ExploreLimits::default()),
+            Err(VerifyError::Circles(CirclesError::ColorOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn limit_surfaces_as_mc_error() {
+        let result = verify_circles_instance(
+            &colors(&[0, 1, 2, 3, 0, 1, 2, 3]),
+            4,
+            ExploreLimits { max_configs: 2 },
+        );
+        assert!(matches!(result, Err(VerifyError::Mc(_))));
+    }
+
+    #[test]
+    fn braket_dynamics_matches_paper_exchange() {
+        let d = BraKetDynamics::new(3).unwrap();
+        let a = BraKet::self_loop(Color(0));
+        let b = BraKet::self_loop(Color(1));
+        let (a2, b2) = d.transition(&a, &b);
+        assert_eq!(a2, BraKet::new(Color(0), Color(1)));
+        assert_eq!(b2, BraKet::new(Color(1), Color(0)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Model-checker errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from exhaustive exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McError {
+    /// The reachable configuration space exceeded the configured limit.
+    ConfigLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The initial configuration was empty.
+    EmptyInitialConfig,
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::ConfigLimitExceeded { limit } => {
+                write!(f, "reachable configuration space exceeds limit of {limit}")
+            }
+            McError::EmptyInitialConfig => write!(f, "initial configuration is empty"),
+        }
+    }
+}
+
+impl Error for McError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(McError::ConfigLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(!McError::EmptyInitialConfig.to_string().is_empty());
+    }
+}

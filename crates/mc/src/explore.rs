@@ -1,0 +1,396 @@
+//! Breadth-first exploration of the reachable configuration space.
+
+use std::collections::{HashMap, VecDeque};
+
+use pp_protocol::{CountConfig, Protocol};
+
+use crate::error::McError;
+use crate::interner::StateInterner;
+
+/// Index of a configuration inside a [`ReachabilityGraph`].
+pub type ConfigId = u32;
+
+/// A canonical configuration: sorted `(state id, count)` pairs.
+type Canon = Box<[(u32, u32)]>;
+
+/// Resource limits for exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct configurations to explore.
+    pub max_configs: usize,
+}
+
+impl Default for ExploreLimits {
+    /// One million configurations — enough for every verification-grid
+    /// instance in the experiment suite while bounding memory to ~100 MB.
+    fn default() -> Self {
+        ExploreLimits {
+            max_configs: 1_000_000,
+        }
+    }
+}
+
+/// The reachable configuration graph of a protocol from one initial
+/// configuration.
+///
+/// Nodes are anonymous configurations (multisets of states); there is an
+/// edge `c → c'` when some ordered pair of distinct agents in `c` interacts
+/// into `c' ≠ c`. Interactions that change *agents* but not the multiset
+/// (two agents swapping states) do not create an edge but are flagged in
+/// [`has_internal_swap`](ReachabilityGraph::has_internal_swap) — they matter
+/// for livelock detection.
+///
+/// # Example
+///
+/// ```
+/// use pp_mc::{ExploreLimits, ReachabilityGraph};
+/// use pp_protocol::{CountConfig, Protocol};
+///
+/// # struct Max;
+/// # impl Protocol for Max {
+/// #     type State = u8; type Input = u8; type Output = u8;
+/// #     fn name(&self) -> &str { "max" }
+/// #     fn input(&self, i: &u8) -> u8 { *i }
+/// #     fn output(&self, s: &u8) -> u8 { *s }
+/// #     fn transition(&self, a: &u8, b: &u8) -> (u8, u8) { let m = *a.max(b); (m, m) }
+/// # }
+/// let initial: CountConfig<u8> = [0u8, 1, 2].into_iter().collect();
+/// let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default())?;
+/// // 0/1/2 merge upward; the unique silent config is {2,2,2}.
+/// let silent = graph.silent_configs();
+/// assert_eq!(silent.len(), 1);
+/// assert_eq!(graph.config(silent[0]).count(&2), 3);
+/// # Ok::<(), pp_mc::McError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph<S> {
+    interner: StateInterner<S>,
+    configs: Vec<Canon>,
+    /// Deduplicated successors per config (state-changing edges only).
+    edges: Vec<Vec<ConfigId>>,
+    /// Config has an interaction that changes two agents' states but leaves
+    /// the multiset unchanged (a state swap).
+    internal_swap: Vec<bool>,
+    initial: ConfigId,
+    n: usize,
+}
+
+impl<S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> ReachabilityGraph<S> {
+    /// Explores the configuration space of `protocol` from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// [`McError::EmptyInitialConfig`] for an empty configuration;
+    /// [`McError::ConfigLimitExceeded`] when the space outgrows
+    /// `limits.max_configs`.
+    pub fn explore<P>(
+        protocol: &P,
+        initial: &CountConfig<S>,
+        limits: ExploreLimits,
+    ) -> Result<Self, McError>
+    where
+        P: Protocol<State = S>,
+    {
+        if initial.is_empty() {
+            return Err(McError::EmptyInitialConfig);
+        }
+        let n = initial.n();
+        let mut interner = StateInterner::new();
+        let mut canon_ids: HashMap<Canon, ConfigId> = HashMap::new();
+        let mut configs: Vec<Canon> = Vec::new();
+        let mut edges: Vec<Vec<ConfigId>> = Vec::new();
+        let mut internal_swap: Vec<bool> = Vec::new();
+
+        let canon0 = canonicalize(initial, &mut interner);
+        canon_ids.insert(canon0.clone(), 0);
+        configs.push(canon0);
+        edges.push(Vec::new());
+        internal_swap.push(false);
+
+        let mut queue: VecDeque<ConfigId> = VecDeque::new();
+        queue.push_back(0);
+
+        while let Some(cid) = queue.pop_front() {
+            let current = configs[cid as usize].clone();
+            let mut succs: Vec<ConfigId> = Vec::new();
+            let mut swap_here = false;
+
+            // Enumerate ordered pairs of distinct agents by state id.
+            for (ai, &(sa, ca)) in current.iter().enumerate() {
+                for (bi, &(sb, cb)) in current.iter().enumerate() {
+                    if ai == bi && ca < 2 {
+                        continue;
+                    }
+                    let _ = cb;
+                    let (ta, tb) = {
+                        let a = interner.resolve(sa).clone();
+                        let b = interner.resolve(sb).clone();
+                        protocol.transition(&a, &b)
+                    };
+                    let ta_id = interner.intern(&ta);
+                    let tb_id = interner.intern(&tb);
+                    if ta_id == sa && tb_id == sb {
+                        continue; // null interaction
+                    }
+                    // Build successor multiset.
+                    let succ = apply_pair(&current, sa, sb, ta_id, tb_id);
+                    if succ == current {
+                        swap_here = true;
+                        continue;
+                    }
+                    let next_id = match canon_ids.get(&succ) {
+                        Some(&id) => id,
+                        None => {
+                            if configs.len() >= limits.max_configs {
+                                return Err(McError::ConfigLimitExceeded {
+                                    limit: limits.max_configs,
+                                });
+                            }
+                            let id = configs.len() as ConfigId;
+                            canon_ids.insert(succ.clone(), id);
+                            configs.push(succ);
+                            edges.push(Vec::new());
+                            internal_swap.push(false);
+                            queue.push_back(id);
+                            id
+                        }
+                    };
+                    if !succs.contains(&next_id) {
+                        succs.push(next_id);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            edges[cid as usize] = succs;
+            internal_swap[cid as usize] = swap_here;
+        }
+
+        Ok(ReachabilityGraph {
+            interner,
+            configs,
+            edges,
+            internal_swap,
+            initial: 0,
+            n,
+        })
+    }
+
+    /// Reconstructs the configuration for `id`.
+    pub fn config(&self, id: ConfigId) -> CountConfig<S> {
+        let mut out = CountConfig::new();
+        for &(sid, count) in self.configs[id as usize].iter() {
+            out.insert(self.interner.resolve(sid).clone(), count as usize);
+        }
+        out
+    }
+}
+
+impl<S> ReachabilityGraph<S> {
+    /// Number of reachable configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the graph is empty (never: exploration requires an initial
+    /// configuration).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Id of the initial configuration.
+    pub fn initial(&self) -> ConfigId {
+        self.initial
+    }
+
+    /// The interner mapping state ids to states.
+    pub fn interner(&self) -> &StateInterner<S> {
+        &self.interner
+    }
+
+    /// Successor configuration ids of `id` (state-changing edges,
+    /// deduplicated, sorted).
+    pub fn successors(&self, id: ConfigId) -> &[ConfigId] {
+        &self.edges[id as usize]
+    }
+
+    /// All successor lists, indexed by [`ConfigId`].
+    pub fn adjacency(&self) -> &[Vec<ConfigId>] {
+        &self.edges
+    }
+
+    /// Whether config `id` admits an agent-state-changing interaction that
+    /// leaves the multiset unchanged (a swap — an anonymous-space-invisible
+    /// livelock candidate).
+    pub fn has_internal_swap(&self, id: ConfigId) -> bool {
+        self.internal_swap[id as usize]
+    }
+
+    /// Configurations with no outgoing changing edge and no internal swap:
+    /// *silent* configurations, where no interaction changes any agent.
+    pub fn silent_configs(&self) -> Vec<ConfigId> {
+        (0..self.configs.len() as ConfigId)
+            .filter(|&id| self.edges[id as usize].is_empty() && !self.internal_swap[id as usize])
+            .collect()
+    }
+}
+
+/// Canonicalizes a configuration against the interner: sorted by state id.
+fn canonicalize<S: Clone + Eq + Ord + std::hash::Hash>(
+    config: &CountConfig<S>,
+    interner: &mut StateInterner<S>,
+) -> Canon {
+    let mut items: Vec<(u32, u32)> = config
+        .iter()
+        .map(|(s, c)| (interner.intern(s), u32::try_from(c).expect("count fits u32")))
+        .collect();
+    items.sort_unstable();
+    items.into_boxed_slice()
+}
+
+/// Applies one interaction to a canonical multiset: removes one agent in
+/// `sa` and one in `sb`, adds one in `ta` and one in `tb`.
+fn apply_pair(current: &Canon, sa: u32, sb: u32, ta: u32, tb: u32) -> Canon {
+    let mut counts: Vec<(u32, i64)> = current
+        .iter()
+        .map(|&(s, c)| (s, i64::from(c)))
+        .collect();
+    let bump = |state: u32, delta: i64, counts: &mut Vec<(u32, i64)>| {
+        match counts.binary_search_by_key(&state, |&(s, _)| s) {
+            Ok(pos) => counts[pos].1 += delta,
+            Err(pos) => counts.insert(pos, (state, delta)),
+        }
+    };
+    bump(sa, -1, &mut counts);
+    bump(sb, -1, &mut counts);
+    bump(ta, 1, &mut counts);
+    bump(tb, 1, &mut counts);
+    debug_assert!(counts.iter().all(|&(_, c)| c >= 0), "negative multiplicity");
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c > 0)
+        .map(|(s, c)| (s, c as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Max;
+
+    impl Protocol for Max {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+    }
+
+    /// Two agents swap their states — invisible in anonymous space.
+    struct Swap;
+
+    impl Protocol for Swap {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "swap"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            (*b, *a)
+        }
+    }
+
+    #[test]
+    fn max_epidemic_space_is_small_and_silent_unique() {
+        let initial: CountConfig<u8> = [0u8, 1, 2].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        // Reachable: {0,1,2} {1,1,2} {0,2,2} {2,2,2} {1,2,2}.
+        assert_eq!(graph.len(), 5);
+        let silent = graph.silent_configs();
+        assert_eq!(silent.len(), 1);
+        let terminal = graph.config(silent[0]);
+        assert_eq!(terminal.count(&2), 3);
+    }
+
+    #[test]
+    fn swap_protocol_flags_internal_swaps() {
+        let initial: CountConfig<u8> = [0u8, 1].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Swap, &initial, ExploreLimits::default()).unwrap();
+        assert_eq!(graph.len(), 1);
+        assert!(graph.has_internal_swap(0));
+        assert!(graph.silent_configs().is_empty());
+    }
+
+    #[test]
+    fn uniform_population_is_terminal_for_max() {
+        let initial: CountConfig<u8> = [3u8, 3, 3].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph.silent_configs(), vec![0]);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let initial: CountConfig<u8> = (0u8..6).collect();
+        let result = ReachabilityGraph::explore(&Max, &initial, ExploreLimits { max_configs: 3 });
+        assert_eq!(result.unwrap_err(), McError::ConfigLimitExceeded { limit: 3 });
+    }
+
+    #[test]
+    fn empty_initial_rejected() {
+        let initial: CountConfig<u8> = CountConfig::new();
+        assert_eq!(
+            ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap_err(),
+            McError::EmptyInitialConfig
+        );
+    }
+
+    #[test]
+    fn single_agent_space() {
+        let initial: CountConfig<u8> = [5u8].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        assert_eq!(graph.len(), 1);
+        assert_eq!(graph.silent_configs(), vec![0]);
+    }
+
+    #[test]
+    fn successors_are_sorted_and_deduped() {
+        let initial: CountConfig<u8> = [0u8, 1, 2, 3].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        for id in 0..graph.len() as ConfigId {
+            let succ = graph.successors(id);
+            assert!(succ.windows(2).all(|w| w[0] < w[1]), "unsorted successors");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Interning protocol states to dense integer ids.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Bidirectional map between states and dense `u32` ids, so configurations
+/// can be stored as compact sorted `(id, count)` slices.
+#[derive(Debug, Clone, Default)]
+pub struct StateInterner<S> {
+    states: Vec<S>,
+    ids: HashMap<S, u32>,
+}
+
+impl<S: Clone + Eq + Hash> StateInterner<S> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        StateInterner {
+            states: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Returns the id of `state`, allocating one on first sight.
+    pub fn intern(&mut self, state: &S) -> u32 {
+        if let Some(&id) = self.ids.get(state) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX distinct states");
+        self.states.push(state.clone());
+        self.ids.insert(state.clone(), id);
+        id
+    }
+
+    /// Returns the id of `state` if it was interned before.
+    pub fn get(&self, state: &S) -> Option<u32> {
+        self.ids.get(state).copied()
+    }
+
+    /// Resolves an id back to its state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &S {
+        &self.states[id as usize]
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// All interned states, in id order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = StateInterner::new();
+        let a = interner.intern(&"alpha");
+        let b = interner.intern(&"beta");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern(&"alpha"), a);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = StateInterner::new();
+        let id = interner.intern(&42u32);
+        assert_eq!(*interner.resolve(id), 42);
+        assert_eq!(interner.get(&42), Some(id));
+        assert_eq!(interner.get(&7), None);
+    }
+}

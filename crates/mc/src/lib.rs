@@ -1,0 +1,66 @@
+//! Exhaustive model checking for population protocols.
+//!
+//! The Circles paper's theorems are ∀-schedule claims ("under every weakly
+//! fair scheduler …"); simulation can only sample schedules. For a fixed
+//! instance (inputs, `n`, `k`) the claim is finite-state, so it can be
+//! verified *exhaustively* by exploring the reachable anonymous
+//! configuration space.
+//!
+//! This crate provides:
+//!
+//! - [`ReachabilityGraph`]: BFS over canonical configurations (multisets of
+//!   states) with interned states and deduplicated state-changing edges.
+//! - [`scc`]: iterative Tarjan SCC decomposition and bottom-SCC extraction.
+//! - [`properties`]: generic checks — silent configurations, acyclicity of
+//!   the changing-edge graph, and the classic global-fairness criterion
+//!   ("every bottom SCC is a unanimous, correct-output configuration set").
+//! - [`circles`]: the composite, *complete* verification of the Circles
+//!   protocol under weak fairness for a given instance (see below).
+//!
+//! # Why the Circles check is complete for weak fairness
+//!
+//! For Circles the verification reduces to three exhaustively checkable
+//! facts plus one two-line argument (see `DESIGN.md` §5):
+//!
+//! 1. the bra-ket dynamics' changing-edge graph is a DAG (Theorem 3.4 — for
+//!    *all* schedules, not just fair ones);
+//! 2. the unique reachable exchange-stable bra-ket multiset is the
+//!    `⋃ f(G_p)` prediction of Lemma 3.6 (weak fairness forces every run's
+//!    tail to be exchange-stable);
+//! 3. in that terminal multiset the only self-loop color is the majority
+//!    color `μ` (Lemma 3.2), so output rule 2 can only write `μ` in the
+//!    tail, and a `⟨μ|μ⟩` agent exists that every agent meets infinitely
+//!    often (weak fairness) — outputs converge to `μ` forever.
+//!
+//! The bra-ket projection is sound because the exchange rule never reads the
+//! `out` register.
+//!
+//! # Example
+//!
+//! ```
+//! use circles_core::Color;
+//! use pp_mc::circles::verify_circles_instance;
+//! use pp_mc::ExploreLimits;
+//!
+//! let inputs: Vec<Color> = [0, 0, 1, 2].map(Color).to_vec();
+//! let report = verify_circles_instance(&inputs, 3, ExploreLimits::default())?;
+//! assert!(report.verified);
+//! assert_eq!(report.winner, Some(Color(0)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circles;
+mod error;
+mod explore;
+mod interner;
+pub mod markov;
+pub mod properties;
+pub mod scc;
+
+pub use error::McError;
+pub use explore::{ConfigId, ExploreLimits, ReachabilityGraph};
+pub use interner::StateInterner;
+pub use markov::UniformChain;

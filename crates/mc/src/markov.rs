@@ -1,0 +1,332 @@
+//! Exact Markov-chain analysis under the uniform-random scheduler.
+//!
+//! Under uniform pair selection the anonymous configurations form a Markov
+//! chain: from a configuration with multiplicities `c(s)`, the ordered state
+//! pair `(s1, s2)` is drawn with probability `c(s1)(c(s2) − [s1 = s2]) /
+//! (n(n−1))`. Silent configurations are absorbing. For instances small
+//! enough to enumerate, this module computes the **exact expected number of
+//! interactions to silence** by solving the first-step equations
+//!
+//! ```text
+//! h(C) = 0                                   if C is silent
+//! h(C) = (1 + Σ_{C'≠C} p(C→C') h(C')) / (1 − p(C→C))   otherwise
+//! ```
+//!
+//! with damped fixed-point iteration (the chain is absorbing, so the
+//! iteration contracts). Experiment E12 uses these exact values to validate
+//! the simulation engines end to end: sampled means must match `h(C₀)`
+//! within confidence intervals.
+
+use std::collections::HashMap;
+
+use pp_protocol::{CountConfig, Protocol};
+
+use crate::error::McError;
+use crate::explore::ExploreLimits;
+use crate::interner::StateInterner;
+
+/// The exact uniform-scheduler chain over reachable configurations.
+#[derive(Debug, Clone)]
+pub struct UniformChain {
+    /// Aggregated transition probabilities to *other* configurations:
+    /// `transitions[c]` lists `(successor, probability)`.
+    transitions: Vec<Vec<(u32, f64)>>,
+    /// Probability of staying put (null interactions and state swaps).
+    self_prob: Vec<f64>,
+    /// Whether the configuration is silent (absorbing).
+    silent: Vec<bool>,
+    initial: u32,
+}
+
+impl UniformChain {
+    /// Builds the chain for `protocol` from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as reachability exploration
+    /// ([`McError::EmptyInitialConfig`], [`McError::ConfigLimitExceeded`]).
+    pub fn build<P>(
+        protocol: &P,
+        initial: &CountConfig<P::State>,
+        limits: ExploreLimits,
+    ) -> Result<Self, McError>
+    where
+        P: Protocol,
+    {
+        if initial.is_empty() {
+            return Err(McError::EmptyInitialConfig);
+        }
+        let n = initial.n();
+        let denom = (n * (n - 1)) as f64;
+
+        let mut interner: StateInterner<P::State> = StateInterner::new();
+        type Canon = Box<[(u32, u32)]>;
+        let canon = |config: &CountConfig<P::State>,
+                     interner: &mut StateInterner<P::State>|
+         -> Canon {
+            let mut v: Vec<(u32, u32)> = config
+                .iter()
+                .map(|(s, c)| (interner.intern(s), c as u32))
+                .collect();
+            v.sort_unstable();
+            v.into_boxed_slice()
+        };
+
+        let mut ids: HashMap<Canon, u32> = HashMap::new();
+        let mut configs: Vec<CountConfig<P::State>> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let c0 = canon(initial, &mut interner);
+        ids.insert(c0, 0);
+        configs.push(initial.clone());
+        queue.push(0);
+
+        let mut transitions: Vec<Vec<(u32, f64)>> = Vec::new();
+        let mut self_prob: Vec<f64> = Vec::new();
+        let mut silent: Vec<bool> = Vec::new();
+
+        let mut cursor = 0usize;
+        while cursor < queue.len() {
+            let cid = queue[cursor];
+            cursor += 1;
+            let current = configs[cid as usize].clone();
+            let mut agg: HashMap<u32, f64> = HashMap::new();
+            let mut stay = 0.0f64;
+            let mut is_silent = true;
+
+            let entries: Vec<(P::State, usize)> = current
+                .iter()
+                .map(|(s, c)| (s.clone(), c))
+                .collect();
+            for (s1, c1) in &entries {
+                for (s2, c2) in &entries {
+                    let pairs = if s1 == s2 {
+                        (*c1 * (*c1 - 1)) as f64
+                    } else {
+                        (*c1 * *c2) as f64
+                    };
+                    if pairs == 0.0 {
+                        continue;
+                    }
+                    let p = pairs / denom;
+                    let (t1, t2) = protocol.transition(s1, s2);
+                    if t1 == *s1 && t2 == *s2 {
+                        stay += p;
+                        continue;
+                    }
+                    is_silent = false;
+                    let mut succ = current.clone();
+                    succ.remove(s1, 1);
+                    succ.remove(s2, 1);
+                    succ.insert(t1, 1);
+                    succ.insert(t2, 1);
+                    if succ == current {
+                        // Agent-level swap, multiset unchanged.
+                        stay += p;
+                        continue;
+                    }
+                    let key = canon(&succ, &mut interner);
+                    let next_id = match ids.get(&key) {
+                        Some(&id) => id,
+                        None => {
+                            if configs.len() >= limits.max_configs {
+                                return Err(McError::ConfigLimitExceeded {
+                                    limit: limits.max_configs,
+                                });
+                            }
+                            let id = configs.len() as u32;
+                            ids.insert(key, id);
+                            configs.push(succ);
+                            queue.push(id);
+                            id
+                        }
+                    };
+                    *agg.entry(next_id).or_insert(0.0) += p;
+                }
+            }
+            let mut outs: Vec<(u32, f64)> = agg.into_iter().collect();
+            outs.sort_unstable_by_key(|&(id, _)| id);
+            transitions.push(outs);
+            self_prob.push(stay);
+            silent.push(is_silent);
+        }
+
+        Ok(UniformChain {
+            transitions,
+            self_prob,
+            silent,
+            initial: 0,
+        })
+    }
+
+    /// Number of reachable configurations.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the chain is empty (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Exact expected interactions to absorption (silence) from the initial
+    /// configuration, or `None` when some recurrent non-silent behavior
+    /// makes the expectation infinite (e.g. livelocking ablation variants).
+    ///
+    /// Solves the first-step equations by fixed-point iteration to relative
+    /// tolerance `tol` (e.g. `1e-12`), capped at `max_iters` sweeps.
+    pub fn expected_steps_to_silence(&self, tol: f64, max_iters: usize) -> Option<f64> {
+        let m = self.len();
+        // Infinite expectation iff a non-silent configuration cannot reach
+        // any silent one; detect via reverse reachability from silent set.
+        if !self.all_reach_silence() {
+            return None;
+        }
+        let mut h = vec![0.0f64; m];
+        for _ in 0..max_iters {
+            let mut delta: f64 = 0.0;
+            // Gauss-Seidel sweep (in-place update accelerates convergence).
+            for c in 0..m {
+                if self.silent[c] {
+                    continue;
+                }
+                let mut acc = 1.0;
+                for &(succ, p) in &self.transitions[c] {
+                    acc += p * h[succ as usize];
+                }
+                let stay = self.self_prob[c];
+                let next = acc / (1.0 - stay);
+                delta = delta.max((next - h[c]).abs() / next.max(1.0));
+                h[c] = next;
+            }
+            if delta < tol {
+                return Some(h[self.initial as usize]);
+            }
+        }
+        // Did not converge within the sweep budget: report the current
+        // estimate anyway only if it is already stable to 6 digits.
+        None
+    }
+
+    fn all_reach_silence(&self) -> bool {
+        let m = self.len();
+        // Reverse adjacency.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (c, outs) in self.transitions.iter().enumerate() {
+            for &(succ, _) in outs {
+                rev[succ as usize].push(c as u32);
+            }
+        }
+        let mut reach = vec![false; m];
+        let mut stack: Vec<u32> = (0..m as u32)
+            .filter(|&c| self.silent[c as usize])
+            .collect();
+        for &c in &stack {
+            reach[c as usize] = true;
+        }
+        while let Some(c) = stack.pop() {
+            for &p in &rev[c as usize] {
+                if !reach[p as usize] {
+                    reach[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        reach.into_iter().all(|r| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Epidemic one-way infection: 1 infects 0.
+    struct Infect;
+
+    impl Protocol for Infect {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "infect"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            if *a == 1 || *b == 1 {
+                (1, 1)
+            } else {
+                (*a, *b)
+            }
+        }
+    }
+
+    /// Oscillator with no silent configuration.
+    struct Flip;
+
+    impl Protocol for Flip {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "flip"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, _b: &u8) -> (u8, u8) {
+            (1 - *a, 1 - *a)
+        }
+    }
+
+    #[test]
+    fn two_agent_infection_is_one_step() {
+        // {0,1}: every interaction infects: expected exactly 1 step.
+        let initial: CountConfig<u8> = [0u8, 1].into_iter().collect();
+        let chain = UniformChain::build(&Infect, &initial, ExploreLimits::default()).unwrap();
+        let h = chain.expected_steps_to_silence(1e-12, 10_000).unwrap();
+        assert!((h - 1.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn three_agent_infection_matches_hand_computation() {
+        // {0,0,1}: infecting pair chosen with prob 4/6 (ordered pairs
+        // involving the infected agent and a healthy one): E[first] = 3/2.
+        // Then {0,1,1}: infecting prob = 1 - P(both healthy... ) ordered
+        // pairs among {1,1} = 2 of 6 are null; healthy-healthy: none (one
+        // healthy). p = 4/6 again: E = 3/2. Total 3.
+        let initial: CountConfig<u8> = [0u8, 0, 1].into_iter().collect();
+        let chain = UniformChain::build(&Infect, &initial, ExploreLimits::default()).unwrap();
+        let h = chain.expected_steps_to_silence(1e-12, 10_000).unwrap();
+        assert!((h - 3.0).abs() < 1e-9, "h = {h}");
+    }
+
+    #[test]
+    fn oscillator_has_infinite_expectation() {
+        let initial: CountConfig<u8> = [0u8, 1].into_iter().collect();
+        let chain = UniformChain::build(&Flip, &initial, ExploreLimits::default()).unwrap();
+        assert_eq!(chain.expected_steps_to_silence(1e-12, 1000), None);
+    }
+
+    #[test]
+    fn already_silent_is_zero() {
+        let initial: CountConfig<u8> = [1u8, 1, 1].into_iter().collect();
+        let chain = UniformChain::build(&Infect, &initial, ExploreLimits::default()).unwrap();
+        let h = chain.expected_steps_to_silence(1e-12, 100).unwrap();
+        assert_eq!(h, 0.0);
+    }
+}

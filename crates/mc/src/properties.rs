@@ -1,0 +1,222 @@
+//! Generic verification properties over reachability graphs.
+
+use pp_protocol::Protocol;
+
+use crate::explore::{ConfigId, ReachabilityGraph};
+use crate::scc::{tarjan, SccDecomposition};
+
+/// Result of the stable-computation check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableComputationReport<O> {
+    /// Whether the protocol stably computes `expected` from the explored
+    /// initial configuration under global fairness.
+    pub holds: bool,
+    /// Number of bottom SCCs examined.
+    pub bottom_scc_count: usize,
+    /// A counterexample: a configuration inside a bottom SCC whose outputs
+    /// are not unanimously `expected`.
+    pub counterexample: Option<(ConfigId, Vec<O>)>,
+}
+
+/// The classical global-fairness criterion for *stable computation*: from
+/// the explored initial configuration, every globally fair execution
+/// eventually reaches a bottom SCC of the configuration graph and visits all
+/// of its configurations infinitely often. The protocol stably computes
+/// `expected` iff **every configuration of every bottom SCC outputs
+/// `expected` unanimously**.
+///
+/// For protocols where two agents can swap states without changing the
+/// multiset, a bottom SCC that is a single silent-looking configuration with
+/// an internal swap still never lets outputs change (the multiset is
+/// invariant), so the criterion remains sound on anonymous graphs.
+pub fn check_stable_computation<P>(
+    graph: &ReachabilityGraph<P::State>,
+    protocol: &P,
+    expected: &P::Output,
+) -> StableComputationReport<P::Output>
+where
+    P: Protocol,
+{
+    let scc = tarjan(graph.adjacency());
+    let bottoms = scc.bottom_sccs(graph.adjacency());
+    for &b in &bottoms {
+        for &cid in &scc.members[b as usize] {
+            let config = graph.config(cid);
+            let outputs: Vec<P::Output> = config
+                .iter()
+                .map(|(s, _)| protocol.output(s))
+                .collect();
+            if outputs.iter().any(|o| o != expected) {
+                return StableComputationReport {
+                    holds: false,
+                    bottom_scc_count: bottoms.len(),
+                    counterexample: Some((cid, outputs)),
+                };
+            }
+        }
+    }
+    StableComputationReport {
+        holds: true,
+        bottom_scc_count: bottoms.len(),
+        counterexample: None,
+    }
+}
+
+/// Whether every execution terminates in a silent configuration under
+/// global fairness: every bottom SCC is a single silent configuration
+/// (no internal swap either).
+pub fn is_eventually_silent<S>(graph: &ReachabilityGraph<S>) -> bool
+where
+    S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
+{
+    let scc = tarjan(graph.adjacency());
+    let bottoms = scc.bottom_sccs(graph.adjacency());
+    bottoms.iter().all(|&b| {
+        let members = &scc.members[b as usize];
+        members.len() == 1
+            && graph.successors(members[0]).is_empty()
+            && !graph.has_internal_swap(members[0])
+    })
+}
+
+/// Whether the changing-edge graph is acyclic *and* free of internal swaps:
+/// then **every** execution — fair or not — performs only finitely many
+/// state changes (the strongest stabilization statement; Circles' bra-ket
+/// dynamics satisfy it, Theorem 3.4).
+pub fn changes_always_terminate<S>(graph: &ReachabilityGraph<S>) -> bool
+where
+    S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
+{
+    if (0..graph.len() as ConfigId).any(|id| graph.has_internal_swap(id)) {
+        return false;
+    }
+    let scc = tarjan(graph.adjacency());
+    scc.is_dag(graph.adjacency())
+}
+
+/// The SCC decomposition of a graph's changing edges (re-exported
+/// convenience).
+pub fn scc_of<S>(graph: &ReachabilityGraph<S>) -> SccDecomposition {
+    tarjan(graph.adjacency())
+}
+
+/// Generalized global-fairness check: `predicate` must hold on **every
+/// configuration of every bottom SCC**. This is the right tool when
+/// "correct" is not expressible as a unanimous output value — e.g. the
+/// unordered-setting composition, where winners and losers legitimately
+/// report different `own_color_wins` flags.
+///
+/// Returns the first violating configuration id, or `None` when the
+/// property holds.
+pub fn bscc_counterexample<S, F>(graph: &ReachabilityGraph<S>, mut predicate: F) -> Option<ConfigId>
+where
+    S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
+    F: FnMut(&pp_protocol::CountConfig<S>) -> bool,
+{
+    let scc = tarjan(graph.adjacency());
+    for &b in &scc.bottom_sccs(graph.adjacency()) {
+        for &cid in &scc.members[b as usize] {
+            if !predicate(&graph.config(cid)) {
+                return Some(cid);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreLimits;
+    use pp_protocol::CountConfig;
+
+    struct Max;
+
+    impl Protocol for Max {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+    }
+
+    /// Oscillator: both agents flip 0↔1 on every meeting — never silent.
+    struct Flip;
+
+    impl Protocol for Flip {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "flip"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            (1 - *a, 1 - *b)
+        }
+    }
+
+    #[test]
+    fn max_stably_computes_maximum() {
+        let initial: CountConfig<u8> = [0u8, 1, 3].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        let report = check_stable_computation(&graph, &Max, &3);
+        assert!(report.holds);
+        assert_eq!(report.bottom_scc_count, 1);
+        assert!(is_eventually_silent(&graph));
+        assert!(changes_always_terminate(&graph));
+    }
+
+    #[test]
+    fn max_does_not_compute_wrong_value() {
+        let initial: CountConfig<u8> = [0u8, 1, 3].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        let report = check_stable_computation(&graph, &Max, &1);
+        assert!(!report.holds);
+        assert!(report.counterexample.is_some());
+    }
+
+    #[test]
+    fn bscc_predicate_checks_bottoms_only() {
+        let initial: CountConfig<u8> = [0u8, 1, 3].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        // Bottom = everyone at 3.
+        assert_eq!(bscc_counterexample(&graph, |c| c.count(&3) == 3), None);
+        // A predicate failing on the bottom is caught.
+        assert!(bscc_counterexample(&graph, |c| c.count(&0) > 0).is_some());
+    }
+
+    #[test]
+    fn oscillator_is_never_silent() {
+        let initial: CountConfig<u8> = [0u8, 1].into_iter().collect();
+        let graph = ReachabilityGraph::explore(&Flip, &initial, ExploreLimits::default()).unwrap();
+        assert!(!is_eventually_silent(&graph));
+        assert!(!changes_always_terminate(&graph));
+        let report = check_stable_computation(&graph, &Flip, &0);
+        assert!(!report.holds);
+    }
+}

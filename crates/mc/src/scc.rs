@@ -1,0 +1,191 @@
+//! Iterative Tarjan strongly-connected-component decomposition and
+//! bottom-SCC extraction.
+
+use crate::explore::ConfigId;
+
+/// The SCC decomposition of a directed graph given as adjacency lists.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` = index of v's SCC.
+    pub component: Vec<u32>,
+    /// Members of each SCC. Tarjan emits components in reverse topological
+    /// order: if SCC `a` can reach SCC `b` (a ≠ b) then `a`'s index is
+    /// greater than `b`'s.
+    pub members: Vec<Vec<ConfigId>>,
+}
+
+/// Computes the SCCs of `adj` with an iterative Tarjan (no recursion, safe
+/// for deep graphs).
+pub fn tarjan(adj: &[Vec<ConfigId>]) -> SccDecomposition {
+    let n = adj.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut component = vec![u32::MAX; n];
+    let mut members: Vec<Vec<ConfigId>> = Vec::new();
+
+    // Explicit DFS stack: (node, next edge cursor).
+    let mut work: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        work.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            let vi = v as usize;
+            if *cursor < adj[vi].len() {
+                let w = adj[vi][*cursor];
+                *cursor += 1;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    low[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    work.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                // v is done: maybe emit an SCC, then propagate low upward.
+                if low[vi] == index[vi] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = members.len() as u32;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    members.push(scc);
+                }
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    let pi = parent as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component, members }
+}
+
+impl SccDecomposition {
+    /// Indices of *bottom* SCCs: components with no edge leaving them.
+    /// Every fair execution eventually enters a bottom SCC.
+    pub fn bottom_sccs(&self, adj: &[Vec<ConfigId>]) -> Vec<u32> {
+        let mut is_bottom = vec![true; self.members.len()];
+        for (v, succs) in adj.iter().enumerate() {
+            let cv = self.component[v];
+            for &w in succs {
+                if self.component[w as usize] != cv {
+                    is_bottom[cv as usize] = false;
+                }
+            }
+        }
+        (0..self.members.len() as u32)
+            .filter(|&c| is_bottom[c as usize])
+            .collect()
+    }
+
+    /// Whether the graph restricted to its (changing) edges is acyclic:
+    /// every SCC is a singleton without a self-edge.
+    pub fn is_dag(&self, adj: &[Vec<ConfigId>]) -> bool {
+        if self.members.iter().any(|m| m.len() > 1) {
+            return false;
+        }
+        // Self-loops: a node listing itself as successor.
+        !adj.iter()
+            .enumerate()
+            .any(|(v, succs)| succs.contains(&(v as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chain_is_dag() {
+        // 0 → 1 → 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let scc = tarjan(&adj);
+        assert_eq!(scc.members.len(), 3);
+        assert!(scc.is_dag(&adj));
+        assert_eq!(scc.bottom_sccs(&adj).len(), 1);
+        let bottom = scc.bottom_sccs(&adj)[0];
+        assert_eq!(scc.members[bottom as usize], vec![2]);
+    }
+
+    #[test]
+    fn cycle_is_single_scc() {
+        // 0 → 1 → 2 → 0
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let scc = tarjan(&adj);
+        assert_eq!(scc.members.len(), 1);
+        assert_eq!(scc.members[0], vec![0, 1, 2]);
+        assert!(!scc.is_dag(&adj));
+        assert_eq!(scc.bottom_sccs(&adj), vec![0]);
+    }
+
+    #[test]
+    fn diamond_with_tail_cycle() {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3, 3 → 4, 4 → 3 (bottom cycle {3,4})
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![4], vec![3]];
+        let scc = tarjan(&adj);
+        assert_eq!(scc.members.len(), 4);
+        let bottoms = scc.bottom_sccs(&adj);
+        assert_eq!(bottoms.len(), 1);
+        assert_eq!(scc.members[bottoms[0] as usize], vec![3, 4]);
+        assert!(!scc.is_dag(&adj));
+    }
+
+    #[test]
+    fn self_loop_breaks_dag() {
+        let adj = vec![vec![0]];
+        let scc = tarjan(&adj);
+        assert_eq!(scc.members.len(), 1);
+        assert!(!scc.is_dag(&adj));
+    }
+
+    #[test]
+    fn two_disconnected_bottoms() {
+        // 0 → 1, 2 → 3; bottoms {1} and {3}.
+        let adj = vec![vec![1], vec![], vec![3], vec![]];
+        let scc = tarjan(&adj);
+        let bottoms = scc.bottom_sccs(&adj);
+        assert_eq!(bottoms.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Vec<Vec<ConfigId>> = Vec::new();
+        let scc = tarjan(&adj);
+        assert!(scc.members.is_empty());
+        assert!(scc.is_dag(&adj));
+    }
+
+    #[test]
+    fn reverse_topological_emission_order() {
+        // 0 → 1 → 2: Tarjan emits 2 first, then 1, then 0.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let scc = tarjan(&adj);
+        assert_eq!(scc.members[0], vec![2]);
+        assert_eq!(scc.members[2], vec![0]);
+    }
+}

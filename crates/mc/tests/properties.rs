@@ -1,0 +1,124 @@
+//! Property-based tests of the model checker itself: the explorer against a
+//! brute-force reference, and SCC analysis against structural facts.
+
+use pp_mc::properties::{check_stable_computation, is_eventually_silent};
+use pp_mc::scc::tarjan;
+use pp_mc::{ExploreLimits, ReachabilityGraph};
+use pp_protocol::{CountConfig, Population, Protocol, Simulation, UniformPairScheduler};
+use proptest::prelude::*;
+
+struct Max;
+
+impl Protocol for Max {
+    type State = u8;
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> &str {
+        "max"
+    }
+
+    fn input(&self, i: &u8) -> u8 {
+        *i
+    }
+
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        let m = *a.max(b);
+        (m, m)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every configuration a simulation visits must be in the explored
+    /// reachable set (exploration is complete).
+    #[test]
+    fn exploration_covers_simulated_runs(
+        states in proptest::collection::vec(0u8..5, 2..7),
+        seed in any::<u64>(),
+    ) {
+        let initial: CountConfig<u8> = states.iter().copied().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        let reachable: std::collections::HashSet<CountConfig<u8>> =
+            (0..graph.len() as u32).map(|id| graph.config(id)).collect();
+
+        let population: Population<u8> = states.iter().copied().collect();
+        let mut sim = Simulation::new(&Max, population, UniformPairScheduler::new(), seed);
+        for _ in 0..100 {
+            let _ = sim.step().unwrap();
+            let config = sim.population().to_count_config();
+            prop_assert!(reachable.contains(&config), "visited unexplored config {config:?}");
+        }
+    }
+
+    /// For the max protocol the answer is known: it stably computes the
+    /// maximum and nothing else, and is eventually silent.
+    #[test]
+    fn max_protocol_ground_truth(states in proptest::collection::vec(0u8..6, 2..7)) {
+        let expected = *states.iter().max().unwrap();
+        let initial: CountConfig<u8> = states.iter().copied().collect();
+        let graph = ReachabilityGraph::explore(&Max, &initial, ExploreLimits::default()).unwrap();
+        prop_assert!(is_eventually_silent(&graph));
+        prop_assert!(check_stable_computation(&graph, &Max, &expected).holds);
+        // Any value strictly below the max is not stably computed (unless
+        // it equals the max, excluded).
+        if expected > 0 {
+            let wrong = expected - 1;
+            prop_assert!(!check_stable_computation(&graph, &Max, &wrong).holds);
+        }
+        // The number of silent configs is exactly 1: everyone at max.
+        prop_assert_eq!(graph.silent_configs().len(), 1);
+    }
+
+    /// Tarjan invariants on random graphs: components partition the nodes,
+    /// and edges never point from a lower to a higher component index
+    /// (reverse-topological emission).
+    #[test]
+    fn tarjan_structural_invariants(
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 0..60),
+        n in 1u32..12,
+    ) {
+        let n = n as usize;
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if !adj[u as usize].contains(&v) {
+                adj[u as usize].push(v);
+            }
+        }
+        let scc = tarjan(&adj);
+        // Partition.
+        let mut seen = vec![false; n];
+        for members in &scc.members {
+            for &v in members {
+                prop_assert!(!seen[v as usize], "node {v} in two components");
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Edge direction: components are emitted callees-first, so an edge
+        // u→v across components must satisfy comp[u] > comp[v].
+        for (u, succs) in adj.iter().enumerate() {
+            for &v in succs {
+                let cu = scc.component[u];
+                let cv = scc.component[v as usize];
+                if cu != cv {
+                    prop_assert!(cu > cv, "edge {u}→{v} violates topo order");
+                }
+            }
+        }
+        // Bottom SCCs have no outgoing edges.
+        for &b in &scc.bottom_sccs(&adj) {
+            for &v in &scc.members[b as usize] {
+                for &w in &adj[v as usize] {
+                    prop_assert_eq!(scc.component[w as usize], b);
+                }
+            }
+        }
+    }
+}

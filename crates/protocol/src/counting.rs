@@ -1,0 +1,364 @@
+//! A count-based simulation engine for the uniform-random scheduler.
+//!
+//! Agents with equal states are interchangeable, so under the uniform-random
+//! scheduler the execution is a Markov chain over anonymous configurations.
+//! This engine maintains per-state counts instead of an indexed vector,
+//! making each interaction `O(d)` where `d` is the number of *distinct*
+//! states present (for Circles, `d <= k³` regardless of `n`), so populations
+//! of millions of agents are cheap.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::CountConfig;
+use crate::error::FrameworkError;
+use crate::protocol::Protocol;
+use crate::simulation::RunReport;
+
+/// Count-based simulation under the uniform-random scheduler.
+///
+/// Statistically equivalent to driving [`crate::Simulation`] with
+/// [`crate::UniformPairScheduler`]: each step picks an ordered pair of
+/// distinct agents uniformly. The equivalence is covered by integration
+/// tests comparing convergence-time distributions of the two engines.
+///
+/// # Example
+///
+/// ```
+/// # use pp_protocol::{CountingSimulation, Protocol};
+/// # struct Max;
+/// # impl Protocol for Max {
+/// #     type State = u8; type Input = u8; type Output = u8;
+/// #     fn name(&self) -> &str { "max" }
+/// #     fn input(&self, i: &u8) -> u8 { *i }
+/// #     fn output(&self, s: &u8) -> u8 { *s }
+/// #     fn transition(&self, a: &u8, b: &u8) -> (u8, u8) { let m = *a.max(b); (m, m) }
+/// # }
+/// let inputs: Vec<u8> = (0..100).map(|i| (i % 7) as u8).collect();
+/// let mut sim = CountingSimulation::from_inputs(&Max, &inputs, 42);
+/// let report = sim.run_until_silent(1_000_000, 128)?;
+/// assert_eq!(report.consensus, Some(6));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+pub struct CountingSimulation<'p, P: Protocol> {
+    protocol: &'p P,
+    /// Dense view: distinct states and their counts, for O(d) sampling.
+    states: Vec<P::State>,
+    counts: Vec<usize>,
+    index: HashMap<P::State, usize>,
+    n: usize,
+    rng: StdRng,
+    steps: u64,
+    state_changes: u64,
+    last_change_step: u64,
+    output_counts: BTreeMap<P::Output, usize>,
+    last_disagreement: Option<u64>,
+}
+
+impl<'p, P: Protocol> CountingSimulation<'p, P> {
+    /// Creates an engine from input symbols.
+    pub fn from_inputs(protocol: &'p P, inputs: &[P::Input], seed: u64) -> Self {
+        let config: CountConfig<P::State> =
+            inputs.iter().map(|i| protocol.input(i)).collect();
+        Self::from_config(protocol, config, seed)
+    }
+
+    /// Creates an engine from an existing anonymous configuration.
+    pub fn from_config(protocol: &'p P, config: CountConfig<P::State>, seed: u64) -> Self {
+        let mut states = Vec::with_capacity(config.distinct());
+        let mut counts = Vec::with_capacity(config.distinct());
+        let mut index = HashMap::with_capacity(config.distinct());
+        let mut output_counts = BTreeMap::new();
+        for (s, c) in config.iter() {
+            index.insert(s.clone(), states.len());
+            states.push(s.clone());
+            counts.push(c);
+            *output_counts.entry(protocol.output(s)).or_insert(0) += c;
+        }
+        let n = config.n();
+        let initially_unanimous = output_counts.len() <= 1;
+        CountingSimulation {
+            protocol,
+            states,
+            counts,
+            index,
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            steps: 0,
+            state_changes: 0,
+            last_change_step: 0,
+            output_counts,
+            last_disagreement: if initially_unanimous { None } else { Some(0) },
+        }
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Interactions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current anonymous configuration.
+    pub fn config(&self) -> CountConfig<P::State> {
+        let mut config = CountConfig::new();
+        for (s, c) in self.states.iter().zip(&self.counts) {
+            if *c > 0 {
+                config.insert(s.clone(), *c);
+            }
+        }
+        config
+    }
+
+    /// Histogram of current outputs.
+    pub fn output_counts(&self) -> &BTreeMap<P::Output, usize> {
+        &self.output_counts
+    }
+
+    /// Samples the index (into the dense arrays) of one agent uniformly,
+    /// after `excluded` copies of state `exclude_idx` have been set aside.
+    fn sample_state(&mut self, exclude_idx: usize, excluded: usize) -> usize {
+        let total = self.n - excluded;
+        debug_assert!(total > 0);
+        let mut r = self.rng.random_range(0..total);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            let c = if idx == exclude_idx { c - excluded } else { c };
+            if r < c {
+                return idx;
+            }
+            r -= c;
+        }
+        unreachable!("sampling walked past total population");
+    }
+
+    fn slot_for(&mut self, state: P::State) -> usize {
+        if let Some(&idx) = self.index.get(&state) {
+            return idx;
+        }
+        let idx = self.states.len();
+        self.index.insert(state.clone(), idx);
+        self.states.push(state);
+        self.counts.push(0);
+        idx
+    }
+
+    /// Executes one uniform-random interaction. Returns whether any state
+    /// changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::PopulationTooSmall`] for populations with
+    /// fewer than two agents.
+    pub fn step(&mut self) -> Result<bool, FrameworkError> {
+        if self.n < 2 {
+            return Err(FrameworkError::PopulationTooSmall { n: self.n });
+        }
+        let i_idx = self.sample_state(usize::MAX, 0);
+        let j_idx = self.sample_state(i_idx, 1);
+        let (a, b) = {
+            let si = &self.states[i_idx];
+            let sj = &self.states[j_idx];
+            self.protocol.transition(si, sj)
+        };
+        self.steps += 1;
+        let changed = a != self.states[i_idx] || b != self.states[j_idx];
+        if changed {
+            self.state_changes += 1;
+            self.last_change_step = self.steps;
+            // Outputs first (uses pre-transition states).
+            for (old_idx, new_state) in [(i_idx, &a), (j_idx, &b)] {
+                let old_out = self.protocol.output(&self.states[old_idx]);
+                let new_out = self.protocol.output(new_state);
+                if old_out != new_out {
+                    let slot = self
+                        .output_counts
+                        .get_mut(&old_out)
+                        .expect("output histogram out of sync");
+                    *slot -= 1;
+                    if *slot == 0 {
+                        self.output_counts.remove(&old_out);
+                    }
+                    *self.output_counts.entry(new_out).or_insert(0) += 1;
+                }
+            }
+            self.counts[i_idx] -= 1;
+            self.counts[j_idx] -= 1;
+            let a_idx = self.slot_for(a);
+            self.counts[a_idx] += 1;
+            let b_idx = self.slot_for(b);
+            self.counts[b_idx] += 1;
+            self.compact_if_needed();
+        }
+        if self.output_counts.len() > 1 {
+            self.last_disagreement = Some(self.steps);
+        }
+        Ok(changed)
+    }
+
+    /// Drops zero-count slots when they dominate the dense arrays, keeping
+    /// sampling O(present states).
+    fn compact_if_needed(&mut self) {
+        let zeros = self.counts.iter().filter(|&&c| c == 0).count();
+        if zeros <= self.counts.len() / 2 || zeros < 8 {
+            return;
+        }
+        let mut states = Vec::with_capacity(self.counts.len() - zeros);
+        let mut counts = Vec::with_capacity(self.counts.len() - zeros);
+        let mut index = HashMap::with_capacity(self.counts.len() - zeros);
+        for (s, &c) in self.states.iter().zip(&self.counts) {
+            if c > 0 {
+                index.insert(s.clone(), states.len());
+                states.push(s.clone());
+                counts.push(c);
+            }
+        }
+        self.states = states;
+        self.counts = counts;
+        self.index = index;
+    }
+
+    /// Whether the current configuration is silent.
+    pub fn is_silent(&self) -> bool {
+        self.config().is_silent(self.protocol)
+    }
+
+    /// Runs until silence, checking every `check_interval` interactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::MaxStepsExceeded`] when the budget is
+    /// exhausted before silence.
+    pub fn run_until_silent(
+        &mut self,
+        max_steps: u64,
+        check_interval: u64,
+    ) -> Result<RunReport<P::Output>, FrameworkError> {
+        let interval = check_interval.max(1);
+        if self.n < 2 || self.is_silent() {
+            return Ok(self.report());
+        }
+        let mut next_check = self.steps + interval;
+        while self.steps < max_steps {
+            self.step()?;
+            if self.steps >= next_check {
+                next_check = self.steps + interval;
+                if self.is_silent() {
+                    return Ok(self.report());
+                }
+            }
+        }
+        if self.is_silent() {
+            return Ok(self.report());
+        }
+        Err(FrameworkError::MaxStepsExceeded { max_steps })
+    }
+
+    fn report(&self) -> RunReport<P::Output> {
+        let consensus = if self.output_counts.len() == 1 {
+            self.output_counts.keys().next().cloned()
+        } else {
+            None
+        };
+        RunReport {
+            steps: self.steps,
+            steps_to_silence: self.last_change_step,
+            steps_to_consensus: self.last_disagreement.map_or(0, |t| t + 1),
+            state_changes: self.state_changes,
+            consensus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Max;
+
+    impl Protocol for Max {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+    }
+
+    #[test]
+    fn converges_to_max_on_large_population() {
+        let inputs: Vec<u8> = (0..10_000).map(|i| (i % 11) as u8).collect();
+        let mut sim = CountingSimulation::from_inputs(&Max, &inputs, 9);
+        let report = sim.run_until_silent(10_000_000, 1024).unwrap();
+        assert_eq!(report.consensus, Some(10));
+    }
+
+    #[test]
+    fn counts_stay_consistent() {
+        let inputs: Vec<u8> = (0..50).map(|i| (i % 5) as u8).collect();
+        let mut sim = CountingSimulation::from_inputs(&Max, &inputs, 3);
+        for _ in 0..500 {
+            let _ = sim.step().unwrap();
+            let total: usize = sim.counts.iter().sum();
+            assert_eq!(total, 50);
+            let out_total: usize = sim.output_counts.values().sum();
+            assert_eq!(out_total, 50);
+        }
+    }
+
+    #[test]
+    fn silent_configuration_detected_immediately() {
+        let mut sim = CountingSimulation::from_inputs(&Max, &[4, 4, 4], 1);
+        let report = sim.run_until_silent(100, 1).unwrap();
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.consensus, Some(4));
+    }
+
+    #[test]
+    fn tiny_population_errors_on_step() {
+        let mut sim = CountingSimulation::from_inputs(&Max, &[4], 1);
+        assert!(matches!(
+            sim.step(),
+            Err(FrameworkError::PopulationTooSmall { n: 1 })
+        ));
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let inputs = [1u8, 1, 2, 3];
+        let sim = CountingSimulation::from_inputs(&Max, &inputs, 1);
+        let config = sim.config();
+        assert_eq!(config.n(), 4);
+        assert_eq!(config.count(&1), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_population() {
+        // Drive enough merging that many states empty out.
+        let inputs: Vec<u8> = (0..200).map(|i| (i % 97) as u8).collect();
+        let mut sim = CountingSimulation::from_inputs(&Max, &inputs, 5);
+        for _ in 0..20_000 {
+            let _ = sim.step().unwrap();
+        }
+        assert_eq!(sim.config().n(), 200);
+    }
+}

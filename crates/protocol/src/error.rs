@@ -1,0 +1,90 @@
+//! Error type shared by the framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// A population with zero agents was supplied where interactions are
+    /// required.
+    EmptyPopulation,
+    /// A population with a single agent cannot interact.
+    PopulationTooSmall {
+        /// Number of agents supplied.
+        n: usize,
+    },
+    /// An agent index was outside the population.
+    AgentOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Population size.
+        n: usize,
+    },
+    /// A scheduler returned a reflexive pair `(i, i)`; agents cannot interact
+    /// with themselves.
+    ReflexivePair {
+        /// The repeated index.
+        index: usize,
+    },
+    /// A run exceeded its interaction budget before converging.
+    MaxStepsExceeded {
+        /// The budget that was exhausted.
+        max_steps: u64,
+    },
+    /// An interaction trace could not be parsed.
+    TraceParse(String),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::EmptyPopulation => write!(f, "population is empty"),
+            FrameworkError::PopulationTooSmall { n } => {
+                write!(f, "population of {n} agent(s) cannot interact")
+            }
+            FrameworkError::AgentOutOfBounds { index, n } => {
+                write!(f, "agent index {index} out of bounds for population of {n}")
+            }
+            FrameworkError::ReflexivePair { index } => {
+                write!(f, "scheduler produced reflexive pair ({index}, {index})")
+            }
+            FrameworkError::MaxStepsExceeded { max_steps } => {
+                write!(f, "run did not converge within {max_steps} interactions")
+            }
+            FrameworkError::TraceParse(msg) => write!(f, "invalid interaction trace: {msg}"),
+        }
+    }
+}
+
+impl Error for FrameworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            FrameworkError::EmptyPopulation,
+            FrameworkError::PopulationTooSmall { n: 1 },
+            FrameworkError::AgentOutOfBounds { index: 9, n: 3 },
+            FrameworkError::ReflexivePair { index: 2 },
+            FrameworkError::MaxStepsExceeded { max_steps: 10 },
+            FrameworkError::TraceParse("bad line".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameworkError>();
+    }
+}

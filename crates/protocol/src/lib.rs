@@ -1,0 +1,88 @@
+//! Execution framework for *population protocols*.
+//!
+//! Population protocols (Angluin et al., 2006) model computation distributed
+//! across a population of `n` identical, anonymous agents. A *scheduler*
+//! repeatedly selects an ordered pair of agents (*initiator*, *responder*);
+//! the two agents observe each other's states and update their own state
+//! according to the protocol's deterministic transition function.
+//!
+//! This crate provides the substrate shared by every protocol in the
+//! workspace:
+//!
+//! - [`Protocol`]: the trait a protocol implements (input, output and
+//!   transition functions), plus [`EnumerableProtocol`] for protocols with an
+//!   enumerable state space (used for state-complexity accounting and model
+//!   checking).
+//! - [`Population`]: an indexed vector of agent states, the representation
+//!   used by schedulers that distinguish agents.
+//! - [`CountConfig`]: an anonymous configuration — the multiset of states of
+//!   Definition 1.1 of the Circles paper — used by the counting simulator and
+//!   the model checker.
+//! - [`Simulation`]: the indexed simulation engine, driven by any
+//!   [`Scheduler`].
+//! - [`CountingSimulation`]: a faster engine for the uniform-random scheduler
+//!   that works directly on state counts and scales to very large `n`.
+//! - [`InteractionTrace`]: record/replay of interaction schedules for
+//!   reproducible failure analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_protocol::{Population, Protocol, Simulation, UniformPairScheduler};
+//!
+//! /// A toy "epidemic maximum" protocol: both agents adopt the larger value.
+//! struct MaxProtocol;
+//!
+//! impl Protocol for MaxProtocol {
+//!     type State = u8;
+//!     type Input = u8;
+//!     type Output = u8;
+//!
+//!     fn name(&self) -> &str {
+//!         "max-epidemic"
+//!     }
+//!
+//!     fn input(&self, input: &u8) -> u8 {
+//!         *input
+//!     }
+//!
+//!     fn output(&self, state: &u8) -> u8 {
+//!         *state
+//!     }
+//!
+//!     fn transition(&self, initiator: &u8, responder: &u8) -> (u8, u8) {
+//!         let m = (*initiator).max(*responder);
+//!         (m, m)
+//!     }
+//! }
+//!
+//! let protocol = MaxProtocol;
+//! let population = Population::from_inputs(&protocol, &[3, 1, 4, 1, 5]);
+//! let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 42);
+//! let report = sim.run_until_silent(100_000, 16)?;
+//! assert_eq!(report.consensus, Some(5));
+//! # Ok::<(), pp_protocol::FrameworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod counting;
+mod error;
+mod population;
+mod protocol;
+mod scheduler;
+mod simulation;
+mod time;
+mod trace;
+
+pub use config::CountConfig;
+pub use counting::CountingSimulation;
+pub use error::FrameworkError;
+pub use population::Population;
+pub use protocol::{EnumerableProtocol, Protocol};
+pub use scheduler::{Scheduler, UniformPairScheduler};
+pub use simulation::{RunReport, SimStats, Simulation, StepReport};
+pub use time::{parallel_time, GillespieClock};
+pub use trace::InteractionTrace;

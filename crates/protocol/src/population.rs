@@ -1,0 +1,320 @@
+//! Indexed populations: a vector of agent states.
+
+use std::collections::BTreeMap;
+
+use crate::config::CountConfig;
+use crate::error::FrameworkError;
+use crate::protocol::Protocol;
+
+/// An indexed population of agents.
+///
+/// Agents in the population-protocol model are anonymous, but schedulers are
+/// defined over agent *indices* (weak fairness quantifies over pairs of
+/// agents, not pairs of states), so the indexed representation is the one the
+/// model's definitions are phrased in. For anonymous analysis, convert to a
+/// [`CountConfig`] with [`Population::to_count_config`].
+///
+/// # Example
+///
+/// ```
+/// # use pp_protocol::{Population, Protocol};
+/// # struct Max;
+/// # impl Protocol for Max {
+/// #     type State = u8; type Input = u8; type Output = u8;
+/// #     fn name(&self) -> &str { "max" }
+/// #     fn input(&self, i: &u8) -> u8 { *i }
+/// #     fn output(&self, s: &u8) -> u8 { *s }
+/// #     fn transition(&self, a: &u8, b: &u8) -> (u8, u8) { let m = *a.max(b); (m, m) }
+/// # }
+/// let population = Population::from_inputs(&Max, &[1, 2, 3]);
+/// assert_eq!(population.len(), 3);
+/// assert_eq!(population.outputs(&Max), vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population<S> {
+    states: Vec<S>,
+}
+
+impl<S> Population<S> {
+    /// Creates a population directly from agent states.
+    pub fn from_states(states: Vec<S>) -> Self {
+        Population { states }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the population has no agents.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of agent `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn state(&self, index: usize) -> &S {
+        &self.states[index]
+    }
+
+    /// All agent states, in index order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Iterates over agent states in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.states.iter()
+    }
+
+    /// Overwrites the state of agent `index` (used by fault injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::AgentOutOfBounds`] if `index` is invalid.
+    pub fn set_state(&mut self, index: usize, state: S) -> Result<(), FrameworkError> {
+        let n = self.states.len();
+        match self.states.get_mut(index) {
+            Some(slot) => {
+                *slot = state;
+                Ok(())
+            }
+            None => Err(FrameworkError::AgentOutOfBounds { index, n }),
+        }
+    }
+}
+
+impl<S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Population<S> {
+    /// Creates a population by applying the protocol's input function to each
+    /// input symbol.
+    pub fn from_inputs<P>(protocol: &P, inputs: &[P::Input]) -> Self
+    where
+        P: Protocol<State = S>,
+    {
+        Population {
+            states: inputs.iter().map(|i| protocol.input(i)).collect(),
+        }
+    }
+
+    /// Applies one interaction between the `initiator` and `responder`
+    /// agents and returns whether either state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::ReflexivePair`] when `initiator ==
+    /// responder` and [`FrameworkError::AgentOutOfBounds`] when either index
+    /// is invalid.
+    pub fn interact<P>(
+        &mut self,
+        protocol: &P,
+        initiator: usize,
+        responder: usize,
+    ) -> Result<bool, FrameworkError>
+    where
+        P: Protocol<State = S>,
+    {
+        let n = self.states.len();
+        if initiator == responder {
+            return Err(FrameworkError::ReflexivePair { index: initiator });
+        }
+        if initiator >= n {
+            return Err(FrameworkError::AgentOutOfBounds { index: initiator, n });
+        }
+        if responder >= n {
+            return Err(FrameworkError::AgentOutOfBounds { index: responder, n });
+        }
+        let (a, b) = protocol.transition(&self.states[initiator], &self.states[responder]);
+        let changed = a != self.states[initiator] || b != self.states[responder];
+        self.states[initiator] = a;
+        self.states[responder] = b;
+        Ok(changed)
+    }
+
+    /// The outputs of all agents, in index order.
+    pub fn outputs<P>(&self, protocol: &P) -> Vec<P::Output>
+    where
+        P: Protocol<State = S>,
+    {
+        self.states.iter().map(|s| protocol.output(s)).collect()
+    }
+
+    /// Returns `Some(o)` when every agent currently outputs `o`.
+    pub fn output_consensus<P>(&self, protocol: &P) -> Option<P::Output>
+    where
+        P: Protocol<State = S>,
+    {
+        let mut iter = self.states.iter();
+        let first = protocol.output(iter.next()?);
+        for s in iter {
+            if protocol.output(s) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Histogram of outputs.
+    pub fn output_counts<P>(&self, protocol: &P) -> BTreeMap<P::Output, usize>
+    where
+        P: Protocol<State = S>,
+    {
+        let mut counts = BTreeMap::new();
+        for s in &self.states {
+            *counts.entry(protocol.output(s)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The anonymous configuration: the multiset of states (Definition 1.1).
+    pub fn to_count_config(&self) -> CountConfig<S> {
+        self.states.iter().cloned().collect()
+    }
+
+    /// Whether no pair of agents can change state: the configuration is
+    /// *silent*. Checked on the anonymous configuration, which is sound
+    /// because agents with equal states are interchangeable.
+    pub fn is_silent<P>(&self, protocol: &P) -> bool
+    where
+        P: Protocol<State = S>,
+    {
+        self.to_count_config().is_silent(protocol)
+    }
+}
+
+impl<S> std::ops::Index<usize> for Population<S> {
+    type Output = S;
+
+    fn index(&self, index: usize) -> &S {
+        &self.states[index]
+    }
+}
+
+impl<S> FromIterator<S> for Population<S> {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        Population {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Max;
+
+    impl Protocol for Max {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+
+        fn is_symmetric(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn from_inputs_applies_input_function() {
+        let p = Population::from_inputs(&Max, &[2, 9, 4]);
+        assert_eq!(p.states(), &[2, 9, 4]);
+    }
+
+    #[test]
+    fn interact_updates_both_agents() {
+        let mut p = Population::from_inputs(&Max, &[2, 9, 4]);
+        let changed = p.interact(&Max, 0, 1).unwrap();
+        assert!(changed);
+        assert_eq!(p.states(), &[9, 9, 4]);
+    }
+
+    #[test]
+    fn interact_reports_null_interactions() {
+        let mut p = Population::from_inputs(&Max, &[9, 9]);
+        let changed = p.interact(&Max, 0, 1).unwrap();
+        assert!(!changed);
+    }
+
+    #[test]
+    fn interact_rejects_reflexive_pair() {
+        let mut p = Population::from_inputs(&Max, &[1, 2]);
+        assert_eq!(
+            p.interact(&Max, 1, 1),
+            Err(FrameworkError::ReflexivePair { index: 1 })
+        );
+    }
+
+    #[test]
+    fn interact_rejects_out_of_bounds() {
+        let mut p = Population::from_inputs(&Max, &[1, 2]);
+        assert_eq!(
+            p.interact(&Max, 0, 5),
+            Err(FrameworkError::AgentOutOfBounds { index: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn consensus_none_when_disagreeing() {
+        let p = Population::from_inputs(&Max, &[1, 2]);
+        assert_eq!(p.output_consensus(&Max), None);
+    }
+
+    #[test]
+    fn consensus_some_when_unanimous() {
+        let p = Population::from_inputs(&Max, &[7, 7, 7]);
+        assert_eq!(p.output_consensus(&Max), Some(7));
+    }
+
+    #[test]
+    fn output_counts_histogram() {
+        let p = Population::from_inputs(&Max, &[1, 2, 2, 3]);
+        let h = p.output_counts(&Max);
+        assert_eq!(h.get(&2), Some(&2));
+        assert_eq!(h.get(&1), Some(&1));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn silence_detection() {
+        let noisy = Population::from_inputs(&Max, &[1, 2]);
+        assert!(!noisy.is_silent(&Max));
+        let silent = Population::from_inputs(&Max, &[2, 2]);
+        assert!(silent.is_silent(&Max));
+    }
+
+    #[test]
+    fn set_state_round_trips() {
+        let mut p = Population::from_inputs(&Max, &[1, 2]);
+        p.set_state(0, 9).unwrap();
+        assert_eq!(p.state(0), &9);
+        assert!(p.set_state(5, 0).is_err());
+    }
+
+    #[test]
+    fn count_config_matches_multiset() {
+        let p = Population::from_inputs(&Max, &[5, 5, 1]);
+        let c = p.to_count_config();
+        assert_eq!(c.count(&5), 2);
+        assert_eq!(c.count(&1), 1);
+        assert_eq!(c.n(), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Recording and replaying interaction schedules.
+//!
+//! A trace pins down the scheduler half of an execution; together with the
+//! input assignment it makes a run fully reproducible, which is how failing
+//! stochastic tests are turned into deterministic regression tests.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::FrameworkError;
+
+/// A finite prefix of an interaction schedule: ordered `(initiator,
+/// responder)` pairs over a population of known size.
+///
+/// # Example
+///
+/// ```
+/// use pp_protocol::InteractionTrace;
+///
+/// let mut trace = InteractionTrace::new(3);
+/// trace.push(0, 1);
+/// trace.push(2, 0);
+/// let text = trace.to_string();
+/// let parsed: InteractionTrace = text.parse()?;
+/// assert_eq!(parsed, trace);
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionTrace {
+    n: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl InteractionTrace {
+    /// Creates an empty trace over a population of `n` agents.
+    pub fn new(n: usize) -> Self {
+        InteractionTrace { n, pairs: Vec::new() }
+    }
+
+    /// Creates a trace from recorded pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::AgentOutOfBounds`] or
+    /// [`FrameworkError::ReflexivePair`] if a pair is invalid for a
+    /// population of `n`.
+    pub fn from_pairs(n: usize, pairs: Vec<(usize, usize)>) -> Result<Self, FrameworkError> {
+        for &(i, j) in &pairs {
+            if i == j {
+                return Err(FrameworkError::ReflexivePair { index: i });
+            }
+            if i >= n {
+                return Err(FrameworkError::AgentOutOfBounds { index: i, n });
+            }
+            if j >= n {
+                return Err(FrameworkError::AgentOutOfBounds { index: j, n });
+            }
+        }
+        Ok(InteractionTrace { n, pairs })
+    }
+
+    /// Population size this trace is valid for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The recorded pairs, in schedule order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of recorded interactions.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no interactions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Appends an interaction.
+    pub fn push(&mut self, initiator: usize, responder: usize) {
+        self.pairs.push((initiator, responder));
+    }
+
+    /// Largest gap (in steps) between consecutive occurrences of any
+    /// unordered agent pair, also counting the distance from the start to a
+    /// pair's first occurrence and from its last occurrence to the end.
+    /// Small maximum gaps witness weak fairness on the recorded prefix.
+    ///
+    /// Returns `None` when some unordered pair never occurs at all.
+    pub fn max_pair_gap(&self) -> Option<usize> {
+        let n = self.n;
+        if n < 2 {
+            return Some(0);
+        }
+        let idx = |i: usize, j: usize| {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            a * n + b
+        };
+        let mut last_seen: Vec<Option<usize>> = vec![None; n * n];
+        let mut max_gap = 0usize;
+        for (t, &(i, j)) in self.pairs.iter().enumerate() {
+            let key = idx(i, j);
+            let gap = match last_seen[key] {
+                Some(prev) => t - prev,
+                None => t + 1,
+            };
+            max_gap = max_gap.max(gap);
+            last_seen[key] = Some(t);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                match last_seen[idx(i, j)] {
+                    None => return None,
+                    Some(prev) => max_gap = max_gap.max(self.pairs.len() - prev),
+                }
+            }
+        }
+        Some(max_gap)
+    }
+}
+
+impl fmt::Display for InteractionTrace {
+    /// Serializes as a line-oriented text format: first line `n`, then one
+    /// `initiator responder` pair per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.n)?;
+        for (i, j) in &self.pairs {
+            writeln!(f, "{i} {j}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for InteractionTrace {
+    type Err = FrameworkError;
+
+    fn from_str(s: &str) -> Result<Self, FrameworkError> {
+        let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+        let n: usize = lines
+            .next()
+            .ok_or_else(|| FrameworkError::TraceParse("missing population size".into()))?
+            .trim()
+            .parse()
+            .map_err(|e| FrameworkError::TraceParse(format!("bad population size: {e}")))?;
+        let mut pairs = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let i: usize = parts
+                .next()
+                .ok_or_else(|| FrameworkError::TraceParse(format!("empty pair line: {line:?}")))?
+                .parse()
+                .map_err(|e| FrameworkError::TraceParse(format!("bad initiator: {e}")))?;
+            let j: usize = parts
+                .next()
+                .ok_or_else(|| FrameworkError::TraceParse(format!("missing responder: {line:?}")))?
+                .parse()
+                .map_err(|e| FrameworkError::TraceParse(format!("bad responder: {e}")))?;
+            if parts.next().is_some() {
+                return Err(FrameworkError::TraceParse(format!(
+                    "trailing tokens on line: {line:?}"
+                )));
+            }
+            pairs.push((i, j));
+        }
+        InteractionTrace::from_pairs(n, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text_format() {
+        let trace = InteractionTrace::from_pairs(4, vec![(0, 1), (2, 3), (3, 0)]).unwrap();
+        let parsed: InteractionTrace = trace.to_string().parse().unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn from_pairs_validates() {
+        assert!(matches!(
+            InteractionTrace::from_pairs(2, vec![(0, 0)]),
+            Err(FrameworkError::ReflexivePair { index: 0 })
+        ));
+        assert!(matches!(
+            InteractionTrace::from_pairs(2, vec![(0, 5)]),
+            Err(FrameworkError::AgentOutOfBounds { index: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<InteractionTrace>().is_err());
+        assert!("3\n0".parse::<InteractionTrace>().is_err());
+        assert!("3\n0 1 2".parse::<InteractionTrace>().is_err());
+        assert!("x\n0 1".parse::<InteractionTrace>().is_err());
+    }
+
+    #[test]
+    fn max_gap_none_when_pair_missing() {
+        let trace = InteractionTrace::from_pairs(3, vec![(0, 1), (1, 0)]).unwrap();
+        assert_eq!(trace.max_pair_gap(), None);
+    }
+
+    #[test]
+    fn max_gap_counts_boundaries() {
+        // Pairs (0,1),(0,2),(1,2) each once over 3 steps: the last pair to
+        // appear first has initial gap 3; final gaps: (0,1) last at t=0 so
+        // gap to end = 3.
+        let trace = InteractionTrace::from_pairs(3, vec![(0, 1), (0, 2), (1, 2)]).unwrap();
+        assert_eq!(trace.max_pair_gap(), Some(3));
+    }
+
+    #[test]
+    fn max_gap_handles_unordered_identification() {
+        // (0,1) and (1,0) are the same unordered pair.
+        let trace = InteractionTrace::from_pairs(2, vec![(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(trace.max_pair_gap(), Some(1));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the framework's core data structures.
+
+use pp_protocol::{
+    CountConfig, CountingSimulation, InteractionTrace, Population, Protocol, Simulation,
+    UniformPairScheduler,
+};
+use proptest::prelude::*;
+
+/// Toy protocol used throughout: epidemic maximum.
+struct Max;
+
+impl Protocol for Max {
+    type State = u8;
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> &str {
+        "max"
+    }
+
+    fn input(&self, i: &u8) -> u8 {
+        *i
+    }
+
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        let m = *a.max(b);
+        (m, m)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CountConfig is canonical: insertion order never matters.
+    #[test]
+    fn count_config_is_order_independent(mut states in proptest::collection::vec(0u8..8, 1..40)) {
+        let a: CountConfig<u8> = states.iter().copied().collect();
+        states.reverse();
+        let b: CountConfig<u8> = states.iter().copied().collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.n(), states.len());
+    }
+
+    /// to_state_vec is a sorted expansion whose length matches n.
+    #[test]
+    fn count_config_expansion_round_trips(states in proptest::collection::vec(0u8..8, 1..40)) {
+        let config: CountConfig<u8> = states.iter().copied().collect();
+        let expanded = config.to_state_vec();
+        prop_assert_eq!(expanded.len(), states.len());
+        prop_assert!(expanded.windows(2).all(|w| w[0] <= w[1]));
+        let mut sorted = states.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(expanded, sorted);
+    }
+
+    /// insert/remove/transfer keep n and counts consistent.
+    #[test]
+    fn count_config_mutation_consistency(
+        states in proptest::collection::vec(0u8..6, 2..30),
+        moves in proptest::collection::vec((0u8..6, 0u8..6), 0..20),
+    ) {
+        let mut config: CountConfig<u8> = states.iter().copied().collect();
+        let n = config.n();
+        for (from, to) in moves {
+            if config.count(&from) > 0 {
+                config.transfer(&from, to);
+            }
+        }
+        prop_assert_eq!(config.n(), n);
+        let total: usize = config.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// The population's multiset is invariant under the max protocol's
+    /// total agent count, and the maximum value is preserved exactly.
+    #[test]
+    fn max_protocol_preserves_count_and_max(
+        states in proptest::collection::vec(0u8..50, 2..30),
+        steps in 0u64..500,
+        seed in any::<u64>(),
+    ) {
+        let max_in = *states.iter().max().unwrap();
+        let population: Population<u8> = states.iter().copied().collect();
+        let mut sim = Simulation::new(&Max, population, UniformPairScheduler::new(), seed);
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+        }
+        prop_assert_eq!(sim.population().len(), states.len());
+        let max_now = *sim.population().iter().max().unwrap();
+        prop_assert_eq!(max_now, max_in);
+    }
+
+    /// Output histograms maintained incrementally always match recomputed
+    /// ones (indexed engine).
+    #[test]
+    fn output_histogram_incremental_consistency(
+        states in proptest::collection::vec(0u8..5, 2..20),
+        steps in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let population: Population<u8> = states.iter().copied().collect();
+        let mut sim = Simulation::new(&Max, population, UniformPairScheduler::new(), seed);
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+            prop_assert_eq!(&sim.population().output_counts(&Max), sim.output_counts());
+        }
+    }
+
+    /// The counting engine preserves population size and converges to the
+    /// same consensus as the ground truth (the max).
+    #[test]
+    fn counting_engine_finds_the_max(
+        states in proptest::collection::vec(0u8..12, 2..60),
+        seed in any::<u64>(),
+    ) {
+        let expected = *states.iter().max().unwrap();
+        let mut sim = CountingSimulation::from_inputs(&Max, &states, seed);
+        let report = sim.run_until_silent(10_000_000, 32).unwrap();
+        prop_assert_eq!(report.consensus, Some(expected));
+        prop_assert_eq!(sim.config().n(), states.len());
+    }
+
+    /// Traces round-trip through the text format for arbitrary valid pair
+    /// sequences.
+    #[test]
+    fn trace_text_round_trip(
+        n in 2usize..12,
+        raw in proptest::collection::vec((0usize..12, 0usize..12), 0..50),
+    ) {
+        let pairs: Vec<(usize, usize)> = raw
+            .into_iter()
+            .map(|(i, j)| {
+                let i = i % n;
+                let mut j = j % n;
+                if i == j {
+                    j = (j + 1) % n;
+                }
+                (i, j)
+            })
+            .collect();
+        let trace = InteractionTrace::from_pairs(n, pairs).unwrap();
+        let parsed: InteractionTrace = trace.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Replaying a recorded uniform schedule reproduces the exact final
+    /// population.
+    #[test]
+    fn recorded_runs_replay_exactly(
+        states in proptest::collection::vec(0u8..9, 2..15),
+        steps in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let population: Population<u8> = states.iter().copied().collect();
+        let mut sim = Simulation::new(&Max, population, UniformPairScheduler::new(), seed);
+        sim.record_trace();
+        for _ in 0..steps {
+            let _ = sim.step().unwrap();
+        }
+        let trace = sim.take_trace().unwrap();
+        let reference = sim.into_population();
+
+        let mut replay: Population<u8> = states.iter().copied().collect();
+        for &(i, j) in trace.pairs() {
+            replay.interact(&Max, i, j).unwrap();
+        }
+        prop_assert_eq!(replay.states(), reference.states());
+    }
+}

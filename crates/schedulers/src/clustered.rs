@@ -1,0 +1,147 @@
+//! A two-clique scheduler with a tunable mixing bottleneck.
+
+use pp_protocol::{Population, Scheduler};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Splits the population into two halves ("cliques"). Most interactions are
+/// uniform *within* a clique; every `cross_period`-th interaction is a
+/// uniform *cross*-clique pair.
+///
+/// Weakly fair with probability 1 (cross pairs recur forever), but with a
+/// mixing bottleneck of strength `cross_period` — the population-protocol
+/// analogue of two well-mixed beakers connected by a thin pipe. Experiment
+/// E5 uses it to show always-correctness is preserved while convergence
+/// slows roughly linearly in the period.
+#[derive(Debug, Clone)]
+pub struct ClusteredScheduler {
+    cross_period: u64,
+    ticks: u64,
+}
+
+impl ClusteredScheduler {
+    /// Creates the scheduler; every `cross_period`-th interaction crosses
+    /// cliques.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cross_period == 0`.
+    pub fn new(cross_period: u64) -> Self {
+        assert!(cross_period > 0, "cross period must be positive");
+        ClusteredScheduler {
+            cross_period,
+            ticks: 0,
+        }
+    }
+
+    /// The configured period.
+    pub fn cross_period(&self) -> u64 {
+        self.cross_period
+    }
+}
+
+impl<S> Scheduler<S> for ClusteredScheduler {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+        let n = population.len();
+        debug_assert!(n >= 2);
+        let half = n / 2;
+        self.ticks += 1;
+        // With fewer than 2 agents per side, clustering degenerates to
+        // uniform.
+        if half == 0 || n - half == 0 {
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            return (i, j);
+        }
+        if self.ticks.is_multiple_of(self.cross_period) {
+            // Cross pair: one from each side, random orientation.
+            let a = rng.random_range(0..half);
+            let b = half + rng.random_range(0..n - half);
+            if rng.random_range(0..2) == 0 {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        } else {
+            // Intra pair within a uniformly chosen side (weighted by the
+            // number of ordered pairs on each side so agents mix evenly).
+            let side = if rng.random_range(0..2) == 0 && half >= 2 || n - half < 2 {
+                0..half
+            } else {
+                half..n
+            };
+            let m = side.end - side.start;
+            if m < 2 {
+                // Single-agent side: fall back to a cross pair.
+                let a = rng.random_range(0..half);
+                let b = half + rng.random_range(0..n - half);
+                return (a, b);
+            }
+            let i = side.start + rng.random_range(0..m);
+            let mut j = rng.random_range(0..m - 1);
+            if side.start + j >= i {
+                j += 1;
+            }
+            (i, side.start + j)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "clustered"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_schedule;
+
+    #[test]
+    fn cross_pairs_appear_with_configured_period() {
+        let population: Population<u8> = (0u8..10).collect();
+        let period = 5;
+        let trace = record_schedule(&mut ClusteredScheduler::new(period), &population, 1000, 1);
+        let cross = trace
+            .pairs()
+            .iter()
+            .filter(|(i, j)| (*i < 5) != (*j < 5))
+            .count();
+        assert_eq!(cross, 200, "expected exactly every 5th pair to cross");
+    }
+
+    #[test]
+    fn all_pairs_eventually_occur() {
+        let population: Population<u8> = (0u8..6).collect();
+        let trace = record_schedule(&mut ClusteredScheduler::new(4), &population, 5000, 2);
+        assert!(trace.max_pair_gap().is_some(), "some pair never occurred");
+    }
+
+    #[test]
+    fn pairs_are_valid() {
+        let population: Population<u8> = (0u8..7).collect();
+        let trace = record_schedule(&mut ClusteredScheduler::new(3), &population, 2000, 3);
+        for &(i, j) in trace.pairs() {
+            assert_ne!(i, j);
+            assert!(i < 7 && j < 7);
+        }
+    }
+
+    #[test]
+    fn tiny_populations_fall_back_to_uniform() {
+        let population: Population<u8> = (0u8..2).collect();
+        let trace = record_schedule(&mut ClusteredScheduler::new(2), &population, 50, 4);
+        assert_eq!(trace.len(), 50);
+        for &(i, j) in trace.pairs() {
+            assert_ne!(i, j);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = ClusteredScheduler::new(0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Weakly fair schedulers for population protocols.
+//!
+//! The Circles paper's correctness theorem quantifies over *all* weakly fair
+//! schedulers (Definition 1.2: every pair of agents interacts infinitely
+//! often). Exercising a protocol against a single scheduler therefore
+//! validates little; this crate provides a family of qualitatively different
+//! weakly fair schedulers:
+//!
+//! - [`pp_protocol::UniformPairScheduler`] (re-exported as
+//!   [`UniformPairScheduler`]): i.i.d. uniform pairs — the standard
+//!   probabilistic model, weakly fair with probability 1.
+//! - [`RoundRobinScheduler`]: all `n(n-1)` ordered pairs in a fixed cyclic
+//!   order — deterministic, weakly fair with gap bound `n(n-1)`.
+//! - [`ShuffledRoundsScheduler`]: each round visits every ordered pair once
+//!   in a fresh random order — weakly fair with gap bound `2n(n-1)`.
+//! - [`LazyAdversaryScheduler`]: a state-aware adversary that schedules
+//!   *unproductive* interactions whenever it can, touching productive pairs
+//!   only when a fairness deadline forces it — a worst-case-flavored
+//!   scheduler that remains weakly fair by construction.
+//! - [`ClusteredScheduler`]: two cliques with rare cross-clique contact —
+//!   weakly fair but with a tunable mixing bottleneck.
+//! - [`TraceScheduler`]: replays a recorded [`pp_protocol::InteractionTrace`].
+//!
+//! [`record_schedule`] and [`InteractionTrace::max_pair_gap`] let tests
+//! audit fairness of any scheduler empirically.
+//!
+//! [`InteractionTrace::max_pair_gap`]: pp_protocol::InteractionTrace::max_pair_gap
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clustered;
+mod lazy;
+mod replay;
+mod round_robin;
+mod shuffled;
+
+pub use clustered::ClusteredScheduler;
+pub use lazy::LazyAdversaryScheduler;
+pub use pp_protocol::UniformPairScheduler;
+pub use replay::TraceScheduler;
+pub use round_robin::RoundRobinScheduler;
+pub use shuffled::ShuffledRoundsScheduler;
+
+use pp_protocol::{InteractionTrace, Population, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Records the first `steps` interactions a scheduler would produce on a
+/// fixed population, for fairness audits.
+///
+/// The population is not evolved, so for state-aware schedulers this records
+/// the schedule they produce against a *frozen* population; audits of
+/// adversaries in-flight use [`pp_protocol::Simulation::record_trace`]
+/// instead.
+///
+/// # Example
+///
+/// ```
+/// use pp_protocol::Population;
+/// use pp_schedulers::{record_schedule, RoundRobinScheduler};
+///
+/// let population: Population<u8> = (0u8..4).collect();
+/// let trace = record_schedule(&mut RoundRobinScheduler::new(), &population, 24, 7);
+/// // One full round of 4*3 ordered pairs twice: every pair within gap 12.
+/// assert!(trace.max_pair_gap().unwrap() <= 12);
+/// ```
+pub fn record_schedule<S, Sch: Scheduler<S>>(
+    scheduler: &mut Sch,
+    population: &Population<S>,
+    steps: usize,
+    seed: u64,
+) -> InteractionTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = InteractionTrace::new(population.len());
+    for _ in 0..steps {
+        let (i, j) = scheduler.next_pair(population, &mut rng);
+        trace.push(i, j);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_schedule_produces_requested_length() {
+        let population: Population<u8> = (0u8..3).collect();
+        let trace = record_schedule(
+            &mut UniformPairScheduler::new(),
+            &population,
+            100,
+            3,
+        );
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.n(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Replaying recorded schedules.
+
+use pp_protocol::{InteractionTrace, Population, Scheduler};
+use rand::rngs::StdRng;
+
+/// Replays a recorded [`InteractionTrace`], cycling back to the start when
+/// the trace is exhausted (so that runs longer than the recording remain
+/// well-defined; a trace that covers all pairs yields a weakly fair cyclic
+/// schedule).
+///
+/// # Example
+///
+/// ```
+/// use pp_protocol::{InteractionTrace, Population, Scheduler};
+/// use pp_schedulers::TraceScheduler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let trace = InteractionTrace::from_pairs(3, vec![(0, 1), (1, 2)])?;
+/// let mut scheduler = TraceScheduler::new(trace);
+/// let population: Population<u8> = (0u8..3).collect();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(scheduler.next_pair(&population, &mut rng), (0, 1));
+/// assert_eq!(scheduler.next_pair(&population, &mut rng), (1, 2));
+/// assert_eq!(scheduler.next_pair(&population, &mut rng), (0, 1)); // wrapped
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceScheduler {
+    trace: InteractionTrace,
+    cursor: usize,
+}
+
+impl TraceScheduler {
+    /// Creates a scheduler replaying `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace — there would be nothing to replay.
+    pub fn new(trace: InteractionTrace) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TraceScheduler { trace, cursor: 0 }
+    }
+
+    /// How many times the full trace has been replayed so far.
+    pub fn wraps(&self) -> usize {
+        self.cursor / self.trace.len()
+    }
+}
+
+impl<S> Scheduler<S> for TraceScheduler {
+    fn next_pair(&mut self, population: &Population<S>, _rng: &mut StdRng) -> (usize, usize) {
+        debug_assert_eq!(
+            population.len(),
+            self.trace.n(),
+            "trace recorded for a different population size"
+        );
+        let pair = self.trace.pairs()[self.cursor % self.trace.len()];
+        self.cursor += 1;
+        pair
+    }
+
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn replays_in_order_and_wraps() {
+        let trace = InteractionTrace::from_pairs(4, vec![(0, 1), (2, 3), (1, 2)]).unwrap();
+        let mut s = TraceScheduler::new(trace);
+        let population: Population<u8> = (0u8..4).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let got: Vec<_> = (0..7).map(|_| s.next_pair(&population, &mut rng)).collect();
+        assert_eq!(
+            got,
+            vec![(0, 1), (2, 3), (1, 2), (0, 1), (2, 3), (1, 2), (0, 1)]
+        );
+        assert_eq!(s.wraps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let _ = TraceScheduler::new(InteractionTrace::new(3));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based fairness tests: every scheduler in the family produces
+//! valid pairs and bounded pair gaps on recorded prefixes.
+
+use pp_protocol::Population;
+use pp_schedulers::{
+    record_schedule, ClusteredScheduler, RoundRobinScheduler, ShuffledRoundsScheduler,
+    UniformPairScheduler,
+};
+use proptest::prelude::*;
+
+fn population(n: usize) -> Population<u8> {
+    (0..n as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All schedulers produce pairs of distinct in-range agents.
+    #[test]
+    fn pairs_are_always_valid(n in 2usize..12, seed in any::<u64>(), steps in 1usize..300) {
+        let pop = population(n);
+        let traces = [
+            record_schedule(&mut UniformPairScheduler::new(), &pop, steps, seed),
+            record_schedule(&mut RoundRobinScheduler::new(), &pop, steps, seed),
+            record_schedule(&mut ShuffledRoundsScheduler::new(), &pop, steps, seed),
+            record_schedule(&mut ClusteredScheduler::new(3), &pop, steps, seed),
+        ];
+        for trace in traces {
+            for &(i, j) in trace.pairs() {
+                prop_assert!(i < n && j < n && i != j);
+            }
+        }
+    }
+
+    /// Round-robin has the exact gap bound n(n-1) on any long-enough
+    /// prefix.
+    #[test]
+    fn round_robin_gap_bound(n in 2usize..9) {
+        let pop = population(n);
+        let period = n * (n - 1);
+        let trace = record_schedule(&mut RoundRobinScheduler::new(), &pop, period * 3, 0);
+        prop_assert!(trace.max_pair_gap().unwrap() <= period);
+    }
+
+    /// Shuffled rounds never exceed twice the round length between
+    /// occurrences of the same pair.
+    #[test]
+    fn shuffled_rounds_gap_bound(n in 2usize..9, seed in any::<u64>()) {
+        let pop = population(n);
+        let period = n * (n - 1);
+        let trace = record_schedule(&mut ShuffledRoundsScheduler::new(), &pop, period * 4, seed);
+        prop_assert!(trace.max_pair_gap().unwrap() <= 2 * period);
+    }
+
+    /// The uniform scheduler covers all unordered pairs on a prefix of
+    /// length well beyond the coupon-collector horizon.
+    #[test]
+    fn uniform_eventually_covers_all_pairs(n in 2usize..8, seed in any::<u64>()) {
+        let pop = population(n);
+        let pairs = n * (n - 1);
+        // ~ O(pairs * ln pairs) with a generous constant.
+        let horizon = pairs * 20 + 200;
+        let trace = record_schedule(&mut UniformPairScheduler::new(), &pop, horizon, seed);
+        prop_assert!(trace.max_pair_gap().is_some(), "some pair starved in {horizon} steps");
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building interaction graphs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Fewer than two agents (or fewer than the generator's minimum).
+    TooFewAgents {
+        /// Number of agents supplied.
+        n: usize,
+    },
+    /// An edge endpoint is outside `0..n`.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        endpoint: usize,
+        /// Number of agents.
+        n: usize,
+    },
+    /// An edge connects a node to itself.
+    SelfLoop {
+        /// The node.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: usize,
+        /// Larger endpoint.
+        v: usize,
+    },
+    /// The edge list is empty: no interaction is possible.
+    NoEdges,
+    /// Degree `d` is impossible for `n` nodes.
+    BadDegree {
+        /// Number of agents.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// Edge probability outside `(0, 1]`.
+    BadProbability {
+        /// The offending probability.
+        p: f64,
+    },
+    /// A randomized generator exhausted its retry budget.
+    GenerationFailed {
+        /// What was being generated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewAgents { n } => {
+                write!(f, "too few agents ({n}) for this topology")
+            }
+            TopologyError::EndpointOutOfRange { endpoint, n } => {
+                write!(f, "edge endpoint {endpoint} out of range for {n} agents")
+            }
+            TopologyError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            TopologyError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            TopologyError::NoEdges => write!(f, "graph has no edges"),
+            TopologyError::BadDegree { n, d } => {
+                write!(f, "degree {d} is impossible for {n} nodes")
+            }
+            TopologyError::BadProbability { p } => {
+                write!(f, "edge probability {p} outside (0, 1]")
+            }
+            TopologyError::GenerationFailed { what } => {
+                write!(f, "failed to generate a {what} within the retry budget")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TopologyError::TooFewAgents { n: 1 },
+            TopologyError::EndpointOutOfRange { endpoint: 9, n: 3 },
+            TopologyError::SelfLoop { node: 0 },
+            TopologyError::DuplicateEdge { u: 0, v: 1 },
+            TopologyError::NoEdges,
+            TopologyError::BadDegree { n: 5, d: 3 },
+            TopologyError::BadProbability { p: 0.0 },
+            TopologyError::GenerationFailed { what: "graph" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

@@ -1,0 +1,201 @@
+//! Auditing schedules for weak fairness *relative to a graph*.
+//!
+//! Weak fairness (Definition 1.2) on a restricted topology means: every
+//! ordered pair that shares an edge recurs infinitely often. A finite
+//! schedule cannot prove that, but it can be audited for the finite-horizon
+//! proxies that matter in experiments: full directed-edge coverage and
+//! bounded recurrence gaps.
+
+use std::collections::HashMap;
+
+use pp_protocol::{Population, Protocol};
+
+use crate::graph::InteractionGraph;
+
+/// Whether no *edge* of the graph carries a productive interaction — the
+/// correct quiescence notion for topology-restricted runs.
+///
+/// The model's plain silence (no productive pair anywhere) is strictly
+/// stronger: a frozen run on a sparse graph can be graph-silent while
+/// distant, non-adjacent agents would still react if they could ever meet.
+/// Using the plain notion on a restricted topology misclassifies every
+/// such frozen run as "still running".
+///
+/// # Panics
+///
+/// Panics when the population size does not match the graph.
+pub fn is_graph_silent<P>(
+    graph: &InteractionGraph,
+    population: &Population<P::State>,
+    protocol: &P,
+) -> bool
+where
+    P: Protocol,
+{
+    assert_eq!(
+        population.len(),
+        graph.n(),
+        "population size does not match graph size"
+    );
+    graph.edges().iter().all(|&(u, v)| {
+        protocol.is_null_interaction(&population[u], &population[v])
+            && protocol.is_null_interaction(&population[v], &population[u])
+    })
+}
+
+/// The result of auditing a finite schedule against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairnessReport {
+    /// Steps audited.
+    pub steps: usize,
+    /// Number of directed edges of the graph.
+    pub directed_edges: usize,
+    /// Directed edges that occurred at least once.
+    pub covered: usize,
+    /// Largest recurrence gap observed over covered directed edges
+    /// (including the leading gap before the first occurrence and the
+    /// trailing gap after the last).
+    pub max_gap: usize,
+    /// Scheduled pairs that are *not* edges of the graph.
+    pub off_graph_pairs: usize,
+}
+
+impl FairnessReport {
+    /// Whether every directed edge occurred and nothing ran off-graph.
+    pub fn is_covering(&self) -> bool {
+        self.covered == self.directed_edges && self.off_graph_pairs == 0
+    }
+}
+
+/// Audits `schedule` against `graph`.
+///
+/// # Panics
+///
+/// Panics when a scheduled index is out of range for the graph — that is a
+/// bug in the scheduler under audit, not a property to report.
+pub fn audit_schedule(graph: &InteractionGraph, schedule: &[(usize, usize)]) -> FairnessReport {
+    let mut last_seen: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut max_gap = 0usize;
+    let mut off_graph = 0usize;
+    for (step, &(i, j)) in schedule.iter().enumerate() {
+        assert!(i < graph.n() && j < graph.n(), "agent index out of range at step {step}");
+        if !graph.allows(i, j) {
+            off_graph += 1;
+            continue;
+        }
+        let gap = step - last_seen.get(&(i, j)).copied().unwrap_or(0);
+        max_gap = max_gap.max(gap);
+        last_seen.insert((i, j), step);
+    }
+    // Trailing gaps.
+    for &seen in last_seen.values() {
+        max_gap = max_gap.max(schedule.len() - seen);
+    }
+    FairnessReport {
+        steps: schedule.len(),
+        directed_edges: 2 * graph.edge_count(),
+        covered: last_seen.len(),
+        max_gap,
+        off_graph_pairs: off_graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{EdgeScheduler, RoundRobinEdgeScheduler};
+    use pp_protocol::{Population, Scheduler};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn record<S: Scheduler<u8>>(s: &mut S, n: usize, steps: usize, seed: u64) -> Vec<(usize, usize)> {
+        let p: Population<u8> = (0..n).map(|i| i as u8).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..steps).map(|_| s.next_pair(&p, &mut rng)).collect()
+    }
+
+    #[test]
+    fn round_robin_schedule_is_covering_with_tight_gaps() {
+        let g = InteractionGraph::cycle(6).unwrap();
+        let directed = 2 * g.edge_count();
+        let mut s = RoundRobinEdgeScheduler::new(g.clone());
+        let schedule = record(&mut s, 6, directed * 10, 1);
+        let report = audit_schedule(&g, &schedule);
+        assert!(report.is_covering());
+        assert_eq!(report.off_graph_pairs, 0);
+        // A directed edge recurs within two rounds at worst.
+        assert!(report.max_gap <= 2 * directed, "gap {} too large", report.max_gap);
+    }
+
+    #[test]
+    fn uniform_edge_schedule_covers_eventually() {
+        let g = InteractionGraph::star(5).unwrap();
+        let mut s = EdgeScheduler::new(g.clone());
+        let schedule = record(&mut s, 5, 4_000, 2);
+        let report = audit_schedule(&g, &schedule);
+        assert!(report.is_covering());
+    }
+
+    #[test]
+    fn off_graph_pairs_are_counted() {
+        let g = InteractionGraph::path(4).unwrap();
+        // (0, 3) is not an edge of the path.
+        let schedule = vec![(0, 1), (0, 3), (1, 0)];
+        let report = audit_schedule(&g, &schedule);
+        assert_eq!(report.off_graph_pairs, 1);
+        assert!(!report.is_covering());
+    }
+
+    #[test]
+    fn short_schedule_reports_partial_coverage() {
+        let g = InteractionGraph::complete(4).unwrap();
+        let schedule = vec![(0, 1), (1, 2)];
+        let report = audit_schedule(&g, &schedule);
+        assert_eq!(report.covered, 2);
+        assert_eq!(report.directed_edges, 12);
+        assert!(!report.is_covering());
+    }
+
+    /// Max epidemic: both agents adopt the larger value.
+    struct MaxProtocol;
+    impl pp_protocol::Protocol for MaxProtocol {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+        fn name(&self) -> &str {
+            "max"
+        }
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = (*a).max(*b);
+            (m, m)
+        }
+    }
+
+    #[test]
+    fn graph_silence_is_weaker_than_plain_silence() {
+        use super::is_graph_silent;
+        // Two islands 0–1 and 2–3: [5, 5, 9, 9] is graph-silent although
+        // (1, 2) would react if they could meet.
+        let g = InteractionGraph::from_edges(4, [(0, 1), (2, 3)], "islands").unwrap();
+        let population: Population<u8> = [5u8, 5, 9, 9].into_iter().collect();
+        assert!(is_graph_silent(&g, &population, &MaxProtocol));
+        assert!(!population.is_silent(&MaxProtocol), "plain silence must disagree");
+        // Make one edge productive: no longer graph-silent.
+        let population2: Population<u8> = [5u8, 7, 9, 9].into_iter().collect();
+        assert!(!is_graph_silent(&g, &population2, &MaxProtocol));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match graph size")]
+    fn graph_silence_checks_sizes() {
+        use super::is_graph_silent;
+        let g = InteractionGraph::cycle(4).unwrap();
+        let population: Population<u8> = [1u8, 2].into_iter().collect();
+        let _ = is_graph_silent(&g, &population, &MaxProtocol);
+    }
+}

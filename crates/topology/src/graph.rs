@@ -1,0 +1,452 @@
+//! Interaction graphs: which pairs of agents are allowed to meet.
+//!
+//! The population-protocol model of the Circles paper is the *complete*
+//! interaction graph — the weakly fair scheduler ranges over **all** pairs
+//! (Definition 1.2). Restricting interactions to the edges of a graph is a
+//! standard model variation; Circles' correctness proof does *not* carry
+//! over (its exchange argument summons specific pairs at will), which makes
+//! topology restriction a sharp probe of how load-bearing the completeness
+//! assumption is. Experiment E15 measures exactly that.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use crate::error::TopologyError;
+
+/// An undirected interaction graph over agents `0..n`.
+///
+/// Stores the edge list and per-node adjacency. Self-loops and parallel
+/// edges are rejected at construction; the graph may be disconnected (query
+/// [`is_connected`](InteractionGraph::is_connected)), but the provided
+/// generators only return connected graphs.
+///
+/// # Example
+///
+/// ```
+/// use pp_topology::InteractionGraph;
+///
+/// let ring = InteractionGraph::cycle(5)?;
+/// assert_eq!(ring.n(), 5);
+/// assert_eq!(ring.edge_count(), 5);
+/// assert!(ring.is_connected());
+/// assert_eq!(ring.degree(0), 2);
+/// # Ok::<(), pp_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractionGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    neighbors: Vec<Vec<usize>>,
+    name: String,
+}
+
+impl InteractionGraph {
+    /// Builds a graph from an explicit edge list over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when `n < 2`, an endpoint is out of range,
+    /// an edge is a self-loop, or an edge repeats (in either orientation).
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+        name: impl Into<String>,
+    ) -> Result<Self, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooFewAgents { n });
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut normalized = Vec::new();
+        let mut neighbors = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u >= n || v >= n {
+                return Err(TopologyError::EndpointOutOfRange { endpoint: u.max(v), n });
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoop { node: u });
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(TopologyError::DuplicateEdge { u: key.0, v: key.1 });
+            }
+            normalized.push(key);
+            neighbors[u].push(v);
+            neighbors[v].push(u);
+        }
+        if normalized.is_empty() {
+            return Err(TopologyError::NoEdges);
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+        Ok(InteractionGraph { n, edges: normalized, neighbors, name: name.into() })
+    }
+
+    /// The complete graph `K_n` — the paper's own model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewAgents`] when `n < 2`.
+    pub fn complete(n: usize) -> Result<Self, TopologyError> {
+        let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+        Self::from_edges(n, edges, format!("complete({n})"))
+    }
+
+    /// The cycle `C_n` (ring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewAgents`] when `n < 3` (a 2-cycle would
+    /// duplicate its single edge).
+    pub fn cycle(n: usize) -> Result<Self, TopologyError> {
+        if n < 3 {
+            return Err(TopologyError::TooFewAgents { n });
+        }
+        let edges = (0..n).map(|u| (u, (u + 1) % n));
+        Self::from_edges(n, edges, format!("cycle({n})"))
+    }
+
+    /// The path `P_n` (line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewAgents`] when `n < 2`.
+    pub fn path(n: usize) -> Result<Self, TopologyError> {
+        let edges = (0..n.saturating_sub(1)).map(|u| (u, u + 1));
+        Self::from_edges(n, edges, format!("path({n})"))
+    }
+
+    /// The star `S_n`: node 0 is the hub.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewAgents`] when `n < 2`.
+    pub fn star(n: usize) -> Result<Self, TopologyError> {
+        let edges = (1..n).map(|v| (0, v));
+        Self::from_edges(n, edges, format!("star({n})"))
+    }
+
+    /// The `rows × cols` grid (4-neighborhood).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooFewAgents`] when the grid has fewer than
+    /// two nodes.
+    pub fn grid(rows: usize, cols: usize) -> Result<Self, TopologyError> {
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((u, u + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((u, u + cols));
+                }
+            }
+        }
+        Self::from_edges(n, edges, format!("grid({rows}x{cols})"))
+    }
+
+    /// A uniformly random connected `d`-regular graph via the configuration
+    /// (pairing) model with rejection, retrying until simple and connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadDegree`] when `n·d` is odd or `d ≥ n` or
+    /// `d == 0`, and [`TopologyError::GenerationFailed`] when 1000 pairing
+    /// attempts all produce a non-simple or disconnected graph (practically
+    /// unreachable for `d ≥ 3`).
+    pub fn random_regular(n: usize, d: usize, rng: &mut StdRng) -> Result<Self, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooFewAgents { n });
+        }
+        if d == 0 || d >= n || !(n * d).is_multiple_of(2) {
+            return Err(TopologyError::BadDegree { n, d });
+        }
+        'attempt: for _ in 0..1000 {
+            let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
+            stubs.shuffle(rng);
+            let mut seen = std::collections::HashSet::new();
+            let mut edges = Vec::with_capacity(n * d / 2);
+            for pair in stubs.chunks_exact(2) {
+                let (u, v) = (pair[0], pair[1]);
+                if u == v {
+                    continue 'attempt;
+                }
+                let key = (u.min(v), u.max(v));
+                if !seen.insert(key) {
+                    continue 'attempt;
+                }
+                edges.push(key);
+            }
+            let graph = Self::from_edges(n, edges, format!("regular({n},d={d})"))?;
+            if graph.is_connected() {
+                return Ok(graph);
+            }
+        }
+        Err(TopologyError::GenerationFailed { what: "random regular graph" })
+    }
+
+    /// A connected Erdős–Rényi graph `G(n, p)`, retrying until connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::BadProbability`] for `p` outside `(0, 1]`
+    /// and [`TopologyError::GenerationFailed`] when 1000 draws are all
+    /// disconnected (choose `p ≳ ln n / n` to avoid this).
+    pub fn erdos_renyi(n: usize, p: f64, rng: &mut StdRng) -> Result<Self, TopologyError> {
+        if n < 2 {
+            return Err(TopologyError::TooFewAgents { n });
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(TopologyError::BadProbability { p });
+        }
+        for _ in 0..1000 {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random::<f64>() < p {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let graph = Self::from_edges(n, edges, format!("gnp({n},p={p})"))?;
+            if graph.is_connected() {
+                return Ok(graph);
+            }
+        }
+        Err(TopologyError::GenerationFailed { what: "Erdős–Rényi graph" })
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The undirected edges, normalized as `(min, max)`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of `node`, sorted.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.neighbors[node]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.neighbors[node].len()
+    }
+
+    /// Human-readable generator name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `u` and `v` may interact.
+    pub fn allows(&self, u: usize, v: usize) -> bool {
+        u != v && self.neighbors[u].binary_search(&v).is_ok()
+    }
+
+    /// Whether every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited == self.n
+    }
+
+    /// Whether this graph is complete (the paper's model).
+    pub fn is_complete(&self) -> bool {
+        self.edge_count() == self.n * (self.n - 1) / 2
+    }
+
+    /// Graph diameter (longest shortest path), by BFS from every node.
+    ///
+    /// Returns `None` for disconnected graphs. `O(n·m)` — intended for the
+    /// modest instances of experiment E15.
+    pub fn diameter(&self) -> Option<usize> {
+        let mut best = 0;
+        for start in 0..self.n {
+            let mut dist = vec![usize::MAX; self.n];
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.neighbors[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            let far = *dist.iter().max().expect("n >= 2");
+            if far == usize::MAX {
+                return None;
+            }
+            best = best.max(far);
+        }
+        Some(best)
+    }
+}
+
+impl fmt::Display for InteractionGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} nodes, {} edges)", self.name, self.n, self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_has_all_pairs() {
+        let g = InteractionGraph::complete(6).unwrap();
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.is_complete());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(1));
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(g.allows(u, v), u != v);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = InteractionGraph::cycle(8).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.is_connected());
+        assert!(!g.is_complete());
+        assert_eq!(g.diameter(), Some(4));
+        assert!((0..8).all(|u| g.degree(u) == 2));
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = InteractionGraph::path(5).unwrap();
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.diameter(), Some(4));
+        let s = InteractionGraph::star(5).unwrap();
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.diameter(), Some(2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = InteractionGraph::grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        // 3 rows × 3 horizontal + 2×4 vertical = 9 + 8.
+        assert_eq!(g.edge_count(), 17);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(5));
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = InteractionGraph::random_regular(20, 3, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert!((0..20).all(|u| g.degree(u) == 3));
+        assert_eq!(g.edge_count(), 30);
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_degrees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // n·d odd.
+        assert!(matches!(
+            InteractionGraph::random_regular(5, 3, &mut rng),
+            Err(TopologyError::BadDegree { .. })
+        ));
+        assert!(matches!(
+            InteractionGraph::random_regular(5, 0, &mut rng),
+            Err(TopologyError::BadDegree { .. })
+        ));
+        assert!(matches!(
+            InteractionGraph::random_regular(5, 5, &mut rng),
+            Err(TopologyError::BadDegree { .. })
+        ));
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected_and_validated() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = InteractionGraph::erdos_renyi(30, 0.3, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert!(matches!(
+            InteractionGraph::erdos_renyi(30, 0.0, &mut rng),
+            Err(TopologyError::BadProbability { .. })
+        ));
+        assert!(matches!(
+            InteractionGraph::erdos_renyi(30, 1.5, &mut rng),
+            Err(TopologyError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_malformed_input() {
+        assert!(matches!(
+            InteractionGraph::from_edges(1, [], "x"),
+            Err(TopologyError::TooFewAgents { n: 1 })
+        ));
+        assert!(matches!(
+            InteractionGraph::from_edges(3, [(0, 0)], "x"),
+            Err(TopologyError::SelfLoop { node: 0 })
+        ));
+        assert!(matches!(
+            InteractionGraph::from_edges(3, [(0, 1), (1, 0)], "x"),
+            Err(TopologyError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            InteractionGraph::from_edges(3, [(0, 7)], "x"),
+            Err(TopologyError::EndpointOutOfRange { endpoint: 7, n: 3 })
+        ));
+        assert!(matches!(
+            InteractionGraph::from_edges(3, [], "x"),
+            Err(TopologyError::NoEdges)
+        ));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = InteractionGraph::from_edges(4, [(0, 1), (2, 3)], "two islands").unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let g = InteractionGraph::cycle(4).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("cycle(4)"));
+        assert!(s.contains("4 edges"));
+    }
+}

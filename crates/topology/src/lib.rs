@@ -1,0 +1,78 @@
+//! Interaction topologies for population protocols.
+//!
+//! The Circles paper's model lets every pair of agents interact
+//! (Definition 1.2 quantifies fairness over *all* pairs — implicitly the
+//! complete interaction graph). This crate restricts interactions to the
+//! edges of a graph, the standard "population protocols on graphs" model
+//! variation, to probe how load-bearing the completeness assumption is:
+//!
+//! - [`InteractionGraph`]: generators for complete, cycle, path, star,
+//!   grid, random-regular and Erdős–Rényi graphs, plus structural queries
+//!   (connectivity, degree, diameter).
+//! - [`EdgeScheduler`] / [`RoundRobinEdgeScheduler`]: weakly fair
+//!   schedulers *relative to the graph* — every adjacent pair recurs, no
+//!   non-adjacent pair ever runs.
+//! - [`audit_schedule`]: finite-horizon fairness audit of a recorded
+//!   schedule against a graph.
+//! - [`is_graph_silent`]: the quiescence notion that matches a restricted
+//!   topology — no *edge* carries a productive interaction.
+//!
+//! Restricting the topology breaks Circles' guarantees in three distinct
+//! ways, from mildest to worst:
+//!
+//! 1. **Dissemination fails.** Rule 2 transmits outputs only on direct
+//!    contact with a self-loop agent, so even a run that stabilizes on
+//!    exactly Lemma 3.6's multiset leaves stale outputs on agents not
+//!    adjacent to a `⟨μ|μ⟩`. On the 3-path `0–1–2` with inputs `[0, 0, 1]`
+//!    the run can freeze as `⟨0|0⟩, ⟨0|1⟩, ⟨1|0⟩` — the *predicted*
+//!    multiset — with the far agent outputting the minority color forever.
+//! 2. **The terminal multiset is wrong.** Lemma 3.6's uniqueness argument
+//!    summons an exchange between two specific agents, which an incomplete
+//!    graph may never let meet, so non-predicted exchange-stable multisets
+//!    are reachable (E15 measures how often).
+//! 3. **Silence fails entirely.** Two non-adjacent self-loops of different
+//!    colors can both survive; agents adjacent to both flip their outputs
+//!    forever (a star with rival self-loop leaves oscillates through its
+//!    hub).
+//!
+//! What *does* survive any topology: Theorem 3.4 (the potential argument
+//! never cites fairness, so kets are exchanged finitely often) and
+//! Lemma 3.3's conservation law. Experiment E15 quantifies the failure
+//! rates and slowdowns per topology.
+//!
+//! # Example
+//!
+//! Theorem 3.4 is topology-proof: kets are exchanged finitely often even on
+//! a ring, so the bra-ket multiset always freezes — here we run a bounded
+//! number of steps and observe the conserved bra/ket tallies (Lemma 3.3
+//! also never cites the topology). Output *correctness* is exactly what a
+//! ring does **not** guarantee; see experiment E15.
+//!
+//! ```
+//! use circles_core::{invariants, prediction, CirclesProtocol, Color};
+//! use pp_protocol::{Population, Protocol, Simulation};
+//! use pp_topology::{EdgeScheduler, InteractionGraph};
+//!
+//! let protocol = CirclesProtocol::new(2)?;
+//! let inputs: Vec<Color> = [0, 0, 0, 1, 1].iter().map(|&c| Color(c)).collect();
+//! let population = Population::from_inputs(&protocol, &inputs);
+//! let ring = InteractionGraph::cycle(5)?;
+//! let mut sim = Simulation::new(&protocol, population, EdgeScheduler::new(ring), 7);
+//! sim.run_observed(10_000, |_| ())?;
+//! let brakets = prediction::braket_config_of_population(sim.population());
+//! assert!(invariants::conservation_holds(&brakets, 2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fairness;
+mod graph;
+mod scheduler;
+
+pub use error::TopologyError;
+pub use fairness::{audit_schedule, is_graph_silent, FairnessReport};
+pub use graph::InteractionGraph;
+pub use scheduler::{EdgeScheduler, RoundRobinEdgeScheduler};

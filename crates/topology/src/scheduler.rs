@@ -1,0 +1,215 @@
+//! Schedulers restricted to a graph's edges.
+//!
+//! Both schedulers are *weakly fair with respect to the graph*: every
+//! ordered pair that shares an edge recurs infinitely often (almost surely
+//! for the random scheduler, deterministically for the round-robin one).
+//! Pairs without an edge never interact — which is exactly the deviation
+//! from Definition 1.2 that experiment E15 probes.
+
+use pp_protocol::{Population, Scheduler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+use crate::graph::InteractionGraph;
+
+/// Uniform-random scheduler over the directed edges of a graph.
+///
+/// Each step draws one undirected edge uniformly and orients it uniformly.
+/// On the complete graph this coincides with
+/// [`UniformPairScheduler`](pp_protocol::UniformPairScheduler).
+///
+/// # Example
+///
+/// ```
+/// use pp_protocol::{Population, Scheduler};
+/// use pp_topology::{EdgeScheduler, InteractionGraph};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ring = InteractionGraph::cycle(5)?;
+/// let mut scheduler = EdgeScheduler::new(ring);
+/// let population: Population<u8> = (0u8..5).collect();
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let (i, j) = scheduler.next_pair(&population, &mut rng);
+/// assert!(scheduler.graph().allows(i, j));
+/// # Ok::<(), pp_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeScheduler {
+    graph: InteractionGraph,
+    name: String,
+}
+
+impl EdgeScheduler {
+    /// Creates a uniform edge scheduler over `graph`.
+    pub fn new(graph: InteractionGraph) -> Self {
+        let name = format!("edge-uniform[{}]", graph.name());
+        EdgeScheduler { graph, name }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+}
+
+impl<S> Scheduler<S> for EdgeScheduler {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+        assert_eq!(
+            population.len(),
+            self.graph.n(),
+            "population size {} does not match graph size {}",
+            population.len(),
+            self.graph.n()
+        );
+        let (u, v) = self.graph.edges()[rng.random_range(0..self.graph.edge_count())];
+        if rng.random::<bool>() {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Deterministic round-robin over the directed edges of a graph, with the
+/// order reshuffled once per round.
+///
+/// Every directed edge runs exactly once per round of `2·|E|` steps, so the
+/// schedule is weakly fair on the graph by construction — the graph analog
+/// of the shuffled-rounds scheduler of `pp-schedulers`.
+#[derive(Debug, Clone)]
+pub struct RoundRobinEdgeScheduler {
+    graph: InteractionGraph,
+    name: String,
+    order: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+impl RoundRobinEdgeScheduler {
+    /// Creates a round-robin edge scheduler over `graph`.
+    pub fn new(graph: InteractionGraph) -> Self {
+        let name = format!("edge-round-robin[{}]", graph.name());
+        let order = graph
+            .edges()
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        RoundRobinEdgeScheduler { graph, name, order, cursor: 0 }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+}
+
+impl<S> Scheduler<S> for RoundRobinEdgeScheduler {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+        assert_eq!(
+            population.len(),
+            self.graph.n(),
+            "population size {} does not match graph size {}",
+            population.len(),
+            self.graph.n()
+        );
+        if self.cursor == 0 {
+            self.order.shuffle(rng);
+        }
+        let pair = self.order[self.cursor];
+        self.cursor = (self.cursor + 1) % self.order.len();
+        pair
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_protocol::Population;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn population(n: usize) -> Population<u8> {
+        (0..n).map(|i| i as u8).collect()
+    }
+
+    #[test]
+    fn edge_scheduler_only_emits_graph_edges() {
+        let g = InteractionGraph::cycle(7).unwrap();
+        let mut s = EdgeScheduler::new(g);
+        let p = population(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let (i, j) = s.next_pair(&p, &mut rng);
+            assert!(s.graph().allows(i, j), "({i}, {j}) is not an edge");
+        }
+    }
+
+    #[test]
+    fn edge_scheduler_covers_all_directed_edges() {
+        let g = InteractionGraph::star(5).unwrap();
+        let mut s = EdgeScheduler::new(g);
+        let p = population(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(s.next_pair(&p, &mut rng));
+        }
+        assert_eq!(seen.len(), 8, "4 undirected star edges = 8 directed pairs");
+    }
+
+    #[test]
+    fn round_robin_visits_every_directed_edge_each_round() {
+        let g = InteractionGraph::grid(2, 3).unwrap();
+        let directed = 2 * g.edge_count();
+        let mut s = RoundRobinEdgeScheduler::new(g);
+        let p = population(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        for round in 0..3 {
+            let mut seen = HashSet::new();
+            for _ in 0..directed {
+                seen.insert(s.next_pair(&p, &mut rng));
+            }
+            assert_eq!(seen.len(), directed, "round {round} missed a directed edge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match graph size")]
+    fn size_mismatch_panics() {
+        let g = InteractionGraph::cycle(5).unwrap();
+        let mut s = EdgeScheduler::new(g);
+        let p = population(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = s.next_pair(&p, &mut rng);
+    }
+
+    #[test]
+    fn complete_graph_scheduler_matches_uniform_support() {
+        let g = InteractionGraph::complete(4).unwrap();
+        let mut s = EdgeScheduler::new(g);
+        let p = population(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(s.next_pair(&p, &mut rng));
+        }
+        assert_eq!(seen.len(), 12, "all ordered pairs of K4");
+    }
+
+    #[test]
+    fn scheduler_names_mention_graph() {
+        let g = InteractionGraph::cycle(4).unwrap();
+        let s = EdgeScheduler::new(g.clone());
+        assert!(Scheduler::<u8>::name(&s).contains("cycle(4)"));
+        let r = RoundRobinEdgeScheduler::new(g);
+        assert!(Scheduler::<u8>::name(&r).contains("round-robin"));
+    }
+}

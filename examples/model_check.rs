@@ -1,0 +1,54 @@
+//! Exhaustive verification: proving an instance correct for *every* weakly
+//! fair schedule, not just the sampled ones.
+//!
+//! The paper's Theorem 3.7 quantifies over all weakly fair schedulers. For
+//! a concrete input multiset this is a finite-state claim, and the model
+//! checker settles it exactly by exploring every reachable configuration
+//! (see `pp-mc` and DESIGN.md §5 for why the three checked facts suffice).
+//!
+//! ```text
+//! cargo run --release --example model_check
+//! ```
+
+use circles::core::Color;
+use circles::mc::circles::{verify_circles_full, verify_circles_instance};
+use circles::mc::ExploreLimits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instances: Vec<(&str, Vec<Color>, u16)> = vec![
+        ("binary majority 4:3", vec![0, 0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(), 2),
+        ("three colors 3:2:1", vec![0, 0, 0, 1, 1, 2].into_iter().map(Color).collect(), 3),
+        ("photo finish 3:2:2", vec![0, 0, 0, 1, 1, 2, 2].into_iter().map(Color).collect(), 3),
+        ("two-way tie 3:3", vec![0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(), 2),
+        ("four colors 2:2:1:1 tie", vec![0, 0, 1, 1, 2, 3].into_iter().map(Color).collect(), 4),
+    ];
+
+    println!("exhaustive weak-fairness verification (facts 1-3 of DESIGN.md §5):\n");
+    for (name, inputs, k) in &instances {
+        let report = verify_circles_instance(inputs, *k, ExploreLimits::default())?;
+        println!(
+            "  {name:<26} n={} k={k}: {} bra-ket configs, exchange DAG: {}, \
+             unique terminal = prediction: {}, winner: {:?} → {}",
+            report.n,
+            report.config_count,
+            report.exchange_dag,
+            report.stable_matches_prediction,
+            report.winner,
+            if report.verified { "VERIFIED" } else { "FAILED" },
+        );
+        assert!(report.verified);
+    }
+
+    println!("\ncross-validation on the full k³ state space (global-fairness BSCC):\n");
+    for (name, inputs, k) in instances.iter().take(3) {
+        let report = verify_circles_full(inputs, *k, ExploreLimits::default())?;
+        println!(
+            "  {name:<26}: {} full configs, eventually silent: {}, stably computes μ: {}",
+            report.config_count, report.eventually_silent, report.stably_computes,
+        );
+        assert!(report.eventually_silent && report.stably_computes);
+    }
+
+    println!("\n✓ every instance verified — Theorem 3.7 holds exactly on these populations");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run Circles once and watch it find the relative majority.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use circles::core::{CirclesProtocol, Color, GreedyDecomposition};
+use circles::protocol::{Population, Simulation, UniformPairScheduler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 12 agents vote among k = 4 colors; color 2 leads 5 : 4 : 2 : 1.
+    let k = 4;
+    let votes: Vec<Color> = [2, 1, 2, 0, 2, 1, 3, 2, 1, 2, 1, 0].map(Color).to_vec();
+
+    let protocol = CirclesProtocol::new(k)?;
+    let greedy = GreedyDecomposition::from_inputs(&votes, k)?;
+    println!("population: n = {}, k = {}", votes.len(), k);
+    println!(
+        "true counts: {:?}",
+        (0..k).map(|c| greedy.count(Color(c))).collect::<Vec<_>>()
+    );
+    println!(
+        "state complexity: {} states (k³ = {})",
+        pp_protocol_state_count(&protocol),
+        u32::from(k).pow(3)
+    );
+
+    let population = Population::from_inputs(&protocol, &votes);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 42);
+    let report = sim.run_until_silent(1_000_000, 16)?;
+
+    println!(
+        "stabilized after {} interactions ({} of them changed a state)",
+        report.steps_to_silence, report.state_changes
+    );
+    println!(
+        "all agents agreed on the majority after {} interactions",
+        report.steps_to_consensus
+    );
+    println!("consensus output: {:?}", report.consensus);
+    assert_eq!(report.consensus, Some(Color(2)));
+    println!("✓ matches the ground-truth plurality winner");
+    Ok(())
+}
+
+fn pp_protocol_state_count(protocol: &CirclesProtocol) -> usize {
+    use circles::protocol::EnumerableProtocol;
+    protocol.state_complexity()
+}

@@ -1,0 +1,137 @@
+//! Integration tests positioning Circles against baselines across the
+//! scheduler family, and auditing scheduler fairness.
+
+use circles::baselines::{CancellationPlurality, FourStateMajority, UndecidedDynamics};
+use circles::core::{CirclesProtocol, Color};
+use circles::protocol::{Population, Simulation, UniformPairScheduler};
+use circles::schedulers::{
+    record_schedule, ClusteredScheduler, LazyAdversaryScheduler, RoundRobinScheduler,
+    ShuffledRoundsScheduler,
+};
+
+fn colors(xs: &[u16]) -> Vec<Color> {
+    xs.iter().map(|&x| Color(x)).collect()
+}
+
+#[test]
+fn circles_survives_the_lazy_adversary() {
+    let inputs = colors(&[0, 0, 0, 1, 1, 2, 2]);
+    let protocol = CirclesProtocol::new(3).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let window = (population.len() * (population.len() - 1)) as u64;
+    let mut sim = Simulation::new(
+        &protocol,
+        population,
+        LazyAdversaryScheduler::new(protocol, window),
+        0,
+    );
+    let report = sim.run_until_silent(10_000_000, 42).unwrap();
+    assert_eq!(report.consensus, Some(Color(0)));
+}
+
+#[test]
+fn circles_survives_clustered_bottleneck() {
+    let inputs = colors(&[1, 1, 1, 1, 0, 0, 0, 2, 2, 2]);
+    let protocol = CirclesProtocol::new(3).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, ClusteredScheduler::new(64), 5);
+    let report = sim.run_until_silent(50_000_000, 45).unwrap();
+    assert_eq!(report.consensus, Some(Color(1)));
+}
+
+#[test]
+fn four_state_and_circles_agree_on_binary_majority() {
+    let inputs = colors(&[0, 1, 1, 0, 1, 1, 0]);
+    let four = FourStateMajority::new();
+    let circles_p = CirclesProtocol::new(2).unwrap();
+
+    let population = Population::from_inputs(&four, &inputs);
+    let mut sim = Simulation::new(&four, population, RoundRobinScheduler::new(), 1);
+    let four_result = sim.run_until_silent(1_000_000, 21).unwrap().consensus;
+
+    let population = Population::from_inputs(&circles_p, &inputs);
+    let mut sim = Simulation::new(&circles_p, population, RoundRobinScheduler::new(), 1);
+    let circles_result = sim.run_until_silent(1_000_000, 21).unwrap().consensus;
+
+    assert_eq!(four_result, Some(Color(1)));
+    assert_eq!(circles_result, Some(Color(1)));
+}
+
+#[test]
+fn undecided_dynamics_fails_somewhere_circles_does_not() {
+    // On a 1-margin race, USD errs on some seeds; Circles never does.
+    let inputs = colors(&[0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    let k = 3;
+    let usd = UndecidedDynamics::new(k);
+    let circles_p = CirclesProtocol::new(k).unwrap();
+    let mut usd_wrong = 0;
+    for seed in 0..40 {
+        let population = Population::from_inputs(&usd, &inputs);
+        let mut sim = Simulation::new(&usd, population, UniformPairScheduler::new(), seed);
+        let report = sim.run_until_silent(10_000_000, 16).unwrap();
+        if report.consensus != Some(Color(0)) {
+            usd_wrong += 1;
+        }
+
+        let population = Population::from_inputs(&circles_p, &inputs);
+        let mut sim = Simulation::new(&circles_p, population, UniformPairScheduler::new(), seed);
+        let report = sim.run_until_silent(10_000_000, 16).unwrap();
+        assert_eq!(report.consensus, Some(Color(0)), "circles wrong at seed {seed}");
+    }
+    assert!(
+        usd_wrong > 0,
+        "USD never failed in 40 close races — suspicious for a w.h.p. protocol"
+    );
+}
+
+#[test]
+fn cancellation_fails_on_some_seeds_for_three_colors() {
+    let inputs = colors(&[0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    let k = 3;
+    let cancel = CancellationPlurality::new(k);
+    let mut wrong = 0;
+    for seed in 0..60 {
+        let population = Population::from_inputs(&cancel, &inputs);
+        let mut sim = Simulation::new(&cancel, population, UniformPairScheduler::new(), seed);
+        let report = sim.run_until_silent(10_000_000, 16).unwrap();
+        if report.consensus != Some(Color(0)) {
+            wrong += 1;
+        }
+    }
+    assert!(wrong > 0, "cancellation never failed — counterexample family broken?");
+}
+
+#[test]
+fn schedulers_are_weakly_fair_on_recorded_prefixes() {
+    let population: Population<u8> = (0u8..8).collect();
+    let pairs = 8 * 7;
+
+    let rr = record_schedule(&mut RoundRobinScheduler::new(), &population, pairs * 4, 0);
+    assert!(rr.max_pair_gap().unwrap() <= pairs);
+
+    let sh = record_schedule(&mut ShuffledRoundsScheduler::new(), &population, pairs * 4, 1);
+    assert!(sh.max_pair_gap().unwrap() <= 2 * pairs);
+
+    let cl = record_schedule(&mut ClusteredScheduler::new(4), &population, 40_000, 2);
+    assert!(cl.max_pair_gap().is_some(), "clustered starved a pair in 40k steps");
+}
+
+#[test]
+fn trace_replay_reproduces_runs_exactly() {
+    let inputs = colors(&[0, 0, 1, 2, 2, 2]);
+    let protocol = CirclesProtocol::new(3).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 77);
+    sim.record_trace();
+    sim.run_until_silent(1_000_000, 16).unwrap();
+    let trace = sim.take_trace().unwrap();
+    let final_states = sim.into_population();
+
+    // Replay through the text round-trip.
+    let parsed: circles::protocol::InteractionTrace = trace.to_string().parse().unwrap();
+    let mut population = Population::from_inputs(&protocol, &inputs);
+    for &(i, j) in parsed.pairs() {
+        population.interact(&protocol, i, j).unwrap();
+    }
+    assert_eq!(population.states(), final_states.states());
+}

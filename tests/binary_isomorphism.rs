@@ -1,0 +1,121 @@
+//! At `k = 2`, Circles *is* the classical 4-state exact-majority automaton
+//! in disguise.
+//!
+//! Identify `⟨0|0⟩ → A`, `⟨1|1⟩ → B` (strong states) and `⟨0|1⟩, ⟨1|0⟩ →
+//! weak (with the `out` register carrying the weak opinion). Then:
+//!
+//! - the only firing exchange is `⟨0|0⟩ + ⟨1|1⟩ → ⟨0|1⟩ + ⟨1|0⟩`
+//!   (min weight 2 → 1), which is exactly `A + B → a + b`;
+//! - the out rule `⟨i|i⟩ sets out := i` is exactly "strong converts
+//!   opposing weak".
+//!
+//! Consequence: under the *same* interaction schedule, the two protocols'
+//! output trajectories coincide step by step — which also explains why
+//! experiment E6 reports identical per-seed consensus times for them.
+//! These tests pin the isomorphism down exactly.
+
+use circles::baselines::{FourState, FourStateMajority};
+use circles::core::{CirclesProtocol, Color};
+use circles::protocol::{Population, Protocol, Simulation, UniformPairScheduler};
+use proptest::prelude::*;
+
+/// Maps a Circles k=2 state to the four-state automaton's state, using the
+/// out register for weak opinions.
+fn project(state: &circles::core::CirclesState) -> FourState {
+    if state.braket.is_self_loop() {
+        match state.braket.bra {
+            Color(0) => FourState::StrongZero,
+            _ => FourState::StrongOne,
+        }
+    } else {
+        match state.out {
+            Color(0) => FourState::WeakZero,
+            _ => FourState::WeakOne,
+        }
+    }
+}
+
+#[test]
+fn exchange_table_matches_annihilation() {
+    let circles = CirclesProtocol::new(2).unwrap();
+    let a = circles.input(&Color(0));
+    let b = circles.input(&Color(1));
+    let (x, y) = circles.transition(&a, &b);
+    assert!(!x.braket.is_self_loop() && !y.braket.is_self_loop());
+    assert_eq!(project(&x), FourState::WeakZero);
+    assert_eq!(project(&y), FourState::WeakOne);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coupled runs: same inputs, same schedule (same seed through the
+    /// blind uniform scheduler) — the projected Circles population equals
+    /// the four-state population after every interaction.
+    #[test]
+    fn coupled_trajectories_project_exactly(
+        zeros in 1usize..7,
+        ones in 1usize..7,
+        steps in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let mut inputs = vec![Color(0); zeros];
+        inputs.extend(vec![Color(1); ones]);
+
+        let circles = CirclesProtocol::new(2).unwrap();
+        let four = FourStateMajority::new();
+        let mut sim_c = Simulation::new(
+            &circles,
+            Population::from_inputs(&circles, &inputs),
+            UniformPairScheduler::new(),
+            seed,
+        );
+        let mut sim_f = Simulation::new(
+            &four,
+            Population::from_inputs(&four, &inputs),
+            UniformPairScheduler::new(),
+            seed,
+        );
+        for _ in 0..steps {
+            let rc = sim_c.step().unwrap();
+            let rf = sim_f.step().unwrap();
+            // Blind schedulers with equal seeds pick identical pairs.
+            prop_assert_eq!(rc.pair, rf.pair);
+            let projected: Vec<FourState> =
+                sim_c.population().iter().map(project).collect();
+            prop_assert_eq!(projected.as_slice(), sim_f.population().states());
+        }
+    }
+
+    /// In particular the *outputs* coincide at every step, so consensus
+    /// times per seed are identical — the E6 observation.
+    #[test]
+    fn output_trajectories_coincide(
+        zeros in 1usize..7,
+        ones in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(zeros != ones);
+        let mut inputs = vec![Color(0); zeros];
+        inputs.extend(vec![Color(1); ones]);
+
+        let circles = CirclesProtocol::new(2).unwrap();
+        let four = FourStateMajority::new();
+        let mut sim_c = Simulation::new(
+            &circles,
+            Population::from_inputs(&circles, &inputs),
+            UniformPairScheduler::new(),
+            seed,
+        );
+        let mut sim_f = Simulation::new(
+            &four,
+            Population::from_inputs(&four, &inputs),
+            UniformPairScheduler::new(),
+            seed,
+        );
+        let rc = sim_c.run_until_silent(10_000_000, 8).unwrap();
+        let rf = sim_f.run_until_silent(10_000_000, 8).unwrap();
+        prop_assert_eq!(rc.consensus, rf.consensus);
+        prop_assert_eq!(rc.steps_to_consensus, rf.steps_to_consensus);
+    }
+}

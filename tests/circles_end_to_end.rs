@@ -1,0 +1,149 @@
+//! End-to-end integration tests: Circles from inputs to verified consensus,
+//! across engines and schedulers.
+
+use circles::core::prediction::{braket_config_of_population, matches_prediction};
+use circles::core::{invariants, CirclesProtocol, Color, GreedyDecomposition};
+use circles::protocol::{
+    CountingSimulation, Population, Simulation, UniformPairScheduler,
+};
+use circles::schedulers::{RoundRobinScheduler, ShuffledRoundsScheduler};
+
+fn colors(xs: &[u16]) -> Vec<Color> {
+    xs.iter().map(|&x| Color(x)).collect()
+}
+
+#[test]
+fn converges_to_predicted_configuration_under_uniform() {
+    let inputs = colors(&[0, 0, 0, 1, 1, 2, 3, 3]);
+    let k = 4;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 17);
+    let report = sim.run_until_silent(10_000_000, 16).unwrap();
+    let population = sim.into_population();
+
+    // The terminal bra-ket multiset is exactly the Lemma 3.6 prediction.
+    assert!(matches_prediction(&population, &inputs, k).unwrap());
+    // And outputs agree on the plurality.
+    assert_eq!(report.consensus, Some(Color(0)));
+}
+
+#[test]
+fn all_schedulers_reach_the_same_terminal_brakets() {
+    let inputs = colors(&[2, 2, 2, 0, 0, 1]);
+    let k = 3;
+    let protocol = CirclesProtocol::new(k).unwrap();
+
+    let run_uniform = {
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 3);
+        sim.run_until_silent(10_000_000, 16).unwrap();
+        braket_config_of_population(sim.population())
+    };
+    let run_rr = {
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, RoundRobinScheduler::new(), 4);
+        sim.run_until_silent(10_000_000, 30).unwrap();
+        braket_config_of_population(sim.population())
+    };
+    let run_shuffled = {
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, ShuffledRoundsScheduler::new(), 5);
+        sim.run_until_silent(10_000_000, 30).unwrap();
+        braket_config_of_population(sim.population())
+    };
+
+    // Lemma 3.6: the terminal multiset is schedule-independent.
+    assert_eq!(run_uniform, run_rr);
+    assert_eq!(run_rr, run_shuffled);
+}
+
+#[test]
+fn counting_engine_agrees_with_indexed_engine_on_terminal_config() {
+    let inputs = colors(&[0, 0, 1, 1, 1, 2, 2, 2, 2]);
+    let k = 3;
+    let protocol = CirclesProtocol::new(k).unwrap();
+
+    let indexed_terminal = {
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 7);
+        sim.run_until_silent(10_000_000, 16).unwrap();
+        sim.into_population().to_count_config()
+    };
+    let counting_terminal = {
+        let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 8);
+        sim.run_until_silent(10_000_000, 16).unwrap();
+        sim.config()
+    };
+    // Both engines must land on the identical (unique) silent configuration.
+    assert_eq!(indexed_terminal, counting_terminal);
+}
+
+#[test]
+fn conservation_invariant_holds_throughout_any_run() {
+    let inputs = colors(&[4, 4, 0, 1, 2, 3, 4, 0]);
+    let k = 5;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 23);
+    for _ in 0..2000 {
+        sim.step().unwrap();
+        assert!(invariants::population_conserves(sim.population(), k));
+        assert!(invariants::bras_match_inputs(sim.population(), &inputs, k));
+    }
+}
+
+#[test]
+fn winner_is_correct_for_every_rotation_of_color_identities() {
+    // Circles' weights depend on numeric color distances; correctness must
+    // not: rotate all color identities and verify the rotated winner wins.
+    let base = [0u16, 0, 0, 1, 1, 2];
+    let k = 3u16;
+    for shift in 0..k {
+        let inputs: Vec<Color> = base.iter().map(|&c| Color((c + shift) % k)).collect();
+        let winner = circles::core::run_to_consensus(&inputs, k, 11, 10_000_000).unwrap();
+        assert_eq!(winner, Color(shift), "shift {shift}");
+    }
+}
+
+#[test]
+fn large_population_converges_on_counting_engine() {
+    let k = 5;
+    let mut inputs = Vec::new();
+    for (c, count) in [(0u16, 3000), (1, 2500), (2, 2000), (3, 1500), (4, 1000)] {
+        for _ in 0..count {
+            inputs.push(Color(c));
+        }
+    }
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 99);
+    let report = sim.run_until_silent(5_000_000_000, 4096).unwrap();
+    assert_eq!(report.consensus, Some(Color(0)));
+}
+
+#[test]
+fn two_agents_two_colors_is_a_tie_and_stalls() {
+    let inputs = colors(&[0, 1]);
+    let protocol = CirclesProtocol::new(2).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 1);
+    let report = sim.run_until_silent(10_000, 1).unwrap();
+    // ⟨0|0⟩+⟨1|1⟩ exchange once into the 2-circle, then silence, outputs
+    // frozen at the inputs: no consensus.
+    assert_eq!(report.state_changes, 1);
+    assert_eq!(report.consensus, None);
+    let greedy = GreedyDecomposition::from_inputs(&inputs, 2).unwrap();
+    assert!(greedy.is_tie());
+}
+
+#[test]
+fn single_agent_outputs_its_own_color_forever() {
+    let winner = circles::core::run_to_consensus(&colors(&[3]), 5, 0, 100).unwrap();
+    assert_eq!(winner, Color(3));
+}
+
+#[test]
+fn k_equals_one_population_is_silent_immediately() {
+    let winner = circles::core::run_to_consensus(&colors(&[0, 0, 0, 0]), 1, 0, 100).unwrap();
+    assert_eq!(winner, Color(0));
+}

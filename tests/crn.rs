@@ -1,0 +1,176 @@
+//! Integration tests for the chemical-reaction-network view: the SSA and
+//! the mean-field ODE must agree with the discrete engines and with the
+//! paper's predicted terminal configuration (Lemma 3.6).
+
+use circles::core::{prediction, weight, CirclesProtocol, CirclesState, Color};
+use circles::crn::{MeanField, ReactionNetwork, StochasticSimulation};
+use circles::protocol::{CountConfig, CountingSimulation, Protocol};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    k: u16,
+    inputs: &[u16],
+) -> (CirclesProtocol, ReactionNetwork<CirclesState>, CountConfig<CirclesState>, Vec<Color>) {
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+    let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
+    let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+    let initial: CountConfig<CirclesState> =
+        colors.iter().map(|c| protocol.input(c)).collect();
+    (protocol, network, initial, colors)
+}
+
+#[test]
+fn ssa_terminal_brakets_match_prediction_across_instances() {
+    let instances: &[(u16, &[u16])] = &[
+        (2, &[0, 0, 0, 1, 1]),
+        (3, &[0, 0, 1, 1, 1, 2]),
+        (4, &[0, 1, 1, 2, 2, 2, 2, 3]),
+        (5, &[0, 0, 0, 1, 2, 2, 3, 4, 4, 4, 4]),
+    ];
+    for &(k, inputs) in instances {
+        let (_, network, initial, colors) = setup(k, inputs);
+        let predicted = prediction::predicted_brakets(&colors, k).unwrap();
+        for seed in 0..5 {
+            let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = sim.run_until_silent(&mut rng, 1_000_000);
+            assert!(report.silent, "k={k} seed={seed} did not silence");
+            assert_eq!(
+                prediction::braket_config(&sim.config()),
+                predicted,
+                "k={k} seed={seed}: terminal bra-kets differ from Lemma 3.6"
+            );
+        }
+    }
+}
+
+/// The SSA's embedded jump chain is the discrete uniform-pair chain
+/// conditioned on productive steps, so the *number of state changes* must
+/// have the same distribution in both engines. Compare means over many
+/// seeds.
+#[test]
+fn ssa_jump_chain_agrees_with_counting_engine() {
+    let k = 3u16;
+    let inputs: &[u16] = &[0, 0, 0, 0, 1, 1, 1, 2, 2];
+    let (protocol, network, initial, colors) = setup(k, inputs);
+    let trials = 300u64;
+
+    let mut ssa_changes = 0.0;
+    for seed in 0..trials {
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = sim.run_until_silent(&mut rng, 1_000_000);
+        assert!(report.silent);
+        ssa_changes += report.reactions as f64;
+    }
+    let ssa_mean = ssa_changes / trials as f64;
+
+    let mut discrete_changes = 0.0;
+    for seed in 0..trials {
+        let mut sim = CountingSimulation::from_inputs(&protocol, &colors, 1_000 + seed);
+        let report = sim.run_until_silent(1_000_000, 8).unwrap();
+        discrete_changes += report.state_changes as f64;
+    }
+    let discrete_mean = discrete_changes / trials as f64;
+
+    let rel = (ssa_mean - discrete_mean).abs() / discrete_mean;
+    assert!(
+        rel < 0.05,
+        "productive-step means diverge: SSA {ssa_mean} vs discrete {discrete_mean} ({rel:.3})"
+    );
+}
+
+#[test]
+fn ode_equilibrium_energy_is_k_times_top_density() {
+    // Profiles with a strict leader: terminal energy per agent must be
+    // k·p_max (c_max circles, each of total weight k).
+    let k = 4u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+    let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
+    let field = MeanField::new(&network);
+    for profile in [[0.4, 0.3, 0.2, 0.1], [0.7, 0.1, 0.1, 0.1], [0.31, 0.27, 0.22, 0.2]] {
+        let mut x0 = vec![0.0; network.species_count()];
+        for (i, &p) in profile.iter().enumerate() {
+            x0[network.species().id(&support[i]).unwrap() as usize] = p;
+        }
+        let (x, _) = field.run_to_equilibrium(x0, 1e-10, 0.02, 2_000.0).unwrap();
+        let energy = field.observe(&x, |s| f64::from(weight(k, s.braket)));
+        let floor = f64::from(k) * profile[0];
+        assert!(
+            (energy - floor).abs() < 1e-4,
+            "profile {profile:?}: energy {energy} vs floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn ode_consensus_density_lands_on_winner() {
+    let k = 3u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
+    let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
+    let field = MeanField::new(&network);
+    let mut x0 = vec![0.0; network.species_count()];
+    let profile = [0.2, 0.45, 0.35];
+    for (i, &p) in profile.iter().enumerate() {
+        x0[network.species().id(&support[i]).unwrap() as usize] = p;
+    }
+    let (x, _) = field.run_to_equilibrium(x0, 1e-10, 0.02, 2_000.0).unwrap();
+    let winner_mass = field.observe(&x, |s| f64::from(s.out == Color(1)));
+    assert!(winner_mass > 1.0 - 1e-6, "winner out-mass {winner_mass}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random no-tie instances: the SSA silences and reaches consensus on
+    /// the plurality winner (Theorem 3.7 transported to continuous time).
+    #[test]
+    fn ssa_always_correct_on_random_instances(
+        counts in pvec(0usize..6, 3),
+        seed in 0u64..1_000,
+    ) {
+        // Make color 0 the strict winner.
+        let mut counts = counts;
+        let max_other = counts.iter().skip(1).copied().max().unwrap_or(0);
+        counts[0] = max_other + 1 + counts[0] % 2;
+        let total: usize = counts.iter().sum();
+        prop_assume!(total >= 2);
+        let inputs: Vec<u16> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_n(c as u16, n))
+            .collect();
+        let (protocol, network, initial, _) = setup(3, &inputs);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = sim.run_until_silent(&mut rng, 1_000_000);
+        prop_assert!(report.silent);
+        prop_assert_eq!(sim.config().output_consensus(&protocol), Some(Color(0)));
+    }
+
+    /// Mass and the bra/ket conservation law survive arbitrary prefixes of
+    /// SSA runs.
+    #[test]
+    fn ssa_preserves_mass_and_conservation(
+        steps in 0u64..200,
+        seed in 0u64..1_000,
+    ) {
+        let (_, network, initial, _) = setup(4, &[0, 0, 1, 1, 2, 3, 3]);
+        let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            if sim.step(&mut rng).is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(sim.counts().iter().sum::<u64>(), 7);
+        let brakets = prediction::braket_config(&sim.config());
+        prop_assert!(circles::core::invariants::conservation_holds(&brakets, 4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration tests for the model checker against Circles and baselines.
+
+use circles::baselines::FourStateMajority;
+use circles::core::variants::{ExchangeRule, VariantCircles};
+use circles::core::Color;
+use circles::mc::circles::{verify_circles_full, verify_circles_instance};
+use circles::mc::properties::{
+    changes_always_terminate, check_stable_computation, is_eventually_silent,
+};
+use circles::mc::{ExploreLimits, ReachabilityGraph};
+use circles::protocol::{CountConfig, Protocol};
+use proptest::prelude::*;
+
+fn colors(xs: &[u16]) -> Vec<Color> {
+    xs.iter().map(|&x| Color(x)).collect()
+}
+
+#[test]
+fn verification_grid_k2_up_to_n8() {
+    for n in 2..=8usize {
+        for c0 in 0..=n {
+            let c1 = n - c0;
+            let mut inputs = vec![Color(0); c0];
+            inputs.extend(vec![Color(1); c1]);
+            let report = verify_circles_instance(&inputs, 2, ExploreLimits::default()).unwrap();
+            assert!(report.verified, "k=2 profile ({c0},{c1}) failed: {report:?}");
+        }
+    }
+}
+
+#[test]
+fn verification_k3_selected_instances() {
+    for profile in [[3, 2, 1], [4, 1, 1], [2, 2, 2], [5, 0, 1], [1, 3, 3]] {
+        let mut inputs = Vec::new();
+        for (color, &count) in profile.iter().enumerate() {
+            inputs.extend(vec![Color(color as u16); count]);
+        }
+        let report = verify_circles_instance(&inputs, 3, ExploreLimits::default()).unwrap();
+        assert!(report.verified, "profile {profile:?} failed: {report:?}");
+    }
+}
+
+#[test]
+fn full_state_space_check_small_instances() {
+    let report = verify_circles_full(&colors(&[0, 0, 1, 2]), 3, ExploreLimits::default()).unwrap();
+    assert!(report.eventually_silent);
+    assert!(report.stably_computes);
+}
+
+#[test]
+fn four_state_majority_stably_computes_under_global_fairness() {
+    let protocol = FourStateMajority::new();
+    for (c0, c1) in [(3, 2), (4, 1), (2, 5), (1, 6)] {
+        let mut inputs = vec![Color(0); c0];
+        inputs.extend(vec![Color(1); c1]);
+        let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+        let graph =
+            ReachabilityGraph::explore(&protocol, &initial, ExploreLimits::default()).unwrap();
+        let expected = Color(u16::from(c1 > c0));
+        let report = check_stable_computation(&graph, &protocol, &expected);
+        assert!(report.holds, "four-state failed on ({c0},{c1})");
+        assert!(is_eventually_silent(&graph));
+    }
+}
+
+#[test]
+fn always_swap_variant_never_stabilizes() {
+    let protocol = VariantCircles::new(2, ExchangeRule::AlwaysSwap).unwrap();
+    let initial: CountConfig<_> = colors(&[0, 1])
+        .iter()
+        .map(|c| protocol.input(c))
+        .collect();
+    let graph = ReachabilityGraph::explore(&protocol, &initial, ExploreLimits::default()).unwrap();
+    assert!(!changes_always_terminate(&graph));
+    assert!(!is_eventually_silent(&graph));
+}
+
+#[test]
+fn nonstrict_variant_admits_livelock() {
+    // Find some instance over k=3 where non-strict exchanges cycle.
+    let protocol = VariantCircles::new(3, ExchangeRule::NonStrictMinDecrease).unwrap();
+    let mut found_livelock = false;
+    for profile in [[1usize, 1, 1], [2, 1, 0], [2, 1, 1], [2, 2, 0]] {
+        let mut inputs = Vec::new();
+        for (color, &count) in profile.iter().enumerate() {
+            inputs.extend(vec![Color(color as u16); count]);
+        }
+        let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+        let graph =
+            ReachabilityGraph::explore(&protocol, &initial, ExploreLimits::default()).unwrap();
+        if !changes_always_terminate(&graph) {
+            found_livelock = true;
+        }
+    }
+    assert!(found_livelock, "non-strict rule showed no livelock on the grid");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small instances all verify under weak fairness.
+    #[test]
+    fn random_instances_verify(
+        k in 2u16..=4,
+        raw in proptest::collection::vec(0u16..4, 2..=6),
+    ) {
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c % k)).collect();
+        let report = verify_circles_instance(&inputs, k, ExploreLimits::default()).unwrap();
+        prop_assert!(report.verified, "instance {:?} failed: {:?}", inputs, report);
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end Theorem 3.4, through the ordinal lens: record the literal
+//! `g(C)` (an ordinal below `ω^ω`) along full runs and verify the whole
+//! descent chain — strictly decreasing at every ket exchange, constant
+//! otherwise, and bounded by the combinatorial descent-chain bound.
+
+use circles::core::ordinal::{paper_potential_of_states, OmegaPolynomial};
+use circles::core::potential::descent_chain_bound;
+use circles::core::{CirclesProtocol, Color};
+use circles::protocol::{CountConfig, Population, Simulation, UniformPairScheduler};
+
+fn config_of(population: &Population<circles::core::CirclesState>) -> CountConfig<circles::core::CirclesState> {
+    population.iter().copied().collect()
+}
+
+#[test]
+fn full_runs_descend_through_the_ordinals() {
+    for (k, inputs, seed) in [
+        (3u16, vec![0u16, 0, 0, 1, 1, 2], 1u64),
+        (4, vec![0, 1, 1, 2, 2, 2, 3, 3], 2),
+        (5, vec![0, 0, 1, 2, 3, 4, 4, 4, 4, 1], 3),
+    ] {
+        let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let population = Population::from_inputs(&protocol, &colors);
+        let n = population.len();
+        let mut g = paper_potential_of_states(&config_of(&population), k);
+        let initial_g = g.clone();
+        let mut sim =
+            Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        let mut chain = vec![g.clone()];
+        for _ in 0..200_000 {
+            let report = sim.step().unwrap();
+            let exchanged = report.before.0.braket != report.after.0.braket
+                || report.before.1.braket != report.after.1.braket;
+            let next = paper_potential_of_states(&config_of(sim.population()), k);
+            if exchanged {
+                assert!(next < g, "g did not strictly decrease at an exchange (k={k})");
+                chain.push(next.clone());
+            } else {
+                assert_eq!(next, g, "g moved without an exchange (k={k})");
+            }
+            g = next;
+            if sim.population().is_silent(&protocol) {
+                break;
+            }
+        }
+        // The chain is strictly decreasing, starts at the all-self-loop
+        // ordinal (every coefficient k), and its length respects the bound.
+        assert!(chain.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(
+            initial_g,
+            OmegaPolynomial::from_ascending_weights(&vec![u32::from(k); n]),
+            "initial ordinal must be ω^{{n-1}}·k + … + k"
+        );
+        let bound = descent_chain_bound(n, k);
+        assert!(
+            (chain.len() as u128) <= bound,
+            "descent chain of length {} exceeds the bound {bound}",
+            chain.len()
+        );
+        // Theorem 3.4's point: the chain is *finite* — and in practice tiny.
+        assert!(chain.len() <= 4 * n, "chain unexpectedly long: {}", chain.len());
+    }
+}
+
+#[test]
+fn ordinal_display_of_a_real_run_reads_like_the_paper() {
+    // A 3-agent instance: initial g = ω²·2 + ω·2 + 2 for k = 2.
+    let protocol = CirclesProtocol::new(2).unwrap();
+    let colors = [Color(0), Color(0), Color(1)];
+    let population = Population::from_inputs(&protocol, &colors);
+    let g = paper_potential_of_states(&config_of(&population), 2);
+    assert_eq!(g.to_string(), "ω^2·2 + ω·2 + 2");
+    // After the single exchange ⟨0|0⟩+⟨1|1⟩ → ⟨0|1⟩+⟨1|0⟩ the weights are
+    // (1, 1, 2): g = ω²·1 + ω·1 + 2 — strictly below.
+    let after = OmegaPolynomial::from_ascending_weights(&[1, 1, 2]);
+    assert!(after < g);
+    assert_eq!(after.to_string(), "ω^2·1 + ω·1 + 2");
+}

@@ -1,0 +1,155 @@
+//! Integration tests for topology-restricted Circles: what survives on a
+//! graph (stabilization, conservation) and what provably breaks (the
+//! predicted terminal multiset, output correctness, even silence).
+
+use circles::core::{invariants, prediction, CirclesProtocol, Color};
+use circles::protocol::{Population, Protocol, Scheduler, Simulation};
+use circles::topology::{
+    audit_schedule, is_graph_silent, EdgeScheduler, InteractionGraph, RoundRobinEdgeScheduler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn complete_graph_edge_scheduler_reproduces_the_paper_model() {
+    // On the complete graph the edge scheduler is the uniform scheduler:
+    // always silent, predicted bra-kets, correct consensus.
+    let k = 3u16;
+    let inputs: Vec<Color> = [0, 0, 0, 0, 1, 1, 2, 2, 2].map(Color).to_vec();
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let predicted = prediction::predicted_brakets(&inputs, k).unwrap();
+    for seed in 0..8 {
+        let graph = InteractionGraph::complete(inputs.len()).unwrap();
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim = Simulation::new(&protocol, population, EdgeScheduler::new(graph), seed);
+        let report = sim.run_until_silent(2_000_000, 16).unwrap();
+        assert_eq!(report.consensus, Some(Color(0)));
+        assert_eq!(
+            prediction::braket_config_of_population(sim.population()),
+            predicted
+        );
+    }
+}
+
+/// The documented 3-path counterexample, executed deterministically: after
+/// the single interaction (1, 2), the line `0–1–2` with inputs `[0, 0, 1]`
+/// is graph-silent with the end agent outputting the minority color —
+/// even though the bra-ket multiset is exactly Lemma 3.6's prediction.
+/// What breaks on the path is *output dissemination*: rule 2 transmits only
+/// on direct contact with a self-loop agent, and agent 2 never meets the
+/// `⟨0|0⟩` at the other end.
+#[test]
+fn three_path_freezes_with_wrong_output() {
+    let k = 2u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let inputs: Vec<Color> = [0, 0, 1].map(Color).to_vec();
+    let mut population = Population::from_inputs(&protocol, &inputs);
+    let graph = InteractionGraph::path(3).unwrap();
+
+    // One interaction across the edge (1, 2): ⟨0|0⟩ + ⟨1|1⟩ → ⟨0|1⟩ + ⟨1|0⟩.
+    population.interact(&protocol, 1, 2).unwrap();
+
+    assert!(
+        is_graph_silent(&graph, &population, &protocol),
+        "the path must be frozen after one exchange"
+    );
+    // Bra-kets conserve (Lemma 3.3 is topology-proof) …
+    let brakets = prediction::braket_config_of_population(&population);
+    assert!(invariants::conservation_holds(&brakets, k));
+    // … and this particular freeze even *matches* Lemma 3.6's multiset —
+    // stabilization is not what breaks on the path …
+    let predicted = prediction::predicted_brakets(&inputs, k).unwrap();
+    assert_eq!(brakets, predicted);
+    // … yet agent 2 outputs the minority color forever: it is not adjacent
+    // to the ⟨0|0⟩ agent, and only self-loop agents transmit outputs.
+    assert_eq!(protocol.output(&population[2]), Color(1));
+    assert_eq!(protocol.output(&population[0]), Color(0));
+}
+
+/// A star with self-loops of both colors on leaves never goes silent: the
+/// hub's output flips forever — correctness can fail *without* freezing.
+#[test]
+fn star_oscillates_forever() {
+    let k = 2u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    // Hub = agent 0 (color 0); leaves: 0, 1, 1, 1 — winner is color 1.
+    let inputs: Vec<Color> = [0, 0, 1, 1, 1].map(Color).to_vec();
+    let graph = InteractionGraph::star(5).unwrap();
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim =
+        Simulation::new(&protocol, population, EdgeScheduler::new(graph.clone()), 3);
+
+    // Long prefix: bra-kets must freeze (Theorem 3.4 is topology-proof)…
+    sim.run_observed(20_000, |_| ()).unwrap();
+    let brakets_mid = prediction::braket_config_of_population(sim.population());
+    let mut hub_outputs = std::collections::BTreeSet::new();
+    sim.run_observed(20_000, |step| {
+        // Track the hub's output whenever it participates.
+        if step.pair.0 == 0 {
+            hub_outputs.insert(step.after.0.out);
+        } else if step.pair.1 == 0 {
+            hub_outputs.insert(step.after.1.out);
+        }
+    })
+    .unwrap();
+    let brakets_end = prediction::braket_config_of_population(sim.population());
+    assert_eq!(brakets_mid, brakets_end, "bra-kets must be frozen by now");
+    // …but outputs keep flipping: the hub visits both colors in the tail,
+    // and the configuration is never graph-silent.
+    assert_eq!(hub_outputs.len(), 2, "hub output must oscillate: {hub_outputs:?}");
+    assert!(!is_graph_silent(&graph, sim.population(), &protocol));
+}
+
+#[test]
+fn round_robin_edge_scheduler_is_graph_fair() {
+    let graph = InteractionGraph::grid(3, 3).unwrap();
+    let mut scheduler = RoundRobinEdgeScheduler::new(graph.clone());
+    let population: Population<u8> = (0..9u8).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let schedule: Vec<(usize, usize)> =
+        (0..2_000).map(|_| scheduler.next_pair(&population, &mut rng)).collect();
+    let report = audit_schedule(&graph, &schedule);
+    assert!(report.is_covering());
+    assert_eq!(report.off_graph_pairs, 0);
+    // One full round = 2·|E| directed edges; every edge recurs within two
+    // rounds.
+    assert!(report.max_gap <= 4 * graph.edge_count());
+}
+
+#[test]
+fn dense_random_graphs_stay_correct_in_practice() {
+    // Erdős–Rényi with p = 0.5 at n = 24 is diameter-2-ish and dense; the
+    // election should succeed for typical placements even though the
+    // worst-case guarantee is gone.
+    let k = 2u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let mut inputs: Vec<Color> = Vec::new();
+    inputs.extend(std::iter::repeat_n(Color(0), 16));
+    inputs.extend(std::iter::repeat_n(Color(1), 8));
+    let mut graph_rng = StdRng::seed_from_u64(11);
+    let graph = InteractionGraph::erdos_renyi(24, 0.5, &mut graph_rng).unwrap();
+
+    let mut correct = 0;
+    let seeds = 10;
+    for seed in 0..seeds {
+        let population = Population::from_inputs(&protocol, &inputs);
+        let mut sim =
+            Simulation::new(&protocol, population, EdgeScheduler::new(graph.clone()), seed);
+        let mut silent = false;
+        for _ in 0..200 {
+            sim.run_observed(2_000, |_| ()).unwrap();
+            if is_graph_silent(&graph, sim.population(), &protocol) {
+                silent = true;
+                break;
+            }
+        }
+        let outputs = sim.population().output_counts(&protocol);
+        if silent && outputs.len() == 1 && outputs.keys().next() == Some(&Color(0)) {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct >= seeds / 2,
+        "dense random graph should usually elect correctly ({correct}/{seeds})"
+    );
+}
