@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn fully_informed_needs_zero_steps() {
-        assert_eq!(expected_epidemic_interactions(7, 7, Transmission::TwoWay), 0.0);
+        assert_eq!(
+            expected_epidemic_interactions(7, 7, Transmission::TwoWay),
+            0.0
+        );
     }
 
     #[test]
@@ -202,6 +205,9 @@ mod tests {
         let e1 = expected_epidemic_interactions(512, 1, Transmission::TwoWay);
         let e2 = expected_epidemic_interactions(1024, 1, Transmission::TwoWay);
         let ratio = e2 / e1;
-        assert!(ratio > 2.0 && ratio < 2.5, "ratio {ratio} not n·log n shaped");
+        assert!(
+            ratio > 2.0 && ratio < 2.5,
+            "ratio {ratio} not n·log n shaped"
+        );
     }
 }

@@ -115,8 +115,7 @@ fn visited_states(protocol: &CirclesProtocol, n: usize, seed: u64) -> usize {
     let margin = (n / 16).max(1);
     let inputs: Vec<Color> = shuffled(margin_workload(n, k, margin), seed);
     let population = Population::from_inputs(protocol, &inputs);
-    let mut seen: HashSet<circles_core::CirclesState> =
-        population.iter().cloned().collect();
+    let mut seen: HashSet<circles_core::CirclesState> = population.iter().cloned().collect();
     let mut sim = Simulation::new(protocol, population, UniformPairScheduler::new(), seed);
     let budget = (n as u64) * (n as u64) * 64;
     let _ = sim.run_until_silent_observed(budget, n as u64, |report| {
@@ -144,7 +143,10 @@ mod tests {
         for row in table.rows() {
             let declared: usize = row[2].parse().unwrap();
             let visited: usize = row[4].parse().unwrap();
-            assert!(visited <= declared, "visited {visited} > declared {declared}");
+            assert!(
+                visited <= declared,
+                "visited {visited} > declared {declared}"
+            );
         }
     }
 

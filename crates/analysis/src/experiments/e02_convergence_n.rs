@@ -73,7 +73,10 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
             .iter()
             .filter(|row| row[0] == k.to_string() && row[1] != "slope")
             .map(|row| {
-                (row[1].parse().expect("n column"), row[5].parse().expect("consensus column"))
+                (
+                    row[1].parse().expect("n column"),
+                    row[5].parse().expect("consensus column"),
+                )
             })
             .collect();
         if !points.is_empty() {
@@ -115,10 +118,12 @@ pub fn run(params: &Params) -> Table {
                     .expect("trial failed")
             });
             let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
-            let consensuses: Vec<f64> =
-                results.iter().map(|r| r.steps_to_consensus as f64).collect();
-            let correct_rate = results.iter().filter(|r| r.correct).count() as f64
-                / results.len() as f64;
+            let consensuses: Vec<f64> = results
+                .iter()
+                .map(|r| r.steps_to_consensus as f64)
+                .collect();
+            let correct_rate =
+                results.iter().filter(|r| r.correct).count() as f64 / results.len() as f64;
             let silence = Summary::from_samples(&silences);
             let consensus = Summary::from_samples(&consensuses);
             scaling_points.push((n as f64, consensus.mean.max(1.0)));
@@ -168,11 +173,10 @@ mod tests {
     fn has_rows_for_each_feasible_configuration_plus_slopes() {
         let p = Params::quick();
         let table = run(&p);
-        let feasible: usize = p
-            .ks
-            .iter()
-            .map(|&k| p.ns.iter().filter(|&&n| n >= 4 * usize::from(k)).count())
-            .sum();
+        let feasible: usize =
+            p.ks.iter()
+                .map(|&k| p.ns.iter().filter(|&&n| n >= 4 * usize::from(k)).count())
+                .sum();
         assert_eq!(table.len(), feasible + p.ks.len());
     }
 

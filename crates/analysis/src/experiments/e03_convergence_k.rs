@@ -81,11 +81,13 @@ pub fn run(params: &Params) -> Table {
                 run_counting_trial(&protocol, &inputs, seed, expected, params.max_steps)
                     .expect("trial failed")
             });
-            let consensuses: Vec<f64> =
-                results.iter().map(|r| r.steps_to_consensus as f64).collect();
+            let consensuses: Vec<f64> = results
+                .iter()
+                .map(|r| r.steps_to_consensus as f64)
+                .collect();
             let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
-            let correct_rate = results.iter().filter(|r| r.correct).count() as f64
-                / results.len() as f64;
+            let correct_rate =
+                results.iter().filter(|r| r.correct).count() as f64 / results.len() as f64;
             let consensus = Summary::from_samples(&consensuses);
             let silence = Summary::from_samples(&silences);
             if label == "margin 10%" {

@@ -177,17 +177,18 @@ pub fn run(params: &Params) -> Table {
                     params.max_steps,
                 )
             });
-            let consensus: Vec<f64> =
-                results.iter().map(|r| r.steps_to_consensus as f64).collect();
+            let consensus: Vec<f64> = results
+                .iter()
+                .map(|r| r.steps_to_consensus as f64)
+                .collect();
             let summary = Summary::from_samples(&consensus);
             let stabilized = results.iter().filter(|r| r.stabilized).count();
             let correct = results.iter().filter(|r| r.correct).count();
             if scheduler == "uniform" {
                 uniform_mean = Some(summary.mean.max(1.0));
             }
-            let slowdown = uniform_mean.map_or("-".to_string(), |u| {
-                format!("{:.2}x", summary.mean / u)
-            });
+            let slowdown =
+                uniform_mean.map_or("-".to_string(), |u| format!("{:.2}x", summary.mean / u));
             table.push_row(vec![
                 k.to_string(),
                 scheduler.to_string(),

@@ -79,8 +79,15 @@ fn run_protocol(
                 name,
                 states: p.state_complexity(),
                 results: run_seeded(seeds, threads, |seed| {
-                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
-                        .expect("trial")
+                    run_trial(
+                        &p,
+                        inputs,
+                        UniformPairScheduler::new(),
+                        seed,
+                        expected,
+                        max_steps,
+                    )
+                    .expect("trial")
                 }),
             })
         }
@@ -93,8 +100,15 @@ fn run_protocol(
                 name,
                 states: p.state_complexity(),
                 results: run_seeded(seeds, threads, |seed| {
-                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
-                        .expect("trial")
+                    run_trial(
+                        &p,
+                        inputs,
+                        UniformPairScheduler::new(),
+                        seed,
+                        expected,
+                        max_steps,
+                    )
+                    .expect("trial")
                 }),
             })
         }
@@ -104,8 +118,15 @@ fn run_protocol(
                 name,
                 states: p.state_complexity(),
                 results: run_seeded(seeds, threads, |seed| {
-                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
-                        .expect("trial")
+                    run_trial(
+                        &p,
+                        inputs,
+                        UniformPairScheduler::new(),
+                        seed,
+                        expected,
+                        max_steps,
+                    )
+                    .expect("trial")
                 }),
             })
         }
@@ -115,8 +136,15 @@ fn run_protocol(
                 name,
                 states: p.state_complexity(),
                 results: run_seeded(seeds, threads, |seed| {
-                    run_trial(&p, inputs, UniformPairScheduler::new(), seed, expected, max_steps)
-                        .expect("trial")
+                    run_trial(
+                        &p,
+                        inputs,
+                        UniformPairScheduler::new(),
+                        seed,
+                        expected,
+                        max_steps,
+                    )
+                    .expect("trial")
                 }),
             })
         }
@@ -144,7 +172,10 @@ pub fn run(params: &Params) -> Table {
     let seeds = seed_range(params.seeds);
     for &k in &params.ks {
         let workloads = [
-            ("photo finish", shuffled(photo_finish_workload(params.n, k), 5)),
+            (
+                "photo finish",
+                shuffled(photo_finish_workload(params.n, k), 5),
+            ),
             (
                 "margin 12%",
                 shuffled(margin_workload(params.n, k, (params.n / 8).max(1)), 5),

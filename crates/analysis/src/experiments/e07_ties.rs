@@ -77,8 +77,7 @@ fn one_run(n: usize, k: u16, ways: u16, seed: u64, max_steps: u64) -> TieRun {
         .expect("tied instance did not stabilize");
     let population = sim.into_population();
     let brakets = braket_config_of_population(&population);
-    let outputs: Vec<circles_core::Color> =
-        population.iter().map(|s| protocol.output(s)).collect();
+    let outputs: Vec<circles_core::Color> = population.iter().map(|s| protocol.output(s)).collect();
     let unanimous = outputs.windows(2).all(|w| w[0] == w[1]);
     TieRun {
         self_loops_at_end: self_loop_colors(&brakets).iter().map(|(_, c)| c).sum(),

@@ -110,8 +110,8 @@ pub fn run(params: &Params) -> Table {
                     continue;
                 }
                 instances += 1;
-                let report = verify_circles_instance(&inputs, k, params.limits)
-                    .expect("exploration failed");
+                let report =
+                    verify_circles_instance(&inputs, k, params.limits).expect("exploration failed");
                 max_configs = max_configs.max(report.config_count);
                 if report.winner.is_none() {
                     ties += 1;

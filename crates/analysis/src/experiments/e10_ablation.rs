@@ -151,7 +151,9 @@ pub fn run(params: &Params) -> Table {
                 let silent = braket_graph.silent_configs();
                 let predicted = predicted_brakets(&inputs, params.k).expect("valid");
                 let all_match = !silent.is_empty()
-                    && silent.iter().all(|&cid| braket_graph.config(cid) == predicted);
+                    && silent
+                        .iter()
+                        .all(|&cid| braket_graph.config(cid) == predicted);
                 if all_match {
                     stats.matches_prediction += 1;
                 }
@@ -211,6 +213,9 @@ mod tests {
             .find(|r| r[0] == "nonstrict-min")
             .expect("nonstrict row");
         let ns_stab: usize = nonstrict[3].split('/').next().unwrap().parse().unwrap();
-        assert!(ns_stab < full, "non-strict rule unexpectedly always stabilizes");
+        assert!(
+            ns_stab < full,
+            "non-strict rule unexpectedly always stabilizes"
+        );
     }
 }

@@ -125,7 +125,10 @@ pub fn run(params: &Params) -> Table {
     let workloads = [
         (
             "margin 12%",
-            shuffled(margin_workload(params.n, params.k, (params.n / 8).max(1)), 3),
+            shuffled(
+                margin_workload(params.n, params.k, (params.n / 8).max(1)),
+                3,
+            ),
         ),
         (
             "photo finish",

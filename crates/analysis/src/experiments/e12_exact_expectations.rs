@@ -99,8 +99,7 @@ pub fn run(params: &Params) -> Table {
         let protocol = CirclesProtocol::new(*k).expect("k >= 1");
         let expected_winner = true_winner(&inputs, *k);
         let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
-        let chain =
-            UniformChain::build(&protocol, &initial, params.limits).expect("chain build");
+        let chain = UniformChain::build(&protocol, &initial, params.limits).expect("chain build");
         let exact = chain
             .expected_steps_to_silence(1e-12, 100_000)
             .expect("finite expectation for circles");

@@ -83,8 +83,10 @@ fn grid(t_end: f64, dt: f64) -> Vec<f64> {
 /// rounding; exact sum). Shared with E14.
 pub(crate) fn profile_counts(n: usize, profile: &[f64]) -> Vec<usize> {
     let total: f64 = profile.iter().sum();
-    let mut counts: Vec<usize> =
-        profile.iter().map(|p| (p / total * n as f64).floor() as usize).collect();
+    let mut counts: Vec<usize> = profile
+        .iter()
+        .map(|p| (p / total * n as f64).floor() as usize)
+        .collect();
     let mut remainders: Vec<(usize, f64)> = profile
         .iter()
         .enumerate()
@@ -105,15 +107,22 @@ pub(crate) fn profile_counts(n: usize, profile: &[f64]) -> Vec<usize> {
 /// Runs E13 and returns the table plus figures.
 pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
     let protocol = CirclesProtocol::new(params.k).expect("k >= 1");
-    let support: Vec<CirclesState> =
-        (0..params.k).map(|i| protocol.input(&Color(i))).collect();
+    let support: Vec<CirclesState> = (0..params.k).map(|i| protocol.input(&Color(i))).collect();
     let network =
         ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).expect("closure fits");
     let times = grid(params.t_end, params.dt_grid);
 
     let mut table = Table::new(
         "E13 — Kurtz convergence: SSA density gap to the mean-field ODE",
-        &["n", "seeds", "sup-dist mean", "sup-dist std", "sqrt(n)·mean", "species", "reactions"],
+        &[
+            "n",
+            "seeds",
+            "sup-dist mean",
+            "sup-dist std",
+            "sqrt(n)·mean",
+            "species",
+            "reactions",
+        ],
     );
 
     let mut gap_points = Vec::new();
@@ -133,8 +142,7 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
             initial.insert(support[i], c);
         }
         let x0 = network.densities(&network.counts_from_config(&initial).expect("known species"));
-        let ode = ode_density_trajectory(&network, x0, &times, params.dt_ode)
-            .expect("valid grid");
+        let ode = ode_density_trajectory(&network, x0, &times, params.dt_ode).expect("valid grid");
 
         let trajectories = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -92,8 +92,7 @@ fn energy_of_row(network: &ReactionNetwork<CirclesState>, k: u16, row: &[f64]) -
 /// Runs E14 and returns the table plus the energy-descent figure.
 pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
     let protocol = CirclesProtocol::new(params.k).expect("k >= 1");
-    let support: Vec<CirclesState> =
-        (0..params.k).map(|i| protocol.input(&Color(i))).collect();
+    let support: Vec<CirclesState> = (0..params.k).map(|i| protocol.input(&Color(i))).collect();
     let network =
         ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).expect("closure fits");
     let times = grid(params.t_end, params.dt_grid);
@@ -101,15 +100,20 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
     // Closed-form terminal energy per agent: k · p_max (q = c_max circles of
     // total weight k each).
     let total: f64 = params.profile.iter().sum();
-    let p_max = params
-        .profile
-        .iter()
-        .fold(0.0f64, |m, &p| m.max(p / total));
+    let p_max = params.profile.iter().fold(0.0f64, |m, &p| m.max(p / total));
     let floor = f64::from(params.k) * p_max;
 
     let mut table = Table::new(
         "E14 — per-agent energy over parallel time (floor = k·p_max)",
-        &["series", "n", "initial", "final", "max uptick", "floor", "final/floor"],
+        &[
+            "series",
+            "n",
+            "initial",
+            "final",
+            "max uptick",
+            "floor",
+            "final/floor",
+        ],
     );
     let mut figure = LinePlot::new("E14: energy descent, SSA vs mean-field")
         .axis_labels("parallel time", "energy per agent");
@@ -124,10 +128,12 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
             }
             network.densities(&network.counts_from_config(&initial).expect("known species"))
         };
-        let ode = ode_density_trajectory(&network, x0, &times, params.dt_ode)
-            .expect("valid grid");
-        let energies: Vec<f64> =
-            ode.rows.iter().map(|row| energy_of_row(&network, params.k, row)).collect();
+        let ode = ode_density_trajectory(&network, x0, &times, params.dt_ode).expect("valid grid");
+        let energies: Vec<f64> = ode
+            .rows
+            .iter()
+            .map(|row| energy_of_row(&network, params.k, row))
+            .collect();
         let uptick = max_uptick(&energies);
         let last = *energies.last().expect("nonempty grid");
         table.push_row(vec![
@@ -164,14 +170,14 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
         // Per-grid-point mean across seeds.
         let mean_curve: Vec<f64> = (0..times.len())
             .map(|i| {
-                Summary::from_samples(
-                    &energy_rows.iter().map(|e| e[i]).collect::<Vec<f64>>(),
-                )
-                .mean
+                Summary::from_samples(&energy_rows.iter().map(|e| e[i]).collect::<Vec<f64>>()).mean
             })
             .collect();
         let mean_uptick = Summary::from_samples(
-            &energy_rows.iter().map(|e| max_uptick(e)).collect::<Vec<f64>>(),
+            &energy_rows
+                .iter()
+                .map(|e| max_uptick(e))
+                .collect::<Vec<f64>>(),
         )
         .mean;
         let last = *mean_curve.last().expect("nonempty grid");
@@ -223,7 +229,10 @@ mod tests {
         for row in table.rows() {
             let initial: f64 = row[2].parse().unwrap();
             let ratio: f64 = row[6].parse().unwrap();
-            assert!((initial - 3.0).abs() < 0.05, "initial energy must be ~k: {row:?}");
+            assert!(
+                (initial - 3.0).abs() < 0.05,
+                "initial energy must be ~k: {row:?}"
+            );
             assert!(
                 (ratio - 1.0).abs() < 0.1,
                 "final energy must sit on the floor: {row:?}"

@@ -80,7 +80,11 @@ impl Params {
 fn topologies(params: &Params) -> Vec<InteractionGraph> {
     let n = params.n;
     let side = (n as f64).sqrt().round() as usize;
-    assert_eq!(side * side, n, "E15 requires a square n for the grid topology");
+    assert_eq!(
+        side * side,
+        n,
+        "E15 requires a square n for the grid topology"
+    );
     let mut rng = StdRng::seed_from_u64(params.graph_seed);
     vec![
         InteractionGraph::complete(n).expect("n >= 2"),
@@ -123,7 +127,8 @@ fn run_one(
     let mut silent = is_graph_silent(graph, sim.population(), protocol);
     while !silent && sim.stats().steps < max_steps {
         let budget = chunk.min(max_steps - sim.stats().steps);
-        sim.run_observed(budget, |_| ()).expect("edge scheduler never fails");
+        sim.run_observed(budget, |_| ())
+            .expect("edge scheduler never fails");
         silent = is_graph_silent(graph, sim.population(), protocol);
     }
 
@@ -222,7 +227,10 @@ mod tests {
         assert!(!complete_rows.is_empty());
         for row in complete_rows {
             assert_eq!(row[4], "1.00", "complete graph must be silent: {row:?}");
-            assert_eq!(row[5], "1.00", "complete graph must match Lemma 3.6: {row:?}");
+            assert_eq!(
+                row[5], "1.00",
+                "complete graph must match Lemma 3.6: {row:?}"
+            );
             assert_eq!(row[6], "1.00", "complete graph must be correct: {row:?}");
         }
     }

@@ -82,8 +82,7 @@ fn contenders() -> Vec<Contender> {
         P::State: Send + Sync,
     {
         Box::new(move |inputs, seed, expected, max_steps| {
-            run_counting_trial(&protocol, inputs, seed, expected, max_steps)
-                .expect("trial failed")
+            run_counting_trial(&protocol, inputs, seed, expected, max_steps).expect("trial failed")
         })
     }
     let circles = CirclesProtocol::new(2).expect("k = 2");
@@ -147,8 +146,7 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
             });
             let correct =
                 results.iter().filter(|r| r.correct).count() as f64 / results.len() as f64;
-            let silences: Vec<f64> =
-                results.iter().map(|r| r.steps_to_silence as f64).collect();
+            let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
             let silence = Summary::from_samples(&silences);
             accuracy_points.push((margin as f64, correct));
             table.push_row(vec![
@@ -193,11 +191,7 @@ mod tests {
     #[test]
     fn approximate_majority_uses_fewest_states() {
         let table = run(&Params::quick());
-        let states: Vec<usize> = table
-            .rows()
-            .iter()
-            .map(|r| r[1].parse().unwrap())
-            .collect();
+        let states: Vec<usize> = table.rows().iter().map(|r| r[1].parse().unwrap()).collect();
         let min = *states.iter().min().unwrap();
         assert_eq!(min, 3);
         // Circles pays 8 = 2³ states at k = 2.

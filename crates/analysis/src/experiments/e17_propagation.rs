@@ -109,17 +109,21 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
             instrumented_run(&protocol, &placed, seed, params.max_steps)
         });
         let measured = Summary::from_samples(
-            &samples.iter().map(|s| s.measured_tail).collect::<Vec<f64>>(),
+            &samples
+                .iter()
+                .map(|s| s.measured_tail)
+                .collect::<Vec<f64>>(),
         );
         let predicted = Summary::from_samples(
-            &samples.iter().map(|s| s.predicted_tail).collect::<Vec<f64>>(),
+            &samples
+                .iter()
+                .map(|s| s.predicted_tail)
+                .collect::<Vec<f64>>(),
         );
-        let unconverted = Summary::from_samples(
-            &samples.iter().map(|s| s.unconverted).collect::<Vec<f64>>(),
-        );
-        let sources = Summary::from_samples(
-            &samples.iter().map(|s| s.sources).collect::<Vec<f64>>(),
-        );
+        let unconverted =
+            Summary::from_samples(&samples.iter().map(|s| s.unconverted).collect::<Vec<f64>>());
+        let sources =
+            Summary::from_samples(&samples.iter().map(|s| s.sources).collect::<Vec<f64>>());
         measured_points.push((inputs.len() as f64, measured.mean));
         predicted_points.push((inputs.len() as f64, predicted.mean));
         let ratio_cell = if predicted.mean > 0.0 {
@@ -165,9 +169,10 @@ fn instrumented_run(
     let mut unconverted_at_exchange = n - outputting_winner;
     let report = sim
         .run_until_silent_observed(max_steps, n.max(16), |step| {
-            for (before, after) in
-                [(&step.before.0, &step.after.0), (&step.before.1, &step.after.1)]
-            {
+            for (before, after) in [
+                (&step.before.0, &step.after.0),
+                (&step.before.1, &step.after.1),
+            ] {
                 match (before.out == winner, after.out == winner) {
                     (false, true) => outputting_winner += 1,
                     (true, false) => outputting_winner -= 1,

@@ -22,7 +22,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from `(x, y)` points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The series label.
@@ -127,7 +130,10 @@ impl LinePlot {
             .points
             .iter()
             .filter(|(x, y)| {
-                x.is_finite() && y.is_finite() && (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0)
+                x.is_finite()
+                    && y.is_finite()
+                    && (!self.log_x || *x > 0.0)
+                    && (!self.log_y || *y > 0.0)
             })
             .map(|&(x, y)| {
                 (
@@ -158,7 +164,11 @@ impl LinePlot {
             w = self.width,
             h = self.height
         );
-        let _ = write!(svg, r#"<rect width="{}" height="{}" fill="white"/>"#, self.width, self.height);
+        let _ = write!(
+            svg,
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        );
 
         // Title.
         let _ = write!(
@@ -350,7 +360,9 @@ fn compact(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -381,7 +393,10 @@ mod tests {
         let svg = LinePlot::new("log")
             .log_x()
             .log_y()
-            .with_series("s", vec![(0.0, 1.0), (-1.0, 2.0), (10.0, 100.0), (100.0, 1000.0)])
+            .with_series(
+                "s",
+                vec![(0.0, 1.0), (-1.0, 2.0), (10.0, 100.0), (100.0, 1000.0)],
+            )
             .to_svg();
         // Only the two positive points survive.
         assert_eq!(svg.matches("<circle").count(), 2);

@@ -163,10 +163,12 @@ mod tests {
 
     #[test]
     fn slope_recovers_exponent() {
-        let points: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (10 * i) as f64;
-            (x, 3.0 * x.powf(2.0))
-        }).collect();
+        let points: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (10 * i) as f64;
+                (x, 3.0 * x.powf(2.0))
+            })
+            .collect();
         let slope = log_log_slope(&points);
         assert!((slope - 2.0).abs() < 1e-9, "slope {slope}");
     }

@@ -1,7 +1,9 @@
 //! One-shot protocol trials with a uniform measurement record.
 
 use circles_core::Color;
-use pp_protocol::{CountingSimulation, FrameworkError, Population, Protocol, Scheduler, Simulation};
+use pp_protocol::{
+    CountingSimulation, FrameworkError, Population, Protocol, Scheduler, Simulation,
+};
 
 /// The measurements every experiment cares about, protocol-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -17,7 +17,10 @@ use rand::SeedableRng;
 /// one agent per loser plus the margin.
 pub fn margin_workload(n: usize, k: u16, margin: usize) -> Vec<Color> {
     assert!(k > 0, "k must be positive");
-    assert!(margin > 0, "margin must be positive (ties are a separate workload)");
+    assert!(
+        margin > 0,
+        "margin must be positive (ties are a separate workload)"
+    );
     let k_usize = usize::from(k);
     if k_usize == 1 {
         return vec![Color(0); n];
@@ -90,7 +93,10 @@ pub fn photo_finish_workload(n: usize, k: u16) -> Vec<Color> {
     if k_usize == 1 {
         return vec![Color(0); n];
     }
-    assert!(n > k_usize, "population too small for a strict photo finish");
+    assert!(
+        n > k_usize,
+        "population too small for a strict photo finish"
+    );
     // Smallest m with 0 <= n - (m+1) <= m(k-1).
     let mut m = (n - 1).div_ceil(k_usize);
     while (n as i64 - (m as i64 + 1)) > (m * (k_usize - 1)) as i64 {
@@ -131,7 +137,10 @@ pub fn tie_workload(n: usize, k: u16, ways: u16) -> Vec<Color> {
     let mut top = n / ways_usize;
     let mut counts;
     loop {
-        assert!(top >= 1, "cannot construct tie for n={n}, k={k}, ways={ways}");
+        assert!(
+            top >= 1,
+            "cannot construct tie for n={n}, k={k}, ways={ways}"
+        );
         counts = vec![top; ways_usize];
         let mut leftover = n - top * ways_usize;
         let mut extra = vec![0usize; rest];

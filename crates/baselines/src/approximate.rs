@@ -142,9 +142,10 @@ mod tests {
         let protocol = ApproximateMajority::new();
         let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
         let population = Population::from_inputs(&protocol, &colors);
-        let mut sim =
-            Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
-        sim.run_until_silent(1_000_000, 8).ok().and_then(|r| r.consensus)
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        sim.run_until_silent(1_000_000, 8)
+            .ok()
+            .and_then(|r| r.consensus)
     }
 
     #[test]
@@ -229,12 +230,10 @@ mod tests {
             let inputs: Vec<Color> = (0..n).map(|i| Color(u16::from(i >= zeros))).collect();
             let population = Population::from_inputs(&protocol, &inputs);
             let seed = rng.random();
-            let mut sim =
-                Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+            let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
             let report = sim.run_until_silent(1_000_000, 8).unwrap();
             assert!(report.consensus.is_some(), "silent but not unanimous");
-            let states: std::collections::HashSet<_> =
-                sim.population().iter().copied().collect();
+            let states: std::collections::HashSet<_> = sim.population().iter().copied().collect();
             assert!(!states.contains(&TriState::Blank), "blank survived silence");
             assert_eq!(states.len(), 1, "two decided colors cannot both be silent");
         }

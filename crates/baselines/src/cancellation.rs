@@ -120,9 +120,9 @@ impl EnumerableProtocol for CancellationPlurality {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_protocol::InteractionTrace;
     use pp_protocol::{Population, Simulation, UniformPairScheduler};
     use pp_schedulers::TraceScheduler;
-    use pp_protocol::InteractionTrace;
 
     #[test]
     fn state_complexity_is_two_k() {

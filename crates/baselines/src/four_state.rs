@@ -183,11 +183,7 @@ mod tests {
         let report = sim.run_until_silent(1_000_000, 8).unwrap();
         assert_eq!(report.consensus, Some(Color(0)));
         // The final population keeps exactly the strong margin.
-        let strong = sim
-            .population()
-            .iter()
-            .filter(|s| s.is_strong())
-            .count();
+        let strong = sim.population().iter().filter(|s| s.is_strong()).count();
         assert_eq!(strong, 1);
     }
 

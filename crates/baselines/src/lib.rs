@@ -38,5 +38,5 @@ mod undecided;
 
 pub use approximate::{ApproximateMajority, TriState};
 pub use cancellation::{CancellationPlurality, CancellationState};
-pub use four_state::{FourStateMajority, FourState};
+pub use four_state::{FourState, FourStateMajority};
 pub use undecided::{UndecidedDynamics, UndecidedState};

@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn lands_on_some_consensus() {
         let p = UndecidedDynamics::new(4);
-        let inputs: Vec<Color> = (0..40).map(|i| Color(if i < 25 { 0 } else { (i % 3 + 1) as u16 })).collect();
+        let inputs: Vec<Color> = (0..40)
+            .map(|i| Color(if i < 25 { 0 } else { (i % 3 + 1) as u16 }))
+            .collect();
         let population = Population::from_inputs(&p, &inputs);
         let mut sim = Simulation::new(&p, population, UniformPairScheduler::new(), 5);
         let report = sim.run_until_silent(10_000_000, 32).unwrap();

@@ -1,7 +1,9 @@
 //! Property-based tests for the baseline protocols' defining invariants.
 
 use circles_core::Color;
-use pp_baselines::{CancellationPlurality, CancellationState, FourState, FourStateMajority, UndecidedDynamics};
+use pp_baselines::{
+    CancellationPlurality, CancellationState, FourState, FourStateMajority, UndecidedDynamics,
+};
 use pp_protocol::{Population, Simulation, UniformPairScheduler};
 use proptest::prelude::*;
 

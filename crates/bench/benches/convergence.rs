@@ -20,12 +20,8 @@ fn bench_circles_convergence(c: &mut Criterion) {
             |b, inputs| {
                 b.iter(|| {
                     let population = Population::from_inputs(&protocol, inputs);
-                    let mut sim = Simulation::new(
-                        &protocol,
-                        population,
-                        UniformPairScheduler::new(),
-                        7,
-                    );
+                    let mut sim =
+                        Simulation::new(&protocol, population, UniformPairScheduler::new(), 7);
                     let report = sim.run_until_silent(500_000_000, n as u64).unwrap();
                     report.steps_to_silence
                 })
@@ -59,5 +55,9 @@ fn bench_counting_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_circles_convergence, bench_counting_convergence);
+criterion_group!(
+    benches,
+    bench_circles_convergence,
+    bench_counting_convergence
+);
 criterion_main!(benches);

@@ -22,7 +22,11 @@ fn initial_for(protocol: &CirclesProtocol, n: usize) -> CountConfig<CirclesState
     // Geometric-ish profile with a strict leader.
     let mut remaining = n;
     for i in 0..k {
-        let share = if i + 1 == k { remaining } else { (remaining * 3).div_ceil(5) };
+        let share = if i + 1 == k {
+            remaining
+        } else {
+            (remaining * 3).div_ceil(5)
+        };
         initial.insert(protocol.input(&Color(i)), share);
         remaining -= share;
         if remaining == 0 {
@@ -83,14 +87,9 @@ fn bench_meanfield_integration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
             let (protocol, network) = network_for(k);
             let initial = initial_for(&protocol, 1_000_000);
-            let x0 = network
-                .densities(&network.counts_from_config(&initial).unwrap());
+            let x0 = network.densities(&network.counts_from_config(&initial).unwrap());
             let field = MeanField::new(&network);
-            b.iter(|| {
-                field
-                    .integrate(x0.clone(), 5.0, 0.01, |_, _| ())
-                    .unwrap()
-            })
+            b.iter(|| field.integrate(x0.clone(), 5.0, 0.01, |_, _| ()).unwrap())
         });
     }
     group.finish();

@@ -26,8 +26,7 @@ fn bench_verify_brakets(c: &mut Criterion) {
         let inputs = instance(&profile);
         group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
             b.iter(|| {
-                let report =
-                    verify_circles_instance(inputs, k, ExploreLimits::default()).unwrap();
+                let report = verify_circles_instance(inputs, k, ExploreLimits::default()).unwrap();
                 assert!(report.verified);
                 report.config_count
             })
@@ -39,7 +38,10 @@ fn bench_verify_brakets(c: &mut Criterion) {
 fn bench_verify_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_full_state_space");
     group.sample_size(10);
-    for (name, profile, k) in [("k2_n6", vec![4usize, 2], 2u16), ("k3_n5", vec![2, 2, 1], 3)] {
+    for (name, profile, k) in [
+        ("k2_n6", vec![4usize, 2], 2u16),
+        ("k3_n5", vec![2, 2, 1], 3),
+    ] {
         let inputs = instance(&profile);
         group.bench_with_input(BenchmarkId::from_parameter(name), &inputs, |b, inputs| {
             b.iter(|| {

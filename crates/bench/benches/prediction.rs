@@ -56,5 +56,10 @@ fn bench_potential_and_stability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_greedy, bench_prediction, bench_potential_and_stability);
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_prediction,
+    bench_potential_and_stability
+);
 criterion_main!(benches);

@@ -21,12 +21,8 @@ fn bench_indexed_steps(c: &mut Criterion) {
                 let inputs: Vec<Color> = shuffled(photo_finish_workload(n, k), 1);
                 b.iter(|| {
                     let population = Population::from_inputs(&protocol, &inputs);
-                    let mut sim = Simulation::new(
-                        &protocol,
-                        population,
-                        UniformPairScheduler::new(),
-                        42,
-                    );
+                    let mut sim =
+                        Simulation::new(&protocol, population, UniformPairScheduler::new(), 42);
                     for _ in 0..STEPS {
                         let _ = sim.step().unwrap();
                     }

@@ -79,5 +79,10 @@ fn bench_full_transition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_weight, bench_would_exchange, bench_full_transition);
+criterion_group!(
+    benches,
+    bench_weight,
+    bench_would_exchange,
+    bench_full_transition
+);
 criterion_main!(benches);

@@ -36,7 +36,10 @@ impl BraKet {
 
     /// Creates the self-loop `⟨i|i⟩`.
     pub fn self_loop(color: Color) -> Self {
-        BraKet { bra: color, ket: color }
+        BraKet {
+            bra: color,
+            ket: color,
+        }
     }
 
     /// Whether this is a self-loop `⟨i|i⟩`.
@@ -66,7 +69,10 @@ impl fmt::Display for BraKet {
 ///
 /// Panics (in debug builds) if either color is `>= k`.
 pub fn weight(k: u16, braket: BraKet) -> u32 {
-    debug_assert!(braket.bra.0 < k && braket.ket.0 < k, "color out of range for k={k}");
+    debug_assert!(
+        braket.bra.0 < k && braket.ket.0 < k,
+        "color out of range for k={k}"
+    );
     if braket.bra == braket.ket {
         u32::from(k)
     } else {

@@ -64,10 +64,7 @@ pub fn energy_histogram(config: &CountConfig<BraKet>, k: u16) -> Vec<usize> {
 /// # Errors
 ///
 /// Propagates input validation errors.
-pub fn terminal_energy(
-    inputs: &[crate::Color],
-    k: u16,
-) -> Result<u64, crate::CirclesError> {
+pub fn terminal_energy(inputs: &[crate::Color], k: u16) -> Result<u64, crate::CirclesError> {
     let predicted = crate::prediction::predicted_brakets(inputs, k)?;
     Ok(total_energy(&predicted, k))
 }
@@ -93,7 +90,9 @@ pub struct EnergyTrace {
 impl EnergyTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        EnergyTrace { samples: Vec::new() }
+        EnergyTrace {
+            samples: Vec::new(),
+        }
     }
 
     /// Records a sample from the current configuration.
@@ -145,8 +144,9 @@ mod tests {
     #[test]
     fn initial_energy_is_n_times_k() {
         // All agents start as self-loops with weight k.
-        let config: CountConfig<BraKet> =
-            [bk(0, 0), bk(1, 1), bk(2, 2), bk(2, 2)].into_iter().collect();
+        let config: CountConfig<BraKet> = [bk(0, 0), bk(1, 1), bk(2, 2), bk(2, 2)]
+            .into_iter()
+            .collect();
         assert_eq!(total_energy(&config, 5), 4 * 5);
     }
 
@@ -162,7 +162,10 @@ mod tests {
         let inputs: Vec<Color> = [0, 0, 0, 1, 1, 2].map(Color).to_vec();
         let terminal = terminal_energy(&inputs, 3).unwrap();
         let initial = 6 * 3; // n self-loops of weight k
-        assert!(terminal < initial, "terminal {terminal} >= initial {initial}");
+        assert!(
+            terminal < initial,
+            "terminal {terminal} >= initial {initial}"
+        );
     }
 
     #[test]

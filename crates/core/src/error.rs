@@ -52,10 +52,17 @@ mod tests {
     fn display_messages() {
         assert_eq!(CirclesError::ZeroColors.to_string(), "k must be at least 1");
         assert_eq!(
-            CirclesError::ColorOutOfRange { color: Color(7), k: 3 }.to_string(),
+            CirclesError::ColorOutOfRange {
+                color: Color(7),
+                k: 3
+            }
+            .to_string(),
             "color c7 out of range for k=3"
         );
-        assert_eq!(CirclesError::EmptyInput.to_string(), "input multiset is empty");
+        assert_eq!(
+            CirclesError::EmptyInput.to_string(),
+            "input multiset is empty"
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl GreedyDecomposition {
     ///
     /// Panics when `p` is `0` or greater than [`num_sets`](Self::num_sets).
     pub fn set(&self, p: usize) -> Vec<Color> {
-        assert!(p >= 1 && p <= self.q, "greedy set index {p} out of [1, {}]", self.q);
+        assert!(
+            p >= 1 && p <= self.q,
+            "greedy set index {p} out of [1, {}]",
+            self.q
+        );
         self.counts
             .iter()
             .enumerate()
@@ -161,7 +165,9 @@ impl GreedyDecomposition {
     pub fn is_partition(&self) -> bool {
         for (i, &c) in self.counts.iter().enumerate() {
             let color = Color(i as u16);
-            let member_of = (1..=self.q).filter(|&p| self.set(p).contains(&color)).count();
+            let member_of = (1..=self.q)
+                .filter(|&p| self.set(p).contains(&color))
+                .count();
             if member_of != c {
                 return false;
             }
@@ -263,7 +269,10 @@ mod tests {
         );
         assert_eq!(
             GreedyDecomposition::from_inputs(&colors(&[4]), 3).unwrap_err(),
-            CirclesError::ColorOutOfRange { color: Color(4), k: 3 }
+            CirclesError::ColorOutOfRange {
+                color: Color(4),
+                k: 3
+            }
         );
     }
 

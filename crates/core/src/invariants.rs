@@ -64,11 +64,7 @@ pub fn population_conserves(population: &Population<CirclesState>, k: u16) -> bo
 /// Checks that the multiset of *bras* matches the input color multiset —
 /// bras never move, so this holds in every reachable configuration and pins
 /// the greedy decomposition of Lemma 3.6 to the inputs.
-pub fn bras_match_inputs(
-    population: &Population<CirclesState>,
-    inputs: &[Color],
-    k: u16,
-) -> bool {
+pub fn bras_match_inputs(population: &Population<CirclesState>, inputs: &[Color], k: u16) -> bool {
     let mut expected = vec![0usize; usize::from(k)];
     for c in inputs {
         expected[c.index()] += 1;
@@ -106,17 +102,20 @@ mod tests {
         let config: CountConfig<BraKet> = [bk(0, 1), bk(1, 1)].into_iter().collect();
         let tally = BraKetTally::of(&config, 2);
         assert!(!tally.is_conserved());
-        assert_eq!(
-            tally.violations(),
-            vec![(Color(0), 1, 0), (Color(1), 1, 2)]
-        );
+        assert_eq!(tally.violations(), vec![(Color(0), 1, 0), (Color(1), 1, 2)]);
     }
 
     #[test]
     fn population_check_projects_out_outs() {
         let population: Population<CirclesState> = [
-            CirclesState { braket: bk(0, 1), out: Color(0) },
-            CirclesState { braket: bk(1, 0), out: Color(1) },
+            CirclesState {
+                braket: bk(0, 1),
+                out: Color(0),
+            },
+            CirclesState {
+                braket: bk(1, 0),
+                out: Color(1),
+            },
         ]
         .into_iter()
         .collect();
@@ -127,16 +126,28 @@ mod tests {
     fn bras_match_inputs_detects_drift() {
         let inputs = vec![Color(0), Color(1)];
         let good: Population<CirclesState> = [
-            CirclesState { braket: bk(0, 1), out: Color(0) },
-            CirclesState { braket: bk(1, 0), out: Color(0) },
+            CirclesState {
+                braket: bk(0, 1),
+                out: Color(0),
+            },
+            CirclesState {
+                braket: bk(1, 0),
+                out: Color(0),
+            },
         ]
         .into_iter()
         .collect();
         assert!(bras_match_inputs(&good, &inputs, 2));
 
         let bad: Population<CirclesState> = [
-            CirclesState { braket: bk(0, 1), out: Color(0) },
-            CirclesState { braket: bk(0, 0), out: Color(0) },
+            CirclesState {
+                braket: bk(0, 1),
+                out: Color(0),
+            },
+            CirclesState {
+                braket: bk(0, 0),
+                out: Color(0),
+            },
         ]
         .into_iter()
         .collect();

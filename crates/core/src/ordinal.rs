@@ -67,8 +67,7 @@ impl OmegaPolynomial {
     pub fn from_terms(
         terms: impl IntoIterator<Item = (u64, u64)>,
     ) -> Result<Self, crate::CirclesError> {
-        let mut collected: Vec<(u64, u64)> =
-            terms.into_iter().filter(|&(_, c)| c > 0).collect();
+        let mut collected: Vec<(u64, u64)> = terms.into_iter().filter(|&(_, c)| c > 0).collect();
         collected.sort_unstable_by_key(|&(d, _)| std::cmp::Reverse(d));
         for w in collected.windows(2) {
             if w[0].0 == w[1].0 {
@@ -83,7 +82,9 @@ impl OmegaPolynomial {
         if value == 0 {
             Self::zero()
         } else {
-            OmegaPolynomial { terms: vec![(0, value)] }
+            OmegaPolynomial {
+                terms: vec![(0, value)],
+            }
         }
     }
 
@@ -232,10 +233,7 @@ pub fn paper_potential(config: &CountConfig<BraKet>, k: u16) -> OmegaPolynomial 
 
 /// [`paper_potential`] for full-state configurations (outs ignored; the
 /// potential reads bra-kets only).
-pub fn paper_potential_of_states(
-    config: &CountConfig<CirclesState>,
-    k: u16,
-) -> OmegaPolynomial {
+pub fn paper_potential_of_states(config: &CountConfig<CirclesState>, k: u16) -> OmegaPolynomial {
     OmegaPolynomial::from_ascending_weights(&weight_vector_of_states(config, k))
 }
 
@@ -391,8 +389,9 @@ mod tests {
         // the simplest sound form: equal-size halves with identical weight
         // multisets double every coefficient.
         let half: CountConfig<BraKet> = [bk(0, 1), bk(1, 0)].into_iter().collect();
-        let whole: CountConfig<BraKet> =
-            [bk(0, 1), bk(1, 0), bk(0, 1), bk(1, 0)].into_iter().collect();
+        let whole: CountConfig<BraKet> = [bk(0, 1), bk(1, 0), bk(0, 1), bk(1, 0)]
+            .into_iter()
+            .collect();
         let g_half = paper_potential(&half, 2);
         let g_whole = paper_potential(&whole, 2);
         // Same ascending weight pattern (all ones) at doubled length.
@@ -402,10 +401,19 @@ mod tests {
 
     #[test]
     fn full_state_potential_ignores_outs() {
-        let s1 = CirclesState { braket: bk(0, 1), out: Color(0) };
-        let s2 = CirclesState { braket: bk(0, 1), out: Color(1) };
+        let s1 = CirclesState {
+            braket: bk(0, 1),
+            out: Color(0),
+        };
+        let s2 = CirclesState {
+            braket: bk(0, 1),
+            out: Color(1),
+        };
         let c1: CountConfig<CirclesState> = [s1].into_iter().collect();
         let c2: CountConfig<CirclesState> = [s2].into_iter().collect();
-        assert_eq!(paper_potential_of_states(&c1, 2), paper_potential_of_states(&c2, 2));
+        assert_eq!(
+            paper_potential_of_states(&c1, 2),
+            paper_potential_of_states(&c2, 2)
+        );
     }
 }

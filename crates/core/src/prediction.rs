@@ -259,8 +259,7 @@ mod tests {
 
     #[test]
     fn initial_config_with_two_colors_is_not_stable() {
-        let config: CountConfig<BraKet> =
-            [bk(0, 0), bk(1, 1)].into_iter().collect();
+        let config: CountConfig<BraKet> = [bk(0, 0), bk(1, 1)].into_iter().collect();
         assert!(!is_exchange_stable(&config, 2));
     }
 
@@ -283,8 +282,14 @@ mod tests {
     #[test]
     fn braket_projection_collapses_outs() {
         let config: CountConfig<CirclesState> = [
-            CirclesState { braket: bk(0, 1), out: Color(0) },
-            CirclesState { braket: bk(0, 1), out: Color(1) },
+            CirclesState {
+                braket: bk(0, 1),
+                out: Color(0),
+            },
+            CirclesState {
+                braket: bk(0, 1),
+                out: Color(1),
+            },
         ]
         .into_iter()
         .collect();

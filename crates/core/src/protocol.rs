@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn constructor_validates_k() {
-        assert_eq!(CirclesProtocol::new(0).unwrap_err(), CirclesError::ZeroColors);
+        assert_eq!(
+            CirclesProtocol::new(0).unwrap_err(),
+            CirclesError::ZeroColors
+        );
         assert!(CirclesProtocol::new(1).is_ok());
     }
 
@@ -228,7 +231,10 @@ mod tests {
         assert!(p.validate_color(Color(2)).is_ok());
         assert_eq!(
             p.validate_color(Color(3)),
-            Err(CirclesError::ColorOutOfRange { color: Color(3), k: 3 })
+            Err(CirclesError::ColorOutOfRange {
+                color: Color(3),
+                k: 3
+            })
         );
     }
 

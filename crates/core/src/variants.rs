@@ -279,8 +279,7 @@ mod tests {
 
     #[test]
     fn ids_are_distinct() {
-        let ids: std::collections::HashSet<_> =
-            ExchangeRule::ALL.iter().map(|r| r.id()).collect();
+        let ids: std::collections::HashSet<_> = ExchangeRule::ALL.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), ExchangeRule::ALL.len());
     }
 

@@ -5,12 +5,9 @@ use circles_core::energy::{terminal_energy, total_energy};
 use circles_core::invariants::BraKetTally;
 use circles_core::potential::{descent_chain_bound, weight_vector};
 use circles_core::prediction::{
-    braket_config_of_population, circle_of, is_exchange_stable, predicted_brakets,
-    self_loop_colors,
+    braket_config_of_population, circle_of, is_exchange_stable, predicted_brakets, self_loop_colors,
 };
-use circles_core::{
-    weight, would_exchange, BraKet, CirclesProtocol, Color, GreedyDecomposition,
-};
+use circles_core::{weight, would_exchange, BraKet, CirclesProtocol, Color, GreedyDecomposition};
 use pp_protocol::{CountConfig, Population, Protocol, Simulation, UniformPairScheduler};
 use proptest::prelude::*;
 

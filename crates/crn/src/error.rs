@@ -47,7 +47,10 @@ impl fmt::Display for CrnError {
                 write!(f, "species closure exceeded the limit of {limit} species")
             }
             CrnError::BadIntegrationParameter { name } => {
-                write!(f, "integration parameter `{name}` must be finite and positive")
+                write!(
+                    f,
+                    "integration parameter `{name}` must be finite and positive"
+                )
             }
         }
     }
@@ -64,7 +67,9 @@ mod tests {
         let errors = [
             CrnError::EmptyPopulation,
             CrnError::PopulationTooSmall { n: 1 },
-            CrnError::UnknownSpecies { state: "⟨0|1⟩".into() },
+            CrnError::UnknownSpecies {
+                state: "⟨0|1⟩".into(),
+            },
             CrnError::ClosureTooLarge { limit: 10 },
             CrnError::BadIntegrationParameter { name: "dt" },
         ];

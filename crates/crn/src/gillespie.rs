@@ -234,7 +234,9 @@ impl<'a, S: Clone + Eq + Ord + Hash + Debug> StochasticSimulation<'a, S> {
         ];
         for (species, delta) in deltas {
             let c = &mut self.counts[species as usize];
-            *c = c.checked_add_signed(delta).expect("species count underflow");
+            *c = c
+                .checked_add_signed(delta)
+                .expect("species count underflow");
             for &a in self.network.influences(species) {
                 self.w[a as usize] += delta;
             }
@@ -254,13 +256,20 @@ impl<'a, S: Clone + Eq + Ord + Hash + Debug> StochasticSimulation<'a, S> {
         let mut fired = 0;
         while fired < max_reactions {
             if self.step(rng).is_none() {
-                return SsaReport { silent: true, reactions: self.reactions, time: self.time };
+                return SsaReport {
+                    silent: true,
+                    reactions: self.reactions,
+                    time: self.time,
+                };
             }
             fired += 1;
         }
-        let silent = (0..self.network.species_count())
-            .all(|a| self.initiator_weight(a) == 0);
-        SsaReport { silent, reactions: self.reactions, time: self.time }
+        let silent = (0..self.network.species_count()).all(|a| self.initiator_weight(a) == 0);
+        SsaReport {
+            silent,
+            reactions: self.reactions,
+            time: self.time,
+        }
     }
 
     /// A density observable: `Σ_s f(state_s) · N_s / n`.
@@ -309,20 +318,24 @@ mod tests {
     fn circles_setup(
         k: u16,
         inputs: &[u16],
-    ) -> (CirclesProtocol, ReactionNetwork<CirclesState>, CountConfig<CirclesState>) {
+    ) -> (
+        CirclesProtocol,
+        ReactionNetwork<CirclesState>,
+        CountConfig<CirclesState>,
+    ) {
         let protocol = CirclesProtocol::new(k).unwrap();
         let support: Vec<_> = (0..k).map(|i| protocol.input(&Color(i))).collect();
         let network = ReactionNetwork::from_protocol(&protocol, &support, 100_000).unwrap();
-        let initial: CountConfig<_> =
-            inputs.iter().map(|&i| protocol.input(&Color(i))).collect();
+        let initial: CountConfig<_> = inputs.iter().map(|&i| protocol.input(&Color(i))).collect();
         (protocol, network, initial)
     }
 
     #[test]
     fn epidemic_fires_exactly_n_minus_one_reactions() {
         let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
-        let initial: CountConfig<bool> =
-            std::iter::once(true).chain(std::iter::repeat_n(false, 63)).collect();
+        let initial: CountConfig<bool> = std::iter::once(true)
+            .chain(std::iter::repeat_n(false, 63))
+            .collect();
         let mut rng = StdRng::seed_from_u64(11);
         let mut sim = StochasticSimulation::new(&network, &initial).unwrap();
         let report = sim.run_until_silent(&mut rng, 10_000);
@@ -336,11 +349,13 @@ mod tests {
         // Informed count i → productive rate 2·i·(n-i)/(n-1), so
         // E[T] = Σ_{i=1}^{n-1} (n-1) / (2 i (n-i)).
         let n = 32u64;
-        let expected: f64 =
-            (1..n).map(|i| (n - 1) as f64 / (2.0 * i as f64 * (n - i) as f64)).sum();
+        let expected: f64 = (1..n)
+            .map(|i| (n - 1) as f64 / (2.0 * i as f64 * (n - i) as f64))
+            .sum();
         let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
-        let initial: CountConfig<bool> =
-            std::iter::once(true).chain(std::iter::repeat_n(false, n as usize - 1)).collect();
+        let initial: CountConfig<bool> = std::iter::once(true)
+            .chain(std::iter::repeat_n(false, n as usize - 1))
+            .collect();
         let trials = 600;
         let mut rng = StdRng::seed_from_u64(5);
         let mut acc = 0.0;
@@ -350,7 +365,10 @@ mod tests {
         }
         let mean = acc / trials as f64;
         let rel = (mean - expected).abs() / expected;
-        assert!(rel < 0.08, "mean {mean} vs expected {expected} (rel err {rel})");
+        assert!(
+            rel < 0.08,
+            "mean {mean} vs expected {expected} (rel err {rel})"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct SpeciesMap<S> {
 impl<S: Clone + Eq + Hash> SpeciesMap<S> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        SpeciesMap { by_index: Vec::new(), by_state: HashMap::new() }
+        SpeciesMap {
+            by_index: Vec::new(),
+            by_state: HashMap::new(),
+        }
     }
 
     /// Number of species.
@@ -74,7 +77,10 @@ impl<S: Clone + Eq + Hash> SpeciesMap<S> {
 
     /// Iterates over `(id, state)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (SpeciesId, &S)> {
-        self.by_index.iter().enumerate().map(|(i, s)| (i as SpeciesId, s))
+        self.by_index
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as SpeciesId, s))
     }
 }
 
@@ -222,7 +228,10 @@ impl<S: Clone + Eq + Hash + Debug> ReactionNetwork<S> {
                     responder: b_idx as SpeciesId,
                     products: (pa, pb),
                 });
-                partner_list.push(Partner { responder: b_idx as SpeciesId, products: (pa, pb) });
+                partner_list.push(Partner {
+                    responder: b_idx as SpeciesId,
+                    products: (pa, pb),
+                });
             }
         }
 
@@ -236,7 +245,12 @@ impl<S: Clone + Eq + Hash + Debug> ReactionNetwork<S> {
             }
         }
 
-        Ok(ReactionNetwork { species, reactions, partners, influences })
+        Ok(ReactionNetwork {
+            species,
+            reactions,
+            partners,
+            influences,
+        })
     }
 
     /// The species map.
@@ -286,9 +300,12 @@ impl<S: Clone + Eq + Hash + Debug> ReactionNetwork<S> {
         }
         let mut counts = vec![0u64; self.species.len()];
         for (state, c) in config.iter() {
-            let id = self.species.id(state).ok_or_else(|| CrnError::UnknownSpecies {
-                state: format!("{state:?}"),
-            })?;
+            let id = self
+                .species
+                .id(state)
+                .ok_or_else(|| CrnError::UnknownSpecies {
+                    state: format!("{state:?}"),
+                })?;
             counts[id as usize] += c as u64;
         }
         Ok(counts)
@@ -404,8 +421,9 @@ mod tests {
         let protocol = CirclesProtocol::new(3).unwrap();
         let support: Vec<_> = (0..3).map(|i| protocol.input(&Color(i))).collect();
         let network = ReactionNetwork::from_protocol(&protocol, &support, 100).unwrap();
-        let from_partners: usize =
-            (0..network.species_count()).map(|a| network.partners(a as SpeciesId).len()).sum();
+        let from_partners: usize = (0..network.species_count())
+            .map(|a| network.partners(a as SpeciesId).len())
+            .sum();
         assert_eq!(from_partners, network.reaction_count());
     }
 
@@ -429,8 +447,9 @@ mod tests {
         let protocol = CirclesProtocol::new(3).unwrap();
         let support: Vec<_> = (0..3).map(|i| protocol.input(&Color(i))).collect();
         let network = ReactionNetwork::from_protocol(&protocol, &support, 100).unwrap();
-        let config: CountConfig<_> =
-            [support[0], support[0], support[1], support[2]].into_iter().collect();
+        let config: CountConfig<_> = [support[0], support[0], support[1], support[2]]
+            .into_iter()
+            .collect();
         let counts = network.counts_from_config(&config).unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 4);
         assert_eq!(network.config_from_counts(&counts), config);

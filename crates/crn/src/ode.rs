@@ -105,7 +105,13 @@ impl<'a, S: Clone + Eq + Hash + Debug> MeanField<'a, S> {
     /// One classical RK4 step of size `dt`, in place.
     fn rk4_step(&self, x: &mut [f64], dt: f64, scratch: &mut Rk4Scratch) {
         let m = x.len();
-        let Rk4Scratch { k1, k2, k3, k4, tmp } = scratch;
+        let Rk4Scratch {
+            k1,
+            k2,
+            k3,
+            k4,
+            tmp,
+        } = scratch;
         self.derivative(x, k1);
         for i in 0..m {
             tmp[i] = x[i] + 0.5 * dt * k1[i];
@@ -335,7 +341,10 @@ mod tests {
         assert!((braket_mass(1, 0) - (1.0 - p)).abs() < 1e-6);
 
         let out_majority = field.observe(&x, |s: &CirclesState| f64::from(s.out == Color(0)));
-        assert!(out_majority > 1.0 - 1e-6, "out mass on majority: {out_majority}");
+        assert!(
+            out_majority > 1.0 - 1e-6,
+            "out mass on majority: {out_majority}"
+        );
     }
 
     #[test]
@@ -354,11 +363,15 @@ mod tests {
         let field = MeanField::new(&network);
         let x0 = vec![0.5, 0.5];
         assert_eq!(
-            field.integrate(x0.clone(), 1.0, 0.0, |_, _| ()).unwrap_err(),
+            field
+                .integrate(x0.clone(), 1.0, 0.0, |_, _| ())
+                .unwrap_err(),
             CrnError::BadIntegrationParameter { name: "dt" }
         );
         assert_eq!(
-            field.integrate(x0.clone(), f64::NAN, 0.1, |_, _| ()).unwrap_err(),
+            field
+                .integrate(x0.clone(), f64::NAN, 0.1, |_, _| ())
+                .unwrap_err(),
             CrnError::BadIntegrationParameter { name: "t_end" }
         );
         assert_eq!(

@@ -101,7 +101,10 @@ where
         rows.push(current.clone());
         next_grid += 1;
     }
-    Ok(DensityTrajectory { times: times.to_vec(), rows })
+    Ok(DensityTrajectory {
+        times: times.to_vec(),
+        rows,
+    })
 }
 
 /// Integrates the mean-field ODE and samples it at the given `times`.
@@ -135,7 +138,10 @@ where
     while rows.len() < times.len() {
         rows.push(last.clone().expect("integrate observed at least t = 0"));
     }
-    Ok(DensityTrajectory { times: times.to_vec(), rows })
+    Ok(DensityTrajectory {
+        times: times.to_vec(),
+        rows,
+    })
 }
 
 fn validate_grid(times: &[f64]) -> Result<(), CrnError> {
@@ -179,16 +185,26 @@ mod tests {
     fn ssa_trajectory_is_monotone_for_epidemic() {
         let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
         let informed = network.species().id(&true).unwrap() as usize;
-        let initial: CountConfig<bool> =
-            std::iter::once(true).chain(std::iter::repeat_n(false, 127)).collect();
+        let initial: CountConfig<bool> = std::iter::once(true)
+            .chain(std::iter::repeat_n(false, 127))
+            .collect();
         let times: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
         let mut rng = StdRng::seed_from_u64(2);
         let traj = ssa_density_trajectory(&network, &initial, &mut rng, &times, 100_000).unwrap();
         assert_eq!(traj.rows.len(), times.len());
         let series = traj.series(informed);
-        assert!(series.windows(2).all(|w| w[0] <= w[1] + 1e-12), "not monotone: {series:?}");
-        assert!((series[0] - 1.0 / 128.0).abs() < 1e-9, "t=0 must be the initial density");
-        assert!(*series.last().unwrap() > 0.99, "epidemic must finish by t = 10");
+        assert!(
+            series.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "not monotone: {series:?}"
+        );
+        assert!(
+            (series[0] - 1.0 / 128.0).abs() < 1e-9,
+            "t=0 must be the initial density"
+        );
+        assert!(
+            *series.last().unwrap() > 0.99,
+            "epidemic must finish by t = 10"
+        );
     }
 
     #[test]
@@ -239,8 +255,7 @@ mod tests {
         initial.insert(support[1], n - heavy);
         let times: Vec<f64> = (0..=10).map(|i| i as f64 * 0.4).collect();
         let mut rng = StdRng::seed_from_u64(9);
-        let ssa =
-            ssa_density_trajectory(&network, &initial, &mut rng, &times, 10_000_000).unwrap();
+        let ssa = ssa_density_trajectory(&network, &initial, &mut rng, &times, 10_000_000).unwrap();
         let x0 = network.densities(&network.counts_from_config(&initial).unwrap());
         let ode = ode_density_trajectory(&network, x0, &times, 0.01).unwrap();
         let d = ssa.sup_distance(&ode);
@@ -252,11 +267,10 @@ mod tests {
         let network = ReactionNetwork::from_protocol(&Epidemic, &[true, false], 10).unwrap();
         let initial: CountConfig<bool> = [true, false].into_iter().collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let err = ssa_density_trajectory(&network, &initial, &mut rng, &[1.0, 0.5], 10)
-            .unwrap_err();
+        let err =
+            ssa_density_trajectory(&network, &initial, &mut rng, &[1.0, 0.5], 10).unwrap_err();
         assert_eq!(err, CrnError::BadIntegrationParameter { name: "times" });
-        let err2 =
-            ode_density_trajectory(&network, vec![0.5, 0.5], &[f64::NAN], 0.1).unwrap_err();
+        let err2 = ode_density_trajectory(&network, vec![0.5, 0.5], &[f64::NAN], 0.1).unwrap_err();
         assert_eq!(err2, CrnError::BadIntegrationParameter { name: "times" });
     }
 }

@@ -15,8 +15,8 @@
 //! and whether conservation was violated along the way.
 
 use circles_core::invariants::population_conserves;
-use pp_protocol::Protocol;
 use circles_core::{CirclesProtocol, Color};
+use pp_protocol::Protocol;
 use pp_protocol::{FrameworkError, Population, Scheduler, Simulation};
 
 /// One scheduled fault: at interaction `at_step`, agent `agent` forgets
@@ -166,24 +166,26 @@ mod tests {
         // survives elsewhere).
         let inputs = colors(&[0, 0, 0, 1, 1]);
         let mut plan = FaultPlan::new();
-        plan.push(Fault { at_step: 1, agent: 0 });
-        let report = run_with_faults(
-            &inputs,
-            2,
-            UniformPairScheduler::new(),
-            2,
-            &plan,
-            1_000_000,
-        )
-        .unwrap();
+        plan.push(Fault {
+            at_step: 1,
+            agent: 0,
+        });
+        let report =
+            run_with_faults(&inputs, 2, UniformPairScheduler::new(), 2, &plan, 1_000_000).unwrap();
         assert!(report.stabilized, "{report:?}");
     }
 
     #[test]
     fn plan_sorts_faults() {
         let mut plan = FaultPlan::new();
-        plan.push(Fault { at_step: 50, agent: 1 });
-        plan.push(Fault { at_step: 10, agent: 0 });
+        plan.push(Fault {
+            at_step: 50,
+            agent: 1,
+        });
+        plan.push(Fault {
+            at_step: 10,
+            agent: 0,
+        });
         assert_eq!(plan.faults()[0].at_step, 10);
     }
 }

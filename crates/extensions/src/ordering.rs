@@ -212,7 +212,8 @@ mod tests {
         let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
         let population = Population::from_inputs(&protocol, &colors);
         let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
-        sim.run_until_silent(10_000_000, 16).expect("ordering did not stabilize");
+        sim.run_until_silent(10_000_000, 16)
+            .expect("ordering did not stabilize");
         sim.into_population()
     }
 
@@ -272,8 +273,16 @@ mod tests {
     fn validity_rejects_bad_labelings() {
         // Two leaders of the same color.
         let bad: Population<OrderingState> = [
-            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
-            OrderingState { color: Color(1), role: Role::Leader, label: 1 },
+            OrderingState {
+                color: Color(1),
+                role: Role::Leader,
+                label: 0,
+            },
+            OrderingState {
+                color: Color(1),
+                role: Role::Leader,
+                label: 1,
+            },
         ]
         .into_iter()
         .collect();
@@ -281,8 +290,16 @@ mod tests {
 
         // Colliding leader labels across colors.
         let bad2: Population<OrderingState> = [
-            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
-            OrderingState { color: Color(2), role: Role::Leader, label: 0 },
+            OrderingState {
+                color: Color(1),
+                role: Role::Leader,
+                label: 0,
+            },
+            OrderingState {
+                color: Color(2),
+                role: Role::Leader,
+                label: 0,
+            },
         ]
         .into_iter()
         .collect();
@@ -290,17 +307,27 @@ mod tests {
 
         // Stale follower.
         let bad3: Population<OrderingState> = [
-            OrderingState { color: Color(1), role: Role::Leader, label: 0 },
-            OrderingState { color: Color(1), role: Role::Follower, label: 1 },
+            OrderingState {
+                color: Color(1),
+                role: Role::Leader,
+                label: 0,
+            },
+            OrderingState {
+                color: Color(1),
+                role: Role::Follower,
+                label: 1,
+            },
         ]
         .into_iter()
         .collect();
         assert!(!OrderingProtocol::labeling_is_valid(&bad3));
 
         // A color with no leader at all.
-        let bad4: Population<OrderingState> = [
-            OrderingState { color: Color(1), role: Role::Follower, label: 0 },
-        ]
+        let bad4: Population<OrderingState> = [OrderingState {
+            color: Color(1),
+            role: Role::Follower,
+            label: 0,
+        }]
         .into_iter()
         .collect();
         assert!(!OrderingProtocol::labeling_is_valid(&bad4));

@@ -89,7 +89,11 @@ impl TieSemantics {
         outputs: &[TieAwareOutput],
         analysis: &TieAnalysis,
     ) -> bool {
-        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs length mismatch");
+        assert_eq!(
+            inputs.len(),
+            outputs.len(),
+            "inputs/outputs length mismatch"
+        );
         if !analysis.is_tie() {
             let mu = analysis.winners[0];
             return outputs.iter().all(|o| *o == TieAwareOutput::Winner(mu));
@@ -100,13 +104,11 @@ impl TieSemantics {
                 let mut named = None;
                 for o in outputs {
                     match o {
-                        TieAwareOutput::Winner(c) if analysis.winners.contains(c) => {
-                            match named {
-                                None => named = Some(*c),
-                                Some(w) if w != *c => return false,
-                                _ => {}
-                            }
-                        }
+                        TieAwareOutput::Winner(c) if analysis.winners.contains(c) => match named {
+                            None => named = Some(*c),
+                            Some(w) if w != *c => return false,
+                            _ => {}
+                        },
                         _ => return false,
                     }
                 }
@@ -173,7 +175,11 @@ mod tests {
             TieAwareOutput::Winner(Color(1)),
             TieAwareOutput::Winner(Color(0)),
         ];
-        for semantics in [TieSemantics::Report, TieSemantics::Break, TieSemantics::Share] {
+        for semantics in [
+            TieSemantics::Report,
+            TieSemantics::Break,
+            TieSemantics::Share,
+        ] {
             assert!(semantics.is_satisfied_by(&inputs, &good, &a));
             assert!(!semantics.is_satisfied_by(&inputs, &bad, &a));
         }

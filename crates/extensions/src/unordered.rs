@@ -256,10 +256,7 @@ impl Protocol for UnorderedCircles {
         let mut v = *responder;
 
         // Rule 1 — leader merge (asymmetric): same color, both leaders.
-        if u.color == v.color
-            && u.role() == Some(Role::Leader)
-            && v.role() == Some(Role::Leader)
-        {
+        if u.color == v.color && u.role() == Some(Role::Leader) && v.role() == Some(Role::Leader) {
             match v.phase {
                 UnorderedPhase::Active(_) => {
                     v.phase = UnorderedPhase::Active(Role::Follower);
@@ -360,8 +357,14 @@ impl Protocol for UnorderedCircles {
         {
             let (cu, cv) = CirclesProtocol::transition_states(
                 self.k,
-                circles_core::CirclesState { braket: u.braket, out: Color(u.out) },
-                circles_core::CirclesState { braket: v.braket, out: Color(v.out) },
+                circles_core::CirclesState {
+                    braket: u.braket,
+                    out: Color(u.out),
+                },
+                circles_core::CirclesState {
+                    braket: v.braket,
+                    out: Color(v.out),
+                },
             );
             u.braket = cu.braket;
             u.out = cu.out.0;

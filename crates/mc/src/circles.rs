@@ -169,8 +169,7 @@ pub fn verify_circles_instance(
     let exchange_dag = changes_always_terminate(&graph);
     let stable = graph.silent_configs();
     let predicted = predicted_brakets_of(&greedy);
-    let stable_matches_prediction =
-        stable.len() == 1 && graph.config(stable[0]) == predicted;
+    let stable_matches_prediction = stable.len() == 1 && graph.config(stable[0]) == predicted;
 
     let loops = self_loop_colors(&predicted);
     let winner = greedy.winner();
@@ -263,12 +262,9 @@ mod tests {
 
     #[test]
     fn verifies_three_color_instance() {
-        let report = verify_circles_instance(
-            &colors(&[0, 1, 1, 2, 2, 2]),
-            3,
-            ExploreLimits::default(),
-        )
-        .unwrap();
+        let report =
+            verify_circles_instance(&colors(&[0, 1, 1, 2, 2, 2]), 3, ExploreLimits::default())
+                .unwrap();
         assert!(report.verified, "{report:?}");
         assert_eq!(report.winner, Some(Color(2)));
     }
@@ -283,8 +279,7 @@ mod tests {
 
     #[test]
     fn full_verification_small_instance() {
-        let report =
-            verify_circles_full(&colors(&[0, 0, 1]), 2, ExploreLimits::default()).unwrap();
+        let report = verify_circles_full(&colors(&[0, 0, 1]), 2, ExploreLimits::default()).unwrap();
         assert!(report.eventually_silent);
         assert!(report.stably_computes);
         assert_eq!(report.bottom_scc_count, 1);
@@ -292,12 +287,8 @@ mod tests {
 
     #[test]
     fn full_verification_three_colors() {
-        let report = verify_circles_full(
-            &colors(&[2, 2, 0, 1]),
-            3,
-            ExploreLimits::default(),
-        )
-        .unwrap();
+        let report =
+            verify_circles_full(&colors(&[2, 2, 0, 1]), 3, ExploreLimits::default()).unwrap();
         assert!(report.eventually_silent);
         assert!(report.stably_computes);
     }

@@ -246,7 +246,12 @@ fn canonicalize<S: Clone + Eq + Ord + std::hash::Hash>(
 ) -> Canon {
     let mut items: Vec<(u32, u32)> = config
         .iter()
-        .map(|(s, c)| (interner.intern(s), u32::try_from(c).expect("count fits u32")))
+        .map(|(s, c)| {
+            (
+                interner.intern(s),
+                u32::try_from(c).expect("count fits u32"),
+            )
+        })
         .collect();
     items.sort_unstable();
     items.into_boxed_slice()
@@ -255,15 +260,12 @@ fn canonicalize<S: Clone + Eq + Ord + std::hash::Hash>(
 /// Applies one interaction to a canonical multiset: removes one agent in
 /// `sa` and one in `sb`, adds one in `ta` and one in `tb`.
 fn apply_pair(current: &Canon, sa: u32, sb: u32, ta: u32, tb: u32) -> Canon {
-    let mut counts: Vec<(u32, i64)> = current
-        .iter()
-        .map(|&(s, c)| (s, i64::from(c)))
-        .collect();
-    let bump = |state: u32, delta: i64, counts: &mut Vec<(u32, i64)>| {
-        match counts.binary_search_by_key(&state, |&(s, _)| s) {
-            Ok(pos) => counts[pos].1 += delta,
-            Err(pos) => counts.insert(pos, (state, delta)),
-        }
+    let mut counts: Vec<(u32, i64)> = current.iter().map(|&(s, c)| (s, i64::from(c))).collect();
+    let bump = |state: u32, delta: i64, counts: &mut Vec<(u32, i64)>| match counts
+        .binary_search_by_key(&state, |&(s, _)| s)
+    {
+        Ok(pos) => counts[pos].1 += delta,
+        Err(pos) => counts.insert(pos, (state, delta)),
     };
     bump(sa, -1, &mut counts);
     bump(sb, -1, &mut counts);
@@ -364,7 +366,10 @@ mod tests {
     fn limit_is_enforced() {
         let initial: CountConfig<u8> = (0u8..6).collect();
         let result = ReachabilityGraph::explore(&Max, &initial, ExploreLimits { max_configs: 3 });
-        assert_eq!(result.unwrap_err(), McError::ConfigLimitExceeded { limit: 3 });
+        assert_eq!(
+            result.unwrap_err(),
+            McError::ConfigLimitExceeded { limit: 3 }
+        );
     }
 
     #[test]

@@ -61,16 +61,15 @@ impl UniformChain {
 
         let mut interner: StateInterner<P::State> = StateInterner::new();
         type Canon = Box<[(u32, u32)]>;
-        let canon = |config: &CountConfig<P::State>,
-                     interner: &mut StateInterner<P::State>|
-         -> Canon {
-            let mut v: Vec<(u32, u32)> = config
-                .iter()
-                .map(|(s, c)| (interner.intern(s), c as u32))
-                .collect();
-            v.sort_unstable();
-            v.into_boxed_slice()
-        };
+        let canon =
+            |config: &CountConfig<P::State>, interner: &mut StateInterner<P::State>| -> Canon {
+                let mut v: Vec<(u32, u32)> = config
+                    .iter()
+                    .map(|(s, c)| (interner.intern(s), c as u32))
+                    .collect();
+                v.sort_unstable();
+                v.into_boxed_slice()
+            };
 
         let mut ids: HashMap<Canon, u32> = HashMap::new();
         let mut configs: Vec<CountConfig<P::State>> = Vec::new();
@@ -93,10 +92,8 @@ impl UniformChain {
             let mut stay = 0.0f64;
             let mut is_silent = true;
 
-            let entries: Vec<(P::State, usize)> = current
-                .iter()
-                .map(|(s, c)| (s.clone(), c))
-                .collect();
+            let entries: Vec<(P::State, usize)> =
+                current.iter().map(|(s, c)| (s.clone(), c)).collect();
             for (s1, c1) in &entries {
                 for (s2, c2) in &entries {
                     let pairs = if s1 == s2 {
@@ -217,9 +214,7 @@ impl UniformChain {
             }
         }
         let mut reach = vec![false; m];
-        let mut stack: Vec<u32> = (0..m as u32)
-            .filter(|&c| self.silent[c as usize])
-            .collect();
+        let mut stack: Vec<u32> = (0..m as u32).filter(|&c| self.silent[c as usize]).collect();
         for &c in &stack {
             reach[c as usize] = true;
         }

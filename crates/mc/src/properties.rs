@@ -42,10 +42,7 @@ where
     for &b in &bottoms {
         for &cid in &scc.members[b as usize] {
             let config = graph.config(cid);
-            let outputs: Vec<P::Output> = config
-                .iter()
-                .map(|(s, _)| protocol.output(s))
-                .collect();
+            let outputs: Vec<P::Output> = config.iter().map(|(s, _)| protocol.output(s)).collect();
             if outputs.iter().any(|o| o != expected) {
                 return StableComputationReport {
                     holds: false,

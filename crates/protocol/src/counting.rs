@@ -61,8 +61,7 @@ pub struct CountingSimulation<'p, P: Protocol> {
 impl<'p, P: Protocol> CountingSimulation<'p, P> {
     /// Creates an engine from input symbols.
     pub fn from_inputs(protocol: &'p P, inputs: &[P::Input], seed: u64) -> Self {
-        let config: CountConfig<P::State> =
-            inputs.iter().map(|i| protocol.input(i)).collect();
+        let config: CountConfig<P::State> = inputs.iter().map(|i| protocol.input(i)).collect();
         Self::from_config(protocol, config, seed)
     }
 

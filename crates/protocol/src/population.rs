@@ -121,10 +121,16 @@ impl<S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Population<S> {
             return Err(FrameworkError::ReflexivePair { index: initiator });
         }
         if initiator >= n {
-            return Err(FrameworkError::AgentOutOfBounds { index: initiator, n });
+            return Err(FrameworkError::AgentOutOfBounds {
+                index: initiator,
+                n,
+            });
         }
         if responder >= n {
-            return Err(FrameworkError::AgentOutOfBounds { index: responder, n });
+            return Err(FrameworkError::AgentOutOfBounds {
+                index: responder,
+                n,
+            });
         }
         let (a, b) = protocol.transition(&self.states[initiator], &self.states[responder]);
         let changed = a != self.states[initiator] || b != self.states[responder];

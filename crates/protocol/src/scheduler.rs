@@ -119,7 +119,9 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         let draws = 100_000;
         for _ in 0..draws {
-            *counts.entry(s.next_pair(&population, &mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(s.next_pair(&population, &mut rng))
+                .or_insert(0usize) += 1;
         }
         let expected = draws as f64 / 20.0;
         for (_, c) in counts {

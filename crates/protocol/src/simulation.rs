@@ -93,7 +93,12 @@ where
 {
     /// Creates a simulation over `population`, driven by `scheduler` and the
     /// RNG seeded with `seed`.
-    pub fn new(protocol: &'p P, population: Population<P::State>, scheduler: Sch, seed: u64) -> Self {
+    pub fn new(
+        protocol: &'p P,
+        population: Population<P::State>,
+        scheduler: Sch,
+        seed: u64,
+    ) -> Self {
         let output_counts = population.output_counts(protocol);
         let initially_unanimous = output_counts.len() <= 1;
         Simulation {
@@ -178,7 +183,11 @@ where
         })
     }
 
-    fn update_output_counts(&mut self, before: &(P::State, P::State), after: &(P::State, P::State)) {
+    fn update_output_counts(
+        &mut self,
+        before: &(P::State, P::State),
+        after: &(P::State, P::State),
+    ) {
         for (b, a) in [(&before.0, &after.0), (&before.1, &after.1)] {
             let ob = self.protocol.output(b);
             let oa = self.protocol.output(a);

@@ -34,7 +34,10 @@ pub struct InteractionTrace {
 impl InteractionTrace {
     /// Creates an empty trace over a population of `n` agents.
     pub fn new(n: usize) -> Self {
-        InteractionTrace { n, pairs: Vec::new() }
+        InteractionTrace {
+            n,
+            pairs: Vec::new(),
+        }
     }
 
     /// Creates a trace from recorded pairs.

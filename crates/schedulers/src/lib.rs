@@ -87,12 +87,7 @@ mod tests {
     #[test]
     fn record_schedule_produces_requested_length() {
         let population: Population<u8> = (0u8..3).collect();
-        let trace = record_schedule(
-            &mut UniformPairScheduler::new(),
-            &population,
-            100,
-            3,
-        );
+        let trace = record_schedule(&mut UniformPairScheduler::new(), &population, 100, 3);
         assert_eq!(trace.len(), 100);
         assert_eq!(trace.n(), 3);
     }

@@ -80,7 +80,10 @@ mod tests {
         for _ in 0..20 {
             let (i, j) = s.next_pair(&population, &mut rng);
             assert_ne!(i, j);
-            assert!(seen.insert((i, j)), "pair ({i},{j}) repeated within a round");
+            assert!(
+                seen.insert((i, j)),
+                "pair ({i},{j}) repeated within a round"
+            );
         }
         assert_eq!(seen.len(), 20);
     }
@@ -90,8 +93,12 @@ mod tests {
         let population: Population<u8> = (0u8..4).collect();
         let mut s = RoundRobinScheduler::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let round1: Vec<_> = (0..12).map(|_| s.next_pair(&population, &mut rng)).collect();
-        let round2: Vec<_> = (0..12).map(|_| s.next_pair(&population, &mut rng)).collect();
+        let round1: Vec<_> = (0..12)
+            .map(|_| s.next_pair(&population, &mut rng))
+            .collect();
+        let round2: Vec<_> = (0..12)
+            .map(|_| s.next_pair(&population, &mut rng))
+            .collect();
         assert_eq!(round1, round2);
     }
 

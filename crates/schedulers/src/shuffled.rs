@@ -85,20 +85,20 @@ mod tests {
         let population: Population<u8> = (0u8..5).collect();
         let mut s = ShuffledRoundsScheduler::new();
         let mut rng = StdRng::seed_from_u64(6);
-        let r1: Vec<_> = (0..20).map(|_| s.next_pair(&population, &mut rng)).collect();
-        let r2: Vec<_> = (0..20).map(|_| s.next_pair(&population, &mut rng)).collect();
+        let r1: Vec<_> = (0..20)
+            .map(|_| s.next_pair(&population, &mut rng))
+            .collect();
+        let r2: Vec<_> = (0..20)
+            .map(|_| s.next_pair(&population, &mut rng))
+            .collect();
         assert_ne!(r1, r2, "two shuffled rounds came out identical");
     }
 
     #[test]
     fn gap_bound_holds_on_recorded_prefix() {
         let population: Population<u8> = (0u8..4).collect();
-        let trace = crate::record_schedule(
-            &mut ShuffledRoundsScheduler::new(),
-            &population,
-            12 * 10,
-            8,
-        );
+        let trace =
+            crate::record_schedule(&mut ShuffledRoundsScheduler::new(), &population, 12 * 10, 8);
         let bound = 2 * 12; // 2·n(n-1)
         assert!(trace.max_pair_gap().unwrap() <= bound);
     }

@@ -78,7 +78,10 @@ pub fn audit_schedule(graph: &InteractionGraph, schedule: &[(usize, usize)]) -> 
     let mut max_gap = 0usize;
     let mut off_graph = 0usize;
     for (step, &(i, j)) in schedule.iter().enumerate() {
-        assert!(i < graph.n() && j < graph.n(), "agent index out of range at step {step}");
+        assert!(
+            i < graph.n() && j < graph.n(),
+            "agent index out of range at step {step}"
+        );
         if !graph.allows(i, j) {
             off_graph += 1;
             continue;
@@ -107,7 +110,12 @@ mod tests {
     use pp_protocol::{Population, Scheduler};
     use rand::{rngs::StdRng, SeedableRng};
 
-    fn record<S: Scheduler<u8>>(s: &mut S, n: usize, steps: usize, seed: u64) -> Vec<(usize, usize)> {
+    fn record<S: Scheduler<u8>>(
+        s: &mut S,
+        n: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Vec<(usize, usize)> {
         let p: Population<u8> = (0..n).map(|i| i as u8).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         (0..steps).map(|_| s.next_pair(&p, &mut rng)).collect()
@@ -123,7 +131,11 @@ mod tests {
         assert!(report.is_covering());
         assert_eq!(report.off_graph_pairs, 0);
         // A directed edge recurs within two rounds at worst.
-        assert!(report.max_gap <= 2 * directed, "gap {} too large", report.max_gap);
+        assert!(
+            report.max_gap <= 2 * directed,
+            "gap {} too large",
+            report.max_gap
+        );
     }
 
     #[test]
@@ -184,7 +196,10 @@ mod tests {
         let g = InteractionGraph::from_edges(4, [(0, 1), (2, 3)], "islands").unwrap();
         let population: Population<u8> = [5u8, 5, 9, 9].into_iter().collect();
         assert!(is_graph_silent(&g, &population, &MaxProtocol));
-        assert!(!population.is_silent(&MaxProtocol), "plain silence must disagree");
+        assert!(
+            !population.is_silent(&MaxProtocol),
+            "plain silence must disagree"
+        );
         // Make one edge productive: no longer graph-silent.
         let population2: Population<u8> = [5u8, 7, 9, 9].into_iter().collect();
         assert!(!is_graph_silent(&g, &population2, &MaxProtocol));

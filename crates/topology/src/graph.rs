@@ -64,7 +64,10 @@ impl InteractionGraph {
         let mut neighbors = vec![Vec::new(); n];
         for (u, v) in edges {
             if u >= n || v >= n {
-                return Err(TopologyError::EndpointOutOfRange { endpoint: u.max(v), n });
+                return Err(TopologyError::EndpointOutOfRange {
+                    endpoint: u.max(v),
+                    n,
+                });
             }
             if u == v {
                 return Err(TopologyError::SelfLoop { node: u });
@@ -83,7 +86,12 @@ impl InteractionGraph {
         for list in &mut neighbors {
             list.sort_unstable();
         }
-        Ok(InteractionGraph { n, edges: normalized, neighbors, name: name.into() })
+        Ok(InteractionGraph {
+            n,
+            edges: normalized,
+            neighbors,
+            name: name.into(),
+        })
     }
 
     /// The complete graph `K_n` — the paper's own model.
@@ -190,7 +198,9 @@ impl InteractionGraph {
                 return Ok(graph);
             }
         }
-        Err(TopologyError::GenerationFailed { what: "random regular graph" })
+        Err(TopologyError::GenerationFailed {
+            what: "random regular graph",
+        })
     }
 
     /// A connected Erdős–Rényi graph `G(n, p)`, retrying until connected.
@@ -224,7 +234,9 @@ impl InteractionGraph {
                 return Ok(graph);
             }
         }
-        Err(TopologyError::GenerationFailed { what: "Erdős–Rényi graph" })
+        Err(TopologyError::GenerationFailed {
+            what: "Erdős–Rényi graph",
+        })
     }
 
     /// Number of agents.
@@ -315,7 +327,13 @@ impl InteractionGraph {
 
 impl fmt::Display for InteractionGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} nodes, {} edges)", self.name, self.n, self.edge_count())
+        write!(
+            f,
+            "{} ({} nodes, {} edges)",
+            self.name,
+            self.n,
+            self.edge_count()
+        )
     }
 }
 

@@ -98,7 +98,12 @@ impl RoundRobinEdgeScheduler {
             .iter()
             .flat_map(|&(u, v)| [(u, v), (v, u)])
             .collect();
-        RoundRobinEdgeScheduler { graph, name, order, cursor: 0 }
+        RoundRobinEdgeScheduler {
+            graph,
+            name,
+            order,
+            cursor: 0,
+        }
     }
 
     /// The underlying graph.

@@ -50,12 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (6, 5),
         ],
     )?;
-    let mut sim = Simulation::new(
-        &cancellation,
-        population,
-        TraceScheduler::new(ambush),
-        0,
-    );
+    let mut sim = Simulation::new(&cancellation, population, TraceScheduler::new(ambush), 0);
     for _ in 0..9 {
         sim.step()?;
     }
@@ -87,13 +82,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             2,
         );
         let report = sim.run_until_silent(10_000_000, 42)?;
-        run("lazy adversary", report.consensus, report.steps_to_consensus);
+        run(
+            "lazy adversary",
+            report.consensus,
+            report.steps_to_consensus,
+        );
     }
     {
         let population = Population::from_inputs(&circles, &votes);
         let mut sim = Simulation::new(&circles, population, ClusteredScheduler::new(32), 3);
         let report = sim.run_until_silent(10_000_000, 42)?;
-        run("clustered (1/32)", report.consensus, report.steps_to_consensus);
+        run(
+            "clustered (1/32)",
+            report.consensus,
+            report.steps_to_consensus,
+        );
     }
 
     println!("\n✓ always-correct under every weakly fair schedule we could throw at it");

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let initial_energy = total_energy(&brakets, k);
     let ground_state = terminal_energy(&molecules, k)?;
     println!("n = {n} molecules, k = {k} species");
-    println!("initial energy: {initial_energy} (n·k = {})", n * usize::from(k));
+    println!(
+        "initial energy: {initial_energy} (n·k = {})",
+        n * usize::from(k)
+    );
     println!("predicted ground-state energy (Lemma 3.6): {ground_state}");
 
     let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 99);
@@ -86,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(final_energy, ground_state, "must reach the ground state");
     println!("\n✓ the solution relaxed to the unique minimum-energy configuration");
-    println!("✓ every molecule reports the plurality species: {:?}", report.consensus);
+    println!(
+        "✓ every molecule reports the plurality species: {:?}",
+        report.consensus
+    );
     Ok(())
 }

@@ -16,11 +16,31 @@ use circles::mc::ExploreLimits;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instances: Vec<(&str, Vec<Color>, u16)> = vec![
-        ("binary majority 4:3", vec![0, 0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(), 2),
-        ("three colors 3:2:1", vec![0, 0, 0, 1, 1, 2].into_iter().map(Color).collect(), 3),
-        ("photo finish 3:2:2", vec![0, 0, 0, 1, 1, 2, 2].into_iter().map(Color).collect(), 3),
-        ("two-way tie 3:3", vec![0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(), 2),
-        ("four colors 2:2:1:1 tie", vec![0, 0, 1, 1, 2, 3].into_iter().map(Color).collect(), 4),
+        (
+            "binary majority 4:3",
+            vec![0, 0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(),
+            2,
+        ),
+        (
+            "three colors 3:2:1",
+            vec![0, 0, 0, 1, 1, 2].into_iter().map(Color).collect(),
+            3,
+        ),
+        (
+            "photo finish 3:2:2",
+            vec![0, 0, 0, 1, 1, 2, 2].into_iter().map(Color).collect(),
+            3,
+        ),
+        (
+            "two-way tie 3:3",
+            vec![0, 0, 0, 1, 1, 1].into_iter().map(Color).collect(),
+            2,
+        ),
+        (
+            "four colors 2:2:1:1 tie",
+            vec![0, 0, 1, 1, 2, 3].into_iter().map(Color).collect(),
+            4,
+        ),
     ];
 
     println!("exhaustive weak-fairness verification (facts 1-3 of DESIGN.md §5):\n");
@@ -34,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.exchange_dag,
             report.stable_matches_prediction,
             report.winner,
-            if report.verified { "VERIFIED" } else { "FAILED" },
+            if report.verified {
+                "VERIFIED"
+            } else {
+                "FAILED"
+            },
         );
         assert!(report.verified);
     }

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.steps_to_consensus,
         report.steps_to_consensus as f64 / n as f64
     );
-    println!("network decided: {:?} (truth: {winner:?})", report.consensus);
+    println!(
+        "network decided: {:?} (truth: {winner:?})",
+        report.consensus
+    );
     assert_eq!(report.consensus, Some(winner));
     println!("✓ the sensor network found the modal reading");
     Ok(())

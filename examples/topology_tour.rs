@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("{n} agents, k = {k}, winner = {winner}, 20 placements per topology\n");
-    println!("{:<18} {:>8} {:>10} {:>12} {:>10}", "topology", "diam", "silent", "predicted", "correct");
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>10}",
+        "topology", "diam", "silent", "predicted", "correct"
+    );
     for graph in topologies {
         let mut silent = 0usize;
         let mut predicted_ok = 0usize;

@@ -13,18 +13,16 @@
 //! cargo run --release --example unordered_colors
 //! ```
 
+use circles::core::Color;
 use circles::extensions::ordering::OrderingProtocol;
 use circles::extensions::unordered::UnorderedCircles;
-use circles::core::Color;
 use circles::protocol::{Population, Simulation, UniformPairScheduler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Opaque "colors": arbitrary sparse identifiers, not [0, k).
-    let ballots: Vec<Color> = [
-        9001, 777, 9001, 31337, 777, 9001, 9001, 31337, 777, 9001,
-    ]
-    .map(Color)
-    .to_vec();
+    let ballots: Vec<Color> = [9001, 777, 9001, 31337, 777, 9001, 9001, 31337, 777, 9001]
+        .map(Color)
+        .to_vec();
     let k = 3; // at most 3 distinct identifiers
 
     println!("ballots over opaque ids: 5× #9001, 3× #777, 2× #31337");

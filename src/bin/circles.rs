@@ -96,7 +96,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--seed" => {
-                seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--max-steps" => {
                 max_steps = value("--max-steps")?
@@ -116,7 +118,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         None => u16::try_from(counts.len()).map_err(|_| "too many colors")?,
     };
     if usize::from(k) < counts.len() {
-        return Err(format!("--k {k} smaller than the {} counts given", counts.len()));
+        return Err(format!(
+            "--k {k} smaller than the {} counts given",
+            counts.len()
+        ));
     }
     Ok(Options {
         counts,
@@ -169,8 +174,12 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
 
     let report = match opts.scheduler.as_str() {
         "uniform" => {
-            let mut sim =
-                Simulation::new(&protocol, population, UniformPairScheduler::new(), opts.seed);
+            let mut sim = Simulation::new(
+                &protocol,
+                population,
+                UniformPairScheduler::new(),
+                opts.seed,
+            );
             sim.run_until_silent(opts.max_steps, check)
         }
         "round-robin" => {
@@ -179,13 +188,21 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             sim.run_until_silent(opts.max_steps, check)
         }
         "shuffled" => {
-            let mut sim =
-                Simulation::new(&protocol, population, ShuffledRoundsScheduler::new(), opts.seed);
+            let mut sim = Simulation::new(
+                &protocol,
+                population,
+                ShuffledRoundsScheduler::new(),
+                opts.seed,
+            );
             sim.run_until_silent(opts.max_steps, check)
         }
         "clustered" => {
-            let mut sim =
-                Simulation::new(&protocol, population, ClusteredScheduler::new(16), opts.seed);
+            let mut sim = Simulation::new(
+                &protocol,
+                population,
+                ClusteredScheduler::new(16),
+                opts.seed,
+            );
             sim.run_until_silent(opts.max_steps, check)
         }
         other => return Err(format!("unknown scheduler {other}")),
@@ -223,8 +240,14 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
         println!("  {count} × {braket}");
     }
     match greedy.winner() {
-        Some(mu) => println!("\nwinner: {mu} (self-loops: {:?})", self_loop_colors(&predicted)),
-        None => println!("\ntie between {:?} — no self-loop survives", greedy.winners()),
+        Some(mu) => println!(
+            "\nwinner: {mu} (self-loops: {:?})",
+            self_loop_colors(&predicted)
+        ),
+        None => println!(
+            "\ntie between {:?} — no self-loop survives",
+            greedy.winners()
+        ),
     }
     Ok(())
 }
@@ -242,7 +265,11 @@ fn cmd_verify(opts: &Options) -> Result<(), String> {
     );
     println!(
         "weak-fairness verification: {}",
-        if report.verified { "VERIFIED" } else { "FAILED" }
+        if report.verified {
+            "VERIFIED"
+        } else {
+            "FAILED"
+        }
     );
     if opts.full {
         let full = verify_circles_full(&inputs, opts.k, ExploreLimits::default())
@@ -293,10 +320,9 @@ fn cmd_kinetics(opts: &Options) -> Result<(), String> {
         return Err("need at least two agents".into());
     }
     let protocol = CirclesProtocol::new(opts.k).map_err(|e| e.to_string())?;
-    let support: Vec<CirclesState> =
-        (0..opts.k).map(|i| protocol.input(&Color(i))).collect();
-    let network =
-        ReactionNetwork::from_protocol(&protocol, &support, 2_000_000).map_err(|e| e.to_string())?;
+    let support: Vec<CirclesState> = (0..opts.k).map(|i| protocol.input(&Color(i))).collect();
+    let network = ReactionNetwork::from_protocol(&protocol, &support, 2_000_000)
+        .map_err(|e| e.to_string())?;
     println!(
         "reaction network: {} species (of k³ = {} declared states), {} productive reactions",
         network.species_count(),
@@ -304,8 +330,7 @@ fn cmd_kinetics(opts: &Options) -> Result<(), String> {
         network.reaction_count()
     );
 
-    let initial: CountConfig<CirclesState> =
-        inputs.iter().map(|c| protocol.input(c)).collect();
+    let initial: CountConfig<CirclesState> = inputs.iter().map(|c| protocol.input(c)).collect();
     let mut sim = StochasticSimulation::new(&network, &initial).map_err(|e| e.to_string())?;
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(opts.seed);
     let report = sim.run_until_silent(&mut rng, opts.max_steps);
@@ -321,8 +346,11 @@ fn cmd_kinetics(opts: &Options) -> Result<(), String> {
     );
 
     let field = MeanField::new(&network);
-    let x0 = network
-        .densities(&network.counts_from_config(&initial).map_err(|e| e.to_string())?);
+    let x0 = network.densities(
+        &network
+            .counts_from_config(&initial)
+            .map_err(|e| e.to_string())?,
+    );
     let (x, t) = field
         .run_to_equilibrium(x0, 1e-9, 0.02, opts.t_end.max(1.0) * 100.0)
         .map_err(|e| e.to_string())?;
@@ -408,8 +436,17 @@ mod tests {
     #[test]
     fn parse_overrides() {
         let opts = parse_options(&strs(&[
-            "--counts", "5,4", "--k", "4", "--seed", "9", "--scheduler", "round-robin",
-            "--max-steps", "100", "--full",
+            "--counts",
+            "5,4",
+            "--k",
+            "4",
+            "--seed",
+            "9",
+            "--scheduler",
+            "round-robin",
+            "--max-steps",
+            "100",
+            "--full",
         ]))
         .unwrap();
         assert_eq!(opts.k, 4);
@@ -440,7 +477,13 @@ mod tests {
         run_cli(&strs(&["state-space", "--k", "5"])).unwrap();
         run_cli(&strs(&["kinetics", "--counts", "6,3,2", "--seed", "2"])).unwrap();
         run_cli(&strs(&[
-            "topology", "--counts", "5,3", "--graph", "cycle", "--max-steps", "100000",
+            "topology",
+            "--counts",
+            "5,3",
+            "--graph",
+            "cycle",
+            "--max-steps",
+            "100000",
         ]))
         .unwrap();
         assert!(run_cli(&strs(&["bogus"])).is_err());

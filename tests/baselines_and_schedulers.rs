@@ -76,7 +76,11 @@ fn undecided_dynamics_fails_somewhere_circles_does_not() {
         let population = Population::from_inputs(&circles_p, &inputs);
         let mut sim = Simulation::new(&circles_p, population, UniformPairScheduler::new(), seed);
         let report = sim.run_until_silent(10_000_000, 16).unwrap();
-        assert_eq!(report.consensus, Some(Color(0)), "circles wrong at seed {seed}");
+        assert_eq!(
+            report.consensus,
+            Some(Color(0)),
+            "circles wrong at seed {seed}"
+        );
     }
     assert!(
         usd_wrong > 0,
@@ -98,7 +102,10 @@ fn cancellation_fails_on_some_seeds_for_three_colors() {
             wrong += 1;
         }
     }
-    assert!(wrong > 0, "cancellation never failed — counterexample family broken?");
+    assert!(
+        wrong > 0,
+        "cancellation never failed — counterexample family broken?"
+    );
 }
 
 #[test]
@@ -109,11 +116,19 @@ fn schedulers_are_weakly_fair_on_recorded_prefixes() {
     let rr = record_schedule(&mut RoundRobinScheduler::new(), &population, pairs * 4, 0);
     assert!(rr.max_pair_gap().unwrap() <= pairs);
 
-    let sh = record_schedule(&mut ShuffledRoundsScheduler::new(), &population, pairs * 4, 1);
+    let sh = record_schedule(
+        &mut ShuffledRoundsScheduler::new(),
+        &population,
+        pairs * 4,
+        1,
+    );
     assert!(sh.max_pair_gap().unwrap() <= 2 * pairs);
 
     let cl = record_schedule(&mut ClusteredScheduler::new(4), &population, 40_000, 2);
-    assert!(cl.max_pair_gap().is_some(), "clustered starved a pair in 40k steps");
+    assert!(
+        cl.max_pair_gap().is_some(),
+        "clustered starved a pair in 40k steps"
+    );
 }
 
 #[test]

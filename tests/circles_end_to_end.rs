@@ -3,9 +3,7 @@
 
 use circles::core::prediction::{braket_config_of_population, matches_prediction};
 use circles::core::{invariants, CirclesProtocol, Color, GreedyDecomposition};
-use circles::protocol::{
-    CountingSimulation, Population, Simulation, UniformPairScheduler,
-};
+use circles::protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
 use circles::schedulers::{RoundRobinScheduler, ShuffledRoundsScheduler};
 
 fn colors(xs: &[u16]) -> Vec<Color> {

@@ -13,13 +13,17 @@ use rand::SeedableRng;
 fn setup(
     k: u16,
     inputs: &[u16],
-) -> (CirclesProtocol, ReactionNetwork<CirclesState>, CountConfig<CirclesState>, Vec<Color>) {
+) -> (
+    CirclesProtocol,
+    ReactionNetwork<CirclesState>,
+    CountConfig<CirclesState>,
+    Vec<Color>,
+) {
     let protocol = CirclesProtocol::new(k).unwrap();
     let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
     let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
     let colors: Vec<Color> = inputs.iter().map(|&c| Color(c)).collect();
-    let initial: CountConfig<CirclesState> =
-        colors.iter().map(|c| protocol.input(c)).collect();
+    let initial: CountConfig<CirclesState> = colors.iter().map(|c| protocol.input(c)).collect();
     (protocol, network, initial, colors)
 }
 
@@ -93,7 +97,11 @@ fn ode_equilibrium_energy_is_k_times_top_density() {
     let support: Vec<CirclesState> = (0..k).map(|i| protocol.input(&Color(i))).collect();
     let network = ReactionNetwork::from_protocol(&protocol, &support, 1_000_000).unwrap();
     let field = MeanField::new(&network);
-    for profile in [[0.4, 0.3, 0.2, 0.1], [0.7, 0.1, 0.1, 0.1], [0.31, 0.27, 0.22, 0.2]] {
+    for profile in [
+        [0.4, 0.3, 0.2, 0.1],
+        [0.7, 0.1, 0.1, 0.1],
+        [0.31, 0.27, 0.22, 0.2],
+    ] {
         let mut x0 = vec![0.0; network.species_count()];
         for (i, &p) in profile.iter().enumerate() {
             x0[network.species().id(&support[i]).unwrap() as usize] = p;

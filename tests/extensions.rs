@@ -77,8 +77,7 @@ fn unordered_circles_model_checked_on_tiny_instances() {
         let graph = ReachabilityGraph::explore(&protocol, &initial, ExploreLimits::default())
             .unwrap_or_else(|e| panic!("exploration failed for {raw:?}: {e}"));
         let bad = bscc_counterexample(&graph, |config| {
-            let population =
-                circles::protocol::Population::from_states(config.to_state_vec());
+            let population = circles::protocol::Population::from_states(config.to_state_vec());
             UnorderedCircles::consensus_winner(&population) == Some(Color(expected))
                 && UnorderedCircles::conservation_holds(&population, k)
         });
@@ -144,7 +143,10 @@ fn mid_run_fault_usually_breaks_conservation() {
     let mut total = 0;
     for seed in 0..10 {
         let mut plan = FaultPlan::new();
-        plan.push(Fault { at_step: 30, agent: 0 });
+        plan.push(Fault {
+            at_step: 30,
+            agent: 0,
+        });
         let report = run_with_faults(
             &inputs,
             3,

@@ -23,7 +23,10 @@ fn verification_grid_k2_up_to_n8() {
             let mut inputs = vec![Color(0); c0];
             inputs.extend(vec![Color(1); c1]);
             let report = verify_circles_instance(&inputs, 2, ExploreLimits::default()).unwrap();
-            assert!(report.verified, "k=2 profile ({c0},{c1}) failed: {report:?}");
+            assert!(
+                report.verified,
+                "k=2 profile ({c0},{c1}) failed: {report:?}"
+            );
         }
     }
 }
@@ -66,10 +69,7 @@ fn four_state_majority_stably_computes_under_global_fairness() {
 #[test]
 fn always_swap_variant_never_stabilizes() {
     let protocol = VariantCircles::new(2, ExchangeRule::AlwaysSwap).unwrap();
-    let initial: CountConfig<_> = colors(&[0, 1])
-        .iter()
-        .map(|c| protocol.input(c))
-        .collect();
+    let initial: CountConfig<_> = colors(&[0, 1]).iter().map(|c| protocol.input(c)).collect();
     let graph = ReachabilityGraph::explore(&protocol, &initial, ExploreLimits::default()).unwrap();
     assert!(!changes_always_terminate(&graph));
     assert!(!is_eventually_silent(&graph));
@@ -92,7 +92,10 @@ fn nonstrict_variant_admits_livelock() {
             found_livelock = true;
         }
     }
-    assert!(found_livelock, "non-strict rule showed no livelock on the grid");
+    assert!(
+        found_livelock,
+        "non-strict rule showed no livelock on the grid"
+    );
 }
 
 proptest! {

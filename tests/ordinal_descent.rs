@@ -8,7 +8,9 @@ use circles::core::potential::descent_chain_bound;
 use circles::core::{CirclesProtocol, Color};
 use circles::protocol::{CountConfig, Population, Simulation, UniformPairScheduler};
 
-fn config_of(population: &Population<circles::core::CirclesState>) -> CountConfig<circles::core::CirclesState> {
+fn config_of(
+    population: &Population<circles::core::CirclesState>,
+) -> CountConfig<circles::core::CirclesState> {
     population.iter().copied().collect()
 }
 
@@ -25,8 +27,7 @@ fn full_runs_descend_through_the_ordinals() {
         let n = population.len();
         let mut g = paper_potential_of_states(&config_of(&population), k);
         let initial_g = g.clone();
-        let mut sim =
-            Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+        let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
         let mut chain = vec![g.clone()];
         for _ in 0..200_000 {
             let report = sim.step().unwrap();
@@ -34,7 +35,10 @@ fn full_runs_descend_through_the_ordinals() {
                 || report.before.1.braket != report.after.1.braket;
             let next = paper_potential_of_states(&config_of(sim.population()), k);
             if exchanged {
-                assert!(next < g, "g did not strictly decrease at an exchange (k={k})");
+                assert!(
+                    next < g,
+                    "g did not strictly decrease at an exchange (k={k})"
+                );
                 chain.push(next.clone());
             } else {
                 assert_eq!(next, g, "g moved without an exchange (k={k})");
@@ -59,7 +63,11 @@ fn full_runs_descend_through_the_ordinals() {
             chain.len()
         );
         // Theorem 3.4's point: the chain is *finite* — and in practice tiny.
-        assert!(chain.len() <= 4 * n, "chain unexpectedly long: {}", chain.len());
+        assert!(
+            chain.len() <= 4 * n,
+            "chain unexpectedly long: {}",
+            chain.len()
+        );
     }
 }
 

@@ -1,0 +1,67 @@
+//! Smoke test for the documented entrypoint.
+//!
+//! `examples/quickstart.rs` is the first thing README points a new user
+//! at; this test exercises the same core path in-process (protocol
+//! construction → population → simulation → consensus) plus the compiled
+//! example binary itself, so CI fails loudly if the quickstart rots.
+
+use std::process::Command;
+
+use circles::core::{CirclesProtocol, Color, GreedyDecomposition};
+use circles::protocol::{EnumerableProtocol, Population, Simulation, UniformPairScheduler};
+
+/// The quickstart's exact scenario, asserted step by step.
+#[test]
+fn quickstart_core_path() {
+    let k = 4;
+    let votes: Vec<Color> = [2, 1, 2, 0, 2, 1, 3, 2, 1, 2, 1, 0].map(Color).to_vec();
+
+    let protocol = CirclesProtocol::new(k).expect("k = 4 is a valid color count");
+    assert_eq!(protocol.state_complexity(), 64, "state complexity is k³");
+
+    let greedy = GreedyDecomposition::from_inputs(&votes, k).expect("valid inputs");
+    let counts: Vec<usize> = (0..k).map(|c| greedy.count(Color(c))).collect();
+    assert_eq!(counts, vec![2, 4, 5, 1]);
+
+    let population = Population::from_inputs(&protocol, &votes);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 42);
+    let report = sim
+        .run_until_silent(1_000_000, 16)
+        .expect("quickstart instance stabilizes well within a million steps");
+
+    assert_eq!(report.consensus, Some(Color(2)), "color 2 leads 5:4:2:1");
+    assert!(report.steps_to_consensus <= report.steps_to_silence);
+}
+
+/// Runs the example the way README tells users to (skipped when the
+/// binary has not been built, e.g. under `cargo test` without examples).
+#[test]
+fn quickstart_example_binary_runs() {
+    let target_dir = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target"));
+    let exe = target_dir
+        .join(if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        })
+        .join("examples")
+        .join("quickstart");
+    if !exe.exists() {
+        eprintln!("skipping: {} not built", exe.display());
+        return;
+    }
+    let output = Command::new(&exe).output().expect("example should launch");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("consensus output: Some(Color(2))"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+}

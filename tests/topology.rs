@@ -76,8 +76,7 @@ fn star_oscillates_forever() {
     let inputs: Vec<Color> = [0, 0, 1, 1, 1].map(Color).to_vec();
     let graph = InteractionGraph::star(5).unwrap();
     let population = Population::from_inputs(&protocol, &inputs);
-    let mut sim =
-        Simulation::new(&protocol, population, EdgeScheduler::new(graph.clone()), 3);
+    let mut sim = Simulation::new(&protocol, population, EdgeScheduler::new(graph.clone()), 3);
 
     // Long prefix: bra-kets must freeze (Theorem 3.4 is topology-proof)…
     sim.run_observed(20_000, |_| ()).unwrap();
@@ -96,7 +95,11 @@ fn star_oscillates_forever() {
     assert_eq!(brakets_mid, brakets_end, "bra-kets must be frozen by now");
     // …but outputs keep flipping: the hub visits both colors in the tail,
     // and the configuration is never graph-silent.
-    assert_eq!(hub_outputs.len(), 2, "hub output must oscillate: {hub_outputs:?}");
+    assert_eq!(
+        hub_outputs.len(),
+        2,
+        "hub output must oscillate: {hub_outputs:?}"
+    );
     assert!(!is_graph_silent(&graph, sim.population(), &protocol));
 }
 
@@ -106,8 +109,9 @@ fn round_robin_edge_scheduler_is_graph_fair() {
     let mut scheduler = RoundRobinEdgeScheduler::new(graph.clone());
     let population: Population<u8> = (0..9u8).collect();
     let mut rng = StdRng::seed_from_u64(5);
-    let schedule: Vec<(usize, usize)> =
-        (0..2_000).map(|_| scheduler.next_pair(&population, &mut rng)).collect();
+    let schedule: Vec<(usize, usize)> = (0..2_000)
+        .map(|_| scheduler.next_pair(&population, &mut rng))
+        .collect();
     let report = audit_schedule(&graph, &schedule);
     assert!(report.is_covering());
     assert_eq!(report.off_graph_pairs, 0);
@@ -133,8 +137,12 @@ fn dense_random_graphs_stay_correct_in_practice() {
     let seeds = 10;
     for seed in 0..seeds {
         let population = Population::from_inputs(&protocol, &inputs);
-        let mut sim =
-            Simulation::new(&protocol, population, EdgeScheduler::new(graph.clone()), seed);
+        let mut sim = Simulation::new(
+            &protocol,
+            population,
+            EdgeScheduler::new(graph.clone()),
+            seed,
+        );
         let mut silent = false;
         for _ in 0..200 {
             sim.run_observed(2_000, |_| ()).unwrap();

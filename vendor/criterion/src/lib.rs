@@ -1,0 +1,236 @@
+//! Minimal, self-contained stand-in for the `criterion` crate (0.5-style
+//! API), vendored because this workspace builds in fully offline
+//! environments.
+//!
+//! It implements the surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! plain wall-clock loop (warm-up plus a fixed batch of timed iterations,
+//! median-of-batches reported), with none of upstream's statistical
+//! analysis, HTML reports, or baseline comparisons. Good enough to keep
+//! benches compiling and to eyeball relative cost; not a substitute for
+//! real criterion numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(100);
+        f(&mut bencher);
+        bencher.report(&name.into(), None);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs, so the report can
+    /// show a rate alongside the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label()), self.throughput);
+        self
+    }
+
+    /// Runs a benchmark over one prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label()), self.throughput);
+        self
+    }
+
+    /// Ends the group. (Upstream flushes reports here; this stub reports
+    /// eagerly, so `finish` only consumes the group.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Work performed by one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Measures closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            median_ns: f64::NAN,
+        }
+    }
+
+    /// Times `f`, recording the median per-iteration cost across
+    /// `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size batches so one batch is ~1ms of work.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed().as_millis() < 20 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let batch = ((1_000_000.0 / per_iter_ns) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.median_ns.is_nan() {
+            println!("{label:<40} (no measurement)");
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 * 1e3 / self.median_ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 * 1e9 / self.median_ns / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{label:<40} {:>14.1} ns/iter{rate}", self.median_ns);
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring upstream's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! The [`any`] entry point: canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use rand::{RngExt, StandardUniform};
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Reason, TestRunner};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy produced by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`: full range for integers, fair coin for
+/// `bool`, unit interval for floats.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind [`any`] for primitives.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardStrategy<T>(PhantomData<T>);
+
+impl<T: StandardUniform + Clone> Strategy for StandardStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(runner.rng().random())
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                StandardStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);

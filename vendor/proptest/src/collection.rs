@@ -1,0 +1,118 @@
+//! Collection strategies: random-length vectors and sets.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Reason, TestRunner};
+
+/// A (min, max) inclusive bound on generated collection sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(self, runner: &mut TestRunner) -> usize {
+        runner.rng().random_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<Vec<S::Value>, Reason> {
+        let len = self.size.sample(runner);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with cardinality drawn from `size`
+/// (best effort: duplicates are retried a bounded number of times).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<BTreeSet<S::Value>, Reason> {
+        let target = self.size.sample(runner);
+        let mut set = BTreeSet::new();
+        // Collisions shrink the achievable cardinality when the element
+        // domain is small; cap retries so generation always terminates.
+        let mut budget = 20 * (target + 1);
+        while set.len() < target && budget > 0 {
+            set.insert(self.element.generate(runner)?);
+            budget -= 1;
+        }
+        if set.len() < self.size.min {
+            return Err(format!(
+                "btree_set: only reached {} of minimum {} elements",
+                set.len(),
+                self.size.min
+            ));
+        }
+        Ok(set)
+    }
+}

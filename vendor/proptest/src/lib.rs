@@ -1,0 +1,115 @@
+//! Minimal, self-contained stand-in for the `proptest` crate (1.x-style API).
+//!
+//! Vendored because this workspace builds in fully offline environments.
+//! It implements the surface the workspace's property tests use — the
+//! [`proptest!`] macro family, strategies over integer ranges, tuples,
+//! [`strategy::Just`], `prop_map`/`prop_flat_map`, [`collection::vec`],
+//! [`collection::btree_set`], [`arbitrary::any`], and a deterministic
+//! [`test_runner::TestRunner`].
+//!
+//! The one upstream feature deliberately omitted is *shrinking*: a failing
+//! case panics with the ordinary assertion message instead of a minimized
+//! counterexample. Failures stay reproducible because the runner is
+//! deterministic per test.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a property; panics (failing the case) when
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property; panics (failing the case) when the
+/// sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current generated case when the precondition does not hold.
+///
+/// Only meaningful inside a [`proptest!`] body, which runs in a closure
+/// returning [`test_runner::CaseOutcome`]: a failed assumption returns
+/// `Rejected`, and the runner redraws without consuming one of the
+/// configured cases (rejections are budgeted, so a never-satisfiable
+/// assumption fails the test instead of looping forever).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Rejected;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a test that draws inputs from its strategies and runs the
+/// body once per case.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`test_runner::ProptestConfig`] (most importantly the case count) for
+/// every function in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < runner.cases() {
+                $(
+                    let $pat = $crate::strategy::ValueTree::current(
+                        &$crate::strategy::Strategy::new_tree(&($strat), &mut runner)
+                            .expect("strategy failed to generate a value"),
+                    );
+                )+
+                let outcome = (move || -> $crate::test_runner::CaseOutcome {
+                    $body
+                    $crate::test_runner::CaseOutcome::Accepted
+                })();
+                match outcome {
+                    $crate::test_runner::CaseOutcome::Accepted => accepted += 1,
+                    $crate::test_runner::CaseOutcome::Rejected => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 256 * runner.cases().max(1),
+                            "prop_assume! rejected {rejected} draws while accepting \
+                             only {accepted}; the assumption is (nearly) unsatisfiable"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,204 @@
+//! The [`Strategy`] / [`ValueTree`] core.
+//!
+//! Every strategy in this vendored crate produces a [`NoShrink`] tree:
+//! generation is supported, minimization is not (see the crate docs).
+
+use crate::test_runner::{Reason, TestRunner};
+use rand::RngExt;
+
+/// A generated value plus its (here: empty) shrink search space.
+pub trait ValueTree {
+    /// The type of the generated value.
+    type Value;
+
+    /// Returns the current value of the tree.
+    fn current(&self) -> Self::Value;
+
+    /// Attempts to move to a simpler value; always `false` here.
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    /// Attempts to move back toward the failing value; always `false` here.
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// The trivial [`ValueTree`]: a single value with no shrink moves.
+#[derive(Clone, Debug)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: Clone;
+
+    /// Draws one value using the runner's deterministic generator.
+    fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason>;
+
+    /// Draws one value and wraps it in a (non-shrinking) tree.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, Reason> {
+        self.generate(runner).map(NoShrink)
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Feeds generated values into `f` to obtain the strategy that
+    /// generates the final value (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keeps only generated values satisfying `f`, retrying up to an
+    /// internal limit.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason> {
+        (**self).generate(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<O, Reason> {
+        self.base.generate(runner).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<S2::Value, Reason> {
+        let intermediate = self.base.generate(runner)?;
+        (self.f)(intermediate).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<S::Value, Reason> {
+        for _ in 0..1_000 {
+            let v = self.base.generate(runner)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(format!("filter '{}' rejected 1000 candidates", self.whence))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> Result<$t, Reason> {
+                if self.start >= self.end {
+                    return Err(format!("empty range {}..{}", self.start, self.end));
+                }
+                Ok(runner.rng().random_range(self.clone()))
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> Result<$t, Reason> {
+                if self.start() > self.end() {
+                    return Err(format!("empty range {}..={}", self.start(), self.end()));
+                }
+                Ok(runner.rng().random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason> {
+                Ok(($(self.$idx.generate(runner)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

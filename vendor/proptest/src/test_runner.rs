@@ -1,0 +1,99 @@
+//! The deterministic case runner and its configuration.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Why a strategy failed to produce a value.
+pub type Reason = String;
+
+/// An error raised by a single test case.
+///
+/// Present for API compatibility; the vendored assertion macros panic
+/// directly, so this type rarely appears in user code.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case hit a `prop_assume!`-style precondition.
+    Reject(Reason),
+    /// The case failed an assertion.
+    Fail(Reason),
+}
+
+/// What one executed property-test case reported.
+///
+/// Produced by the [`crate::proptest!`] expansion: the case body runs in a
+/// closure returning this, so `prop_assume!` can reject a draw without
+/// consuming one of the configured cases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion; the case counts.
+    Accepted,
+    /// A `prop_assume!` precondition failed; redraw without counting.
+    Rejected,
+}
+
+/// Configuration for [`TestRunner`].
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives value generation for one property.
+///
+/// Always deterministic: the generator seed is fixed, so a failing case
+/// recurs on every run until the property (or strategy) changes.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+/// Fixed generation seed (digits of π); see [`TestRunner`] on determinism.
+const RUNNER_SEED: u64 = 0x3141_5926_5358_9793;
+
+impl TestRunner {
+    /// A runner for `config.cases` cases with the fixed deterministic seed.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(RUNNER_SEED),
+        }
+    }
+
+    /// A runner with the default config; by construction deterministic.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+
+    /// Number of cases this runner's config asks for.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's generator, for strategies drawing raw randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::deterministic()
+    }
+}

@@ -1,0 +1,74 @@
+//! Sequence helpers: in-place shuffling and uniform element choice.
+
+use crate::{RngCore, SampleRange};
+
+/// In-place random permutation of a mutable slice.
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Fisher–Yates shuffle; uniform over all permutations.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Uniform choice from an indexable sequence.
+pub trait IndexedRandom {
+    /// The element type of the sequence.
+    type Output;
+
+    /// Returns a uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [1u8, 2, 3, 4];
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[*v.choose(&mut rng).unwrap() as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true; 4]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
