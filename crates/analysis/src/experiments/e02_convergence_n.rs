@@ -8,10 +8,9 @@
 //! read `1.00`).
 
 use crate::plot::LinePlot;
-use crate::runner::{run_seeded, seed_range};
 use crate::stats::{log_log_slope, Summary};
 use crate::table::{fmt_f64, Table};
-use crate::trial::run_counting_trial;
+use crate::trial::{Backend, TrialRunner};
 use crate::workloads::{margin_workload, true_winner};
 use circles_core::CirclesProtocol;
 
@@ -30,6 +29,10 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Which engine executes the trials. The count backend is the default —
+    /// it is the only one that scales past `n ≈ 10^4`; the indexed backend
+    /// is kept selectable for cross-checking at small `n`.
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -41,6 +44,7 @@ impl Default for Params {
             margin_fraction: 0.1,
             max_steps: 2_000_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Count,
         }
     }
 }
@@ -55,7 +59,14 @@ impl Params {
             margin_fraction: 0.2,
             max_steps: 50_000_000,
             threads: 2,
+            backend: Backend::Count,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -89,7 +100,10 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
 /// Runs E2 and returns the table.
 pub fn run(params: &Params) -> Table {
     let mut table = Table::new(
-        "E2 — convergence vs n (uniform-random scheduler)",
+        &format!(
+            "E2 — convergence vs n (uniform-random scheduler, {} backend)",
+            params.backend.name()
+        ),
         &[
             "k",
             "n",
@@ -113,10 +127,11 @@ pub fn run(params: &Params) -> Table {
             let inputs = margin_workload(n, k, margin);
             let protocol = CirclesProtocol::new(k).expect("k >= 1");
             let expected = true_winner(&inputs, k);
-            let results = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-                run_counting_trial(&protocol, &inputs, seed, expected, params.max_steps)
-                    .expect("trial failed")
-            });
+            let results = TrialRunner::new(params.backend)
+                .seeds(params.seeds)
+                .threads(params.threads)
+                .max_steps(params.max_steps)
+                .run(&protocol, &inputs, expected);
             let silences: Vec<f64> = results.iter().map(|r| r.steps_to_silence as f64).collect();
             let consensuses: Vec<f64> = results
                 .iter()
@@ -160,11 +175,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn always_correct_at_small_scale() {
-        let table = run(&Params::quick());
-        for row in table.rows() {
-            if row[1] != "slope" {
-                assert_eq!(row[7], "1.00", "incorrect run in row {row:?}");
+    fn always_correct_at_small_scale_on_both_backends() {
+        for backend in Backend::ALL {
+            let table = run(&Params::quick().with_backend(backend));
+            for row in table.rows() {
+                if row[1] != "slope" {
+                    assert_eq!(
+                        row[7],
+                        "1.00",
+                        "incorrect {} run in row {row:?}",
+                        backend.name()
+                    );
+                }
             }
         }
     }

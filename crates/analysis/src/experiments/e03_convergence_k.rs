@@ -7,7 +7,7 @@
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::{log_log_slope, Summary};
 use crate::table::{fmt_f64, Table};
-use crate::trial::run_counting_trial;
+use crate::trial::run_count_trial;
 use crate::workloads::{margin_workload, photo_finish_workload, true_winner};
 use circles_core::CirclesProtocol;
 
@@ -78,7 +78,7 @@ pub fn run(params: &Params) -> Table {
             let protocol = CirclesProtocol::new(k).expect("k >= 1");
             let expected = true_winner(&inputs, k);
             let results = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-                run_counting_trial(&protocol, &inputs, seed, expected, params.max_steps)
+                run_count_trial(&protocol, &inputs, seed, expected, params.max_steps)
                     .expect("trial failed")
             });
             let consensuses: Vec<f64> = results

@@ -9,12 +9,11 @@
 
 use circles_core::{CirclesProtocol, Color};
 use pp_baselines::{CancellationPlurality, FourStateMajority, UndecidedDynamics};
-use pp_protocol::{EnumerableProtocol, UniformPairScheduler};
+use pp_protocol::EnumerableProtocol;
 
-use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_trial, TrialResult};
+use crate::trial::{Backend, TrialResult, TrialRunner};
 use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_winner};
 
 /// Parameters for E6.
@@ -30,6 +29,8 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Which engine executes the trials.
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -40,6 +41,7 @@ impl Default for Params {
             seeds: 64,
             max_steps: 500_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Indexed,
         }
     }
 }
@@ -53,7 +55,14 @@ impl Params {
             seeds: 8,
             max_steps: 20_000_000,
             threads: 2,
+            backend: Backend::Indexed,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -63,91 +72,61 @@ struct ProtocolRow {
     results: Vec<TrialResult>,
 }
 
+fn row_for<P>(
+    name: &'static str,
+    protocol: &P,
+    inputs: &[Color],
+    expected: Color,
+    runner: &TrialRunner,
+) -> ProtocolRow
+where
+    P: EnumerableProtocol<Input = Color, Output = Color> + Sync,
+{
+    ProtocolRow {
+        name,
+        states: protocol.state_complexity(),
+        results: runner.run(protocol, inputs, expected),
+    }
+}
+
 fn run_protocol(
     name: &'static str,
     k: u16,
     inputs: &[Color],
     expected: Color,
-    seeds: &[u64],
-    threads: usize,
-    max_steps: u64,
+    runner: &TrialRunner,
 ) -> Option<ProtocolRow> {
     match name {
         "circles" => {
             let p = CirclesProtocol::new(k).expect("k >= 1");
-            Some(ProtocolRow {
-                name,
-                states: p.state_complexity(),
-                results: run_seeded(seeds, threads, |seed| {
-                    run_trial(
-                        &p,
-                        inputs,
-                        UniformPairScheduler::new(),
-                        seed,
-                        expected,
-                        max_steps,
-                    )
-                    .expect("trial")
-                }),
-            })
+            Some(row_for(name, &p, inputs, expected, runner))
         }
         "four-state" => {
             if k != 2 {
                 return None;
             }
-            let p = FourStateMajority::new();
-            Some(ProtocolRow {
+            Some(row_for(
                 name,
-                states: p.state_complexity(),
-                results: run_seeded(seeds, threads, |seed| {
-                    run_trial(
-                        &p,
-                        inputs,
-                        UniformPairScheduler::new(),
-                        seed,
-                        expected,
-                        max_steps,
-                    )
-                    .expect("trial")
-                }),
-            })
+                &FourStateMajority::new(),
+                inputs,
+                expected,
+                runner,
+            ))
         }
-        "undecided" => {
-            let p = UndecidedDynamics::new(k);
-            Some(ProtocolRow {
-                name,
-                states: p.state_complexity(),
-                results: run_seeded(seeds, threads, |seed| {
-                    run_trial(
-                        &p,
-                        inputs,
-                        UniformPairScheduler::new(),
-                        seed,
-                        expected,
-                        max_steps,
-                    )
-                    .expect("trial")
-                }),
-            })
-        }
-        "cancellation" => {
-            let p = CancellationPlurality::new(k);
-            Some(ProtocolRow {
-                name,
-                states: p.state_complexity(),
-                results: run_seeded(seeds, threads, |seed| {
-                    run_trial(
-                        &p,
-                        inputs,
-                        UniformPairScheduler::new(),
-                        seed,
-                        expected,
-                        max_steps,
-                    )
-                    .expect("trial")
-                }),
-            })
-        }
+        "undecided" => Some(row_for(
+            name,
+            &UndecidedDynamics::new(k),
+            inputs,
+            expected,
+            runner,
+        )),
+        "cancellation" => Some(row_for(
+            name,
+            &CancellationPlurality::new(k),
+            inputs,
+            expected,
+            runner,
+        )),
         other => panic!("unknown protocol {other}"),
     }
 }
@@ -157,8 +136,15 @@ pub const PROTOCOLS: [&str; 4] = ["circles", "four-state", "undecided", "cancell
 
 /// Runs E6 and returns the table.
 pub fn run(params: &Params) -> Table {
+    let runner = TrialRunner::new(params.backend)
+        .seeds(params.seeds)
+        .threads(params.threads)
+        .max_steps(params.max_steps);
     let mut table = Table::new(
-        "E6 — Circles vs baselines (uniform-random scheduler)",
+        &format!(
+            "E6 — Circles vs baselines (uniform-random scheduler, {} backend)",
+            params.backend.name()
+        ),
         &[
             "k",
             "workload",
@@ -169,7 +155,6 @@ pub fn run(params: &Params) -> Table {
             "consensus mean (correct runs)",
         ],
     );
-    let seeds = seed_range(params.seeds);
     for &k in &params.ks {
         let workloads = [
             (
@@ -184,15 +169,7 @@ pub fn run(params: &Params) -> Table {
         for (wl_name, inputs) in workloads {
             let expected = true_winner(&inputs, k);
             for proto in PROTOCOLS {
-                let Some(row) = run_protocol(
-                    proto,
-                    k,
-                    &inputs,
-                    expected,
-                    &seeds,
-                    params.threads,
-                    params.max_steps,
-                ) else {
+                let Some(row) = run_protocol(proto, k, &inputs, expected, &runner) else {
                     continue;
                 };
                 let total = row.results.len();
@@ -229,11 +206,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn circles_rows_are_always_correct() {
-        let table = run(&Params::quick());
-        for row in table.rows() {
-            if row[2] == "circles" {
-                assert_eq!(row[4], "1.00", "circles failed: {row:?}");
+    fn circles_rows_are_always_correct_on_both_backends() {
+        for backend in Backend::ALL {
+            let table = run(&Params::quick().with_backend(backend));
+            for row in table.rows() {
+                if row[2] == "circles" {
+                    assert_eq!(
+                        row[4],
+                        "1.00",
+                        "circles failed on {}: {row:?}",
+                        backend.name()
+                    );
+                }
             }
         }
     }

@@ -16,7 +16,7 @@ use pp_protocol::{CountConfig, Protocol};
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_counting_trial, run_trial};
+use crate::trial::{run_count_trial, run_trial};
 use crate::workloads::true_winner;
 use pp_protocol::UniformPairScheduler;
 
@@ -117,7 +117,7 @@ pub fn run(params: &Params) -> Table {
             .steps_to_silence as f64
         });
         let counting: Vec<f64> = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-            run_counting_trial(&protocol, &inputs, seed, expected_winner, 100_000_000)
+            run_count_trial(&protocol, &inputs, seed, expected_winner, 100_000_000)
                 .expect("trial")
                 .steps_to_silence as f64
         });

@@ -22,7 +22,7 @@ use crate::plot::LinePlot;
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_counting_trial, TrialResult};
+use crate::trial::{run_count_trial, TrialResult};
 use crate::workloads::{margin_workload, true_winner};
 
 /// Parameters for E16.
@@ -82,7 +82,7 @@ fn contenders() -> Vec<Contender> {
         P::State: Send + Sync,
     {
         Box::new(move |inputs, seed, expected, max_steps| {
-            run_counting_trial(&protocol, inputs, seed, expected, max_steps).expect("trial failed")
+            run_count_trial(&protocol, inputs, seed, expected, max_steps).expect("trial failed")
         })
     }
     let circles = CirclesProtocol::new(2).expect("k = 2");

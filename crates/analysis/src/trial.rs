@@ -1,9 +1,12 @@
-//! One-shot protocol trials with a uniform measurement record.
+//! One-shot protocol trials with a uniform measurement record, and the
+//! backend-dispatching [`TrialRunner`].
 
 use circles_core::Color;
 use pp_protocol::{
-    CountingSimulation, FrameworkError, Population, Protocol, Scheduler, Simulation,
+    CountEngine, FrameworkError, Population, Protocol, Scheduler, Simulation, UniformPairScheduler,
 };
+
+use crate::runner::{default_threads, run_seeded};
 
 /// The measurements every experiment cares about, protocol-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,8 +23,135 @@ pub struct TrialResult {
     pub correct: bool,
 }
 
+/// Which simulation engine executes a trial.
+///
+/// Both backends expose the same measurement surface
+/// ([`RunReport`](pp_protocol::RunReport)-shaped), so experiments can sweep
+/// them interchangeably; see the README's "Choosing a backend" section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The agent-indexed engine ([`Simulation`]) under the uniform-random
+    /// scheduler: `O(1)` per interaction, pays for every silent interaction.
+    Indexed,
+    /// The batched count engine ([`CountEngine`]): one cheap update per
+    /// state-*changing* interaction — the only practical choice for
+    /// `n ≳ 10^5`.
+    Count,
+}
+
+impl Backend {
+    /// Both backends, for sweeps.
+    pub const ALL: [Backend; 2] = [Backend::Indexed, Backend::Count];
+
+    /// Stable name used in tables, benches and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Indexed => "indexed",
+            Backend::Count => "count",
+        }
+    }
+}
+
+/// Runs batches of independent seeded trials for one backend, fanning out
+/// over OS threads (`std::thread::scope` via [`run_seeded`] — no external
+/// thread-pool dependency).
+///
+/// # Example
+///
+/// ```
+/// use circles_core::{CirclesProtocol, Color};
+/// use pp_analysis::trial::{Backend, TrialRunner};
+///
+/// let protocol = CirclesProtocol::new(2).unwrap();
+/// let inputs: Vec<Color> = (0..40).map(|i| Color(u16::from(i < 15))).collect();
+/// let results = TrialRunner::new(Backend::Count)
+///     .seeds(8)
+///     .run(&protocol, &inputs, Color(0));
+/// assert!(results.iter().all(|r| r.stabilized && r.correct));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrialRunner {
+    backend: Backend,
+    threads: usize,
+    max_steps: u64,
+    seeds: Vec<u64>,
+}
+
+impl TrialRunner {
+    /// Creates a runner for `backend` with all available CPUs, an
+    /// effectively unlimited step budget and seeds `0..32`.
+    pub fn new(backend: Backend) -> Self {
+        TrialRunner {
+            backend,
+            threads: default_threads(),
+            max_steps: u64::MAX / 2,
+            seeds: (0..32).collect(),
+        }
+    }
+
+    /// The backend this runner dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Sets the number of worker threads (at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-trial interaction budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Uses seeds `0..count`.
+    pub fn seeds(mut self, count: u64) -> Self {
+        self.seeds = (0..count).collect();
+        self
+    }
+
+    /// Uses an explicit seed list.
+    pub fn seed_list(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Runs one trial per seed in parallel and returns results in seed
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a trial fails on a framework error (scheduler
+    /// misbehaviour) — budget exhaustion is a recorded finding, not an
+    /// error.
+    pub fn run<P>(&self, protocol: &P, inputs: &[P::Input], expected: Color) -> Vec<TrialResult>
+    where
+        P: Protocol<Output = Color> + Sync,
+        P::Input: Sync,
+    {
+        let backend = self.backend;
+        let max_steps = self.max_steps;
+        run_seeded(&self.seeds, self.threads, |seed| {
+            let result = match backend {
+                Backend::Indexed => run_trial(
+                    protocol,
+                    inputs,
+                    UniformPairScheduler::new(),
+                    seed,
+                    expected,
+                    max_steps,
+                ),
+                Backend::Count => run_count_trial(protocol, inputs, seed, expected, max_steps),
+            };
+            result.expect("trial failed")
+        })
+    }
+}
+
 /// Runs a protocol whose output is a [`Color`] to silence under the given
-/// scheduler and compares the consensus with `expected`.
+/// indexed scheduler and compares the consensus with `expected`.
 ///
 /// A run that exhausts `max_steps` without silence is reported with
 /// `stabilized == false, correct == false` rather than as an error — for
@@ -64,13 +194,13 @@ where
     }
 }
 
-/// Like [`run_trial`] but on the count-based engine (uniform-random
+/// Like [`run_trial`] but on the batched count engine (uniform-random
 /// scheduling only) — the fast path for large populations.
 ///
 /// # Errors
 ///
 /// Propagates non-budget framework errors.
-pub fn run_counting_trial<P>(
+pub fn run_count_trial<P>(
     protocol: &P,
     inputs: &[P::Input],
     seed: u64,
@@ -80,9 +210,8 @@ pub fn run_counting_trial<P>(
 where
     P: Protocol<Output = Color>,
 {
-    let mut sim = CountingSimulation::from_inputs(protocol, inputs, seed);
-    let check_interval = (sim.n() as u64).max(64);
-    match sim.run_until_silent(max_steps, check_interval) {
+    let mut engine = CountEngine::from_inputs(protocol, inputs, seed);
+    match engine.run_until_silent(max_steps) {
         Ok(report) => Ok(TrialResult {
             steps_to_silence: report.steps_to_silence,
             steps_to_consensus: report.steps_to_consensus,
@@ -91,9 +220,9 @@ where
             correct: report.consensus == Some(expected),
         }),
         Err(FrameworkError::MaxStepsExceeded { .. }) => Ok(TrialResult {
-            steps_to_silence: 0,
+            steps_to_silence: engine.stats().last_change_step,
             steps_to_consensus: max_steps,
-            state_changes: 0,
+            state_changes: engine.stats().state_changes,
             stabilized: false,
             correct: false,
         }),
@@ -105,7 +234,6 @@ where
 mod tests {
     use super::*;
     use circles_core::CirclesProtocol;
-    use pp_protocol::UniformPairScheduler;
 
     #[test]
     fn circles_trial_is_correct() {
@@ -144,11 +272,40 @@ mod tests {
     }
 
     #[test]
-    fn counting_trial_matches_expectation() {
+    fn count_trial_matches_expectation() {
         let protocol = CirclesProtocol::new(2).unwrap();
         let inputs: Vec<Color> = (0..50).map(|i| Color(u16::from(i < 30))).collect();
-        let result = run_counting_trial(&protocol, &inputs, 3, Color(1), 10_000_000).unwrap();
+        let result = run_count_trial(&protocol, &inputs, 3, Color(1), 10_000_000).unwrap();
         assert!(result.stabilized);
         assert!(result.correct);
+    }
+
+    #[test]
+    fn count_trial_budget_exhaustion_records_partial_stats() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..60).map(|i| Color((i % 3) as u16)).collect();
+        let result = run_count_trial(&protocol, &inputs, 2, Color(0), 3).unwrap();
+        assert!(!result.stabilized);
+        assert!(!result.correct);
+        assert_eq!(result.steps_to_consensus, 3);
+    }
+
+    #[test]
+    fn runner_backends_agree_on_an_easy_race() {
+        let protocol = CirclesProtocol::new(2).unwrap();
+        let inputs: Vec<Color> = (0..40).map(|i| Color(u16::from(i >= 30))).collect();
+        for backend in Backend::ALL {
+            let results =
+                TrialRunner::new(backend)
+                    .seeds(6)
+                    .threads(2)
+                    .run(&protocol, &inputs, Color(0));
+            assert_eq!(results.len(), 6);
+            assert!(
+                results.iter().all(|r| r.stabilized && r.correct),
+                "{} backend failed an easy 75/25 race",
+                backend.name()
+            );
+        }
     }
 }

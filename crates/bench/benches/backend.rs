@@ -1,0 +1,160 @@
+//! Backend comparison: the indexed engine vs the batched count engine on
+//! the paper protocol, same workloads, end-to-end to silence.
+//!
+//! Three parts:
+//!
+//! 1. `backend_to_silence` — both backends run identical margin workloads to
+//!    silence at sizes where the indexed engine can finish.
+//! 2. `count_to_silence_large` — the count engine alone at `n = 10^5` and
+//!    `10^6` (full mode), where a full indexed run would take hours: these
+//!    runs cover `10^9`–`10^12` interactions in well under a second.
+//! 3. `speedup_check` — a one-shot large-`n` comparison: the count engine
+//!    runs to silence; the indexed engine is timed over a fixed interaction
+//!    prefix of the same workload, and its full-run time is the measured
+//!    per-interaction cost times the interaction count the count run
+//!    established. The implied speedup is recorded in the JSON report and
+//!    **asserted to be ≥ 50×**, so a count-engine regression fails the CI
+//!    bench-smoke job instead of drifting silently.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use circles_core::{CirclesProtocol, Color};
+use pp_analysis::workloads::{margin_workload, true_winner};
+use pp_protocol::{CountEngine, Population, Simulation, UniformPairScheduler};
+
+const K: u16 = 3;
+
+fn workload(n: usize) -> Vec<Color> {
+    margin_workload(n, K, n / 10)
+}
+
+fn run_indexed_to_silence(inputs: &[Color], seed: u64) -> u64 {
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let population = Population::from_inputs(&protocol, inputs);
+    let n = population.len() as u64;
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
+    sim.run_until_silent(u64::MAX / 2, n)
+        .unwrap()
+        .steps_to_silence
+}
+
+fn run_count_to_silence(inputs: &[Color], seed: u64) -> u64 {
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let mut engine = CountEngine::from_inputs(&protocol, inputs, seed);
+    engine
+        .run_until_silent(u64::MAX / 2)
+        .unwrap()
+        .steps_to_silence
+}
+
+/// Head-to-head at sizes the indexed engine can still finish.
+fn bench_backends_to_silence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_to_silence");
+    group.sample_size(10);
+    let ns: &[usize] = if criterion::quick_mode() {
+        &[2_000]
+    } else {
+        &[2_000, 10_000]
+    };
+    for &n in ns {
+        let inputs = workload(n);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", format!("n{n}")),
+            &inputs,
+            |b, inputs| b.iter(|| run_indexed_to_silence(inputs, 7)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count", format!("n{n}")),
+            &inputs,
+            |b, inputs| b.iter(|| run_count_to_silence(inputs, 7)),
+        );
+    }
+    group.finish();
+}
+
+/// The count engine where only it can go: `n` up to a million, to silence.
+fn bench_count_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_to_silence_large");
+    group.sample_size(10);
+    let ns: &[usize] = if criterion::quick_mode() {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    for &n in ns {
+        let inputs = workload(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}")),
+            &inputs,
+            |b, inputs| b.iter(|| run_count_to_silence(inputs, 7)),
+        );
+    }
+    group.finish();
+}
+
+/// One-shot `n = 10^6` comparison enforcing the ≥ 50× speedup claim.
+///
+/// The indexed engine cannot run `~10^11` interactions in a bench, so its
+/// full-run time is bounded *from below* by measuring a fixed prefix and
+/// extrapolating linearly at the measured per-interaction cost (the indexed
+/// per-step cost does not depend on how far the run has progressed).
+fn bench_speedup_check(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let inputs = workload(n);
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let expected = true_winner(&inputs, K);
+
+    // Count engine: full run to silence.
+    let count_start = Instant::now();
+    let mut engine = CountEngine::from_inputs(&protocol, &inputs, 7);
+    let report = engine.run_until_silent(u64::MAX / 2).unwrap();
+    let count_ns = count_start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        report.consensus,
+        Some(expected),
+        "count run must be correct"
+    );
+    let total_steps = report.steps;
+
+    // Indexed engine: fixed-prefix per-interaction cost on the same inputs.
+    const PREFIX: u64 = 10_000_000;
+    let population = Population::from_inputs(&protocol, &inputs);
+    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), 7);
+    let indexed_start = Instant::now();
+    for _ in 0..PREFIX {
+        let _ = sim.step().unwrap();
+    }
+    let per_step_ns = indexed_start.elapsed().as_nanos() as f64 / PREFIX as f64;
+
+    let implied_indexed_ns = per_step_ns * total_steps as f64;
+    let speedup = implied_indexed_ns / count_ns;
+    criterion::report_external("speedup_check/count_full_ns", count_ns, 1);
+    criterion::report_external("speedup_check/indexed_per_step_ns", per_step_ns, 1);
+    criterion::report_external(
+        "speedup_check/implied_indexed_full_ns",
+        implied_indexed_ns,
+        1,
+    );
+    criterion::report_external("speedup_check/implied_speedup_x", speedup, 1);
+    println!(
+        "speedup_check: n={n}, {total_steps} interactions; count {:.3}s vs indexed \
+         ~{:.0}s implied ⇒ {speedup:.0}x",
+        count_ns / 1e9,
+        implied_indexed_ns / 1e9,
+    );
+    assert!(
+        speedup >= 50.0,
+        "count engine regressed below the 50x bar: implied speedup {speedup:.1}x"
+    );
+    let _ = c; // one-shot measurement; no criterion sampling needed
+}
+
+criterion_group!(
+    benches,
+    bench_backends_to_silence,
+    bench_count_large,
+    bench_speedup_check
+);
+criterion_main!(benches);

@@ -6,12 +6,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use circles_core::{CirclesProtocol, Color};
 use pp_analysis::workloads::{photo_finish_workload, shuffled};
 use pp_baselines::UndecidedDynamics;
-use pp_protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
+use pp_protocol::{CountEngine, Population, Simulation, UniformPairScheduler};
 
 fn bench_circles_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("circles_to_silence");
     group.sample_size(10);
-    for (n, k) in [(64usize, 2u16), (64, 8), (256, 8)] {
+    let cases: &[(usize, u16)] = if criterion::quick_mode() {
+        &[(64, 2), (64, 8)]
+    } else {
+        &[(64, 2), (64, 8), (256, 8)]
+    };
+    for &(n, k) in cases {
         let inputs: Vec<Color> = shuffled(photo_finish_workload(n, k), 3);
         let protocol = CirclesProtocol::new(k).unwrap();
         group.bench_with_input(
@@ -32,23 +37,27 @@ fn bench_circles_convergence(c: &mut Criterion) {
 }
 
 fn bench_counting_convergence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counting_to_silence");
+    let mut group = c.benchmark_group("count_engine_to_silence");
     group.sample_size(10);
-    let (n, k) = (1024usize, 8u16);
+    let (n, k) = if criterion::quick_mode() {
+        (1024usize, 8u16)
+    } else {
+        (65_536, 8)
+    };
     let inputs: Vec<Color> = photo_finish_workload(n, k);
     let protocol = CirclesProtocol::new(k).unwrap();
     group.bench_function(format!("circles_n{n}_k{k}"), |b| {
         b.iter(|| {
-            let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 7);
-            let report = sim.run_until_silent(5_000_000_000, 1024).unwrap();
+            let mut engine = CountEngine::from_inputs(&protocol, &inputs, 7);
+            let report = engine.run_until_silent(u64::MAX / 2).unwrap();
             report.steps_to_silence
         })
     });
     let usd = UndecidedDynamics::new(k);
     group.bench_function(format!("usd_n{n}_k{k}"), |b| {
         b.iter(|| {
-            let mut sim = CountingSimulation::from_inputs(&usd, &inputs, 7);
-            let report = sim.run_until_silent(5_000_000_000, 1024).unwrap();
+            let mut engine = CountEngine::from_inputs(&usd, &inputs, 7);
+            let report = engine.run_until_silent(u64::MAX / 2).unwrap();
             report.steps_to_silence
         })
     });

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use circles_core::{CirclesProtocol, Color};
 use pp_analysis::workloads::{photo_finish_workload, shuffled};
-use pp_protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
+use pp_protocol::{CountEngine, Population, Simulation, UniformPairScheduler};
 
 fn bench_indexed_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("indexed_sim_steps");
@@ -35,7 +35,7 @@ fn bench_indexed_steps(c: &mut Criterion) {
 }
 
 fn bench_counting_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counting_sim_steps");
+    let mut group = c.benchmark_group("count_engine_steps");
     group.sample_size(10);
     const STEPS: u64 = 50_000;
     group.throughput(Throughput::Elements(STEPS));
@@ -47,11 +47,11 @@ fn bench_counting_steps(c: &mut Criterion) {
                 let protocol = CirclesProtocol::new(k).unwrap();
                 let inputs: Vec<Color> = photo_finish_workload(n, k);
                 b.iter(|| {
-                    let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 42);
+                    let mut engine = CountEngine::from_inputs(&protocol, &inputs, 42);
                     for _ in 0..STEPS {
-                        let _ = sim.step().unwrap();
+                        let _ = engine.step().unwrap();
                     }
-                    sim.steps()
+                    engine.steps()
                 })
             },
         );

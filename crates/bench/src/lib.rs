@@ -14,9 +14,13 @@ use std::path::Path;
 use pp_analysis::plot::LinePlot;
 use pp_analysis::Table;
 
-/// Whether `--quick` was passed on the command line.
+/// Whether the CI-scale preset was requested: `--quick` on the command line
+/// or `PP_EXP_QUICK` set to anything but `0` in the environment. The env
+/// knob lets CI run experiment binaries end-to-end (through `cargo run`,
+/// where extra arguments are awkward to thread) with reduced parameters.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
+        || std::env::var("PP_EXP_QUICK").is_ok_and(|v| v != "0")
 }
 
 /// Prints the table and writes `results/<basename>.{md,csv}` relative to

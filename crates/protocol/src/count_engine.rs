@@ -1,0 +1,669 @@
+//! The batched count-based simulation engine.
+//!
+//! Agents with equal states are interchangeable, so under count-level
+//! scheduling an execution is a Markov chain over anonymous configurations
+//! (the [`CountConfig`] multisets of Definition 1.1). [`CountEngine`]
+//! maintains per-state counts instead of an indexed agent vector and asks a
+//! [`CountScheduler`] for interactions as *state pairs*; with the default
+//! [`UniformCountScheduler`] it advances between change-points in a single
+//! geometric draw, so a silent-heavy run costs one cheap update per
+//! state-*changing* interaction instead of one per interaction. Empirically
+//! the Circles protocol performs `Θ(n)` state changes but super-linearly many
+//! interactions, which is what makes populations of `10^6`–`10^9` agents
+//! tractable here and hopeless for the indexed engine.
+//!
+//! # Activity bookkeeping
+//!
+//! The engine maintains, per ordered pair of state slots, whether the pair is
+//! *active* (its transition changes some state) together with the cached
+//! transition targets, and incrementally tracks
+//!
+//! - `col_in[i] = Σ_j active(i, j) · c_j` — updated in `O(slots)` per count
+//!   change,
+//! - `row_mass[i] = c_i · col_in[i] − active(i, i) · c_i` — the weight of
+//!   active ordered pairs initiated from slot `i`,
+//! - `mass = Σ_i row_mass[i]` — zero exactly when the configuration is
+//!   silent,
+//!
+//! so silence detection is free and exact, and the uniform scheduler can
+//! sample both the geometric skip length and the conditional change pair
+//! from `row_mass`/`mass` without touching the protocol.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::CountConfig;
+use crate::error::FrameworkError;
+use crate::protocol::Protocol;
+use crate::scheduler::{CountScheduler, CountView, UniformCountScheduler};
+use crate::simulation::{RunReport, SimStats};
+
+/// Count-based, change-point-batched simulation engine.
+///
+/// Exposes the same [`RunReport`]/[`SimStats`] measurement surface as the
+/// indexed [`Simulation`](crate::Simulation); driven by any
+/// [`CountScheduler`] (the uniform-random one by default). Equivalence with
+/// the indexed engine is covered by replay proptests and a distributional
+/// test in `tests/engine_equivalence.rs`.
+///
+/// The engine caches one transition per ordered pair of *distinct states
+/// ever observed*, so it suits protocols with a bounded state space (for
+/// Circles, at most `k³` states regardless of `n`). Populations are limited
+/// to `n ≤ u32::MAX` agents so that all pair-weight arithmetic fits `u64`.
+///
+/// # Example
+///
+/// ```
+/// # use pp_protocol::{CountEngine, Protocol};
+/// # struct Max;
+/// # impl Protocol for Max {
+/// #     type State = u8; type Input = u8; type Output = u8;
+/// #     fn name(&self) -> &str { "max" }
+/// #     fn input(&self, i: &u8) -> u8 { *i }
+/// #     fn output(&self, s: &u8) -> u8 { *s }
+/// #     fn transition(&self, a: &u8, b: &u8) -> (u8, u8) { let m = *a.max(b); (m, m) }
+/// # }
+/// let inputs: Vec<u8> = (0..1_000_000).map(|i| (i % 7) as u8).collect();
+/// let mut engine = CountEngine::from_inputs(&Max, &inputs, 42);
+/// let report = engine.run_until_silent(u64::MAX)?;
+/// assert_eq!(report.consensus, Some(6));
+/// # Ok::<(), pp_protocol::FrameworkError>(())
+/// ```
+pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler> {
+    protocol: &'p P,
+    scheduler: CS,
+    rng: StdRng,
+    /// Dense slot arrays; slots are append-only so ids stay stable.
+    states: Vec<P::State>,
+    outs: Vec<P::Output>,
+    counts: Vec<u64>,
+    index: HashMap<P::State, usize>,
+    n: u64,
+    /// Row stride of the pair matrices (`>= states.len()`, grown by
+    /// doubling).
+    stride: usize,
+    /// `null[i * stride + j]`: the ordered pair `(i, j)` leaves both states
+    /// unchanged.
+    null: Vec<bool>,
+    /// Cached transition targets for active pairs (`None` for null pairs).
+    targets: Vec<Option<(P::State, P::State)>>,
+    /// `col_in[i] = Σ_j active(i, j) · c_j`.
+    col_in: Vec<u64>,
+    /// `row_mass[i] = c_i · col_in[i] − active(i, i) · c_i`.
+    row_mass: Vec<u64>,
+    /// `Σ_i row_mass[i]`; zero iff silent.
+    mass: u64,
+    stats: SimStats,
+    output_counts: BTreeMap<P::Output, usize>,
+    last_disagreement: Option<u64>,
+}
+
+/// Builds the scheduler-facing view from engine fields. A macro rather than
+/// a method so the scheduler and RNG fields stay independently borrowable.
+macro_rules! view {
+    ($self:ident) => {
+        CountView {
+            states: &$self.states,
+            counts: &$self.counts,
+            n: $self.n,
+            row_mass: &$self.row_mass,
+            mass: $self.mass,
+            null: &$self.null,
+            stride: $self.stride,
+        }
+    };
+}
+
+impl<'p, P: Protocol> CountEngine<'p, P, UniformCountScheduler> {
+    /// Creates a uniform-random engine from input symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than `u32::MAX` agents are supplied (see the
+    /// [type-level docs](CountEngine)).
+    pub fn from_inputs(protocol: &'p P, inputs: &[P::Input], seed: u64) -> Self {
+        let config: CountConfig<P::State> = inputs.iter().map(|i| protocol.input(i)).collect();
+        Self::from_config(protocol, config, seed)
+    }
+
+    /// Creates a uniform-random engine from an anonymous configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `u32::MAX` agents.
+    pub fn from_config(protocol: &'p P, config: CountConfig<P::State>, seed: u64) -> Self {
+        Self::with_scheduler(protocol, config, UniformCountScheduler::new(), seed)
+    }
+}
+
+impl<'p, P, CS> CountEngine<'p, P, CS>
+where
+    P: Protocol,
+    CS: CountScheduler<P::State>,
+{
+    /// Creates an engine over `config`, driven by `scheduler` and the RNG
+    /// seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `u32::MAX` agents —
+    /// the pair-weight arithmetic (`≤ n(n−1)`) is done in `u64`.
+    pub fn with_scheduler(
+        protocol: &'p P,
+        config: CountConfig<P::State>,
+        scheduler: CS,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            config.n() <= u32::MAX as usize,
+            "CountEngine supports at most u32::MAX agents, got {}",
+            config.n()
+        );
+        let distinct = config.distinct();
+        let stride = (distinct.max(4) * 2).next_power_of_two();
+        let mut engine = CountEngine {
+            protocol,
+            scheduler,
+            rng: StdRng::seed_from_u64(seed),
+            states: Vec::with_capacity(distinct),
+            outs: Vec::with_capacity(distinct),
+            counts: Vec::with_capacity(distinct),
+            index: HashMap::with_capacity(distinct),
+            n: config.n() as u64,
+            stride,
+            null: vec![true; stride * stride],
+            targets: vec![None; stride * stride],
+            col_in: Vec::with_capacity(distinct),
+            row_mass: Vec::with_capacity(distinct),
+            mass: 0,
+            stats: SimStats::default(),
+            output_counts: BTreeMap::new(),
+            last_disagreement: None,
+        };
+        for (s, _) in config.iter() {
+            engine.ensure_slot(s.clone());
+        }
+        for (s, c) in config.iter() {
+            let slot = engine.index[s];
+            engine.counts[slot] = c as u64;
+            *engine
+                .output_counts
+                .entry(engine.outs[slot].clone())
+                .or_insert(0) += c;
+        }
+        // col_in from scratch now that all initial counts are in place.
+        for i in 0..engine.states.len() {
+            engine.col_in[i] = (0..engine.states.len())
+                .filter(|&j| !engine.null[i * engine.stride + j])
+                .map(|j| engine.counts[j])
+                .sum();
+        }
+        engine.refresh_masses();
+        if engine.output_counts.len() > 1 {
+            engine.last_disagreement = Some(0);
+        }
+        engine
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Interactions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.stats.steps
+    }
+
+    /// Current counters, on the same [`SimStats`] surface as the indexed
+    /// engine.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The protocol driving this engine.
+    pub fn protocol(&self) -> &P {
+        self.protocol
+    }
+
+    /// Histogram of current outputs.
+    pub fn output_counts(&self) -> &BTreeMap<P::Output, usize> {
+        &self.output_counts
+    }
+
+    /// The current anonymous configuration.
+    pub fn config(&self) -> CountConfig<P::State> {
+        let mut config = CountConfig::new();
+        for (s, &c) in self.states.iter().zip(&self.counts) {
+            if c > 0 {
+                config.insert(s.clone(), c as usize);
+            }
+        }
+        config
+    }
+
+    /// Whether the configuration is silent. Exact and `O(1)`: the engine
+    /// maintains the total weight of state-changing pairs.
+    pub fn is_silent(&self) -> bool {
+        self.mass == 0
+    }
+
+    /// A [`RunReport`] snapshot of the execution so far.
+    pub fn report(&self) -> RunReport<P::Output> {
+        let consensus = if self.output_counts.len() == 1 {
+            self.output_counts.keys().next().cloned()
+        } else {
+            None
+        };
+        RunReport {
+            steps: self.stats.steps,
+            steps_to_silence: self.stats.last_change_step,
+            steps_to_consensus: self.last_disagreement.map_or(0, |t| t + 1),
+            state_changes: self.stats.state_changes,
+            consensus,
+        }
+    }
+
+    /// Executes one scheduled interaction. Returns whether any state
+    /// changed.
+    ///
+    /// This is the unbatched path — useful for scripted schedulers and
+    /// lock-step comparisons; [`run_until_silent`](Self::run_until_silent)
+    /// uses the batched path instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::PopulationTooSmall`] for populations with
+    /// fewer than two agents.
+    pub fn step(&mut self) -> Result<bool, FrameworkError> {
+        if self.n < 2 {
+            return Err(FrameworkError::PopulationTooSmall { n: self.n as usize });
+        }
+        let view = view!(self);
+        let (i, j) = self.scheduler.next_slot_pair(&view, &mut self.rng);
+        debug_assert!(
+            self.counts[i] >= 1 && self.counts[j] > u64::from(i == j),
+            "scheduler drew an unrealizable slot pair"
+        );
+        self.stats.steps += 1;
+        let changed = !self.null[i * self.stride + j];
+        if changed {
+            self.stats.state_changes += 1;
+            self.stats.last_change_step = self.stats.steps;
+            self.apply(i, j);
+        }
+        if self.output_counts.len() > 1 {
+            self.last_disagreement = Some(self.stats.steps);
+        }
+        Ok(changed)
+    }
+
+    /// Runs until the configuration is silent, jumping between change-points
+    /// in batched draws. Silence detection is exact (no check interval is
+    /// needed): the run stops at the precise step after which no pair can
+    /// change state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::MaxStepsExceeded`] when the budget is
+    /// exhausted before silence.
+    pub fn run_until_silent(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<RunReport<P::Output>, FrameworkError> {
+        loop {
+            if self.mass == 0 {
+                return Ok(self.report());
+            }
+            let remaining = max_steps.saturating_sub(self.stats.steps);
+            if remaining == 0 {
+                return Err(FrameworkError::MaxStepsExceeded { max_steps });
+            }
+            self.advance_one_change(remaining);
+        }
+    }
+
+    /// Runs exactly until `target_steps` total interactions have elapsed (or
+    /// silence makes the remainder provably null, in which case the step
+    /// counter jumps to `target_steps` directly). Useful for sampling
+    /// trajectories on a parallel-time grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::PopulationTooSmall`] for populations with
+    /// fewer than two agents (which cannot interact at all).
+    pub fn advance_to(&mut self, target_steps: u64) -> Result<(), FrameworkError> {
+        if self.n < 2 {
+            if target_steps > self.stats.steps {
+                return Err(FrameworkError::PopulationTooSmall { n: self.n as usize });
+            }
+            return Ok(());
+        }
+        while self.stats.steps < target_steps {
+            if self.mass == 0 {
+                // Every remaining interaction is null.
+                self.stats.steps = target_steps;
+                return Ok(());
+            }
+            self.advance_one_change(target_steps - self.stats.steps);
+        }
+        Ok(())
+    }
+
+    /// Consumes up to `budget` interactions: the skipped nulls plus (when the
+    /// budget allows) the next state-changing one.
+    fn advance_one_change(&mut self, budget: u64) {
+        let view = view!(self);
+        let draw = self.scheduler.next_change(&view, budget, &mut self.rng);
+        let disagreeing = self.output_counts.len() > 1;
+        self.stats.steps += draw.skipped;
+        if disagreeing && draw.skipped > 0 {
+            // Outputs cannot change during null interactions, so the
+            // disagreement persisted through every skipped step.
+            self.last_disagreement = Some(self.stats.steps);
+        }
+        if let Some((i, j)) = draw.pair {
+            self.stats.steps += 1;
+            self.stats.state_changes += 1;
+            self.stats.last_change_step = self.stats.steps;
+            self.apply(i, j);
+            if self.output_counts.len() > 1 {
+                self.last_disagreement = Some(self.stats.steps);
+            }
+        }
+    }
+
+    /// Applies the cached transition of active pair `(i, j)` to the counts,
+    /// output histogram and activity structures.
+    fn apply(&mut self, i: usize, j: usize) {
+        let (a, b) = self.targets[i * self.stride + j]
+            .clone()
+            .expect("apply called on a null pair");
+        let ai = self.ensure_slot(a);
+        let bi = self.ensure_slot(b);
+        // Output histogram: the two participating agents leave their old
+        // output classes and join the new ones.
+        self.shift_output(i, ai);
+        self.shift_output(j, bi);
+        // Coalesced count deltas (slots may repeat, e.g. a diagonal pair).
+        let mut deltas: [(usize, i64); 4] = [(i, -1), (j, -1), (ai, 1), (bi, 1)];
+        for idx in 0..4 {
+            for prev in 0..idx {
+                if deltas[prev].0 == deltas[idx].0 {
+                    deltas[prev].1 += deltas[idx].1;
+                    deltas[idx].1 = 0;
+                    break;
+                }
+            }
+        }
+        for &(t, d) in &deltas {
+            if d == 0 {
+                continue;
+            }
+            self.counts[t] = self.counts[t]
+                .checked_add_signed(d)
+                .expect("state count underflow");
+            // Every slot with an active pair into column `t` absorbs the
+            // count change linearly.
+            for r in 0..self.states.len() {
+                if !self.null[r * self.stride + t] {
+                    self.col_in[r] = self.col_in[r]
+                        .checked_add_signed(d)
+                        .expect("col_in underflow");
+                }
+            }
+        }
+        self.refresh_masses();
+    }
+
+    /// Moves one agent from output class `outs[from]` to `outs[to]`.
+    fn shift_output(&mut self, from: usize, to: usize) {
+        let old = &self.outs[from];
+        let new = &self.outs[to];
+        if old == new {
+            return;
+        }
+        let slot = self
+            .output_counts
+            .get_mut(old)
+            .expect("output histogram out of sync");
+        *slot -= 1;
+        if *slot == 0 {
+            self.output_counts.remove(old);
+        }
+        *self.output_counts.entry(new.clone()).or_insert(0) += 1;
+    }
+
+    /// Recomputes `row_mass` and `mass` from `counts` and `col_in` —
+    /// `O(slots)`, called once per change-point.
+    fn refresh_masses(&mut self) {
+        let mut mass = 0u64;
+        for r in 0..self.states.len() {
+            let diagonal = if self.null[r * self.stride + r] {
+                0
+            } else {
+                self.counts[r]
+            };
+            let m = self.counts[r] * self.col_in[r] - diagonal;
+            self.row_mass[r] = m;
+            mass += m;
+        }
+        self.mass = mass;
+    }
+
+    /// Returns the slot of `state`, creating it (with all pair entries
+    /// against existing slots precomputed) when unseen.
+    fn ensure_slot(&mut self, state: P::State) -> usize {
+        if let Some(&idx) = self.index.get(&state) {
+            return idx;
+        }
+        let idx = self.states.len();
+        if idx >= self.stride {
+            self.grow();
+        }
+        self.index.insert(state.clone(), idx);
+        self.outs.push(self.protocol.output(&state));
+        self.states.push(state);
+        self.counts.push(0);
+        self.col_in.push(0);
+        self.row_mass.push(0);
+        for j in 0..=idx {
+            self.compute_pair(idx, j);
+            if j < idx {
+                self.compute_pair(j, idx);
+            }
+        }
+        self.col_in[idx] = (0..=idx)
+            .filter(|&j| !self.null[idx * self.stride + j])
+            .map(|j| self.counts[j])
+            .sum();
+        // Existing col_in values are unaffected: the new slot holds no
+        // agents yet, and row_mass[idx] = 0 for the same reason.
+        idx
+    }
+
+    /// Fills the `(i, j)` entries of the pair matrices.
+    fn compute_pair(&mut self, i: usize, j: usize) {
+        let (a, b) = self.protocol.transition(&self.states[i], &self.states[j]);
+        let cell = i * self.stride + j;
+        if a == self.states[i] && b == self.states[j] {
+            self.null[cell] = true;
+            self.targets[cell] = None;
+        } else {
+            self.null[cell] = false;
+            self.targets[cell] = Some((a, b));
+        }
+    }
+
+    /// Doubles the pair-matrix stride, remapping existing entries.
+    fn grow(&mut self) {
+        let old = self.stride;
+        let stride = old * 2;
+        let mut null = vec![true; stride * stride];
+        let mut targets = vec![None; stride * stride];
+        for i in 0..self.states.len() {
+            for j in 0..self.states.len() {
+                null[i * stride + j] = self.null[i * old + j];
+                targets[i * stride + j] = self.targets[i * old + j].take();
+            }
+        }
+        self.stride = stride;
+        self.null = null;
+        self.targets = targets;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Max;
+
+    impl Protocol for Max {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+    }
+
+    fn mass_by_bruteforce(engine: &CountEngine<'_, Max>) -> u64 {
+        let mut mass = 0;
+        for i in 0..engine.states.len() {
+            for j in 0..engine.states.len() {
+                if engine.null[i * engine.stride + j] {
+                    continue;
+                }
+                let exclude = u64::from(i == j);
+                mass += engine.counts[i] * engine.counts[j].saturating_sub(exclude);
+            }
+        }
+        mass
+    }
+
+    #[test]
+    fn converges_to_max_on_large_population() {
+        let inputs: Vec<u8> = (0..1_000_000).map(|i| (i % 11) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 9);
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(10));
+        assert!(engine.is_silent());
+        assert_eq!(report.steps, report.steps_to_silence);
+    }
+
+    #[test]
+    fn batched_and_stepped_bookkeeping_agree() {
+        let inputs: Vec<u8> = (0..60).map(|i| (i % 6) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 3);
+        for _ in 0..2_000 {
+            let _ = engine.step().unwrap();
+            assert_eq!(engine.mass, mass_by_bruteforce(&engine));
+            let total: u64 = engine.counts.iter().sum();
+            assert_eq!(total, 60);
+            let out_total: usize = engine.output_counts.values().sum();
+            assert_eq!(out_total, 60);
+            if engine.is_silent() {
+                break;
+            }
+        }
+        assert!(engine.is_silent(), "max protocol silences 60 agents fast");
+    }
+
+    #[test]
+    fn mass_invariant_holds_across_batched_run() {
+        let inputs: Vec<u8> = (0..5_000).map(|i| (i % 13) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 5);
+        while !engine.is_silent() {
+            engine.advance_one_change(u64::MAX);
+            assert_eq!(engine.mass, mass_by_bruteforce(&engine));
+        }
+        assert_eq!(engine.config().n(), 5_000);
+        assert_eq!(engine.report().consensus, Some(12));
+    }
+
+    #[test]
+    fn silent_configuration_detected_immediately() {
+        let mut engine = CountEngine::from_inputs(&Max, &[4, 4, 4], 1);
+        let report = engine.run_until_silent(100).unwrap();
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.consensus, Some(4));
+    }
+
+    #[test]
+    fn tiny_population_errors_on_step() {
+        let mut engine = CountEngine::from_inputs(&Max, &[4], 1);
+        assert!(matches!(
+            engine.step(),
+            Err(FrameworkError::PopulationTooSmall { n: 1 })
+        ));
+        // ... but is vacuously silent for the batched runner.
+        assert!(engine.run_until_silent(10).is_ok());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let inputs: Vec<u8> = (0..64).map(|i| (i % 8) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 2);
+        let err = engine.run_until_silent(1).unwrap_err();
+        assert_eq!(err, FrameworkError::MaxStepsExceeded { max_steps: 1 });
+        assert_eq!(engine.steps(), 1);
+    }
+
+    #[test]
+    fn advance_to_runs_exactly_that_many_interactions() {
+        let inputs: Vec<u8> = (0..40).map(|i| (i % 5) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 7);
+        engine.advance_to(123).unwrap();
+        assert_eq!(engine.steps(), 123);
+        // Past silence the counter still advances (all-null tail).
+        engine.advance_to(1_000_000_000).unwrap();
+        assert_eq!(engine.steps(), 1_000_000_000);
+        assert!(engine.is_silent());
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let inputs = [1u8, 1, 2, 3];
+        let engine = CountEngine::from_inputs(&Max, &inputs, 1);
+        let config = engine.config();
+        assert_eq!(config.n(), 4);
+        assert_eq!(config.count(&1), 2);
+    }
+
+    #[test]
+    fn slot_growth_preserves_pair_matrices() {
+        // Start with many distinct states so growth paths are exercised.
+        let inputs: Vec<u8> = (0..200).map(|i| (i % 97) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 5);
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(96));
+        assert_eq!(engine.config().n(), 200);
+    }
+
+    #[test]
+    fn report_before_running_reflects_initial_configuration() {
+        let engine = CountEngine::from_inputs(&Max, &[1, 2], 1);
+        let report = engine.report();
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.consensus, None);
+        assert_eq!(report.steps_to_consensus, 1);
+    }
+}

@@ -20,8 +20,10 @@
 //!   the model checker.
 //! - [`Simulation`]: the indexed simulation engine, driven by any
 //!   [`Scheduler`].
-//! - [`CountingSimulation`]: a faster engine for the uniform-random scheduler
-//!   that works directly on state counts and scales to very large `n`.
+//! - [`CountEngine`]: the batched count-based engine, driven by any
+//!   [`CountScheduler`] — it samples interacting *state pairs* instead of
+//!   agent indices and jumps between change-points in one draw, scaling to
+//!   populations of millions of agents.
 //! - [`InteractionTrace`]: record/replay of interaction schedules for
 //!   reproducible failure analysis.
 //!
@@ -68,21 +70,24 @@
 #![warn(missing_docs)]
 
 mod config;
-mod counting;
+mod count_engine;
 mod error;
 mod population;
 mod protocol;
-mod scheduler;
+pub mod scheduler;
 mod simulation;
 mod time;
 mod trace;
 
 pub use config::CountConfig;
-pub use counting::CountingSimulation;
+pub use count_engine::CountEngine;
 pub use error::FrameworkError;
 pub use population::Population;
 pub use protocol::{EnumerableProtocol, Protocol};
-pub use scheduler::{Scheduler, UniformPairScheduler};
+pub use scheduler::{
+    CountScheduler, CountView, PairDraw, ReplayCountScheduler, Scheduler, UniformCountScheduler,
+    UniformPairScheduler,
+};
 pub use simulation::{RunReport, SimStats, Simulation, StepReport};
 pub use time::{parallel_time, GillespieClock};
 pub use trace::InteractionTrace;

@@ -1,0 +1,402 @@
+//! Count-level scheduling: interactions drawn as *state pairs* over an
+//! anonymous configuration.
+//!
+//! Agents with equal states are interchangeable under the uniform-random
+//! scheduler, so an execution can be driven without agent identities at all:
+//! a [`CountScheduler`] draws ordered pairs of *state slots* from the dense
+//! count representation exposed as a [`CountView`]. Drawing an initiator
+//! state with probability `c_i / n` and then a responder with probability
+//! `c_j' / (n - 1)` (where `c_j'` excludes the initiator) is exactly the
+//! hypergeometric two-draw over the multiset — the count-level image of the
+//! uniform pair distribution `1 / (n (n - 1))` on agent pairs.
+//!
+//! The trait also has a *batched* entry point, [`CountScheduler::next_change`]:
+//! instead of materializing every interaction, a scheduler may jump straight
+//! to the next interaction that changes some state, reporting how many silent
+//! (null) interactions it provably skipped. For the uniform-random scheduler
+//! the skip length is geometric with success probability `mass / (n (n - 1))`
+//! where `mass` is the total weight of state-changing ordered pairs, so
+//! silent-heavy runs advance in one draw per change-point instead of one draw
+//! per interaction.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A read-only, dense snapshot of an anonymous configuration plus the
+/// activity structure maintained by the count engine.
+///
+/// Slots index the engine's dense arrays; every state ever seen keeps its
+/// slot, so zero-count slots exist and simply carry no weight.
+#[derive(Debug)]
+pub struct CountView<'a, S> {
+    /// Distinct states by slot.
+    pub states: &'a [S],
+    /// Agents currently in each slot's state.
+    pub counts: &'a [u64],
+    /// Total number of agents.
+    pub n: u64,
+    /// Per-initiator-slot total weight of *active* (state-changing) ordered
+    /// pairs: `row_mass[i] = Σ_j active(i, j) · c_i · (c_j − [i = j])`.
+    pub row_mass: &'a [u64],
+    /// Total active weight: `Σ_i row_mass[i]`. Zero iff the configuration is
+    /// silent.
+    pub mass: u64,
+    pub(crate) null: &'a [bool],
+    pub(crate) stride: usize,
+}
+
+impl<S> CountView<'_, S> {
+    /// Number of slots (distinct states ever seen, including empty slots).
+    pub fn slots(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the ordered slot pair `(i, j)` changes state when it
+    /// interacts.
+    pub fn is_active(&self, i: usize, j: usize) -> bool {
+        !self.null[i * self.stride + j]
+    }
+
+    /// The sampling weight of the ordered slot pair `(i, j)`: the number of
+    /// ordered *agent* pairs realizing it, `c_i · (c_j − [i = j])`, or `0`
+    /// when the pair is null.
+    pub fn pair_weight(&self, i: usize, j: usize) -> u64 {
+        if !self.is_active(i, j) {
+            return 0;
+        }
+        let exclude = u64::from(i == j);
+        self.counts[i] * (self.counts[j].saturating_sub(exclude))
+    }
+}
+
+/// The outcome of a batched draw: how many provably-null interactions were
+/// skipped, and the active pair that follows them (or `None` when the step
+/// budget ran out first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairDraw {
+    /// Null interactions consumed before the active one.
+    pub skipped: u64,
+    /// The ordered slot pair of the next state-changing interaction;
+    /// `None` when `budget` interactions elapsed without a change.
+    pub pair: Option<(usize, usize)>,
+}
+
+/// A source of count-level interactions.
+///
+/// Implementors choose ordered slot pairs from a [`CountView`]; the engine
+/// threads a seeded RNG through so whole runs stay reproducible. The batched
+/// [`next_change`](CountScheduler::next_change) has a universally correct
+/// default (rejection-sample single draws); schedulers whose distribution
+/// admits a closed-form skip length override it.
+pub trait CountScheduler<S> {
+    /// Draws the ordered slot pair of the next interaction, null or not.
+    ///
+    /// Both slots must currently hold at least one agent (two for a diagonal
+    /// pair), mirroring the "two distinct agents" requirement at the agent
+    /// level.
+    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut StdRng) -> (usize, usize);
+
+    /// Advances directly to the next state-changing interaction, consuming at
+    /// most `budget` interactions (the returned change, when present, is the
+    /// `skipped + 1`-th).
+    fn next_change(&mut self, view: &CountView<'_, S>, budget: u64, rng: &mut StdRng) -> PairDraw {
+        let mut skipped = 0;
+        while skipped < budget {
+            let (i, j) = self.next_slot_pair(view, rng);
+            if view.is_active(i, j) {
+                return PairDraw {
+                    skipped,
+                    pair: Some((i, j)),
+                };
+            }
+            skipped += 1;
+        }
+        PairDraw {
+            skipped,
+            pair: None,
+        }
+    }
+
+    /// Human-readable scheduler name used in reports and benchmarks.
+    fn name(&self) -> &str;
+}
+
+/// The count-level uniform-random scheduler: the hypergeometric two-draw
+/// described in the [module docs](self), with a geometric fast path for
+/// [`next_change`](CountScheduler::next_change).
+///
+/// Statistically equivalent to driving the indexed engine with
+/// [`UniformPairScheduler`](crate::UniformPairScheduler); the equivalence is
+/// covered by the `engine_equivalence` integration tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformCountScheduler {
+    _private: (),
+}
+
+impl UniformCountScheduler {
+    /// Creates a uniform count-level scheduler.
+    pub fn new() -> Self {
+        UniformCountScheduler { _private: () }
+    }
+}
+
+/// Walks `counts` to find the slot containing the `r`-th agent, with
+/// `excluded` agents of slot `exclude` set aside.
+fn slot_of<S>(view: &CountView<'_, S>, mut r: u64, exclude: usize, excluded: u64) -> usize {
+    for (idx, &c) in view.counts.iter().enumerate() {
+        let c = if idx == exclude { c - excluded } else { c };
+        if r < c {
+            return idx;
+        }
+        r -= c;
+    }
+    unreachable!("sampling walked past the total population");
+}
+
+impl<S> CountScheduler<S> for UniformCountScheduler {
+    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut StdRng) -> (usize, usize) {
+        debug_assert!(view.n >= 2, "scheduler requires at least two agents");
+        let i = slot_of(view, rng.random_range(0..view.n), usize::MAX, 0);
+        let j = slot_of(view, rng.random_range(0..view.n - 1), i, 1);
+        (i, j)
+    }
+
+    fn next_change(&mut self, view: &CountView<'_, S>, budget: u64, rng: &mut StdRng) -> PairDraw {
+        if view.mass == 0 {
+            // Silent: every interaction is null.
+            return PairDraw {
+                skipped: budget,
+                pair: None,
+            };
+        }
+        let total = view.n * (view.n - 1);
+        // Geometric skip: each interaction is active with probability
+        // `p = mass / total`, independently, so the number of nulls before
+        // the next change is Geometric(p). Inverse-transform sampling; the
+        // f64 is compared against the budget before narrowing so enormous
+        // skips in nearly-silent configurations cannot overflow.
+        let skipped = if view.mass == total {
+            0
+        } else {
+            let p = view.mass as f64 / total as f64;
+            let u: f64 = rng.random();
+            let skip = ((1.0 - u).ln() / (-p).ln_1p()).floor();
+            if skip >= budget as f64 {
+                return PairDraw {
+                    skipped: budget,
+                    pair: None,
+                };
+            }
+            skip as u64
+        };
+        if skipped >= budget {
+            return PairDraw {
+                skipped: budget,
+                pair: None,
+            };
+        }
+        // Conditioned on "this interaction changes state", the pair is
+        // distributed by its weight among active pairs: walk rows, then
+        // columns within the chosen row.
+        let mut r = rng.random_range(0..view.mass);
+        for (i, &row) in view.row_mass.iter().enumerate() {
+            if r >= row {
+                r -= row;
+                continue;
+            }
+            for j in 0..view.slots() {
+                let w = view.pair_weight(i, j);
+                if r < w {
+                    return PairDraw {
+                        skipped,
+                        pair: Some((i, j)),
+                    };
+                }
+                r -= w;
+            }
+            unreachable!("row mass out of sync with pair weights");
+        }
+        unreachable!("total mass out of sync with row masses");
+    }
+
+    fn name(&self) -> &str {
+        "uniform-count"
+    }
+}
+
+/// A scripted count-level scheduler that replays a fixed sequence of *state*
+/// pairs — the count-level analogue of trace replay, used to drive the count
+/// engine through exactly the interaction sequence of a recorded indexed run
+/// (see the `engine_equivalence` tests).
+#[derive(Debug, Clone)]
+pub struct ReplayCountScheduler<S> {
+    pairs: Vec<(S, S)>,
+    pos: usize,
+}
+
+impl<S: Clone + Eq> ReplayCountScheduler<S> {
+    /// Creates a replay scheduler over `(initiator, responder)` state pairs.
+    pub fn new(pairs: Vec<(S, S)>) -> Self {
+        ReplayCountScheduler { pairs, pos: 0 }
+    }
+
+    /// How many scripted pairs remain.
+    pub fn remaining(&self) -> usize {
+        self.pairs.len().saturating_sub(self.pos)
+    }
+}
+
+impl<S: Clone + Eq> CountScheduler<S> for ReplayCountScheduler<S> {
+    /// # Panics
+    ///
+    /// Panics when the script is exhausted or names a state that is absent
+    /// from the configuration — a scripted pair that cannot be realized
+    /// indicates a bug in the caller (or in the engine under test).
+    fn next_slot_pair(&mut self, view: &CountView<'_, S>, _rng: &mut StdRng) -> (usize, usize) {
+        let (a, b) = self
+            .pairs
+            .get(self.pos)
+            .expect("replay script exhausted")
+            .clone();
+        self.pos += 1;
+        let slot = |s: &S| {
+            view.states
+                .iter()
+                .position(|t| t == s)
+                .expect("replayed state absent from configuration")
+        };
+        let i = slot(&a);
+        let j = slot(&b);
+        assert!(
+            view.counts[i] >= 1 && view.counts[j] > u64::from(i == j),
+            "replayed pair cannot be realized by two distinct agents"
+        );
+        (i, j)
+    }
+
+    fn name(&self) -> &str {
+        "replay-count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn view<'a>(
+        states: &'a [u8],
+        counts: &'a [u64],
+        row_mass: &'a [u64],
+        mass: u64,
+        null: &'a [bool],
+        stride: usize,
+    ) -> CountView<'a, u8> {
+        CountView {
+            states,
+            counts,
+            n: counts.iter().sum(),
+            row_mass,
+            mass,
+            null,
+            stride,
+        }
+    }
+
+    #[test]
+    fn uniform_slot_pairs_respect_counts() {
+        // Two slots, all pairs active.
+        let states = [0u8, 1];
+        let counts = [3u64, 1];
+        let null = [false; 4];
+        let row_mass = [3 * 2 + 3, 3];
+        let v = view(&states, &counts, &row_mass, 12, &null, 2);
+        let mut s = UniformCountScheduler::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let (i, j) = s.next_slot_pair(&v, &mut rng);
+            assert!(i < 2 && j < 2);
+            seen.insert((i, j));
+        }
+        // (1, 1) is impossible: only one agent in slot 1.
+        assert!(seen.contains(&(0, 0)));
+        assert!(seen.contains(&(0, 1)));
+        assert!(seen.contains(&(1, 0)));
+        assert!(!seen.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn next_change_on_silent_view_reports_budget() {
+        let states = [0u8];
+        let counts = [5u64];
+        let null = [true];
+        let row_mass = [0u64];
+        let v = view(&states, &counts, &row_mass, 0, &null, 1);
+        let mut s = UniformCountScheduler::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let draw = CountScheduler::<u8>::next_change(&mut s, &v, 17, &mut rng);
+        assert_eq!(
+            draw,
+            PairDraw {
+                skipped: 17,
+                pair: None
+            }
+        );
+    }
+
+    #[test]
+    fn next_change_picks_only_active_pairs() {
+        // Slot 0 self-pair is null; cross pairs active.
+        let states = [0u8, 1];
+        let counts = [2u64, 2];
+        // null matrix: (0,0) true, (0,1) false, (1,0) false, (1,1) true
+        let null = [true, false, false, true];
+        let row_mass = [4u64, 4];
+        let v = view(&states, &counts, &row_mass, 8, &null, 2);
+        let mut s = UniformCountScheduler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let draw = s.next_change(&v, u64::MAX, &mut rng);
+            let (i, j) = draw.pair.expect("active pairs exist");
+            assert_ne!(i, j, "diagonal pairs are null here");
+        }
+    }
+
+    #[test]
+    fn geometric_skip_mean_matches_null_density() {
+        // 1 active ordered-agent-pair arrangement out of n(n-1).
+        let states = [0u8, 1];
+        let counts = [1u64, 9];
+        // Only (0, 1) active.
+        let null = [true, false, true, true];
+        let row_mass = [9u64, 0];
+        let v = view(&states, &counts, &row_mass, 9, &null, 2);
+        let mut s = UniformCountScheduler::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let draw = s.next_change(&v, u64::MAX, &mut rng);
+            assert_eq!(draw.pair, Some((0, 1)));
+            total += draw.skipped;
+        }
+        // p = 9/90 = 0.1 ⇒ E[skips] = (1 − p)/p = 9.
+        let mean = total as f64 / f64::from(trials);
+        assert!((mean - 9.0).abs() < 0.3, "mean skip {mean} far from 9");
+    }
+
+    #[test]
+    fn replay_scheduler_maps_states_to_slots() {
+        let states = [7u8, 9];
+        let counts = [1u64, 2];
+        let null = [false; 4];
+        let row_mass = [2u64, 2 + 1];
+        let v = view(&states, &counts, &row_mass, 5, &null, 2);
+        let mut s = ReplayCountScheduler::new(vec![(9u8, 7u8), (9, 9)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(s.next_slot_pair(&v, &mut rng), (1, 0));
+        assert_eq!(s.next_slot_pair(&v, &mut rng), (1, 1));
+        assert_eq!(s.remaining(), 0);
+    }
+}

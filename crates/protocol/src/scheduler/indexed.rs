@@ -1,4 +1,5 @@
-//! The [`Scheduler`] trait and the baseline uniform-random scheduler.
+//! Agent-indexed scheduling: the [`Scheduler`] trait and the baseline
+//! uniform-random scheduler.
 //!
 //! A scheduler produces the infinite sequence of pairwise interactions that —
 //! together with the input assignment — fully determines an execution. The

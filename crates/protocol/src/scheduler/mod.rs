@@ -1,0 +1,18 @@
+//! Scheduling at both abstraction levels.
+//!
+//! The module is split by representation:
+//!
+//! - [`indexed`]: the classic [`Scheduler`] trait over agent indices, used by
+//!   [`Simulation`](crate::Simulation). Schedulers at this level can
+//!   distinguish agents, which the adversarial and topology-restricted
+//!   families require.
+//! - [`count`]: the [`CountScheduler`] trait over anonymous state counts,
+//!   used by [`CountEngine`](crate::CountEngine). Schedulers at this level
+//!   draw *state pairs* hypergeometrically and may batch past provably-null
+//!   interactions, which is what makes large-`n` simulation cheap.
+
+pub mod count;
+pub mod indexed;
+
+pub use count::{CountScheduler, CountView, PairDraw, ReplayCountScheduler, UniformCountScheduler};
+pub use indexed::{Scheduler, UniformPairScheduler};

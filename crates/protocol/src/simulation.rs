@@ -326,7 +326,9 @@ where
         Err(FrameworkError::MaxStepsExceeded { max_steps })
     }
 
-    fn report(&self) -> RunReport<P::Output> {
+    /// A [`RunReport`] snapshot of the execution so far. (Runs that end via
+    /// [`run_until_silent`](Self::run_until_silent) return the same value.)
+    pub fn report(&self) -> RunReport<P::Output> {
         RunReport {
             steps: self.stats.steps,
             steps_to_silence: self.stats.last_change_step,

@@ -1,7 +1,7 @@
 //! Property-based tests for the framework's core data structures.
 
 use pp_protocol::{
-    CountConfig, CountingSimulation, InteractionTrace, Population, Protocol, Simulation,
+    CountConfig, CountEngine, InteractionTrace, Population, Protocol, Simulation,
     UniformPairScheduler,
 };
 use proptest::prelude::*;
@@ -114,18 +114,18 @@ proptest! {
         }
     }
 
-    /// The counting engine preserves population size and converges to the
+    /// The count engine preserves population size and converges to the
     /// same consensus as the ground truth (the max).
     #[test]
-    fn counting_engine_finds_the_max(
+    fn count_engine_finds_the_max(
         states in proptest::collection::vec(0u8..12, 2..60),
         seed in any::<u64>(),
     ) {
         let expected = *states.iter().max().unwrap();
-        let mut sim = CountingSimulation::from_inputs(&Max, &states, seed);
-        let report = sim.run_until_silent(10_000_000, 32).unwrap();
+        let mut engine = CountEngine::from_inputs(&Max, &states, seed);
+        let report = engine.run_until_silent(10_000_000).unwrap();
         prop_assert_eq!(report.consensus, Some(expected));
-        prop_assert_eq!(sim.config().n(), states.len());
+        prop_assert_eq!(engine.config().n(), states.len());
     }
 
     /// Traces round-trip through the text format for arbitrary valid pair

@@ -16,7 +16,7 @@
 //! ```
 
 use circles::core::{CirclesProtocol, Color};
-use circles::protocol::CountingSimulation;
+use circles::protocol::CountEngine;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -60,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("nonempty");
 
     let protocol = CirclesProtocol::new(k)?;
-    let mut sim = CountingSimulation::from_inputs(&protocol, &readings, 7);
-    let report = sim.run_until_silent(20_000_000_000, 4096)?;
+    let mut sim = CountEngine::from_inputs(&protocol, &readings, 7);
+    let report = sim.run_until_silent(20_000_000_000)?;
 
     println!(
         "stabilized after {} interactions = {:.1} parallel rounds",

@@ -33,6 +33,25 @@
 //! assert_eq!(report.consensus, Some(Color(2)));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! For large populations, switch to the batched count engine — anonymous
+//! state counts instead of indexed agents, one cheap update per
+//! state-changing interaction:
+//!
+//! ```
+//! use circles::core::{CirclesProtocol, Color};
+//! use circles::protocol::CountEngine;
+//!
+//! // 100k agents; color 0 holds a clear margin.
+//! let protocol = CirclesProtocol::new(3)?;
+//! let inputs: Vec<Color> = (0..100_000u32)
+//!     .map(|i| Color(if i % 10 == 0 { 0 } else { (i % 3) as u16 }))
+//!     .collect();
+//! let mut engine = CountEngine::from_inputs(&protocol, &inputs, 42);
+//! let report = engine.run_until_silent(u64::MAX / 2)?;
+//! assert_eq!(report.consensus, Some(Color(0)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use circles_core as core;
 pub use pp_analysis as analysis;

@@ -3,7 +3,7 @@
 
 use circles::core::prediction::{braket_config_of_population, matches_prediction};
 use circles::core::{invariants, CirclesProtocol, Color, GreedyDecomposition};
-use circles::protocol::{CountingSimulation, Population, Simulation, UniformPairScheduler};
+use circles::protocol::{CountEngine, Population, Simulation, UniformPairScheduler};
 use circles::schedulers::{RoundRobinScheduler, ShuffledRoundsScheduler};
 
 fn colors(xs: &[u16]) -> Vec<Color> {
@@ -69,9 +69,9 @@ fn counting_engine_agrees_with_indexed_engine_on_terminal_config() {
         sim.into_population().to_count_config()
     };
     let counting_terminal = {
-        let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 8);
-        sim.run_until_silent(10_000_000, 16).unwrap();
-        sim.config()
+        let mut engine = CountEngine::from_inputs(&protocol, &inputs, 8);
+        engine.run_until_silent(10_000_000).unwrap();
+        engine.config()
     };
     // Both engines must land on the identical (unique) silent configuration.
     assert_eq!(indexed_terminal, counting_terminal);
@@ -114,8 +114,8 @@ fn large_population_converges_on_counting_engine() {
         }
     }
     let protocol = CirclesProtocol::new(k).unwrap();
-    let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, 99);
-    let report = sim.run_until_silent(5_000_000_000, 4096).unwrap();
+    let mut engine = CountEngine::from_inputs(&protocol, &inputs, 99);
+    let report = engine.run_until_silent(5_000_000_000).unwrap();
     assert_eq!(report.consensus, Some(Color(0)));
 }
 

@@ -4,7 +4,7 @@
 
 use circles::core::{prediction, weight, CirclesProtocol, CirclesState, Color};
 use circles::crn::{MeanField, ReactionNetwork, StochasticSimulation};
-use circles::protocol::{CountConfig, CountingSimulation, Protocol};
+use circles::protocol::{CountConfig, CountEngine, Protocol};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -75,8 +75,8 @@ fn ssa_jump_chain_agrees_with_counting_engine() {
 
     let mut discrete_changes = 0.0;
     for seed in 0..trials {
-        let mut sim = CountingSimulation::from_inputs(&protocol, &colors, 1_000 + seed);
-        let report = sim.run_until_silent(1_000_000, 8).unwrap();
+        let mut engine = CountEngine::from_inputs(&protocol, &colors, 1_000 + seed);
+        let report = engine.run_until_silent(1_000_000).unwrap();
         discrete_changes += report.state_changes as f64;
     }
     let discrete_mean = discrete_changes / trials as f64;

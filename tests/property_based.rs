@@ -25,7 +25,7 @@ use circles::core::prediction::{
 use circles::core::{invariants, CirclesProtocol, Color, GreedyDecomposition};
 use circles::crn::{ssa_density_trajectory, ReactionNetwork};
 use circles::protocol::{
-    CountConfig, CountingSimulation, Population, Protocol, Simulation, UniformPairScheduler,
+    CountConfig, CountEngine, Population, Protocol, Simulation, UniformPairScheduler,
 };
 use circles::schedulers::ShuffledRoundsScheduler;
 use proptest::prelude::*;
@@ -156,8 +156,8 @@ proptest! {
     ) {
         let inputs = to_colors(&raw);
         let protocol = CirclesProtocol::new(k).unwrap();
-        let mut sim = CountingSimulation::from_inputs(&protocol, &inputs, seed);
-        sim.run_until_silent(200_000_000, 256).unwrap();
+        let mut sim = CountEngine::from_inputs(&protocol, &inputs, seed);
+        sim.run_until_silent(200_000_000).unwrap();
         let predicted = predicted_brakets(&inputs, k).unwrap();
         let terminal: circles::protocol::CountConfig<circles::core::BraKet> = sim
             .config()

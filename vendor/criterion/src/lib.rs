@@ -10,13 +10,84 @@
 //! analysis, HTML reports, or baseline comparisons. Good enough to keep
 //! benches compiling and to eyeball relative cost; not a substitute for
 //! real criterion numbers.
+//!
+//! Two CI-oriented extensions over the upstream surface:
+//!
+//! - **Quick mode** ([`quick_mode`]): `--quick` on the bench command line or
+//!   `PP_BENCH_QUICK=1` in the environment deterministically bounds every
+//!   benchmark to at most [`QUICK_SAMPLE_SIZE`] timed batches and a short
+//!   warm-up, so a full bench suite smoke-runs in seconds. Bench files can
+//!   also consult [`quick_mode`] to shrink their parameter grids.
+//! - **Machine-readable reports**: when `PP_BENCH_JSON=<path>` is set, every
+//!   measurement is appended to `<path>` as one JSON object per line (see
+//!   `results/README.md` for the schema). Appending means several bench
+//!   binaries in one `cargo bench` invocation accumulate into a single
+//!   file.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Timed batches per benchmark in quick mode.
+pub const QUICK_SAMPLE_SIZE: usize = 3;
+
+/// Whether this bench process runs in quick (CI smoke) mode: `--quick` among
+/// the process arguments, or `PP_BENCH_QUICK` set to anything but `0` in the
+/// environment.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("PP_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one measurement to the `PP_BENCH_JSON` report file (JSON lines),
+/// when that environment variable is set. Failures to write are reported on
+/// stderr but never fail the bench.
+fn record_json(label: &str, median_ns: f64, samples: usize, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("PP_BENCH_JSON") else {
+        return;
+    };
+    let (tp_kind, tp_per_iter) = match throughput {
+        Some(Throughput::Elements(n)) => ("\"elements\"".to_string(), n.to_string()),
+        Some(Throughput::Bytes(n)) => ("\"bytes\"".to_string(), n.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let line = format!(
+        "{{\"bench\":\"{}\",\"median_ns\":{median_ns:.1},\"samples\":{samples},\
+         \"throughput_kind\":{tp_kind},\"throughput_per_iter\":{tp_per_iter},\
+         \"quick\":{}}}\n",
+        json_escape(label),
+        quick_mode(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("cannot append bench record to {path}: {e}");
+    }
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -161,7 +232,13 @@ pub struct Bencher {
 impl Bencher {
     fn new(sample_size: usize) -> Self {
         Bencher {
-            sample_size,
+            // Quick mode deterministically bounds the sample count so CI
+            // smoke runs finish fast regardless of what the bench requests.
+            sample_size: if quick_mode() {
+                sample_size.min(QUICK_SAMPLE_SIZE)
+            } else {
+                sample_size
+            },
             median_ns: f64::NAN,
         }
     }
@@ -170,9 +247,10 @@ impl Bencher {
     /// `sample_size` batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm up and size batches so one batch is ~1ms of work.
+        let warmup_budget_ms = if quick_mode() { 5 } else { 20 };
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
-        while warmup_start.elapsed().as_millis() < 20 {
+        while warmup_start.elapsed().as_millis() < warmup_budget_ms {
             black_box(f());
             warmup_iters += 1;
         }
@@ -197,6 +275,7 @@ impl Bencher {
             println!("{label:<40} (no measurement)");
             return;
         }
+        record_json(label, self.median_ns, self.sample_size, throughput);
         let rate = match throughput {
             Some(Throughput::Elements(n)) => {
                 format!("  {:>12.1} Melem/s", n as f64 * 1e3 / self.median_ns)
@@ -211,6 +290,16 @@ impl Bencher {
         };
         println!("{label:<40} {:>14.1} ns/iter{rate}", self.median_ns);
     }
+}
+
+/// Records an externally measured value into the `PP_BENCH_JSON` report
+/// (and echoes it on stdout), for derived metrics a bench computes itself —
+/// e.g. an extrapolated full-run time or a speedup ratio. `value` lands in
+/// the `median_ns` field; labels whose metric is not a time should say so
+/// (see `results/README.md`).
+pub fn report_external(label: &str, value: f64, samples: usize) {
+    println!("{label:<40} {value:>14.1}");
+    record_json(label, value, samples, None);
 }
 
 /// Bundles benchmark functions into one group runner, mirroring upstream's
