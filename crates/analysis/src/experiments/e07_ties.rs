@@ -10,11 +10,12 @@
 use circles_core::prediction::{braket_config_of_population, self_loop_colors};
 use circles_core::CirclesProtocol;
 use pp_extensions::ties::{winning_output_fraction, TieAnalysis};
-use pp_protocol::{Population, Protocol, Simulation, UniformPairScheduler};
+use pp_protocol::{Population, Protocol};
 
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
+use crate::trial::Backend;
 use crate::workloads::{shuffled, tie_workload_balanced};
 
 /// Parameters for E7.
@@ -30,6 +31,10 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Which engine executes the runs. Tie workloads still reach silence
+    /// (outputs stall, state changes do not persist), so both engines
+    /// apply; the count backend is the default, as in E2/E6.
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -40,6 +45,7 @@ impl Default for Params {
             seeds: 32,
             max_steps: 500_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Count,
         }
     }
 }
@@ -53,7 +59,14 @@ impl Params {
             seeds: 4,
             max_steps: 10_000_000,
             threads: 2,
+            backend: Backend::Count,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -63,7 +76,7 @@ struct TieRun {
     winning_fraction: f64,
 }
 
-fn one_run(n: usize, k: u16, ways: u16, seed: u64, max_steps: u64) -> TieRun {
+fn one_run(n: usize, k: u16, ways: u16, seed: u64, max_steps: u64, backend: Backend) -> TieRun {
     let protocol = CirclesProtocol::new(k).expect("k >= 1");
     // Balanced ties keep loser colors populated, so the output-fraction
     // measurement is informative (losers' frozen outputs can point at
@@ -71,11 +84,11 @@ fn one_run(n: usize, k: u16, ways: u16, seed: u64, max_steps: u64) -> TieRun {
     let inputs = shuffled(tie_workload_balanced(n, k, ways), seed);
     let analysis = TieAnalysis::of(&inputs, k).expect("valid tie workload");
     assert!(analysis.is_tie());
-    let population = Population::from_inputs(&protocol, &inputs);
-    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
-    sim.run_until_silent(max_steps, (n as u64).max(16))
-        .expect("tied instance did not stabilize");
-    let population = sim.into_population();
+    let outcome = backend
+        .run_to_silence(&protocol, &inputs, seed, max_steps)
+        .expect("tie run failed");
+    assert!(outcome.stabilized, "tied instance did not stabilize");
+    let population = Population::from_states(outcome.config.to_state_vec());
     let brakets = braket_config_of_population(&population);
     let outputs: Vec<circles_core::Color> = population.iter().map(|s| protocol.output(s)).collect();
     let unanimous = outputs.windows(2).all(|w| w[0] == w[1]);
@@ -89,7 +102,10 @@ fn one_run(n: usize, k: u16, ways: u16, seed: u64, max_steps: u64) -> TieRun {
 /// Runs E7 and returns the table.
 pub fn run(params: &Params) -> Table {
     let mut table = Table::new(
-        "E7 — tie behaviour: the predicted output stall",
+        &format!(
+            "E7 — tie behaviour: the predicted output stall ({} backend)",
+            params.backend.name()
+        ),
         &[
             "k",
             "tie ways",
@@ -103,7 +119,7 @@ pub fn run(params: &Params) -> Table {
     );
     for &(k, ways) in &params.ties {
         let runs = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-            one_run(params.n, k, ways, seed, params.max_steps)
+            one_run(params.n, k, ways, seed, params.max_steps, params.backend)
         });
         let total_loops: usize = runs.iter().map(|r| r.self_loops_at_end).sum();
         let consensus_count = runs.iter().filter(|r| r.consensus).count();
@@ -128,10 +144,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn no_terminal_self_loops_under_ties() {
-        let table = run(&Params::quick());
-        for row in table.rows() {
-            assert_eq!(row[4], "0", "self-loop survived a tie: {row:?}");
+    fn no_terminal_self_loops_under_ties_on_both_backends() {
+        for backend in Backend::ALL {
+            let table = run(&Params::quick().with_backend(backend));
+            for row in table.rows() {
+                assert_eq!(
+                    row[4],
+                    "0",
+                    "self-loop survived a tie on {}: {row:?}",
+                    backend.name()
+                );
+            }
         }
     }
 }

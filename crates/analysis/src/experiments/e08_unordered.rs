@@ -9,12 +9,12 @@
 
 use circles_core::{CirclesProtocol, Color};
 use pp_extensions::unordered::UnorderedCircles;
-use pp_protocol::{EnumerableProtocol, Population, Simulation, UniformPairScheduler};
+use pp_protocol::{EnumerableProtocol, Population, UniformPairScheduler};
 
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::run_trial;
+use crate::trial::{run_trial, Backend};
 use crate::workloads::{margin_workload, shuffled, true_winner};
 
 /// Parameters for E8.
@@ -30,6 +30,10 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Which engine executes the unordered-protocol runs (the vanilla
+    /// overhead baseline always runs indexed, keeping the denominator
+    /// comparable across sweeps).
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -40,6 +44,7 @@ impl Default for Params {
             seeds: 24,
             max_steps: 1_000_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Count,
         }
     }
 }
@@ -53,7 +58,14 @@ impl Params {
             seeds: 3,
             max_steps: 100_000_000,
             threads: 2,
+            backend: Backend::Count,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -72,21 +84,20 @@ fn opaquify(inputs: &[Color]) -> Vec<Color> {
         .collect()
 }
 
-fn one_run(n: usize, k: u16, seed: u64, max_steps: u64) -> UnorderedRun {
+fn one_run(n: usize, k: u16, seed: u64, max_steps: u64, backend: Backend) -> UnorderedRun {
     let protocol = UnorderedCircles::new(k);
     let base = shuffled(margin_workload(n, k, (n / 8).max(1)), seed);
     let expected_plain = true_winner(&base, k);
     let inputs = opaquify(&base);
     let expected = opaquify(&[expected_plain])[0];
-    let population = Population::from_inputs(&protocol, &inputs);
-    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
-    let report = sim.run_until_silent(max_steps, (n as u64).max(32));
-    let steps = sim.stats().last_change_step;
-    let population = sim.into_population();
+    let outcome = backend
+        .run_to_silence(&protocol, &inputs, seed, max_steps)
+        .expect("unordered run failed");
+    let population = Population::from_states(outcome.config.to_state_vec());
     let winner = UnorderedCircles::consensus_winner(&population);
     UnorderedRun {
-        steps_to_silence: steps,
-        correct: report.is_ok() && winner == Some(expected),
+        steps_to_silence: outcome.report.steps_to_silence,
+        correct: outcome.stabilized && winner == Some(expected),
         conserved: UnorderedCircles::conservation_holds(&population, k),
     }
 }
@@ -114,7 +125,10 @@ fn vanilla_mean(n: usize, k: u16, seeds: &[u64], threads: usize, max_steps: u64)
 /// Runs E8 and returns the table.
 pub fn run(params: &Params) -> Table {
     let mut table = Table::new(
-        "E8 — unordered-setting Circles: correctness and overhead",
+        &format!(
+            "E8 — unordered-setting Circles: correctness and overhead ({} backend)",
+            params.backend.name()
+        ),
         &[
             "k",
             "n",
@@ -130,7 +144,7 @@ pub fn run(params: &Params) -> Table {
     for &k in &params.ks {
         for &n in &params.ns {
             let runs = run_seeded(&seeds, params.threads, |seed| {
-                one_run(n, k, seed, params.max_steps)
+                one_run(n, k, seed, params.max_steps, params.backend)
             });
             let times: Vec<f64> = runs.iter().map(|r| r.steps_to_silence as f64).collect();
             let summary = Summary::from_samples(&times);
@@ -159,10 +173,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unordered_composition_is_correct_at_small_scale() {
-        let table = run(&Params::quick());
-        for row in table.rows() {
-            assert_eq!(row[6], "1.00", "unordered circles failed: {row:?}");
+    fn unordered_composition_is_correct_at_small_scale_on_both_backends() {
+        for backend in Backend::ALL {
+            let table = run(&Params::quick().with_backend(backend));
+            for row in table.rows() {
+                assert_eq!(
+                    row[6],
+                    "1.00",
+                    "unordered circles failed on {}: {row:?}",
+                    backend.name()
+                );
+            }
         }
     }
 

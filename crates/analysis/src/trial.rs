@@ -3,7 +3,8 @@
 
 use circles_core::Color;
 use pp_protocol::{
-    CountEngine, FrameworkError, Population, Protocol, Scheduler, Simulation, UniformPairScheduler,
+    CountConfig, CountEngine, FrameworkError, Population, Protocol, RunReport, Scheduler,
+    Simulation, UniformPairScheduler,
 };
 
 use crate::runner::{default_threads, run_seeded};
@@ -26,7 +27,7 @@ pub struct TrialResult {
 /// Which simulation engine executes a trial.
 ///
 /// Both backends expose the same measurement surface
-/// ([`RunReport`](pp_protocol::RunReport)-shaped), so experiments can sweep
+/// ([`RunReport`]-shaped), so experiments can sweep
 /// them interchangeably; see the README's "Choosing a backend" section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -39,6 +40,20 @@ pub enum Backend {
     Count,
 }
 
+/// The outcome of a backend-dispatched run to silence: the measurement
+/// report, the final anonymous configuration (so experiments can inspect
+/// terminal states — self-loops, conservation, output multisets — without
+/// caring which engine ran), and whether silence was reached within budget.
+#[derive(Debug, Clone)]
+pub struct SilenceOutcome<P: Protocol> {
+    /// Report snapshot at silence (or at budget exhaustion).
+    pub report: RunReport<P::Output>,
+    /// The final configuration as a state multiset.
+    pub config: CountConfig<P::State>,
+    /// Whether the run actually reached silence within `max_steps`.
+    pub stabilized: bool,
+}
+
 impl Backend {
     /// Both backends, for sweeps.
     pub const ALL: [Backend; 2] = [Backend::Indexed, Backend::Count];
@@ -48,6 +63,61 @@ impl Backend {
         match self {
             Backend::Indexed => "indexed",
             Backend::Count => "count",
+        }
+    }
+
+    /// Runs `protocol` from `inputs` to silence on this backend under
+    /// uniform-random scheduling, returning report and final configuration.
+    /// Budget exhaustion is a recorded finding (`stabilized == false`), not
+    /// an error — matching [`run_trial`]'s convention.
+    ///
+    /// This is the protocol-agnostic entry point experiments use when they
+    /// need the *terminal configuration* and not just `TrialResult` numbers
+    /// (E7 inspects surviving self-loops, E8 checks bra-ket conservation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-budget framework errors (scheduler misbehaviour).
+    pub fn run_to_silence<P>(
+        self,
+        protocol: &P,
+        inputs: &[P::Input],
+        seed: u64,
+        max_steps: u64,
+    ) -> Result<SilenceOutcome<P>, FrameworkError>
+    where
+        P: Protocol,
+    {
+        match self {
+            Backend::Indexed => {
+                let population = Population::from_inputs(protocol, inputs);
+                let check_interval = (population.len() as u64).max(16);
+                let mut sim =
+                    Simulation::new(protocol, population, UniformPairScheduler::new(), seed);
+                let stabilized = match sim.run_until_silent(max_steps, check_interval) {
+                    Ok(_) => true,
+                    Err(FrameworkError::MaxStepsExceeded { .. }) => false,
+                    Err(e) => return Err(e),
+                };
+                Ok(SilenceOutcome {
+                    report: sim.report(),
+                    config: sim.into_population().to_count_config(),
+                    stabilized,
+                })
+            }
+            Backend::Count => {
+                let mut engine = CountEngine::from_inputs(protocol, inputs, seed);
+                let stabilized = match engine.run_until_silent(max_steps) {
+                    Ok(_) => true,
+                    Err(FrameworkError::MaxStepsExceeded { .. }) => false,
+                    Err(e) => return Err(e),
+                };
+                Ok(SilenceOutcome {
+                    report: engine.report(),
+                    config: engine.config(),
+                    stabilized,
+                })
+            }
         }
     }
 }
@@ -288,6 +358,35 @@ mod tests {
         assert!(!result.stabilized);
         assert!(!result.correct);
         assert_eq!(result.steps_to_consensus, 3);
+    }
+
+    #[test]
+    fn run_to_silence_exposes_the_terminal_configuration_on_both_backends() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..30).map(|i| Color(u16::from(i >= 20))).collect();
+        for backend in Backend::ALL {
+            let outcome = backend
+                .run_to_silence(&protocol, &inputs, 5, 100_000_000)
+                .unwrap();
+            assert!(outcome.stabilized, "{} did not stabilize", backend.name());
+            assert_eq!(outcome.report.consensus, Some(Color(0)));
+            assert_eq!(outcome.config.n(), 30, "agents conserved");
+            assert!(
+                outcome.report.steps_to_silence <= outcome.report.steps,
+                "silence cannot postdate the last step"
+            );
+        }
+    }
+
+    #[test]
+    fn run_to_silence_budget_exhaustion_is_a_finding() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..60).map(|i| Color((i % 3) as u16)).collect();
+        for backend in Backend::ALL {
+            let outcome = backend.run_to_silence(&protocol, &inputs, 2, 3).unwrap();
+            assert!(!outcome.stabilized, "{}", backend.name());
+            assert_eq!(outcome.config.n(), 60);
+        }
     }
 
     #[test]

@@ -42,6 +42,35 @@ pub fn margin_workload(n: usize, k: u16, margin: usize) -> Vec<Color> {
     inputs
 }
 
+/// The count-level form of [`margin_workload`]: per-color counts instead of
+/// an expanded input vector, so populations far past addressable-memory
+/// scale (`n = 10^9`–`10^18`) can be fed straight into a
+/// [`CountConfig`](pp_protocol::CountConfig) without materializing `n`
+/// inputs. Same shape: losers get `b = (n − margin) / k` agents each, the
+/// winner (color 0) gets `b + margin`, leftover agents are discarded.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`margin_workload`].
+pub fn margin_counts(n: u64, k: u16, margin: u64) -> Vec<(Color, u64)> {
+    assert!(k > 0, "k must be positive");
+    assert!(
+        margin > 0,
+        "margin must be positive (ties are a separate workload)"
+    );
+    if k == 1 {
+        return vec![(Color(0), n)];
+    }
+    let b = n.saturating_sub(margin) / u64::from(k);
+    assert!(
+        b >= 1,
+        "population {n} too small for {k} colors with margin {margin}"
+    );
+    let mut counts = vec![(Color(0), b + margin)];
+    counts.extend((1..k).map(|c| (Color(c), b)));
+    counts
+}
+
 /// A geometric profile: color `i` gets weight `ratio^i` (winner 0), with a
 /// guaranteed strict margin of at least 1 (enforced by construction).
 ///
@@ -249,6 +278,21 @@ mod tests {
         assert_eq!(counts[0], counts[1] + 5);
         assert!(counts[1] == counts[2] && counts[2] == counts[3]);
         assert_eq!(true_winner(&inputs, 4), Color(0));
+    }
+
+    #[test]
+    fn margin_counts_match_expanded_workload() {
+        let inputs = margin_workload(100, 4, 5);
+        let expanded = counts_of(&inputs, 4);
+        let counts = margin_counts(100, 4, 5);
+        for (i, &(color, c)) in counts.iter().enumerate() {
+            assert_eq!(color, Color(i as u16));
+            assert_eq!(c as usize, expanded[i]);
+        }
+        // And it scales where the expanded form cannot.
+        let huge = margin_counts(1_000_000_000_000, 3, 100_000_000_000);
+        assert_eq!(huge[0].1, 300_000_000_000 + 100_000_000_000);
+        assert_eq!(huge.iter().map(|&(_, c)| c).sum::<u64>(), 1_000_000_000_000);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Backend comparison: the indexed engine vs the batched count engine on
 //! the paper protocol, same workloads, end-to-end to silence.
 //!
-//! Three parts:
+//! Five parts:
 //!
 //! 1. `backend_to_silence` — both backends run identical margin workloads to
 //!    silence at sizes where the indexed engine can finish.
@@ -15,14 +15,29 @@
 //!    established. The implied speedup is recorded in the JSON report and
 //!    **asserted to be ≥ 50×**, so a count-engine regression fails the CI
 //!    bench-smoke job instead of drifting silently.
+//! 4. `slot_scaling` — the sparse vs dense *activity index* comparison at
+//!    `k = 30` (slot tables ≥ 10^4): both engines are primed with the same
+//!    discovered state set so the one-time `O(slots²)` transition discovery
+//!    stays out of the measurement, then run to silence. Asserts the sparse
+//!    index is **≥ 5× faster per change-point** at large `k` and **no
+//!    slower** on the small-`k` workload (both recorded in the JSON
+//!    report).
+//! 5. `large_n` — a one-shot Circles run at `n = 10^9` (count-level margin
+//!    workload, no input vector materialized) that must complete to
+//!    silence with the correct winner — the population scale the former
+//!    `u32::MAX` cap made unreachable. Skippable locally via
+//!    `PP_BENCH_SKIP_LARGE_N=1`; CI always runs it.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use circles_core::{CirclesProtocol, Color};
-use pp_analysis::workloads::{margin_workload, true_winner};
-use pp_protocol::{CountEngine, Population, Simulation, UniformPairScheduler};
+use circles_core::{CirclesProtocol, CirclesState, Color};
+use pp_analysis::workloads::{margin_counts, margin_workload, true_winner};
+use pp_protocol::{
+    CountConfig, CountEngine, DenseCountEngine, Population, Simulation, UniformCountScheduler,
+    UniformPairScheduler,
+};
 
 const K: u16 = 3;
 
@@ -151,10 +166,182 @@ fn bench_speedup_check(c: &mut Criterion) {
     let _ = c; // one-shot measurement; no criterion sampling needed
 }
 
+/// Sparse vs dense activity index at `k = 30`: per-change-point cost on a
+/// slot table past 10^4, with discovery primed out of the measurement.
+fn bench_slot_scaling(c: &mut Criterion) {
+    let k = 30u16;
+    let n = 12_000usize;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let inputs = margin_workload(n, k, n / 10);
+    let config: CountConfig<CirclesState> = inputs
+        .iter()
+        .map(|i| pp_protocol::Protocol::input(&protocol, i))
+        .collect();
+
+    // Scout run: discover the slot table this workload actually visits.
+    let mut scout = CountEngine::from_config(&protocol, config.clone(), 7);
+    let report = scout.run_until_silent(u64::MAX / 2).unwrap();
+    let states: Vec<CirclesState> = scout.known_states().to_vec();
+    let slots = states.len();
+    assert!(
+        slots >= 10_000,
+        "slot-scaling workload must exercise >= 10^4 slots, got {slots}"
+    );
+    assert_eq!(report.consensus, Some(true_winner(&inputs, k)));
+
+    // Both engines primed with the identical state set (same slot order →
+    // same RNG stream → identical trajectories), so run time is pure
+    // steady-state per-change-point cost.
+    let run_sparse = || {
+        let mut engine = CountEngine::from_config(&protocol, config.clone(), 7);
+        engine.prime_states(states.iter().cloned());
+        let start = Instant::now();
+        let report = engine.run_until_silent(u64::MAX / 2).unwrap();
+        (start.elapsed().as_nanos() as f64, report)
+    };
+    let run_dense = || {
+        let mut engine = DenseCountEngine::with_parts(
+            &protocol,
+            config.clone(),
+            UniformCountScheduler::new(),
+            7,
+        );
+        engine.prime_states(states.iter().cloned());
+        let start = Instant::now();
+        let report = engine.run_until_silent(u64::MAX / 2).unwrap();
+        (start.elapsed().as_nanos() as f64, report)
+    };
+    let (sparse_ns, sparse_report) = run_sparse();
+    let (dense_ns, dense_report) = run_dense();
+    assert_eq!(
+        sparse_report, dense_report,
+        "primed engines must execute identical trajectories"
+    );
+    let changes = sparse_report.state_changes as f64;
+    let sparse_per_cp = sparse_ns / changes;
+    let dense_per_cp = dense_ns / changes;
+    let ratio = dense_per_cp / sparse_per_cp;
+    criterion::report_external("slot_scaling/slots", slots as f64, 1);
+    criterion::report_external("slot_scaling/sparse_per_change_ns", sparse_per_cp, 1);
+    criterion::report_external("slot_scaling/dense_per_change_ns", dense_per_cp, 1);
+    criterion::report_external("slot_scaling/dense_over_sparse_x", ratio, 1);
+    println!(
+        "slot_scaling: k={k} n={n} slots={slots}, {changes:.0} change-points; \
+         sparse {sparse_per_cp:.0}ns vs dense {dense_per_cp:.0}ns per change-point \
+         ({ratio:.1}x)"
+    );
+    assert!(
+        ratio >= 5.0,
+        "sparse activity index must be >= 5x faster per change-point at \
+         slots >= 10^4, got {ratio:.2}x"
+    );
+
+    // Small-k guard: the sparse index must not regress the common case.
+    // Medians over repeated runs to absorb scheduler noise.
+    let small_inputs = workload(300_000);
+    let small_config: CountConfig<CirclesState> = small_inputs
+        .iter()
+        .map(|i| pp_protocol::Protocol::input(&protocol_small(), i))
+        .collect();
+    let median = |runs: &mut [f64]| {
+        runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        runs[runs.len() / 2]
+    };
+    let mut sparse_times: Vec<f64> = (0..3)
+        .map(|_| {
+            let p = protocol_small();
+            let mut engine = CountEngine::from_config(&p, small_config.clone(), 7);
+            let start = Instant::now();
+            engine.run_until_silent(u64::MAX / 2).unwrap();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    let mut dense_times: Vec<f64> = (0..3)
+        .map(|_| {
+            let p = protocol_small();
+            let mut engine = DenseCountEngine::with_parts(
+                &p,
+                small_config.clone(),
+                UniformCountScheduler::new(),
+                7,
+            );
+            let start = Instant::now();
+            engine.run_until_silent(u64::MAX / 2).unwrap();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    let sparse_small = median(&mut sparse_times);
+    let dense_small = median(&mut dense_times);
+    let small_ratio = sparse_small / dense_small;
+    criterion::report_external("slot_scaling/small_k_sparse_over_dense_x", small_ratio, 3);
+    println!(
+        "slot_scaling small-k guard: k={K} n=300000 sparse/dense = {small_ratio:.3} \
+         (sparse {:.0}ms vs dense {:.0}ms)",
+        sparse_small / 1e6,
+        dense_small / 1e6
+    );
+    assert!(
+        small_ratio <= 1.15,
+        "sparse index regressed the small-k path: {small_ratio:.3}x dense \
+         (tolerance 1.15 for timer noise)"
+    );
+    let _ = c; // one-shot measurement; no criterion sampling needed
+}
+
+/// Constructs the small-`k` protocol (a function so each run re-borrows
+/// cleanly inside closures).
+fn protocol_small() -> CirclesProtocol {
+    CirclesProtocol::new(K).unwrap()
+}
+
+/// One-shot `n = 10^9` Circles run to silence — the population scale the
+/// former `u32::MAX` cap made impossible. The workload is built at count
+/// level (`margin_counts`), so no `n`-sized input vector ever exists.
+fn bench_large_n(c: &mut Criterion) {
+    if std::env::var("PP_BENCH_SKIP_LARGE_N").is_ok() {
+        println!("large_n: skipped via PP_BENCH_SKIP_LARGE_N");
+        return;
+    }
+    let n: u64 = 1_000_000_000;
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let mut config = CountConfig::new();
+    for (color, count) in margin_counts(n, K, n / 10) {
+        config.insert(
+            pp_protocol::Protocol::input(&protocol, &color),
+            count as usize,
+        );
+    }
+    let start = Instant::now();
+    let mut engine = CountEngine::from_config(&protocol, config, 7);
+    let report = engine.run_until_silent(u64::MAX / 2).unwrap();
+    let elapsed_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(
+        report.consensus,
+        Some(Color(0)),
+        "n = 10^9 run must elect the margin winner"
+    );
+    assert!(engine.is_silent());
+    let per_change = elapsed_ns / report.state_changes as f64;
+    criterion::report_external("large_n/count_full_ns", elapsed_ns, 1);
+    criterion::report_external("large_n/interactions", report.steps as f64, 1);
+    criterion::report_external("large_n/state_changes", report.state_changes as f64, 1);
+    criterion::report_external("large_n/per_change_ns", per_change, 1);
+    println!(
+        "large_n: n=10^9 silenced after {} interactions ({} state changes) \
+         in {:.1}s ({per_change:.0}ns per change-point)",
+        report.steps,
+        report.state_changes,
+        elapsed_ns / 1e9
+    );
+    let _ = c; // one-shot measurement; no criterion sampling needed
+}
+
 criterion_group!(
     benches,
     bench_backends_to_silence,
     bench_count_large,
-    bench_speedup_check
+    bench_speedup_check,
+    bench_slot_scaling,
+    bench_large_n
 );
 criterion_main!(benches);

@@ -1,10 +1,17 @@
 //! Regenerates experiment E13 (`meanfield`); see DESIGN.md §7.
+//!
+//! `PP_E13_SAMPLER=count` switches to the count-engine sampler at the
+//! large-`n` preset (`n` up to `10^8`), the populations the SSA event loop
+//! cannot reach; default is the Gillespie reference sweep.
 
 use pp_analysis::experiments::e13_meanfield::{run_with_figures, Params};
 
 fn main() {
+    let count_sampler = std::env::var("PP_E13_SAMPLER").is_ok_and(|v| v == "count");
     let params = if pp_bench::quick_requested() {
         Params::quick()
+    } else if count_sampler {
+        Params::count_large()
     } else {
         Params::default()
     };

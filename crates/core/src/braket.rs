@@ -6,8 +6,10 @@
 //! are exchanged to greedily minimize weight.
 
 use std::fmt;
+use std::str::FromStr;
 
 use crate::color::Color;
+use crate::error::CirclesError;
 
 /// An ordered pair `⟨bra|ket⟩` of colors.
 ///
@@ -51,6 +53,30 @@ impl BraKet {
 impl fmt::Display for BraKet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨{}|{}⟩", self.bra.0, self.ket.0)
+    }
+}
+
+impl FromStr for BraKet {
+    type Err = CirclesError;
+
+    /// Parses the `Display` form `⟨i|j⟩` (count-level traces serialize
+    /// states textually and parse them back on replay).
+    fn from_str(s: &str) -> Result<Self, CirclesError> {
+        let bad = |why: &str| CirclesError::StateParse(format!("bra-ket {s:?}: {why}"));
+        let inner = s
+            .strip_prefix('⟨')
+            .and_then(|rest| rest.strip_suffix('⟩'))
+            .ok_or_else(|| bad("missing angle brackets"))?;
+        let (bra, ket) = inner.split_once('|').ok_or_else(|| bad("missing |"))?;
+        let parse = |part: &str| {
+            part.parse::<u16>()
+                .map(Color)
+                .map_err(|e| bad(&format!("bad color index {part:?}: {e}")))
+        };
+        Ok(BraKet {
+            bra: parse(bra)?,
+            ket: parse(ket)?,
+        })
     }
 }
 

@@ -1,6 +1,9 @@
 //! The [`Color`] newtype: an input color in `[0, k-1]`.
 
 use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CirclesError;
 
 /// An input color (an "opinion") in `[0, k-1]`.
 ///
@@ -37,6 +40,22 @@ impl fmt::Display for Color {
     }
 }
 
+impl FromStr for Color {
+    type Err = CirclesError;
+
+    /// Parses the `Display` form `c<index>` (count-level traces serialize
+    /// states textually and parse them back on replay).
+    fn from_str(s: &str) -> Result<Self, CirclesError> {
+        let index = s
+            .strip_prefix('c')
+            .ok_or_else(|| CirclesError::StateParse(format!("color {s:?} lacks the c prefix")))?;
+        index
+            .parse()
+            .map(Color)
+            .map_err(|e| CirclesError::StateParse(format!("bad color index {index:?}: {e}")))
+    }
+}
+
 impl From<u16> for Color {
     fn from(value: u16) -> Self {
         Color(value)
@@ -70,5 +89,15 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(Color(0).to_string(), "c0");
+    }
+
+    #[test]
+    fn display_round_trips_through_fromstr() {
+        for c in [Color(0), Color(7), Color(u16::MAX)] {
+            assert_eq!(c.to_string().parse::<Color>().unwrap(), c);
+        }
+        assert!("7".parse::<Color>().is_err(), "prefix is mandatory");
+        assert!("cx".parse::<Color>().is_err());
+        assert!("c70000".parse::<Color>().is_err(), "u16 overflow");
     }
 }

@@ -25,6 +25,9 @@ pub enum CirclesError {
         /// The repeated degree.
         degree: u64,
     },
+    /// A textual state representation (the `Display` forms of `Color`,
+    /// `BraKet`, `CirclesState`) could not be parsed back.
+    StateParse(String),
 }
 
 impl fmt::Display for CirclesError {
@@ -38,6 +41,7 @@ impl fmt::Display for CirclesError {
             CirclesError::DuplicateOrdinalDegree { degree } => {
                 write!(f, "duplicate ordinal term of degree {degree}")
             }
+            CirclesError::StateParse(msg) => write!(f, "invalid state text: {msg}"),
         }
     }
 }

@@ -2,6 +2,7 @@
 //! [`pp_protocol::Protocol`].
 
 use std::fmt;
+use std::str::FromStr;
 
 use pp_protocol::{EnumerableProtocol, Protocol};
 
@@ -43,6 +44,22 @@ impl CirclesState {
 impl fmt::Display for CirclesState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}→{}", self.braket, self.out)
+    }
+}
+
+impl FromStr for CirclesState {
+    type Err = CirclesError;
+
+    /// Parses the `Display` form `⟨i|j⟩→c<out>` (count-level traces
+    /// serialize states textually and parse them back on replay).
+    fn from_str(s: &str) -> Result<Self, CirclesError> {
+        let (braket, out) = s.split_once('→').ok_or_else(|| {
+            CirclesError::StateParse(format!("state {s:?} lacks the → separator"))
+        })?;
+        Ok(CirclesState {
+            braket: braket.parse()?,
+            out: out.parse()?,
+        })
     }
 }
 
@@ -223,6 +240,25 @@ mod tests {
     fn input_panics_out_of_range() {
         let p = CirclesProtocol::new(2).unwrap();
         let _ = p.input(&Color(2));
+    }
+
+    #[test]
+    fn state_display_round_trips_through_fromstr() {
+        let state = CirclesState {
+            braket: BraKet::new(Color(3), Color(11)),
+            out: Color(7),
+        };
+        assert_eq!(state.to_string(), "⟨3|11⟩→c7");
+        assert_eq!(state.to_string().parse::<CirclesState>().unwrap(), state);
+        for k in [1u16, 4, 30] {
+            let p = CirclesProtocol::new(k).unwrap();
+            for s in p.states() {
+                assert_eq!(s.to_string().parse::<CirclesState>().unwrap(), s);
+            }
+        }
+        assert!("⟨3|11⟩".parse::<CirclesState>().is_err(), "missing output");
+        assert!("3|11→c1".parse::<CirclesState>().is_err(), "bad braket");
+        assert!("⟨3|11⟩→1".parse::<CirclesState>().is_err(), "bad color");
     }
 
     #[test]

@@ -1,0 +1,535 @@
+//! Activity bookkeeping strategies for the count engine.
+//!
+//! The count engine must know, at every change-point, the total sampling
+//! weight of *active* (state-changing) ordered slot pairs — `mass` — plus
+//! enough structure to draw one active pair with probability proportional to
+//! its weight `c_i · (c_j − [i = j])`. This module isolates that bookkeeping
+//! behind the [`Activity`] trait with two implementations:
+//!
+//! - [`SparseActivity`] (the default): per-slot adjacency lists of active
+//!   out-/in-neighbors, discovered lazily as states appear. A count change
+//!   at slot `t` touches only the rows active into `t` (`O(deg)` instead of
+//!   `O(slots)`), changed rows are collected in a dirty set and settled once
+//!   per change-point, and conditional pair draws go through a
+//!   [`Fenwick`] tree over `row_mass` in `O(log slots + deg)`. Row updates
+//!   switch adaptively between per-row Fenwick point updates (sparse dirty
+//!   sets) and a linear-time rebuild (dense dirty sets), so the maintenance
+//!   cost never exceeds one sequential pass over the rows.
+//! - [`DenseActivity`]: the previous engine's bookkeeping — a dense
+//!   `slots × slots` pair matrix scanned per count change, a full
+//!   `row_mass` refresh per change-point and linear-scan sampling. Kept as
+//!   the reference baseline: replaying the same schedule through both
+//!   indexes must produce bit-identical runs, and the `backend` bench
+//!   measures the per-change-point gap between the two.
+//!
+//! All pair-weight arithmetic is `u128`, so populations are no longer capped
+//! at `u32::MAX` agents (the engine accepts up to `2^63 − 1`).
+
+use crate::fenwick::Fenwick;
+
+/// Read-only sampling interface over an activity index, used by
+/// [`CountView`](crate::CountView) to answer scheduler queries without
+/// exposing the index representation.
+pub trait PairSampling {
+    /// Whether the ordered slot pair `(i, j)` changes state when it
+    /// interacts.
+    fn is_active(&self, i: usize, j: usize) -> bool;
+
+    /// Maps the `r`-th unit of active weight to its ordered slot pair:
+    /// active pairs are ordered by initiator slot, then responder slot, and
+    /// pair `(i, j)` spans `c_i · (c_j − [i = j])` units. Requires
+    /// `r < mass`.
+    fn sample_change(&self, r: u128, counts: &[u64]) -> (usize, usize);
+}
+
+/// Incrementally maintained activity index over the count engine's slots.
+///
+/// The engine drives implementations through a strict protocol:
+/// [`add_slot`](Activity::add_slot) once per newly observed state (counts
+/// already extended with a zero entry), [`count_changed`](Activity::count_changed)
+/// once per count delta (counts already updated), and
+/// [`settle`](Activity::settle) once per change-point after all deltas, which
+/// must leave [`mass`](Activity::mass) and [`row_mass`](Activity::row_mass)
+/// exact.
+pub trait Activity: PairSampling + Default {
+    /// Registers the slot `counts.len() - 1` (which must hold zero agents)
+    /// and discovers its activity against all existing slots by querying
+    /// `active(i, j)` for every ordered pair involving the new slot.
+    fn add_slot(&mut self, counts: &[u64], active: impl FnMut(usize, usize) -> bool);
+
+    /// Absorbs a count change of `delta` agents at `slot` (already applied
+    /// to `counts`) into the incremental structures, deferring row-mass
+    /// settlement to [`settle`](Activity::settle).
+    fn count_changed(&mut self, slot: usize, delta: i64);
+
+    /// Recomputes the row masses of every row dirtied since the last call
+    /// and restores the `mass`/`row_mass`/sampling invariants.
+    fn settle(&mut self, counts: &[u64]);
+
+    /// Total weight of active ordered pairs; zero iff the configuration is
+    /// silent.
+    fn mass(&self) -> u128;
+
+    /// Per-initiator-slot active weight
+    /// `row_mass[i] = c_i · col_in[i] − [active(i, i)] · c_i`.
+    fn row_mass(&self) -> &[u128];
+}
+
+/// Recomputes one row's mass from its count and in-column sum.
+#[inline]
+fn row_mass_of(count: u64, col_in: u64, diag_active: bool) -> u128 {
+    let c = u128::from(count);
+    c * u128::from(col_in) - if diag_active { c } else { 0 }
+}
+
+/// Sparse per-slot adjacency activity index — see the [module docs](self).
+#[derive(Debug)]
+pub struct SparseActivity {
+    /// `out[i]`: slots `j` (ascending) with `(i, j)` active.
+    out: Vec<Vec<u32>>,
+    /// `ins[j]`: slots `i` (ascending) with `(i, j)` active.
+    ins: Vec<Vec<u32>>,
+    /// Whether the diagonal pair `(i, i)` is active.
+    diag: Vec<bool>,
+    /// `col_in[i] = Σ_j active(i, j) · c_j`.
+    col_in: Vec<u64>,
+    row_mass: Vec<u128>,
+    fenwick: Fenwick,
+    mass: u128,
+    /// Rows whose mass is stale, awaiting [`Activity::settle`].
+    dirty: Vec<u32>,
+    /// `stamp[r] == epoch` iff row `r` is already queued in `dirty`.
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Whether the Fenwick tree is live. Below
+    /// [`FENWICK_MIN_SLOTS`] a linear row scan beats the tree's
+    /// maintenance cost, so the tree stays empty until the slot count
+    /// crosses the threshold (it never goes back).
+    use_fenwick: bool,
+}
+
+/// Slot count below which conditional sampling scans `row_mass` linearly
+/// instead of maintaining the Fenwick tree — at a handful of slots the
+/// sequential scan is faster than tree upkeep, and keeping the small-k
+/// path lean is what lets the sparse index replace the dense one
+/// everywhere.
+const FENWICK_MIN_SLOTS: usize = 64;
+
+impl Default for SparseActivity {
+    fn default() -> Self {
+        SparseActivity {
+            out: Vec::new(),
+            ins: Vec::new(),
+            diag: Vec::new(),
+            col_in: Vec::new(),
+            row_mass: Vec::new(),
+            fenwick: Fenwick::new(),
+            mass: 0,
+            dirty: Vec::new(),
+            stamp: Vec::new(),
+            // Stamps start at zero, so the live epoch must not: a fresh row
+            // would otherwise read as already-queued and never get dirtied.
+            epoch: 1,
+            use_fenwick: false,
+        }
+    }
+}
+
+impl PairSampling for SparseActivity {
+    fn is_active(&self, i: usize, j: usize) -> bool {
+        self.out[i].binary_search(&(j as u32)).is_ok()
+    }
+
+    fn sample_change(&self, r: u128, counts: &[u64]) -> (usize, usize) {
+        debug_assert!(self.dirty.is_empty(), "sampling from an unsettled index");
+        let (i, mut rem) = if self.use_fenwick {
+            self.fenwick.find(r)
+        } else {
+            // Few slots: a sequential scan is cheaper than the tree. Same
+            // row order as the tree search, so draws agree bit-for-bit.
+            let mut rem = r;
+            let mut row = usize::MAX;
+            for (i, &m) in self.row_mass.iter().enumerate() {
+                if rem < m {
+                    row = i;
+                    break;
+                }
+                rem -= m;
+            }
+            assert!(row != usize::MAX, "sampling walked past the total mass");
+            (row, rem)
+        };
+        let ci = u128::from(counts[i]);
+        for &j32 in &self.out[i] {
+            let j = j32 as usize;
+            let w = ci * u128::from(counts[j].saturating_sub(u64::from(i == j)));
+            if rem < w {
+                return (i, j);
+            }
+            rem -= w;
+        }
+        unreachable!("row mass out of sync with pair weights");
+    }
+}
+
+impl Activity for SparseActivity {
+    fn add_slot(&mut self, counts: &[u64], mut active: impl FnMut(usize, usize) -> bool) {
+        let id = self.out.len();
+        debug_assert_eq!(counts.len(), id + 1, "counts not extended for new slot");
+        debug_assert_eq!(counts[id], 0, "new slot must hold zero agents");
+        assert!(id < u32::MAX as usize, "slot ids exceed u32");
+        self.out.push(Vec::new());
+        self.ins.push(Vec::new());
+        self.diag.push(false);
+        self.col_in.push(0);
+        self.row_mass.push(0);
+        self.stamp.push(0);
+        if self.use_fenwick {
+            self.fenwick.push(0);
+        } else if self.row_mass.len() >= FENWICK_MIN_SLOTS {
+            self.use_fenwick = true;
+            self.fenwick.rebuild(&self.row_mass);
+        }
+        for j in 0..id {
+            if active(id, j) {
+                self.out[id].push(j as u32);
+                self.ins[j].push(id as u32);
+            }
+            if active(j, id) {
+                self.out[j].push(id as u32);
+                self.ins[id].push(j as u32);
+            }
+        }
+        if active(id, id) {
+            self.out[id].push(id as u32);
+            self.ins[id].push(id as u32);
+            self.diag[id] = true;
+        }
+        // The new slot holds no agents, so no existing col_in or row_mass
+        // changes; only the new row's col_in must be summed once.
+        self.col_in[id] = self.out[id].iter().map(|&j| counts[j as usize]).sum();
+    }
+
+    fn count_changed(&mut self, slot: usize, delta: i64) {
+        let epoch = self.epoch;
+        {
+            let ins_t: &[u32] = &self.ins[slot];
+            let col_in = &mut self.col_in;
+            let stamp = &mut self.stamp;
+            let dirty = &mut self.dirty;
+            for &r32 in ins_t {
+                let r = r32 as usize;
+                col_in[r] = col_in[r]
+                    .checked_add_signed(delta)
+                    .expect("col_in underflow");
+                if stamp[r] != epoch {
+                    stamp[r] = epoch;
+                    dirty.push(r32);
+                }
+            }
+        }
+        // The slot's own row mass scales with its count even when no active
+        // pair points into it.
+        if self.stamp[slot] != epoch {
+            self.stamp[slot] = epoch;
+            self.dirty.push(slot as u32);
+        }
+    }
+
+    fn settle(&mut self, counts: &[u64]) {
+        self.epoch += 1;
+        if self.dirty.is_empty() {
+            return;
+        }
+        let slots = self.row_mass.len();
+        // Point updates cost O(log slots) each; past this threshold one
+        // sequential rebuild of the whole tree is cheaper. Below the
+        // Fenwick threshold there is no tree to maintain at all.
+        let log2 = usize::BITS - slots.leading_zeros();
+        let rebuild = self.use_fenwick && self.dirty.len() * (log2 as usize) >= slots;
+        let point_update = self.use_fenwick && !rebuild;
+        for &r32 in &self.dirty {
+            let r = r32 as usize;
+            let new = row_mass_of(counts[r], self.col_in[r], self.diag[r]);
+            let old = self.row_mass[r];
+            self.row_mass[r] = new;
+            if new >= old {
+                self.mass += new - old;
+            } else {
+                self.mass -= old - new;
+            }
+            if point_update {
+                self.fenwick.add(r, new as i128 - old as i128);
+            }
+        }
+        if rebuild {
+            self.fenwick.rebuild(&self.row_mass);
+        }
+        self.dirty.clear();
+    }
+
+    fn mass(&self) -> u128 {
+        self.mass
+    }
+
+    fn row_mass(&self) -> &[u128] {
+        &self.row_mass
+    }
+}
+
+/// Dense pair-matrix activity index — the previous engine's bookkeeping,
+/// kept as the comparison baseline; see the [module docs](self).
+#[derive(Debug)]
+pub struct DenseActivity {
+    /// `null[i * stride + j]`: the ordered pair `(i, j)` leaves both states
+    /// unchanged. Row stride grows by doubling so slot ids stay stable.
+    null: Vec<bool>,
+    stride: usize,
+    slots: usize,
+    col_in: Vec<u64>,
+    row_mass: Vec<u128>,
+    mass: u128,
+}
+
+impl Default for DenseActivity {
+    fn default() -> Self {
+        DenseActivity {
+            null: vec![true; 16],
+            stride: 4,
+            slots: 0,
+            col_in: Vec::new(),
+            row_mass: Vec::new(),
+            mass: 0,
+        }
+    }
+}
+
+impl DenseActivity {
+    /// Doubles the pair-matrix stride, remapping existing entries.
+    fn grow(&mut self) {
+        let old = self.stride;
+        let stride = old * 2;
+        let mut null = vec![true; stride * stride];
+        for i in 0..self.slots {
+            null[i * stride..i * stride + self.slots]
+                .copy_from_slice(&self.null[i * old..i * old + self.slots]);
+        }
+        self.stride = stride;
+        self.null = null;
+    }
+}
+
+impl PairSampling for DenseActivity {
+    fn is_active(&self, i: usize, j: usize) -> bool {
+        !self.null[i * self.stride + j]
+    }
+
+    fn sample_change(&self, r: u128, counts: &[u64]) -> (usize, usize) {
+        let mut r = r;
+        for (i, &row) in self.row_mass.iter().enumerate() {
+            if r >= row {
+                r -= row;
+                continue;
+            }
+            let ci = u128::from(counts[i]);
+            for (j, &cj) in counts.iter().enumerate().take(self.slots) {
+                if self.null[i * self.stride + j] {
+                    continue;
+                }
+                let w = ci * u128::from(cj.saturating_sub(u64::from(i == j)));
+                if r < w {
+                    return (i, j);
+                }
+                r -= w;
+            }
+            unreachable!("row mass out of sync with pair weights");
+        }
+        unreachable!("total mass out of sync with row masses");
+    }
+}
+
+impl Activity for DenseActivity {
+    fn add_slot(&mut self, counts: &[u64], mut active: impl FnMut(usize, usize) -> bool) {
+        let id = self.slots;
+        debug_assert_eq!(counts.len(), id + 1, "counts not extended for new slot");
+        if id >= self.stride {
+            self.grow();
+        }
+        self.slots += 1;
+        self.col_in.push(0);
+        self.row_mass.push(0);
+        for j in 0..=id {
+            self.null[id * self.stride + j] = !active(id, j);
+            if j < id {
+                self.null[j * self.stride + id] = !active(j, id);
+            }
+        }
+        self.col_in[id] = (0..=id)
+            .filter(|&j| !self.null[id * self.stride + j])
+            .map(|j| counts[j])
+            .sum();
+    }
+
+    fn count_changed(&mut self, slot: usize, delta: i64) {
+        // Every slot with an active pair into column `slot` absorbs the
+        // count change linearly — the dense O(slots) scan.
+        for r in 0..self.slots {
+            if !self.null[r * self.stride + slot] {
+                self.col_in[r] = self.col_in[r]
+                    .checked_add_signed(delta)
+                    .expect("col_in underflow");
+            }
+        }
+    }
+
+    fn settle(&mut self, counts: &[u64]) {
+        // Full refresh, once per change-point — the dense O(slots) rescan.
+        let mut mass = 0u128;
+        for (r, &c) in counts.iter().enumerate().take(self.slots) {
+            let m = row_mass_of(c, self.col_in[r], !self.null[r * self.stride + r]);
+            self.row_mass[r] = m;
+            mass += m;
+        }
+        self.mass = mass;
+    }
+
+    fn mass(&self) -> u128 {
+        self.mass
+    }
+
+    fn row_mass(&self) -> &[u128] {
+        &self.row_mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Drives both indexes through an identical random schedule and checks
+    /// them against a brute-force reference at every step.
+    #[test]
+    fn sparse_and_dense_agree_with_bruteforce() {
+        // Activity rule: (i, j) is active iff (i * 7 + j * 3) % 4 == 0,
+        // arbitrary but deterministic and ~25% dense.
+        let active = |i: usize, j: usize| (i * 7 + j * 3).is_multiple_of(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sparse = SparseActivity::default();
+        let mut dense = DenseActivity::default();
+        let mut counts: Vec<u64> = Vec::new();
+
+        for round in 0..200 {
+            if counts.len() < 12 && round % 8 == 0 {
+                counts.push(0);
+                sparse.add_slot(&counts, active);
+                dense.add_slot(&counts, active);
+            }
+            let slot = rng.random_range(0..counts.len());
+            let delta: i64 = if counts[slot] == 0 {
+                3
+            } else {
+                [-1i64, 1, 2][rng.random_range(0..3usize)]
+            };
+            counts[slot] = counts[slot].checked_add_signed(delta).unwrap();
+            sparse.count_changed(slot, delta);
+            dense.count_changed(slot, delta);
+            sparse.settle(&counts);
+            dense.settle(&counts);
+
+            let mut expected = 0u128;
+            for i in 0..counts.len() {
+                let mut row = 0u128;
+                for j in 0..counts.len() {
+                    if active(i, j) {
+                        row += u128::from(counts[i])
+                            * u128::from(counts[j].saturating_sub(u64::from(i == j)));
+                    }
+                }
+                assert_eq!(sparse.row_mass()[i], row, "sparse row {i} round {round}");
+                assert_eq!(dense.row_mass()[i], row, "dense row {i} round {round}");
+                expected += row;
+            }
+            assert_eq!(sparse.mass(), expected, "sparse mass round {round}");
+            assert_eq!(dense.mass(), expected, "dense mass round {round}");
+
+            // Sampling must agree between the two indexes for every r.
+            if expected > 0 {
+                for _ in 0..8 {
+                    let r = rng.random_range(0..expected);
+                    assert_eq!(
+                        sparse.sample_change(r, &counts),
+                        dense.sample_change(r, &counts),
+                        "r = {r} round {round}"
+                    );
+                }
+            }
+            for i in 0..counts.len() {
+                for j in 0..counts.len() {
+                    assert_eq!(sparse.is_active(i, j), active(i, j));
+                    assert_eq!(dense.is_active(i, j), active(i, j));
+                }
+            }
+        }
+    }
+
+    /// Crossing [`FENWICK_MIN_SLOTS`] mid-run must hand over from the
+    /// linear sampler to the tree without changing a single draw.
+    #[test]
+    fn fenwick_threshold_crossing_preserves_sampling() {
+        let active = |i: usize, j: usize| (i + 2 * j).is_multiple_of(3);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sparse = SparseActivity::default();
+        let mut dense = DenseActivity::default();
+        let mut counts: Vec<u64> = Vec::new();
+        while counts.len() < FENWICK_MIN_SLOTS + 20 {
+            counts.push(0);
+            sparse.add_slot(&counts, active);
+            dense.add_slot(&counts, active);
+            let slot = rng.random_range(0..counts.len());
+            counts[slot] += 2;
+            sparse.count_changed(slot, 2);
+            dense.count_changed(slot, 2);
+            sparse.settle(&counts);
+            dense.settle(&counts);
+            assert_eq!(sparse.mass(), dense.mass(), "at {} slots", counts.len());
+            if sparse.mass() > 0 {
+                for _ in 0..4 {
+                    let r = rng.random_range(0..sparse.mass());
+                    assert_eq!(
+                        sparse.sample_change(r, &counts),
+                        dense.sample_change(r, &counts),
+                        "r = {r} at {} slots",
+                        counts.len()
+                    );
+                }
+            }
+        }
+        assert!(counts.len() > FENWICK_MIN_SLOTS, "threshold was crossed");
+    }
+
+    #[test]
+    fn u128_masses_survive_counts_past_u32() {
+        // Two slots with ~2^32 agents each: the cross-pair weight alone
+        // (~2^64) overflows u64 — the arithmetic must stay exact in u128.
+        let active = |i: usize, j: usize| i != j;
+        let big = u64::from(u32::MAX) + 7;
+        let mut sparse = SparseActivity::default();
+        let mut counts = Vec::new();
+        for _ in 0..2 {
+            counts.push(0);
+            sparse.add_slot(&counts, active);
+        }
+        for (slot, c) in counts.iter_mut().enumerate() {
+            *c = big;
+            sparse.count_changed(slot, big as i64);
+        }
+        sparse.settle(&counts);
+        let expected = 2 * u128::from(big) * u128::from(big);
+        assert!(expected > u128::from(u64::MAX));
+        assert_eq!(sparse.mass(), expected);
+        assert_eq!(sparse.sample_change(0, &counts), (0, 1));
+        assert_eq!(sparse.sample_change(expected - 1, &counts), (1, 0));
+    }
+}

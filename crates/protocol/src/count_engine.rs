@@ -9,33 +9,32 @@
 //! geometric draw, so a silent-heavy run costs one cheap update per
 //! state-*changing* interaction instead of one per interaction. Empirically
 //! the Circles protocol performs `Θ(n)` state changes but super-linearly many
-//! interactions, which is what makes populations of `10^6`–`10^9` agents
+//! interactions, which is what makes populations of `10^6`–`10^9`+ agents
 //! tractable here and hopeless for the indexed engine.
 //!
 //! # Activity bookkeeping
 //!
-//! The engine maintains, per ordered pair of state slots, whether the pair is
-//! *active* (its transition changes some state) together with the cached
-//! transition targets, and incrementally tracks
-//!
-//! - `col_in[i] = Σ_j active(i, j) · c_j` — updated in `O(slots)` per count
-//!   change,
-//! - `row_mass[i] = c_i · col_in[i] − active(i, i) · c_i` — the weight of
-//!   active ordered pairs initiated from slot `i`,
-//! - `mass = Σ_i row_mass[i]` — zero exactly when the configuration is
-//!   silent,
-//!
-//! so silence detection is free and exact, and the uniform scheduler can
-//! sample both the geometric skip length and the conditional change pair
-//! from `row_mass`/`mass` without touching the protocol.
+//! Which slot pairs are *active* (state-changing), how much sampling weight
+//! they carry and how a conditional change-pair is drawn is delegated to an
+//! [`Activity`] index — [`SparseActivity`] by default (per-slot adjacency
+//! lists, dirty-row settlement, Fenwick-tree sampling: `O(deg + log slots)`
+//! per change-point), with [`DenseActivity`] (the previous dense pair-matrix
+//! bookkeeping, `O(slots)` scans) kept as the reference baseline; see
+//! [`activity`](crate::activity) for the cost model. All pair-weight
+//! arithmetic is `u128`, so populations up to `2^63 − 1` agents are
+//! supported — far past the former `u32::MAX` cap.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
+use crate::hashing::FxBuildHasher;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::activity::{Activity, DenseActivity, SparseActivity};
 use crate::config::CountConfig;
+use crate::count_trace::CountTrace;
 use crate::error::FrameworkError;
 use crate::protocol::Protocol;
 use crate::scheduler::{CountScheduler, CountView, UniformCountScheduler};
@@ -45,14 +44,16 @@ use crate::simulation::{RunReport, SimStats};
 ///
 /// Exposes the same [`RunReport`]/[`SimStats`] measurement surface as the
 /// indexed [`Simulation`](crate::Simulation); driven by any
-/// [`CountScheduler`] (the uniform-random one by default). Equivalence with
-/// the indexed engine is covered by replay proptests and a distributional
-/// test in `tests/engine_equivalence.rs`.
+/// [`CountScheduler`] (the uniform-random one by default) over any
+/// [`Activity`] index (the sparse one by default). Equivalence with the
+/// indexed engine is covered by replay proptests and distributional tests in
+/// `tests/engine_equivalence.rs`.
 ///
-/// The engine caches one transition per ordered pair of *distinct states
-/// ever observed*, so it suits protocols with a bounded state space (for
-/// Circles, at most `k³` states regardless of `n`). Populations are limited
-/// to `n ≤ u32::MAX` agents so that all pair-weight arithmetic fits `u64`.
+/// The engine discovers one slot per *distinct state ever observed* and
+/// queries the protocol's transition once per ordered slot pair, so it suits
+/// protocols with a bounded state space (for Circles, at most `k³` states
+/// regardless of `n`). Populations are limited to `2^63 − 1` agents so that
+/// pair-weight arithmetic (`≤ n(n−1)`) fits `u128` with signed deltas.
 ///
 /// # Example
 ///
@@ -72,7 +73,7 @@ use crate::simulation::{RunReport, SimStats};
 /// assert_eq!(report.consensus, Some(6));
 /// # Ok::<(), pp_protocol::FrameworkError>(())
 /// ```
-pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler> {
+pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler, A = SparseActivity> {
     protocol: &'p P,
     scheduler: CS,
     rng: StdRng,
@@ -80,26 +81,21 @@ pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler> {
     states: Vec<P::State>,
     outs: Vec<P::Output>,
     counts: Vec<u64>,
-    index: HashMap<P::State, usize>,
+    index: HashMap<P::State, usize, FxBuildHasher>,
     n: u64,
-    /// Row stride of the pair matrices (`>= states.len()`, grown by
-    /// doubling).
-    stride: usize,
-    /// `null[i * stride + j]`: the ordered pair `(i, j)` leaves both states
-    /// unchanged.
-    null: Vec<bool>,
-    /// Cached transition targets for active pairs (`None` for null pairs).
-    targets: Vec<Option<(P::State, P::State)>>,
-    /// `col_in[i] = Σ_j active(i, j) · c_j`.
-    col_in: Vec<u64>,
-    /// `row_mass[i] = c_i · col_in[i] − active(i, i) · c_i`.
-    row_mass: Vec<u64>,
-    /// `Σ_i row_mass[i]`; zero iff silent.
-    mass: u64,
+    activity: A,
     stats: SimStats,
     output_counts: BTreeMap<P::Output, usize>,
     last_disagreement: Option<u64>,
+    /// When recording, the state pairs of every applied change-point.
+    trace: Option<Vec<(P::State, P::State)>>,
 }
+
+/// The count engine over the [`DenseActivity`] baseline index — the previous
+/// engine's `O(slots)`-per-change-point bookkeeping, kept for equivalence
+/// tests and the `backend` benchmark's sparse-vs-dense comparison.
+pub type DenseCountEngine<'p, P, CS = UniformCountScheduler> =
+    CountEngine<'p, P, CS, DenseActivity>;
 
 /// Builds the scheduler-facing view from engine fields. A macro rather than
 /// a method so the scheduler and RNG fields stay independently borrowable.
@@ -109,20 +105,19 @@ macro_rules! view {
             states: &$self.states,
             counts: &$self.counts,
             n: $self.n,
-            row_mass: &$self.row_mass,
-            mass: $self.mass,
-            null: &$self.null,
-            stride: $self.stride,
+            row_mass: $self.activity.row_mass(),
+            mass: $self.activity.mass(),
+            sampler: &$self.activity,
         }
     };
 }
 
-impl<'p, P: Protocol> CountEngine<'p, P, UniformCountScheduler> {
+impl<'p, P: Protocol> CountEngine<'p, P, UniformCountScheduler, SparseActivity> {
     /// Creates a uniform-random engine from input symbols.
     ///
     /// # Panics
     ///
-    /// Panics when more than `u32::MAX` agents are supplied (see the
+    /// Panics when more than `2^63 − 1` agents are supplied (see the
     /// [type-level docs](CountEngine)).
     pub fn from_inputs(protocol: &'p P, inputs: &[P::Input], seed: u64) -> Self {
         let config: CountConfig<P::State> = inputs.iter().map(|i| protocol.input(i)).collect();
@@ -133,37 +128,59 @@ impl<'p, P: Protocol> CountEngine<'p, P, UniformCountScheduler> {
     ///
     /// # Panics
     ///
-    /// Panics when the configuration holds more than `u32::MAX` agents.
+    /// Panics when the configuration holds more than `2^63 − 1` agents.
     pub fn from_config(protocol: &'p P, config: CountConfig<P::State>, seed: u64) -> Self {
         Self::with_scheduler(protocol, config, UniformCountScheduler::new(), seed)
     }
 }
 
-impl<'p, P, CS> CountEngine<'p, P, CS>
+impl<'p, P, CS> CountEngine<'p, P, CS, SparseActivity>
 where
     P: Protocol,
     CS: CountScheduler<P::State>,
 {
     /// Creates an engine over `config`, driven by `scheduler` and the RNG
-    /// seeded with `seed`.
+    /// seeded with `seed`, on the default sparse activity index.
     ///
     /// # Panics
     ///
-    /// Panics when the configuration holds more than `u32::MAX` agents —
-    /// the pair-weight arithmetic (`≤ n(n−1)`) is done in `u64`.
+    /// Panics when the configuration holds more than `2^63 − 1` agents.
     pub fn with_scheduler(
         protocol: &'p P,
         config: CountConfig<P::State>,
         scheduler: CS,
         seed: u64,
     ) -> Self {
+        Self::with_parts(protocol, config, scheduler, seed)
+    }
+}
+
+impl<'p, P, CS, A> CountEngine<'p, P, CS, A>
+where
+    P: Protocol,
+    CS: CountScheduler<P::State>,
+    A: Activity,
+{
+    /// Creates an engine over `config` with an explicit activity index —
+    /// `CountEngine::<_, _, DenseActivity>::with_parts(..)` selects the
+    /// dense baseline (or use the [`DenseCountEngine`] alias).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `2^63 − 1` agents —
+    /// pair weights (`≤ n(n−1)`) and their signed deltas must fit `u128`.
+    pub fn with_parts(
+        protocol: &'p P,
+        config: CountConfig<P::State>,
+        scheduler: CS,
+        seed: u64,
+    ) -> Self {
         assert!(
-            config.n() <= u32::MAX as usize,
-            "CountEngine supports at most u32::MAX agents, got {}",
+            (config.n() as u128) < (1u128 << 63),
+            "CountEngine supports at most 2^63 - 1 agents, got {}",
             config.n()
         );
         let distinct = config.distinct();
-        let stride = (distinct.max(4) * 2).next_power_of_two();
         let mut engine = CountEngine {
             protocol,
             scheduler,
@@ -171,17 +188,13 @@ where
             states: Vec::with_capacity(distinct),
             outs: Vec::with_capacity(distinct),
             counts: Vec::with_capacity(distinct),
-            index: HashMap::with_capacity(distinct),
+            index: HashMap::with_capacity_and_hasher(distinct, FxBuildHasher::default()),
             n: config.n() as u64,
-            stride,
-            null: vec![true; stride * stride],
-            targets: vec![None; stride * stride],
-            col_in: Vec::with_capacity(distinct),
-            row_mass: Vec::with_capacity(distinct),
-            mass: 0,
+            activity: A::default(),
             stats: SimStats::default(),
             output_counts: BTreeMap::new(),
             last_disagreement: None,
+            trace: None,
         };
         for (s, _) in config.iter() {
             engine.ensure_slot(s.clone());
@@ -189,19 +202,13 @@ where
         for (s, c) in config.iter() {
             let slot = engine.index[s];
             engine.counts[slot] = c as u64;
+            engine.activity.count_changed(slot, c as i64);
             *engine
                 .output_counts
                 .entry(engine.outs[slot].clone())
                 .or_insert(0) += c;
         }
-        // col_in from scratch now that all initial counts are in place.
-        for i in 0..engine.states.len() {
-            engine.col_in[i] = (0..engine.states.len())
-                .filter(|&j| !engine.null[i * engine.stride + j])
-                .map(|j| engine.counts[j])
-                .sum();
-        }
-        engine.refresh_masses();
+        engine.activity.settle(&engine.counts);
         if engine.output_counts.len() > 1 {
             engine.last_disagreement = Some(0);
         }
@@ -211,6 +218,24 @@ where
     /// Number of agents.
     pub fn n(&self) -> u64 {
         self.n
+    }
+
+    /// Number of slots: distinct states ever observed, including states
+    /// whose count has since returned to zero.
+    pub fn slots(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Every state ever observed, by slot id — useful for
+    /// [priming](Self::prime_states) another engine with the same state set.
+    pub fn known_states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Total sampling weight of active (state-changing) ordered agent pairs;
+    /// zero exactly when the configuration is silent.
+    pub fn mass(&self) -> u128 {
+        self.activity.mass()
     }
 
     /// Interactions executed so far.
@@ -234,6 +259,39 @@ where
         &self.output_counts
     }
 
+    /// Pre-registers states as slots (with zero agents), forcing their
+    /// pairwise transition discovery now instead of lazily mid-run.
+    ///
+    /// Slot ids — and therefore the engine's sampling order and exact RNG
+    /// stream — depend on registration order, so priming two engines with
+    /// the same sequence makes their runs comparable draw-for-draw. The
+    /// `backend` bench uses this to measure steady-state per-change-point
+    /// cost without the one-time discovery mixed in.
+    pub fn prime_states(&mut self, states: impl IntoIterator<Item = P::State>) {
+        for s in states {
+            self.ensure_slot(s);
+        }
+    }
+
+    /// Starts recording the state pairs of applied change-points; see
+    /// [`take_trace`](Self::take_trace).
+    pub fn record_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Stops recording and returns the change-point schedule recorded since
+    /// [`record_trace`](Self::record_trace), if any — the count-level trace
+    /// replayed by a
+    /// [`ReplayCountScheduler`](crate::ReplayCountScheduler) (null
+    /// interactions are not recorded; see [`CountTrace`]).
+    pub fn take_trace(&mut self) -> Option<CountTrace<P::State>> {
+        self.trace
+            .take()
+            .map(|pairs| CountTrace::new(self.n, pairs))
+    }
+
     /// The current anonymous configuration.
     pub fn config(&self) -> CountConfig<P::State> {
         let mut config = CountConfig::new();
@@ -248,7 +306,7 @@ where
     /// Whether the configuration is silent. Exact and `O(1)`: the engine
     /// maintains the total weight of state-changing pairs.
     pub fn is_silent(&self) -> bool {
-        self.mass == 0
+        self.activity.mass() == 0
     }
 
     /// A [`RunReport`] snapshot of the execution so far.
@@ -289,7 +347,7 @@ where
             "scheduler drew an unrealizable slot pair"
         );
         self.stats.steps += 1;
-        let changed = !self.null[i * self.stride + j];
+        let changed = self.activity.is_active(i, j);
         if changed {
             self.stats.state_changes += 1;
             self.stats.last_change_step = self.stats.steps;
@@ -315,7 +373,7 @@ where
         max_steps: u64,
     ) -> Result<RunReport<P::Output>, FrameworkError> {
         loop {
-            if self.mass == 0 {
+            if self.is_silent() {
                 return Ok(self.report());
             }
             let remaining = max_steps.saturating_sub(self.stats.steps);
@@ -343,7 +401,7 @@ where
             return Ok(());
         }
         while self.stats.steps < target_steps {
-            if self.mass == 0 {
+            if self.is_silent() {
                 // Every remaining interaction is null.
                 self.stats.steps = target_steps;
                 return Ok(());
@@ -355,7 +413,7 @@ where
 
     /// Consumes up to `budget` interactions: the skipped nulls plus (when the
     /// budget allows) the next state-changing one.
-    fn advance_one_change(&mut self, budget: u64) {
+    pub(crate) fn advance_one_change(&mut self, budget: u64) {
         let view = view!(self);
         let draw = self.scheduler.next_change(&view, budget, &mut self.rng);
         let disagreeing = self.output_counts.len() > 1;
@@ -376,12 +434,19 @@ where
         }
     }
 
-    /// Applies the cached transition of active pair `(i, j)` to the counts,
-    /// output histogram and activity structures.
+    /// Applies the transition of active pair `(i, j)` to the counts, output
+    /// histogram and activity index. The transition is recomputed here —
+    /// once per change-point — rather than cached per pair, which keeps the
+    /// memory footprint at the activity index alone.
     fn apply(&mut self, i: usize, j: usize) {
-        let (a, b) = self.targets[i * self.stride + j]
-            .clone()
-            .expect("apply called on a null pair");
+        let (a, b) = self.protocol.transition(&self.states[i], &self.states[j]);
+        debug_assert!(
+            a != self.states[i] || b != self.states[j],
+            "apply called on a null pair"
+        );
+        if let Some(trace) = &mut self.trace {
+            trace.push((self.states[i].clone(), self.states[j].clone()));
+        }
         let ai = self.ensure_slot(a);
         let bi = self.ensure_slot(b);
         // Output histogram: the two participating agents leave their old
@@ -406,17 +471,9 @@ where
             self.counts[t] = self.counts[t]
                 .checked_add_signed(d)
                 .expect("state count underflow");
-            // Every slot with an active pair into column `t` absorbs the
-            // count change linearly.
-            for r in 0..self.states.len() {
-                if !self.null[r * self.stride + t] {
-                    self.col_in[r] = self.col_in[r]
-                        .checked_add_signed(d)
-                        .expect("col_in underflow");
-                }
-            }
+            self.activity.count_changed(t, d);
         }
-        self.refresh_masses();
+        self.activity.settle(&self.counts);
     }
 
     /// Moves one agent from output class `outs[from]` to `outs[to]`.
@@ -437,82 +494,23 @@ where
         *self.output_counts.entry(new.clone()).or_insert(0) += 1;
     }
 
-    /// Recomputes `row_mass` and `mass` from `counts` and `col_in` —
-    /// `O(slots)`, called once per change-point.
-    fn refresh_masses(&mut self) {
-        let mut mass = 0u64;
-        for r in 0..self.states.len() {
-            let diagonal = if self.null[r * self.stride + r] {
-                0
-            } else {
-                self.counts[r]
-            };
-            let m = self.counts[r] * self.col_in[r] - diagonal;
-            self.row_mass[r] = m;
-            mass += m;
-        }
-        self.mass = mass;
-    }
-
-    /// Returns the slot of `state`, creating it (with all pair entries
-    /// against existing slots precomputed) when unseen.
+    /// Returns the slot of `state`, creating it (with activity against every
+    /// existing slot discovered) when unseen.
     fn ensure_slot(&mut self, state: P::State) -> usize {
         if let Some(&idx) = self.index.get(&state) {
             return idx;
         }
         let idx = self.states.len();
-        if idx >= self.stride {
-            self.grow();
-        }
         self.index.insert(state.clone(), idx);
         self.outs.push(self.protocol.output(&state));
         self.states.push(state);
         self.counts.push(0);
-        self.col_in.push(0);
-        self.row_mass.push(0);
-        for j in 0..=idx {
-            self.compute_pair(idx, j);
-            if j < idx {
-                self.compute_pair(j, idx);
-            }
-        }
-        self.col_in[idx] = (0..=idx)
-            .filter(|&j| !self.null[idx * self.stride + j])
-            .map(|j| self.counts[j])
-            .sum();
-        // Existing col_in values are unaffected: the new slot holds no
-        // agents yet, and row_mass[idx] = 0 for the same reason.
+        let protocol = self.protocol;
+        let states = &self.states;
+        self.activity.add_slot(&self.counts, |r, c| {
+            !protocol.is_null_interaction(&states[r], &states[c])
+        });
         idx
-    }
-
-    /// Fills the `(i, j)` entries of the pair matrices.
-    fn compute_pair(&mut self, i: usize, j: usize) {
-        let (a, b) = self.protocol.transition(&self.states[i], &self.states[j]);
-        let cell = i * self.stride + j;
-        if a == self.states[i] && b == self.states[j] {
-            self.null[cell] = true;
-            self.targets[cell] = None;
-        } else {
-            self.null[cell] = false;
-            self.targets[cell] = Some((a, b));
-        }
-    }
-
-    /// Doubles the pair-matrix stride, remapping existing entries.
-    fn grow(&mut self) {
-        let old = self.stride;
-        let stride = old * 2;
-        let mut null = vec![true; stride * stride];
-        let mut targets = vec![None; stride * stride];
-        for i in 0..self.states.len() {
-            for j in 0..self.states.len() {
-                null[i * stride + j] = self.null[i * old + j];
-                targets[i * stride + j] = self.targets[i * old + j].take();
-            }
-        }
-        self.stride = stride;
-        self.null = null;
-        self.targets = targets;
     }
 }
 
@@ -545,15 +543,18 @@ mod tests {
         }
     }
 
-    fn mass_by_bruteforce(engine: &CountEngine<'_, Max>) -> u64 {
-        let mut mass = 0;
-        for i in 0..engine.states.len() {
-            for j in 0..engine.states.len() {
-                if engine.null[i * engine.stride + j] {
+    fn mass_by_bruteforce<A: Activity>(
+        engine: &CountEngine<'_, Max, UniformCountScheduler, A>,
+    ) -> u128 {
+        let config = engine.config();
+        let mut mass = 0u128;
+        for (a, ca) in config.iter() {
+            for (b, cb) in config.iter() {
+                if Max.is_null_interaction(a, b) {
                     continue;
                 }
-                let exclude = u64::from(i == j);
-                mass += engine.counts[i] * engine.counts[j].saturating_sub(exclude);
+                let exclude = usize::from(a == b);
+                mass += (ca as u128) * (cb.saturating_sub(exclude) as u128);
             }
         }
         mass
@@ -575,7 +576,7 @@ mod tests {
         let mut engine = CountEngine::from_inputs(&Max, &inputs, 3);
         for _ in 0..2_000 {
             let _ = engine.step().unwrap();
-            assert_eq!(engine.mass, mass_by_bruteforce(&engine));
+            assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
             let total: u64 = engine.counts.iter().sum();
             assert_eq!(total, 60);
             let out_total: usize = engine.output_counts.values().sum();
@@ -593,10 +594,23 @@ mod tests {
         let mut engine = CountEngine::from_inputs(&Max, &inputs, 5);
         while !engine.is_silent() {
             engine.advance_one_change(u64::MAX);
-            assert_eq!(engine.mass, mass_by_bruteforce(&engine));
+            assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
         }
         assert_eq!(engine.config().n(), 5_000);
         assert_eq!(engine.report().consensus, Some(12));
+    }
+
+    #[test]
+    fn dense_engine_mass_invariant_holds_too() {
+        let inputs: Vec<u8> = (0..1_000).map(|i| (i % 9) as u8).collect();
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut engine =
+            DenseCountEngine::with_parts(&Max, config, UniformCountScheduler::new(), 5);
+        while !engine.is_silent() {
+            engine.advance_one_change(u64::MAX);
+            assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
+        }
+        assert_eq!(engine.report().consensus, Some(8));
     }
 
     #[test]
@@ -649,7 +663,7 @@ mod tests {
     }
 
     #[test]
-    fn slot_growth_preserves_pair_matrices() {
+    fn slot_growth_preserves_activity() {
         // Start with many distinct states so growth paths are exercised.
         let inputs: Vec<u8> = (0..200).map(|i| (i % 97) as u8).collect();
         let mut engine = CountEngine::from_inputs(&Max, &inputs, 5);
@@ -665,5 +679,39 @@ mod tests {
         assert_eq!(report.steps, 0);
         assert_eq!(report.consensus, None);
         assert_eq!(report.steps_to_consensus, 1);
+    }
+
+    #[test]
+    fn priming_registers_zero_count_slots() {
+        let mut engine = CountEngine::from_inputs(&Max, &[1, 2], 1);
+        assert_eq!(engine.slots(), 2);
+        engine.prime_states([9u8, 7, 1]);
+        assert_eq!(engine.slots(), 4, "known states are not re-registered");
+        assert_eq!(engine.config().n(), 2, "priming adds no agents");
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(2), "primed states stay inert");
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_the_same_configuration() {
+        let inputs: Vec<u8> = (0..30).map(|i| (i % 4) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 13);
+        engine.record_trace();
+        engine.run_until_silent(u64::MAX).unwrap();
+        let trace = engine.take_trace().expect("recording was on");
+        assert_eq!(trace.len() as u64, engine.stats().state_changes);
+
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut replayed = CountEngine::with_scheduler(
+            &Max,
+            config,
+            trace.clone().into_scheduler(),
+            0, // RNG is irrelevant under replay
+        );
+        for _ in 0..trace.len() {
+            assert!(replayed.step().unwrap(), "every traced pair is active");
+        }
+        assert_eq!(replayed.config(), engine.config());
+        assert!(replayed.is_silent());
     }
 }

@@ -1,0 +1,302 @@
+//! Count-level traces: recording and replaying change-point schedules.
+//!
+//! An [`InteractionTrace`](crate::InteractionTrace) pins down an indexed
+//! run by agent indices, which stops scaling the moment runs have `10^12`
+//! interactions. At count level the only interactions that matter are the
+//! state-*changing* ones — a Circles run at `n = 10^9` has `~Θ(n)` of them —
+//! so a [`CountTrace`] records the `(initiator state, responder state)`
+//! pair of every applied change-point. Replaying those pairs through a
+//! [`ReplayCountScheduler`](crate::ReplayCountScheduler) reproduces the
+//! exact configuration trajectory of the recorded run (null interactions
+//! only advance the step counter, never the configuration), which makes
+//! large-`n` failures reproducible; [`truncated`](CountTrace::truncated)
+//! shrinks a failing schedule to a minimal prefix.
+//!
+//! The serialized form is JSON lines — one header object, then one object
+//! per change-point — so traces stream, diff and shrink with line tools:
+//!
+//! ```text
+//! {"n":1000000000,"changes":3}
+//! {"a":"⟨0|0⟩→c0","b":"⟨1|1⟩→c1"}
+//! {"a":"⟨0|1⟩→c0","b":"⟨1|0⟩→c1"}
+//! {"a":"⟨0|0⟩→c0","b":"⟨0|1⟩→c1"}
+//! ```
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+use crate::error::FrameworkError;
+use crate::scheduler::ReplayCountScheduler;
+
+/// A recorded change-point schedule over state pairs.
+///
+/// Produced by [`CountEngine::take_trace`](crate::CountEngine::take_trace)
+/// or parsed from JSONL; consumed by a
+/// [`ReplayCountScheduler`](crate::ReplayCountScheduler).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountTrace<S> {
+    n: u64,
+    pairs: Vec<(S, S)>,
+}
+
+impl<S> CountTrace<S> {
+    /// Creates a trace over a population of `n` agents.
+    pub fn new(n: u64, pairs: Vec<(S, S)>) -> Self {
+        CountTrace { n, pairs }
+    }
+
+    /// Population size the trace was recorded over.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The recorded change-point state pairs, in schedule order.
+    pub fn pairs(&self) -> &[(S, S)] {
+        &self.pairs
+    }
+
+    /// Number of recorded change-points.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no change-points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The first `len` change-points — the shrinking primitive: a failing
+    /// replay is bisected by replaying ever-shorter prefixes.
+    pub fn truncated(mut self, len: usize) -> Self {
+        self.pairs.truncate(len);
+        self
+    }
+}
+
+impl<S: Clone + Eq> CountTrace<S> {
+    /// Converts the trace into a scheduler that replays it.
+    pub fn into_scheduler(self) -> ReplayCountScheduler<S> {
+        ReplayCountScheduler::new(self.pairs)
+    }
+}
+
+/// JSON-escapes `raw` into `out` (the short escapes plus `\u` for other
+/// control characters).
+fn push_json_string(out: &mut String, raw: &str) {
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Extracts the JSON string value of `key` from a single-line JSON object.
+/// A deliberately minimal parser: it supports exactly the objects this
+/// module emits (string values with the escapes of [`push_json_string`]).
+fn json_string_field(line: &str, key: &str) -> Result<String, FrameworkError> {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| FrameworkError::TraceParse(format!("missing {key:?} in line {line:?}")))?
+        + marker.len();
+    let rest = line[start..].trim_start();
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return Err(FrameworkError::TraceParse(format!(
+            "field {key:?} is not a string in line {line:?}"
+        )));
+    }
+    let mut value = String::new();
+    loop {
+        match chars.next() {
+            None => {
+                return Err(FrameworkError::TraceParse(format!(
+                    "unterminated string in line {line:?}"
+                )))
+            }
+            Some('"') => return Ok(value),
+            Some('\\') => match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some('n') => value.push('\n'),
+                Some('r') => value.push('\r'),
+                Some('t') => value.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).map_err(|e| {
+                        FrameworkError::TraceParse(format!("bad \\u escape {hex:?}: {e}"))
+                    })?;
+                    value.push(char::from_u32(code).ok_or_else(|| {
+                        FrameworkError::TraceParse(format!("invalid codepoint {code:#x}"))
+                    })?);
+                }
+                other => {
+                    return Err(FrameworkError::TraceParse(format!(
+                        "unsupported escape {other:?} in line {line:?}"
+                    )))
+                }
+            },
+            Some(c) => value.push(c),
+        }
+    }
+}
+
+/// Extracts the JSON integer value of `key` from a single-line JSON object.
+fn json_u64_field(line: &str, key: &str) -> Result<u64, FrameworkError> {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| FrameworkError::TraceParse(format!("missing {key:?} in line {line:?}")))?
+        + marker.len();
+    let digits: String = line[start..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|e| FrameworkError::TraceParse(format!("bad {key:?} value: {e}")))
+}
+
+impl<S> CountTrace<S> {
+    /// Serializes the trace as JSON lines, encoding each state through
+    /// `encode` (see [`to_jsonl`](Self::to_jsonl) for the `Display`-based
+    /// convenience).
+    pub fn to_jsonl_with(&self, mut encode: impl FnMut(&S) -> String) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"n\":{},\"changes\":{}}}\n",
+            self.n,
+            self.pairs.len()
+        ));
+        for (a, b) in &self.pairs {
+            out.push_str("{\"a\":");
+            push_json_string(&mut out, &encode(a));
+            out.push_str(",\"b\":");
+            push_json_string(&mut out, &encode(b));
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses a JSONL trace, decoding each state through `decode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::TraceParse`] on malformed lines, a missing
+    /// header, a change-count mismatch, or a state `decode` rejects.
+    pub fn from_jsonl_with(
+        text: &str,
+        mut decode: impl FnMut(&str) -> Result<S, String>,
+    ) -> Result<Self, FrameworkError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| FrameworkError::TraceParse("missing header line".into()))?;
+        let n = json_u64_field(header, "n")?;
+        let changes = json_u64_field(header, "changes")?;
+        let mut pairs = Vec::new();
+        for line in lines {
+            let a = json_string_field(line, "a")?;
+            let b = json_string_field(line, "b")?;
+            let decode_state = |raw: &str, decode: &mut dyn FnMut(&str) -> Result<S, String>| {
+                decode(raw)
+                    .map_err(|e| FrameworkError::TraceParse(format!("bad state {raw:?}: {e}")))
+            };
+            pairs.push((
+                decode_state(&a, &mut decode)?,
+                decode_state(&b, &mut decode)?,
+            ));
+        }
+        if pairs.len() as u64 != changes {
+            return Err(FrameworkError::TraceParse(format!(
+                "header declares {changes} changes but {} lines follow",
+                pairs.len()
+            )));
+        }
+        Ok(CountTrace { n, pairs })
+    }
+}
+
+impl<S: Display> CountTrace<S> {
+    /// Serializes the trace as JSON lines using each state's `Display` form.
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_with(|s| s.to_string())
+    }
+}
+
+impl<S: FromStr<Err: Display>> CountTrace<S> {
+    /// Parses a JSONL trace using each state's `FromStr` form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::TraceParse`] on malformed input (see
+    /// [`from_jsonl_with`](Self::from_jsonl_with)).
+    pub fn from_jsonl(text: &str) -> Result<Self, FrameworkError> {
+        Self::from_jsonl_with(text, |raw| raw.parse().map_err(|e: S::Err| e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips_with_display_and_fromstr() {
+        let trace = CountTrace::new(5, vec![(3u32, 1u32), (1, 1), (4, 2)]);
+        let text = trace.to_jsonl();
+        assert!(text.starts_with("{\"n\":5,\"changes\":3}\n"));
+        let parsed: CountTrace<u32> = CountTrace::from_jsonl(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn jsonl_escapes_hostile_state_encodings() {
+        let trace = CountTrace::new(2, vec![("a\"b\\c\nd".to_string(), "\u{1}".to_string())]);
+        let text = trace.to_jsonl_with(|s| s.clone());
+        let parsed =
+            CountTrace::from_jsonl_with(&text, |raw| Ok::<_, String>(raw.to_string())).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn truncation_shrinks_the_schedule() {
+        let trace = CountTrace::new(9, vec![(1u8, 2u8), (2, 1), (1, 1)]);
+        let short = trace.clone().truncated(1);
+        assert_eq!(short.pairs(), &[(1, 2)]);
+        assert_eq!(short.n(), 9);
+        assert_eq!(trace.clone().truncated(10).len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces() {
+        assert!(CountTrace::<u32>::from_jsonl("").is_err());
+        assert!(CountTrace::<u32>::from_jsonl("{\"n\":2}\n").is_err());
+        let missing = "{\"n\":2,\"changes\":2}\n{\"a\":\"1\",\"b\":\"2\"}\n";
+        assert!(
+            CountTrace::<u32>::from_jsonl(missing).is_err(),
+            "count lies"
+        );
+        let bad_state = "{\"n\":2,\"changes\":1}\n{\"a\":\"x\",\"b\":\"2\"}\n";
+        assert!(CountTrace::<u32>::from_jsonl(bad_state).is_err());
+        let unterminated = "{\"n\":2,\"changes\":1}\n{\"a\":\"1,\"b\":\"2\"}\n";
+        assert!(CountTrace::<u32>::from_jsonl(unterminated).is_err());
+    }
+
+    #[test]
+    fn scheduler_conversion_preserves_order() {
+        let trace = CountTrace::new(4, vec![(7u8, 9u8), (9, 7)]);
+        let scheduler = trace.into_scheduler();
+        assert_eq!(scheduler.remaining(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! A Fenwick (binary-indexed) tree over `u128` weights, specialized for the
+//! count engine's conditional pair sampling.
+//!
+//! The sparse activity index keeps one weight per slot (`row_mass`) and must
+//! answer "which slot does the `r`-th unit of weight fall in?" once per
+//! change-point. A Fenwick tree answers that in `O(log slots)` and absorbs a
+//! single-row update in `O(log slots)`; when a change-point dirties many rows
+//! at once (dense-activity protocols such as Circles), rebuilding the whole
+//! tree in `O(slots)` is cheaper than `dirty · log` point updates, so
+//! [`Fenwick::rebuild`] is part of the interface and callers pick
+//! per-update or rebuild adaptively.
+
+/// A Fenwick tree over non-negative `u128` weights.
+///
+/// Weight indices are 0-based at the API surface (matching slot ids); the
+/// classic 1-based layout is internal.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    /// 1-based partial sums; `tree[i]` covers `(i - lsb(i), i]`; `tree[0]`
+    /// is a placeholder so the classic index arithmetic stays branch-free.
+    tree: Vec<u128>,
+    len: usize,
+}
+
+impl Default for Fenwick {
+    fn default() -> Self {
+        Fenwick::new()
+    }
+}
+
+impl Fenwick {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Fenwick {
+            tree: vec![0],
+            len: 0,
+        }
+    }
+
+    /// Number of weights tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree tracks no weights.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Builds a tree over `weights` in `O(len)`.
+    pub fn from_weights(weights: &[u128]) -> Self {
+        let mut f = Fenwick::new();
+        f.rebuild(weights);
+        f
+    }
+
+    /// Replaces the tracked weights wholesale in `O(len)` — the batched
+    /// alternative to many [`add`](Self::add) calls.
+    pub fn rebuild(&mut self, weights: &[u128]) {
+        self.len = weights.len();
+        self.tree.clear();
+        self.tree.resize(weights.len() + 1, 0);
+        self.tree[1..].copy_from_slice(weights);
+        for i in 1..=weights.len() {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= weights.len() {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
+
+    /// Appends a weight in `O(log len)`.
+    pub fn push(&mut self, weight: u128) {
+        self.len += 1;
+        let i = self.len;
+        // tree[i] covers (i - lsb(i), i]: the new element plus the sum of the
+        // preceding lsb(i) - 1 elements, both O(log) prefix queries.
+        let low = i - (i & i.wrapping_neg());
+        let covered = self.prefix(i - 1) - self.prefix(low);
+        self.tree.push(weight + covered);
+    }
+
+    /// Adds `delta` to the weight at `index` in `O(log len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node sum would go negative — a negative excursion
+    /// means the caller's weights are out of sync, and a wrapped node
+    /// would silently bias every subsequent [`find`](Self::find).
+    pub fn add(&mut self, index: usize, delta: i128) {
+        debug_assert!(index < self.len, "fenwick index {index} out of bounds");
+        let mut i = index + 1;
+        while i <= self.len {
+            self.tree[i] = self.tree[i]
+                .checked_add_signed(delta)
+                .expect("fenwick node sum underflow");
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the first `count` weights.
+    pub fn prefix(&self, count: usize) -> u128 {
+        debug_assert!(count <= self.len, "fenwick prefix {count} out of bounds");
+        let mut i = count;
+        let mut sum = 0u128;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u128 {
+        self.prefix(self.len)
+    }
+
+    /// Finds the 0-based index `i` with `prefix(i) <= r < prefix(i + 1)` —
+    /// the slot containing the `r`-th unit of weight — and returns it with
+    /// the residual `r - prefix(i)`. Identical to a linear scan that
+    /// subtracts weights until one exceeds the remainder, in `O(log len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= total()` (the caller sampled outside the mass).
+    pub fn find(&self, mut r: u128) -> (usize, u128) {
+        let mut pos = 0usize;
+        let mut mask = self.tree.len().saturating_sub(1).next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next < self.tree.len() && self.tree[next] <= r {
+                r -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        assert!(pos < self.len, "fenwick find walked past the total weight");
+        (pos, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_find(weights: &[u128], mut r: u128) -> (usize, u128) {
+        for (i, &w) in weights.iter().enumerate() {
+            if r < w {
+                return (i, r);
+            }
+            r -= w;
+        }
+        panic!("r out of range");
+    }
+
+    #[test]
+    fn find_matches_linear_scan() {
+        let weights: Vec<u128> = vec![3, 0, 5, 1, 0, 0, 7, 2, 0, 4];
+        let f = Fenwick::from_weights(&weights);
+        let total: u128 = weights.iter().sum();
+        assert_eq!(f.total(), total);
+        for r in 0..total {
+            assert_eq!(f.find(r), linear_find(&weights, r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn add_and_push_track_updates() {
+        let mut weights: Vec<u128> = vec![2, 4, 0, 6];
+        let mut f = Fenwick::from_weights(&weights);
+        f.add(1, -4);
+        weights[1] = 0;
+        f.add(2, 9);
+        weights[2] = 9;
+        f.push(5);
+        weights.push(5);
+        f.push(0);
+        weights.push(0);
+        let total: u128 = weights.iter().sum();
+        assert_eq!(f.total(), total);
+        for r in 0..total {
+            assert_eq!(f.find(r), linear_find(&weights, r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let weights: Vec<u128> = (0..100).map(|i| (i * 7919) % 13).collect();
+        let mut incremental = Fenwick::new();
+        for &w in &weights {
+            incremental.push(w);
+        }
+        let rebuilt = Fenwick::from_weights(&weights);
+        let total: u128 = weights.iter().sum();
+        for r in (0..total).step_by(7) {
+            assert_eq!(incremental.find(r), rebuilt.find(r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn u128_weights_beyond_u64() {
+        // Two huge rows whose sum exceeds u64::MAX.
+        let big = u128::from(u64::MAX);
+        let weights = vec![big, 0, big + 5];
+        let f = Fenwick::from_weights(&weights);
+        assert_eq!(f.total(), 2 * big + 5);
+        assert_eq!(f.find(big - 1), (0, big - 1));
+        assert_eq!(f.find(big), (2, 0));
+        assert_eq!(f.find(2 * big + 4), (2, big + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "walked past")]
+    fn find_past_total_panics() {
+        let f = Fenwick::from_weights(&[1, 2]);
+        let _ = f.find(3);
+    }
+
+    #[test]
+    fn empty_tree_is_empty() {
+        let f = Fenwick::new();
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! A fast, non-cryptographic hasher for the engine's hot state→slot lookups.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of nanoseconds
+//! per lookup, which dominates the count engine's per-change-point budget
+//! (two slot resolutions per applied transition). Protocol states are small
+//! fixed-size values chosen by the simulation itself — not attacker
+//! input — so the rustc-style Fx multiply-rotate hash is the right
+//! trade-off.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for [`FxHasher`], usable as a `HashMap` hasher parameter.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc Fx hash: one rotate, xor and multiply per word.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct_keys_resolve_in_a_map() {
+        let mut map: HashMap<(u16, u16, u16), usize, FxBuildHasher> = HashMap::default();
+        for i in 0..100u16 {
+            for j in 0..10u16 {
+                map.insert((i, j, i ^ j), (i as usize) * 10 + j as usize);
+            }
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&(7, 3, 7 ^ 3)], 73);
+    }
+
+    #[test]
+    fn byte_stream_and_word_writes_are_deterministic() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

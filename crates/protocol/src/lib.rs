@@ -22,10 +22,13 @@
 //!   [`Scheduler`].
 //! - [`CountEngine`]: the batched count-based engine, driven by any
 //!   [`CountScheduler`] — it samples interacting *state pairs* instead of
-//!   agent indices and jumps between change-points in one draw, scaling to
-//!   populations of millions of agents.
-//! - [`InteractionTrace`]: record/replay of interaction schedules for
-//!   reproducible failure analysis.
+//!   agent indices and jumps between change-points in one draw. Its
+//!   [`Activity`] index (sparse adjacency + Fenwick sampling by default,
+//!   dense pair matrix as the benchmarked baseline) and `u128` pair
+//!   weights scale it to populations of billions of agents.
+//! - [`InteractionTrace`]: record/replay of indexed interaction schedules;
+//!   [`CountTrace`]: its count-level analogue — the JSONL change-point
+//!   schedules that keep large-`n` failures reproducible and shrinkable.
 //!
 //! # Example
 //!
@@ -69,9 +72,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 mod config;
 mod count_engine;
+mod count_trace;
 mod error;
+pub mod fenwick;
+mod hashing;
 mod population;
 mod protocol;
 pub mod scheduler;
@@ -79,9 +86,12 @@ mod simulation;
 mod time;
 mod trace;
 
+pub use activity::{Activity, DenseActivity, SparseActivity};
 pub use config::CountConfig;
-pub use count_engine::CountEngine;
+pub use count_engine::{CountEngine, DenseCountEngine};
+pub use count_trace::CountTrace;
 pub use error::FrameworkError;
+pub use fenwick::Fenwick;
 pub use population::Population;
 pub use protocol::{EnumerableProtocol, Protocol};
 pub use scheduler::{

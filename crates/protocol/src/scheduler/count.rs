@@ -17,17 +17,24 @@
 //! the skip length is geometric with success probability `mass / (n (n - 1))`
 //! where `mass` is the total weight of state-changing ordered pairs, so
 //! silent-heavy runs advance in one draw per change-point instead of one draw
-//! per interaction.
+//! per interaction. The conditional change-pair draw itself is answered by
+//! the engine's [`Activity`](crate::activity::Activity) index through
+//! [`CountView::sample_change`] — a Fenwick-tree prefix search plus an
+//! adjacency walk (`O(log slots + deg)`) on the default sparse index. All
+//! pair weights are `u128`, so populations beyond `u32::MAX` sample without
+//! overflow.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
+
+use crate::activity::PairSampling;
 
 /// A read-only, dense snapshot of an anonymous configuration plus the
 /// activity structure maintained by the count engine.
 ///
 /// Slots index the engine's dense arrays; every state ever seen keeps its
 /// slot, so zero-count slots exist and simply carry no weight.
-#[derive(Debug)]
+#[derive(Clone, Copy)]
 pub struct CountView<'a, S> {
     /// Distinct states by slot.
     pub states: &'a [S],
@@ -37,12 +44,13 @@ pub struct CountView<'a, S> {
     pub n: u64,
     /// Per-initiator-slot total weight of *active* (state-changing) ordered
     /// pairs: `row_mass[i] = Σ_j active(i, j) · c_i · (c_j − [i = j])`.
-    pub row_mass: &'a [u64],
+    pub row_mass: &'a [u128],
     /// Total active weight: `Σ_i row_mass[i]`. Zero iff the configuration is
     /// silent.
-    pub mass: u64,
-    pub(crate) null: &'a [bool],
-    pub(crate) stride: usize,
+    pub mass: u128,
+    /// The engine's activity index, answering pair-activity and conditional
+    /// sampling queries.
+    pub(crate) sampler: &'a dyn PairSampling,
 }
 
 impl<S> CountView<'_, S> {
@@ -54,18 +62,44 @@ impl<S> CountView<'_, S> {
     /// Whether the ordered slot pair `(i, j)` changes state when it
     /// interacts.
     pub fn is_active(&self, i: usize, j: usize) -> bool {
-        !self.null[i * self.stride + j]
+        self.sampler.is_active(i, j)
     }
 
     /// The sampling weight of the ordered slot pair `(i, j)`: the number of
     /// ordered *agent* pairs realizing it, `c_i · (c_j − [i = j])`, or `0`
     /// when the pair is null.
-    pub fn pair_weight(&self, i: usize, j: usize) -> u64 {
+    pub fn pair_weight(&self, i: usize, j: usize) -> u128 {
         if !self.is_active(i, j) {
             return 0;
         }
         let exclude = u64::from(i == j);
-        self.counts[i] * (self.counts[j].saturating_sub(exclude))
+        u128::from(self.counts[i]) * u128::from(self.counts[j].saturating_sub(exclude))
+    }
+
+    /// Maps the `r`-th unit of active weight (`r < mass`) to its ordered
+    /// slot pair: pairs are ordered by initiator slot then responder slot,
+    /// each spanning its [`pair_weight`](Self::pair_weight). On the sparse
+    /// index this is a Fenwick prefix search plus an adjacency walk; on the
+    /// dense baseline a linear row-and-column scan. Both orderings agree,
+    /// so the same `r` yields the same pair on either index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= mass` — sampling outside the active weight is
+    /// always a caller bug and must surface instead of biasing draws.
+    pub fn sample_change(&self, r: u128) -> (usize, usize) {
+        assert!(r < self.mass, "sample_change past the active mass");
+        self.sampler.sample_change(r, self.counts)
+    }
+}
+
+impl<S> std::fmt::Debug for CountView<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountView")
+            .field("slots", &self.states.len())
+            .field("n", &self.n)
+            .field("mass", &self.mass)
+            .finish_non_exhaustive()
     }
 }
 
@@ -142,15 +176,29 @@ impl UniformCountScheduler {
 
 /// Walks `counts` to find the slot containing the `r`-th agent, with
 /// `excluded` agents of slot `exclude` set aside.
+///
+/// Exhausting the counts before placing `r` means the caller's `r` exceeded
+/// the total remaining weight — a sampling bug that must panic loudly
+/// (`unreachable!`) rather than silently bias draws toward the last slot.
 fn slot_of<S>(view: &CountView<'_, S>, mut r: u64, exclude: usize, excluded: u64) -> usize {
+    debug_assert!(
+        exclude == usize::MAX || view.counts[exclude] >= excluded,
+        "cannot exclude {excluded} agents from a slot holding {}",
+        view.counts.get(exclude).copied().unwrap_or(0)
+    );
     for (idx, &c) in view.counts.iter().enumerate() {
-        let c = if idx == exclude { c - excluded } else { c };
+        let c = if idx == exclude {
+            c.checked_sub(excluded)
+                .expect("excluded more agents than the slot holds")
+        } else {
+            c
+        };
         if r < c {
             return idx;
         }
         r -= c;
     }
-    unreachable!("sampling walked past the total population");
+    unreachable!("sampling walked past the total population (residual {r})");
 }
 
 impl<S> CountScheduler<S> for UniformCountScheduler {
@@ -169,7 +217,7 @@ impl<S> CountScheduler<S> for UniformCountScheduler {
                 pair: None,
             };
         }
-        let total = view.n * (view.n - 1);
+        let total = u128::from(view.n) * u128::from(view.n - 1);
         // Geometric skip: each interaction is active with probability
         // `p = mass / total`, independently, so the number of nulls before
         // the next change is Geometric(p). Inverse-transform sampling; the
@@ -178,7 +226,15 @@ impl<S> CountScheduler<S> for UniformCountScheduler {
         let skipped = if view.mass == total {
             0
         } else {
-            let p = view.mass as f64 / total as f64;
+            // u64 → f64 is a native instruction while u128 → f64 is a
+            // library call; masses below 2^64 (every population up to
+            // ~4·10^9 agents) take the fast path. The total is computed
+            // from `n` directly for the same reason.
+            let mass_f = match u64::try_from(view.mass) {
+                Ok(m) => m as f64,
+                Err(_) => view.mass as f64,
+            };
+            let p = mass_f / ((view.n as f64) * ((view.n - 1) as f64));
             let u: f64 = rng.random();
             let skip = ((1.0 - u).ln() / (-p).ln_1p()).floor();
             if skip >= budget as f64 {
@@ -196,27 +252,13 @@ impl<S> CountScheduler<S> for UniformCountScheduler {
             };
         }
         // Conditioned on "this interaction changes state", the pair is
-        // distributed by its weight among active pairs: walk rows, then
-        // columns within the chosen row.
-        let mut r = rng.random_range(0..view.mass);
-        for (i, &row) in view.row_mass.iter().enumerate() {
-            if r >= row {
-                r -= row;
-                continue;
-            }
-            for j in 0..view.slots() {
-                let w = view.pair_weight(i, j);
-                if r < w {
-                    return PairDraw {
-                        skipped,
-                        pair: Some((i, j)),
-                    };
-                }
-                r -= w;
-            }
-            unreachable!("row mass out of sync with pair weights");
+        // distributed by its weight among active pairs; the activity index
+        // resolves the draw.
+        let r = rng.random_range(0..view.mass);
+        PairDraw {
+            skipped,
+            pair: Some(view.sample_change(r)),
         }
-        unreachable!("total mass out of sync with row masses");
     }
 
     fn name(&self) -> &str {
@@ -227,7 +269,8 @@ impl<S> CountScheduler<S> for UniformCountScheduler {
 /// A scripted count-level scheduler that replays a fixed sequence of *state*
 /// pairs — the count-level analogue of trace replay, used to drive the count
 /// engine through exactly the interaction sequence of a recorded indexed run
-/// (see the `engine_equivalence` tests).
+/// (see the `engine_equivalence` tests) or through a recorded
+/// [`CountTrace`](crate::CountTrace).
 #[derive(Debug, Clone)]
 pub struct ReplayCountScheduler<S> {
     pairs: Vec<(S, S)>,
@@ -284,13 +327,42 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    /// A test-only activity index backed by an explicit null matrix, so
+    /// scheduler tests can state activity patterns directly.
+    struct GridSampler {
+        null: Vec<bool>,
+        stride: usize,
+    }
+
+    impl PairSampling for GridSampler {
+        fn is_active(&self, i: usize, j: usize) -> bool {
+            !self.null[i * self.stride + j]
+        }
+
+        fn sample_change(&self, mut r: u128, counts: &[u64]) -> (usize, usize) {
+            for i in 0..self.stride {
+                for j in 0..self.stride {
+                    if self.null[i * self.stride + j] {
+                        continue;
+                    }
+                    let w = u128::from(counts[i])
+                        * u128::from(counts[j].saturating_sub(u64::from(i == j)));
+                    if r < w {
+                        return (i, j);
+                    }
+                    r -= w;
+                }
+            }
+            unreachable!("r past the active mass");
+        }
+    }
+
     fn view<'a>(
         states: &'a [u8],
         counts: &'a [u64],
-        row_mass: &'a [u64],
-        mass: u64,
-        null: &'a [bool],
-        stride: usize,
+        row_mass: &'a [u128],
+        mass: u128,
+        sampler: &'a GridSampler,
     ) -> CountView<'a, u8> {
         CountView {
             states,
@@ -298,8 +370,7 @@ mod tests {
             n: counts.iter().sum(),
             row_mass,
             mass,
-            null,
-            stride,
+            sampler,
         }
     }
 
@@ -308,9 +379,12 @@ mod tests {
         // Two slots, all pairs active.
         let states = [0u8, 1];
         let counts = [3u64, 1];
-        let null = [false; 4];
+        let sampler = GridSampler {
+            null: vec![false; 4],
+            stride: 2,
+        };
         let row_mass = [3 * 2 + 3, 3];
-        let v = view(&states, &counts, &row_mass, 12, &null, 2);
+        let v = view(&states, &counts, &row_mass, 12, &sampler);
         let mut s = UniformCountScheduler::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut seen = std::collections::HashSet::new();
@@ -330,9 +404,12 @@ mod tests {
     fn next_change_on_silent_view_reports_budget() {
         let states = [0u8];
         let counts = [5u64];
-        let null = [true];
-        let row_mass = [0u64];
-        let v = view(&states, &counts, &row_mass, 0, &null, 1);
+        let sampler = GridSampler {
+            null: vec![true],
+            stride: 1,
+        };
+        let row_mass = [0u128];
+        let v = view(&states, &counts, &row_mass, 0, &sampler);
         let mut s = UniformCountScheduler::new();
         let mut rng = StdRng::seed_from_u64(2);
         let draw = CountScheduler::<u8>::next_change(&mut s, &v, 17, &mut rng);
@@ -350,10 +427,13 @@ mod tests {
         // Slot 0 self-pair is null; cross pairs active.
         let states = [0u8, 1];
         let counts = [2u64, 2];
-        // null matrix: (0,0) true, (0,1) false, (1,0) false, (1,1) true
-        let null = [true, false, false, true];
-        let row_mass = [4u64, 4];
-        let v = view(&states, &counts, &row_mass, 8, &null, 2);
+        let sampler = GridSampler {
+            // (0,0) true, (0,1) false, (1,0) false, (1,1) true
+            null: vec![true, false, false, true],
+            stride: 2,
+        };
+        let row_mass = [4u128, 4];
+        let v = view(&states, &counts, &row_mass, 8, &sampler);
         let mut s = UniformCountScheduler::new();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..500 {
@@ -368,10 +448,13 @@ mod tests {
         // 1 active ordered-agent-pair arrangement out of n(n-1).
         let states = [0u8, 1];
         let counts = [1u64, 9];
-        // Only (0, 1) active.
-        let null = [true, false, true, true];
-        let row_mass = [9u64, 0];
-        let v = view(&states, &counts, &row_mass, 9, &null, 2);
+        let sampler = GridSampler {
+            // Only (0, 1) active.
+            null: vec![true, false, true, true],
+            stride: 2,
+        };
+        let row_mass = [9u128, 0];
+        let v = view(&states, &counts, &row_mass, 9, &sampler);
         let mut s = UniformCountScheduler::new();
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 20_000;
@@ -387,12 +470,51 @@ mod tests {
     }
 
     #[test]
+    fn sample_change_weights_match_pair_weights() {
+        let states = [0u8, 1];
+        let counts = [3u64, 2];
+        let sampler = GridSampler {
+            null: vec![false, false, true, true],
+            stride: 2,
+        };
+        // row 0: (0,0) weight 3·2 = 6, (0,1) weight 3·2 = 6.
+        let row_mass = [12u128, 0];
+        let v = view(&states, &counts, &row_mass, 12, &sampler);
+        assert_eq!(v.pair_weight(0, 0), 6);
+        assert_eq!(v.pair_weight(0, 1), 6);
+        assert_eq!(v.pair_weight(1, 0), 0, "null pair weighs nothing");
+        for r in 0..6 {
+            assert_eq!(v.sample_change(r), (0, 0));
+        }
+        for r in 6..12 {
+            assert_eq!(v.sample_change(r), (0, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past the active mass")]
+    fn sample_change_past_mass_panics() {
+        let states = [0u8];
+        let counts = [2u64];
+        let sampler = GridSampler {
+            null: vec![false],
+            stride: 1,
+        };
+        let row_mass = [2u128];
+        let v = view(&states, &counts, &row_mass, 2, &sampler);
+        let _ = v.sample_change(2);
+    }
+
+    #[test]
     fn replay_scheduler_maps_states_to_slots() {
         let states = [7u8, 9];
         let counts = [1u64, 2];
-        let null = [false; 4];
-        let row_mass = [2u64, 2 + 1];
-        let v = view(&states, &counts, &row_mass, 5, &null, 2);
+        let sampler = GridSampler {
+            null: vec![false; 4],
+            stride: 2,
+        };
+        let row_mass = [2u128, 2 + 1];
+        let v = view(&states, &counts, &row_mass, 5, &sampler);
         let mut s = ReplayCountScheduler::new(vec![(9u8, 7u8), (9, 9)]);
         let mut rng = StdRng::seed_from_u64(5);
         assert_eq!(s.next_slot_pair(&v, &mut rng), (1, 0));

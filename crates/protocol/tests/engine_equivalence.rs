@@ -16,7 +16,8 @@
 //!    many seeds.
 
 use pp_protocol::{
-    CountEngine, Population, Protocol, ReplayCountScheduler, Simulation, UniformPairScheduler,
+    CountConfig, CountEngine, Population, Protocol, ReplayCountScheduler, Simulation,
+    UniformPairScheduler,
 };
 use proptest::prelude::*;
 
@@ -112,6 +113,101 @@ proptest! {
         prop_assert_eq!(report.consensus, reference.consensus);
         prop_assert_eq!(engine.config().n(), inputs.len());
     }
+}
+
+/// The `u128` mass path: populations past `u32::MAX`, whose pair weights
+/// overflow the former `u64` arithmetic, sample and update exactly.
+#[test]
+fn u128_mass_path_handles_populations_past_u32_max() {
+    // Two states with 4·10^9 agents each: n = 8·10^9 > u32::MAX, and the
+    // active mass 2 · (4·10^9)² = 3.2·10^19 > u64::MAX.
+    let big = 4_000_000_000usize;
+    let mut config = CountConfig::new();
+    config.insert(1u8, big);
+    config.insert(2u8, big);
+    let mut engine = CountEngine::from_config(&Max, config, 42);
+    assert_eq!(engine.n(), 8_000_000_000);
+    let expected_mass = 2 * (big as u128) * (big as u128);
+    assert!(expected_mass > u128::from(u64::MAX), "must exceed u64");
+    assert_eq!(engine.mass(), expected_mass);
+
+    // Drive real change-points through the u128 sampler: every interaction
+    // between the two states is active, so a small budget executes ~half
+    // as many state changes.
+    let err = engine.run_until_silent(10_000).unwrap_err();
+    assert_eq!(
+        err,
+        pp_protocol::FrameworkError::MaxStepsExceeded { max_steps: 10_000 }
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.steps, 10_000);
+    assert!(stats.state_changes > 2_000, "p = mass/total ≈ 1/2");
+    let config = engine.config();
+    assert_eq!(config.n(), 2 * big, "agents conserved at 8·10^9");
+    let moved = config.count(&2) - big;
+    assert_eq!(
+        moved as u64, stats.state_changes,
+        "each change moves exactly one agent from 1 to 2"
+    );
+    // Mass stays exact after u128 updates.
+    let c1 = config.count(&1) as u128;
+    let c2 = config.count(&2) as u128;
+    assert_eq!(engine.mass(), 2 * c1 * c2);
+}
+
+/// A protocol that is one interaction away from silence: the single `1`
+/// turns into an inert `2` on first contact, everything else is null.
+struct Quench;
+
+impl Protocol for Quench {
+    type State = u8;
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> &str {
+        "quench"
+    }
+
+    fn input(&self, i: &u8) -> u8 {
+        *i
+    }
+
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        match (*a, *b) {
+            (1, 0) => (2, 0),
+            (0, 1) => (0, 2),
+            other => other,
+        }
+    }
+}
+
+/// Near-silent configurations at huge `n` skip astronomically many null
+/// interactions in one geometric draw without overflowing the step budget.
+#[test]
+fn geometric_skip_survives_astronomical_null_stretches() {
+    // One lonely 1 among 5·10^9 zeros: only pairs touching the 1 are
+    // active (weight ≈ 10^10 of ~2.5·10^19 total), so the expected skip to
+    // the single state change is ~2.5·10^9 null interactions — all
+    // consumed by one geometric draw.
+    let n0 = 5_000_000_000usize;
+    let mut config = CountConfig::new();
+    config.insert(0u8, n0);
+    config.insert(1u8, 1);
+    let mut engine = CountEngine::from_config(&Quench, config, 3);
+    let report = engine.run_until_silent(u64::MAX).unwrap();
+    assert!(engine.is_silent());
+    assert_eq!(report.state_changes, 1, "exactly one quenching interaction");
+    assert!(
+        report.steps > 1_000_000,
+        "nulls must have been skipped in bulk, steps = {}",
+        report.steps
+    );
+    assert_eq!(engine.config().count(&2), 1);
+    assert_eq!(engine.config().count(&0), n0);
 }
 
 /// Mean and standard error of a sample.

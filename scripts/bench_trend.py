@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Trend-diff two BENCH_ci.json artifacts; fail on median regressions.
+
+Usage: bench_trend.py PREVIOUS.json CURRENT.json [THRESHOLD]
+
+Labels are matched on the ``bench`` field under the same ``quick`` flag and
+compared by ``median_ns``; a current median more than THRESHOLD (default 2.0)
+times the previous one fails the check. Quick-mode medians come from at most
+3 samples, so the threshold is deliberately coarse — this is a drift alarm,
+not a microbenchmark.
+
+Rows whose label ends in ``_x`` are ratios (e.g. ``implied_speedup_x``) where
+*higher* is better; they are asserted in-bench and skipped here. A missing or
+unreadable PREVIOUS file (first run, expired artifact) passes with a notice —
+the trend starts at the next commit.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def key_rows(rows):
+    table = {}
+    for row in rows:
+        label = row.get("bench")
+        median = row.get("median_ns")
+        if label is None or median is None or label.endswith("_x"):
+            continue
+        table[(label, bool(row.get("quick")))] = float(median)
+    return table
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    prev_path, cur_path = argv[1], argv[2]
+    threshold = float(argv[3]) if len(argv) > 3 else 2.0
+
+    try:
+        prev = key_rows(load(prev_path))
+    except (OSError, ValueError) as e:
+        print(f"bench-trend: no usable previous artifact ({e}); baseline starts now")
+        return 0
+    cur = key_rows(load(cur_path))
+
+    regressions = []
+    compared = 0
+    for key, new_median in sorted(cur.items()):
+        old_median = prev.get(key)
+        if old_median is None or old_median <= 0.0:
+            continue
+        compared += 1
+        ratio = new_median / old_median
+        label, quick = key
+        marker = " quick" if quick else ""
+        line = f"  {label}{marker}: {old_median:.0f} -> {new_median:.0f} ns ({ratio:.2f}x)"
+        if ratio > threshold:
+            regressions.append(line)
+        else:
+            print(f"bench-trend ok{line}")
+
+    if regressions:
+        print(f"bench-trend: {len(regressions)} label(s) regressed past {threshold}x:")
+        print("\n".join(regressions))
+        return 1
+    print(f"bench-trend: {compared} matching label(s), none past {threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

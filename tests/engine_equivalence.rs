@@ -12,11 +12,24 @@
 //!    batched uniform count engine match the indexed engine over many
 //!    seeds.
 
-use circles::core::{CirclesProtocol, Color};
+use circles::core::{CirclesProtocol, CirclesState, Color};
 use circles::protocol::{
-    CountEngine, Population, ReplayCountScheduler, RunReport, Simulation, UniformPairScheduler,
+    CountEngine, CountTrace, DenseCountEngine, Population, ReplayCountScheduler, RunReport,
+    Simulation, UniformCountScheduler, UniformPairScheduler,
 };
 use proptest::prelude::*;
+
+/// An inline margin workload: color 0 leads by `margin` over equally
+/// supported losers (kept local so this test file stays independent of the
+/// analysis crate).
+fn margin_inputs(n: usize, k: u16, margin: usize) -> Vec<Color> {
+    let b = (n - margin) / usize::from(k);
+    let mut inputs = vec![Color(0); b + margin];
+    for c in 1..k {
+        inputs.extend(std::iter::repeat_n(Color(c), b));
+    }
+    inputs
+}
 
 /// Runs the indexed engine to silence with trace recording; returns the
 /// report and the schedule as (initiator, responder) *state* pairs.
@@ -78,6 +91,122 @@ proptest! {
         prop_assert!(engine.is_silent());
         prop_assert_eq!(engine.config().n(), inputs.len());
     }
+}
+
+/// Large-k Circles replay: the same indexed schedule, driven through the
+/// sparse (Fenwick + adjacency) and dense (pair matrix) activity indexes,
+/// produces bit-identical reports and configurations — with slot tables
+/// far past the Fenwick threshold (slots ≫ 100), where the sparse
+/// bookkeeping actually diverges from the dense code path.
+#[test]
+fn large_k_circles_replay_is_bit_identical_on_both_indexes() {
+    let k = 12u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let inputs = margin_inputs(180, k, 24);
+    for seed in 0..2u64 {
+        let (reference, state_pairs) = indexed_reference(&protocol, &inputs, seed);
+        let steps = state_pairs.len() as u64;
+        let config: circles::protocol::CountConfig<CirclesState> = inputs
+            .iter()
+            .map(|c| {
+                use circles::protocol::Protocol;
+                protocol.input(c)
+            })
+            .collect();
+
+        let mut sparse = CountEngine::with_scheduler(
+            &protocol,
+            config.clone(),
+            ReplayCountScheduler::new(state_pairs.clone()),
+            !seed,
+        );
+        let mut dense = DenseCountEngine::with_parts(
+            &protocol,
+            config,
+            ReplayCountScheduler::new(state_pairs),
+            seed ^ 0xABCD, // the RNG must be irrelevant under replay
+        );
+        for _ in 0..steps {
+            sparse.step().unwrap();
+            dense.step().unwrap();
+        }
+        assert_eq!(sparse.report(), reference, "sparse vs indexed, seed {seed}");
+        assert_eq!(dense.report(), reference, "dense vs indexed, seed {seed}");
+        assert_eq!(sparse.config(), dense.config(), "configs, seed {seed}");
+        assert_eq!(sparse.slots(), dense.slots(), "slot tables, seed {seed}");
+        assert!(
+            sparse.slots() > 100,
+            "workload must exercise a large slot table, got {}",
+            sparse.slots()
+        );
+    }
+}
+
+/// Uniform-random batched runs on the two activity indexes are bit-identical
+/// for the same seed: both draw the same geometric skips and the same
+/// `r ∈ [0, mass)`, and the Fenwick prefix search must resolve `r` to
+/// exactly the pair the dense linear scan finds.
+#[test]
+fn sparse_and_dense_uniform_runs_are_bit_identical_at_large_k() {
+    let k = 18u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let inputs = margin_inputs(1200, k, 120);
+    let config: circles::protocol::CountConfig<CirclesState> = inputs
+        .iter()
+        .map(|c| {
+            use circles::protocol::Protocol;
+            protocol.input(c)
+        })
+        .collect();
+
+    let mut sparse = CountEngine::from_config(&protocol, config.clone(), 7);
+    let sparse_report = sparse.run_until_silent(u64::MAX / 2).unwrap();
+    let mut dense =
+        DenseCountEngine::with_parts(&protocol, config, UniformCountScheduler::new(), 7);
+    let dense_report = dense.run_until_silent(u64::MAX / 2).unwrap();
+
+    assert_eq!(sparse_report, dense_report);
+    assert_eq!(sparse.config(), dense.config());
+    assert_eq!(sparse.slots(), dense.slots());
+    assert!(
+        sparse.slots() > 1000,
+        "workload must exercise a large slot table, got {}",
+        sparse.slots()
+    );
+}
+
+/// A recorded count-level trace serializes to JSONL, parses back through
+/// `CirclesState`'s `FromStr`, and replays to the recorded terminal
+/// configuration — the reproducibility loop for large-`n` failures.
+#[test]
+fn count_trace_jsonl_round_trips_and_replays() {
+    let k = 4u16;
+    let protocol = CirclesProtocol::new(k).unwrap();
+    let inputs = margin_inputs(60, k, 8);
+    let mut engine = CountEngine::from_inputs(&protocol, &inputs, 11);
+    engine.record_trace();
+    engine.run_until_silent(u64::MAX / 2).unwrap();
+    let trace = engine.take_trace().expect("recording was on");
+    assert_eq!(trace.len() as u64, engine.stats().state_changes);
+
+    let jsonl = trace.to_jsonl();
+    let parsed: CountTrace<CirclesState> = CountTrace::from_jsonl(&jsonl).unwrap();
+    assert_eq!(parsed, trace);
+
+    let config: circles::protocol::CountConfig<CirclesState> = inputs
+        .iter()
+        .map(|c| {
+            use circles::protocol::Protocol;
+            protocol.input(c)
+        })
+        .collect();
+    let steps = parsed.len();
+    let mut replayed = CountEngine::with_scheduler(&protocol, config, parsed.into_scheduler(), 999);
+    for _ in 0..steps {
+        assert!(replayed.step().unwrap(), "every traced pair changes state");
+    }
+    assert_eq!(replayed.config(), engine.config());
+    assert!(replayed.is_silent());
 }
 
 /// Mean and standard error of a sample.

@@ -130,6 +130,31 @@ macro_rules! impl_sample_range_int {
 
 impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl SampleRange<u128> for core::ops::Range<u128> {
+    /// 128-bit ranges cannot use the widening-multiply reduction (it would
+    /// need a 256-bit product), so widths beyond `u64::MAX` fall back to
+    /// masked rejection sampling: draw `width.next_power_of_two()` bits and
+    /// retry until the draw lands inside the range (< 2 expected draws).
+    /// Widths that fit a `u64` delegate to the one-draw `u64` path, so the
+    /// common case costs exactly as much as before.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let width = self.end - self.start;
+        if let Ok(narrow) = u64::try_from(width) {
+            return self.start + u128::from((0..narrow).sample_single(rng));
+        }
+        // Smallest all-ones mask covering `width` (avoids the overflow of
+        // `next_power_of_two` for widths above 2^127).
+        let mask = u128::MAX >> (width - 1).leading_zeros();
+        loop {
+            let draw = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())) & mask;
+            if draw < width {
+                return self.start + draw;
+            }
+        }
+    }
+}
+
 impl SampleRange<f64> for core::ops::Range<f64> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "cannot sample empty range");
