@@ -4,10 +4,9 @@
 //! colors? More colors mean longer circles to assemble (`⋃ f(G_p)` has
 //! arcs spanning more distinct colors) but also fewer agents per color.
 
-use crate::runner::{run_seeded, seed_range};
 use crate::stats::{log_log_slope, Summary};
 use crate::table::{fmt_f64, Table};
-use crate::trial::run_count_trial;
+use crate::trial::{Backend, TrialRunner};
 use crate::workloads::{margin_workload, photo_finish_workload, true_winner};
 use circles_core::CirclesProtocol;
 
@@ -24,6 +23,8 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Simulation engine running the trials.
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -34,6 +35,7 @@ impl Default for Params {
             seeds: 32,
             max_steps: 2_000_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Count,
         }
     }
 }
@@ -47,14 +49,25 @@ impl Params {
             seeds: 4,
             max_steps: 50_000_000,
             threads: 2,
+            backend: Backend::Count,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
 /// Runs E3 and returns the table.
 pub fn run(params: &Params) -> Table {
+    let title = format!(
+        "E3 — convergence vs k (fixed n, uniform-random scheduler, {} backend)",
+        params.backend.name()
+    );
     let mut table = Table::new(
-        "E3 — convergence vs k (fixed n, uniform-random scheduler)",
+        &title,
         &[
             "k",
             "n",
@@ -66,8 +79,17 @@ pub fn run(params: &Params) -> Table {
             "correct",
         ],
     );
+    // One warm runner per k: the high-k sweeps are exactly where repeated
+    // per-seed slot discovery dominates, so both workloads of a k share a
+    // transition table through the warm trial path.
+    let runner = TrialRunner::new(params.backend)
+        .threads(params.threads)
+        .max_steps(params.max_steps)
+        .seeds(params.seeds);
     let mut scaling_points = Vec::new();
     for &k in &params.ks {
+        let protocol = CirclesProtocol::new(k).expect("k >= 1");
+        let shared = pp_protocol::TransitionTable::new();
         for (label, inputs) in [
             (
                 "margin 10%",
@@ -75,12 +97,11 @@ pub fn run(params: &Params) -> Table {
             ),
             ("photo finish", photo_finish_workload(params.n, k)),
         ] {
-            let protocol = CirclesProtocol::new(k).expect("k >= 1");
             let expected = true_winner(&inputs, k);
-            let results = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-                run_count_trial(&protocol, &inputs, seed, expected, params.max_steps)
-                    .expect("trial failed")
-            });
+            let results = match params.backend {
+                Backend::Count => runner.run_with_table(&protocol, &inputs, expected, &shared),
+                Backend::Indexed => runner.run(&protocol, &inputs, expected),
+            };
             let consensuses: Vec<f64> = results
                 .iter()
                 .map(|r| r.steps_to_consensus as f64)
@@ -136,5 +157,18 @@ mod tests {
                 assert_eq!(row[7], "1.00");
             }
         }
+    }
+
+    #[test]
+    fn indexed_backend_is_correct_too() {
+        let p = Params::quick().with_backend(Backend::Indexed);
+        let table = run(&p);
+        assert_eq!(table.len(), 2 * p.ks.len() + 1);
+        for row in table.rows() {
+            if row[0] != "slope" {
+                assert_eq!(row[7], "1.00");
+            }
+        }
+        assert!(table.title().contains("indexed"));
     }
 }

@@ -81,6 +81,7 @@ fn row_for<P>(
 ) -> ProtocolRow
 where
     P: EnumerableProtocol<Input = Color, Output = Color> + Sync,
+    P::State: Send + Sync,
 {
     ProtocolRow {
         name,

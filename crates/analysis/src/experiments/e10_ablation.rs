@@ -19,6 +19,7 @@ use pp_protocol::{CountConfig, Protocol};
 
 use crate::experiments::e09_verification::enumerate_profiles;
 use crate::table::Table;
+use crate::trial::{Backend, TrialRunner};
 
 /// The bra-ket projection of a variant rule: exchanges only, no `out`
 /// register. Sound for every rule because [`ExchangeRule::fires`] never
@@ -68,6 +69,8 @@ pub struct Params {
     pub ns: Vec<usize>,
     /// Exploration limits per instance.
     pub limits: ExploreLimits,
+    /// Worker threads for the per-instance model-checking fan-out.
+    pub threads: usize,
 }
 
 impl Default for Params {
@@ -76,6 +79,7 @@ impl Default for Params {
             k: 3,
             ns: vec![2, 3, 4, 5],
             limits: ExploreLimits::default(),
+            threads: crate::runner::default_threads(),
         }
     }
 }
@@ -87,6 +91,7 @@ impl Params {
             k: 3,
             ns: vec![2, 3],
             limits: ExploreLimits::default(),
+            threads: 2,
         }
     }
 }
@@ -128,48 +133,57 @@ pub fn run(params: &Params) -> Table {
             "stably computes majority",
         ],
     );
+    // The per-instance grid is embarrassingly parallel: enumerate the
+    // instances up front and fan the model checking out through the trial
+    // runner (instance indices stand in for seeds; the backend is unused).
+    let mut instances: Vec<Vec<Color>> = Vec::new();
+    for &n in &params.ns {
+        for profile in enumerate_profiles(n, params.k) {
+            let inputs = profile_to_inputs(&profile);
+            if !inputs.is_empty() {
+                instances.push(inputs);
+            }
+        }
+    }
+    let runner = TrialRunner::new(Backend::Count)
+        .threads(params.threads)
+        .seed_list((0..instances.len() as u64).collect());
     for rule in ExchangeRule::ALL {
-        let mut stats = RuleStats::default();
         let protocol = VariantCircles::new(params.k, rule).expect("k >= 1");
         let braket_dynamics = BraKetVariant { k: params.k, rule };
-        for &n in &params.ns {
-            for profile in enumerate_profiles(n, params.k) {
-                let inputs = profile_to_inputs(&profile);
-                if inputs.is_empty() {
-                    continue;
-                }
-                stats.instances += 1;
-                // Bra-ket projection: Theorem 3.4 / Lemma 3.6 analogues.
-                let braket_initial: CountConfig<BraKet> =
-                    inputs.iter().map(|c| BraKet::self_loop(*c)).collect();
-                let braket_graph =
-                    ReachabilityGraph::explore(&braket_dynamics, &braket_initial, params.limits)
-                        .expect("braket exploration failed");
-                if changes_always_terminate(&braket_graph) {
-                    stats.always_stabilizes += 1;
-                }
-                let silent = braket_graph.silent_configs();
-                let predicted = predicted_brakets(&inputs, params.k).expect("valid");
-                let all_match = !silent.is_empty()
-                    && silent
-                        .iter()
-                        .all(|&cid| braket_graph.config(cid) == predicted);
-                if all_match {
-                    stats.matches_prediction += 1;
-                }
-                // Full dynamics: global-fairness BSCC correctness.
-                let greedy = GreedyDecomposition::from_inputs(&inputs, params.k).expect("valid");
-                if let Some(mu) = greedy.winner() {
-                    stats.with_winner += 1;
-                    let initial: CountConfig<_> =
-                        inputs.iter().map(|c| protocol.input(c)).collect();
-                    let graph = ReachabilityGraph::explore(&protocol, &initial, params.limits)
-                        .expect("exploration failed");
-                    let report = check_stable_computation(&graph, &protocol, &mu);
-                    if report.holds {
-                        stats.stably_computes += 1;
-                    }
-                }
+        let outcomes = runner.run_with(|idx| {
+            let inputs = &instances[idx as usize];
+            // Bra-ket projection: Theorem 3.4 / Lemma 3.6 analogues.
+            let braket_initial: CountConfig<BraKet> =
+                inputs.iter().map(|c| BraKet::self_loop(*c)).collect();
+            let braket_graph =
+                ReachabilityGraph::explore(&braket_dynamics, &braket_initial, params.limits)
+                    .expect("braket exploration failed");
+            let always_stabilizes = changes_always_terminate(&braket_graph);
+            let silent = braket_graph.silent_configs();
+            let predicted = predicted_brakets(inputs, params.k).expect("valid");
+            let matches_prediction = !silent.is_empty()
+                && silent
+                    .iter()
+                    .all(|&cid| braket_graph.config(cid) == predicted);
+            // Full dynamics: global-fairness BSCC correctness.
+            let greedy = GreedyDecomposition::from_inputs(inputs, params.k).expect("valid");
+            let stably_computes = greedy.winner().map(|mu| {
+                let initial: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+                let graph = ReachabilityGraph::explore(&protocol, &initial, params.limits)
+                    .expect("exploration failed");
+                check_stable_computation(&graph, &protocol, &mu).holds
+            });
+            (always_stabilizes, matches_prediction, stably_computes)
+        });
+        let mut stats = RuleStats::default();
+        for (always_stabilizes, matches_prediction, stably_computes) in outcomes {
+            stats.instances += 1;
+            stats.always_stabilizes += usize::from(always_stabilizes);
+            stats.matches_prediction += usize::from(matches_prediction);
+            if let Some(holds) = stably_computes {
+                stats.with_winner += 1;
+                stats.stably_computes += usize::from(holds);
             }
         }
         table.push_row(vec![

@@ -19,8 +19,9 @@ use pp_protocol::UniformPairScheduler;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::runner::{run_seeded, seed_range};
+use crate::runner::seed_range;
 use crate::table::Table;
+use crate::trial::{Backend, TrialRunner};
 use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_winner};
 
 /// Parameters for E11.
@@ -135,12 +136,17 @@ pub fn run(params: &Params) -> Table {
             shuffled(photo_finish_workload(params.n, params.k), 3),
         ),
     ];
+    // Fault injection needs agent identities, so the trials run on the
+    // indexed engine; the runner supplies the seed fan-out configuration.
+    let runner = TrialRunner::new(Backend::Indexed)
+        .threads(params.threads)
+        .max_steps(params.max_steps)
+        .seed_list(seed_range(params.seeds));
     for (name, inputs) in &workloads {
         let _ = true_winner(inputs, params.k); // validates the workload
         for &faults in &params.fault_counts {
-            let outcomes = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-                one_trial(inputs, params.k, faults, seed, params.max_steps)
-            });
+            let outcomes =
+                runner.run_with(|seed| one_trial(inputs, params.k, faults, seed, params.max_steps));
             let total = outcomes.len() as f64;
             let rate = |f: &dyn Fn(&FaultTrialOutcome) -> bool| {
                 outcomes.iter().filter(|o| f(o)).count() as f64 / total

@@ -13,12 +13,10 @@ use circles_core::{CirclesProtocol, Color};
 use pp_mc::{ExploreLimits, UniformChain};
 use pp_protocol::{CountConfig, Protocol};
 
-use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_count_trial, run_trial};
+use crate::trial::{Backend, TrialRunner};
 use crate::workloads::true_winner;
-use pp_protocol::UniformPairScheduler;
 
 /// Parameters for E12.
 #[derive(Debug, Clone)]
@@ -31,6 +29,9 @@ pub struct Params {
     pub limits: ExploreLimits,
     /// Worker threads.
     pub threads: usize,
+    /// Engines validated against the exact expectation — both by default;
+    /// restrict to one to check a single backend against ground truth.
+    pub backends: Vec<Backend>,
 }
 
 impl Default for Params {
@@ -48,6 +49,7 @@ impl Default for Params {
             seeds: 4000,
             limits: ExploreLimits::default(),
             threads: crate::runner::default_threads(),
+            backends: Backend::ALL.to_vec(),
         }
     }
 }
@@ -60,6 +62,7 @@ impl Params {
             seeds: 600,
             limits: ExploreLimits::default(),
             threads: 2,
+            backends: Backend::ALL.to_vec(),
         }
     }
 }
@@ -81,18 +84,20 @@ fn inputs_of(profile: &[usize]) -> Vec<Color> {
 /// errors of the exact value — that would indicate an engine bug, and the
 /// harness must not report numbers from a broken engine.
 pub fn run(params: &Params) -> Table {
+    let mut headers: Vec<String> = ["profile", "k", "chain configs", "exact E[steps]"]
+        .iter()
+        .map(|h| (*h).to_string())
+        .collect();
+    for backend in &params.backends {
+        headers.push(format!("{} mean ± ci95", backend.name()));
+    }
+    for backend in &params.backends {
+        headers.push(format!("{} z", backend.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "E12 — exact expected interactions to silence vs engine estimates",
-        &[
-            "profile",
-            "k",
-            "chain configs",
-            "exact E[steps]",
-            "indexed mean ± ci95",
-            "counting mean ± ci95",
-            "indexed z",
-            "counting z",
-        ],
+        &header_refs,
     );
     for (profile, k) in &params.instances {
         let inputs = inputs_of(profile);
@@ -104,42 +109,42 @@ pub fn run(params: &Params) -> Table {
             .expected_steps_to_silence(1e-12, 100_000)
             .expect("finite expectation for circles");
 
-        let indexed: Vec<f64> = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-            run_trial(
-                &protocol,
-                &inputs,
-                UniformPairScheduler::new(),
-                seed,
-                expected_winner,
-                100_000_000,
-            )
-            .expect("trial")
-            .steps_to_silence as f64
-        });
-        let counting: Vec<f64> = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-            run_count_trial(&protocol, &inputs, seed, expected_winner, 100_000_000)
-                .expect("trial")
-                .steps_to_silence as f64
-        });
-        let si = Summary::from_samples(&indexed);
-        let sc = Summary::from_samples(&counting);
-        let z = |s: &Summary| (s.mean - exact) / (s.std / (s.count as f64).sqrt()).max(1e-12);
-        let zi = z(&si);
-        let zc = z(&sc);
-        assert!(
-            zi.abs() < 5.0 && zc.abs() < 5.0,
-            "engine mean deviates from exact value: profile {profile:?}, z = {zi:.2}/{zc:.2}"
-        );
-        table.push_row(vec![
+        let z_of = |s: &Summary| (s.mean - exact) / (s.std / (s.count as f64).sqrt()).max(1e-12);
+        let mut means = Vec::new();
+        let mut zs = Vec::new();
+        for &backend in &params.backends {
+            let runner = TrialRunner::new(backend)
+                .threads(params.threads)
+                .max_steps(100_000_000)
+                .seeds(params.seeds);
+            let samples: Vec<f64> = runner
+                .run(&protocol, &inputs, expected_winner)
+                .iter()
+                .map(|r| r.steps_to_silence as f64)
+                .collect();
+            let summary = Summary::from_samples(&samples);
+            let z = z_of(&summary);
+            assert!(
+                z.abs() < 5.0,
+                "{} engine mean deviates from exact value: profile {profile:?}, z = {z:.2}",
+                backend.name()
+            );
+            means.push(format!(
+                "{} ± {}",
+                fmt_f64(summary.mean),
+                fmt_f64(summary.ci95())
+            ));
+            zs.push(format!("{z:.2}"));
+        }
+        let mut row = vec![
             format!("{profile:?}"),
             k.to_string(),
             chain.len().to_string(),
             format!("{exact:.4}"),
-            format!("{} ± {}", fmt_f64(si.mean), fmt_f64(si.ci95())),
-            format!("{} ± {}", fmt_f64(sc.mean), fmt_f64(sc.ci95())),
-            format!("{zi:.2}"),
-            format!("{zc:.2}"),
-        ]);
+        ];
+        row.extend(means);
+        row.extend(zs);
+        table.push_row(row);
     }
     table
 }

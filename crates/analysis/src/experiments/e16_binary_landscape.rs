@@ -22,7 +22,7 @@ use crate::plot::LinePlot;
 use crate::runner::{run_seeded, seed_range};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_count_trial, TrialResult};
+use crate::trial::{Backend, TrialResult};
 use crate::workloads::{margin_workload, true_winner};
 
 /// Parameters for E16.
@@ -38,6 +38,8 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Simulation engine running every contender's trials.
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -48,6 +50,7 @@ impl Default for Params {
             seeds: 64,
             max_steps: 200_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Count,
         }
     }
 }
@@ -61,28 +64,37 @@ impl Params {
             seeds: 12,
             max_steps: 20_000_000,
             threads: 2,
+            backend: Backend::Count,
         }
+    }
+
+    /// The same preset on the other backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
-/// A boxed trial runner: `(inputs, seed, expected, max_steps) → result`.
-type TrialRunner = Box<dyn Fn(&[Color], u64, Color, u64) -> TrialResult + Sync>;
+/// A boxed trial closure: `(inputs, seed, expected, max_steps) → result`.
+type TrialFn = Box<dyn Fn(&[Color], u64, Color, u64) -> TrialResult + Sync>;
 
 /// One protocol entry of the landscape.
 struct Contender {
     name: &'static str,
     states: usize,
-    run: TrialRunner,
+    run: TrialFn,
 }
 
-fn contenders() -> Vec<Contender> {
-    fn runner<P>(protocol: P) -> TrialRunner
+fn contenders(backend: Backend) -> Vec<Contender> {
+    fn runner<P>(protocol: P, backend: Backend) -> TrialFn
     where
         P: Protocol<Input = Color, Output = Color> + Sync + 'static,
         P::State: Send + Sync,
     {
         Box::new(move |inputs, seed, expected, max_steps| {
-            run_count_trial(&protocol, inputs, seed, expected, max_steps).expect("trial failed")
+            backend
+                .trial(&protocol, inputs, seed, expected, max_steps)
+                .expect("trial failed")
         })
     }
     let circles = CirclesProtocol::new(2).expect("k = 2");
@@ -92,27 +104,27 @@ fn contenders() -> Vec<Contender> {
         Contender {
             name: "circles (k=2)",
             states: circles.state_complexity(),
-            run: runner(circles),
+            run: runner(circles, backend),
         },
         Contender {
             name: "four-state exact",
             states: FourStateMajority::new().state_complexity(),
-            run: runner(FourStateMajority::new()),
+            run: runner(FourStateMajority::new(), backend),
         },
         Contender {
             name: "approximate (3-state)",
             states: ApproximateMajority::new().state_complexity(),
-            run: runner(ApproximateMajority::new()),
+            run: runner(ApproximateMajority::new(), backend),
         },
         Contender {
             name: "undecided-state",
             states: usd.state_complexity(),
-            run: runner(usd),
+            run: runner(usd, backend),
         },
         Contender {
             name: "cancellation",
             states: cancel.state_complexity(),
-            run: runner(cancel),
+            run: runner(cancel, backend),
         },
     ]
 }
@@ -135,7 +147,7 @@ pub fn run_with_figures(params: &Params) -> (Table, Vec<(String, LinePlot)>) {
         .axis_labels("margin (agents)", "fraction of correct runs")
         .log_x();
 
-    for contender in contenders() {
+    for contender in contenders(params.backend) {
         let mut accuracy_points = Vec::new();
         for &margin in &params.margins {
             let inputs = margin_workload(params.n, 2, margin);
@@ -203,5 +215,20 @@ mod tests {
         let p = Params::quick();
         let table = run(&p);
         assert_eq!(table.len(), 5 * p.margins.len());
+    }
+
+    #[test]
+    fn indexed_backend_agrees_on_always_correct_contenders() {
+        let mut p = Params::quick().with_backend(Backend::Indexed);
+        // A single margin keeps the indexed sweep CI-cheap.
+        p.margins = vec![16];
+        p.seeds = 6;
+        let table = run(&p);
+        for row in table.rows() {
+            let name = row[0].as_str();
+            if name.starts_with("circles") || name.starts_with("four-state") {
+                assert_eq!(row[4], "1.000", "always-correct contender erred: {row:?}");
+            }
+        }
     }
 }

@@ -1,0 +1,189 @@
+//! Discovery-path benchmarks at `k = 30` (slot tables past `10^4`): the
+//! symmetric-protocol discovery fast path and the compact adjacency
+//! representation.
+//!
+//! Three one-shot parts, all asserted in-process so regressions fail the
+//! CI bench-smoke job instead of drifting:
+//!
+//! 1. `discovery/sym_*` vs `discovery/asym_*` — full slot-table discovery
+//!    with the protocol's transition calls counted, once through the
+//!    symmetric fast path (Circles declares `is_symmetric`) and once with
+//!    symmetry masked off. The call ratio is **asserted ≥ 1.8×** (the
+//!    structural expectation is 2×: one call per unordered pair instead of
+//!    one per ordered pair).
+//! 2. `discovery/*_bytes_per_pair` — the same discovered adjacency held by
+//!    the PR-3 flat sparse index (`VecAdj`, 8 bytes/pair) and by the
+//!    compact index (shared symmetric rows, delta-varint or blocked-bitset
+//!    per row). Compact is **asserted ≤ 0.25×** the flat bytes/active-pair.
+//! 3. Warm engines on the sparse, compact and dense indexes, bulk-loaded
+//!    from one [`TransitionTable`] (same slot order, same seed), run to
+//!    silence — their `RunReport`s are **asserted bit-identical**, pinning
+//!    representation-independence of the sampling path at scale.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use circles_core::{CirclesProtocol, CirclesState};
+use pp_analysis::workloads::{margin_workload, true_winner};
+use pp_protocol::{
+    CompactActivity, CountConfig, CountEngine, DenseActivity, Protocol, SparseActivity,
+    UniformCountScheduler,
+};
+
+/// Forwards to an inner protocol while counting transition calls;
+/// optionally masks `is_symmetric` to force all-ordered-pairs discovery.
+struct CallCounter<'a, P> {
+    inner: &'a P,
+    calls: Cell<u64>,
+    force_asymmetric: bool,
+}
+
+impl<P: Protocol> Protocol for CallCounter<'_, P> {
+    type State = P::State;
+    type Input = P::Input;
+    type Output = P::Output;
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input(&self, input: &Self::Input) -> Self::State {
+        self.inner.input(input)
+    }
+
+    fn output(&self, state: &Self::State) -> Self::Output {
+        self.inner.output(state)
+    }
+
+    fn transition(&self, a: &Self::State, b: &Self::State) -> (Self::State, Self::State) {
+        self.calls.set(self.calls.get() + 1);
+        self.inner.transition(a, b)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        !self.force_asymmetric && self.inner.is_symmetric()
+    }
+}
+
+const K: u16 = 30;
+const N: usize = 12_000;
+
+/// Primes a fresh engine with `states` (pure discovery, no run) and returns
+/// (elapsed ns, protocol transition calls).
+fn timed_discovery(
+    protocol: &CirclesProtocol,
+    states: &[CirclesState],
+    force_asymmetric: bool,
+) -> (f64, u64) {
+    let counter = CallCounter {
+        inner: protocol,
+        calls: Cell::new(0),
+        force_asymmetric,
+    };
+    let mut engine = CountEngine::from_config(&counter, CountConfig::new(), 7);
+    let start = Instant::now();
+    engine.prime_states(states.iter().copied());
+    (start.elapsed().as_nanos() as f64, counter.calls.get())
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let inputs = margin_workload(N, K, N / 10);
+    let config: CountConfig<CirclesState> = inputs.iter().map(|i| protocol.input(i)).collect();
+
+    // Scout run: the slot table this workload actually visits, exported to
+    // a transition table for the warm-engine comparison below.
+    let mut scout = CountEngine::from_config(&protocol, config.clone(), 7);
+    let scout_report = scout.run_until_silent(u64::MAX / 2).unwrap();
+    assert_eq!(scout_report.consensus, Some(true_winner(&inputs, K)));
+    let states: Vec<CirclesState> = scout.known_states().to_vec();
+    let slots = states.len();
+    assert!(
+        slots >= 10_000,
+        "discovery workload must exercise >= 10^4 slots, got {slots}"
+    );
+    let table = scout.warm_table();
+
+    // Part 1: symmetric vs forced-asymmetric discovery call counts. One
+    // discarded warmup first: the initial ~300 MB adjacency allocation
+    // pays first-touch page faults that would skew whichever variant runs
+    // first.
+    let _ = timed_discovery(&protocol, &states, false);
+    let (sym_ns, sym_calls) = timed_discovery(&protocol, &states, false);
+    let (asym_ns, asym_calls) = timed_discovery(&protocol, &states, true);
+    let call_ratio = asym_calls as f64 / sym_calls as f64;
+    criterion::report_external("discovery/slots", slots as f64, 1);
+    criterion::report_external("discovery/sym_ns", sym_ns, 1);
+    criterion::report_external("discovery/asym_ns", asym_ns, 1);
+    criterion::report_external("discovery/sym_calls", sym_calls as f64, 1);
+    criterion::report_external("discovery/asym_calls", asym_calls as f64, 1);
+    criterion::report_external("discovery/call_ratio_x", call_ratio, 1);
+    println!(
+        "discovery: k={K} slots={slots}; symmetric {sym_calls} calls ({:.2}s) vs \
+         asymmetric {asym_calls} calls ({:.2}s) => {call_ratio:.2}x fewer",
+        sym_ns / 1e9,
+        asym_ns / 1e9,
+    );
+    assert!(
+        call_ratio >= 1.8,
+        "symmetric discovery must make >= 1.8x fewer transition calls at \
+         k = 30, got {call_ratio:.2}x"
+    );
+
+    // Parts 2 + 3: warm engines per activity index — identical slot order
+    // and seed, so the uniform trajectories must be bit-identical — with
+    // the adjacency footprint measured on each.
+    fn run_warm<A: pp_protocol::Activity>(
+        protocol: &CirclesProtocol,
+        config: &CountConfig<CirclesState>,
+        table: &pp_protocol::TransitionTable<CirclesProtocol>,
+    ) -> (pp_protocol::RunReport<circles_core::Color>, usize, usize) {
+        let mut e = CountEngine::<_, _, A>::with_table_parts(
+            protocol,
+            config.clone(),
+            UniformCountScheduler::new(),
+            7,
+            table,
+        );
+        let r = e.run_until_silent(u64::MAX / 2).unwrap();
+        (r, e.adjacency_bytes(), e.active_pairs())
+    }
+    let (sparse_report, sparse_bytes, sparse_pairs) =
+        run_warm::<SparseActivity>(&protocol, &config, &table);
+    let (compact_report, compact_bytes, compact_pairs) =
+        run_warm::<CompactActivity>(&protocol, &config, &table);
+    let (dense_report, _, dense_pairs) = run_warm::<DenseActivity>(&protocol, &config, &table);
+    assert_eq!(
+        sparse_report, compact_report,
+        "sparse and compact warm engines must execute identical trajectories"
+    );
+    assert_eq!(
+        sparse_report, dense_report,
+        "sparse and dense warm engines must execute identical trajectories"
+    );
+    assert_eq!(sparse_pairs, compact_pairs);
+    assert_eq!(sparse_pairs, dense_pairs);
+
+    let sparse_bpp = sparse_bytes as f64 / sparse_pairs as f64;
+    let compact_bpp = compact_bytes as f64 / compact_pairs as f64;
+    let bytes_ratio = compact_bpp / sparse_bpp;
+    criterion::report_external("discovery/active_pairs", sparse_pairs as f64, 1);
+    criterion::report_external("discovery/sparse_bytes_per_pair", sparse_bpp, 1);
+    criterion::report_external("discovery/compact_bytes_per_pair", compact_bpp, 1);
+    criterion::report_external("discovery/compact_over_sparse_bytes_x", bytes_ratio, 1);
+    println!(
+        "discovery: {sparse_pairs} active pairs; flat {sparse_bpp:.2} B/pair vs \
+         compact {compact_bpp:.2} B/pair ({bytes_ratio:.3}x)"
+    );
+    assert!(
+        bytes_ratio <= 0.25,
+        "compact adjacency must be <= 0.25x the flat bytes/active-pair at \
+         slots >= 10^4, got {bytes_ratio:.3}x"
+    );
+    let _ = c; // one-shot measurement; no criterion sampling needed
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Warm-table multi-seed sweep at `k = 30`: the amortized-discovery claim.
+//!
+//! A 16-seed sweep on the count backend is dominated, cold, by 16
+//! repetitions of the identical `O(slots²)` slot/transition discovery. With
+//! one [`TransitionTable`] threaded through the sweep (`TrialRunner`'s warm
+//! path), seed 1 discovers once and seeds 2..16 bulk-load the structure in
+//! `O(slots + pairs)`. This bench measures both discovery bills directly
+//! and **asserts the warm sweep spends ≥ 10× less wall-clock on discovery
+//! than 16 cold runs** (structural expectation ≈ 16× minus the loads). It
+//! also runs the actual 16-seed warm sweep end-to-end through
+//! `TrialRunner::run_with_table` and checks every trial stabilized on the
+//! correct winner.
+//!
+//! Reported rows: `warm_sweep/cold_discovery_ns` (one cold discovery),
+//! `warm_sweep/warm_load_ns` (one warm bulk-load + no-op export),
+//! `warm_sweep/discovery_ratio_x` (16 cold bills over the warm bill),
+//! `warm_sweep/sweep_ns` (the end-to-end warm sweep).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use circles_core::{CirclesProtocol, CirclesState};
+use pp_analysis::trial::{Backend, TrialRunner};
+use pp_analysis::workloads::{margin_workload, true_winner};
+use pp_protocol::{
+    CompactCountEngine, CountConfig, CountEngine, Protocol, TransitionTable, UniformCountScheduler,
+};
+
+// `k = 30` is the regime where discovery dominates; `n = 3000` keeps the
+// sixteen end-to-end runs CI-sized (the slot table is ~5×10³ here — the
+// ≥ 10^4-slot compact-footprint criterion lives in the `discovery` bench).
+const K: u16 = 30;
+const N: usize = 3_000;
+const SEEDS: u64 = 16;
+
+fn bench_warm_sweep(c: &mut Criterion) {
+    let protocol = CirclesProtocol::new(K).unwrap();
+    let inputs = margin_workload(N, K, N / 10);
+    let expected = true_winner(&inputs, K);
+    let config: CountConfig<CirclesState> = inputs.iter().map(|i| protocol.input(i)).collect();
+
+    // Scout: the state set every trial of this workload discovers.
+    let mut scout = CountEngine::from_config(&protocol, config.clone(), 7);
+    scout.run_until_silent(u64::MAX / 2).unwrap();
+    let states: Vec<CirclesState> = scout.known_states().to_vec();
+    let slots = states.len();
+    assert!(
+        slots >= 5_000,
+        "sweep workload must exercise thousands of slots"
+    );
+    let full_table = scout.warm_table();
+
+    // One cold discovery bill: what every cold trial pays again. Median of
+    // two samples to absorb timer noise.
+    let cold_sample = || {
+        let mut engine = CountEngine::from_config(&protocol, config.clone(), 7);
+        let start = Instant::now();
+        engine.prime_states(states.iter().copied());
+        start.elapsed().as_nanos() as f64
+    };
+    let (a, b) = (cold_sample(), cold_sample());
+    let cold_discovery_ns = a.min(b);
+
+    // One warm bill: bulk-load from the table plus the no-op export a
+    // warm trial performs afterwards, on the compact engine warm trials
+    // actually use (same compressed rows as the table). Median of three.
+    let warm_sample = || {
+        let start = Instant::now();
+        let engine = CompactCountEngine::with_table_parts(
+            &protocol,
+            config.clone(),
+            UniformCountScheduler::new(),
+            7,
+            &full_table,
+        );
+        engine.export_to(&full_table);
+        assert_eq!(engine.warm_slots(), slots);
+        start.elapsed().as_nanos() as f64
+    };
+    let mut warm_samples = [warm_sample(), warm_sample(), warm_sample()];
+    warm_samples.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+    let warm_load_ns = warm_samples[1];
+
+    // Discovery bills: 16 cold discoveries vs 1 discovery + 15 loads.
+    let cold_bill = cold_discovery_ns * SEEDS as f64;
+    let warm_bill = cold_discovery_ns + warm_load_ns * (SEEDS - 1) as f64;
+    let ratio = cold_bill / warm_bill;
+    criterion::report_external("warm_sweep/slots", slots as f64, 1);
+    criterion::report_external("warm_sweep/cold_discovery_ns", cold_discovery_ns, 2);
+    criterion::report_external("warm_sweep/warm_load_ns", warm_load_ns, 3);
+    criterion::report_external("warm_sweep/discovery_ratio_x", ratio, 1);
+    println!(
+        "warm_sweep: k={K} slots={slots}; cold discovery {:.2}s/seed vs warm load \
+         {:.1}ms/seed => 16-seed discovery bill {ratio:.1}x smaller warm",
+        cold_discovery_ns / 1e9,
+        warm_load_ns / 1e6,
+    );
+    assert!(
+        ratio >= 10.0,
+        "a 16-seed warm sweep must spend >= 10x less wall-clock on discovery \
+         than 16 cold runs, got {ratio:.1}x"
+    );
+
+    // The real sweep, end-to-end: fresh table, first seed warms it
+    // serially, the rest fan out loading it.
+    let table = TransitionTable::new();
+    let runner = TrialRunner::new(Backend::Count).seeds(SEEDS);
+    let start = Instant::now();
+    let results = runner.run_with_table(&protocol, &inputs, expected, &table);
+    let sweep_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(results.len(), SEEDS as usize);
+    assert!(
+        results.iter().all(|r| r.stabilized && r.correct),
+        "every warm trial must stabilize on the winner"
+    );
+    // Seeds other than the scout's can visit extra states, so the table
+    // can exceed the scout's slot count but never undershoot it by much.
+    assert!(table.len() >= 5_000, "the sweep populated the table");
+    criterion::report_external("warm_sweep/sweep_ns", sweep_ns, 1);
+    println!(
+        "warm_sweep: 16-seed warm sweep to silence in {:.2}s (table: {} states, \
+         {} active pairs, {} outcomes)",
+        sweep_ns / 1e9,
+        table.len(),
+        table.active_pairs(),
+        table.outcome_count(),
+    );
+    let _ = c; // one-shot measurement; no criterion sampling needed
+}
+
+criterion_group!(benches, bench_warm_sweep);
+criterion_main!(benches);

@@ -4,23 +4,37 @@
 //! weight of *active* (state-changing) ordered slot pairs — `mass` — plus
 //! enough structure to draw one active pair with probability proportional to
 //! its weight `c_i · (c_j − [i = j])`. This module isolates that bookkeeping
-//! behind the [`Activity`] trait with two implementations:
+//! behind the [`Activity`] trait with three implementations:
 //!
 //! - [`SparseActivity`] (the default): per-slot adjacency lists of active
-//!   out-/in-neighbors, discovered lazily as states appear. A count change
-//!   at slot `t` touches only the rows active into `t` (`O(deg)` instead of
-//!   `O(slots)`), changed rows are collected in a dirty set and settled once
-//!   per change-point, and conditional pair draws go through a
-//!   [`Fenwick`] tree over `row_mass` in `O(log slots + deg)`. Row updates
-//!   switch adaptively between per-row Fenwick point updates (sparse dirty
-//!   sets) and a linear-time rebuild (dense dirty sets), so the maintenance
-//!   cost never exceeds one sequential pass over the rows.
-//! - [`DenseActivity`]: the previous engine's bookkeeping — a dense
+//!   out-/in-neighbors stored as plain sorted `u32` vectors ([`VecAdj`]),
+//!   discovered lazily as states appear. A count change at slot `t` touches
+//!   only the rows active into `t` (`O(deg)` instead of `O(slots)`), changed
+//!   rows are collected in a dirty set and settled once per change-point,
+//!   and conditional pair draws go through a [`Fenwick`] tree over
+//!   `row_mass` in `O(log slots + deg)`.
+//! - [`CompactActivity`]: the same incremental index over a compressed row
+//!   store ([`CompactAdj`]) — blocked bitsets for dense rows,
+//!   delta-compressed LEB128 lists for sparse rows, chosen per row by
+//!   occupancy, with a single shared row set when the protocol is
+//!   [symmetric](crate::Protocol::is_symmetric). At `slots ≥ 10^4` it cuts
+//!   the bytes per active pair by well over 4× versus [`VecAdj`]'s flat
+//!   8 bytes, which is what keeps full-discovery runs feasible toward
+//!   `k = 40` Circles.
+//! - [`DenseActivity`]: the original engine's bookkeeping — a dense
 //!   `slots × slots` pair matrix scanned per count change, a full
 //!   `row_mass` refresh per change-point and linear-scan sampling. Kept as
-//!   the reference baseline: replaying the same schedule through both
+//!   the reference baseline: replaying the same schedule through all three
 //!   indexes must produce bit-identical runs, and the `backend` bench
-//!   measures the per-change-point gap between the two.
+//!   measures the per-change-point gap.
+//!
+//! Discovery itself is also bookkeeping the trait can halve: for symmetric
+//! protocols [`Activity::add_slot_symmetric`] derives each mirrored ordered
+//! query from its twin, so a new slot costs one protocol call per unordered
+//! pair instead of two. [`Activity::load`] bulk-ingests a previously
+//! discovered adjacency (see
+//! [`TransitionTable`](crate::TransitionTable)) without any protocol calls
+//! at all.
 //!
 //! All pair-weight arithmetic is `u128`, so populations are no longer capped
 //! at `u32::MAX` agents (the engine accepts up to `2^63 − 1`).
@@ -57,6 +71,58 @@ pub trait Activity: PairSampling + Default {
     /// `active(i, j)` for every ordered pair involving the new slot.
     fn add_slot(&mut self, counts: &[u64], active: impl FnMut(usize, usize) -> bool);
 
+    /// [`add_slot`](Activity::add_slot) for protocols whose activity is
+    /// mirror-invariant (`active(i, j) == active(j, i)`, guaranteed by
+    /// [`Protocol::is_symmetric`](crate::Protocol::is_symmetric)):
+    /// implementations may answer each mirrored ordered query from its twin
+    /// instead of calling `active` twice.
+    ///
+    /// The default wraps `active` in a last-query memo keyed on the
+    /// unordered pair. [`add_slot`](Activity::add_slot) implementations
+    /// query the two orientations of each pair back-to-back, so the memo
+    /// halves the underlying protocol-transition calls without any storage.
+    fn add_slot_symmetric(&mut self, counts: &[u64], mut active: impl FnMut(usize, usize) -> bool) {
+        let mut memo: Option<((usize, usize), bool)> = None;
+        self.add_slot(counts, move |i, j| {
+            let key = if i >= j { (i, j) } else { (j, i) };
+            if let Some((k, v)) = memo {
+                if k == key {
+                    return v;
+                }
+            }
+            let v = active(key.0, key.1);
+            memo = Some((key, v));
+            v
+        });
+    }
+
+    /// Declares, before any slot exists, that every pair this index will
+    /// ever see is mirror-invariant, letting implementations share storage
+    /// between out- and in-rows. Sound only for symmetric protocols; the
+    /// default does nothing.
+    fn declare_symmetric(&mut self) {}
+
+    /// Bulk-loads `rows.slots()` zero-count slots whose ordered active
+    /// pairs are already known, replacing per-pair discovery with a linear
+    /// ingest. Must be called on an empty index; counts are all zero
+    /// afterwards (callers apply real counts through
+    /// [`count_changed`](Activity::count_changed) as usual).
+    ///
+    /// The default replays the rows through [`add_slot`](Activity::add_slot)
+    /// with a binary-search membership closure — correct for any
+    /// implementation but `O(slots² log deg)`; the adjacency-list indexes
+    /// override it with an `O(slots + pairs)` ingest (a near-memcpy when
+    /// the row representations match).
+    fn load(&mut self, rows: &AdjRows) {
+        let slots = rows.slots();
+        let table = rows.to_vecs();
+        let mut counts = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            counts.push(0u64);
+            self.add_slot(&counts, |i, j| table[i].binary_search(&(j as u32)).is_ok());
+        }
+    }
+
     /// Absorbs a count change of `delta` agents at `slot` (already applied
     /// to `counts`) into the incremental structures, deferring row-mass
     /// settlement to [`settle`](Activity::settle).
@@ -73,6 +139,19 @@ pub trait Activity: PairSampling + Default {
     /// Per-initiator-slot active weight
     /// `row_mass[i] = c_i · col_in[i] − [active(i, i)] · c_i`.
     fn row_mass(&self) -> &[u128];
+
+    /// Visits the active out-neighbors of slot `i` in ascending order —
+    /// the row-export hook used to hand a discovered adjacency to a
+    /// [`TransitionTable`](crate::TransitionTable).
+    fn walk_out(&self, i: usize, f: &mut dyn FnMut(usize));
+
+    /// Number of active ordered pairs currently stored.
+    fn active_pairs(&self) -> usize;
+
+    /// Heap bytes devoted to pair adjacency — the quantity the compact row
+    /// store minimizes. Excludes the per-slot scalar arrays (`col_in`,
+    /// `row_mass`, …), which are `O(slots)` for every index.
+    fn adjacency_bytes(&self) -> usize;
 }
 
 /// Recomputes one row's mass from its count and in-column sum.
@@ -82,13 +161,486 @@ fn row_mass_of(count: u64, col_in: u64, diag_active: bool) -> u128 {
     c * u128::from(col_in) - if diag_active { c } else { 0 }
 }
 
-/// Sparse per-slot adjacency activity index — see the [module docs](self).
-#[derive(Debug)]
-pub struct SparseActivity {
+/// Row-storage strategy behind an [`AdjActivity`] index: which slots are
+/// active against which, in both orientations, with rows kept in ascending
+/// responder order.
+///
+/// Pairs arrive through [`add_pair`](AdjStore::add_pair) during discovery —
+/// always involving the newest slot, with the other endpoint ascending per
+/// direction — or through [`load`](AdjStore::load) in bulk; both patterns
+/// let implementations append to rows without ever inserting mid-row.
+pub trait AdjStore: Default + std::fmt::Debug {
+    /// Registers the next slot (id `slots()`), with no active pairs yet.
+    fn push_slot(&mut self);
+
+    /// Number of registered slots.
+    fn slots(&self) -> usize;
+
+    /// Declares (before any slot exists) that the adjacency is symmetric;
+    /// implementations may then serve in-row queries from the out-rows.
+    fn declare_symmetric(&mut self);
+
+    /// Marks the ordered pair `(i, j)` active. The endpoint equal to the
+    /// newest slot anchors the append; the other endpoint must arrive in
+    /// ascending order across calls, as [`Activity::add_slot`] discovery
+    /// produces.
+    fn add_pair(&mut self, i: usize, j: usize);
+
+    /// Whether the ordered pair `(i, j)` is active.
+    fn contains(&self, i: usize, j: usize) -> bool;
+
+    /// Visits the out-neighbors of `i` ascending while `f` returns `true`.
+    fn walk_out(&self, i: usize, f: impl FnMut(usize) -> bool);
+
+    /// Visits the in-neighbors of `j` (rows `r` with `(r, j)` active)
+    /// ascending while `f` returns `true`.
+    fn walk_in(&self, j: usize, f: impl FnMut(usize) -> bool);
+
+    /// Bulk-builds all rows at once; same contract as [`Activity::load`].
+    fn load(&mut self, rows: &AdjRows);
+
+    /// Active ordered pairs stored.
+    fn pairs(&self) -> usize;
+
+    /// Heap bytes of adjacency payload.
+    fn bytes(&self) -> usize;
+}
+
+/// Plain sorted-`Vec<u32>` row store — one out-row and one in-row per slot,
+/// 8 bytes per active pair. The PR-3 representation, kept as the default
+/// and as the footprint baseline the compact store is measured against.
+#[derive(Debug, Default)]
+pub struct VecAdj {
     /// `out[i]`: slots `j` (ascending) with `(i, j)` active.
     out: Vec<Vec<u32>>,
     /// `ins[j]`: slots `i` (ascending) with `(i, j)` active.
     ins: Vec<Vec<u32>>,
+    pairs: usize,
+}
+
+impl AdjStore for VecAdj {
+    fn push_slot(&mut self) {
+        self.out.push(Vec::new());
+        self.ins.push(Vec::new());
+    }
+
+    fn slots(&self) -> usize {
+        self.out.len()
+    }
+
+    fn declare_symmetric(&mut self) {
+        // Keeps both orientations: the flat layout is the measured baseline
+        // and stays byte-identical to PR 3 regardless of protocol symmetry.
+    }
+
+    fn add_pair(&mut self, i: usize, j: usize) {
+        debug_assert!(self.out[i].last().is_none_or(|&l| (l as usize) < j));
+        debug_assert!(self.ins[j].last().is_none_or(|&l| (l as usize) < i));
+        self.out[i].push(j as u32);
+        self.ins[j].push(i as u32);
+        self.pairs += 1;
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        self.out[i].binary_search(&(j as u32)).is_ok()
+    }
+
+    fn walk_out(&self, i: usize, mut f: impl FnMut(usize) -> bool) {
+        for &j in &self.out[i] {
+            if !f(j as usize) {
+                return;
+            }
+        }
+    }
+
+    fn walk_in(&self, j: usize, mut f: impl FnMut(usize) -> bool) {
+        for &i in &self.ins[j] {
+            if !f(i as usize) {
+                return;
+            }
+        }
+    }
+
+    fn load(&mut self, rows: &AdjRows) {
+        assert!(self.out.is_empty(), "load requires an empty store");
+        let slots = rows.slots();
+        // Two passes: size every row exactly, then fill — loaded stores
+        // carry no growth slack, so the bytes they report are tight.
+        let mut out_deg = vec![0usize; slots];
+        let mut in_deg = vec![0usize; slots];
+        for (i, deg) in out_deg.iter_mut().enumerate() {
+            rows.walk(i, |j| {
+                *deg += 1;
+                in_deg[j] += 1;
+                true
+            });
+        }
+        self.out = out_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
+        self.ins = in_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
+        for i in 0..slots {
+            rows.walk(i, |j| {
+                self.out[i].push(j as u32);
+                self.ins[j].push(i as u32);
+                self.pairs += 1;
+                true
+            });
+        }
+    }
+
+    fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    fn bytes(&self) -> usize {
+        let payload = |rows: &[Vec<u32>]| -> usize { rows.iter().map(|r| r.capacity() * 4).sum() };
+        payload(&self.out) + payload(&self.ins)
+    }
+}
+
+/// One compressed adjacency row: delta-LEB128 while sparse, a blocked
+/// bitset once the varint payload would outgrow one. Both representations
+/// iterate in ascending id order, so draws agree bit-for-bit with the flat
+/// rows.
+#[derive(Debug, Clone)]
+enum CompactRow {
+    /// Ascending ids as LEB128 varints: the first id absolute, then gaps.
+    Sparse { bytes: Vec<u8>, last: u32, len: u32 },
+    /// Bitset blocked into `u64` words, indexed by id.
+    Dense { blocks: Vec<u64>, len: u32 },
+}
+
+/// Appends one LEB128 varint.
+fn push_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+impl CompactRow {
+    fn new() -> Self {
+        CompactRow::Sparse {
+            bytes: Vec::new(),
+            last: 0,
+            len: 0,
+        }
+    }
+
+    /// Appends `id` (strictly greater than every stored id) and converts to
+    /// a bitset when the varint payload would exceed one over `slots`
+    /// columns.
+    fn push(&mut self, id: u32, slots: usize) {
+        match self {
+            CompactRow::Sparse { bytes, last, len } => {
+                debug_assert!(*len == 0 || id > *last, "row ids must ascend");
+                let gap = if *len == 0 { id } else { id - *last };
+                push_varint(bytes, gap);
+                *last = id;
+                *len += 1;
+                // Bitset payload is slots/8 bytes; the +8 slack keeps tiny
+                // rows from flip-flopping representations.
+                if bytes.len() > slots / 8 + 8 {
+                    let mut blocks = vec![0u64; slots.div_ceil(64)];
+                    let count = *len;
+                    self.walk(|j| {
+                        blocks[j as usize / 64] |= 1 << (j % 64);
+                        true
+                    });
+                    *self = CompactRow::Dense { blocks, len: count };
+                }
+            }
+            CompactRow::Dense { blocks, len } => {
+                let block = id as usize / 64;
+                if block >= blocks.len() {
+                    blocks.resize(block + 1, 0);
+                }
+                debug_assert_eq!(blocks[block] >> (id % 64) & 1, 0, "duplicate id");
+                blocks[block] |= 1 << (id % 64);
+                *len += 1;
+            }
+        }
+    }
+
+    /// Visits stored ids ascending while `f` returns `true`.
+    fn walk(&self, mut f: impl FnMut(u32) -> bool) {
+        match self {
+            CompactRow::Sparse { bytes, len, .. } => {
+                let mut iter = bytes.iter();
+                let mut cur = 0u32;
+                for k in 0..*len {
+                    let mut v = 0u32;
+                    let mut shift = 0;
+                    loop {
+                        let byte = *iter.next().expect("varint row truncated");
+                        v |= u32::from(byte & 0x7f) << shift;
+                        if byte & 0x80 == 0 {
+                            break;
+                        }
+                        shift += 7;
+                    }
+                    cur = if k == 0 { v } else { cur + v };
+                    if !f(cur) {
+                        return;
+                    }
+                }
+            }
+            CompactRow::Dense { blocks, .. } => {
+                for (b, &word) in blocks.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let j = (b as u32) * 64 + bits.trailing_zeros();
+                        if !f(j) {
+                            return;
+                        }
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        match self {
+            CompactRow::Sparse { .. } => {
+                let mut found = false;
+                self.walk(|j| {
+                    if j >= id {
+                        found = j == id;
+                        return false;
+                    }
+                    true
+                });
+                found
+            }
+            CompactRow::Dense { blocks, .. } => blocks
+                .get(id as usize / 64)
+                .is_some_and(|word| word >> (id % 64) & 1 == 1),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            CompactRow::Sparse { bytes, .. } => bytes.capacity(),
+            CompactRow::Dense { blocks, .. } => blocks.capacity() * 8,
+        }
+    }
+
+    /// Releases append slack — bulk loads call this once per row so the
+    /// reported footprint is tight.
+    fn shrink(&mut self) {
+        match self {
+            CompactRow::Sparse { bytes, .. } => bytes.shrink_to_fit(),
+            CompactRow::Dense { blocks, .. } => blocks.shrink_to_fit(),
+        }
+    }
+}
+
+/// An owned, compressed set of adjacency out-rows — the interchange format
+/// between a [`TransitionTable`](crate::TransitionTable) and the activity
+/// indexes. Rows use the same per-row representation as [`CompactAdj`]
+/// (delta-varint or blocked bitset), so loading a compact index from a
+/// table clones ~bytes instead of re-encoding tens of millions of pairs.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRows {
+    rows: Vec<CompactRow>,
+    pairs: usize,
+}
+
+impl AdjRows {
+    /// An empty row set.
+    pub fn new() -> Self {
+        AdjRows::default()
+    }
+
+    /// Number of rows (slots).
+    pub fn slots(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total active ordered pairs stored.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Appends an empty row.
+    pub fn push_slot(&mut self) {
+        self.rows.push(CompactRow::new());
+    }
+
+    /// Appends `j` to row `i`; `j` must exceed every id already in the row.
+    pub fn push(&mut self, i: usize, j: usize) {
+        let slots = self.rows.len();
+        self.rows[i].push(j as u32, slots);
+        self.pairs += 1;
+    }
+
+    /// Visits row `i` ascending while `f` returns `true`.
+    pub fn walk(&self, i: usize, mut f: impl FnMut(usize) -> bool) {
+        self.rows[i].walk(|j| f(j as usize));
+    }
+
+    /// Whether row `i` contains `j`.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.rows[i].contains(j as u32)
+    }
+
+    /// Builds rows from a generator: `f(i, push)` must call `push(j)` for
+    /// every active `(i, j)` in ascending `j`.
+    pub fn from_fn(slots: usize, f: impl Fn(usize, &mut dyn FnMut(usize))) -> Self {
+        let mut rows = AdjRows::new();
+        for _ in 0..slots {
+            rows.push_slot();
+        }
+        for i in 0..slots {
+            f(i, &mut |j| rows.push(i, j));
+        }
+        rows
+    }
+
+    /// Expands to plain sorted id vectors (tests and the generic
+    /// [`Activity::load`] default).
+    pub fn to_vecs(&self) -> Vec<Vec<u32>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut v = Vec::new();
+                row.walk(|j| {
+                    v.push(j);
+                    true
+                });
+                v
+            })
+            .collect()
+    }
+
+    /// Heap bytes of row payload.
+    pub fn bytes(&self) -> usize {
+        self.rows.iter().map(CompactRow::bytes).sum()
+    }
+
+    /// Clones the raw compressed rows — the fast path for loading a
+    /// [`CompactAdj`] store.
+    fn clone_rows(&self) -> Vec<CompactRow> {
+        self.rows.clone()
+    }
+}
+
+/// Compressed per-row adjacency store: delta-LEB128 lists for sparse rows,
+/// blocked bitsets for dense rows (chosen per row by payload size), and a
+/// single shared row set when the adjacency is
+/// [declared symmetric](AdjStore::declare_symmetric) — in-rows then *are*
+/// the out-rows, since a symmetric activity matrix equals its transpose.
+#[derive(Debug)]
+pub struct CompactAdj {
+    out: Vec<CompactRow>,
+    /// `None` once declared symmetric: in-queries are served from `out`.
+    ins: Option<Vec<CompactRow>>,
+    pairs: usize,
+}
+
+impl Default for CompactAdj {
+    fn default() -> Self {
+        CompactAdj {
+            out: Vec::new(),
+            ins: Some(Vec::new()),
+            pairs: 0,
+        }
+    }
+}
+
+impl AdjStore for CompactAdj {
+    fn push_slot(&mut self) {
+        self.out.push(CompactRow::new());
+        if let Some(ins) = &mut self.ins {
+            ins.push(CompactRow::new());
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.out.len()
+    }
+
+    fn declare_symmetric(&mut self) {
+        assert!(
+            self.out.is_empty(),
+            "symmetry must be declared before any slot exists"
+        );
+        self.ins = None;
+    }
+
+    fn add_pair(&mut self, i: usize, j: usize) {
+        let slots = self.out.len();
+        self.out[i].push(j as u32, slots);
+        if let Some(ins) = &mut self.ins {
+            ins[j].push(i as u32, slots);
+        }
+        self.pairs += 1;
+    }
+
+    fn contains(&self, i: usize, j: usize) -> bool {
+        self.out[i].contains(j as u32)
+    }
+
+    fn walk_out(&self, i: usize, mut f: impl FnMut(usize) -> bool) {
+        self.out[i].walk(|j| f(j as usize));
+    }
+
+    fn walk_in(&self, j: usize, mut f: impl FnMut(usize) -> bool) {
+        // Symmetric adjacency: row j of the transpose is row j itself.
+        let rows = self.ins.as_ref().unwrap_or(&self.out);
+        rows[j].walk(|i| f(i as usize));
+    }
+
+    fn load(&mut self, rows: &AdjRows) {
+        assert!(self.out.is_empty(), "load requires an empty store");
+        let slots = rows.slots();
+        // Same representation: the out-rows load as a straight clone.
+        self.out = rows.clone_rows();
+        self.pairs = rows.pairs();
+        if self.ins.is_some() {
+            // Asymmetric: build the transpose by one decode pass.
+            let mut ins = vec![CompactRow::new(); slots];
+            for i in 0..slots {
+                rows.walk(i, |j| {
+                    ins[j].push(i as u32, slots);
+                    true
+                });
+            }
+            for row in &mut ins {
+                row.shrink();
+            }
+            self.ins = Some(ins);
+        }
+    }
+
+    fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    fn bytes(&self) -> usize {
+        let payload = |rows: &[CompactRow]| -> usize { rows.iter().map(CompactRow::bytes).sum() };
+        payload(&self.out) + self.ins.as_deref().map_or(0, payload)
+    }
+}
+
+/// Slot count below which conditional sampling scans `row_mass` linearly
+/// instead of maintaining the Fenwick tree — at a handful of slots the
+/// sequential scan is faster than tree upkeep, and keeping the small-k
+/// path lean is what lets the sparse index replace the dense one
+/// everywhere.
+const FENWICK_MIN_SLOTS: usize = 64;
+
+/// Adjacency-list activity index generic over its row storage — see the
+/// [module docs](self). [`SparseActivity`] and [`CompactActivity`] are the
+/// two instantiations.
+#[derive(Debug)]
+pub struct AdjActivity<R: AdjStore> {
+    adj: R,
     /// Whether the diagonal pair `(i, i)` is active.
     diag: Vec<bool>,
     /// `col_in[i] = Σ_j active(i, j) · c_j`.
@@ -108,18 +660,18 @@ pub struct SparseActivity {
     use_fenwick: bool,
 }
 
-/// Slot count below which conditional sampling scans `row_mass` linearly
-/// instead of maintaining the Fenwick tree — at a handful of slots the
-/// sequential scan is faster than tree upkeep, and keeping the small-k
-/// path lean is what lets the sparse index replace the dense one
-/// everywhere.
-const FENWICK_MIN_SLOTS: usize = 64;
+/// Sparse per-slot adjacency activity index over plain sorted vectors —
+/// the default; see the [module docs](self).
+pub type SparseActivity = AdjActivity<VecAdj>;
 
-impl Default for SparseActivity {
+/// The adjacency activity index over the compressed row store — the
+/// memory-lean choice for large slot tables; see the [module docs](self).
+pub type CompactActivity = AdjActivity<CompactAdj>;
+
+impl<R: AdjStore> Default for AdjActivity<R> {
     fn default() -> Self {
-        SparseActivity {
-            out: Vec::new(),
-            ins: Vec::new(),
+        AdjActivity {
+            adj: R::default(),
             diag: Vec::new(),
             col_in: Vec::new(),
             row_mass: Vec::new(),
@@ -135,9 +687,9 @@ impl Default for SparseActivity {
     }
 }
 
-impl PairSampling for SparseActivity {
+impl<R: AdjStore> PairSampling for AdjActivity<R> {
     fn is_active(&self, i: usize, j: usize) -> bool {
-        self.out[i].binary_search(&(j as u32)).is_ok()
+        self.adj.contains(i, j)
     }
 
     fn sample_change(&self, r: u128, counts: &[u64]) -> (usize, usize) {
@@ -160,26 +712,31 @@ impl PairSampling for SparseActivity {
             (row, rem)
         };
         let ci = u128::from(counts[i]);
-        for &j32 in &self.out[i] {
-            let j = j32 as usize;
+        let mut found = usize::MAX;
+        self.adj.walk_out(i, |j| {
             let w = ci * u128::from(counts[j].saturating_sub(u64::from(i == j)));
             if rem < w {
-                return (i, j);
+                found = j;
+                return false;
             }
             rem -= w;
-        }
-        unreachable!("row mass out of sync with pair weights");
+            true
+        });
+        assert!(
+            found != usize::MAX,
+            "row mass out of sync with pair weights"
+        );
+        (i, found)
     }
 }
 
-impl Activity for SparseActivity {
+impl<R: AdjStore> Activity for AdjActivity<R> {
     fn add_slot(&mut self, counts: &[u64], mut active: impl FnMut(usize, usize) -> bool) {
-        let id = self.out.len();
+        let id = self.adj.slots();
         debug_assert_eq!(counts.len(), id + 1, "counts not extended for new slot");
         debug_assert_eq!(counts[id], 0, "new slot must hold zero agents");
         assert!(id < u32::MAX as usize, "slot ids exceed u32");
-        self.out.push(Vec::new());
-        self.ins.push(Vec::new());
+        self.adj.push_slot();
         self.diag.push(false);
         self.col_in.push(0);
         self.row_mass.push(0);
@@ -192,41 +749,62 @@ impl Activity for SparseActivity {
         }
         for j in 0..id {
             if active(id, j) {
-                self.out[id].push(j as u32);
-                self.ins[j].push(id as u32);
+                self.adj.add_pair(id, j);
             }
             if active(j, id) {
-                self.out[j].push(id as u32);
-                self.ins[id].push(j as u32);
+                self.adj.add_pair(j, id);
             }
         }
         if active(id, id) {
-            self.out[id].push(id as u32);
-            self.ins[id].push(id as u32);
+            self.adj.add_pair(id, id);
             self.diag[id] = true;
         }
         // The new slot holds no agents, so no existing col_in or row_mass
         // changes; only the new row's col_in must be summed once.
-        self.col_in[id] = self.out[id].iter().map(|&j| counts[j as usize]).sum();
+        let mut col_in = 0u64;
+        self.adj.walk_out(id, |j| {
+            col_in += counts[j];
+            true
+        });
+        self.col_in[id] = col_in;
+    }
+
+    fn declare_symmetric(&mut self) {
+        self.adj.declare_symmetric();
+    }
+
+    fn load(&mut self, rows: &AdjRows) {
+        assert!(self.adj.slots() == 0, "load requires an empty index");
+        let slots = rows.slots();
+        assert!(slots < u32::MAX as usize, "slot ids exceed u32");
+        self.adj.load(rows);
+        self.diag = (0..slots).map(|i| self.adj.contains(i, i)).collect();
+        self.col_in = vec![0; slots];
+        self.row_mass = vec![0; slots];
+        self.stamp = vec![0; slots];
+        self.mass = 0;
+        if slots >= FENWICK_MIN_SLOTS {
+            self.use_fenwick = true;
+            self.fenwick.rebuild(&self.row_mass);
+        }
     }
 
     fn count_changed(&mut self, slot: usize, delta: i64) {
         let epoch = self.epoch;
         {
-            let ins_t: &[u32] = &self.ins[slot];
             let col_in = &mut self.col_in;
             let stamp = &mut self.stamp;
             let dirty = &mut self.dirty;
-            for &r32 in ins_t {
-                let r = r32 as usize;
+            self.adj.walk_in(slot, |r| {
                 col_in[r] = col_in[r]
                     .checked_add_signed(delta)
                     .expect("col_in underflow");
                 if stamp[r] != epoch {
                     stamp[r] = epoch;
-                    dirty.push(r32);
+                    dirty.push(r as u32);
                 }
-            }
+                true
+            });
         }
         // The slot's own row mass scales with its count even when no active
         // pair points into it.
@@ -275,9 +853,24 @@ impl Activity for SparseActivity {
     fn row_mass(&self) -> &[u128] {
         &self.row_mass
     }
+
+    fn walk_out(&self, i: usize, f: &mut dyn FnMut(usize)) {
+        self.adj.walk_out(i, |j| {
+            f(j);
+            true
+        });
+    }
+
+    fn active_pairs(&self) -> usize {
+        self.adj.pairs()
+    }
+
+    fn adjacency_bytes(&self) -> usize {
+        self.adj.bytes()
+    }
 }
 
-/// Dense pair-matrix activity index — the previous engine's bookkeeping,
+/// Dense pair-matrix activity index — the original engine's bookkeeping,
 /// kept as the comparison baseline; see the [module docs](self).
 #[derive(Debug)]
 pub struct DenseActivity {
@@ -289,6 +882,7 @@ pub struct DenseActivity {
     col_in: Vec<u64>,
     row_mass: Vec<u128>,
     mass: u128,
+    pairs: usize,
 }
 
 impl Default for DenseActivity {
@@ -300,6 +894,7 @@ impl Default for DenseActivity {
             col_in: Vec::new(),
             row_mass: Vec::new(),
             mass: 0,
+            pairs: 0,
         }
     }
 }
@@ -359,15 +954,42 @@ impl Activity for DenseActivity {
         self.col_in.push(0);
         self.row_mass.push(0);
         for j in 0..=id {
-            self.null[id * self.stride + j] = !active(id, j);
+            let out_active = active(id, j);
+            self.null[id * self.stride + j] = !out_active;
+            self.pairs += usize::from(out_active);
             if j < id {
-                self.null[j * self.stride + id] = !active(j, id);
+                let in_active = active(j, id);
+                self.null[j * self.stride + id] = !in_active;
+                self.pairs += usize::from(in_active);
             }
         }
         self.col_in[id] = (0..=id)
             .filter(|&j| !self.null[id * self.stride + j])
             .map(|j| counts[j])
             .sum();
+    }
+
+    fn load(&mut self, rows: &AdjRows) {
+        assert!(self.slots == 0, "load requires an empty index");
+        let slots = rows.slots();
+        let mut stride = self.stride;
+        while stride < slots {
+            stride *= 2;
+        }
+        self.stride = stride;
+        self.null = vec![true; stride * stride];
+        self.slots = slots;
+        self.col_in = vec![0; slots];
+        self.row_mass = vec![0; slots];
+        let null = &mut self.null;
+        let pairs = &mut self.pairs;
+        for i in 0..slots {
+            rows.walk(i, |j| {
+                null[i * stride + j] = false;
+                *pairs += 1;
+                true
+            });
+        }
     }
 
     fn count_changed(&mut self, slot: usize, delta: i64) {
@@ -400,6 +1022,23 @@ impl Activity for DenseActivity {
     fn row_mass(&self) -> &[u128] {
         &self.row_mass
     }
+
+    fn walk_out(&self, i: usize, f: &mut dyn FnMut(usize)) {
+        for j in 0..self.slots {
+            if !self.null[i * self.stride + j] {
+                f(j);
+            }
+        }
+    }
+
+    fn active_pairs(&self) -> usize {
+        self.pairs
+    }
+
+    fn adjacency_bytes(&self) -> usize {
+        // One byte per matrix cell, active or not — the dense cost model.
+        self.null.capacity()
+    }
 }
 
 #[cfg(test)]
@@ -408,15 +1047,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    /// Drives both indexes through an identical random schedule and checks
+    /// Drives all indexes through an identical random schedule and checks
     /// them against a brute-force reference at every step.
     #[test]
-    fn sparse_and_dense_agree_with_bruteforce() {
+    fn all_indexes_agree_with_bruteforce() {
         // Activity rule: (i, j) is active iff (i * 7 + j * 3) % 4 == 0,
         // arbitrary but deterministic and ~25% dense.
         let active = |i: usize, j: usize| (i * 7 + j * 3).is_multiple_of(4);
         let mut rng = StdRng::seed_from_u64(11);
         let mut sparse = SparseActivity::default();
+        let mut compact = CompactActivity::default();
         let mut dense = DenseActivity::default();
         let mut counts: Vec<u64> = Vec::new();
 
@@ -424,6 +1064,7 @@ mod tests {
             if counts.len() < 12 && round % 8 == 0 {
                 counts.push(0);
                 sparse.add_slot(&counts, active);
+                compact.add_slot(&counts, active);
                 dense.add_slot(&counts, active);
             }
             let slot = rng.random_range(0..counts.len());
@@ -434,8 +1075,10 @@ mod tests {
             };
             counts[slot] = counts[slot].checked_add_signed(delta).unwrap();
             sparse.count_changed(slot, delta);
+            compact.count_changed(slot, delta);
             dense.count_changed(slot, delta);
             sparse.settle(&counts);
+            compact.settle(&counts);
             dense.settle(&counts);
 
             let mut expected = 0u128;
@@ -448,30 +1091,33 @@ mod tests {
                     }
                 }
                 assert_eq!(sparse.row_mass()[i], row, "sparse row {i} round {round}");
+                assert_eq!(compact.row_mass()[i], row, "compact row {i} round {round}");
                 assert_eq!(dense.row_mass()[i], row, "dense row {i} round {round}");
                 expected += row;
             }
             assert_eq!(sparse.mass(), expected, "sparse mass round {round}");
+            assert_eq!(compact.mass(), expected, "compact mass round {round}");
             assert_eq!(dense.mass(), expected, "dense mass round {round}");
 
-            // Sampling must agree between the two indexes for every r.
+            // Sampling must agree between the indexes for every r.
             if expected > 0 {
                 for _ in 0..8 {
                     let r = rng.random_range(0..expected);
-                    assert_eq!(
-                        sparse.sample_change(r, &counts),
-                        dense.sample_change(r, &counts),
-                        "r = {r} round {round}"
-                    );
+                    let drawn = sparse.sample_change(r, &counts);
+                    assert_eq!(drawn, compact.sample_change(r, &counts), "r = {r}");
+                    assert_eq!(drawn, dense.sample_change(r, &counts), "r = {r}");
                 }
             }
             for i in 0..counts.len() {
                 for j in 0..counts.len() {
                     assert_eq!(sparse.is_active(i, j), active(i, j));
+                    assert_eq!(compact.is_active(i, j), active(i, j));
                     assert_eq!(dense.is_active(i, j), active(i, j));
                 }
             }
         }
+        assert_eq!(sparse.active_pairs(), compact.active_pairs());
+        assert_eq!(sparse.active_pairs(), dense.active_pairs());
     }
 
     /// Crossing [`FENWICK_MIN_SLOTS`] mid-run must hand over from the
@@ -531,5 +1177,228 @@ mod tests {
         assert_eq!(sparse.mass(), expected);
         assert_eq!(sparse.sample_change(0, &counts), (0, 1));
         assert_eq!(sparse.sample_change(expected - 1, &counts), (1, 0));
+    }
+
+    /// The symmetric discovery path must produce the exact structure of the
+    /// all-ordered-pairs path while querying each unordered pair once.
+    #[test]
+    fn symmetric_add_slot_halves_queries_and_matches() {
+        // A symmetric rule (depends only on the unordered pair).
+        let rule = |i: usize, j: usize| (i.max(j) * 5 + i.min(j)).is_multiple_of(3);
+        let slots = 40usize;
+        let mut counts = Vec::new();
+        let mut plain = SparseActivity::default();
+        let mut plain_queries = 0u64;
+        let mut sym = SparseActivity::default();
+        let mut sym_queries = 0u64;
+        for s in 0..slots {
+            counts.push(0);
+            plain.add_slot(&counts, |i, j| {
+                plain_queries += 1;
+                rule(i, j)
+            });
+            sym.add_slot_symmetric(&counts, |i, j| {
+                sym_queries += 1;
+                rule(i, j)
+            });
+            // Both see the same adjacency after every slot.
+            for i in 0..=s {
+                for j in 0..=s {
+                    assert_eq!(sym.is_active(i, j), plain.is_active(i, j), "({i},{j})");
+                }
+            }
+        }
+        assert_eq!(plain.active_pairs(), sym.active_pairs());
+        // Plain: 2s+1 queries per slot; symmetric: s+1.
+        assert_eq!(plain_queries, (0..slots as u64).map(|s| 2 * s + 1).sum());
+        assert_eq!(sym_queries, (0..slots as u64).map(|s| s + 1).sum());
+    }
+
+    /// A symmetric-declared compact store serves in-queries from the shared
+    /// out-rows and stays bit-compatible with the unshared stores.
+    #[test]
+    fn symmetric_compact_store_matches_unshared() {
+        let rule = |i: usize, j: usize| (i.max(j) + 2 * i.min(j)).is_multiple_of(3);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut shared = CompactActivity::default();
+        shared.declare_symmetric();
+        let mut sparse = SparseActivity::default();
+        let mut counts: Vec<u64> = Vec::new();
+        for _ in 0..30 {
+            counts.push(0);
+            shared.add_slot_symmetric(&counts, rule);
+            sparse.add_slot(&counts, rule);
+            let slot = rng.random_range(0..counts.len());
+            let delta = 1 + (slot as i64 % 3);
+            counts[slot] += delta as u64;
+            shared.count_changed(slot, delta);
+            sparse.count_changed(slot, delta);
+            shared.settle(&counts);
+            sparse.settle(&counts);
+            assert_eq!(shared.mass(), sparse.mass());
+            if shared.mass() > 0 {
+                for _ in 0..6 {
+                    let r = rng.random_range(0..shared.mass());
+                    assert_eq!(
+                        shared.sample_change(r, &counts),
+                        sparse.sample_change(r, &counts)
+                    );
+                }
+            }
+        }
+        assert_eq!(shared.active_pairs(), sparse.active_pairs());
+        assert!(
+            shared.adjacency_bytes() * 2 < sparse.adjacency_bytes(),
+            "shared rows must be under half the flat footprint: {} vs {}",
+            shared.adjacency_bytes(),
+            sparse.adjacency_bytes()
+        );
+    }
+
+    /// Bulk-loading a known adjacency must equal incremental discovery, for
+    /// every index, and change nothing about subsequent updates.
+    #[test]
+    fn load_matches_incremental_discovery() {
+        let active = |i: usize, j: usize| (3 * i + 5 * j).is_multiple_of(4);
+        let slots = 80usize;
+        let mut counts = vec![0u64; 0];
+        let mut inc_sparse = SparseActivity::default();
+        let mut inc_compact = CompactActivity::default();
+        for _ in 0..slots {
+            counts.push(0);
+            inc_sparse.add_slot(&counts, active);
+            inc_compact.add_slot(&counts, active);
+        }
+        let rows = AdjRows::from_fn(slots, |i, f| {
+            for j in 0..slots {
+                if active(i, j) {
+                    f(j);
+                }
+            }
+        });
+        let mut loaded_sparse = SparseActivity::default();
+        loaded_sparse.load(&rows);
+        let mut loaded_compact = CompactActivity::default();
+        loaded_compact.load(&rows);
+        let mut loaded_dense = DenseActivity::default();
+        loaded_dense.load(&rows);
+
+        let mut rng = StdRng::seed_from_u64(41);
+        macro_rules! each {
+            ($name:ident => $body:expr) => {{
+                {
+                    let $name = &mut inc_sparse;
+                    $body;
+                }
+                {
+                    let $name = &mut inc_compact;
+                    $body;
+                }
+                {
+                    let $name = &mut loaded_sparse;
+                    $body;
+                }
+                {
+                    let $name = &mut loaded_compact;
+                    $body;
+                }
+                {
+                    let $name = &mut loaded_dense;
+                    $body;
+                }
+            }};
+        }
+        for _ in 0..100 {
+            let slot = rng.random_range(0..slots);
+            counts[slot] += 2;
+            each!(idx => {
+                idx.count_changed(slot, 2);
+                idx.settle(&counts);
+            });
+            let mass = inc_sparse.mass();
+            each!(idx => assert_eq!(idx.mass(), mass));
+            if mass > 0 {
+                let r = rng.random_range(0..mass);
+                let expected = inc_sparse.sample_change(r, &counts);
+                each!(idx => assert_eq!(idx.sample_change(r, &counts), expected));
+            }
+        }
+    }
+
+    /// High-occupancy rows must convert to bitsets (and sample identically
+    /// before and after the conversion).
+    #[test]
+    fn dense_rows_densify_and_sample_identically() {
+        let slots = 400usize;
+        // Row 0 is fully active (densifies); the rest nearly empty.
+        let active = |i: usize, j: usize| i == 0 || (i + j).is_multiple_of(97);
+        let rows = AdjRows::from_fn(slots, |i, f| {
+            for j in 0..slots {
+                if active(i, j) {
+                    f(j);
+                }
+            }
+        });
+        let mut compact = CompactActivity::default();
+        compact.load(&rows);
+        let mut sparse = SparseActivity::default();
+        sparse.load(&rows);
+        let mut counts = vec![0u64; slots];
+        for (s, c) in counts.iter_mut().enumerate() {
+            *c = 1 + (s as u64 % 5);
+            compact.count_changed(s, *c as i64);
+            sparse.count_changed(s, *c as i64);
+        }
+        compact.settle(&counts);
+        sparse.settle(&counts);
+        assert_eq!(compact.mass(), sparse.mass());
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..200 {
+            let r = rng.random_range(0..compact.mass());
+            assert_eq!(
+                compact.sample_change(r, &counts),
+                sparse.sample_change(r, &counts),
+                "r = {r}"
+            );
+        }
+        // The full row plus the sparse tail must still be well under the
+        // flat 8-bytes-per-pair layout, even without shared symmetric rows
+        // (the ≥ 4× cut is asserted on the real symmetric workload in the
+        // `discovery` bench).
+        assert!(
+            compact.adjacency_bytes() * 2 < sparse.adjacency_bytes(),
+            "compact {} bytes vs flat {} bytes",
+            compact.adjacency_bytes(),
+            sparse.adjacency_bytes()
+        );
+        // walk_out must agree across representations.
+        for i in [0usize, 1, 97] {
+            let mut a = Vec::new();
+            Activity::walk_out(&compact, i, &mut |j| a.push(j));
+            let mut b = Vec::new();
+            Activity::walk_out(&sparse, i, &mut |j| b.push(j));
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    /// Varint rows survive ids needing multi-byte encodings.
+    #[test]
+    fn varint_rows_roundtrip_large_gaps() {
+        let mut row = CompactRow::new();
+        let ids = [0u32, 1, 127, 128, 16_383, 16_384, 2_000_000, 2_000_001];
+        for &id in &ids {
+            row.push(id, 10_000_000);
+        }
+        let mut seen = Vec::new();
+        row.walk(|j| {
+            seen.push(j);
+            true
+        });
+        assert_eq!(seen, ids);
+        for &id in &ids {
+            assert!(row.contains(id));
+        }
+        assert!(!row.contains(2));
+        assert!(!row.contains(3_000_000));
     }
 }

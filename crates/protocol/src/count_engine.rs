@@ -32,13 +32,14 @@ use crate::hashing::FxBuildHasher;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::activity::{Activity, DenseActivity, SparseActivity};
+use crate::activity::{Activity, CompactActivity, DenseActivity, SparseActivity};
 use crate::config::CountConfig;
 use crate::count_trace::CountTrace;
 use crate::error::FrameworkError;
 use crate::protocol::Protocol;
 use crate::scheduler::{CountScheduler, CountView, UniformCountScheduler};
 use crate::simulation::{RunReport, SimStats};
+use crate::transition_table::TransitionTable;
 
 /// Count-based, change-point-batched simulation engine.
 ///
@@ -89,6 +90,21 @@ pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler, A = SparseAc
     last_disagreement: Option<u64>,
     /// When recording, the state pairs of every applied change-point.
     trace: Option<Vec<(P::State, P::State)>>,
+    /// Whether the protocol declared itself symmetric — halves discovery
+    /// (one transition call per unordered pair) and lets symmetric-aware
+    /// activity indexes share row storage.
+    symmetric: bool,
+    /// Memoized transition outcomes of applied active pairs,
+    /// `(i, j) → (target_i, target_j)` by slot id. Populated lazily; seeded
+    /// from a [`TransitionTable`] on warm starts.
+    outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+    /// Outcomes memoized by *this* engine (excluding the warm-cloned
+    /// prefix), so exports back to the source table merge `O(new)` entries
+    /// instead of re-proposing the whole memo.
+    new_outcomes: Vec<((u32, u32), (u32, u32))>,
+    /// Slots loaded from a [`TransitionTable`] at construction (a prefix of
+    /// the slot arrays, in table id order); `0` for cold engines.
+    warm_slots: usize,
 }
 
 /// The count engine over the [`DenseActivity`] baseline index — the previous
@@ -96,6 +112,18 @@ pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler, A = SparseAc
 /// tests and the `backend` benchmark's sparse-vs-dense comparison.
 pub type DenseCountEngine<'p, P, CS = UniformCountScheduler> =
     CountEngine<'p, P, CS, DenseActivity>;
+
+/// The count engine over the [`CompactActivity`] index — compressed
+/// adjacency rows for slot tables too large for the flat 8-bytes-per-pair
+/// layout (full-discovery Circles toward `k = 40`).
+pub type CompactCountEngine<'p, P, CS = UniformCountScheduler> =
+    CountEngine<'p, P, CS, CompactActivity>;
+
+/// Upper bound on memoized transition outcomes per engine (~4M entries,
+/// tens of MB with hash-map overhead). Long runs over very dense activity
+/// could otherwise grow the memo toward the full active-pair set; past the
+/// cap, applications recompute through the protocol — slower, never wrong.
+const OUTCOME_MEMO_CAP: usize = 1 << 22;
 
 /// Builds the scheduler-facing view from engine fields. A macro rather than
 /// a method so the scheduler and RNG fields stay independently borrowable.
@@ -153,6 +181,23 @@ where
     ) -> Self {
         Self::with_parts(protocol, config, scheduler, seed)
     }
+
+    /// Creates a warm-started engine on the default sparse activity index —
+    /// see [`with_table_parts`](Self::with_table_parts) for the semantics
+    /// (and for selecting another activity index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `2^63 − 1` agents.
+    pub fn with_table(
+        protocol: &'p P,
+        config: CountConfig<P::State>,
+        scheduler: CS,
+        seed: u64,
+        table: &TransitionTable<P>,
+    ) -> Self {
+        Self::with_table_parts(protocol, config, scheduler, seed, table)
+    }
 }
 
 impl<'p, P, CS, A> CountEngine<'p, P, CS, A>
@@ -175,13 +220,62 @@ where
         scheduler: CS,
         seed: u64,
     ) -> Self {
-        assert!(
-            (config.n() as u128) < (1u128 << 63),
-            "CountEngine supports at most 2^63 - 1 agents, got {}",
-            config.n()
-        );
-        let distinct = config.distinct();
-        let mut engine = CountEngine {
+        let mut engine = Self::empty(protocol, scheduler, seed, config.distinct());
+        engine.seed_config(config);
+        engine
+    }
+
+    /// Like [`with_parts`](Self::with_parts), but warm-started from `table`:
+    /// every state the table knows becomes a slot (in table id order) with
+    /// its activity bulk-loaded in `O(slots + pairs)` — zero protocol
+    /// calls — along with the table's memoized transition outcomes. Only
+    /// states the table has never seen pay per-pair discovery.
+    ///
+    /// Warm and cold engines execute the same state-pair schedule
+    /// identically (replay bit-identity), but their uniform-random
+    /// trajectories coincide only when the slot orders match — e.g. a cold
+    /// engine versus a warm restart from
+    /// [its own table](Self::warm_table).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `2^63 − 1` agents.
+    pub fn with_table_parts(
+        protocol: &'p P,
+        config: CountConfig<P::State>,
+        scheduler: CS,
+        seed: u64,
+        table: &TransitionTable<P>,
+    ) -> Self {
+        let mut engine = Self::empty(protocol, scheduler, seed, config.distinct());
+        {
+            let guard = table.read();
+            let warm = guard.states.len();
+            engine.states = guard.states.clone();
+            engine.outs = engine.states.iter().map(|s| protocol.output(s)).collect();
+            engine.counts = vec![0; warm];
+            engine.index = engine
+                .states
+                .iter()
+                .enumerate()
+                .map(|(slot, s)| (s.clone(), slot))
+                .collect();
+            engine.activity.load(&guard.rows);
+            engine.outcomes = guard.outcomes.clone();
+            engine.warm_slots = warm;
+        }
+        engine.seed_config(config);
+        engine
+    }
+
+    /// An engine with no slots and no agents yet.
+    fn empty(protocol: &'p P, scheduler: CS, seed: u64, distinct: usize) -> Self {
+        let symmetric = protocol.is_symmetric();
+        let mut activity = A::default();
+        if symmetric {
+            activity.declare_symmetric();
+        }
+        CountEngine {
             protocol,
             scheduler,
             rng: StdRng::seed_from_u64(seed),
@@ -189,30 +283,44 @@ where
             outs: Vec::with_capacity(distinct),
             counts: Vec::with_capacity(distinct),
             index: HashMap::with_capacity_and_hasher(distinct, FxBuildHasher::default()),
-            n: config.n() as u64,
-            activity: A::default(),
+            n: 0,
+            activity,
             stats: SimStats::default(),
             output_counts: BTreeMap::new(),
             last_disagreement: None,
             trace: None,
-        };
+            symmetric,
+            outcomes: HashMap::with_hasher(FxBuildHasher::default()),
+            new_outcomes: Vec::new(),
+            warm_slots: 0,
+        }
+    }
+
+    /// Registers `config`'s states as slots (discovering any the engine does
+    /// not already know) and applies its counts.
+    fn seed_config(&mut self, config: CountConfig<P::State>) {
+        assert!(
+            (config.n() as u128) < (1u128 << 63),
+            "CountEngine supports at most 2^63 - 1 agents, got {}",
+            config.n()
+        );
+        self.n = config.n() as u64;
         for (s, _) in config.iter() {
-            engine.ensure_slot(s.clone());
+            self.ensure_slot(s.clone());
         }
         for (s, c) in config.iter() {
-            let slot = engine.index[s];
-            engine.counts[slot] = c as u64;
-            engine.activity.count_changed(slot, c as i64);
-            *engine
+            let slot = self.index[s];
+            self.counts[slot] = c as u64;
+            self.activity.count_changed(slot, c as i64);
+            *self
                 .output_counts
-                .entry(engine.outs[slot].clone())
+                .entry(self.outs[slot].clone())
                 .or_insert(0) += c;
         }
-        engine.activity.settle(&engine.counts);
-        if engine.output_counts.len() > 1 {
-            engine.last_disagreement = Some(0);
+        self.activity.settle(&self.counts);
+        if self.output_counts.len() > 1 {
+            self.last_disagreement = Some(0);
         }
-        engine
     }
 
     /// Number of agents.
@@ -435,20 +543,33 @@ where
     }
 
     /// Applies the transition of active pair `(i, j)` to the counts, output
-    /// histogram and activity index. The transition is recomputed here —
-    /// once per change-point — rather than cached per pair, which keeps the
-    /// memory footprint at the activity index alone.
+    /// histogram and activity index. First applications resolve the
+    /// transition through the protocol (discovering target slots as needed)
+    /// and memoize the slot-level outcome; repeats — and pairs seeded from a
+    /// [`TransitionTable`] — replay the memo without touching the protocol.
+    /// The memo is bounded by [`OUTCOME_MEMO_CAP`]: past that, misses simply
+    /// recompute (correctness never depends on a hit).
     fn apply(&mut self, i: usize, j: usize) {
-        let (a, b) = self.protocol.transition(&self.states[i], &self.states[j]);
-        debug_assert!(
-            a != self.states[i] || b != self.states[j],
-            "apply called on a null pair"
-        );
+        let key = (i as u32, j as u32);
+        let (ai, bi) = if let Some(&(a, b)) = self.outcomes.get(&key) {
+            (a as usize, b as usize)
+        } else {
+            let (a, b) = self.protocol.transition(&self.states[i], &self.states[j]);
+            debug_assert!(
+                a != self.states[i] || b != self.states[j],
+                "apply called on a null pair"
+            );
+            let ai = self.ensure_slot(a);
+            let bi = self.ensure_slot(b);
+            if self.outcomes.len() < OUTCOME_MEMO_CAP {
+                self.outcomes.insert(key, (ai as u32, bi as u32));
+                self.new_outcomes.push((key, (ai as u32, bi as u32)));
+            }
+            (ai, bi)
+        };
         if let Some(trace) = &mut self.trace {
             trace.push((self.states[i].clone(), self.states[j].clone()));
         }
-        let ai = self.ensure_slot(a);
-        let bi = self.ensure_slot(b);
         // Output histogram: the two participating agents leave their old
         // output classes and join the new ones.
         self.shift_output(i, ai);
@@ -495,7 +616,8 @@ where
     }
 
     /// Returns the slot of `state`, creating it (with activity against every
-    /// existing slot discovered) when unseen.
+    /// existing slot discovered) when unseen. Symmetric protocols pay one
+    /// transition call per unordered pair instead of two.
     fn ensure_slot(&mut self, state: P::State) -> usize {
         if let Some(&idx) = self.index.get(&state) {
             return idx;
@@ -507,10 +629,154 @@ where
         self.counts.push(0);
         let protocol = self.protocol;
         let states = &self.states;
-        self.activity.add_slot(&self.counts, |r, c| {
-            !protocol.is_null_interaction(&states[r], &states[c])
-        });
+        let active = |r: usize, c: usize| !protocol.is_null_interaction(&states[r], &states[c]);
+        if self.symmetric {
+            self.activity.add_slot_symmetric(&self.counts, active);
+        } else {
+            self.activity.add_slot(&self.counts, active);
+        }
         idx
+    }
+
+    /// Slots that were bulk-loaded from a [`TransitionTable`] at
+    /// construction (they form a prefix of the slot arrays, in table id
+    /// order); `0` for cold engines.
+    pub fn warm_slots(&self) -> usize {
+        self.warm_slots
+    }
+
+    /// Active ordered slot pairs currently indexed.
+    pub fn active_pairs(&self) -> usize {
+        self.activity.active_pairs()
+    }
+
+    /// Heap bytes the activity index devotes to pair adjacency — the
+    /// footprint the compact index minimizes (see
+    /// [`CompactActivity`]).
+    pub fn adjacency_bytes(&self) -> usize {
+        self.activity.adjacency_bytes()
+    }
+
+    /// Builds a fresh [`TransitionTable`] holding everything this engine has
+    /// discovered — states (in slot order), pair activity and applied
+    /// transition outcomes. Equivalent to exporting into an empty table.
+    pub fn warm_table(&self) -> TransitionTable<P> {
+        let table = TransitionTable::new();
+        self.export_to(&table);
+        table
+    }
+
+    /// Merges this engine's discovered structure — states, pair activity,
+    /// applied transition outcomes — into `table`, so later engines can
+    /// [warm-start](Self::with_table_parts) from it.
+    ///
+    /// When the table still matches the snapshot this engine was built from
+    /// (always true for a sweep that warms the table serially first), the
+    /// merge is a pure `O(new slots + new pairs)` append. If other engines
+    /// raced ahead, states they added that this engine never saw are
+    /// classified against this engine's novel states with direct protocol
+    /// calls, keeping the table complete over all its states.
+    // The merge loops index `tid_of`/`engine_of` while appending to them
+    // mid-iteration; an iterator form would hide that growth.
+    #[allow(clippy::needless_range_loop)]
+    pub fn export_to(&self, table: &TransitionTable<P>) {
+        let mut inner = table.write();
+        let slots = self.slots();
+        // The fast path requires the engine to be a strict extension of
+        // *this* table: same length as the warm snapshot AND the same
+        // states in the same id order (an unrelated table could coincide
+        // in length; appending under mismatched ids would corrupt it, so
+        // such exports take the general merge below instead).
+        if inner.states.len() == self.warm_slots
+            && inner.states[..] == self.states[..self.warm_slots]
+        {
+            // Fast path: the engine is a strict extension of the table.
+            let warm = self.warm_slots;
+            if slots > warm {
+                for slot in warm..slots {
+                    let state = self.states[slot].clone();
+                    inner.index.insert(state.clone(), slot as u32);
+                    inner.states.push(state);
+                    inner.rows.push_slot();
+                }
+                let rows = &mut inner.rows;
+                for i in 0..slots {
+                    self.activity.walk_out(i, &mut |j| {
+                        // Rows ascend, so the novel entries (j >= warm on
+                        // old rows, everything on new rows) append in order.
+                        if i >= warm || j >= warm {
+                            rows.push(i, j);
+                        }
+                    });
+                }
+            }
+            // The warm-cloned memo prefix came from this very table, so
+            // only this engine's own additions need merging.
+            for &(k, v) in &self.new_outcomes {
+                inner.outcomes.entry(k).or_insert(v);
+            }
+            return;
+        }
+        // Slow path: the table advanced past this engine's snapshot.
+        // `engine_of[tid]` is the engine slot of table state `tid`, if the
+        // engine knows it; `tid_of[slot]` the reverse.
+        let mut engine_of: Vec<Option<usize>> = inner
+            .states
+            .iter()
+            .map(|s| self.index.get(s).copied())
+            .collect();
+        let mut tid_of: Vec<Option<u32>> = vec![None; slots];
+        for (tid, slot) in engine_of.iter().enumerate() {
+            if let Some(slot) = slot {
+                tid_of[*slot] = Some(tid as u32);
+            }
+        }
+        for slot in 0..slots {
+            if tid_of[slot].is_some() {
+                continue;
+            }
+            let state = self.states[slot].clone();
+            let u = inner.states.len();
+            inner.index.insert(state.clone(), u as u32);
+            inner.states.push(state);
+            inner.rows.push_slot();
+            tid_of[slot] = Some(u as u32);
+            engine_of.push(Some(slot));
+            for v in 0..=u {
+                let (uv, vu) = match engine_of[v] {
+                    Some(ev) => (
+                        self.activity.is_active(slot, ev),
+                        self.activity.is_active(ev, slot),
+                    ),
+                    None => {
+                        // A state another engine raced into the table; the
+                        // protocol classifies the cross pairs directly.
+                        let su = &inner.states[u];
+                        let sv = &inner.states[v];
+                        let uv = !self.protocol.is_null_interaction(su, sv);
+                        let vu = if self.symmetric {
+                            uv
+                        } else {
+                            !self.protocol.is_null_interaction(sv, su)
+                        };
+                        (uv, vu)
+                    }
+                };
+                if uv {
+                    inner.rows.push(u, v);
+                }
+                if vu && v != u {
+                    inner.rows.push(v, u);
+                }
+            }
+        }
+        for (&(i, j), &(a, b)) in &self.outcomes {
+            let tid = |s: u32| tid_of[s as usize].expect("every engine slot has a table id");
+            inner
+                .outcomes
+                .entry((tid(i), tid(j)))
+                .or_insert((tid(a), tid(b)));
+        }
     }
 }
 
@@ -690,6 +956,160 @@ mod tests {
         assert_eq!(engine.config().n(), 2, "priming adds no agents");
         let report = engine.run_until_silent(u64::MAX).unwrap();
         assert_eq!(report.consensus, Some(2), "primed states stay inert");
+    }
+
+    /// Symmetric toy: both agents adopt the maximum (same rule as [`Max`]
+    /// but declared symmetric, exercising the halved discovery path).
+    struct SymMax;
+
+    impl Protocol for SymMax {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "sym-max"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = *a.max(b);
+            (m, m)
+        }
+
+        fn is_symmetric(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn warm_restart_replays_cold_run_bit_identically_under_uniform() {
+        // The cold engine's slot order equals its table's id order, so a
+        // warm restart consumes the identical RNG stream: reports must be
+        // bit-equal, not just statistically equal.
+        let inputs: Vec<u8> = (0..500).map(|i| (i % 23) as u8).collect();
+        let mut cold = CountEngine::from_inputs(&SymMax, &inputs, 77);
+        let cold_report = cold.run_until_silent(u64::MAX).unwrap();
+        let table = cold.warm_table();
+        assert_eq!(table.len(), cold.slots());
+        assert_eq!(table.active_pairs(), cold.active_pairs());
+
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut warm =
+            CountEngine::with_table(&SymMax, config, UniformCountScheduler::new(), 77, &table);
+        assert_eq!(warm.warm_slots(), table.len());
+        let warm_report = warm.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(warm_report, cold_report);
+        assert_eq!(warm.config(), cold.config());
+    }
+
+    #[test]
+    fn warm_start_from_empty_table_equals_cold_start() {
+        let inputs: Vec<u8> = (0..200).map(|i| (i % 9) as u8).collect();
+        let table = TransitionTable::new();
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut warm =
+            CountEngine::with_table(&Max, config, UniformCountScheduler::new(), 5, &table);
+        assert_eq!(warm.warm_slots(), 0);
+        let warm_report = warm.run_until_silent(u64::MAX).unwrap();
+        let mut cold = CountEngine::from_inputs(&Max, &inputs, 5);
+        assert_eq!(cold.run_until_silent(u64::MAX).unwrap(), warm_report);
+    }
+
+    #[test]
+    fn export_merges_racing_engines_into_a_complete_table() {
+        // Engines over disjoint-ish state sets export into one table; the
+        // slow merge path must classify every cross pair via the protocol.
+        let table = TransitionTable::new();
+        let mut a = CountEngine::from_inputs(&Max, &[1, 2, 3], 1);
+        a.run_until_silent(u64::MAX).unwrap();
+        a.export_to(&table);
+        // Engine `b` never saw the table: its export takes the slow path.
+        let mut b = CountEngine::from_inputs(&Max, &[5, 6, 2], 2);
+        b.run_until_silent(u64::MAX).unwrap();
+        b.export_to(&table);
+
+        let dump = table.dump();
+        assert_eq!(dump.states.len(), 5, "1,2,3 from a; 5,6 from b");
+        // Every ordered pair over the merged states must match brute force.
+        for (i, si) in dump.states.iter().enumerate() {
+            for (j, sj) in dump.states.iter().enumerate() {
+                let expected = !Max.is_null_interaction(si, sj);
+                assert_eq!(
+                    dump.rows[i].binary_search(&(j as u32)).is_ok(),
+                    expected,
+                    "pair ({si}, {sj})"
+                );
+            }
+        }
+        // A warm engine over the union of states discovers nothing new.
+        let config: CountConfig<u8> = [1u8, 2, 5, 6].iter().copied().collect();
+        let mut warm =
+            CountEngine::with_table(&Max, config, UniformCountScheduler::new(), 3, &table);
+        assert_eq!(warm.warm_slots(), 5);
+        assert_eq!(warm.slots(), 5);
+        let report = warm.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(6));
+        // Re-exporting adds nothing.
+        let before = table.dump();
+        warm.export_to(&table);
+        assert_eq!(table.dump().states, before.states);
+        assert_eq!(table.dump().rows, before.rows);
+    }
+
+    #[test]
+    fn export_into_an_unrelated_same_size_table_takes_the_merge_path() {
+        // Table B coincides with the warm snapshot of A in *length* only;
+        // the fast append path must not fire (it would write rows under
+        // mismatched ids) — the general merge keeps B complete.
+        let mut a = CountEngine::from_inputs(&Max, &[1, 2], 1);
+        a.run_until_silent(u64::MAX).unwrap();
+        let table_a = a.warm_table();
+        let mut b = CountEngine::from_inputs(&Max, &[5, 6], 1);
+        b.run_until_silent(u64::MAX).unwrap();
+        let table_b = b.warm_table();
+        assert_eq!(table_a.len(), table_b.len(), "lengths must coincide");
+
+        let config: CountConfig<u8> = [1u8, 2].iter().copied().collect();
+        let warm = CountEngine::with_table(&Max, config, UniformCountScheduler::new(), 3, &table_a);
+        warm.export_to(&table_b);
+        let dump = table_b.dump();
+        assert_eq!(dump.states.len(), 4, "5,6 from b; 1,2 merged in");
+        for (i, si) in dump.states.iter().enumerate() {
+            for (j, sj) in dump.states.iter().enumerate() {
+                assert_eq!(
+                    dump.rows[i].binary_search(&(j as u32)).is_ok(),
+                    !Max.is_null_interaction(si, sj),
+                    "pair ({si}, {sj})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_engine_discovers_novel_states_beyond_the_table() {
+        let mut scout = CountEngine::from_inputs(&Max, &[1, 2], 1);
+        scout.run_until_silent(u64::MAX).unwrap();
+        let table = scout.warm_table();
+        assert_eq!(table.len(), 2);
+        // The warm engine's config introduces state 9, unknown to the table.
+        let config: CountConfig<u8> = [1u8, 2, 9].iter().copied().collect();
+        let mut warm =
+            CountEngine::with_table(&Max, config, UniformCountScheduler::new(), 4, &table);
+        assert_eq!(warm.warm_slots(), 2);
+        assert_eq!(warm.slots(), 3, "state 9 discovered past the warm prefix");
+        let report = warm.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(9));
+        warm.export_to(&table);
+        assert_eq!(table.len(), 3);
+        assert!(table.outcome_count() > 0, "applied outcomes are exported");
     }
 
     #[test]

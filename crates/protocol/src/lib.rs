@@ -85,10 +85,14 @@ pub mod scheduler;
 mod simulation;
 mod time;
 mod trace;
+pub mod transition_table;
 
-pub use activity::{Activity, DenseActivity, SparseActivity};
+pub use activity::{
+    Activity, AdjActivity, AdjRows, AdjStore, CompactActivity, CompactAdj, DenseActivity,
+    SparseActivity, VecAdj,
+};
 pub use config::CountConfig;
-pub use count_engine::{CountEngine, DenseCountEngine};
+pub use count_engine::{CompactCountEngine, CountEngine, DenseCountEngine};
 pub use count_trace::CountTrace;
 pub use error::FrameworkError;
 pub use fenwick::Fenwick;
@@ -101,3 +105,4 @@ pub use scheduler::{
 pub use simulation::{RunReport, SimStats, Simulation, StepReport};
 pub use time::{parallel_time, GillespieClock};
 pub use trace::InteractionTrace;
+pub use transition_table::{TableDump, TransitionTable};

@@ -1,0 +1,212 @@
+//! Shared, append-only protocol-structure cache for warm-started runs.
+//!
+//! Discovering a protocol's slot structure — which states exist and which
+//! ordered state pairs change state — costs `O(slots²)` protocol-transition
+//! calls, repeated identically by every engine over the same protocol. A
+//! [`TransitionTable`] hoists that structure out of the engine: it is an
+//! append-only map from states to canonical ids, from ordered id pairs to
+//! their null/active classification, and from applied active pairs to their
+//! transition outcomes. A finished engine [exports](crate::CountEngine::export_to)
+//! everything it discovered; a fresh engine
+//! [warm-starts](crate::CountEngine::with_table) by bulk-loading the table
+//! (`O(slots + pairs)`, zero protocol calls) and only pays discovery for
+//! states the table has never seen.
+//!
+//! The table is `Sync` (interior `RwLock`) and designed to be shared —
+//! behind an `Arc` or plain reference — across the threads of a multi-seed
+//! sweep: `TrialRunner` in `pp_analysis` threads one table through all
+//! trials, so seeds `2..N` pay near-zero discovery.
+//!
+//! # Example
+//!
+//! ```
+//! # use pp_protocol::{CountEngine, Protocol, TransitionTable, UniformCountScheduler};
+//! # struct Max;
+//! # impl Protocol for Max {
+//! #     type State = u8; type Input = u8; type Output = u8;
+//! #     fn name(&self) -> &str { "max" }
+//! #     fn input(&self, i: &u8) -> u8 { *i }
+//! #     fn output(&self, s: &u8) -> u8 { *s }
+//! #     fn transition(&self, a: &u8, b: &u8) -> (u8, u8) { let m = *a.max(b); (m, m) }
+//! #     fn is_symmetric(&self) -> bool { true }
+//! # }
+//! let inputs: Vec<u8> = (0..1000).map(|i| (i % 7) as u8).collect();
+//! let table = TransitionTable::new();
+//!
+//! // Seed 1 discovers; later seeds load the discovered structure.
+//! for seed in 0..4 {
+//!     let config = inputs.iter().map(|i| Max.input(i)).collect();
+//!     let mut engine =
+//!         CountEngine::with_table(&Max, config, UniformCountScheduler::new(), seed, &table);
+//!     engine.run_until_silent(u64::MAX)?;
+//!     engine.export_to(&table);
+//! }
+//! assert_eq!(table.len(), 7);
+//! # Ok::<(), pp_protocol::FrameworkError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::activity::AdjRows;
+use crate::hashing::FxBuildHasher;
+use crate::protocol::Protocol;
+
+/// The interior of a [`TransitionTable`]: canonical states, activity rows
+/// and memoized outcomes. Crate-visible so the engine can bulk-load and
+/// merge under one lock acquisition.
+#[derive(Debug)]
+pub(crate) struct TableInner<S> {
+    /// States in canonical (first-export) order; ids are indices here.
+    pub(crate) states: Vec<S>,
+    /// State → canonical id.
+    pub(crate) index: HashMap<S, u32, FxBuildHasher>,
+    /// Row `i`: ids `j` (ascending) with the ordered pair `(i, j)` active,
+    /// in the compressed per-row representation (so compact warm loads are
+    /// near-memcpy). Pairs absent from a row are null — the table always
+    /// classifies *every* ordered pair over its states.
+    pub(crate) rows: AdjRows,
+    /// Applied transition outcomes: active id pair → resulting id pair.
+    /// Populated lazily (only pairs that actually fired), so it stays far
+    /// smaller than the full active set.
+    pub(crate) outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+}
+
+/// An owned, comparable copy of a table's contents — states in canonical
+/// order, activity rows, and outcomes sorted by pair. Used by tests to
+/// assert that two discovery paths produced bit-identical structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDump<S> {
+    /// States in canonical id order.
+    pub states: Vec<S>,
+    /// Active responder ids (ascending) per initiator id.
+    pub rows: Vec<Vec<u32>>,
+    /// Memoized outcomes as `((from_i, from_j), (to_i, to_j))`, sorted.
+    pub outcomes: Vec<((u32, u32), (u32, u32))>,
+}
+
+/// Append-only, `Sync` cache of a protocol's discovered structure; see the
+/// [module docs](self).
+pub struct TransitionTable<P: Protocol> {
+    inner: RwLock<TableInner<P::State>>,
+}
+
+impl<P: Protocol> Default for TransitionTable<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> TransitionTable<P> {
+    /// An empty table.
+    pub fn new() -> Self {
+        TransitionTable {
+            inner: RwLock::new(TableInner {
+                states: Vec::new(),
+                index: HashMap::with_hasher(FxBuildHasher::default()),
+                rows: AdjRows::new(),
+                outcomes: HashMap::with_hasher(FxBuildHasher::default()),
+            }),
+        }
+    }
+
+    /// Number of states the table knows.
+    pub fn len(&self) -> usize {
+        self.read().states.len()
+    }
+
+    /// Whether the table knows no states yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of active ordered pairs the table has classified.
+    pub fn active_pairs(&self) -> usize {
+        self.read().rows.pairs()
+    }
+
+    /// Heap bytes the table devotes to pair adjacency.
+    pub fn adjacency_bytes(&self) -> usize {
+        self.read().rows.bytes()
+    }
+
+    /// Number of memoized transition outcomes.
+    pub fn outcome_count(&self) -> usize {
+        self.read().outcomes.len()
+    }
+
+    /// An owned copy of the full contents, for equality assertions.
+    pub fn dump(&self) -> TableDump<P::State> {
+        let inner = self.read();
+        let mut outcomes: Vec<_> = inner.outcomes.iter().map(|(&k, &v)| (k, v)).collect();
+        outcomes.sort_unstable();
+        TableDump {
+            states: inner.states.clone(),
+            rows: inner.rows.to_vecs(),
+            outcomes,
+        }
+    }
+
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, TableInner<P::State>> {
+        self.inner.read().expect("transition table lock poisoned")
+    }
+
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, TableInner<P::State>> {
+        self.inner.write().expect("transition table lock poisoned")
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for TransitionTable<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.read();
+        f.debug_struct("TransitionTable")
+            .field("states", &inner.states.len())
+            .field("pairs", &inner.rows.pairs())
+            .field("outcomes", &inner.outcomes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+
+    impl Protocol for Noop {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "noop"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            (*a, *b)
+        }
+    }
+
+    #[test]
+    fn fresh_table_is_empty() {
+        let table: TransitionTable<Noop> = TransitionTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.active_pairs(), 0);
+        assert_eq!(table.outcome_count(), 0);
+        let dump = table.dump();
+        assert!(dump.states.is_empty() && dump.rows.is_empty() && dump.outcomes.is_empty());
+        assert_eq!(
+            format!("{table:?}"),
+            "TransitionTable { states: 0, pairs: 0, outcomes: 0 }"
+        );
+    }
+}

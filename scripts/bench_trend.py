@@ -10,9 +10,13 @@ times the previous one fails the check. Quick-mode medians come from at most
 not a microbenchmark.
 
 Rows whose label ends in ``_x`` are ratios (e.g. ``implied_speedup_x``) where
-*higher* is better; they are asserted in-bench and skipped here. A missing or
-unreadable PREVIOUS file (first run, expired artifact) passes with a notice —
-the trend starts at the next commit.
+*higher* is better; they are asserted in-bench and skipped here. Labels only
+present on one side are never an error: rows absent from the previous
+artifact (a freshly added bench group) start their baseline now, rows absent
+from the current artifact (a retired group) stop being tracked — both sets
+are printed explicitly so additions and removals are visible in the CI log.
+A missing or unreadable PREVIOUS file (first run, expired artifact) passes
+with a notice — the trend starts at the next commit.
 """
 
 import json
@@ -26,13 +30,25 @@ def load(path):
 
 def key_rows(rows):
     table = {}
+    if not isinstance(rows, list):
+        raise ValueError("artifact is not a JSON array of rows")
     for row in rows:
+        if not isinstance(row, dict):
+            continue
         label = row.get("bench")
         median = row.get("median_ns")
-        if label is None or median is None or label.endswith("_x"):
+        if label is None or median is None or str(label).endswith("_x"):
             continue
-        table[(label, bool(row.get("quick")))] = float(median)
+        try:
+            table[(str(label), bool(row.get("quick")))] = float(median)
+        except (TypeError, ValueError):
+            continue
     return table
+
+
+def fmt_key(key):
+    label, quick = key
+    return f"{label} [quick]" if quick else label
 
 
 def main(argv):
@@ -48,6 +64,13 @@ def main(argv):
         print(f"bench-trend: no usable previous artifact ({e}); baseline starts now")
         return 0
     cur = key_rows(load(cur_path))
+
+    added = sorted(k for k in cur if k not in prev)
+    removed = sorted(k for k in prev if k not in cur)
+    for key in added:
+        print(f"bench-trend new   {fmt_key(key)}: baseline starts now")
+    for key in removed:
+        print(f"bench-trend gone  {fmt_key(key)}: no longer reported")
 
     regressions = []
     compared = 0
@@ -69,7 +92,10 @@ def main(argv):
         print(f"bench-trend: {len(regressions)} label(s) regressed past {threshold}x:")
         print("\n".join(regressions))
         return 1
-    print(f"bench-trend: {compared} matching label(s), none past {threshold}x")
+    print(
+        f"bench-trend: {compared} matching label(s), none past {threshold}x "
+        f"({len(added)} added, {len(removed)} removed)"
+    )
     return 0
 
 
