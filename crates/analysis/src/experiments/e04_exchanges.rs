@@ -10,12 +10,13 @@
 
 use circles_core::potential::{descent_chain_bound, weight_vector};
 use circles_core::prediction::braket_config_of_population;
-use circles_core::{energy, BraKet, CirclesProtocol};
-use pp_protocol::{CountConfig, Population, Simulation, UniformPairScheduler};
+use circles_core::{energy, BraKet, CirclesProtocol, CirclesState};
+use pp_protocol::{CountConfig, Population};
 
-use crate::runner::{run_seeded, seed_range};
+use crate::runner::seed_range;
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
+use crate::trial::{Backend, TrialRunner};
 use crate::workloads::{photo_finish_workload, shuffled};
 
 /// Parameters for E4.
@@ -29,6 +30,10 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Simulation backend observed ([`Backend::run_observed`] serves both:
+    /// inline observation on the indexed engine, change-trace replay on the
+    /// count engine).
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -49,6 +54,7 @@ impl Default for Params {
             seeds: 16,
             max_steps: 500_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Indexed,
         }
     }
 }
@@ -61,7 +67,14 @@ impl Params {
             seeds: 3,
             max_steps: 10_000_000,
             threads: 2,
+            backend: Backend::Indexed,
         }
+    }
+
+    /// The same parameters on another backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -73,7 +86,7 @@ struct ExchangeRun {
     potential_violations: u64,
 }
 
-fn one_run(n: usize, k: u16, seed: u64, max_steps: u64) -> ExchangeRun {
+fn one_run(n: usize, k: u16, seed: u64, max_steps: u64, backend: Backend) -> ExchangeRun {
     let protocol = CirclesProtocol::new(k).expect("k >= 1");
     let inputs = shuffled(photo_finish_workload(n, k), seed);
     let population = Population::from_inputs(&protocol, &inputs);
@@ -85,16 +98,18 @@ fn one_run(n: usize, k: u16, seed: u64, max_steps: u64) -> ExchangeRun {
     let mut energy_rises = 0u64;
     let mut potential_violations = 0u64;
 
-    let mut sim = Simulation::new(&protocol, population, UniformPairScheduler::new(), seed);
-    sim.run_until_silent_observed(max_steps, (n as u64).max(16), |step| {
-        let ket_moved = step.before.0.braket.ket != step.after.0.braket.ket
-            || step.before.1.braket.ket != step.after.1.braket.ket;
+    let observer = |before_i: &CirclesState,
+                    before_j: &CirclesState,
+                    after_i: &CirclesState,
+                    after_j: &CirclesState| {
+        let ket_moved =
+            before_i.braket.ket != after_i.braket.ket || before_j.braket.ket != after_j.braket.ket;
         if !ket_moved {
             return;
         }
         exchanges += 1;
-        brakets.transfer(&step.before.0.braket, step.after.0.braket);
-        brakets.transfer(&step.before.1.braket, step.after.1.braket);
+        brakets.transfer(&before_i.braket, after_i.braket);
+        brakets.transfer(&before_j.braket, after_j.braket);
         // The lexicographic potential (Theorem 3.4) must strictly decrease.
         let next_potential = weight_vector(&brakets, k);
         if next_potential >= potential {
@@ -107,8 +122,11 @@ fn one_run(n: usize, k: u16, seed: u64, max_steps: u64) -> ExchangeRun {
             energy_rises += 1;
         }
         last_energy = next_energy;
-    })
-    .expect("run did not stabilize within budget");
+    };
+    let outcome = backend
+        .run_observed(&protocol, &inputs, seed, max_steps, observer)
+        .expect("framework error");
+    assert!(outcome.stabilized, "run did not stabilize within budget");
 
     ExchangeRun {
         exchanges,
@@ -134,10 +152,11 @@ pub fn run(params: &Params) -> Table {
             "potential violations",
         ],
     );
+    let runner = TrialRunner::new(params.backend)
+        .threads(params.threads)
+        .seed_list(seed_range(params.seeds));
     for &(n, k) in &params.grid {
-        let runs = run_seeded(&seed_range(params.seeds), params.threads, |seed| {
-            one_run(n, k, seed, params.max_steps)
-        });
+        let runs = runner.run_with(|seed| one_run(n, k, seed, params.max_steps, params.backend));
         let counts: Vec<f64> = runs.iter().map(|r| r.exchanges as f64).collect();
         let rises: Vec<f64> = runs.iter().map(|r| r.energy_rises as f64).collect();
         let summary = Summary::from_samples(&counts);
@@ -174,10 +193,22 @@ mod tests {
 
     #[test]
     fn exchanges_are_bounded_and_potential_monotone() {
-        let table = run(&Params::quick());
-        for row in table.rows() {
-            assert_eq!(row[8], "0", "potential violated: {row:?}");
-            assert_eq!(row[7], "true", "final energy mismatch: {row:?}");
+        for backend in Backend::ALL {
+            let table = run(&Params::quick().with_backend(backend));
+            for row in table.rows() {
+                assert_eq!(
+                    row[8],
+                    "0",
+                    "{}: potential violated: {row:?}",
+                    backend.name()
+                );
+                assert_eq!(
+                    row[7],
+                    "true",
+                    "{}: energy mismatch: {row:?}",
+                    backend.name()
+                );
+            }
         }
     }
 }

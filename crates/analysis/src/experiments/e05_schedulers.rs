@@ -9,13 +9,12 @@
 use circles_core::CirclesProtocol;
 use pp_schedulers::{
     ClusteredScheduler, LazyAdversaryScheduler, RoundRobinScheduler, ShuffledRoundsScheduler,
-    UniformPairScheduler,
 };
 
-use crate::runner::{run_seeded, seed_range};
+use crate::runner::seed_range;
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use crate::trial::{run_trial, TrialResult};
+use crate::trial::{run_trial, Backend, TrialResult, TrialRunner};
 use crate::workloads::{photo_finish_workload, shuffled, true_winner};
 
 /// Parameters for E5.
@@ -31,6 +30,10 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Backend for the `uniform` rows. The named schedulers are indexed-only
+    /// (they pick *agent* pairs), so their rows always run on the indexed
+    /// engine regardless of this choice — see [`SCHEDULERS`].
+    pub backend: Backend,
 }
 
 impl Default for Params {
@@ -41,6 +44,7 @@ impl Default for Params {
             seeds: 16,
             max_steps: 200_000_000,
             threads: crate::runner::default_threads(),
+            backend: Backend::Indexed,
         }
     }
 }
@@ -54,7 +58,14 @@ impl Params {
             seeds: 3,
             max_steps: 10_000_000,
             threads: 2,
+            backend: Backend::Indexed,
         }
+    }
+
+    /// The same parameters on another backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -64,18 +75,13 @@ fn trial_for(
     inputs: &[circles_core::Color],
     expected: circles_core::Color,
     seed: u64,
-    n: usize,
     max_steps: u64,
+    backend: Backend,
 ) -> TrialResult {
     match scheduler_name {
-        "uniform" => run_trial(
-            protocol,
-            inputs,
-            UniformPairScheduler::new(),
-            seed,
-            expected,
-            max_steps,
-        ),
+        // The uniform-random row is engine-agnostic: it dispatches through
+        // the backend like every ported experiment.
+        "uniform" => backend.trial(protocol, inputs, seed, expected, max_steps),
         "round-robin" => run_trial(
             protocol,
             inputs,
@@ -93,6 +99,7 @@ fn trial_for(
             max_steps,
         ),
         "lazy-adversary" => {
+            let n = inputs.len();
             let window = (n * (n - 1)) as u64;
             run_trial(
                 protocol,
@@ -124,7 +131,10 @@ fn trial_for(
     .expect("trial failed")
 }
 
-/// The scheduler names E5 sweeps.
+/// The scheduler names E5 sweeps. All but `uniform` are *indexed-only*:
+/// they schedule identified agent pairs, which the anonymous count engine
+/// cannot express, so [`run`] dispatches them to the indexed engine
+/// whatever `Params::backend` says.
 pub const SCHEDULERS: [&str; 6] = [
     "uniform",
     "round-robin",
@@ -166,15 +176,18 @@ pub fn run(params: &Params) -> Table {
             } else {
                 seed_range(params.seeds)
             };
-            let results = run_seeded(&seeds, params.threads, |seed| {
+            let runner = TrialRunner::new(params.backend)
+                .threads(params.threads)
+                .seed_list(seeds.clone());
+            let results = runner.run_with(|seed| {
                 trial_for(
                     scheduler,
                     &protocol,
                     &inputs,
                     expected,
                     seed,
-                    params.n,
                     params.max_steps,
+                    params.backend,
                 )
             });
             let consensus: Vec<f64> = results
@@ -210,11 +223,19 @@ mod tests {
 
     #[test]
     fn every_scheduler_is_correct() {
-        let p = Params::quick();
-        let table = run(&p);
-        assert_eq!(table.len(), p.ks.len() * SCHEDULERS.len());
-        for row in table.rows() {
-            assert_eq!(row[7], "1.00", "scheduler {} failed: {row:?}", row[1]);
+        for backend in Backend::ALL {
+            let p = Params::quick().with_backend(backend);
+            let table = run(&p);
+            assert_eq!(table.len(), p.ks.len() * SCHEDULERS.len());
+            for row in table.rows() {
+                assert_eq!(
+                    row[7],
+                    "1.00",
+                    "scheduler {} failed on {}: {row:?}",
+                    row[1],
+                    backend.name()
+                );
+            }
         }
     }
 }

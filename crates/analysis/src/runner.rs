@@ -6,6 +6,21 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use rand::rngs::Philox4x32;
+
+/// The counter-based RNG stream of one trial, keyed `(sweep_seed,
+/// trial_seed)`.
+///
+/// Philox streams are pure functions of the key pair: the stream a trial
+/// consumes depends only on which trial it *is*, never on the thread that
+/// runs it, the order trials are scheduled in, or what ran before it in the
+/// process. Every `TrialResult`-producing entry point in this crate derives
+/// its generator here, which is what makes "seed 7 at `k = 30`, `n = 10^6`"
+/// name exactly one trajectory.
+pub fn trial_rng(sweep_seed: u64, trial_seed: u64) -> Philox4x32 {
+    Philox4x32::stream(sweep_seed, trial_seed)
+}
+
 /// Runs `f(seed)` for every seed, in parallel across up to `threads` OS
 /// threads, and returns results in seed order.
 ///

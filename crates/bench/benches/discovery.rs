@@ -132,8 +132,9 @@ fn bench_discovery(c: &mut Criterion) {
          k = 30, got {call_ratio:.2}x"
     );
 
-    // Parts 2 + 3: warm engines per activity index — identical slot order
-    // and seed, so the uniform trajectories must be bit-identical — with
+    // Parts 2 + 3: warm engines per activity index. Slot numbering is
+    // canonical (trajectory order), so each warm run must be bit-identical
+    // to the others — and to the scout's *cold* run of the same seed — with
     // the adjacency footprint measured on each.
     fn run_warm<A: pp_protocol::Activity>(
         protocol: &CirclesProtocol,
@@ -155,6 +156,10 @@ fn bench_discovery(c: &mut Criterion) {
     let (compact_report, compact_bytes, compact_pairs) =
         run_warm::<CompactActivity>(&protocol, &config, &table);
     let (dense_report, _, dense_pairs) = run_warm::<DenseActivity>(&protocol, &config, &table);
+    assert_eq!(
+        sparse_report, scout_report,
+        "a warm run must be bit-identical to the cold run of its seed"
+    );
     assert_eq!(
         sparse_report, compact_report,
         "sparse and compact warm engines must execute identical trajectories"

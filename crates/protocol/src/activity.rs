@@ -31,10 +31,10 @@
 //! Discovery itself is also bookkeeping the trait can halve: for symmetric
 //! protocols [`Activity::add_slot_symmetric`] derives each mirrored ordered
 //! query from its twin, so a new slot costs one protocol call per unordered
-//! pair instead of two. [`Activity::load`] bulk-ingests a previously
-//! discovered adjacency (see
-//! [`TransitionTable`](crate::TransitionTable)) without any protocol calls
-//! at all.
+//! pair instead of two. [`Activity::add_slot_from_lists`] ingests a slot
+//! whose activity is already classified (a warm engine materializing a
+//! table-known state; see [`TransitionTable`](crate::TransitionTable))
+//! without any protocol calls at all.
 //!
 //! All pair-weight arithmetic is `u128`, so populations are no longer capped
 //! at `u32::MAX` agents (the engine accepts up to `2^63 − 1`).
@@ -102,25 +102,30 @@ pub trait Activity: PairSampling + Default {
     /// default does nothing.
     fn declare_symmetric(&mut self) {}
 
-    /// Bulk-loads `rows.slots()` zero-count slots whose ordered active
-    /// pairs are already known, replacing per-pair discovery with a linear
-    /// ingest. Must be called on an empty index; counts are all zero
-    /// afterwards (callers apply real counts through
-    /// [`count_changed`](Activity::count_changed) as usual).
+    /// Registers the slot `counts.len() - 1` (which must hold zero agents)
+    /// with its activity *already classified*: `out` lists the existing
+    /// slots `j` with `(new, j)` active, `ins` the slots `i` with
+    /// `(i, new)` active — both strictly ascending, both excluding the
+    /// diagonal, which `diag` covers. The warm engine's lazy
+    /// materialization uses this to ingest a table-known slot in
+    /// `O(deg)` instead of `O(slots)` activity queries.
     ///
-    /// The default replays the rows through [`add_slot`](Activity::add_slot)
+    /// The default replays the lists through [`add_slot`](Activity::add_slot)
     /// with a binary-search membership closure — correct for any
-    /// implementation but `O(slots² log deg)`; the adjacency-list indexes
-    /// override it with an `O(slots + pairs)` ingest (a near-memcpy when
-    /// the row representations match).
-    fn load(&mut self, rows: &AdjRows) {
-        let slots = rows.slots();
-        let table = rows.to_vecs();
-        let mut counts = Vec::with_capacity(slots);
-        for _ in 0..slots {
-            counts.push(0u64);
-            self.add_slot(&counts, |i, j| table[i].binary_search(&(j as u32)).is_ok());
-        }
+    /// implementation; the bundled indexes override it with direct
+    /// `O(deg)` appends.
+    fn add_slot_from_lists(&mut self, counts: &[u64], out: &[u32], ins: &[u32], diag: bool) {
+        let id = counts.len() - 1;
+        self.add_slot(counts, |r, c| {
+            if r == c {
+                diag
+            } else if r == id {
+                out.binary_search(&(c as u32)).is_ok()
+            } else {
+                debug_assert_eq!(c, id, "add_slot queries only pairs involving the new slot");
+                ins.binary_search(&(r as u32)).is_ok()
+            }
+        });
     }
 
     /// Absorbs a count change of `delta` agents at `slot` (already applied
@@ -167,8 +172,8 @@ fn row_mass_of(count: u64, col_in: u64, diag_active: bool) -> u128 {
 ///
 /// Pairs arrive through [`add_pair`](AdjStore::add_pair) during discovery —
 /// always involving the newest slot, with the other endpoint ascending per
-/// direction — or through [`load`](AdjStore::load) in bulk; both patterns
-/// let implementations append to rows without ever inserting mid-row.
+/// direction — a pattern that lets implementations append to rows without
+/// ever inserting mid-row.
 pub trait AdjStore: Default + std::fmt::Debug {
     /// Registers the next slot (id `slots()`), with no active pairs yet.
     fn push_slot(&mut self);
@@ -195,9 +200,6 @@ pub trait AdjStore: Default + std::fmt::Debug {
     /// Visits the in-neighbors of `j` (rows `r` with `(r, j)` active)
     /// ascending while `f` returns `true`.
     fn walk_in(&self, j: usize, f: impl FnMut(usize) -> bool);
-
-    /// Bulk-builds all rows at once; same contract as [`Activity::load`].
-    fn load(&mut self, rows: &AdjRows);
 
     /// Active ordered pairs stored.
     fn pairs(&self) -> usize;
@@ -258,32 +260,6 @@ impl AdjStore for VecAdj {
             if !f(i as usize) {
                 return;
             }
-        }
-    }
-
-    fn load(&mut self, rows: &AdjRows) {
-        assert!(self.out.is_empty(), "load requires an empty store");
-        let slots = rows.slots();
-        // Two passes: size every row exactly, then fill — loaded stores
-        // carry no growth slack, so the bytes they report are tight.
-        let mut out_deg = vec![0usize; slots];
-        let mut in_deg = vec![0usize; slots];
-        for (i, deg) in out_deg.iter_mut().enumerate() {
-            rows.walk(i, |j| {
-                *deg += 1;
-                in_deg[j] += 1;
-                true
-            });
-        }
-        self.out = out_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
-        self.ins = in_deg.iter().map(|&d| Vec::with_capacity(d)).collect();
-        for i in 0..slots {
-            rows.walk(i, |j| {
-                self.out[i].push(j as u32);
-                self.ins[j].push(i as u32);
-                self.pairs += 1;
-                true
-            });
         }
     }
 
@@ -502,8 +478,7 @@ impl AdjRows {
         rows
     }
 
-    /// Expands to plain sorted id vectors (tests and the generic
-    /// [`Activity::load`] default).
+    /// Expands to plain sorted id vectors (tests and table dumps).
     pub fn to_vecs(&self) -> Vec<Vec<u32>> {
         self.rows
             .iter()
@@ -523,10 +498,25 @@ impl AdjRows {
         self.rows.iter().map(CompactRow::bytes).sum()
     }
 
-    /// Clones the raw compressed rows — the fast path for loading a
-    /// [`CompactAdj`] store.
-    fn clone_rows(&self) -> Vec<CompactRow> {
-        self.rows.clone()
+    /// The transposed row set: row `j` of the result holds every `i` with
+    /// `(i, j)` stored here. One decode pass; rows of the result are built
+    /// in ascending order because the outer walk ascends.
+    pub fn transpose(&self) -> AdjRows {
+        let slots = self.slots();
+        let mut out = AdjRows::new();
+        for _ in 0..slots {
+            out.push_slot();
+        }
+        for i in 0..slots {
+            self.walk(i, |j| {
+                out.push(j, i);
+                true
+            });
+        }
+        for row in &mut out.rows {
+            row.shrink();
+        }
+        out
     }
 }
 
@@ -594,28 +584,6 @@ impl AdjStore for CompactAdj {
         // Symmetric adjacency: row j of the transpose is row j itself.
         let rows = self.ins.as_ref().unwrap_or(&self.out);
         rows[j].walk(|i| f(i as usize));
-    }
-
-    fn load(&mut self, rows: &AdjRows) {
-        assert!(self.out.is_empty(), "load requires an empty store");
-        let slots = rows.slots();
-        // Same representation: the out-rows load as a straight clone.
-        self.out = rows.clone_rows();
-        self.pairs = rows.pairs();
-        if self.ins.is_some() {
-            // Asymmetric: build the transpose by one decode pass.
-            let mut ins = vec![CompactRow::new(); slots];
-            for i in 0..slots {
-                rows.walk(i, |j| {
-                    ins[j].push(i as u32, slots);
-                    true
-                });
-            }
-            for row in &mut ins {
-                row.shrink();
-            }
-            self.ins = Some(ins);
-        }
     }
 
     fn pairs(&self) -> usize {
@@ -773,20 +741,40 @@ impl<R: AdjStore> Activity for AdjActivity<R> {
         self.adj.declare_symmetric();
     }
 
-    fn load(&mut self, rows: &AdjRows) {
-        assert!(self.adj.slots() == 0, "load requires an empty index");
-        let slots = rows.slots();
-        assert!(slots < u32::MAX as usize, "slot ids exceed u32");
-        self.adj.load(rows);
-        self.diag = (0..slots).map(|i| self.adj.contains(i, i)).collect();
-        self.col_in = vec![0; slots];
-        self.row_mass = vec![0; slots];
-        self.stamp = vec![0; slots];
-        self.mass = 0;
-        if slots >= FENWICK_MIN_SLOTS {
+    fn add_slot_from_lists(&mut self, counts: &[u64], out: &[u32], ins: &[u32], diag: bool) {
+        let id = self.adj.slots();
+        debug_assert_eq!(counts.len(), id + 1, "counts not extended for new slot");
+        debug_assert_eq!(counts[id], 0, "new slot must hold zero agents");
+        assert!(id < u32::MAX as usize, "slot ids exceed u32");
+        self.adj.push_slot();
+        self.diag.push(diag);
+        self.col_in.push(0);
+        self.row_mass.push(0);
+        self.stamp.push(0);
+        if self.use_fenwick {
+            self.fenwick.push(0);
+        } else if self.row_mass.len() >= FENWICK_MIN_SLOTS {
             self.use_fenwick = true;
             self.fenwick.rebuild(&self.row_mass);
         }
+        // Out-row first (responders ascending), then the in-column
+        // (initiators ascending), then the diagonal — every row receives
+        // its appends in ascending id order, as add_pair requires.
+        for &j in out {
+            debug_assert!((j as usize) < id);
+            self.adj.add_pair(id, j as usize);
+        }
+        for &i in ins {
+            debug_assert!((i as usize) < id);
+            self.adj.add_pair(i as usize, id);
+        }
+        if diag {
+            self.adj.add_pair(id, id);
+        }
+        // The new slot holds no agents, so existing col_in and row_mass are
+        // untouched; the new row's col_in sums its responder counts (the
+        // diagonal contributes the slot's own zero count).
+        self.col_in[id] = out.iter().map(|&j| counts[j as usize]).sum();
     }
 
     fn count_changed(&mut self, slot: usize, delta: i64) {
@@ -969,27 +957,28 @@ impl Activity for DenseActivity {
             .sum();
     }
 
-    fn load(&mut self, rows: &AdjRows) {
-        assert!(self.slots == 0, "load requires an empty index");
-        let slots = rows.slots();
-        let mut stride = self.stride;
-        while stride < slots {
-            stride *= 2;
+    fn add_slot_from_lists(&mut self, counts: &[u64], out: &[u32], ins: &[u32], diag: bool) {
+        let id = self.slots;
+        debug_assert_eq!(counts.len(), id + 1, "counts not extended for new slot");
+        if id >= self.stride {
+            self.grow();
         }
-        self.stride = stride;
-        self.null = vec![true; stride * stride];
-        self.slots = slots;
-        self.col_in = vec![0; slots];
-        self.row_mass = vec![0; slots];
-        let null = &mut self.null;
-        let pairs = &mut self.pairs;
-        for i in 0..slots {
-            rows.walk(i, |j| {
-                null[i * stride + j] = false;
-                *pairs += 1;
-                true
-            });
+        self.slots += 1;
+        self.col_in.push(0);
+        self.row_mass.push(0);
+        for &j in out {
+            self.null[id * self.stride + j as usize] = false;
+            self.pairs += 1;
         }
+        for &i in ins {
+            self.null[(i as usize) * self.stride + id] = false;
+            self.pairs += 1;
+        }
+        if diag {
+            self.null[id * self.stride + id] = false;
+            self.pairs += 1;
+        }
+        self.col_in[id] = out.iter().map(|&j| counts[j as usize]).sum();
     }
 
     fn count_changed(&mut self, slot: usize, delta: i64) {
@@ -1255,10 +1244,12 @@ mod tests {
         );
     }
 
-    /// Bulk-loading a known adjacency must equal incremental discovery, for
-    /// every index, and change nothing about subsequent updates.
+    /// Ingesting pre-classified slots through `add_slot_from_lists` (the
+    /// warm engine's lazy materialization hook) must equal per-pair
+    /// discovery through `add_slot`, for every index, and change nothing
+    /// about subsequent updates.
     #[test]
-    fn load_matches_incremental_discovery() {
+    fn from_lists_matches_incremental_discovery() {
         let active = |i: usize, j: usize| (3 * i + 5 * j).is_multiple_of(4);
         let slots = 80usize;
         let mut counts = vec![0u64; 0];
@@ -1269,19 +1260,25 @@ mod tests {
             inc_sparse.add_slot(&counts, active);
             inc_compact.add_slot(&counts, active);
         }
-        let rows = AdjRows::from_fn(slots, |i, f| {
-            for j in 0..slots {
-                if active(i, j) {
-                    f(j);
-                }
-            }
-        });
         let mut loaded_sparse = SparseActivity::default();
-        loaded_sparse.load(&rows);
         let mut loaded_compact = CompactActivity::default();
-        loaded_compact.load(&rows);
         let mut loaded_dense = DenseActivity::default();
-        loaded_dense.load(&rows);
+        counts.clear();
+        for id in 0..slots {
+            counts.push(0);
+            let out: Vec<u32> = (0..id)
+                .filter(|&j| active(id, j))
+                .map(|j| j as u32)
+                .collect();
+            let ins: Vec<u32> = (0..id)
+                .filter(|&i| active(i, id))
+                .map(|i| i as u32)
+                .collect();
+            let diag = active(id, id);
+            loaded_sparse.add_slot_from_lists(&counts, &out, &ins, diag);
+            loaded_compact.add_slot_from_lists(&counts, &out, &ins, diag);
+            loaded_dense.add_slot_from_lists(&counts, &out, &ins, diag);
+        }
 
         let mut rng = StdRng::seed_from_u64(41);
         macro_rules! each {
@@ -1332,18 +1329,14 @@ mod tests {
         let slots = 400usize;
         // Row 0 is fully active (densifies); the rest nearly empty.
         let active = |i: usize, j: usize| i == 0 || (i + j).is_multiple_of(97);
-        let rows = AdjRows::from_fn(slots, |i, f| {
-            for j in 0..slots {
-                if active(i, j) {
-                    f(j);
-                }
-            }
-        });
         let mut compact = CompactActivity::default();
-        compact.load(&rows);
         let mut sparse = SparseActivity::default();
-        sparse.load(&rows);
-        let mut counts = vec![0u64; slots];
+        let mut counts: Vec<u64> = Vec::new();
+        for _ in 0..slots {
+            counts.push(0);
+            compact.add_slot(&counts, active);
+            sparse.add_slot(&counts, active);
+        }
         for (s, c) in counts.iter_mut().enumerate() {
             *c = 1 + (s as u64 % 5);
             compact.count_changed(s, *c as i64);

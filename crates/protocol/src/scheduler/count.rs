@@ -24,8 +24,7 @@
 //! pair weights are `u128`, so populations beyond `u32::MAX` sample without
 //! overflow.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 
 use crate::activity::PairSampling;
 
@@ -118,7 +117,8 @@ pub struct PairDraw {
 /// A source of count-level interactions.
 ///
 /// Implementors choose ordered slot pairs from a [`CountView`]; the engine
-/// threads a seeded RNG through so whole runs stay reproducible. The batched
+/// threads a seeded RNG through (as `&mut dyn RngCore`, so sequential and
+/// counter-based generators both fit) so whole runs stay reproducible. The batched
 /// [`next_change`](CountScheduler::next_change) has a universally correct
 /// default (rejection-sample single draws); schedulers whose distribution
 /// admits a closed-form skip length override it.
@@ -128,12 +128,17 @@ pub trait CountScheduler<S> {
     /// Both slots must currently hold at least one agent (two for a diagonal
     /// pair), mirroring the "two distinct agents" requirement at the agent
     /// level.
-    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut StdRng) -> (usize, usize);
+    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut dyn RngCore) -> (usize, usize);
 
     /// Advances directly to the next state-changing interaction, consuming at
     /// most `budget` interactions (the returned change, when present, is the
     /// `skipped + 1`-th).
-    fn next_change(&mut self, view: &CountView<'_, S>, budget: u64, rng: &mut StdRng) -> PairDraw {
+    fn next_change(
+        &mut self,
+        view: &CountView<'_, S>,
+        budget: u64,
+        rng: &mut dyn RngCore,
+    ) -> PairDraw {
         let mut skipped = 0;
         while skipped < budget {
             let (i, j) = self.next_slot_pair(view, rng);
@@ -202,14 +207,19 @@ fn slot_of<S>(view: &CountView<'_, S>, mut r: u64, exclude: usize, excluded: u64
 }
 
 impl<S> CountScheduler<S> for UniformCountScheduler {
-    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_slot_pair(&mut self, view: &CountView<'_, S>, rng: &mut dyn RngCore) -> (usize, usize) {
         debug_assert!(view.n >= 2, "scheduler requires at least two agents");
         let i = slot_of(view, rng.random_range(0..view.n), usize::MAX, 0);
         let j = slot_of(view, rng.random_range(0..view.n - 1), i, 1);
         (i, j)
     }
 
-    fn next_change(&mut self, view: &CountView<'_, S>, budget: u64, rng: &mut StdRng) -> PairDraw {
+    fn next_change(
+        &mut self,
+        view: &CountView<'_, S>,
+        budget: u64,
+        rng: &mut dyn RngCore,
+    ) -> PairDraw {
         if view.mass == 0 {
             // Silent: every interaction is null.
             return PairDraw {
@@ -295,7 +305,11 @@ impl<S: Clone + Eq> CountScheduler<S> for ReplayCountScheduler<S> {
     /// Panics when the script is exhausted or names a state that is absent
     /// from the configuration — a scripted pair that cannot be realized
     /// indicates a bug in the caller (or in the engine under test).
-    fn next_slot_pair(&mut self, view: &CountView<'_, S>, _rng: &mut StdRng) -> (usize, usize) {
+    fn next_slot_pair(
+        &mut self,
+        view: &CountView<'_, S>,
+        _rng: &mut dyn RngCore,
+    ) -> (usize, usize) {
         let (a, b) = self
             .pairs
             .get(self.pos)
@@ -325,6 +339,7 @@ impl<S: Clone + Eq> CountScheduler<S> for ReplayCountScheduler<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     /// A test-only activity index backed by an explicit null matrix, so

@@ -9,8 +9,7 @@
 //! replay) lives in the `pp-schedulers` crate; the uniform-random scheduler is
 //! defined here because the engines use it as the default.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 
 use crate::population::Population;
 
@@ -22,10 +21,13 @@ use crate::population::Population;
 /// it.
 ///
 /// The RNG is threaded through by the simulation engine so that an entire run
-/// is reproducible from a single seed.
+/// is reproducible from a single seed. It arrives as `&mut dyn RngCore`, so
+/// the same scheduler serves engines driven by the sequential
+/// [`StdRng`](rand::rngs::StdRng) and by counter-based
+/// [`Philox4x32`](rand::rngs::Philox4x32) trial streams alike.
 pub trait Scheduler<S> {
     /// Produces the next ordered interaction pair.
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize);
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize);
 
     /// Human-readable scheduler name used in reports and benchmarks.
     fn name(&self) -> &str;
@@ -65,7 +67,7 @@ impl UniformPairScheduler {
 }
 
 impl<S> Scheduler<S> for UniformPairScheduler {
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize) {
         let n = population.len();
         debug_assert!(n >= 2, "scheduler requires at least two agents");
         let i = rng.random_range(0..n);
@@ -84,6 +86,7 @@ impl<S> Scheduler<S> for UniformPairScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::error::FrameworkError;
 use crate::population::Population;
@@ -73,11 +73,11 @@ pub struct RunReport<O> {
 /// # Example
 ///
 /// See the [crate-level example](crate).
-pub struct Simulation<'p, P: Protocol, Sch> {
+pub struct Simulation<'p, P: Protocol, Sch, R = StdRng> {
     protocol: &'p P,
     population: Population<P::State>,
     scheduler: Sch,
-    rng: StdRng,
+    rng: R,
     stats: SimStats,
     output_counts: BTreeMap<P::Output, usize>,
     /// `Some(t)`: outputs were not unanimous after `t` interactions (t = 0 is
@@ -99,13 +99,33 @@ where
         scheduler: Sch,
         seed: u64,
     ) -> Self {
+        Self::with_rng(protocol, population, scheduler, StdRng::seed_from_u64(seed))
+    }
+}
+
+impl<'p, P, Sch, R> Simulation<'p, P, Sch, R>
+where
+    P: Protocol,
+    Sch: Scheduler<P::State>,
+    R: RngCore,
+{
+    /// Like [`new`](Self::new) with an explicitly constructed generator —
+    /// the entry point for counter-based trial streams
+    /// ([`Philox4x32::stream`](rand::rngs::Philox4x32::stream)) whose
+    /// identity is richer than one `u64`.
+    pub fn with_rng(
+        protocol: &'p P,
+        population: Population<P::State>,
+        scheduler: Sch,
+        rng: R,
+    ) -> Self {
         let output_counts = population.output_counts(protocol);
         let initially_unanimous = output_counts.len() <= 1;
         Simulation {
             protocol,
             population,
             scheduler,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             stats: SimStats::default(),
             output_counts,
             last_disagreement: if initially_unanimous { None } else { Some(0) },

@@ -154,6 +154,71 @@ impl<P: Protocol> TransitionTable<P> {
     pub(crate) fn write(&self) -> RwLockWriteGuard<'_, TableInner<P::State>> {
         self.inner.write().expect("transition table lock poisoned")
     }
+
+    /// An immutable copy of the table's current contents, used by warm
+    /// engines as a *lookup oracle*: activity and outcome queries are
+    /// answered from the snapshot instead of the protocol, without ever
+    /// influencing slot numbering (see
+    /// [`CountEngine::with_table`](crate::CountEngine::with_table)).
+    ///
+    /// For asymmetric protocols the transpose rows are materialized once
+    /// here, so in-neighbor queries stay `O(row)`; symmetric snapshots
+    /// serve both orientations from the forward rows.
+    pub(crate) fn snapshot(&self, symmetric: bool) -> TableSnapshot<P::State>
+    where
+        P::State: Clone,
+    {
+        let inner = self.read();
+        let ins = if symmetric {
+            None
+        } else {
+            Some(inner.rows.transpose())
+        };
+        TableSnapshot {
+            states: inner.states.clone(),
+            index: inner.index.clone(),
+            rows: inner.rows.clone(),
+            ins,
+            outcomes: inner.outcomes.clone(),
+        }
+    }
+}
+
+/// A warm engine's immutable view of a [`TransitionTable`] at construction
+/// time; see [`TransitionTable::snapshot`].
+#[derive(Debug)]
+pub(crate) struct TableSnapshot<S> {
+    /// States in the snapshot's table-id order.
+    pub(crate) states: Vec<S>,
+    /// State → table id.
+    pub(crate) index: HashMap<S, u32, FxBuildHasher>,
+    /// Forward activity rows, by table id.
+    pub(crate) rows: AdjRows,
+    /// Transpose rows; `None` when the adjacency is symmetric.
+    pub(crate) ins: Option<AdjRows>,
+    /// Memoized transition outcomes, by table-id pair.
+    pub(crate) outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+}
+
+impl<S> TableSnapshot<S> {
+    /// Number of states the snapshot knows.
+    pub(crate) fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Visits the table ids active as responders to `tid` (row `tid`).
+    pub(crate) fn walk_out(&self, tid: u32, f: impl FnMut(usize) -> bool) {
+        self.rows.walk(tid as usize, f);
+    }
+
+    /// Visits the table ids active as initiators into `tid` (column `tid`).
+    pub(crate) fn walk_in(&self, tid: u32, f: impl FnMut(usize) -> bool) {
+        match &self.ins {
+            // Symmetric adjacency: the column equals the row.
+            None => self.rows.walk(tid as usize, f),
+            Some(ins) => ins.walk(tid as usize, f),
+        }
+    }
 }
 
 impl<P: Protocol> std::fmt::Debug for TransitionTable<P> {

@@ -1,8 +1,7 @@
 //! A two-clique scheduler with a tunable mixing bottleneck.
 
 use pp_protocol::{Population, Scheduler};
-use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 
 /// Splits the population into two halves ("cliques"). Most interactions are
 /// uniform *within* a clique; every `cross_period`-th interaction is a
@@ -41,7 +40,7 @@ impl ClusteredScheduler {
 }
 
 impl<S> Scheduler<S> for ClusteredScheduler {
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize) {
         let n = population.len();
         debug_assert!(n >= 2);
         let half = n / 2;

@@ -2,7 +2,7 @@
 //! allows.
 
 use pp_protocol::{Population, Protocol, Scheduler};
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// The *lazy adversary*: prefers interactions that change nothing, and
 /// schedules a productive pair only when that pair's fairness deadline
@@ -83,7 +83,7 @@ impl<P: Protocol> Scheduler<P::State> for LazyAdversaryScheduler<P> {
     fn next_pair(
         &mut self,
         population: &Population<P::State>,
-        _rng: &mut StdRng,
+        _rng: &mut dyn RngCore,
     ) -> (usize, usize) {
         let n = population.len();
         debug_assert!(n >= 2);

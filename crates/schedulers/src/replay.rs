@@ -1,7 +1,7 @@
 //! Replaying recorded schedules.
 
 use pp_protocol::{InteractionTrace, Population, Scheduler};
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// Replays a recorded [`InteractionTrace`], cycling back to the start when
 /// the trace is exhausted (so that runs longer than the recording remain
@@ -48,7 +48,7 @@ impl TraceScheduler {
 }
 
 impl<S> Scheduler<S> for TraceScheduler {
-    fn next_pair(&mut self, population: &Population<S>, _rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, _rng: &mut dyn RngCore) -> (usize, usize) {
         debug_assert_eq!(
             population.len(),
             self.trace.n(),
@@ -67,6 +67,7 @@ impl<S> Scheduler<S> for TraceScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -1,7 +1,7 @@
 //! Deterministic round-robin over all ordered pairs.
 
 use pp_protocol::{Population, Scheduler};
-use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// Cycles through all `n(n-1)` ordered pairs in lexicographic order,
 /// forever.
@@ -47,7 +47,7 @@ impl RoundRobinScheduler {
 }
 
 impl<S> Scheduler<S> for RoundRobinScheduler {
-    fn next_pair(&mut self, population: &Population<S>, _rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, _rng: &mut dyn RngCore) -> (usize, usize) {
         let n = population.len();
         debug_assert!(n >= 2);
         let total = n * (n - 1);
@@ -69,6 +69,7 @@ impl<S> Scheduler<S> for RoundRobinScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -2,8 +2,8 @@
 //! order each round.
 
 use pp_protocol::{Population, Scheduler};
-use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::RngCore;
 
 /// Visits every ordered pair exactly once per round, shuffling the order
 /// anew for each round.
@@ -27,7 +27,7 @@ impl ShuffledRoundsScheduler {
         }
     }
 
-    fn refill(&mut self, n: usize, rng: &mut StdRng) {
+    fn refill(&mut self, n: usize, rng: &mut dyn RngCore) {
         self.order.clear();
         self.order.reserve(n * (n - 1));
         for i in 0..n {
@@ -43,7 +43,7 @@ impl ShuffledRoundsScheduler {
 }
 
 impl<S> Scheduler<S> for ShuffledRoundsScheduler {
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize) {
         let n = population.len();
         debug_assert!(n >= 2);
         if self.cursor >= self.order.len() || self.order.len() != n * (n - 1) {
@@ -62,6 +62,7 @@ impl<S> Scheduler<S> for ShuffledRoundsScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -7,9 +7,8 @@
 //! from Definition 1.2 that experiment E15 probes.
 
 use pp_protocol::{Population, Scheduler};
-use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 
 use crate::graph::InteractionGraph;
 
@@ -54,7 +53,7 @@ impl EdgeScheduler {
 }
 
 impl<S> Scheduler<S> for EdgeScheduler {
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize) {
         assert_eq!(
             population.len(),
             self.graph.n(),
@@ -113,7 +112,7 @@ impl RoundRobinEdgeScheduler {
 }
 
 impl<S> Scheduler<S> for RoundRobinEdgeScheduler {
-    fn next_pair(&mut self, population: &Population<S>, rng: &mut StdRng) -> (usize, usize) {
+    fn next_pair(&mut self, population: &Population<S>, rng: &mut dyn RngCore) -> (usize, usize) {
         assert_eq!(
             population.len(),
             self.graph.n(),
@@ -138,6 +137,7 @@ impl<S> Scheduler<S> for RoundRobinEdgeScheduler {
 mod tests {
     use super::*;
     use pp_protocol::Population;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::HashSet;
 

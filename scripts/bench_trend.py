@@ -76,7 +76,17 @@ def main(argv):
     compared = 0
     for key, new_median in sorted(cur.items()):
         old_median = prev.get(key)
-        if old_median is None or old_median <= 0.0:
+        if old_median is None:
+            continue
+        # Quick-mode rows can legitimately record sub-ns medians that round
+        # to 0 (or carry NaN from a degenerate sample); a ratio against
+        # those is meaningless — and 0 would divide by zero — so the label
+        # restarts its baseline, loudly rather than silently.
+        if not old_median > 0.0:
+            print(
+                f"bench-trend reset {fmt_key(key)}: previous median "
+                f"{old_median:g} ns unusable; baseline restarts now"
+            )
             continue
         compared += 1
         ratio = new_median / old_median

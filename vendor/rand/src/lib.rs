@@ -6,8 +6,12 @@
 //!
 //! - [`rngs::StdRng`] — a deterministic, seedable generator
 //!   (xoshiro256++ seeded via splitmix64);
+//! - [`rngs::Philox4x32`] — a counter-based Philox4x32-10 generator with
+//!   explicit `(seed, stream)` construction and block jumps, for trial
+//!   sweeps whose per-trial streams must not depend on thread scheduling;
 //! - [`SeedableRng::seed_from_u64`];
-//! - [`RngExt`] — `random`, `random_range`, `random_bool`;
+//! - [`RngExt`] — `random`, `random_range`, `random_bool` (implemented for
+//!   unsized types too, so `&mut dyn RngCore` works directly);
 //! - [`seq::SliceRandom::shuffle`] and [`seq::IndexedRandom::choose`].
 //!
 //! The generator is *not* cryptographically secure and the integer
@@ -175,10 +179,7 @@ impl SampleRange<f64> for core::ops::Range<f64> {
 /// `RngExt`.)
 pub trait RngExt: RngCore {
     /// Draws a value from the standard distribution of `T`.
-    fn random<T: StandardUniform>(&mut self) -> T
-    where
-        Self: Sized,
-    {
+    fn random<T: StandardUniform>(&mut self) -> T {
         T::sample(self)
     }
 
@@ -187,10 +188,7 @@ pub trait RngExt: RngCore {
     /// # Panics
     ///
     /// Panics when `range` is empty.
-    fn random_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T
-    where
-        Self: Sized,
-    {
+    fn random_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T {
         range.sample_single(self)
     }
 
@@ -199,13 +197,10 @@ pub trait RngExt: RngCore {
     /// # Panics
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
-    fn random_bool(&mut self, p: f64) -> bool
-    where
-        Self: Sized,
-    {
+    fn random_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         f64::sample(self) < p
     }
 }
 
-impl<R: RngCore> RngExt for R {}
+impl<R: RngCore + ?Sized> RngExt for R {}
