@@ -19,6 +19,8 @@
 //! - [`workloads`]: input-multiset generators (controlled margins,
 //!   geometric profiles, adversarially close races).
 //! - [`trial`]: one-shot protocol runs with a uniform measurement record.
+//! - [`table_cache`]: on-disk persistence of discovered transition tables
+//!   (`PP_TABLE_CACHE`), so sweeps load structure instead of rediscovering.
 //! - [`epidemic`]: exact expectations for the output-propagation epidemic.
 
 #![forbid(unsafe_code)]
@@ -30,6 +32,7 @@ pub mod plot;
 pub mod runner;
 pub mod stats;
 pub mod table;
+pub mod table_cache;
 pub mod trial;
 pub mod workloads;
 

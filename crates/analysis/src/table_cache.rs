@@ -1,0 +1,192 @@
+//! On-disk caching of discovered transition tables, keyed by protocol
+//! identity.
+//!
+//! A [`TableCache`] is a directory of `.ppts` store files (see
+//! [`pp_protocol::transition_store`]), one per protocol parameterization:
+//! file names embed the protocol name, its
+//! [`fingerprint_param`](Protocol::fingerprint_param) (the color count `k`
+//! for Circles) and the 64-bit identity fingerprint, and every load
+//! re-verifies that fingerprint against the requesting protocol. Sweeps go
+//! through [`TrialRunner::run_cached`](crate::trial::TrialRunner::run_cached),
+//! which loads the table if a valid store exists (zero protocol calls),
+//! falls back to cold discovery otherwise, and writes the table back when
+//! it grew — so the `O(slots²)` discovery becomes a once-per-machine cost
+//! instead of a once-per-process one.
+//!
+//! The cache directory is chosen explicitly
+//! ([`TrialRunner::table_cache_dir`](crate::trial::TrialRunner::table_cache_dir))
+//! or ambiently through the `PP_TABLE_CACHE` environment variable
+//! ([`TableCache::from_env`]).
+//!
+//! Corrupt or foreign cache files are **never trusted**: any load failure
+//! other than "file not found" is reported to stderr with its typed
+//! [`StoreError`] and the sweep silently proceeds with cold discovery,
+//! after which the valid, freshly discovered table overwrites the bad
+//! file.
+
+use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use pp_protocol::transition_store::{self, StoreError, StoreMeta, STORE_EXT};
+use pp_protocol::{Protocol, TransitionTable};
+
+/// Environment variable naming the ambient cache directory.
+pub const CACHE_ENV: &str = "PP_TABLE_CACHE";
+
+/// How a cached table was obtained; returned by
+/// [`TableCache::load_or_empty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A valid store file was loaded.
+    Hit,
+    /// No store file existed; the table starts empty.
+    Miss,
+    /// A store file existed but failed verification (typed error reported
+    /// to stderr); the table starts empty and discovery runs cold.
+    Invalid,
+}
+
+/// A directory of persisted transition tables; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct TableCache {
+    dir: PathBuf,
+}
+
+impl TableCache {
+    /// A cache rooted at `dir` (created lazily on first
+    /// [`store`](Self::store)).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TableCache { dir: dir.into() }
+    }
+
+    /// The cache named by the `PP_TABLE_CACHE` environment variable, or
+    /// `None` when unset or empty.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var_os(CACHE_ENV) {
+            Some(dir) if !dir.is_empty() => Some(TableCache::new(PathBuf::from(dir))),
+            _ => None,
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store path for `protocol`:
+    /// `<name>-p<param>-<fingerprint as 16 hex digits>.ppts`, with
+    /// non-alphanumeric name bytes mapped to `-` so variant names like
+    /// `circles[strict-min]` stay filesystem-safe.
+    pub fn path_for<P: Protocol>(&self, protocol: &P) -> PathBuf {
+        let name: String = protocol
+            .name()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        self.dir.join(format!(
+            "{name}-p{}-{:016x}.{STORE_EXT}",
+            protocol.fingerprint_param(),
+            transition_store::fingerprint(protocol),
+        ))
+    }
+
+    /// Loads the store for `protocol`, propagating every failure as its
+    /// typed [`StoreError`].
+    ///
+    /// # Errors
+    ///
+    /// See [`transition_store::load`].
+    pub fn load<P>(&self, protocol: &P) -> Result<TransitionTable<P>, StoreError>
+    where
+        P: Protocol,
+        P::State: FromStr,
+        <P::State as FromStr>::Err: Display,
+    {
+        transition_store::load(protocol, &self.path_for(protocol))
+    }
+
+    /// Loads the store for `protocol`, degrading every failure to an empty
+    /// table: a missing file is a quiet [`CacheStatus::Miss`]; any other
+    /// error is reported to stderr and becomes [`CacheStatus::Invalid`].
+    /// Either way the caller can proceed with cold discovery — a bad cache
+    /// file can cost time, never correctness.
+    pub fn load_or_empty<P>(&self, protocol: &P) -> (TransitionTable<P>, CacheStatus)
+    where
+        P: Protocol,
+        P::State: FromStr,
+        <P::State as FromStr>::Err: Display,
+    {
+        match self.load(protocol) {
+            Ok(table) => (table, CacheStatus::Hit),
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                (TransitionTable::new(), CacheStatus::Miss)
+            }
+            Err(e) => {
+                eprintln!(
+                    "table cache: ignoring {}: {e}; rediscovering cold",
+                    self.path_for(protocol).display()
+                );
+                (TransitionTable::new(), CacheStatus::Invalid)
+            }
+        }
+    }
+
+    /// Persists `table` as the store for `protocol`, creating the cache
+    /// directory if needed. The write is atomic (see
+    /// [`transition_store::save`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created or the file
+    /// cannot be written.
+    pub fn store<P>(
+        &self,
+        protocol: &P,
+        table: &TransitionTable<P>,
+    ) -> Result<StoreMeta, StoreError>
+    where
+        P: Protocol,
+        P::State: Display,
+    {
+        std::fs::create_dir_all(&self.dir)?;
+        transition_store::save(table, protocol, &self.path_for(protocol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circles_core::CirclesProtocol;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pp-table-cache-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn path_embeds_identity_and_sanitizes_names() {
+        let cache = TableCache::new("/tmp/x");
+        let k3 = CirclesProtocol::new(3).unwrap();
+        let k4 = CirclesProtocol::new(4).unwrap();
+        let p3 = cache.path_for(&k3);
+        let p4 = cache.path_for(&k4);
+        assert_ne!(p3, p4, "different k must map to different files");
+        let name = p3.file_name().unwrap().to_str().unwrap();
+        assert!(name.starts_with("circles-p3-"));
+        assert!(name.ends_with(".ppts"));
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'),
+            "{name} must be filesystem-safe"
+        );
+    }
+
+    #[test]
+    fn missing_store_is_a_quiet_miss() {
+        let cache = TableCache::new(temp_dir("miss").join("never-created"));
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let (table, status) = cache.load_or_empty(&protocol);
+        assert_eq!(status, CacheStatus::Miss);
+        assert!(table.is_empty());
+    }
+}

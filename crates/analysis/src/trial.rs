@@ -10,6 +10,7 @@ use pp_protocol::{
 use rand::RngCore;
 
 use crate::runner::{default_threads, run_seeded, trial_rng};
+use crate::table_cache::TableCache;
 
 /// The measurements every experiment cares about, protocol-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,6 +315,7 @@ pub struct TrialRunner {
     seeds: Vec<u64>,
     warm: bool,
     sweep_seed: u64,
+    table_cache: Option<std::path::PathBuf>,
 }
 
 impl TrialRunner {
@@ -327,6 +329,7 @@ impl TrialRunner {
             seeds: (0..32).collect(),
             warm: false,
             sweep_seed: 0,
+            table_cache: None,
         }
     }
 
@@ -377,6 +380,17 @@ impl TrialRunner {
     /// several sweeps of the same protocol.
     pub fn warm(mut self, warm: bool) -> Self {
         self.warm = warm;
+        self
+    }
+
+    /// Sets the directory [`run_cached`](Self::run_cached) persists
+    /// discovered transition tables in, keyed by protocol identity
+    /// fingerprint — see [`TableCache`](crate::table_cache::TableCache).
+    /// Without this, `run_cached` falls back to the `PP_TABLE_CACHE`
+    /// environment variable, and with neither set behaves exactly like a
+    /// warm [`run`](Self::run).
+    pub fn table_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.table_cache = Some(dir.into());
         self
     }
 
@@ -460,6 +474,63 @@ impl TrialRunner {
             }
         }
         results.extend(run_seeded(rest, self.threads, trial));
+        results
+    }
+
+    /// Like [`run_with_table`](Self::run_with_table), but the table comes
+    /// from (and returns to) the on-disk cache configured with
+    /// [`table_cache_dir`](Self::table_cache_dir) (or ambiently via
+    /// `PP_TABLE_CACHE`): a valid store for this protocol's identity
+    /// fingerprint loads with **zero protocol calls** and every seed runs
+    /// warm; a missing or invalid store degrades to cold discovery (invalid
+    /// files are reported to stderr, never trusted), and the table is
+    /// written back whenever the sweep grew it. Results are bit-identical
+    /// in all three cases — the cache can only save time.
+    ///
+    /// With no cache configured, or on the indexed backend (which has no
+    /// discovery to persist), this is exactly a warm [`run`](Self::run).
+    ///
+    /// The extra `Display`/`FromStr` bounds are the store's state codec;
+    /// they are why this is a separate method rather than `run` behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a trial fails on a framework error.
+    pub fn run_cached<P>(
+        &self,
+        protocol: &P,
+        inputs: &[P::Input],
+        expected: Color,
+    ) -> Vec<TrialResult>
+    where
+        P: Protocol<Output = Color> + Sync,
+        P::Input: Sync,
+        P::State: Send + Sync + std::fmt::Display + std::str::FromStr,
+        <P::State as std::str::FromStr>::Err: std::fmt::Display,
+    {
+        let cache = match &self.table_cache {
+            Some(dir) => Some(TableCache::new(dir.clone())),
+            None => TableCache::from_env(),
+        };
+        let Some(cache) = cache else {
+            return self.clone().warm(true).run(protocol, inputs, expected);
+        };
+        if self.backend != Backend::Count {
+            return self.run(protocol, inputs, expected);
+        }
+        let (table, _status) = cache.load_or_empty(protocol);
+        let loaded = (table.len(), table.active_pairs(), table.outcome_count());
+        let results = self.run_with_table(protocol, inputs, expected, &table);
+        if (table.len(), table.active_pairs(), table.outcome_count()) != loaded {
+            // Best-effort persistence: a read-only cache dir degrades the
+            // next sweep to cold discovery, nothing more.
+            if let Err(e) = cache.store(protocol, &table) {
+                eprintln!(
+                    "table cache: could not persist {}: {e}",
+                    cache.path_for(protocol).display()
+                );
+            }
+        }
         results
     }
 

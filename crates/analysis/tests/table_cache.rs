@@ -1,0 +1,100 @@
+//! The on-disk table cache can only save time, never change results:
+//! cached sweeps are bit-identical to cold ones across miss, hit and
+//! corrupted-store conditions, and a corrupted store is replaced by a
+//! valid one instead of being trusted.
+
+use circles_core::CirclesProtocol;
+use pp_analysis::table_cache::{CacheStatus, TableCache};
+use pp_analysis::trial::{Backend, TrialRunner};
+use pp_analysis::workloads::{margin_workload, true_winner};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pp-cache-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn cached_sweeps_are_bit_identical_across_miss_hit_and_corruption() {
+    let dir = unique_dir("lifecycle");
+    let _ = std::fs::remove_dir_all(&dir);
+    let protocol = CirclesProtocol::new(4).unwrap();
+    let inputs = margin_workload(200, 4, 20);
+    let expected = true_winner(&inputs, 4);
+    let runner = TrialRunner::new(Backend::Count)
+        .seeds(6)
+        .threads(2)
+        .table_cache_dir(&dir);
+    let cold = TrialRunner::new(Backend::Count)
+        .seeds(6)
+        .threads(2)
+        .run(&protocol, &inputs, expected);
+
+    // Miss: no store yet — the sweep discovers cold and persists.
+    let cache = TableCache::new(&dir);
+    let store_path = cache.path_for(&protocol);
+    assert!(!store_path.exists());
+    let miss = runner.run_cached(&protocol, &inputs, expected);
+    assert_eq!(miss, cold, "cache miss must replay the cold sweep");
+    assert!(store_path.exists(), "the sweep persisted its table");
+
+    // Hit: the store loads (status Hit) and the sweep replays identically.
+    let (table, status) = cache.load_or_empty(&protocol);
+    assert_eq!(status, CacheStatus::Hit);
+    assert!(!table.is_empty());
+    let hit = runner.run_cached(&protocol, &inputs, expected);
+    assert_eq!(hit, cold, "cache hit must replay the cold sweep");
+
+    // Corruption: flip a byte mid-file. The load degrades to Invalid, the
+    // sweep still replays cold results, and the bad store is replaced.
+    let mut bytes = std::fs::read(&store_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&store_path, &bytes).unwrap();
+    let (table, status) = cache.load_or_empty(&protocol);
+    assert_eq!(status, CacheStatus::Invalid, "a flipped byte must not load");
+    assert!(table.is_empty(), "invalid stores yield an empty table");
+    let after_corruption = runner.run_cached(&protocol, &inputs, expected);
+    assert_eq!(
+        after_corruption, cold,
+        "a corrupt cache must fall back to cold discovery, not change results"
+    );
+    let (_, status) = cache.load_or_empty(&protocol);
+    assert_eq!(
+        status,
+        CacheStatus::Hit,
+        "the rediscovered table must have replaced the corrupt store"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn different_k_use_disjoint_store_files() {
+    let dir = unique_dir("keys");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TableCache::new(&dir);
+    let k3 = CirclesProtocol::new(3).unwrap();
+    let k4 = CirclesProtocol::new(4).unwrap();
+
+    for (k, protocol) in [(3u16, &k3), (4, &k4)] {
+        let n = 120;
+        let inputs = margin_workload(n, k, n / 10);
+        let expected = true_winner(&inputs, k);
+        TrialRunner::new(Backend::Count)
+            .seeds(3)
+            .threads(2)
+            .table_cache_dir(&dir)
+            .run_cached(protocol, &inputs, expected);
+    }
+    assert!(cache.path_for(&k3).exists());
+    assert!(cache.path_for(&k4).exists());
+    assert_ne!(cache.path_for(&k3), cache.path_for(&k4));
+
+    // Loading k3's file as k4 is an identity error, not a wrong table.
+    let err = pp_protocol::transition_store::load(&k4, &cache.path_for(&k3)).unwrap_err();
+    assert!(matches!(
+        err,
+        pp_protocol::StoreError::IdentityMismatch { .. }
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,177 @@
+//! Build, inspect and verify on-disk transition-table stores (`.ppts`).
+//!
+//! The store format is specified in `docs/transition-store-format.md` and
+//! implemented by [`pp_protocol::transition_store`]. This tool is the
+//! operational surface CI and users drive:
+//!
+//! ```text
+//! table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
+//! table_store inspect PATH
+//! table_store verify  PATH [--k K] [--audit-pairs N]
+//! ```
+//!
+//! `build` discovers a Circles table — by default the states a 16-seed
+//! margin-workload sweep reaches (the set warm sweeps actually reuse), with
+//! `--full` the entire `k³` enumerable state space — and saves it
+//! atomically. `inspect` prints the verified header of any store without
+//! needing a protocol. `verify` loads the store (checksum + fingerprint +
+//! structural validation, zero protocol calls), then *audits* it by
+//! re-deriving pair activity and memoized outcomes through the protocol's
+//! own transition function, the one check loading deliberately skips.
+//!
+//! Exit status: `0` on success, `1` on any store error, `2` on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use circles_core::CirclesProtocol;
+use pp_analysis::trial::{Backend, TrialRunner};
+use pp_analysis::workloads::{margin_workload, true_winner};
+use pp_protocol::transition_store::{self, StoreMeta};
+use pp_protocol::{CountConfig, CountEngine, EnumerableProtocol, Protocol, TransitionTable};
+
+const USAGE: &str = "usage:
+  table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
+  table_store inspect PATH
+  table_store verify  PATH [--k K] [--audit-pairs N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Usage(msg)) => {
+            eprintln!("table_store: {msg}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Store(msg)) => {
+            eprintln!("table_store: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum Failure {
+    Usage(String),
+    Store(String),
+}
+
+impl From<transition_store::StoreError> for Failure {
+    fn from(e: transition_store::StoreError) -> Self {
+        Failure::Store(e.to_string())
+    }
+}
+
+/// Pulls the value of `--flag VALUE` out of `args`, parsed.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, Failure> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| Failure::Usage(format!("{flag} needs a valid value"))),
+    }
+}
+
+fn positional(args: &[String]) -> Result<PathBuf, Failure> {
+    args.iter()
+        .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .map(PathBuf::from)
+        .ok_or_else(|| Failure::Usage("missing store path".into()))
+}
+
+fn print_meta(meta: &StoreMeta) {
+    println!("protocol:    {}", meta.protocol);
+    println!("version:     {}", meta.version);
+    println!("fingerprint: {:#018x}", meta.fingerprint);
+    println!("param (k):   {}", meta.param);
+    println!("symmetric:   {}", meta.symmetric);
+    println!("states:      {}", meta.states);
+    println!("pairs:       {}", meta.pairs);
+    println!("outcomes:    {}", meta.outcomes);
+    println!("file bytes:  {}", meta.file_bytes);
+    println!("checksum:    {:#018x}", meta.checksum);
+}
+
+fn build(args: &[String]) -> Result<(), Failure> {
+    let k: u16 =
+        flag_value(args, "--k")?.ok_or_else(|| Failure::Usage("build needs --k".into()))?;
+    let n: usize = flag_value(args, "--n")?.unwrap_or(3_000);
+    let seeds: u64 = flag_value(args, "--seeds")?.unwrap_or(16);
+    let full = args.iter().any(|a| a == "--full");
+    let out: PathBuf =
+        flag_value(args, "--out")?.unwrap_or_else(|| PathBuf::from(format!("circles-k{k}.ppts")));
+
+    let protocol = CirclesProtocol::new(k).map_err(|e| Failure::Usage(format!("bad k: {e}")))?;
+    let table = TransitionTable::new();
+
+    if full {
+        // Prime the entire k³ state space through one engine: O(k⁶)
+        // pair classifications, halved by symmetry — exhaustive, so any
+        // future workload at this k runs warm.
+        let inputs = margin_workload(n.max(usize::from(k) + 2), k, 1);
+        let config: CountConfig<_> = inputs.iter().map(|i| protocol.input(i)).collect();
+        let mut engine = CountEngine::from_config(&protocol, config, 7);
+        engine.prime_states(protocol.states());
+        engine.export_to(&table);
+    } else {
+        // Discover what a real sweep reaches: run the same margin workload
+        // the warm-sweep bench uses through the warm TrialRunner path.
+        let inputs = margin_workload(n, k, n / 10);
+        let expected = true_winner(&inputs, k);
+        let results = TrialRunner::new(Backend::Count)
+            .seeds(seeds)
+            .run_with_table(&protocol, &inputs, expected, &table);
+        if !results.iter().all(|r| r.stabilized) {
+            return Err(Failure::Store("discovery sweep failed to stabilize".into()));
+        }
+    }
+
+    let meta = transition_store::save(&table, &protocol, &out)?;
+    eprintln!("wrote {}", out.display());
+    print_meta(&meta);
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), Failure> {
+    let path = positional(args)?;
+    let meta = transition_store::inspect(&path)?;
+    print_meta(&meta);
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), Failure> {
+    let path = positional(args)?;
+    let audit_pairs: u64 = flag_value(args, "--audit-pairs")?.unwrap_or(2_000_000);
+    let meta = transition_store::inspect(&path)?;
+    if meta.protocol != "circles" {
+        return Err(Failure::Usage(format!(
+            "verify only knows the circles protocol, store is for {:?}",
+            meta.protocol
+        )));
+    }
+    let k: u16 = match flag_value(args, "--k")? {
+        Some(k) => k,
+        None => u16::try_from(meta.param)
+            .map_err(|_| Failure::Store(format!("store param {} is not a valid k", meta.param)))?,
+    };
+    let protocol = CirclesProtocol::new(k).map_err(|e| Failure::Usage(format!("bad k: {e}")))?;
+    let table = transition_store::load(&protocol, &path)?;
+    let report = transition_store::audit(&protocol, &table, audit_pairs)?;
+    print_meta(&meta);
+    println!(
+        "audit:       ok ({} state(s), {} pair(s) re-classified, {} outcome(s) re-derived)",
+        report.states, report.pairs_checked, report.outcomes_checked
+    );
+    Ok(())
+}

@@ -174,6 +174,12 @@ impl Protocol for CirclesProtocol {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    /// The color count `k`, so persisted transition tables for one `k`
+    /// never load for another.
+    fn fingerprint_param(&self) -> u64 {
+        u64::from(self.k)
+    }
 }
 
 impl EnumerableProtocol for CirclesProtocol {

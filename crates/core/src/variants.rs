@@ -177,6 +177,12 @@ impl Protocol for VariantCircles {
         // self-loop clause.
         matches!(self.rule, ExchangeRule::StrictMinDecrease)
     }
+
+    /// The color count `k`; the rule already distinguishes variants through
+    /// [`name`](Protocol::name), which the store fingerprint also covers.
+    fn fingerprint_param(&self) -> u64 {
+        u64::from(self.k)
+    }
 }
 
 impl EnumerableProtocol for VariantCircles {

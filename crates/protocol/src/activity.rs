@@ -416,6 +416,30 @@ impl CompactRow {
     }
 }
 
+/// A borrowed view of one [`AdjRows`] row in its stored representation,
+/// as returned by [`AdjRows::row_repr`] — what the on-disk transition
+/// store persists verbatim.
+#[derive(Debug, Clone, Copy)]
+pub enum RowRepr<'a> {
+    /// Delta-LEB128 payload: `len` ascending ids, the first absolute, the
+    /// rest strictly positive gaps; `last` is the largest id.
+    Sparse {
+        /// The raw varint payload.
+        payload: &'a [u8],
+        /// Largest id in the row (`0` when empty).
+        last: u32,
+        /// Number of ids encoded.
+        len: u32,
+    },
+    /// Blocked bitset: bit `j` of `blocks[j / 64]` set iff `j` is stored.
+    Dense {
+        /// The bitset words; trailing all-zero words may be absent.
+        blocks: &'a [u64],
+        /// Number of bits set.
+        len: u32,
+    },
+}
+
 /// An owned, compressed set of adjacency out-rows — the interchange format
 /// between a [`TransitionTable`](crate::TransitionTable) and the activity
 /// indexes. Rows use the same per-row representation as [`CompactAdj`]
@@ -458,6 +482,75 @@ impl AdjRows {
     /// Visits row `i` ascending while `f` returns `true`.
     pub fn walk(&self, i: usize, mut f: impl FnMut(usize) -> bool) {
         self.rows[i].walk(|j| f(j as usize));
+    }
+
+    /// Adopts row `i` wholesale from its delta-LEB128 payload: `count`
+    /// ascending ids, the first absolute, the rest strictly positive gaps,
+    /// the largest being `last` — exactly the per-row encoding the on-disk
+    /// transition store persists. The densification policy matches
+    /// incremental [`push`](Self::push)es (the choice depends only on the
+    /// final payload length, which grows monotonically), so bulk loads
+    /// build representation-identical rows while skipping the per-id
+    /// re-encode — the store loader's fast path.
+    ///
+    /// The caller is responsible for the payload invariants (the store
+    /// loader validates them during its decode pass); each varint must
+    /// span at most 5 bytes so ids stay within `u32`. A malformed payload
+    /// corrupts this row's iteration, never memory safety. The row must
+    /// still be empty.
+    pub fn set_row_varint(&mut self, i: usize, count: u32, last: u32, payload: &[u8]) {
+        let slots = self.rows.len();
+        debug_assert_eq!(self.rows[i].bytes(), 0, "row {i} must be empty");
+        self.pairs += count as usize;
+        let row = CompactRow::Sparse {
+            bytes: payload.to_vec(),
+            last,
+            len: count,
+        };
+        self.rows[i] = if count > 0 && payload.len() > slots / 8 + 8 {
+            let mut blocks = vec![0u64; slots.div_ceil(64)];
+            row.walk(|j| {
+                blocks[j as usize / 64] |= 1 << (j % 64);
+                true
+            });
+            CompactRow::Dense { blocks, len: count }
+        } else {
+            row
+        };
+    }
+
+    /// Adopts row `i` wholesale as a blocked bitset: bit `j` of
+    /// `blocks[j / 64]` set iff pair `(i, j)` is active, `len` bits set in
+    /// total. This is the store loader's fast path for dense rows — a
+    /// straight word copy instead of tens of thousands of varint decodes.
+    /// The caller validates the bits (none at or beyond
+    /// [`slots`](Self::slots), popcount equal to `len`); the row must still
+    /// be empty.
+    pub fn set_row_dense(&mut self, i: usize, blocks: Vec<u64>, len: u32) {
+        debug_assert_eq!(self.rows[i].bytes(), 0, "row {i} must be empty");
+        debug_assert_eq!(
+            blocks.iter().map(|w| w.count_ones()).sum::<u32>(),
+            len,
+            "row {i}: popcount disagrees with len"
+        );
+        self.pairs += len as usize;
+        self.rows[i] = CompactRow::Dense { blocks, len };
+    }
+
+    /// Borrows row `i`'s stored representation — the zero-copy view
+    /// [`save`](crate::transition_store::save) persists. Which variant a
+    /// row uses is a pure function of its contents (see
+    /// [`set_row_varint`](Self::set_row_varint)), so equal row sets expose
+    /// equal representations.
+    pub fn row_repr(&self, i: usize) -> RowRepr<'_> {
+        match &self.rows[i] {
+            CompactRow::Sparse { bytes, last, len } => RowRepr::Sparse {
+                payload: bytes,
+                last: *last,
+                len: *len,
+            },
+            CompactRow::Dense { blocks, len } => RowRepr::Dense { blocks, len: *len },
+        }
     }
 
     /// Whether row `i` contains `j`.

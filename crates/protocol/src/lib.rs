@@ -70,7 +70,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// The execution framework is the workspace's core public surface —
+// undocumented items are build errors here, not warnings like in the
+// leaf crates.
+#![deny(missing_docs)]
 
 pub mod activity;
 mod config;
@@ -85,10 +88,11 @@ pub mod scheduler;
 mod simulation;
 mod time;
 mod trace;
+pub mod transition_store;
 pub mod transition_table;
 
 pub use activity::{
-    Activity, AdjActivity, AdjRows, AdjStore, CompactActivity, CompactAdj, DenseActivity,
+    Activity, AdjActivity, AdjRows, AdjStore, CompactActivity, CompactAdj, DenseActivity, RowRepr,
     SparseActivity, VecAdj,
 };
 pub use config::CountConfig;
@@ -105,4 +109,5 @@ pub use scheduler::{
 pub use simulation::{RunReport, SimStats, Simulation, StepReport};
 pub use time::{parallel_time, GillespieClock};
 pub use trace::InteractionTrace;
+pub use transition_store::{AuditReport, StoreError, StoreMeta};
 pub use transition_table::{TableDump, TransitionTable};

@@ -68,6 +68,19 @@ pub trait Protocol {
         let (a, b) = self.transition(initiator, responder);
         a == *initiator && b == *responder
     }
+
+    /// A numeric parameter distinguishing instances of the same named
+    /// protocol family — for Circles, the color count `k`. Folded together
+    /// with [`name`](Protocol::name) and
+    /// [`is_symmetric`](Protocol::is_symmetric) into the identity
+    /// fingerprint of persisted transition-table stores (see
+    /// [`transition_store`](crate::transition_store)), so a store built for
+    /// one parameterization can never be loaded for another.
+    ///
+    /// Defaults to `0` for unparameterized protocols.
+    fn fingerprint_param(&self) -> u64 {
+        0
+    }
 }
 
 /// A protocol whose complete state space can be enumerated.

@@ -151,6 +151,14 @@ impl<P: Protocol> TransitionTable<P> {
         self.inner.read().expect("transition table lock poisoned")
     }
 
+    /// Wraps already-validated contents, for the on-disk store loader
+    /// (see [`transition_store`](crate::transition_store)).
+    pub(crate) fn from_inner(inner: TableInner<P::State>) -> Self {
+        TransitionTable {
+            inner: RwLock::new(inner),
+        }
+    }
+
     pub(crate) fn write(&self) -> RwLockWriteGuard<'_, TableInner<P::State>> {
         self.inner.write().expect("transition table lock poisoned")
     }
