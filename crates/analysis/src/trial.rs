@@ -1,11 +1,13 @@
 //! One-shot protocol trials with a uniform measurement record, and the
 //! backend-dispatching [`TrialRunner`].
 
+use std::sync::Arc;
+
 use circles_core::Color;
 use pp_protocol::{
     Activity, CompactCountEngine, CountConfig, CountEngine, FrameworkError, Population, Protocol,
-    RunReport, Scheduler, Simulation, SparseActivity, TransitionTable, UniformCountScheduler,
-    UniformPairScheduler,
+    RunReport, Scheduler, Simulation, SparseActivity, TableSnapshot, TransitionTable,
+    UniformCountScheduler, UniformPairScheduler,
 };
 use rand::RngCore;
 
@@ -385,7 +387,7 @@ impl TrialRunner {
 
     /// Sets the directory [`run_cached`](Self::run_cached) persists
     /// discovered transition tables in, keyed by protocol identity
-    /// fingerprint — see [`TableCache`](crate::table_cache::TableCache).
+    /// fingerprint — see [`TableCache`].
     /// Without this, `run_cached` falls back to the `PP_TABLE_CACHE`
     /// environment variable, and with neither set behaves exactly like a
     /// warm [`run`](Self::run).
@@ -454,26 +456,42 @@ impl TrialRunner {
         }
         let max_steps = self.max_steps;
         let sweep = self.sweep_seed;
-        let trial = |seed: u64| {
-            run_count_trial_warm_rng(
+        let mut results = Vec::with_capacity(self.seeds.len());
+        let mut rest = &self.seeds[..];
+        if table.is_empty() {
+            if let Some((&first, tail)) = self.seeds.split_first() {
+                results.push(
+                    run_count_trial_warm_rng(
+                        protocol,
+                        inputs,
+                        trial_rng(sweep, first),
+                        expected,
+                        max_steps,
+                        table,
+                    )
+                    .expect("trial failed"),
+                );
+                rest = tail;
+            }
+        }
+        // The sweep's epoch snapshot: one cheap handle captured here, shared
+        // by every fanned-out trial. Trials still export their discoveries to
+        // `table` as they finish, but none of them re-derive a snapshot — the
+        // per-epoch view is what keeps warm materialization identical across
+        // thread counts.
+        let snap = table.snapshot();
+        results.extend(run_seeded(rest, self.threads, |seed| {
+            run_count_trial_warm_snap_rng(
                 protocol,
                 inputs,
                 trial_rng(sweep, seed),
                 expected,
                 max_steps,
+                &snap,
                 table,
             )
             .expect("trial failed")
-        };
-        let mut results = Vec::with_capacity(self.seeds.len());
-        let mut rest = &self.seeds[..];
-        if table.is_empty() {
-            if let Some((&first, tail)) = self.seeds.split_first() {
-                results.push(trial(first));
-                rest = tail;
-            }
-        }
-        results.extend(run_seeded(rest, self.threads, trial));
+        }));
         results
     }
 
@@ -729,6 +747,41 @@ where
         UniformCountScheduler::new(),
         rng,
         table,
+    );
+    let result = count_trial_outcome(&mut engine, expected, max_steps);
+    engine.export_to(table);
+    result
+}
+
+/// [`run_count_trial_warm_rng`] against a pre-captured epoch snapshot: the
+/// trial warm-starts from `snapshot` (no per-trial capture) and still
+/// publishes its discoveries to `table`. [`TrialRunner::run_with_table`]
+/// captures one snapshot per sweep and funnels every fanned-out trial
+/// through here.
+///
+/// # Errors
+///
+/// Propagates non-budget framework errors.
+pub fn run_count_trial_warm_snap_rng<P, R>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: R,
+    expected: Color,
+    max_steps: u64,
+    snapshot: &Arc<TableSnapshot<P::State>>,
+    table: &TransitionTable<P>,
+) -> Result<TrialResult, FrameworkError>
+where
+    P: Protocol<Output = Color>,
+    R: RngCore,
+{
+    let config: CountConfig<P::State> = inputs.iter().map(|i| protocol.input(i)).collect();
+    let mut engine = CompactCountEngine::<_, _, R>::with_snapshot_rng(
+        protocol,
+        config,
+        UniformCountScheduler::new(),
+        rng,
+        Arc::clone(snapshot),
     );
     let result = count_trial_outcome(&mut engine, expected, max_steps);
     engine.export_to(table);

@@ -27,7 +27,10 @@
 //! same slot set + export), `warm_sweep/discovery_call_ratio_x` (16 cold
 //! bills over the warm bill, in transition calls),
 //! `warm_sweep/discovery_time_ratio_x` (same in wall-clock),
-//! `warm_sweep/sweep_ns` (the end-to-end warm sweep).
+//! `warm_sweep/sweep_ns` (the end-to-end warm sweep),
+//! `warm_sweep/deep_snapshot_ns` / `warm_sweep/epoch_snapshot_ns` /
+//! `warm_sweep/snapshot_cost_ratio_x` (the deep-clone baseline vs the
+//! epoch-snapshot handle on the populated table, asserted ≥ 50×).
 
 use std::cell::Cell;
 use std::io::Write;
@@ -36,6 +39,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use circles_core::{CirclesProtocol, CirclesState};
+use pp_analysis::table_cache::TableCache;
 use pp_analysis::trial::{Backend, TrialRunner};
 use pp_analysis::workloads::{margin_workload, true_winner};
 use pp_protocol::{
@@ -199,7 +203,14 @@ fn bench_warm_sweep(c: &mut Criterion) {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    let table = TransitionTable::new();
+    // When a table cache is configured (CI shares the k = 30 store built by
+    // the `table-store` job via `PP_TABLE_CACHE`), start the sweep from the
+    // cached table instead of rediscovering it — trial reports are
+    // bit-identical either way, the cache only moves the discovery bill.
+    let table = match TableCache::from_env() {
+        Some(cache) => cache.load_or_empty(&protocol).0,
+        None => TransitionTable::new(),
+    };
     let mut runner = TrialRunner::new(Backend::Count).seeds(SEEDS);
     if threads > 0 {
         runner = runner.threads(threads);
@@ -223,6 +234,47 @@ fn bench_warm_sweep(c: &mut Criterion) {
         table.len(),
         table.active_pairs(),
         table.outcome_count(),
+    );
+
+    // Snapshot-cost gate: an epoch snapshot is an Arc bump plus a segment
+    // watermark, so against the deep-clone baseline (what every warm trial
+    // paid per capture before epoch snapshots) it must be >= 50x cheaper on
+    // this populated k = 30 table. Deep clones are sampled thrice (median);
+    // the cheap handle is amortized over a loop since a single capture sits
+    // at timer resolution.
+    let deep_snapshot_ns = {
+        let mut samples = [0f64; 3];
+        for s in &mut samples {
+            let start = Instant::now();
+            let deep = table.snapshot_deep();
+            *s = start.elapsed().as_nanos() as f64;
+            assert_eq!(deep.len(), table.len(), "deep clone covers the table");
+        }
+        samples.sort_by(|x, y| x.partial_cmp(y).expect("finite times"));
+        samples[1]
+    };
+    let epoch_snapshot_ns = {
+        const CAPTURES: u32 = 4096;
+        let start = Instant::now();
+        for _ in 0..CAPTURES {
+            std::hint::black_box(table.snapshot());
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(CAPTURES)
+    };
+    let snapshot_ratio = deep_snapshot_ns / epoch_snapshot_ns.max(1.0);
+    criterion::report_external("warm_sweep/deep_snapshot_ns", deep_snapshot_ns, 3);
+    criterion::report_external("warm_sweep/epoch_snapshot_ns", epoch_snapshot_ns, 1);
+    criterion::report_external("warm_sweep/snapshot_cost_ratio_x", snapshot_ratio, 1);
+    println!(
+        "warm_sweep: deep snapshot {:.1}us vs epoch snapshot {:.0}ns per capture \
+         => {snapshot_ratio:.0}x cheaper",
+        deep_snapshot_ns / 1e3,
+        epoch_snapshot_ns,
+    );
+    assert!(
+        snapshot_ratio >= 50.0,
+        "an epoch snapshot of a populated k = 30 table must be >= 50x cheaper \
+         than the deep-clone baseline, got {snapshot_ratio:.1}x"
     );
 
     // Timing-free trial report for the CI determinism diff: identical

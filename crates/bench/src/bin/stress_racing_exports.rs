@@ -1,0 +1,260 @@
+//! Many-thread stress harness for the lock-free transition-table publisher.
+//!
+//! ```text
+//! stress_racing_exports [--threads N] [--rounds R]
+//! ```
+//!
+//! Each round races `N` cold Circles engines (default 32, shifted
+//! workloads, distinct seeds) into one shared [`TransitionTable`] while a
+//! reader thread concurrently captures epoch snapshots and digests them
+//! twice — once mid-race, once after every writer joined. The round then
+//! asserts:
+//!
+//! 1. **Snapshot stability**: both digests of a handle captured mid-race
+//!    are identical — published segments are immutable, so a snapshot can
+//!    never change under its reader.
+//! 2. **Union completeness**: the racing table's state set equals the
+//!    union a serial replay of the same engines discovers, every ordered
+//!    pair is classified exactly as the protocol classifies it, and every
+//!    memoized outcome re-derives through the transition function.
+//! 3. **Snapshot coverage**: the final snapshot resolves every id
+//!    round-trip (`id_of(state(t)) == t`), i.e. each published segment is
+//!    reachable from the handle.
+//!
+//! When `PP_TABLE_CACHE` points at a cache holding the k = 30 store (CI's
+//! `table-store` artifact), a second phase re-runs the race warm: threads
+//! capture snapshots of the loaded table and export their (mostly
+//! deduplicated) rediscoveries back into it, exercising the
+//! outcome-only-segment path under contention.
+//!
+//! Exit status: `0` on success; any violated invariant panics (non-zero).
+//!
+//! This binary is the `concurrency` CI job's release-mode companion to the
+//! ThreadSanitizer suites: TSan watches the small tests for data races,
+//! this watches the real protocol at real thread counts for lost updates.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use circles_core::CirclesProtocol;
+use pp_analysis::table_cache::TableCache;
+use pp_analysis::workloads::margin_workload;
+use pp_protocol::{
+    CompactCountEngine, CountConfig, CountEngine, Protocol, TableSnapshot, TransitionTable,
+    UniformCountScheduler,
+};
+
+const K_COLD: u16 = 6;
+const N_AGENTS: usize = 240;
+const BUDGET: u64 = 2_000_000;
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Order-independent digest of everything a snapshot serves: states and
+/// both row orientations always; the `O(n²)` outcome scan only on small
+/// tables (the cold k = 6 rounds), where it is cheap.
+fn digest(snap: &TableSnapshot<<CirclesProtocol as Protocol>::State>) -> u64 {
+    let mut h = DefaultHasher::new();
+    snap.len().hash(&mut h);
+    for t in 0..snap.len().min(4096) as u32 {
+        snap.state(t).hash(&mut h);
+        snap.walk_out(t, |j| {
+            j.hash(&mut h);
+            true
+        });
+        snap.walk_in(t, |i| {
+            i.hash(&mut h);
+            true
+        });
+    }
+    if snap.len() <= 512 {
+        for t in 0..snap.len() as u32 {
+            for u in 0..snap.len() as u32 {
+                if let Some(out) = snap.outcome((t, u)) {
+                    (t, u, out).hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// The workload thread `t` of `threads` runs: the shared margin workload
+/// with colors rotated by thread id, so slices of the state space overlap
+/// without coinciding.
+fn thread_inputs(t: usize) -> Vec<circles_core::Color> {
+    margin_workload(N_AGENTS, K_COLD, N_AGENTS / 8)
+        .into_iter()
+        .map(|c| circles_core::Color((c.0 + t as u16) % K_COLD))
+        .collect()
+}
+
+/// Races `threads` cold engines into `table` while a reader digests a
+/// mid-race snapshot; returns that snapshot's two digests.
+fn race_cold(protocol: &CirclesProtocol, table: &TransitionTable<CirclesProtocol>, threads: usize) {
+    let writers_done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            // Capture mid-race (whatever has been published so far) and
+            // digest immediately; re-digest after the race in the caller.
+            while table.is_empty() && !writers_done.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            let snap = table.snapshot();
+            let first = digest(&snap);
+            (snap, first)
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for t in 0..threads {
+            workers.push(scope.spawn(move || {
+                let inputs = thread_inputs(t);
+                let mut engine = CountEngine::from_inputs(protocol, &inputs, t as u64 + 1);
+                let _ = engine.run_until_silent(BUDGET);
+                engine.export_to(table);
+            }));
+        }
+        for w in workers {
+            w.join().expect("writer thread");
+        }
+        writers_done.store(true, Ordering::Release);
+        let (snap, first) = reader.join().expect("reader thread");
+        assert_eq!(
+            digest(&snap),
+            first,
+            "a snapshot captured mid-race changed under its reader"
+        );
+    });
+}
+
+/// Serially replays the same engine fleet and checks the racing table
+/// against the serial union and the protocol itself.
+fn check_union(
+    protocol: &CirclesProtocol,
+    racing: &TransitionTable<CirclesProtocol>,
+    threads: usize,
+) {
+    let serial = TransitionTable::new();
+    for t in 0..threads {
+        let inputs = thread_inputs(t);
+        let mut engine = CountEngine::from_inputs(protocol, &inputs, t as u64 + 1);
+        let _ = engine.run_until_silent(BUDGET);
+        engine.export_to(&serial);
+    }
+    let (raced, reference) = (racing.dump(), serial.dump());
+    let mut raced_states = raced.states.clone();
+    let mut serial_states = reference.states.clone();
+    raced_states.sort_unstable();
+    serial_states.sort_unstable();
+    assert_eq!(
+        raced_states, serial_states,
+        "racing exports lost or invented states vs a serial replay"
+    );
+    for (i, si) in raced.states.iter().enumerate() {
+        for (j, sj) in raced.states.iter().enumerate() {
+            assert_eq!(
+                raced.rows[i].binary_search(&(j as u32)).is_ok(),
+                !protocol.is_null_interaction(si, sj),
+                "pair ({si:?}, {sj:?}) misclassified after racing exports"
+            );
+        }
+    }
+    for &((i, j), (a, b)) in &raced.outcomes {
+        let (ta, tb) = protocol.transition(&raced.states[i as usize], &raced.states[j as usize]);
+        assert_eq!(
+            (ta, tb),
+            (raced.states[a as usize], raced.states[b as usize]),
+            "memoized outcome ({i}, {j}) disagrees with the protocol"
+        );
+    }
+    // Every segment reachable: the final snapshot must resolve the whole
+    // id space round-trip.
+    let snap = racing.snapshot();
+    assert_eq!(snap.len(), racing.len());
+    for t in 0..snap.len() as u32 {
+        assert_eq!(
+            snap.id_of(snap.state(t)),
+            Some(t),
+            "id {t} does not round-trip through the final snapshot"
+        );
+    }
+}
+
+/// Optional warm phase against the cached k = 30 store: concurrent epoch
+/// captures plus racing warm trials that export back into the big table.
+fn warm_phase(threads: usize) {
+    let Some(cache) = TableCache::from_env() else {
+        return;
+    };
+    let protocol = CirclesProtocol::new(30).expect("k = 30 is valid");
+    let (table, status) = cache.load_or_empty(&protocol);
+    if table.is_empty() {
+        eprintln!("stress_racing_exports: no cached k=30 store ({status:?}); skipping warm phase");
+        return;
+    }
+    println!(
+        "warm phase: k=30 table loaded ({} states), racing {threads} warm trials",
+        table.len()
+    );
+    let pre = table.snapshot();
+    let before = digest(&pre);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            let protocol = &protocol;
+            scope.spawn(move || {
+                let inputs: Vec<_> = margin_workload(400, 30, 40)
+                    .into_iter()
+                    .map(|c| circles_core::Color((c.0 + t as u16) % 30))
+                    .collect();
+                let config: CountConfig<_> = inputs.iter().map(|i| protocol.input(i)).collect();
+                let mut engine = CompactCountEngine::with_table_parts(
+                    protocol,
+                    config,
+                    UniformCountScheduler::new(),
+                    t as u64 + 1,
+                    table,
+                );
+                let _ = engine.run_until_silent(BUDGET);
+                engine.export_to(table);
+            });
+        }
+    });
+    // The pre-race snapshot still digests identically: warm exports only
+    // appended, they never touched published segments.
+    assert_eq!(
+        digest(&pre),
+        before,
+        "the warm table's pre-race snapshot changed under racing exports"
+    );
+    println!(
+        "warm phase: ok ({} states after racing exports)",
+        table.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = flag(&args, "--threads", 32);
+    let rounds = flag(&args, "--rounds", 4);
+    let protocol = CirclesProtocol::new(K_COLD).expect("k is valid");
+    for round in 0..rounds {
+        let table = TransitionTable::new();
+        race_cold(&protocol, &table, threads);
+        check_union(&protocol, &table, threads);
+        println!(
+            "round {}/{rounds}: ok ({} states, {} outcomes, {threads} threads)",
+            round + 1,
+            table.len(),
+            table.outcome_count(),
+        );
+    }
+    warm_phase(threads);
+    ExitCode::SUCCESS
+}

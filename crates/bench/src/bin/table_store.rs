@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
+//!                     [--cache-dir DIR]
 //! table_store inspect PATH
 //! table_store verify  PATH [--k K] [--audit-pairs N]
 //! ```
@@ -13,11 +14,15 @@
 //! `build` discovers a Circles table — by default the states a 16-seed
 //! margin-workload sweep reaches (the set warm sweeps actually reuse), with
 //! `--full` the entire `k³` enumerable state space — and saves it
-//! atomically. `inspect` prints the verified header of any store without
-//! needing a protocol. `verify` loads the store (checksum + fingerprint +
-//! structural validation, zero protocol calls), then *audits* it by
-//! re-deriving pair activity and memoized outcomes through the protocol's
-//! own transition function, the one check loading deliberately skips.
+//! atomically; `--cache-dir` additionally drops the store into a
+//! [`TableCache`] directory under its fingerprint-keyed name, so anything
+//! honoring `PP_TABLE_CACHE` (warm sweeps, benches, the stress binary)
+//! picks it up without rebuilding. `inspect` prints the verified header of
+//! any store without needing a protocol. `verify` loads the store
+//! (checksum + fingerprint + structural validation, zero protocol calls),
+//! then *audits* it by re-deriving pair activity and memoized outcomes
+//! through the protocol's own transition function, the one check loading
+//! deliberately skips.
 //!
 //! Exit status: `0` on success, `1` on any store error, `2` on usage
 //! errors.
@@ -26,6 +31,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use circles_core::CirclesProtocol;
+use pp_analysis::table_cache::TableCache;
 use pp_analysis::trial::{Backend, TrialRunner};
 use pp_analysis::workloads::{margin_workload, true_winner};
 use pp_protocol::transition_store::{self, StoreMeta};
@@ -33,6 +39,7 @@ use pp_protocol::{CountConfig, CountEngine, EnumerableProtocol, Protocol, Transi
 
 const USAGE: &str = "usage:
   table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
+                      [--cache-dir DIR]
   table_store inspect PATH
   table_store verify  PATH [--k K] [--audit-pairs N]";
 
@@ -140,6 +147,16 @@ fn build(args: &[String]) -> Result<(), Failure> {
     let meta = transition_store::save(&table, &protocol, &out)?;
     eprintln!("wrote {}", out.display());
     print_meta(&meta);
+
+    // Optionally publish the same table into a cache directory under its
+    // fingerprint-keyed name — the handoff CI uses to share one build with
+    // every job that sets PP_TABLE_CACHE. Saving is deterministic, so this
+    // file is byte-identical to `out`.
+    if let Some(dir) = flag_value::<PathBuf>(args, "--cache-dir")? {
+        let cache = TableCache::new(dir);
+        cache.store(&protocol, &table)?;
+        eprintln!("cached {}", cache.path_for(&protocol).display());
+    }
     Ok(())
 }
 

@@ -150,6 +150,12 @@ pub trait Activity: PairSampling + Default {
     /// [`TransitionTable`](crate::TransitionTable).
     fn walk_out(&self, i: usize, f: &mut dyn FnMut(usize));
 
+    /// Visits the active in-neighbors of slot `j` (initiators `i` with
+    /// `(i, j)` active) in ascending order — the column-export hook
+    /// segment publication uses to build in-row extensions without a
+    /// transpose pass.
+    fn walk_in(&self, j: usize, f: &mut dyn FnMut(usize));
+
     /// Number of active ordered pairs currently stored.
     fn active_pairs(&self) -> usize;
 
@@ -319,9 +325,13 @@ impl CompactRow {
                 *last = id;
                 *len += 1;
                 // Bitset payload is slots/8 bytes; the +8 slack keeps tiny
-                // rows from flip-flopping representations.
+                // rows from flip-flopping representations. Ids may exceed
+                // `slots` (segment extension rows address columns past their
+                // own row count), so the block count covers the largest
+                // stored id too.
                 if bytes.len() > slots / 8 + 8 {
-                    let mut blocks = vec![0u64; slots.div_ceil(64)];
+                    let blocks_len = slots.div_ceil(64).max(id as usize / 64 + 1);
+                    let mut blocks = vec![0u64; blocks_len];
                     let count = *len;
                     self.walk(|j| {
                         blocks[j as usize / 64] |= 1 << (j % 64);
@@ -942,6 +952,13 @@ impl<R: AdjStore> Activity for AdjActivity<R> {
         });
     }
 
+    fn walk_in(&self, j: usize, f: &mut dyn FnMut(usize)) {
+        self.adj.walk_in(j, |i| {
+            f(i);
+            true
+        });
+    }
+
     fn active_pairs(&self) -> usize {
         self.adj.pairs()
     }
@@ -1109,6 +1126,14 @@ impl Activity for DenseActivity {
         for j in 0..self.slots {
             if !self.null[i * self.stride + j] {
                 f(j);
+            }
+        }
+    }
+
+    fn walk_in(&self, j: usize, f: &mut dyn FnMut(usize)) {
+        for i in 0..self.slots {
+            if !self.null[i * self.stride + j] {
+                f(i);
             }
         }
     }

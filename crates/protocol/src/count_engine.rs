@@ -26,20 +26,21 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::hashing::FxBuildHasher;
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use crate::activity::{Activity, CompactActivity, DenseActivity, SparseActivity};
+use crate::activity::{Activity, AdjRows, CompactActivity, DenseActivity, SparseActivity};
 use crate::config::CountConfig;
 use crate::count_trace::CountTrace;
 use crate::error::FrameworkError;
 use crate::protocol::Protocol;
 use crate::scheduler::{CountScheduler, CountView, UniformCountScheduler};
 use crate::simulation::{RunReport, SimStats};
-use crate::transition_table::{TableSnapshot, TransitionTable};
+use crate::transition_table::{Segment, TableSnapshot, TransitionTable};
 
 /// Count-based, change-point-batched simulation engine.
 ///
@@ -110,10 +111,11 @@ pub struct CountEngine<'p, P: Protocol, CS = UniformCountScheduler, A = SparseAc
     warm: Option<WarmState<P::State>>,
 }
 
-/// The warm-start lookup state of a [`CountEngine`]: the table snapshot and
-/// the lazily grown engine-slot ↔ table-id correspondence.
+/// The warm-start lookup state of a [`CountEngine`]: the shared epoch
+/// snapshot handle and the lazily grown engine-slot ↔ table-id
+/// correspondence.
 struct WarmState<S> {
-    snap: TableSnapshot<S>,
+    snap: Arc<TableSnapshot<S>>,
     /// Engine slot → table id; [`NO_ID`] for states the table never saw.
     tids: Vec<u32>,
     /// Table id → engine slot; [`NO_ID`] while unmaterialized.
@@ -131,7 +133,7 @@ struct WarmState<S> {
 const NO_ID: u32 = u32::MAX;
 
 impl<S> WarmState<S> {
-    fn new(snap: TableSnapshot<S>) -> Self {
+    fn new(snap: Arc<TableSnapshot<S>>) -> Self {
         let len = snap.len();
         WarmState {
             snap,
@@ -328,9 +330,36 @@ where
         rng: R,
         table: &TransitionTable<P>,
     ) -> Self {
+        Self::with_snapshot_rng(protocol, config, scheduler, rng, table.snapshot())
+    }
+
+    /// Like [`with_table_rng`](Self::with_table_rng), but against an
+    /// already-captured [`TableSnapshot`] handle: construction is an `Arc`
+    /// refcount bump, so a sweep captures one snapshot per epoch
+    /// ([`TransitionTable::snapshot`]) and shares it across every trial of
+    /// the epoch. The canonical-order contract of
+    /// [`with_table_parts`](Self::with_table_parts) holds unchanged —
+    /// snapshots are lookup oracles, so which epoch's snapshot a trial got
+    /// never affects its trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration holds more than `2^63 − 1` agents.
+    pub fn with_snapshot_rng(
+        protocol: &'p P,
+        config: CountConfig<P::State>,
+        scheduler: CS,
+        rng: R,
+        snapshot: Arc<TableSnapshot<P::State>>,
+    ) -> Self {
         let mut engine = Self::empty(protocol, scheduler, rng, config.distinct());
-        if !table.is_empty() {
-            engine.warm = Some(WarmState::new(table.snapshot(engine.symmetric)));
+        if !snapshot.is_empty() {
+            debug_assert_eq!(
+                snapshot.symmetric(),
+                engine.symmetric,
+                "snapshot and engine disagree on adjacency symmetry"
+            );
+            engine.warm = Some(WarmState::new(snapshot));
         }
         engine.seed_config(config);
         engine
@@ -627,9 +656,9 @@ where
             let ai = self.ensure_slot(a);
             let bi = self.ensure_slot(b);
             if self.outcomes.len() < OUTCOME_MEMO_CAP {
-                // Not pushed to `new_outcomes`: the snapshot's source table
-                // already holds this entry, and warm engines export through
-                // the general merge (which re-proposes the whole memo).
+                // Not pushed to `new_outcomes`: the snapshot's source
+                // segments already publish this entry, so exporting it
+                // again would only be deduplicated away.
                 self.outcomes.insert(key, (ai as u32, bi as u32));
             }
             (ai, bi)
@@ -688,11 +717,8 @@ where
         if ti == NO_ID || tj == NO_ID {
             return None;
         }
-        let &(ta, tb) = warm.snap.outcomes.get(&(ti, tj))?;
-        Some((
-            warm.snap.states[ta as usize].clone(),
-            warm.snap.states[tb as usize].clone(),
-        ))
+        let (ta, tb) = warm.snap.outcome((ti, tj))?;
+        Some((warm.snap.state(ta).clone(), warm.snap.state(tb).clone()))
     }
 
     /// Moves one agent from output class `outs[from]` to `outs[to]`.
@@ -730,7 +756,7 @@ where
         self.states.push(state);
         self.counts.push(0);
         if let Some(warm) = &mut self.warm {
-            let tid = warm.snap.index.get(&self.states[idx]).copied();
+            let tid = warm.snap.id_of(&self.states[idx]);
             if let Some(tid) = tid {
                 warm.tids.push(tid);
                 warm.slot_of_tid[tid as usize] = idx as u32;
@@ -779,7 +805,7 @@ where
                         warm.in_buf.push(e);
                     }
                 }
-                let diag = warm.snap.rows.contains(tid as usize, tid as usize);
+                let diag = warm.snap.contains(tid, tid);
                 warm.out_buf.sort_unstable();
                 warm.in_buf.sort_unstable();
                 self.activity
@@ -830,107 +856,135 @@ where
         table
     }
 
-    /// Merges this engine's discovered structure — states, pair activity,
-    /// applied transition outcomes — into `table`, so later engines can
-    /// [warm-start](Self::with_table_parts) from it.
+    /// Publishes this engine's discovered structure — novel states, pair
+    /// activity, applied transition outcomes — into `table`, so later
+    /// engines can [warm-start](Self::with_table_parts) from it.
     ///
-    /// A cold engine exporting into an empty table appends in one
-    /// `O(slots + pairs)` pass. Every other export takes the general merge:
-    /// existing table states resolve by hash lookup, and states the table
-    /// knows that this engine never materialized are classified against the
-    /// engine's novel states with direct protocol calls, keeping the table
-    /// complete over all its states. Exports never affect any engine's
-    /// trajectory — tables are lookup oracles, not slot orderings — so
-    /// racing exports from a multi-threaded sweep stay safe.
-    // The merge loops index `tid_of`/`engine_of` while appending to them
-    // mid-iteration; an iterator form would hide that growth.
-    #[allow(clippy::needless_range_loop)]
+    /// Publication is lock-free: the engine captures the table's current
+    /// tip, builds one immutable segment extending it (novel states in
+    /// canonical slot order; states the table holds that this engine never
+    /// materialized are classified against the novel ones with direct
+    /// protocol calls, keeping the table complete over all its states), and
+    /// appends it with a compare-and-swap-style install. Losing a race to
+    /// another publisher costs a rebuild against the new tip — typically
+    /// cheaper, because the winner's segment resolves most states by hash
+    /// lookup. A fully-known engine with no new outcomes publishes nothing.
+    /// Exports never affect any engine's trajectory — tables are lookup
+    /// oracles, not slot orderings — so racing exports from a
+    /// multi-threaded sweep stay safe.
     pub fn export_to(&self, table: &TransitionTable<P>) {
-        let mut inner = table.write();
+        loop {
+            let tip = table.capture();
+            let Some(seg) = self.build_segment(&tip) else {
+                return;
+            };
+            if table.try_install(tip.segment_count(), seg) {
+                return;
+            }
+        }
+    }
+
+    /// Builds the segment extending `tip` with everything this engine knows
+    /// that `tip` does not; `None` when there is nothing to publish.
+    fn build_segment(&self, tip: &TableSnapshot<P::State>) -> Option<Segment<P::State>> {
         let slots = self.slots();
-        // Fast path: a cold engine exporting into a still-empty table (the
-        // `warm_table()` case) appends its whole structure in slot order.
-        // Warm engines always merge: their slot order is the canonical
-        // trajectory order, not the table's id order, so ids must be
-        // re-mapped pair by pair.
-        if self.warm.is_none() && inner.states.is_empty() {
-            for slot in 0..slots {
-                let state = self.states[slot].clone();
-                inner.index.insert(state.clone(), slot as u32);
-                inner.states.push(state);
-                inner.rows.push_slot();
+        let base = tip.len() as u32;
+        // `engine_of[gid]` is the engine slot of table state `gid`, if the
+        // engine knows it; `tid_of[slot]` maps every engine slot to its
+        // global id (existing, or freshly assigned past `base`).
+        let mut engine_of: Vec<u32> = vec![NO_ID; base as usize];
+        let mut tid_of: Vec<u32> = vec![NO_ID; slots];
+        tip.for_each_state(|gid, s| {
+            if let Some(&slot) = self.index.get(s) {
+                engine_of[gid as usize] = slot as u32;
+                tid_of[slot] = gid;
             }
-            let rows = &mut inner.rows;
-            for i in 0..slots {
-                self.activity.walk_out(i, &mut |j| {
-                    rows.push(i, j);
-                });
-            }
-            for &(k, v) in &self.new_outcomes {
-                inner.outcomes.entry(k).or_insert(v);
-            }
-            return;
-        }
-        // Slow path: the table advanced past this engine's snapshot.
-        // `engine_of[tid]` is the engine slot of table state `tid`, if the
-        // engine knows it; `tid_of[slot]` the reverse.
-        let mut engine_of: Vec<Option<usize>> = inner
-            .states
-            .iter()
-            .map(|s| self.index.get(s).copied())
+        });
+        let novel: Vec<u32> = (0..slots as u32)
+            .filter(|&s| tid_of[s as usize] == NO_ID)
             .collect();
-        let mut tid_of: Vec<Option<u32>> = vec![None; slots];
-        for (tid, slot) in engine_of.iter().enumerate() {
-            if let Some(slot) = slot {
-                tid_of[*slot] = Some(tid as u32);
+        for (r, &s) in novel.iter().enumerate() {
+            tid_of[s as usize] = base + r as u32;
+        }
+        // Protocol-discovered outcomes the tip does not already publish.
+        let mut outcomes = HashMap::with_hasher(FxBuildHasher::default());
+        for &((i, j), (a, b)) in &self.new_outcomes {
+            let key = (tid_of[i as usize], tid_of[j as usize]);
+            if tip.outcome(key).is_none() {
+                outcomes
+                    .entry(key)
+                    .or_insert((tid_of[a as usize], tid_of[b as usize]));
             }
         }
-        for slot in 0..slots {
-            if tid_of[slot].is_some() {
-                continue;
+        if novel.is_empty() && outcomes.is_empty() {
+            return None;
+        }
+        let mut rows = AdjRows::new();
+        for _ in 0..novel.len() {
+            rows.push_slot();
+        }
+        let mut ext = AdjRows::new();
+        if !novel.is_empty() {
+            for _ in 0..base {
+                ext.push_slot();
             }
-            let state = self.states[slot].clone();
-            let u = inner.states.len();
-            inner.index.insert(state.clone(), u as u32);
-            inner.states.push(state);
-            inner.rows.push_slot();
-            tid_of[slot] = Some(u as u32);
-            engine_of.push(Some(slot));
-            for v in 0..=u {
-                let (uv, vu) = match engine_of[v] {
-                    Some(ev) => (
-                        self.activity.is_active(slot, ev),
-                        self.activity.is_active(ev, slot),
-                    ),
-                    None => {
-                        // A state another engine raced into the table; the
-                        // protocol classifies the cross pairs directly.
-                        let su = &inner.states[u];
-                        let sv = &inner.states[v];
-                        let uv = !self.protocol.is_null_interaction(su, sv);
-                        let vu = if self.symmetric {
-                            uv
-                        } else {
-                            !self.protocol.is_null_interaction(sv, su)
-                        };
-                        (uv, vu)
-                    }
+        }
+        // Tip states this engine never materialized (raced in by other
+        // publishers): their pairs against the novel states are classified
+        // through the protocol directly, keeping the table complete.
+        let unknown: Vec<u32> = (0..base)
+            .filter(|&g| engine_of[g as usize] == NO_ID)
+            .collect();
+        let mut out_buf: Vec<u32> = Vec::new();
+        let mut in_buf: Vec<u32> = Vec::new();
+        for (r, &slot) in novel.iter().enumerate() {
+            let u = slot as usize;
+            out_buf.clear();
+            in_buf.clear();
+            self.activity.walk_out(u, &mut |e| out_buf.push(tid_of[e]));
+            self.activity.walk_in(u, &mut |e| in_buf.push(tid_of[e]));
+            let su = &self.states[u];
+            for &g in &unknown {
+                let sv = tip.state(g);
+                if !self.protocol.is_null_interaction(su, sv) {
+                    out_buf.push(g);
+                }
+                let mirrored = if self.symmetric {
+                    out_buf.last() == Some(&g)
+                } else {
+                    !self.protocol.is_null_interaction(sv, su)
                 };
-                if uv {
-                    inner.rows.push(u, v);
+                if mirrored {
+                    in_buf.push(g);
                 }
-                if vu && v != u {
-                    inner.rows.push(v, u);
+            }
+            // Engine-slot order is not global-id order, so the mapped ids
+            // need one sort before the ascending row appends.
+            out_buf.sort_unstable();
+            in_buf.sort_unstable();
+            for &j in &out_buf {
+                rows.push(r, j as usize);
+            }
+            for &i in &in_buf {
+                // In-edges from novel initiators live in those initiators'
+                // own out-rows; only earlier ids extend `ext`.
+                if i < base {
+                    ext.push(i as usize, base as usize + r);
                 }
             }
         }
-        for (&(i, j), &(a, b)) in &self.outcomes {
-            let tid = |s: u32| tid_of[s as usize].expect("every engine slot has a table id");
-            inner
-                .outcomes
-                .entry((tid(i), tid(j)))
-                .or_insert((tid(a), tid(b)));
-        }
+        let states = novel
+            .iter()
+            .map(|&s| self.states[s as usize].clone())
+            .collect();
+        Some(Segment::new(
+            base,
+            states,
+            rows,
+            ext,
+            outcomes,
+            self.symmetric,
+        ))
     }
 }
 

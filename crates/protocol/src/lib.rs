@@ -110,4 +110,4 @@ pub use simulation::{RunReport, SimStats, Simulation, StepReport};
 pub use time::{parallel_time, GillespieClock};
 pub use trace::InteractionTrace;
 pub use transition_store::{AuditReport, StoreError, StoreMeta};
-pub use transition_table::{TableDump, TransitionTable};
+pub use transition_table::{TableDump, TableSnapshot, TransitionTable};

@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::activity::{AdjRows, RowRepr};
 use crate::hashing::FxBuildHasher;
 use crate::protocol::Protocol;
-use crate::transition_table::{TableInner, TransitionTable};
+use crate::transition_table::TransitionTable;
 
 /// Current (and only) format version this build writes and reads.
 pub const FORMAT_VERSION: u32 = 1;
@@ -419,17 +419,22 @@ where
     P: Protocol,
     P::State: Display,
 {
-    let inner = table.read();
-    let slots = inner.states.len();
+    // One immutable view of the whole segment chain; single-segment tables
+    // (the common case: a store is usually saved right after one discovery
+    // pass or one load) expose their rows zero-copy, multi-segment tables
+    // consolidate into the canonical flat representation first.
+    let snap = table.snapshot();
+    let rows = snap.flat_rows();
+    let slots = snap.len();
 
     let name = protocol.name().as_bytes().to_vec();
 
     let mut states_sec = Vec::new();
-    for state in &inner.states {
+    snap.for_each_state(|_, state| {
         let text = state.to_string();
         push_varint(&mut states_sec, text.len() as u64);
         states_sec.extend_from_slice(text.as_bytes());
-    }
+    });
 
     // Rows: per row a varint count, then (when non-empty) a flag byte
     // selecting the row's in-memory representation — a delta-varint id
@@ -438,9 +443,9 @@ where
     // canonical; persisting the bitsets verbatim is what lets the dense
     // bulk of a discovered table load back as word copies.
     let row_words = slots.div_ceil(64);
-    let mut rows_sec = Vec::with_capacity(inner.rows.bytes() + 2 * slots);
+    let mut rows_sec = Vec::with_capacity(rows.bytes() + 2 * slots);
     for i in 0..slots {
-        let repr = inner.rows.row_repr(i);
+        let repr = rows.row_repr(i);
         let (RowRepr::Sparse { len, .. } | RowRepr::Dense { len, .. }) = repr;
         push_varint(&mut rows_sec, u64::from(len));
         if len == 0 {
@@ -466,8 +471,7 @@ where
 
     // Outcomes sorted by key pair, so the encoding is canonical: equal
     // tables produce byte-identical files.
-    let mut outcome_list: Vec<_> = inner.outcomes.iter().map(|(&k, &v)| (k, v)).collect();
-    outcome_list.sort_unstable();
+    let outcome_list = snap.sorted_outcomes();
     let mut outcomes_sec = Vec::with_capacity(outcome_list.len() * 4);
     for ((i, j), (a, b)) in &outcome_list {
         for v in [i, j, a, b] {
@@ -478,9 +482,8 @@ where
     let symmetric = protocol.is_symmetric();
     let fp = fingerprint(protocol);
     let param = protocol.fingerprint_param();
-    let pairs = inner.rows.pairs() as u64;
+    let pairs = rows.pairs() as u64;
     let n_outcomes = outcome_list.len() as u64;
-    drop(inner);
 
     let body_len = name.len() + states_sec.len() + rows_sec.len() + outcomes_sec.len();
     let mut file = Vec::with_capacity(HEADER_LEN + body_len);
@@ -779,12 +782,9 @@ where
     }
     cur.finish()?;
 
-    Ok(TransitionTable::from_inner(TableInner {
-        states,
-        index,
-        rows,
-        outcomes,
-    }))
+    Ok(TransitionTable::from_parts(
+        states, rows, outcomes, symmetric,
+    ))
 }
 
 /// Reads and verifies only the header (plus the name section) of a store
@@ -843,17 +843,17 @@ pub fn audit<P: Protocol>(
     table: &TransitionTable<P>,
     max_pairs: u64,
 ) -> Result<AuditReport, StoreError> {
-    let inner = table.read();
-    let n = inner.states.len();
+    let snap = table.snapshot();
+    let n = snap.len();
     let mut pairs_checked = 0u64;
-    'pairs: for i in 0..n {
-        for j in 0..n {
+    'pairs: for i in 0..n as u32 {
+        for j in 0..n as u32 {
             if pairs_checked >= max_pairs {
                 break 'pairs;
             }
-            let (si, sj) = (&inner.states[i], &inner.states[j]);
+            let (si, sj) = (snap.state(i), snap.state(j));
             let active = !protocol.is_null_interaction(si, sj);
-            if inner.rows.contains(i, j) != active {
+            if snap.contains(i, j) != active {
                 return Err(StoreError::AuditMismatch(format!(
                     "pair ({si:?}, {sj:?}) stored as {} but the protocol says {}",
                     if active { "null" } else { "active" },
@@ -864,12 +864,12 @@ pub fn audit<P: Protocol>(
         }
     }
     let mut outcomes_checked = 0u64;
-    for (&(i, j), &(a, b)) in &inner.outcomes {
+    for ((i, j), (a, b)) in snap.sorted_outcomes() {
         if outcomes_checked >= max_pairs {
             break;
         }
-        let (ta, tb) = protocol.transition(&inner.states[i as usize], &inner.states[j as usize]);
-        if ta != inner.states[a as usize] || tb != inner.states[b as usize] {
+        let (ta, tb) = protocol.transition(snap.state(i), snap.state(j));
+        if &ta != snap.state(a) || &tb != snap.state(b) {
             return Err(StoreError::AuditMismatch(format!(
                 "outcome of pair ({i}, {j}) disagrees with the protocol"
             )));

@@ -12,10 +12,28 @@
 //! (`O(slots + pairs)`, zero protocol calls) and only pays discovery for
 //! states the table has never seen.
 //!
-//! The table is `Sync` (interior `RwLock`) and designed to be shared —
-//! behind an `Arc` or plain reference — across the threads of a multi-seed
-//! sweep: `TrialRunner` in `pp_analysis` threads one table through all
-//! trials, so seeds `2..N` pay near-zero discovery.
+//! # Lock-free segments and epoch snapshots
+//!
+//! The table is a chain of immutable, `Arc`-shared **segments**. Each
+//! segment owns a band of state ids `[base, end)` together with every pair
+//! classification and outcome first discovered alongside those states, and
+//! is frozen at publication: readers never observe a segment changing.
+//! Publication ([`CountEngine::export_to`](crate::CountEngine::export_to))
+//! builds a candidate segment against the observed tip and installs it with
+//! a single compare-and-swap-like append on the chain's tail (a `OnceLock`
+//! next-pointer); losing a race costs a rebuild against the new tip, never
+//! a lock. Readers — [`len`](TransitionTable::len),
+//! [`dump`](TransitionTable::dump), snapshots — walk the chain without
+//! blocking writers and vice versa.
+//!
+//! A [`TableSnapshot`] is therefore a *handle*: a vector of segment `Arc`s
+//! plus their id boundaries. [`TransitionTable::snapshot`] memoizes the
+//! latest handle, so capturing the snapshot for a new warm trial is a
+//! refcount bump, not a deep copy — `TrialRunner` in `pp_analysis` captures
+//! one snapshot per sweep epoch and shares it across every trial of the
+//! epoch. The pre-segment deep-copy path is kept as
+//! [`TransitionTable::snapshot_deep`], the measured baseline of the
+//! `warm_sweep` bench gate.
 //!
 //! # Example
 //!
@@ -46,30 +64,118 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::activity::AdjRows;
 use crate::hashing::FxBuildHasher;
 use crate::protocol::Protocol;
 
-/// The interior of a [`TransitionTable`]: canonical states, activity rows
-/// and memoized outcomes. Crate-visible so the engine can bulk-load and
-/// merge under one lock acquisition.
+/// One immutable band of a [`TransitionTable`]: the states with ids
+/// `[base, base + states.len())`, every pair classification involving at
+/// least one of them, and the outcomes first published alongside them.
+/// Frozen at construction — concurrency safety rests on segments never
+/// mutating after they enter the chain.
 #[derive(Debug)]
-pub(crate) struct TableInner<S> {
-    /// States in canonical (first-export) order; ids are indices here.
-    pub(crate) states: Vec<S>,
-    /// State → canonical id.
-    pub(crate) index: HashMap<S, u32, FxBuildHasher>,
-    /// Row `i`: ids `j` (ascending) with the ordered pair `(i, j)` active,
-    /// in the compressed per-row representation (so compact warm loads are
-    /// near-memcpy). Pairs absent from a row are null — the table always
-    /// classifies *every* ordered pair over its states.
-    pub(crate) rows: AdjRows,
-    /// Applied transition outcomes: active id pair → resulting id pair.
-    /// Populated lazily (only pairs that actually fired), so it stays far
-    /// smaller than the full active set.
-    pub(crate) outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+pub(crate) struct Segment<S> {
+    /// First id owned by this segment.
+    base: u32,
+    /// States in id order; `states[r]` has id `base + r`.
+    states: Vec<S>,
+    /// State → *global* id, for this segment's states only.
+    index: HashMap<S, u32, FxBuildHasher>,
+    /// Out-rows of the new states: row `r` holds every id `j < end` with
+    /// `(base + r, j)` active, ascending.
+    rows: AdjRows,
+    /// Out-row *extensions* of earlier states: row `v < base` holds every
+    /// id `j ∈ [base, end)` with `(v, j)` active, ascending. Empty (zero
+    /// rows) when the segment publishes no states.
+    ext: AdjRows,
+    /// In-rows of the new states (initiators `i < end` of `(i, base + r)`),
+    /// `None` when the adjacency is symmetric (in-rows equal out-rows).
+    ins: Option<AdjRows>,
+    /// In-row extensions of earlier states: row `v < base` holds every
+    /// initiator `i ∈ [base, end)` of `(i, v)`. `None` when symmetric.
+    ins_ext: Option<AdjRows>,
+    /// Outcomes first published by this segment, keyed by global id pair;
+    /// deduplicated against every earlier segment at build time.
+    outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+    /// Whether the adjacency was declared symmetric by the publisher.
+    symmetric: bool,
+}
+
+impl<S: Clone + Eq + Hash> Segment<S> {
+    /// Builds a segment from its published pairs. `rows` must hold one row
+    /// per state (ascending ids over `[0, end)`), `ext` one row per earlier
+    /// id (ascending ids over `[base, end)`) — or zero rows when `states`
+    /// is empty. The state index and (for asymmetric adjacencies) both
+    /// in-row sets are derived here, once, so every reader gets `O(row)`
+    /// in-neighbor queries for free.
+    pub(crate) fn new(
+        base: u32,
+        states: Vec<S>,
+        rows: AdjRows,
+        ext: AdjRows,
+        outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+        symmetric: bool,
+    ) -> Self {
+        let mut index = HashMap::with_capacity_and_hasher(states.len(), FxBuildHasher::default());
+        for (r, s) in states.iter().enumerate() {
+            index.insert(s.clone(), base + r as u32);
+        }
+        let (ins, ins_ext) = if symmetric || states.is_empty() {
+            (None, None)
+        } else {
+            let b = base as usize;
+            let mut ins = AdjRows::new();
+            for _ in 0..states.len() {
+                ins.push_slot();
+            }
+            let mut ins_ext = AdjRows::new();
+            for _ in 0..b {
+                ins_ext.push_slot();
+            }
+            // Old → new edges land first (initiator ids < base), then new →
+            // new edges in ascending initiator order, so every in-row is
+            // built ascending.
+            for v in 0..b {
+                ext.walk(v, |j| {
+                    ins.push(j - b, v);
+                    true
+                });
+            }
+            for r in 0..states.len() {
+                rows.walk(r, |j| {
+                    if j >= b {
+                        ins.push(j - b, b + r);
+                    } else {
+                        ins_ext.push(j, b + r);
+                    }
+                    true
+                });
+            }
+            (Some(ins), Some(ins_ext))
+        };
+        Segment {
+            base,
+            states,
+            index,
+            rows,
+            ext,
+            ins,
+            ins_ext,
+            outcomes,
+            symmetric,
+        }
+    }
+}
+
+impl<S> Segment<S> {
+    /// One past the last id owned by this segment.
+    fn end(&self) -> u32 {
+        self.base + self.states.len() as u32
+    }
 }
 
 /// An owned, comparable copy of a table's contents — states in canonical
@@ -85,10 +191,26 @@ pub struct TableDump<S> {
     pub outcomes: Vec<((u32, u32), (u32, u32))>,
 }
 
-/// Append-only, `Sync` cache of a protocol's discovered structure; see the
-/// [module docs](self).
+/// One link of the lock-free segment chain. The `next` pointer is a
+/// `OnceLock`: set-once semantics give publication its atomic append (a
+/// failed `set` means another publisher won the race) without any unsafe
+/// code, and `get` is a lock-free read after initialization.
+#[derive(Debug)]
+struct SegNode<S> {
+    seg: Arc<Segment<S>>,
+    next: OnceLock<Arc<SegNode<S>>>,
+}
+
+/// Append-only, lock-free cache of a protocol's discovered structure; see
+/// the [module docs](self).
 pub struct TransitionTable<P: Protocol> {
-    inner: RwLock<TableInner<P::State>>,
+    /// First chain link; empty tables have none.
+    head: OnceLock<Arc<SegNode<P::State>>>,
+    /// Number of installed segments (monotone; may briefly lag the chain).
+    segs: AtomicUsize,
+    /// Latest snapshot handle, reused while the chain has not grown — this
+    /// is what makes per-trial snapshot capture a refcount bump.
+    cache: Mutex<Option<Arc<TableSnapshot<P::State>>>>,
 }
 
 impl<P: Protocol> Default for TransitionTable<P> {
@@ -101,18 +223,26 @@ impl<P: Protocol> TransitionTable<P> {
     /// An empty table.
     pub fn new() -> Self {
         TransitionTable {
-            inner: RwLock::new(TableInner {
-                states: Vec::new(),
-                index: HashMap::with_hasher(FxBuildHasher::default()),
-                rows: AdjRows::new(),
-                outcomes: HashMap::with_hasher(FxBuildHasher::default()),
-            }),
+            head: OnceLock::new(),
+            segs: AtomicUsize::new(0),
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Visits every installed segment in chain order.
+    fn for_each_segment(&self, mut f: impl FnMut(&Segment<P::State>)) {
+        let mut node = self.head.get();
+        while let Some(n) = node {
+            f(&n.seg);
+            node = n.next.get();
         }
     }
 
     /// Number of states the table knows.
     pub fn len(&self) -> usize {
-        self.read().states.len()
+        let mut len = 0;
+        self.for_each_segment(|seg| len += seg.states.len());
+        len
     }
 
     /// Whether the table knows no states yet.
@@ -122,120 +252,393 @@ impl<P: Protocol> TransitionTable<P> {
 
     /// Number of active ordered pairs the table has classified.
     pub fn active_pairs(&self) -> usize {
-        self.read().rows.pairs()
+        let mut pairs = 0;
+        self.for_each_segment(|seg| pairs += seg.rows.pairs() + seg.ext.pairs());
+        pairs
     }
 
-    /// Heap bytes the table devotes to pair adjacency.
+    /// Heap bytes the table devotes to (forward) pair adjacency.
     pub fn adjacency_bytes(&self) -> usize {
-        self.read().rows.bytes()
+        let mut bytes = 0;
+        self.for_each_segment(|seg| bytes += seg.rows.bytes() + seg.ext.bytes());
+        bytes
     }
 
-    /// Number of memoized transition outcomes.
+    /// Number of memoized transition outcomes. Exact: publication
+    /// deduplicates a segment's outcomes against the chain it extends.
     pub fn outcome_count(&self) -> usize {
-        self.read().outcomes.len()
+        let mut count = 0;
+        self.for_each_segment(|seg| count += seg.outcomes.len());
+        count
     }
 
     /// An owned copy of the full contents, for equality assertions.
     pub fn dump(&self) -> TableDump<P::State> {
-        let inner = self.read();
-        let mut outcomes: Vec<_> = inner.outcomes.iter().map(|(&k, &v)| (k, v)).collect();
-        outcomes.sort_unstable();
+        let snap = self.capture();
+        let mut states = Vec::with_capacity(snap.len());
+        snap.for_each_state(|_, s| states.push(s.clone()));
+        let rows = (0..snap.len() as u32)
+            .map(|i| {
+                let mut row = Vec::new();
+                snap.walk_out(i, |j| {
+                    row.push(j as u32);
+                    true
+                });
+                row
+            })
+            .collect();
         TableDump {
-            states: inner.states.clone(),
-            rows: inner.rows.to_vecs(),
-            outcomes,
+            states,
+            rows,
+            outcomes: snap.sorted_outcomes(),
         }
     }
 
-    pub(crate) fn read(&self) -> RwLockReadGuard<'_, TableInner<P::State>> {
-        self.inner.read().expect("transition table lock poisoned")
-    }
-
-    /// Wraps already-validated contents, for the on-disk store loader
-    /// (see [`transition_store`](crate::transition_store)).
-    pub(crate) fn from_inner(inner: TableInner<P::State>) -> Self {
-        TransitionTable {
-            inner: RwLock::new(inner),
+    /// Collects the current chain into a fresh snapshot handle — `Arc`
+    /// clones only, no contents are copied. Readers of the result observe
+    /// the chain as of this call, forever.
+    pub(crate) fn capture(&self) -> TableSnapshot<P::State> {
+        let mut segments = Vec::new();
+        let mut bounds = Vec::new();
+        let mut node = self.head.get();
+        while let Some(n) = node {
+            segments.push(Arc::clone(&n.seg));
+            bounds.push(n.seg.end());
+            node = n.next.get();
         }
+        TableSnapshot { segments, bounds }
     }
 
-    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, TableInner<P::State>> {
-        self.inner.write().expect("transition table lock poisoned")
-    }
-
-    /// An immutable copy of the table's current contents, used by warm
-    /// engines as a *lookup oracle*: activity and outcome queries are
-    /// answered from the snapshot instead of the protocol, without ever
-    /// influencing slot numbering (see
-    /// [`CountEngine::with_table`](crate::CountEngine::with_table)).
-    ///
-    /// For asymmetric protocols the transpose rows are materialized once
-    /// here, so in-neighbor queries stay `O(row)`; symmetric snapshots
-    /// serve both orientations from the forward rows.
-    pub(crate) fn snapshot(&self, symmetric: bool) -> TableSnapshot<P::State>
-    where
-        P::State: Clone,
-    {
-        let inner = self.read();
-        let ins = if symmetric {
-            None
+    /// Atomically appends `seg` to the chain, provided the chain still has
+    /// exactly `expected` segments — the tip the caller built `seg`
+    /// against. Returns `false` (and publishes nothing) when another
+    /// publisher raced in first; the caller rebuilds against the new tip.
+    pub(crate) fn try_install(&self, expected: usize, seg: Segment<P::State>) -> bool {
+        let node = Arc::new(SegNode {
+            seg: Arc::new(seg),
+            next: OnceLock::new(),
+        });
+        let installed = if expected == 0 {
+            self.head.set(node).is_ok()
         } else {
-            Some(inner.rows.transpose())
+            let Some(mut cur) = self.head.get() else {
+                return false;
+            };
+            for _ in 1..expected {
+                match cur.next.get() {
+                    Some(n) => cur = n,
+                    None => return false,
+                }
+            }
+            cur.next.set(node).is_ok()
         };
+        if installed {
+            self.segs.fetch_add(1, Ordering::Release);
+        }
+        installed
+    }
+
+    /// The shared epoch snapshot: a cheap `Arc` handle over the current
+    /// segment chain, memoized so repeated captures while the table is
+    /// quiescent cost a refcount bump. The returned snapshot is immutable
+    /// and always covers at least the chain as of this call (a memoized
+    /// handle may be slightly fresher — snapshots are lookup oracles, so
+    /// extra known states only save discovery work; see the canonical-order
+    /// contract on [`CountEngine::with_table`](crate::CountEngine::with_table)).
+    pub fn snapshot(&self) -> Arc<TableSnapshot<P::State>> {
+        let live = self.segs.load(Ordering::Acquire);
+        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        if let Some(snap) = &*cache {
+            if snap.segments.len() >= live {
+                return Arc::clone(snap);
+            }
+        }
+        let snap = Arc::new(self.capture());
+        *cache = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Rebuilds the contents as one freshly allocated, fully materialized
+    /// segment — the deep-copy work (states, index, rows, transpose for
+    /// asymmetric adjacencies, outcomes) that every warm trial paid per
+    /// construction before epoch snapshots. Kept as the measured baseline
+    /// of the `warm_sweep` snapshot-cost gate, and for callers that want a
+    /// snapshot sharing no storage with the table.
+    pub fn snapshot_deep(&self) -> TableSnapshot<P::State> {
+        let snap = self.capture();
+        let mut states = Vec::with_capacity(snap.len());
+        snap.for_each_state(|_, s| states.push(s.clone()));
+        let rows = match snap.flat_rows() {
+            FlatRows::Borrowed(rows) => rows.clone(),
+            FlatRows::Owned(rows) => rows,
+        };
+        let mut outcomes = HashMap::with_hasher(FxBuildHasher::default());
+        for seg in &snap.segments {
+            for (&k, &v) in &seg.outcomes {
+                outcomes.insert(k, v);
+            }
+        }
+        let symmetric = snap.segments.first().is_none_or(|s| s.symmetric);
+        let end = states.len() as u32;
+        let seg = Segment::new(0, states, rows, AdjRows::new(), outcomes, symmetric);
         TableSnapshot {
-            states: inner.states.clone(),
-            index: inner.index.clone(),
-            rows: inner.rows.clone(),
-            ins,
-            outcomes: inner.outcomes.clone(),
+            segments: vec![Arc::new(seg)],
+            bounds: vec![end],
+        }
+    }
+
+    /// Wraps already-validated flat contents as a single base-0 segment,
+    /// for the on-disk store loader (see
+    /// [`transition_store`](crate::transition_store)). The transpose of an
+    /// asymmetric adjacency is materialized here, once per load, instead of
+    /// once per warm trial.
+    pub(crate) fn from_parts(
+        states: Vec<P::State>,
+        rows: AdjRows,
+        outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+        symmetric: bool,
+    ) -> Self {
+        let table = TransitionTable::new();
+        if !states.is_empty() || !outcomes.is_empty() {
+            let seg = Segment::new(0, states, rows, AdjRows::new(), outcomes, symmetric);
+            let installed = table.try_install(0, seg);
+            debug_assert!(installed, "fresh table cannot lose an install race");
+        }
+        table
+    }
+}
+
+/// A borrowed-or-consolidated view of a snapshot's flat out-rows; see
+/// [`TableSnapshot::flat_rows`].
+pub(crate) enum FlatRows<'a> {
+    /// The single segment's rows, zero-copy (the common, store-load case).
+    Borrowed(&'a AdjRows),
+    /// Rows consolidated across segments into one canonical row set.
+    Owned(AdjRows),
+}
+
+impl std::ops::Deref for FlatRows<'_> {
+    type Target = AdjRows;
+
+    fn deref(&self) -> &AdjRows {
+        match self {
+            FlatRows::Borrowed(rows) => rows,
+            FlatRows::Owned(rows) => rows,
         }
     }
 }
 
-/// A warm engine's immutable view of a [`TransitionTable`] at construction
-/// time; see [`TransitionTable::snapshot`].
+/// An immutable view of a [`TransitionTable`] at capture time: the shared
+/// segment chain behind `Arc`s plus the id boundary of each segment.
+/// Cloning the `Arc<TableSnapshot>` returned by
+/// [`TransitionTable::snapshot`] is the per-trial cost of a warm start.
+///
+/// Warm engines use snapshots as *lookup oracles*: activity and outcome
+/// queries are answered from the snapshot instead of the protocol, without
+/// ever influencing slot numbering (see
+/// [`CountEngine::with_table`](crate::CountEngine::with_table)). Because
+/// segments are immutable and the chain is captured by value, a snapshot
+/// never changes underneath its reader, no matter how many publishers race
+/// into the source table afterwards.
 #[derive(Debug)]
-pub(crate) struct TableSnapshot<S> {
-    /// States in the snapshot's table-id order.
-    pub(crate) states: Vec<S>,
-    /// State → table id.
-    pub(crate) index: HashMap<S, u32, FxBuildHasher>,
-    /// Forward activity rows, by table id.
-    pub(crate) rows: AdjRows,
-    /// Transpose rows; `None` when the adjacency is symmetric.
-    pub(crate) ins: Option<AdjRows>,
-    /// Memoized transition outcomes, by table-id pair.
-    pub(crate) outcomes: HashMap<(u32, u32), (u32, u32), FxBuildHasher>,
+pub struct TableSnapshot<S> {
+    /// The captured chain, oldest first.
+    segments: Vec<Arc<Segment<S>>>,
+    /// `bounds[k]` is `segments[k].end()` — the first id *not* covered by
+    /// segment `k`. Monotone (non-strictly: outcome-only segments repeat
+    /// the previous bound), so the owner of an id is a partition point.
+    bounds: Vec<u32>,
 }
 
 impl<S> TableSnapshot<S> {
     /// Number of states the snapshot knows.
-    pub(crate) fn len(&self) -> usize {
-        self.states.len()
+    pub fn len(&self) -> usize {
+        self.bounds.last().map_or(0, |&b| b as usize)
     }
 
-    /// Visits the table ids active as responders to `tid` (row `tid`).
-    pub(crate) fn walk_out(&self, tid: u32, f: impl FnMut(usize) -> bool) {
-        self.rows.walk(tid as usize, f);
+    /// Whether the snapshot knows no states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// Visits the table ids active as initiators into `tid` (column `tid`).
-    pub(crate) fn walk_in(&self, tid: u32, f: impl FnMut(usize) -> bool) {
-        match &self.ins {
-            // Symmetric adjacency: the column equals the row.
-            None => self.rows.walk(tid as usize, f),
-            Some(ins) => ins.walk(tid as usize, f),
+    /// Number of segments captured.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segment owning `tid`.
+    fn owner(&self, tid: u32) -> &Segment<S> {
+        let k = self.bounds.partition_point(|&b| b <= tid);
+        &self.segments[k]
+    }
+
+    /// The state with id `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tid >= len()`.
+    pub fn state(&self, tid: u32) -> &S {
+        let seg = self.owner(tid);
+        &seg.states[(tid - seg.base) as usize]
+    }
+
+    /// The id of `state`, if the snapshot knows it.
+    pub fn id_of(&self, state: &S) -> Option<u32>
+    where
+        S: Eq + Hash,
+    {
+        self.segments
+            .iter()
+            .find_map(|seg| seg.index.get(state).copied())
+    }
+
+    /// The memoized outcome of applied pair `key`, if any.
+    pub fn outcome(&self, key: (u32, u32)) -> Option<(u32, u32)> {
+        self.segments
+            .iter()
+            .find_map(|seg| seg.outcomes.get(&key).copied())
+    }
+
+    /// Whether the ordered pair `(i, j)` is classified active.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is `>= len()`.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        let owner = self.owner(i);
+        if j < owner.end() {
+            owner.rows.contains((i - owner.base) as usize, j as usize)
+        } else {
+            self.owner(j).ext.contains(i as usize, j as usize)
         }
+    }
+
+    /// Visits the ids active as responders to `tid` (row `tid`), ascending,
+    /// while `f` returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tid >= len()`.
+    pub fn walk_out(&self, tid: u32, mut f: impl FnMut(usize) -> bool) {
+        let k = self.bounds.partition_point(|&b| b <= tid);
+        let owner = &self.segments[k];
+        let mut go = true;
+        owner.rows.walk((tid - owner.base) as usize, |j| {
+            go = f(j);
+            go
+        });
+        if !go {
+            return;
+        }
+        // Later segments extend the row over their own id bands, which are
+        // strictly ascending — so the concatenation stays ascending.
+        for seg in &self.segments[k + 1..] {
+            if seg.states.is_empty() {
+                continue;
+            }
+            seg.ext.walk(tid as usize, |j| {
+                go = f(j);
+                go
+            });
+            if !go {
+                return;
+            }
+        }
+    }
+
+    /// Visits the ids active as initiators into `tid` (column `tid`),
+    /// ascending, while `f` returns `true`. Symmetric adjacencies serve the
+    /// column from the row; asymmetric ones from the per-segment in-rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tid >= len()`.
+    pub fn walk_in(&self, tid: u32, mut f: impl FnMut(usize) -> bool) {
+        let k = self.bounds.partition_point(|&b| b <= tid);
+        let owner = &self.segments[k];
+        let Some(ins) = &owner.ins else {
+            // Symmetric: the column equals the row.
+            self.walk_out(tid, f);
+            return;
+        };
+        let mut go = true;
+        ins.walk((tid - owner.base) as usize, |i| {
+            go = f(i);
+            go
+        });
+        if !go {
+            return;
+        }
+        for seg in &self.segments[k + 1..] {
+            let Some(ins_ext) = &seg.ins_ext else {
+                continue;
+            };
+            ins_ext.walk(tid as usize, |i| {
+                go = f(i);
+                go
+            });
+            if !go {
+                return;
+            }
+        }
+    }
+
+    /// Visits every `(id, state)` in id order.
+    pub(crate) fn for_each_state(&self, mut f: impl FnMut(u32, &S)) {
+        for seg in &self.segments {
+            for (r, s) in seg.states.iter().enumerate() {
+                f(seg.base + r as u32, s);
+            }
+        }
+    }
+
+    /// Whether the captured adjacency was declared symmetric.
+    pub(crate) fn symmetric(&self) -> bool {
+        self.segments.first().is_none_or(|s| s.symmetric)
+    }
+
+    /// The flat out-rows over all ids — borrowed zero-copy from a
+    /// single-segment snapshot (the store-load and cold-export common
+    /// case), consolidated otherwise. Consolidation rebuilds rows under the
+    /// final slot count, so the representation of equal contents is
+    /// canonical either way (see
+    /// [`AdjRows::set_row_varint`](crate::activity::AdjRows::set_row_varint)).
+    pub(crate) fn flat_rows(&self) -> FlatRows<'_> {
+        if self.segments.len() == 1 && self.segments[0].base == 0 {
+            return FlatRows::Borrowed(&self.segments[0].rows);
+        }
+        let n = self.len();
+        let mut rows = AdjRows::new();
+        for _ in 0..n {
+            rows.push_slot();
+        }
+        for i in 0..n as u32 {
+            self.walk_out(i, |j| {
+                rows.push(i as usize, j);
+                true
+            });
+        }
+        FlatRows::Owned(rows)
+    }
+
+    /// All memoized outcomes, sorted by pair.
+    pub(crate) fn sorted_outcomes(&self) -> Vec<((u32, u32), (u32, u32))> {
+        let mut outcomes: Vec<_> = self
+            .segments
+            .iter()
+            .flat_map(|seg| seg.outcomes.iter().map(|(&k, &v)| (k, v)))
+            .collect();
+        outcomes.sort_unstable();
+        outcomes
     }
 }
 
 impl<P: Protocol> std::fmt::Debug for TransitionTable<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.read();
         f.debug_struct("TransitionTable")
-            .field("states", &inner.states.len())
-            .field("pairs", &inner.rows.pairs())
-            .field("outcomes", &inner.outcomes.len())
+            .field("states", &self.len())
+            .field("pairs", &self.active_pairs())
+            .field("outcomes", &self.outcome_count())
             .finish()
     }
 }
@@ -281,5 +684,80 @@ mod tests {
             format!("{table:?}"),
             "TransitionTable { states: 0, pairs: 0, outcomes: 0 }"
         );
+        let snap = table.snapshot();
+        assert!(snap.is_empty() && snap.segment_count() == 0);
+    }
+
+    #[test]
+    fn install_race_fails_the_stale_publisher() {
+        let table: TransitionTable<Noop> = TransitionTable::new();
+        let seg = |states: Vec<u8>, base: u32| {
+            let mut rows = AdjRows::new();
+            for _ in 0..states.len() {
+                rows.push_slot();
+            }
+            let mut ext = AdjRows::new();
+            for _ in 0..if states.is_empty() { 0 } else { base } {
+                ext.push_slot();
+            }
+            Segment::new(
+                base,
+                states,
+                rows,
+                ext,
+                HashMap::with_hasher(FxBuildHasher::default()),
+                true,
+            )
+        };
+        assert!(table.try_install(0, seg(vec![1, 2], 0)));
+        // Built against the empty tip: stale, must be rejected.
+        assert!(!table.try_install(0, seg(vec![3], 0)));
+        assert_eq!(table.len(), 2);
+        // Built against the current tip: accepted.
+        assert!(table.try_install(1, seg(vec![3], 2)));
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.snapshot().segment_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_handle_is_memoized_until_the_chain_grows() {
+        let table: TransitionTable<Noop> = TransitionTable::new();
+        let mut rows = AdjRows::new();
+        rows.push_slot();
+        assert!(table.try_install(
+            0,
+            Segment::new(
+                0,
+                vec![7u8],
+                rows,
+                AdjRows::new(),
+                HashMap::with_hasher(FxBuildHasher::default()),
+                true,
+            ),
+        ));
+        let a = table.snapshot();
+        let b = table.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "quiescent snapshots share one handle");
+        let mut rows = AdjRows::new();
+        rows.push_slot();
+        assert!(table.try_install(
+            1,
+            Segment::new(
+                1,
+                vec![9u8],
+                rows,
+                {
+                    let mut ext = AdjRows::new();
+                    ext.push_slot();
+                    ext
+                },
+                HashMap::with_hasher(FxBuildHasher::default()),
+                true,
+            ),
+        ));
+        let c = table.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "growth invalidates the memo");
+        assert_eq!(a.len(), 1, "the old handle still reads its capture");
+        assert_eq!(c.len(), 2);
     }
 }

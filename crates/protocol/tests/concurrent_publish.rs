@@ -1,0 +1,266 @@
+//! Lock-free publication invariants of the segmented [`TransitionTable`].
+//!
+//! Two claims, property-tested over randomly generated symmetric rules and
+//! a fixed asymmetric one:
+//!
+//! 1. **Racing cold discovery loses nothing**: when `N` threads race their
+//!    engines' exports into one shared table, the resulting state set
+//!    equals the union a serial replay discovers, every ordered pair is
+//!    classified exactly as the protocol classifies it, and the final
+//!    snapshot resolves every published id round-trip — i.e. every
+//!    installed segment is reachable from the snapshot handle.
+//! 2. **Snapshots are stable under racing writers**: a snapshot captured
+//!    while publishers are still appending serves bit-identical contents
+//!    when re-read after every writer joined. Segments are immutable and
+//!    the handle pins them, so a reader can never observe a change.
+
+use pp_protocol::{CountEngine, Protocol, TableSnapshot, TransitionTable};
+use proptest::prelude::*;
+
+/// A randomly generated *symmetric* rule over states `0..m` (the same
+/// construction the warm-table suite uses): each unordered pair either
+/// rewrites both agents to a pair-determined target or is null.
+struct RandSym {
+    m: u8,
+    seed: u64,
+}
+
+fn mix(seed: u64, lo: u8, hi: u8) -> u64 {
+    let mut h = seed ^ (u64::from(lo) << 8) ^ (u64::from(hi) << 20) ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl Protocol for RandSym {
+    type State = u8;
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> &str {
+        "rand-sym"
+    }
+
+    fn input(&self, i: &u8) -> u8 {
+        *i % self.m
+    }
+
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        let (lo, hi) = (*a.min(b), *a.max(b));
+        let h = mix(self.seed, lo, hi);
+        if h.is_multiple_of(3) {
+            let t = ((h >> 2) % u64::from(self.m)) as u8;
+            (t, t)
+        } else {
+            (*a, *b)
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// The asymmetric counterpart: the responder adopts the initiator's
+/// successor mod `m`, so order matters and the table keeps separate
+/// in-rows.
+struct Chase {
+    m: u8,
+}
+
+impl Protocol for Chase {
+    type State = u8;
+    type Input = u8;
+    type Output = u8;
+
+    fn name(&self) -> &str {
+        "chase"
+    }
+
+    fn input(&self, i: &u8) -> u8 {
+        *i % self.m
+    }
+
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+
+    fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+        if *b == (*a + 1) % self.m {
+            (*a, *b)
+        } else {
+            (*a, (*a + 1) % self.m)
+        }
+    }
+}
+
+const BUDGET: u64 = 100_000;
+const THREADS: usize = 8;
+
+/// Thread `t`'s slice of the input space: overlapping windows so racing
+/// publishers contend on shared states *and* bring private ones.
+fn thread_inputs(inputs: &[u8], t: usize) -> Vec<u8> {
+    inputs
+        .iter()
+        .map(|&i| i.wrapping_add(t as u8 * 3))
+        .collect()
+}
+
+/// Deep-reads everything `snap` serves into a comparable structure.
+fn deep_read(snap: &TableSnapshot<u8>) -> (Vec<u8>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n = snap.len() as u32;
+    let mut states = Vec::new();
+    let mut outs = Vec::new();
+    let mut ins = Vec::new();
+    for t in 0..n {
+        states.push(*snap.state(t));
+        let mut row = Vec::new();
+        snap.walk_out(t, |j| {
+            row.push(j);
+            true
+        });
+        outs.push(row);
+        let mut row = Vec::new();
+        snap.walk_in(t, |i| {
+            row.push(i);
+            true
+        });
+        ins.push(row);
+    }
+    (states, outs, ins)
+}
+
+/// Races `THREADS` cold engines of `protocol` into one table and checks
+/// claim 1 against a serial replay of the same engines.
+fn check_racing_union<P: Protocol<State = u8, Input = u8> + Sync>(protocol: &P, inputs: &[u8]) {
+    let racing = TransitionTable::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let racing = &racing;
+            scope.spawn(move || {
+                let inputs = thread_inputs(inputs, t);
+                let mut engine = CountEngine::from_inputs(protocol, &inputs, t as u64);
+                let _ = engine.run_until_silent(BUDGET);
+                engine.export_to(racing);
+            });
+        }
+    });
+    let serial = TransitionTable::new();
+    for t in 0..THREADS {
+        let inputs = thread_inputs(inputs, t);
+        let mut engine = CountEngine::from_inputs(protocol, &inputs, t as u64);
+        let _ = engine.run_until_silent(BUDGET);
+        engine.export_to(&serial);
+    }
+    let (raced, reference) = (racing.dump(), serial.dump());
+    let mut raced_states = raced.states.clone();
+    let mut serial_states = reference.states.clone();
+    raced_states.sort_unstable();
+    serial_states.sort_unstable();
+    assert_eq!(
+        raced_states, serial_states,
+        "racing exports must publish exactly the serial union"
+    );
+    // Every ordered pair classified as the protocol classifies it.
+    for (i, si) in raced.states.iter().enumerate() {
+        for (j, sj) in raced.states.iter().enumerate() {
+            assert_eq!(
+                raced.rows[i].binary_search(&(j as u32)).is_ok(),
+                !protocol.is_null_interaction(si, sj),
+                "pair ({si}, {sj}) misclassified after racing publication"
+            );
+        }
+    }
+    // Claim 1's reachability half: the final snapshot covers the table and
+    // resolves every id round-trip through whatever segment owns it.
+    let snap = racing.snapshot();
+    assert_eq!(snap.len(), racing.len());
+    for t in 0..snap.len() as u32 {
+        assert_eq!(
+            snap.id_of(snap.state(t)),
+            Some(t),
+            "id {t} must round-trip through the final snapshot"
+        );
+    }
+}
+
+/// Claim 2 for `protocol`: a mid-race snapshot re-reads identically after
+/// the race.
+fn check_snapshot_stability<P: Protocol<State = u8, Input = u8> + Sync>(
+    protocol: &P,
+    inputs: &[u8],
+) {
+    let table = TransitionTable::new();
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            // Engines with non-empty inputs always publish at least one
+            // state, so the first export is guaranteed to land.
+            while table.is_empty() {
+                std::hint::spin_loop();
+            }
+            let snap = table.snapshot();
+            let first = deep_read(&snap);
+            (snap, first)
+        });
+        for t in 0..THREADS {
+            let table = &table;
+            scope.spawn(move || {
+                let inputs = thread_inputs(inputs, t);
+                let mut engine = CountEngine::from_inputs(protocol, &inputs, t as u64);
+                let _ = engine.run_until_silent(BUDGET);
+                engine.export_to(table);
+            });
+        }
+        let (snap, first) = reader.join().expect("reader thread");
+        // Writers may still be publishing here — that is the point: the
+        // handle must already be immutable.
+        assert_eq!(
+            deep_read(&snap),
+            first,
+            "a snapshot changed between its mid-race and its later read"
+        );
+    });
+    // And once more after every writer joined.
+    let final_snap = table.snapshot();
+    assert_eq!(final_snap.len(), table.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Claim 1 over random symmetric rules.
+    #[test]
+    fn racing_publication_equals_the_serial_union(
+        rule_seed in any::<u64>(),
+        inputs in proptest::collection::vec(0u8..12, 2..24),
+    ) {
+        let protocol = RandSym { m: 12, seed: rule_seed };
+        check_racing_union(&protocol, &inputs);
+    }
+
+    /// Claim 2 over random symmetric rules.
+    #[test]
+    fn snapshots_are_stable_under_racing_writers(
+        rule_seed in any::<u64>(),
+        inputs in proptest::collection::vec(0u8..12, 2..24),
+    ) {
+        let protocol = RandSym { m: 12, seed: rule_seed };
+        check_snapshot_stability(&protocol, &inputs);
+    }
+}
+
+/// Claims 1 and 2 on the asymmetric path (separate in-rows and in-row
+/// extensions), deterministic inputs.
+#[test]
+fn asymmetric_racing_publication_is_complete_and_stable() {
+    let protocol = Chase { m: 11 };
+    let inputs: Vec<u8> = (0..20).map(|i| i % 11).collect();
+    check_racing_union(&protocol, &inputs);
+    check_snapshot_stability(&protocol, &inputs);
+}

@@ -22,7 +22,13 @@ artifact (a freshly added bench group) start their baseline now, rows absent
 from the current artifact (a retired group) stop being tracked — both sets
 are printed explicitly so additions and removals are visible in the CI log.
 A missing or unreadable PREVIOUS file (first run, expired artifact) passes
-with a notice — the trend starts at the next commit.
+with a notice — the trend starts at the next commit. A missing, empty or
+unparseable CURRENT file is a usage error (exit 2): the bench step that was
+supposed to produce it failed, which must not masquerade as a benchmark
+regression (exit 1) or as a clean pass.
+
+Exit status: 0 trend ok, 1 regression past THRESHOLD, 2 usage error
+(including an unusable CURRENT artifact).
 """
 
 import json
@@ -69,7 +75,15 @@ def main(argv):
     except (OSError, ValueError) as e:
         print(f"bench-trend: no usable previous artifact ({e}); baseline starts now")
         return 0
-    cur = key_rows(load(cur_path))
+    # The current artifact is this run's own output: if it is missing or
+    # unparseable the producing step broke, and the failure must be
+    # attributed there (usage exit 2), not reported as a regression (1) —
+    # previously the raw traceback exited 1, indistinguishable from one.
+    try:
+        cur = key_rows(load(cur_path))
+    except (OSError, ValueError) as e:
+        print(f"bench-trend: unusable current artifact {cur_path!r}: {e}", file=sys.stderr)
+        return 2
 
     added = sorted(k for k in cur if k not in prev)
     removed = sorted(k for k in prev if k not in cur)
