@@ -1,4 +1,5 @@
-//! E11 — out-of-model robustness: crash-and-restart faults.
+//! E11 — out-of-model robustness: crash-and-restart faults, on both
+//! engines.
 //!
 //! The population-protocol model has no failures, and Circles' correctness
 //! proof leans on the global bra-ket invariant (Lemma 3.3) that a crashed
@@ -7,19 +8,34 @@
 //! protocol degrades: does it still stabilize? how often is the final
 //! consensus still correct? does conservation ever recover?
 //!
+//! Two fault models run side by side over **matched crash schedules**
+//! (identical `at_step` lists drawn from the shared hazard stream):
+//!
+//! - `indexed faults` — exact agent-level resets via
+//!   [`run_with_faults_rng`] on the [`Simulation`](pp_protocol::Simulation)
+//!   engine; the reference semantics, affordable only at small `n`.
+//! - `count hazards` — anonymous unit-of-mass crashes via
+//!   [`run_circles_hazards`] on the batched
+//!   [`CountEngine`]; statistically equivalent at
+//!   small `n` (the crash victim is a uniformly random agent either way) and
+//!   the only practical model at `n = 10^9`, where the final table section
+//!   sweeps it.
+//!
 //! Intuition for the observed shape: a restart removes one ket from
 //! circulation and injects a duplicate self-ket. Stabilization survives (the
 //! potential argument never needed conservation), but the terminal
 //! configuration can gain a *wrong* self-loop, and with margin-1 races a
 //! single well-timed crash can flip the winner.
 
-use circles_core::Color;
-use pp_extensions::faults::{run_with_faults, Fault, FaultPlan};
-use pp_protocol::UniformPairScheduler;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use circles_core::{CirclesProtocol, CirclesState, Color};
+use pp_extensions::faults::{run_with_faults_rng, Fault, FaultPlan};
+use pp_extensions::hazards::{run_circles_hazards, HazardPlan, HazardReport};
+use pp_protocol::{
+    CountConfig, CountEngine, SparseActivity, UniformCountScheduler, UniformPairScheduler,
+};
+use rand::{RngCore, RngExt};
 
-use crate::runner::seed_range;
+use crate::runner::{hazard_rng, seed_range, trial_rng};
 use crate::table::Table;
 use crate::trial::{Backend, TrialRunner};
 use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_winner};
@@ -27,9 +43,9 @@ use crate::workloads::{margin_workload, photo_finish_workload, shuffled, true_wi
 /// Parameters for E11.
 #[derive(Debug, Clone)]
 pub struct Params {
-    /// Population size.
+    /// Population size of the small-`n` dual-backend section.
     pub n: usize,
-    /// Number of colors.
+    /// Number of colors in the small-`n` section.
     pub k: u16,
     /// Fault counts to sweep.
     pub fault_counts: Vec<usize>,
@@ -39,6 +55,16 @@ pub struct Params {
     pub max_steps: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Population size of the large-`n` count-hazard section.
+    pub hazard_n: u64,
+    /// Number of colors in the large-`n` section.
+    pub hazard_k: u16,
+    /// Seeds for the large-`n` section (its trials are the expensive ones).
+    pub hazard_seeds: u64,
+    /// Interaction budget for the large-`n` section. Interactions scale
+    /// with `n` (the count engine's *work* does not — it skips null steps),
+    /// so this is far larger than `max_steps`.
+    pub hazard_max_steps: u64,
 }
 
 impl Default for Params {
@@ -50,6 +76,10 @@ impl Default for Params {
             seeds: 48,
             max_steps: 200_000_000,
             threads: crate::runner::default_threads(),
+            hazard_n: 1_000_000_000,
+            hazard_k: 30,
+            hazard_seeds: 4,
+            hazard_max_steps: u64::MAX / 2,
         }
     }
 }
@@ -64,58 +94,131 @@ impl Params {
             seeds: 4,
             max_steps: 20_000_000,
             threads: 2,
+            hazard_n: 20_000,
+            hazard_k: 3,
+            hazard_seeds: 2,
+            hazard_max_steps: u64::MAX / 2,
         }
     }
 }
 
-struct FaultTrialOutcome {
-    stabilized: bool,
-    correct: bool,
-    conserved: bool,
+/// The grading shared by both fault models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessOutcome {
+    /// Reached silence within budget with every fault fired.
+    pub stabilized: bool,
+    /// Final consensus equals the original plurality winner.
+    pub correct: bool,
+    /// Bra-ket conservation held at the end.
+    pub conserved: bool,
 }
 
-fn one_trial(
+/// Draws a crash schedule — `count` steps uniform in `1..window` — from the
+/// hazard stream. Both fault models consume exactly these draws first, which
+/// is what makes their schedules *matched*: the indexed model then draws
+/// agent indices, the count model then draws victims, from the same stream's
+/// remaining positions.
+fn crash_steps<H: RngCore>(rng: &mut H, count: usize, window: u64) -> Vec<u64> {
+    (0..count).map(|_| rng.random_range(1..window)).collect()
+}
+
+/// One indexed-engine crash trial on stream `(sweep_seed, seed)`: the crash
+/// schedule (and struck agents) come from
+/// [`hazard_rng`], the trajectory from [`trial_rng`] — disjoint Philox
+/// streams, so the schedule is thread-count- and sweep-order-insensitive
+/// like every other trial input.
+pub fn indexed_crash_trial(
     inputs: &[Color],
     k: u16,
     faults: usize,
+    sweep_seed: u64,
     seed: u64,
     max_steps: u64,
-) -> FaultTrialOutcome {
-    // Workload generators may return slightly fewer agents than requested;
-    // sample agents from the actual population.
+) -> RobustnessOutcome {
     let n = inputs.len();
-    // Faults strike at random agents, spread over the early mixing phase
-    // (steps 1 .. 8n), where the invariant damage is most consequential.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    let mut schedule = hazard_rng(sweep_seed, seed);
     let mut plan = FaultPlan::new();
-    for _ in 0..faults {
+    for at_step in crash_steps(&mut schedule, faults, 8 * n as u64) {
         plan.push(Fault {
-            at_step: rng.random_range(1..(8 * n as u64)),
-            agent: rng.random_range(0..n),
+            at_step,
+            agent: schedule.random_range(0..n),
         });
     }
-    let report = run_with_faults(
+    let report = run_with_faults_rng(
         inputs,
         k,
         UniformPairScheduler::new(),
-        seed,
+        trial_rng(sweep_seed, seed),
         &plan,
         max_steps,
     )
     .expect("fault trial failed");
-    FaultTrialOutcome {
+    RobustnessOutcome {
         stabilized: report.stabilized,
         correct: report.correct,
         conserved: report.conserved_at_end,
     }
 }
 
+/// One count-engine crash trial on stream `(sweep_seed, seed)` over the
+/// anonymous workload `counts`: same crash schedule as
+/// [`indexed_crash_trial`] of the same key (the first `faults` hazard-stream
+/// draws), anonymous unit-of-mass victims instead of agent indices.
+pub fn count_crash_trial(
+    counts: &[(Color, u64)],
+    k: u16,
+    faults: usize,
+    sweep_seed: u64,
+    seed: u64,
+    max_steps: u64,
+) -> HazardReport {
+    let n: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let mut schedule = hazard_rng(sweep_seed, seed);
+    let plan = HazardPlan::crashes(crash_steps(&mut schedule, faults, 8 * n));
+    let protocol = CirclesProtocol::new(k).expect("valid k");
+    let mut config: CountConfig<CirclesState> = CountConfig::new();
+    for &(color, count) in counts {
+        config.insert(
+            CirclesState::initial(color),
+            count.try_into().expect("count fits a usize"),
+        );
+    }
+    let mut engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+        &protocol,
+        config,
+        UniformCountScheduler::new(),
+        trial_rng(sweep_seed, seed),
+    );
+    let truth = plurality_winner(counts);
+    run_circles_hazards(&mut engine, truth, &plan, counts, &mut schedule, max_steps)
+        .expect("hazard trial failed")
+}
+
+/// The unique plurality winner of an anonymous workload, or `None` on a tie.
+fn plurality_winner(counts: &[(Color, u64)]) -> Option<Color> {
+    let &(winner, best) = counts.iter().max_by_key(|&&(_, c)| c)?;
+    let ties = counts.iter().filter(|&&(_, c)| c == best).count();
+    (ties == 1).then_some(winner)
+}
+
+/// Collapses a shuffled input list into an anonymous `(color, count)`
+/// workload for the count model.
+fn histogram(inputs: &[Color]) -> Vec<(Color, u64)> {
+    let mut counts: std::collections::BTreeMap<Color, u64> = std::collections::BTreeMap::new();
+    for &c in inputs {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
 /// Runs E11 and returns the table.
 pub fn run(params: &Params) -> Table {
     let mut table = Table::new(
-        "E11 — crash-and-restart robustness (exploratory, out of model)",
+        "E11 — crash-and-restart robustness, indexed faults vs count hazards (exploratory, out of model)",
         &[
+            "model",
             "workload",
+            "n",
             "faults",
             "seeds",
             "stabilized rate",
@@ -136,30 +239,107 @@ pub fn run(params: &Params) -> Table {
             shuffled(photo_finish_workload(params.n, params.k), 3),
         ),
     ];
-    // Fault injection needs agent identities, so the trials run on the
-    // indexed engine; the runner supplies the seed fan-out configuration.
     let runner = TrialRunner::new(Backend::Indexed)
         .threads(params.threads)
         .max_steps(params.max_steps)
         .seed_list(seed_range(params.seeds));
+    let push_rates = |table: &mut Table,
+                      model: &str,
+                      workload: &str,
+                      n: u64,
+                      faults: usize,
+                      seeds: u64,
+                      outcomes: &[RobustnessOutcome]| {
+        let total = outcomes.len() as f64;
+        let rate = |f: &dyn Fn(&RobustnessOutcome) -> bool| {
+            outcomes.iter().filter(|o| f(o)).count() as f64 / total
+        };
+        table.push_row(vec![
+            model.to_string(),
+            workload.to_string(),
+            n.to_string(),
+            faults.to_string(),
+            seeds.to_string(),
+            format!("{:.2}", rate(&|o: &RobustnessOutcome| o.stabilized)),
+            format!("{:.2}", rate(&|o: &RobustnessOutcome| o.correct)),
+            format!("{:.2}", rate(&|o: &RobustnessOutcome| o.conserved)),
+        ]);
+    };
+    // Small n: both fault models over matched crash schedules.
     for (name, inputs) in &workloads {
         let _ = true_winner(inputs, params.k); // validates the workload
+        let counts = histogram(inputs);
         for &faults in &params.fault_counts {
-            let outcomes =
-                runner.run_with(|seed| one_trial(inputs, params.k, faults, seed, params.max_steps));
-            let total = outcomes.len() as f64;
-            let rate = |f: &dyn Fn(&FaultTrialOutcome) -> bool| {
-                outcomes.iter().filter(|o| f(o)).count() as f64 / total
-            };
-            table.push_row(vec![
-                name.to_string(),
-                faults.to_string(),
-                params.seeds.to_string(),
-                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.stabilized)),
-                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.correct)),
-                format!("{:.2}", rate(&|o: &FaultTrialOutcome| o.conserved)),
-            ]);
+            let indexed = runner.run_with(|seed| {
+                indexed_crash_trial(inputs, params.k, faults, 0, seed, params.max_steps)
+            });
+            push_rates(
+                &mut table,
+                Backend::Indexed.name(),
+                name,
+                inputs.len() as u64,
+                faults,
+                params.seeds,
+                &indexed,
+            );
+            let hazards = runner.run_with(|seed| {
+                let r = count_crash_trial(&counts, params.k, faults, 0, seed, params.max_steps);
+                RobustnessOutcome {
+                    stabilized: r.stabilized,
+                    correct: r.correct,
+                    conserved: r.conserved_at_end,
+                }
+            });
+            push_rates(
+                &mut table,
+                Backend::Count.name(),
+                name,
+                inputs.len() as u64,
+                faults,
+                params.seeds,
+                &hazards,
+            );
         }
+    }
+    // Large n: count hazards only — the whole point of the anonymous model.
+    // The workload is near-unanimous (winner holds all but one unit per loser
+    // color) rather than a thin margin: per-agent state changes are what the
+    // count engine pays for, so a contested margin at `k = 30` costs Θ(n)
+    // changes (~10^6 s at n = 10^9) while this shape settles in O(k²) changes
+    // at any `n`. Degradation *rates* under contested margins are the small-n
+    // section's job; this section proves the hazard machinery at full scale.
+    let losers = u64::from(params.hazard_k) - 1;
+    let mut hazard_counts = vec![(Color(0), params.hazard_n - losers)];
+    hazard_counts.extend((1..params.hazard_k).map(|c| (Color(c), 1)));
+    let hazard_runner = TrialRunner::new(Backend::Count)
+        .threads(params.threads)
+        .max_steps(params.hazard_max_steps)
+        .seed_list(seed_range(params.hazard_seeds));
+    for &faults in &params.fault_counts {
+        let outcomes = hazard_runner.run_with(|seed| {
+            let r = count_crash_trial(
+                &hazard_counts,
+                params.hazard_k,
+                faults,
+                1,
+                seed,
+                params.hazard_max_steps,
+            );
+            RobustnessOutcome {
+                stabilized: r.stabilized,
+                correct: r.correct,
+                conserved: r.conserved_at_end,
+            }
+        });
+        push_rates(
+            &mut table,
+            "count (large n)",
+            "near-unanimous",
+            params.hazard_n,
+            faults,
+            params.hazard_seeds,
+            &outcomes,
+        );
     }
     table
 }
@@ -169,21 +349,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn zero_faults_is_perfect() {
+    fn zero_faults_is_perfect_on_both_models() {
         let table = run(&Params::quick());
         for row in table.rows() {
-            if row[1] == "0" {
-                assert_eq!(row[3], "1.00");
-                assert_eq!(row[4], "1.00");
-                assert_eq!(row[5], "1.00");
+            if row[3] == "0" {
+                assert_eq!(row[5], "1.00", "{row:?}");
+                assert_eq!(row[6], "1.00", "{row:?}");
+                assert_eq!(row[7], "1.00", "{row:?}");
             }
         }
     }
 
     #[test]
-    fn rows_cover_workloads_and_fault_counts() {
+    fn rows_cover_models_workloads_and_fault_counts() {
         let p = Params::quick();
         let table = run(&p);
-        assert_eq!(table.len(), 2 * p.fault_counts.len());
+        // 2 fault models × 2 workloads × fault counts, plus the large-n
+        // count-hazard sweep.
+        assert_eq!(table.len(), (2 * 2 + 1) * p.fault_counts.len());
+    }
+
+    #[test]
+    fn matched_schedules_share_their_at_steps() {
+        // The first `faults` hazard-stream draws are the crash steps on both
+        // models; drawing them twice from fresh streams must agree.
+        let mut a = hazard_rng(0, 7);
+        let mut b = hazard_rng(0, 7);
+        assert_eq!(crash_steps(&mut a, 5, 800), crash_steps(&mut b, 5, 800));
+        // And the hazard stream is disjoint from the trial stream.
+        let mut t = trial_rng(0, 7);
+        assert_ne!(crash_steps(&mut a, 5, 800), crash_steps(&mut t, 5, 800));
     }
 }

@@ -21,6 +21,19 @@ pub fn trial_rng(sweep_seed: u64, trial_seed: u64) -> Philox4x32 {
     Philox4x32::stream(sweep_seed, trial_seed)
 }
 
+/// The counter-based RNG stream of one trial's *hazard schedule*, keyed
+/// `(sweep_seed, trial_seed)` and disjoint from [`trial_rng`].
+///
+/// Fault and hazard experiments need two generators per trial: one driving
+/// the scheduler and one driving the perturbations, so that changing the
+/// hazard plan (e.g. sweeping fault counts) never shifts the scheduler's
+/// draws and vice versa. The hazard stream sets the top bit of the stream
+/// id; trial seeds are small integers (`seed_range`), so the two stream
+/// families can never collide.
+pub fn hazard_rng(sweep_seed: u64, trial_seed: u64) -> Philox4x32 {
+    Philox4x32::stream(sweep_seed, trial_seed | 1 << 63)
+}
+
 /// Runs `f(seed)` for every seed, in parallel across up to `threads` OS
 /// threads, and returns results in seed order.
 ///

@@ -1,0 +1,91 @@
+//! Cross-model and cross-thread-count guarantees of the hazard layer.
+//!
+//! * **Small-n equivalence** — the indexed fault model (exact agent resets
+//!   via `run_with_faults`) and the count-level hazard model (anonymous
+//!   unit-of-mass crashes) share their crash schedules (identical `at_step`
+//!   lists from the hazard stream) and must agree on stabilized/correct
+//!   *rates* over a seed sweep: the crash victim is a uniformly random
+//!   agent under both models, so the two samplings differ only in how the
+//!   victim is addressed.
+//! * **Thread-count determinism** — a fixed-seed hazard sweep returns
+//!   byte-identical `HazardReport`s at 1, 2 and 8 worker threads, because
+//!   every draw comes from counter-based Philox streams keyed by trial
+//!   identity, never by scheduling order.
+
+use circles_core::Color;
+use pp_analysis::experiments::e11_faults::{count_crash_trial, indexed_crash_trial};
+use pp_analysis::runner::seed_range;
+use pp_analysis::trial::{Backend, TrialRunner};
+use pp_analysis::workloads::{margin_workload, shuffled};
+
+fn rate(hits: usize, total: usize) -> f64 {
+    hits as f64 / total as f64
+}
+
+#[test]
+fn indexed_and_count_models_agree_on_matched_crash_schedules() {
+    let k = 3u16;
+    let inputs = shuffled(margin_workload(24, k, 4), 3);
+    let mut counts: std::collections::BTreeMap<Color, u64> = std::collections::BTreeMap::new();
+    for &c in &inputs {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    let counts: Vec<(Color, u64)> = counts.into_iter().collect();
+    let seeds = 32usize;
+    let max_steps = 50_000_000;
+    for faults in [0usize, 2, 6] {
+        let mut indexed = (0, 0); // (stabilized, correct)
+        let mut hazard = (0, 0);
+        for seed in 0..seeds as u64 {
+            let i = indexed_crash_trial(&inputs, k, faults, 0, seed, max_steps);
+            indexed.0 += usize::from(i.stabilized);
+            indexed.1 += usize::from(i.correct);
+            let h = count_crash_trial(&counts, k, faults, 0, seed, max_steps);
+            hazard.0 += usize::from(h.stabilized);
+            hazard.1 += usize::from(h.correct);
+        }
+        // Crashes never prevent stabilization (the potential argument does
+        // not need conservation) — both models must agree exactly here.
+        assert_eq!(
+            indexed.0, seeds,
+            "indexed model failed to stabilize with {faults} faults"
+        );
+        assert_eq!(
+            hazard.0, seeds,
+            "count model failed to stabilize with {faults} faults"
+        );
+        // Correctness is a rate: the two victim samplings are different
+        // draws from the same distribution, so allow sampling noise.
+        let diff = (rate(indexed.1, seeds) - rate(hazard.1, seeds)).abs();
+        assert!(
+            diff <= 0.25,
+            "models disagree on correctness with {faults} faults: \
+             indexed {}/{seeds}, count {}/{seeds}",
+            indexed.1,
+            hazard.1,
+        );
+        if faults == 0 {
+            assert_eq!(indexed.1, seeds, "fault-free indexed runs must be correct");
+            assert_eq!(hazard.1, seeds, "fault-free count runs must be correct");
+        }
+    }
+}
+
+#[test]
+fn hazard_sweeps_are_bit_identical_across_thread_counts() {
+    let k = 3u16;
+    let counts: Vec<(Color, u64)> = vec![(Color(0), 220), (Color(1), 180), (Color(2), 100)];
+    let max_steps = 50_000_000;
+    let sweep = |threads: usize| {
+        TrialRunner::new(Backend::Count)
+            .threads(threads)
+            .seed_list(seed_range(12))
+            .run_with(|seed| count_crash_trial(&counts, k, 4, 9, seed, max_steps))
+    };
+    let one = sweep(1);
+    let two = sweep(2);
+    let eight = sweep(8);
+    assert_eq!(one, two, "hazard sweep differs between 1 and 2 threads");
+    assert_eq!(one, eight, "hazard sweep differs between 1 and 8 threads");
+    assert!(one.iter().all(|r| r.stabilized && r.hazards_applied == 4));
+}

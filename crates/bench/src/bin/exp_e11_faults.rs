@@ -1,13 +1,42 @@
 //! Regenerates experiment E11 (`faults`); see DESIGN.md §7.
+//!
+//! The large-`n` count-hazard section can be resized without recompiling:
+//! `PP_E11_HAZARD_N`, `PP_E11_HAZARD_K` and `PP_E11_HAZARD_SEEDS` override
+//! the population, color count and seed count of that section (in both
+//! quick and full mode), e.g.
+//!
+//! ```sh
+//! PP_E11_HAZARD_N=1000000000 PP_E11_HAZARD_K=30 exp_e11_faults --quick
+//! ```
 
 use pp_analysis::experiments::e11_faults::{run, Params};
 
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("ignoring {name}={raw}: {e}");
+            None
+        }
+    }
+}
+
 fn main() {
-    let params = if pp_bench::quick_requested() {
+    let mut params = if pp_bench::quick_requested() {
         Params::quick()
     } else {
         Params::default()
     };
+    if let Some(n) = env_u64("PP_E11_HAZARD_N") {
+        params.hazard_n = n;
+    }
+    if let Some(k) = env_u64("PP_E11_HAZARD_K") {
+        params.hazard_k = k.try_into().expect("PP_E11_HAZARD_K out of range");
+    }
+    if let Some(seeds) = env_u64("PP_E11_HAZARD_SEEDS") {
+        params.hazard_seeds = seeds;
+    }
     let table = run(&params);
     pp_bench::emit(&table, "e11_faults");
 }

@@ -41,10 +41,24 @@ impl FaultPlan {
         FaultPlan { faults: Vec::new() }
     }
 
-    /// Adds a fault; keeps the plan sorted by step.
+    /// Adds a fault, inserting in position (`O(log len)` search plus the
+    /// tail shift — no re-sort of the whole plan) so the plan stays ordered
+    /// by `(at_step, agent)`.
+    ///
+    /// Duplicate policy: an exact `(at_step, agent)` duplicate is dropped.
+    /// Resetting an agent is idempotent — a second reset of the same agent
+    /// at the same step is the same reset — so keeping duplicates would
+    /// only misreport the number of distinct faults a run suffered.
+    /// (Contrast the anonymous [`HazardPlan`](crate::hazards::HazardPlan),
+    /// where two hazards at one step are two distinct units of mass.)
     pub fn push(&mut self, fault: Fault) {
-        self.faults.push(fault);
-        self.faults.sort_by_key(|f| f.at_step);
+        let at = self
+            .faults
+            .partition_point(|f| (f.at_step, f.agent) <= (fault.at_step, fault.agent));
+        if at > 0 && self.faults[at - 1] == fault {
+            return;
+        }
+        self.faults.insert(at, fault);
     }
 
     /// The planned faults in step order.
@@ -72,6 +86,10 @@ pub struct FaultReport {
 
 /// Runs Circles under `scheduler` with faults injected per `plan`.
 ///
+/// The simulation RNG is seeded `StdRng::seed_from_u64(seed)`; use
+/// [`run_with_faults_rng`] to drive the run from an explicit generator
+/// (e.g. a counter-based Philox trial stream).
+///
 /// # Errors
 ///
 /// Propagates framework errors; a run that fails to stabilize is reported
@@ -87,40 +105,72 @@ pub fn run_with_faults<Sch>(
 where
     Sch: Scheduler<circles_core::CirclesState>,
 {
+    use rand::SeedableRng;
+    run_with_faults_rng(
+        inputs,
+        k,
+        scheduler,
+        rand::rngs::StdRng::seed_from_u64(seed),
+        plan,
+        max_steps,
+    )
+}
+
+/// [`run_with_faults`] with an explicitly constructed simulation generator —
+/// the entry point for counter-based trial streams.
+///
+/// # Errors
+///
+/// Propagates framework errors; a run that fails to stabilize is reported
+/// with `stabilized == false` rather than as an error.
+pub fn run_with_faults_rng<Sch, R>(
+    inputs: &[Color],
+    k: u16,
+    scheduler: Sch,
+    rng: R,
+    plan: &FaultPlan,
+    max_steps: u64,
+) -> Result<FaultReport, FrameworkError>
+where
+    Sch: Scheduler<circles_core::CirclesState>,
+    R: rand::RngCore,
+{
     let protocol = CirclesProtocol::new(k).expect("valid k");
     let population = Population::from_inputs(&protocol, inputs);
-    let mut sim = Simulation::new(&protocol, population, scheduler, seed);
+    let mut sim = Simulation::with_rng(&protocol, population, scheduler, rng);
 
     let truth = circles_core::GreedyDecomposition::from_inputs(inputs, k)
         .expect("valid inputs")
         .winner();
 
-    let mut next_fault = 0usize;
-    let mut stabilized = false;
-    while sim.stats().steps < max_steps {
-        while next_fault < plan.faults().len()
-            && plan.faults()[next_fault].at_step <= sim.stats().steps
-        {
-            let fault = plan.faults()[next_fault];
-            let fresh = protocol.input(&inputs[fault.agent]);
-            sim.inject_state(fault.agent, fresh)?;
-            next_fault += 1;
-        }
-        let _ = sim.step()?;
-        // Check silence only occasionally (it is O(d²)) and only after all
-        // faults have fired — a "silent" state before the last fault is not
-        // terminal.
-        if next_fault == plan.faults().len()
-            && sim.stats().steps % 64 == 0
-            && sim.population().is_silent(&protocol)
-        {
-            stabilized = true;
+    // Phase 1: march the run fault to fault. Silence before the last fault
+    // is not terminal (the fault will perturb it), so no silence checks are
+    // needed — or wanted, they are O(d²) — until the plan is exhausted.
+    let mut fired = 0usize;
+    for fault in plan.faults() {
+        if fault.at_step > max_steps {
             break;
         }
+        let steps = sim.stats().steps;
+        if fault.at_step > steps {
+            sim.run_observed(fault.at_step - steps, |_| {})?;
+        }
+        let fresh = protocol.input(&inputs[fault.agent]);
+        sim.inject_state(fault.agent, fresh)?;
+        fired += 1;
     }
-    if !stabilized && sim.population().is_silent(&protocol) {
-        stabilized = next_fault == plan.faults().len();
-    }
+
+    // Phase 2: hand the rest of the budget to the simulation's own silence
+    // surface, which checks up front and then every `check_interval` steps.
+    // A run that exhausts `max_steps` with faults still pending can never
+    // report `stabilized == true`: either phase 1 broke out early (leaving
+    // `fired < plan.faults().len()`), or the budget ran out here.
+    let check_interval = (inputs.len() as u64).max(16);
+    let stabilized = match sim.run_until_silent(max_steps, check_interval) {
+        Ok(_) => fired == plan.faults().len(),
+        Err(FrameworkError::MaxStepsExceeded { .. }) => false,
+        Err(e) => return Err(e),
+    };
 
     let consensus = sim.population().output_consensus(&protocol);
     let conserved_at_end = population_conserves(sim.population(), k);
@@ -187,5 +237,54 @@ mod tests {
             agent: 0,
         });
         assert_eq!(plan.faults()[0].at_step, 10);
+    }
+
+    #[test]
+    fn plan_drops_exact_duplicates_and_orders_by_agent_within_a_step() {
+        let mut plan = FaultPlan::new();
+        plan.push(Fault {
+            at_step: 10,
+            agent: 2,
+        });
+        plan.push(Fault {
+            at_step: 10,
+            agent: 0,
+        });
+        // A second reset of the same agent at the same step is the same
+        // reset: dropped.
+        plan.push(Fault {
+            at_step: 10,
+            agent: 2,
+        });
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault {
+                    at_step: 10,
+                    agent: 0
+                },
+                Fault {
+                    at_step: 10,
+                    agent: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn pending_faults_at_budget_exhaustion_forbid_stabilized() {
+        // The fault sits far beyond the step budget, so the run may well be
+        // silent when the budget runs out — but it must not be reported as
+        // stabilized while a fault is still pending.
+        let inputs = colors(&[0, 0, 0, 1, 1]);
+        let mut plan = FaultPlan::new();
+        plan.push(Fault {
+            at_step: 1_000_000,
+            agent: 0,
+        });
+        let report =
+            run_with_faults(&inputs, 2, UniformPairScheduler::new(), 3, &plan, 10_000).unwrap();
+        assert!(!report.stabilized, "{report:?}");
+        assert!(report.steps <= 10_000);
     }
 }

@@ -20,18 +20,24 @@
 //!   *stalls* under ties (no self-loop survives, Lemma 3.2/3.6); a locally
 //!   checkable tie witness is not derivable from the BA, so no tie-handling
 //!   *protocol* is shipped — experiment E7 instead quantifies the stall.
-//! - [`faults`]: out-of-model crash/recovery injection, measuring Circles'
-//!   empirical self-healing (bra-ket conservation is deliberately violated
-//!   and the damage measured).
+//! - [`faults`]: out-of-model crash/recovery injection on the *indexed*
+//!   engine, measuring Circles' empirical self-healing (bra-ket conservation
+//!   is deliberately violated and the damage measured).
+//! - [`hazards`]: the count-level hazard layer — anonymous crash/corruption/
+//!   stuck-agent faults, churn (arrivals and departures), and adversarial
+//!   initial configurations, scaling the robustness probes to `n = 10^9`
+//!   populations on the batched [`CountEngine`](pp_protocol::CountEngine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod hazards;
 pub mod ordering;
 pub mod ties;
 pub mod unordered;
 
+pub use hazards::{Hazard, HazardKind, HazardOutcome, HazardPlan, HazardReport};
 pub use ordering::{OrderingProtocol, OrderingState, Role};
 pub use ties::{TieAnalysis, TieSemantics};
 pub use unordered::{UnorderedCircles, UnorderedOutput, UnorderedState};

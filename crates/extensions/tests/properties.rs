@@ -1,11 +1,48 @@
 //! Property-based tests for the §4 extensions: label-range safety, leader
-//! uniqueness dynamics, and the undo machinery's conservation guarantee.
+//! uniqueness dynamics, the undo machinery's conservation guarantee, and
+//! the hazard layer's mass-conservation and zero-overhead contracts.
 
-use circles_core::Color;
+use circles_core::{CirclesProtocol, Color};
+use pp_extensions::hazards::{run_with_hazards, Hazard, HazardKind, HazardPlan};
 use pp_extensions::ordering::{OrderingProtocol, OrderingState, Role};
 use pp_extensions::unordered::{UnorderedCircles, UnorderedPhase};
-use pp_protocol::{Population, Simulation, UniformPairScheduler};
+use pp_protocol::{
+    Activity, CompactActivity, CountConfig, CountEngine, DenseActivity, Population, Protocol,
+    RunReport, Simulation, SparseActivity, TransitionTable, UniformCountScheduler,
+    UniformPairScheduler,
+};
 use proptest::prelude::*;
+use rand::rngs::Philox4x32;
+
+/// Runs a hazard-free plan on the given activity index, cold or warm from
+/// `table`, and returns the measurement report.
+fn hazard_free_report<A: Activity>(
+    protocol: &CirclesProtocol,
+    inputs: &[Color],
+    seed: u64,
+    table: Option<&TransitionTable<CirclesProtocol>>,
+) -> RunReport<Color> {
+    let config: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+    let scheduler = UniformCountScheduler::new();
+    let rng = Philox4x32::stream(0, seed);
+    let mut engine = match table {
+        Some(table) => {
+            CountEngine::<_, _, A, _>::with_table_rng(protocol, config, scheduler, rng, table)
+        }
+        None => CountEngine::<_, _, A, _>::with_rng(protocol, config, scheduler, rng),
+    };
+    let mut hazard_rng = Philox4x32::stream(0, seed | 1 << 63);
+    let outcome = run_with_hazards(
+        &mut engine,
+        &HazardPlan::new(),
+        &[],
+        &mut hazard_rng,
+        u64::MAX / 2,
+    )
+    .unwrap();
+    assert!(outcome.stabilized);
+    outcome.report
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -104,5 +141,87 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Hazards: every non-churn hazard (crash, corruption, stuck-agent)
+    /// conserves total mass — the population observable to grading (active
+    /// plus quarantined) never changes size.
+    #[test]
+    fn non_churn_hazards_conserve_total_mass(
+        raw in proptest::collection::vec(0u16..3, 2..40),
+        schedule in proptest::collection::vec((0u64..2_000, 0u8..3), 0..8),
+        seed in any::<u64>(),
+    ) {
+        let k = 3u16;
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c)).collect();
+        let mut pool: std::collections::BTreeMap<Color, u64> = std::collections::BTreeMap::new();
+        for &c in &inputs {
+            *pool.entry(c).or_insert(0) += 1;
+        }
+        let pool: Vec<(Color, u64)> = pool.into_iter().collect();
+        let mut plan = HazardPlan::new();
+        for &(at_step, kind) in &schedule {
+            plan.push(Hazard {
+                at_step,
+                kind: match kind {
+                    0 => HazardKind::Crash,
+                    1 => HazardKind::Corrupt,
+                    _ => HazardKind::Stick,
+                },
+            });
+        }
+        let config: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+        let mut engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &protocol,
+            config,
+            UniformCountScheduler::new(),
+            Philox4x32::stream(0, seed),
+        );
+        let mut hazard_rng = Philox4x32::stream(1, seed);
+        let outcome =
+            run_with_hazards(&mut engine, &plan, &pool, &mut hazard_rng, u64::MAX / 2).unwrap();
+        prop_assert_eq!(outcome.final_n, inputs.len() as u64);
+        prop_assert_eq!(outcome.observable_config().n(), inputs.len());
+    }
+
+    /// Hazards: a hazard-free plan produces `RunReport`s byte-identical to
+    /// the plain engine run of the same seed, across
+    /// {flat, compact, dense} × {cold, warm}.
+    #[test]
+    fn hazard_free_plans_are_invisible_across_engines(
+        raw in proptest::collection::vec(0u16..3, 2..40),
+        seed in any::<u64>(),
+    ) {
+        let k = 3u16;
+        let protocol = CirclesProtocol::new(k).unwrap();
+        let inputs: Vec<Color> = raw.iter().map(|&c| Color(c)).collect();
+        // The reference: a plain flat-index run, no hazard layer at all.
+        let config: CountConfig<_> = inputs.iter().map(|c| protocol.input(c)).collect();
+        let mut plain = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &protocol,
+            config,
+            UniformCountScheduler::new(),
+            Philox4x32::stream(0, seed),
+        );
+        let reference = plain.run_until_silent(u64::MAX / 2).unwrap();
+        // Warm runs read the table this cold run discovered.
+        let table = TransitionTable::new();
+        plain.export_to(&table);
+        let flat_cold = hazard_free_report::<SparseActivity>(&protocol, &inputs, seed, None);
+        let compact_cold = hazard_free_report::<CompactActivity>(&protocol, &inputs, seed, None);
+        let dense_cold = hazard_free_report::<DenseActivity>(&protocol, &inputs, seed, None);
+        let flat_warm =
+            hazard_free_report::<SparseActivity>(&protocol, &inputs, seed, Some(&table));
+        let compact_warm =
+            hazard_free_report::<CompactActivity>(&protocol, &inputs, seed, Some(&table));
+        let dense_warm =
+            hazard_free_report::<DenseActivity>(&protocol, &inputs, seed, Some(&table));
+        prop_assert_eq!(&flat_cold, &reference);
+        prop_assert_eq!(&compact_cold, &reference);
+        prop_assert_eq!(&dense_cold, &reference);
+        prop_assert_eq!(&flat_warm, &reference);
+        prop_assert_eq!(&compact_warm, &reference);
+        prop_assert_eq!(&dense_warm, &reference);
     }
 }

@@ -723,20 +723,7 @@ where
 
     /// Moves one agent from output class `outs[from]` to `outs[to]`.
     fn shift_output(&mut self, from: usize, to: usize) {
-        let old = &self.outs[from];
-        let new = &self.outs[to];
-        if old == new {
-            return;
-        }
-        let slot = self
-            .output_counts
-            .get_mut(old)
-            .expect("output histogram out of sync");
-        *slot -= 1;
-        if *slot == 0 {
-            self.output_counts.remove(old);
-        }
-        *self.output_counts.entry(new.clone()).or_insert(0) += 1;
+        self.shift_output_mass(from, to, 1);
     }
 
     /// Returns the slot of `state`, creating it when unseen — in exactly the
@@ -824,6 +811,154 @@ where
             self.activity.add_slot(&self.counts, active);
         }
         idx
+    }
+
+    /// Per-slot agent counts, aligned with [`known_states`](Self::known_states)
+    /// — `counts()[s]` agents currently hold `known_states()[s]`. Slots whose
+    /// count returned to zero stay listed (slot ids are append-only).
+    ///
+    /// Hazard layers use this to sample a *victim slot* weighted by count,
+    /// which is exactly a uniformly random agent under anonymity.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Moves `amount` agents' worth of mass from state `from` to state `to`,
+    /// outside the protocol's transition relation — the count-level analogue
+    /// of overwriting `amount` agents' memory (crash-and-restart, transient
+    /// corruption). Counts, the output histogram and the activity index are
+    /// updated exactly as a transition would update them, so pair masses are
+    /// re-derived for every touched slot and silence re-arms: a silent engine
+    /// perturbed into an active configuration resumes running.
+    ///
+    /// Out-of-model by design: `steps`/`state_changes` are **not** advanced
+    /// (a hazard is not an interaction) and the change-point trace does not
+    /// record it, so a recorded trace of a hazardous run is not replayable.
+    /// `to` may be a state the engine has never seen; its slot is discovered
+    /// in the ordinary canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from` is unknown to the engine or holds fewer than
+    /// `amount` agents.
+    pub fn perturb_transfer(&mut self, from: &P::State, to: P::State, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let from_slot = *self
+            .index
+            .get(from)
+            .expect("perturb_transfer from a state the engine has never seen");
+        assert!(
+            self.counts[from_slot] >= amount,
+            "perturb_transfer: state holds {} agents, asked to move {amount}",
+            self.counts[from_slot]
+        );
+        let to_slot = self.ensure_slot(to);
+        if to_slot == from_slot {
+            return;
+        }
+        self.shift_output_mass(from_slot, to_slot, amount as usize);
+        self.counts[from_slot] -= amount;
+        self.activity.count_changed(from_slot, -(amount as i64));
+        self.counts[to_slot] += amount;
+        self.activity.count_changed(to_slot, amount as i64);
+        self.activity.settle(&self.counts);
+        self.note_disagreement();
+    }
+
+    /// Adds `amount` fresh agents in `state` — the arrival half of churn.
+    /// `n` grows; the activity index and output histogram follow. See
+    /// [`perturb_transfer`](Self::perturb_transfer) for the out-of-model
+    /// bookkeeping contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grown population would exceed `2^63 − 1` agents.
+    pub fn perturb_add(&mut self, state: P::State, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let n = self
+            .n
+            .checked_add(amount)
+            .filter(|&n| n < 1 << 63)
+            .expect("perturb_add would exceed the 2^63 - 1 agent cap");
+        self.n = n;
+        let slot = self.ensure_slot(state);
+        *self
+            .output_counts
+            .entry(self.outs[slot].clone())
+            .or_insert(0) += amount as usize;
+        self.counts[slot] += amount;
+        self.activity.count_changed(slot, amount as i64);
+        self.activity.settle(&self.counts);
+        self.note_disagreement();
+    }
+
+    /// Removes `amount` agents holding `state` from the population — the
+    /// departure half of churn, and the quarantine primitive for stuck
+    /// agents (the caller keeps the removed mass in its own ledger). `n`
+    /// shrinks. See [`perturb_transfer`](Self::perturb_transfer) for the
+    /// out-of-model bookkeeping contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is unknown or holds fewer than `amount` agents.
+    pub fn perturb_remove(&mut self, state: &P::State, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let slot = *self
+            .index
+            .get(state)
+            .expect("perturb_remove of a state the engine has never seen");
+        assert!(
+            self.counts[slot] >= amount,
+            "perturb_remove: state holds {} agents, asked to remove {amount}",
+            self.counts[slot]
+        );
+        self.n -= amount;
+        let out = self
+            .output_counts
+            .get_mut(&self.outs[slot])
+            .expect("output histogram out of sync");
+        *out -= amount as usize;
+        if *out == 0 {
+            let key = self.outs[slot].clone();
+            self.output_counts.remove(&key);
+        }
+        self.counts[slot] -= amount;
+        self.activity.count_changed(slot, -(amount as i64));
+        self.activity.settle(&self.counts);
+        self.note_disagreement();
+    }
+
+    /// Moves `amount` agents from output class `outs[from]` to `outs[to]`.
+    fn shift_output_mass(&mut self, from: usize, to: usize, amount: usize) {
+        let old = &self.outs[from];
+        let new = &self.outs[to];
+        if old == new {
+            return;
+        }
+        let slot = self
+            .output_counts
+            .get_mut(old)
+            .expect("output histogram out of sync");
+        *slot -= amount;
+        if *slot == 0 {
+            let key = old.clone();
+            self.output_counts.remove(&key);
+        }
+        *self.output_counts.entry(new.clone()).or_insert(0) += amount;
+    }
+
+    /// Records an output disagreement at the current step, keeping
+    /// `steps_to_consensus` honest after a perturbation re-splits outputs.
+    fn note_disagreement(&mut self) {
+        if self.output_counts.len() > 1 {
+            self.last_disagreement = Some(self.stats.steps);
+        }
     }
 
     /// Number of states the warm-start snapshot can materialize without
@@ -1321,6 +1456,76 @@ mod tests {
         warm.export_to(&table);
         assert_eq!(table.len(), 3);
         assert!(table.outcome_count() > 0, "applied outcomes are exported");
+    }
+
+    #[test]
+    fn perturbation_rearms_silence_and_keeps_histograms_consistent() {
+        // Reach silence, then knock one agent out of consensus: mass must
+        // re-arm, the run must resume, and all bookkeeping must stay exact.
+        let inputs: Vec<u8> = (0..100).map(|i| (i % 5) as u8).collect();
+        let mut engine = CountEngine::from_inputs(&Max, &inputs, 11);
+        engine.run_until_silent(u64::MAX).unwrap();
+        assert!(engine.is_silent());
+        assert_eq!(engine.report().consensus, Some(4));
+
+        engine.perturb_transfer(&4u8, 0u8, 3);
+        assert!(!engine.is_silent(), "perturbation re-armed activity");
+        assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
+        assert_eq!(engine.config().n(), 100, "transfer conserves agents");
+        assert_eq!(engine.output_counts().len(), 2);
+        let steps_before = engine.steps();
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(4), "max protocol re-heals");
+        assert!(engine.steps() > steps_before);
+        // Consensus was re-broken at the perturbation step, so the consensus
+        // time reflects the *recovery*, not the first convergence.
+        assert!(report.steps_to_consensus > steps_before);
+    }
+
+    #[test]
+    fn churn_perturbations_track_population_size() {
+        let mut engine = CountEngine::from_inputs(&Max, &[1u8, 2, 3], 5);
+        engine.perturb_add(9, 4);
+        assert_eq!(engine.n(), 7);
+        assert_eq!(engine.config().n(), 7);
+        assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
+        engine.perturb_remove(&9u8, 3);
+        assert_eq!(engine.n(), 4);
+        assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
+        let out_total: usize = engine.output_counts().values().sum();
+        assert_eq!(out_total, 4);
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(9), "the surviving 9 still wins");
+    }
+
+    #[test]
+    fn perturb_to_unknown_state_discovers_its_slot() {
+        let mut engine = CountEngine::from_inputs(&Max, &[1u8, 2], 3);
+        assert_eq!(engine.slots(), 2);
+        engine.perturb_transfer(&1u8, 7u8, 1);
+        assert_eq!(engine.slots(), 3, "target slot discovered");
+        assert_eq!(engine.mass(), mass_by_bruteforce(&engine));
+        let report = engine.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report.consensus, Some(7));
+    }
+
+    #[test]
+    fn zero_amount_perturbations_are_no_ops() {
+        let mut engine = CountEngine::from_inputs(&Max, &[1u8, 2], 3);
+        let mass = engine.mass();
+        engine.perturb_transfer(&1u8, 2u8, 0);
+        engine.perturb_add(9, 0);
+        engine.perturb_remove(&1u8, 0);
+        assert_eq!(engine.mass(), mass);
+        assert_eq!(engine.slots(), 2, "no slot discovered for amount 0");
+        assert_eq!(engine.n(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "asked to move")]
+    fn perturb_transfer_checks_available_mass() {
+        let mut engine = CountEngine::from_inputs(&Max, &[1u8, 2], 3);
+        engine.perturb_transfer(&1u8, 2u8, 5);
     }
 
     #[test]
