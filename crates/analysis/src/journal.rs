@@ -1,0 +1,557 @@
+//! Crash-tolerant JSONL journal of per-trial sweep results.
+//!
+//! A [`SweepJournal`] is an append-only text file holding one JSON object
+//! per line — one line per *settled* `(sweep_seed, trial_seed)` verdict.
+//! Supervised sweeps ([`SupervisedRunner`](crate::trial::SupervisedRunner))
+//! append each verdict the moment the trial settles and, on a later run
+//! against the same file, skip every seed the journal already answers — so
+//! a sweep killed at any point resumes where it left off instead of
+//! recomputing completed trials.
+//!
+//! Crash tolerance comes from three properties:
+//!
+//! - **append-only, one `write(2)` per line**: a crash can tear at most the
+//!   final line, never rewrite history;
+//! - **lossy parsing**: [`SweepJournal::load_lossy`] skips unparsable lines
+//!   (the torn tail) and reports how many it dropped, so a half-written
+//!   record costs one recomputed trial, not the journal;
+//! - **no external format dependencies**: the line codec
+//!   ([`encode_entry`]/[`parse_entry`]) is a few dozen lines of this module,
+//!   with the format version stamped into every line (`"v":1`) so future
+//!   revisions can evolve it without ambiguity.
+//!
+//! Trial determinism (the counter-based `(sweep_seed, trial_seed)` streams,
+//! see [`trial_rng`](crate::runner::trial_rng())) is what makes journal
+//! resume *sound*: a journaled result is bit-identical to what re-running
+//! the seed would produce, so skipping it changes nothing but time.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::trial::{TrialResult, TrialVerdict};
+
+/// Journal line format version, stamped into every entry as `"v":1`.
+/// Lines with any other version are skipped on load (forward compatibility:
+/// an old binary never misreads a new journal).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One settled `(sweep_seed, trial_seed)` verdict, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Sweep-level stream key the trial ran under.
+    pub sweep_seed: u64,
+    /// Trial seed within the sweep.
+    pub trial_seed: u64,
+    /// The recorded verdict.
+    pub verdict: TrialVerdict,
+}
+
+/// Renders `entry` as its single JSON line (no trailing newline).
+///
+/// The layout is a flat object: `"v"`, `"sweep_seed"`, `"trial_seed"`,
+/// `"status"`, then status-specific fields —
+/// `completed` carries the five [`TrialResult`] numbers, `poisoned` carries
+/// the panic `"message"` (JSON-escaped), `deadline_exceeded` carries the
+/// attempt count.
+pub fn encode_entry(entry: &JournalEntry) -> String {
+    let mut line = format!(
+        "{{\"v\":{JOURNAL_VERSION},\"sweep_seed\":{},\"trial_seed\":{},",
+        entry.sweep_seed, entry.trial_seed
+    );
+    match &entry.verdict {
+        TrialVerdict::Completed(r) => {
+            line.push_str(&format!(
+                "\"status\":\"completed\",\"steps_to_silence\":{},\
+                 \"steps_to_consensus\":{},\"state_changes\":{},\
+                 \"stabilized\":{},\"correct\":{}",
+                r.steps_to_silence, r.steps_to_consensus, r.state_changes, r.stabilized, r.correct
+            ));
+        }
+        TrialVerdict::Poisoned { message } => {
+            line.push_str("\"status\":\"poisoned\",\"message\":\"");
+            escape_into(&mut line, message);
+            line.push('"');
+        }
+        TrialVerdict::DeadlineExceeded { attempts } => {
+            line.push_str(&format!(
+                "\"status\":\"deadline_exceeded\",\"attempts\":{attempts}"
+            ));
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Parses one journal line back into its entry; `None` on any anomaly
+/// (torn tail, foreign line, unknown version or status) — the caller skips
+/// the line rather than failing the load.
+pub fn parse_entry(line: &str) -> Option<JournalEntry> {
+    let map = parse_object(line)?;
+    let num = |k: &str| match map.get(k) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    };
+    let flag = |k: &str| match map.get(k) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    };
+    let text = |k: &str| match map.get(k) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    if num("v")? != JOURNAL_VERSION {
+        return None;
+    }
+    let verdict = match text("status")? {
+        "completed" => TrialVerdict::Completed(TrialResult {
+            steps_to_silence: num("steps_to_silence")?,
+            steps_to_consensus: num("steps_to_consensus")?,
+            state_changes: num("state_changes")?,
+            stabilized: flag("stabilized")?,
+            correct: flag("correct")?,
+        }),
+        "poisoned" => TrialVerdict::Poisoned {
+            message: text("message")?.to_string(),
+        },
+        "deadline_exceeded" => TrialVerdict::DeadlineExceeded {
+            attempts: u32::try_from(num("attempts")?).ok()?,
+        },
+        _ => return None,
+    };
+    Some(JournalEntry {
+        sweep_seed: num("sweep_seed")?,
+        trial_seed: num("trial_seed")?,
+        verdict,
+    })
+}
+
+/// A results journal at a fixed path; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SweepJournal {
+    path: PathBuf,
+}
+
+impl SweepJournal {
+    /// A journal stored at `path` (created on first
+    /// [`appender`](Self::appender)).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SweepJournal { path: path.into() }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads every parsable entry, in file order. A missing file is an
+    /// empty journal, not an error; unparsable lines are silently skipped
+    /// (use [`load_lossy`](Self::load_lossy) to count them).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than "file not found".
+    pub fn load(&self) -> io::Result<Vec<JournalEntry>> {
+        self.load_lossy().map(|(entries, _)| entries)
+    }
+
+    /// [`load`](Self::load), also returning how many lines failed to parse
+    /// — the torn tail of a crashed writer, or foreign/garbage lines.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than "file not found".
+    pub fn load_lossy(&self) -> io::Result<(Vec<JournalEntry>, usize)> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_entry(line) {
+                Some(entry) => entries.push(entry),
+                None => skipped += 1,
+            }
+        }
+        Ok((entries, skipped))
+    }
+
+    /// The *final* verdicts journaled for `sweep_seed`, keyed by trial
+    /// seed — what a resuming sweep skips. Completed and poisoned verdicts
+    /// are final (both are deterministic in the seed); a
+    /// [`DeadlineExceeded`](TrialVerdict::DeadlineExceeded) give-up is
+    /// *transient* — it reflects machine load, not the trial — so it
+    /// un-settles the seed and the resumed sweep retries it with a fresh
+    /// clock. Later lines win when a seed appears twice.
+    ///
+    /// Skipped (unparsable) lines are reported to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than "file not found".
+    pub fn settled_for(&self, sweep_seed: u64) -> io::Result<BTreeMap<u64, TrialVerdict>> {
+        let (entries, skipped) = self.load_lossy()?;
+        if skipped > 0 {
+            eprintln!(
+                "results journal: skipped {skipped} unparsable line(s) in {} \
+                 (torn tail from a crash?)",
+                self.path.display()
+            );
+        }
+        let mut settled = BTreeMap::new();
+        for entry in entries {
+            if entry.sweep_seed != sweep_seed {
+                continue;
+            }
+            if matches!(entry.verdict, TrialVerdict::DeadlineExceeded { .. }) {
+                settled.remove(&entry.trial_seed);
+            } else {
+                settled.insert(entry.trial_seed, entry.verdict);
+            }
+        }
+        Ok(settled)
+    }
+
+    /// Opens the journal for appending (creating parent directories and the
+    /// file as needed). The appender is shared across worker threads; each
+    /// entry lands as one `write(2)` of a full line, so concurrent appends
+    /// interleave at line granularity and a crash tears at most the final
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating or opening the file.
+    pub fn appender(&self) -> io::Result<JournalAppender> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(JournalAppender {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+/// A shared, thread-safe append handle; see [`SweepJournal::appender`].
+#[derive(Debug)]
+pub struct JournalAppender {
+    file: Mutex<File>,
+}
+
+impl JournalAppender {
+    /// Appends one entry as a single line-plus-newline write.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing the line.
+    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        let mut line = encode_entry(entry);
+        line.push('\n');
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// JSON-escapes `s` into `out`: quote, backslash, and the C0 controls (the
+/// common three named, the rest as `\u00XX`). Everything else — including
+/// non-ASCII — passes through verbatim (JSON strings are UTF-8).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A parsed scalar field value: the only shapes journal lines contain.
+enum Value {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parses a single flat JSON object of scalar fields. Any deviation —
+/// nesting, duplicate keys, trailing bytes, malformed escapes — yields
+/// `None`; the journal loader treats such lines as torn and skips them.
+fn parse_object(line: &str) -> Option<BTreeMap<String, Value>> {
+    let mut sc = Scan::new(line.trim());
+    sc.eat('{')?;
+    let mut map = BTreeMap::new();
+    sc.skip_ws();
+    if sc.eat('}').is_some() {
+        return sc.at_end().then_some(map);
+    }
+    loop {
+        sc.skip_ws();
+        let key = sc.string()?;
+        sc.skip_ws();
+        sc.eat(':')?;
+        sc.skip_ws();
+        let value = sc.value()?;
+        if map.insert(key, value).is_some() {
+            return None;
+        }
+        sc.skip_ws();
+        match sc.bump()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    sc.at_end().then_some(map)
+}
+
+/// Minimal character scanner behind [`parse_object`].
+struct Scan<'a> {
+    s: &'a str,
+    i: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(s: &'a str) -> Self {
+        Scan { s, i: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.i..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.i == self.s.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, want: char) -> Option<()> {
+        if self.peek()? == want {
+            self.bump();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c == ' ' || c == '\t') {
+            self.bump();
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Option<()> {
+        if self.rest().starts_with(word) {
+            self.i += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Some(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut v: u32 = 0;
+                        for _ in 0..4 {
+                            v = v * 16 + self.bump()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c if (c as u32) < 0x20 => return None,
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.i == start {
+            return None;
+        }
+        self.s[start..self.i].parse().ok()
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            '"' => self.string().map(Value::Str),
+            't' => self.keyword("true").map(|()| Value::Bool(true)),
+            'f' => self.keyword("false").map(|()| Value::Bool(false)),
+            c if c.is_ascii_digit() => self.number().map(Value::Num),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pp-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry {
+                sweep_seed: 7,
+                trial_seed: 0,
+                verdict: TrialVerdict::Completed(TrialResult {
+                    steps_to_silence: 1234,
+                    steps_to_consensus: 1200,
+                    state_changes: 99,
+                    stabilized: true,
+                    correct: true,
+                }),
+            },
+            JournalEntry {
+                sweep_seed: 7,
+                trial_seed: 1,
+                verdict: TrialVerdict::Poisoned {
+                    message: "index out of bounds: \"len\" is 3\nbacktrace\ttab".to_string(),
+                },
+            },
+            JournalEntry {
+                sweep_seed: 7,
+                trial_seed: 2,
+                verdict: TrialVerdict::DeadlineExceeded { attempts: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_line_codec() {
+        for entry in sample_entries() {
+            let line = encode_entry(&entry);
+            assert!(!line.contains('\n'), "a journal line must be one line");
+            let back = parse_entry(&line).expect("codec round trip");
+            assert_eq!(back, entry);
+        }
+    }
+
+    #[test]
+    fn foreign_and_torn_lines_are_rejected_not_panicked() {
+        let bad = [
+            "",
+            "{",
+            "}",
+            "{}",
+            "not json at all",
+            "{\"v\":1,\"sweep_seed\":7",
+            "{\"v\":2,\"sweep_seed\":7,\"trial_seed\":0,\"status\":\"completed\"}",
+            "{\"v\":1,\"sweep_seed\":7,\"trial_seed\":0,\"status\":\"unknown\"}",
+            "{\"v\":1,\"sweep_seed\":7,\"trial_seed\":0,\"status\":\"poisoned\",\"message\":\"unterminated",
+            "{\"v\":1,\"v\":1}",
+            "{\"v\":1,\"sweep_seed\":7,\"trial_seed\":0,\"status\":\"completed\",\"steps_to_silence\":1,\"steps_to_consensus\":1,\"state_changes\":1,\"stabilized\":true,\"correct\":true} trailing",
+        ];
+        for line in bad {
+            assert!(parse_entry(line).is_none(), "accepted: {line:?}");
+        }
+        // Truncating a valid line anywhere must also be rejected.
+        let full = encode_entry(&sample_entries()[1]);
+        for cut in 0..full.len() {
+            if full.is_char_boundary(cut) {
+                assert!(parse_entry(&full[..cut]).is_none(), "accepted prefix {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn journal_survives_a_torn_tail() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::new(&path);
+        let entries = sample_entries();
+        let appender = journal.appender().unwrap();
+        for entry in &entries {
+            appender.append(entry).unwrap();
+        }
+        // Simulate a crash mid-write: a half line at the end of the file.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"sweep_seed\":7,\"trial_seed\":3,\"sta");
+        std::fs::write(&path, &text).unwrap();
+
+        let (loaded, skipped) = journal.load_lossy().unwrap();
+        assert_eq!(loaded, entries);
+        assert_eq!(skipped, 1, "exactly the torn tail is dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn settled_verdicts_skip_deadline_give_ups_and_other_sweeps() {
+        let path = temp_path("settled");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::new(&path);
+        let appender = journal.appender().unwrap();
+        for entry in sample_entries() {
+            appender.append(&entry).unwrap();
+        }
+        // An entry from another sweep must not leak in.
+        appender
+            .append(&JournalEntry {
+                sweep_seed: 8,
+                trial_seed: 5,
+                verdict: TrialVerdict::DeadlineExceeded { attempts: 1 },
+            })
+            .unwrap();
+        let settled = journal.settled_for(7).unwrap();
+        assert_eq!(
+            settled.keys().copied().collect::<Vec<_>>(),
+            vec![0, 1],
+            "completed + poisoned settle; the deadline give-up retries"
+        );
+        assert!(journal.settled_for(9).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_not_an_error() {
+        let journal = SweepJournal::new(temp_path("never-created-nope"));
+        assert!(journal.load().unwrap().is_empty());
+        assert!(journal.settled_for(0).unwrap().is_empty());
+    }
+}

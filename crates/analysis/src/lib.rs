@@ -21,6 +21,8 @@
 //! - [`trial`]: one-shot protocol runs with a uniform measurement record.
 //! - [`table_cache`]: on-disk persistence of discovered transition tables
 //!   (`PP_TABLE_CACHE`), so sweeps load structure instead of rediscovering.
+//! - [`journal`]: crash-tolerant JSONL results journal backing supervised
+//!   sweep resume (skip already-settled `(sweep_seed, trial_seed)` pairs).
 //! - [`epidemic`]: exact expectations for the output-propagation epidemic.
 
 #![forbid(unsafe_code)]
@@ -28,6 +30,7 @@
 
 pub mod epidemic;
 pub mod experiments;
+pub mod journal;
 pub mod plot;
 pub mod runner;
 pub mod stats;

@@ -108,9 +108,15 @@ impl TableCache {
 
     /// Loads the store for `protocol`, degrading every failure to an empty
     /// table: a missing file is a quiet [`CacheStatus::Miss`]; any other
-    /// error is reported to stderr and becomes [`CacheStatus::Invalid`].
-    /// Either way the caller can proceed with cold discovery — a bad cache
-    /// file can cost time, never correctness.
+    /// error is reported to stderr, the offending file is **quarantined**
+    /// (renamed to `<name>.ppts.corrupt`), and the load becomes
+    /// [`CacheStatus::Invalid`]. Either way the caller can proceed with
+    /// cold discovery — a bad cache file can cost time, never correctness.
+    ///
+    /// Quarantining keeps the bad bytes around for post-mortem while
+    /// guaranteeing the *next* run's [`store`](Self::store) re-populates
+    /// the slot instead of every subsequent run tripping over the same
+    /// corrupt file and paying cold discovery forever.
     pub fn load_or_empty<P>(&self, protocol: &P) -> (TransitionTable<P>, CacheStatus)
     where
         P: Protocol,
@@ -123,10 +129,20 @@ impl TableCache {
                 (TransitionTable::new(), CacheStatus::Miss)
             }
             Err(e) => {
-                eprintln!(
-                    "table cache: ignoring {}: {e}; rediscovering cold",
-                    self.path_for(protocol).display()
-                );
+                let path = self.path_for(protocol);
+                let quarantine = quarantine_path(&path);
+                match std::fs::rename(&path, &quarantine) {
+                    Ok(()) => eprintln!(
+                        "table cache: quarantining {} -> {}: {e}; rediscovering cold",
+                        path.display(),
+                        quarantine.display()
+                    ),
+                    Err(io) => eprintln!(
+                        "table cache: ignoring {}: {e}; quarantine rename failed ({io}); \
+                         rediscovering cold",
+                        path.display()
+                    ),
+                }
                 (TransitionTable::new(), CacheStatus::Invalid)
             }
         }
@@ -152,6 +168,17 @@ impl TableCache {
         std::fs::create_dir_all(&self.dir)?;
         transition_store::save(table, protocol, &self.path_for(protocol))
     }
+}
+
+/// The quarantine destination of a rejected store file: the same path with
+/// `.corrupt` appended (`circles-p3-....ppts.corrupt`).
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("store"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".corrupt");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -188,5 +215,39 @@ mod tests {
         let (table, status) = cache.load_or_empty(&protocol);
         assert_eq!(status, CacheStatus::Miss);
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn corrupt_store_is_quarantined_then_repopulated() {
+        let dir = temp_dir("quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = TableCache::new(&dir);
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let path = cache.path_for(&protocol);
+        std::fs::write(&path, b"definitely not a transition store").unwrap();
+
+        let (table, status) = cache.load_or_empty(&protocol);
+        assert_eq!(status, CacheStatus::Invalid);
+        assert!(table.is_empty());
+        assert!(!path.exists(), "the bad file left the cache slot");
+        let quarantine = quarantine_path(&path);
+        assert!(
+            quarantine.exists(),
+            "the bad bytes were kept for post-mortem"
+        );
+        assert!(quarantine
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with(".ppts.corrupt"));
+
+        // The slot re-populates on the next store, and loads cleanly again.
+        let discovered = TransitionTable::new();
+        cache.store(&protocol, &discovered).unwrap();
+        let (_, status) = cache.load_or_empty(&protocol);
+        assert_eq!(status, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,13 @@
-//! One-shot protocol trials with a uniform measurement record, and the
-//! backend-dispatching [`TrialRunner`].
+//! One-shot protocol trials with a uniform measurement record, the
+//! backend-dispatching [`TrialRunner`], and its crash-tolerant
+//! [`SupervisedRunner`] wrapper (panic isolation, per-trial deadlines with
+//! checkpointed retry, journaled sweep resume).
 
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use circles_core::Color;
 use pp_protocol::{
@@ -11,6 +17,7 @@ use pp_protocol::{
 };
 use rand::RngCore;
 
+use crate::journal::{JournalEntry, SweepJournal};
 use crate::runner::{default_threads, run_seeded, trial_rng};
 use crate::table_cache::TableCache;
 
@@ -27,6 +34,49 @@ pub struct TrialResult {
     pub stabilized: bool,
     /// Whether the final unanimous output equals the expected winner.
     pub correct: bool,
+}
+
+/// What a *supervised* trial settled to; see [`SupervisedRunner`].
+///
+/// Where the unsupervised [`TrialRunner::run`] panics the whole sweep when
+/// one trial dies, supervision confines every failure to its seed and
+/// records it as a typed verdict, so one bad trial costs one row — never
+/// the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialVerdict {
+    /// The trial ran to its normal conclusion (which may still be a
+    /// `stabilized == false` budget-exhaustion finding).
+    Completed(TrialResult),
+    /// The trial panicked (or failed on a framework error); `message` is
+    /// the panic payload or error rendering. Poisoning is deterministic in
+    /// the seed, so a resumed sweep does **not** retry it.
+    Poisoned {
+        /// The captured panic message or framework-error rendering.
+        message: String,
+    },
+    /// The trial overran its per-trial deadline `attempts` times (each
+    /// retry resuming from the in-memory checkpoint taken when the previous
+    /// deadline fired) and supervision gave up. Deadlines measure machine
+    /// load, not the trial, so a resumed sweep retries these seeds.
+    DeadlineExceeded {
+        /// How many attempts were made before giving up (`>= 1`).
+        attempts: u32,
+    },
+}
+
+impl TrialVerdict {
+    /// The completed result, when there is one.
+    pub fn result(&self) -> Option<&TrialResult> {
+        match self {
+            TrialVerdict::Completed(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Whether the trial ran to its normal conclusion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TrialVerdict::Completed(_))
+    }
 }
 
 /// Which simulation engine executes a trial.
@@ -564,6 +614,229 @@ impl TrialRunner {
     {
         run_seeded(&self.seeds, self.threads, f)
     }
+
+    /// Wraps this runner in a [`SupervisedRunner`]: same seeds, threads and
+    /// backend, but every trial is panic-isolated, optionally
+    /// deadline-bounded, and optionally journaled for crash-tolerant sweep
+    /// resume.
+    pub fn supervised(self) -> SupervisedRunner {
+        SupervisedRunner {
+            runner: self,
+            deadline: None,
+            checkpoint_every: 1 << 12,
+            max_attempts: 3,
+            journal: None,
+        }
+    }
+}
+
+/// A [`TrialRunner`] with a supervision layer: per-trial `catch_unwind`
+/// isolation (a panicking trial settles as
+/// [`TrialVerdict::Poisoned`] instead of aborting the sweep), an optional
+/// per-trial wall-clock [`deadline`](Self::deadline) with bounded
+/// retry-from-checkpoint, and an optional JSONL results
+/// [`journal`](Self::journal) that makes the sweep itself resumable: a
+/// killed sweep re-run against the same journal skips every seed that
+/// already settled.
+///
+/// Supervision never changes *what* a trial computes: completed verdicts
+/// are bit-identical to the unsupervised [`TrialRunner::run`] results of
+/// the same seeds (the deadline hook observes the engine without drawing
+/// from its RNG, and checkpoint resume is exact).
+#[derive(Debug, Clone)]
+pub struct SupervisedRunner {
+    runner: TrialRunner,
+    deadline: Option<Duration>,
+    checkpoint_every: u64,
+    max_attempts: u32,
+    journal: Option<SweepJournal>,
+}
+
+impl SupervisedRunner {
+    /// Bounds each trial's wall-clock time. A trial that overruns is paused
+    /// at its next checkpoint cadence and retried from that in-memory
+    /// checkpoint with a fresh clock (progress is never lost — the retry
+    /// continues bit-exactly where the deadline fired), up to
+    /// [`max_attempts`](Self::max_attempts) total attempts, after which the
+    /// seed settles as [`TrialVerdict::DeadlineExceeded`].
+    ///
+    /// Deadlines require checkpoint support and therefore apply on the
+    /// [`Backend::Count`] backend only; on the indexed backend the deadline
+    /// is ignored (trials run unbounded, as unsupervised).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline-check cadence in state-*changing* interactions
+    /// (default `4096`, clamped to at least 1): the engine offers a pause
+    /// point to the deadline clock every this many changes. Smaller values
+    /// bound overrun tighter; larger values cost less per change.
+    pub fn checkpoint_every(mut self, changes: u64) -> Self {
+        self.checkpoint_every = changes.max(1);
+        self
+    }
+
+    /// Sets the total attempt budget per trial under a
+    /// [`deadline`](Self::deadline) (default 3, clamped to at least 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Journals every settled verdict to the JSONL file at `path` and, on a
+    /// later run against the same path, skips seeds the journal already
+    /// settles (see [`SweepJournal::settled_for`] for what "settled"
+    /// means). Journal I/O failures degrade to an unjournaled sweep with a
+    /// stderr report — they never fail trials.
+    pub fn journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal = Some(SweepJournal::new(path));
+        self
+    }
+
+    /// The wrapped runner's configuration.
+    pub fn runner(&self) -> &TrialRunner {
+        &self.runner
+    }
+
+    /// Runs one supervised trial per seed and returns verdicts in seed
+    /// order. Trials run exactly as [`TrialRunner::run`] would (same
+    /// `(sweep_seed, seed)` streams, same backend), so every
+    /// [`Completed`](TrialVerdict::Completed) verdict is bit-identical to
+    /// the unsupervised result of that seed.
+    pub fn run<P>(&self, protocol: &P, inputs: &[P::Input], expected: Color) -> Vec<TrialVerdict>
+    where
+        P: Protocol<Output = Color> + Sync,
+        P::Input: Sync,
+        P::State: Send + Sync,
+    {
+        let backend = self.runner.backend;
+        let max_steps = self.runner.max_steps;
+        let sweep = self.runner.sweep_seed;
+        let deadline = self.deadline.filter(|_| backend == Backend::Count);
+        self.supervise(|seed| {
+            let attempt = catch_unwind(AssertUnwindSafe(|| match deadline {
+                Some(deadline) => run_count_trial_supervised(
+                    protocol,
+                    inputs,
+                    sweep,
+                    seed,
+                    expected,
+                    max_steps,
+                    deadline,
+                    self.checkpoint_every,
+                    self.max_attempts,
+                ),
+                None => {
+                    match backend.trial_stream(protocol, inputs, sweep, seed, expected, max_steps) {
+                        Ok(result) => TrialVerdict::Completed(result),
+                        Err(e) => TrialVerdict::Poisoned {
+                            message: format!("framework error: {e}"),
+                        },
+                    }
+                }
+            }));
+            attempt.unwrap_or_else(|payload| TrialVerdict::Poisoned {
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
+    /// Fans `f(seed)` out like [`TrialRunner::run_with`], but panic-isolated
+    /// and journaled: each call settles as `Completed(f(seed))` or, when `f`
+    /// panics, as a [`Poisoned`](TrialVerdict::Poisoned) verdict carrying
+    /// the panic message — the escape hatch for custom per-seed work that
+    /// still wants supervision (and how the panic-isolation tests inject
+    /// deliberate faults).
+    pub fn run_with<F>(&self, f: F) -> Vec<TrialVerdict>
+    where
+        F: Fn(u64) -> TrialResult + Sync,
+    {
+        self.supervise(|seed| match catch_unwind(AssertUnwindSafe(|| f(seed))) {
+            Ok(result) => TrialVerdict::Completed(result),
+            Err(payload) => TrialVerdict::Poisoned {
+                message: panic_message(payload.as_ref()),
+            },
+        })
+    }
+
+    /// The shared sweep skeleton: load settled seeds from the journal, fan
+    /// the rest out, append fresh verdicts as they settle, and merge back
+    /// into seed order (journaled verdicts win — they are what this sweep
+    /// skipped).
+    fn supervise<F>(&self, verdict_of: F) -> Vec<TrialVerdict>
+    where
+        F: Fn(u64) -> TrialVerdict + Sync,
+    {
+        let sweep = self.runner.sweep_seed;
+        let settled: BTreeMap<u64, TrialVerdict> = match &self.journal {
+            Some(journal) => journal.settled_for(sweep).unwrap_or_else(|e| {
+                eprintln!(
+                    "results journal: ignoring unreadable {}: {e}",
+                    journal.path().display()
+                );
+                BTreeMap::new()
+            }),
+            None => BTreeMap::new(),
+        };
+        let todo: Vec<u64> = self
+            .runner
+            .seeds
+            .iter()
+            .copied()
+            .filter(|seed| !settled.contains_key(seed))
+            .collect();
+        let appender = self.journal.as_ref().and_then(|journal| {
+            journal
+                .appender()
+                .map_err(|e| {
+                    eprintln!(
+                        "results journal: cannot append to {}: {e}; sweep runs unjournaled",
+                        journal.path().display()
+                    );
+                })
+                .ok()
+        });
+        let fresh: BTreeMap<u64, TrialVerdict> = run_seeded(&todo, self.runner.threads, |seed| {
+            let verdict = verdict_of(seed);
+            if let Some(appender) = &appender {
+                let entry = JournalEntry {
+                    sweep_seed: sweep,
+                    trial_seed: seed,
+                    verdict: verdict.clone(),
+                };
+                if let Err(e) = appender.append(&entry) {
+                    eprintln!("results journal: dropped entry for seed {seed}: {e}");
+                }
+            }
+            (seed, verdict)
+        })
+        .into_iter()
+        .collect();
+        self.runner
+            .seeds
+            .iter()
+            .map(|seed| {
+                settled
+                    .get(seed)
+                    .or_else(|| fresh.get(seed))
+                    .cloned()
+                    .expect("every seed is journaled or freshly run")
+            })
+            .collect()
+    }
+}
+
+/// Renders a caught panic payload as text (the two shapes `panic!` actually
+/// produces, with an opaque fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Runs a protocol whose output is a [`Color`] to silence under the given
@@ -818,6 +1091,94 @@ where
     }
 }
 
+/// A deadline-bounded count-backend trial: runs the same cold sparse engine
+/// as [`Backend::Count`]'s [`trial_stream`](Backend::trial_stream) (so a
+/// completed verdict is bit-identical to the unsupervised trial of the same
+/// `(sweep_seed, seed)`), but offers a pause point to a wall-clock deadline
+/// every `checkpoint_every` state changes. When the deadline fires, the
+/// engine checkpoints in memory and the trial retries *from that
+/// checkpoint* with a fresh clock — progress is never discarded — up to
+/// `max_attempts` total attempts before settling as
+/// [`TrialVerdict::DeadlineExceeded`].
+///
+/// The deadline hook only observes the engine (no RNG draws), and
+/// checkpoint resume is exact, so a trial that pauses and resumes any
+/// number of times still produces the uninterrupted trial's numbers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_count_trial_supervised<P>(
+    protocol: &P,
+    inputs: &[P::Input],
+    sweep_seed: u64,
+    seed: u64,
+    expected: Color,
+    max_steps: u64,
+    deadline: Duration,
+    checkpoint_every: u64,
+    max_attempts: u32,
+) -> TrialVerdict
+where
+    P: Protocol<Output = Color>,
+{
+    let max_attempts = max_attempts.max(1);
+    let every = checkpoint_every.max(1);
+    let config: CountConfig<P::State> = inputs.iter().map(|i| protocol.input(i)).collect();
+    let mut engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+        protocol,
+        config,
+        UniformCountScheduler::new(),
+        trial_rng(sweep_seed, seed),
+    );
+    let mut attempts = 1u32;
+    loop {
+        let start = Instant::now();
+        let mut paused = None;
+        let outcome = engine.run_until_silent_checkpointed(max_steps, every, |e| {
+            if start.elapsed() >= deadline {
+                paused = Some(e.checkpoint());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match outcome {
+            Ok(report) => {
+                return TrialVerdict::Completed(TrialResult {
+                    steps_to_silence: report.steps_to_silence,
+                    steps_to_consensus: report.steps_to_consensus,
+                    state_changes: report.state_changes,
+                    stabilized: true,
+                    correct: report.consensus == Some(expected),
+                });
+            }
+            Err(FrameworkError::MaxStepsExceeded { .. }) => {
+                return TrialVerdict::Completed(TrialResult {
+                    steps_to_silence: engine.stats().last_change_step,
+                    steps_to_consensus: max_steps,
+                    state_changes: engine.stats().state_changes,
+                    stabilized: false,
+                    correct: false,
+                });
+            }
+            Err(FrameworkError::Interrupted { .. }) => {
+                if attempts >= max_attempts {
+                    return TrialVerdict::DeadlineExceeded { attempts };
+                }
+                attempts += 1;
+                let checkpoint = paused
+                    .take()
+                    .expect("the deadline hook always checkpoints before pausing");
+                engine = CountEngine::resume(protocol, UniformCountScheduler::new(), &checkpoint)
+                    .expect("an in-memory checkpoint of a live engine is always resumable");
+            }
+            Err(e) => {
+                return TrialVerdict::Poisoned {
+                    message: format!("framework error: {e}"),
+                };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -971,6 +1332,152 @@ mod tests {
             .threads(2);
         let out = runner.run_with(|seed| seed * 10);
         assert_eq!(out, vec![30, 10, 40]);
+    }
+
+    #[test]
+    fn poisoned_trial_is_isolated_and_the_rest_match_a_clean_sweep() {
+        // The robustness acceptance bar: a sweep with one deliberately
+        // panicking trial completes with exactly one poisoned verdict, and
+        // every other trial is bit-identical to the clean sweep.
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..60).map(|i| Color(u16::from(i >= 40))).collect();
+        let runner = TrialRunner::new(Backend::Count).seeds(6).threads(3);
+        let clean = runner.run(&protocol, &inputs, Color(0));
+        let verdicts = runner.clone().supervised().run_with(|seed| {
+            if seed == 3 {
+                panic!("injected fault in seed 3");
+            }
+            Backend::Count
+                .trial_stream(&protocol, &inputs, 0, seed, Color(0), u64::MAX / 2)
+                .expect("trial failed")
+        });
+        assert_eq!(verdicts.len(), 6);
+        for (i, verdict) in verdicts.iter().enumerate() {
+            if i == 3 {
+                match verdict {
+                    TrialVerdict::Poisoned { message } => {
+                        assert!(message.contains("injected fault"), "{message}");
+                    }
+                    other => panic!("seed 3 must poison, got {other:?}"),
+                }
+            } else {
+                assert_eq!(
+                    verdict.result(),
+                    Some(&clean[i]),
+                    "seed {i} must match the clean sweep bit for bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised_with_and_without_a_deadline() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..60).map(|i| Color((i % 3) as u16)).collect();
+        let runner = TrialRunner::new(Backend::Count).seeds(5).threads(2);
+        let clean = runner.run(&protocol, &inputs, Color(0));
+        // No deadline: the plain trial_stream path.
+        let plain = runner
+            .clone()
+            .supervised()
+            .run(&protocol, &inputs, Color(0));
+        // Generous deadline: the checkpointed-driver path, never firing.
+        let bounded = runner
+            .clone()
+            .supervised()
+            .deadline(Duration::from_secs(3600))
+            .checkpoint_every(16)
+            .run(&protocol, &inputs, Color(0));
+        for (label, verdicts) in [("plain", &plain), ("deadline", &bounded)] {
+            for (i, verdict) in verdicts.iter().enumerate() {
+                assert_eq!(verdict.result(), Some(&clean[i]), "{label} seed {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_retry_resumes_from_checkpoint_and_still_completes_exactly() {
+        // A zero deadline fires at every cadence point, so the trial only
+        // finishes through repeated resume-from-checkpoint — and must still
+        // produce the uninterrupted trial's exact numbers.
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..50).map(|i| Color((i % 3) as u16)).collect();
+        let clean = Backend::Count
+            .trial_stream(&protocol, &inputs, 0, 1, Color(0), u64::MAX / 2)
+            .unwrap();
+        let verdict = run_count_trial_supervised(
+            &protocol,
+            &inputs,
+            0,
+            1,
+            Color(0),
+            u64::MAX / 2,
+            Duration::ZERO,
+            40,
+            100_000,
+        );
+        assert_eq!(verdict.result(), Some(&clean));
+    }
+
+    #[test]
+    fn deadline_give_up_is_a_typed_verdict_with_the_attempt_count() {
+        let protocol = CirclesProtocol::new(3).unwrap();
+        let inputs: Vec<Color> = (0..60).map(|i| Color((i % 3) as u16)).collect();
+        let verdict = run_count_trial_supervised(
+            &protocol,
+            &inputs,
+            0,
+            2,
+            Color(0),
+            u64::MAX / 2,
+            Duration::ZERO,
+            1,
+            2,
+        );
+        assert_eq!(verdict, TrialVerdict::DeadlineExceeded { attempts: 2 });
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_without_recomputing_settled_seeds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path =
+            std::env::temp_dir().join(format!("pp-supervised-resume-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let protocol = CirclesProtocol::new(2).unwrap();
+        let inputs: Vec<Color> = (0..40).map(|i| Color(u16::from(i < 10))).collect();
+        let supervised = TrialRunner::new(Backend::Count)
+            .seeds(5)
+            .threads(2)
+            .supervised()
+            .journal(&path);
+        let computed = AtomicUsize::new(0);
+        let trial = |seed: u64| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            Backend::Count
+                .trial_stream(&protocol, &inputs, 0, seed, Color(0), u64::MAX / 2)
+                .expect("trial failed")
+        };
+        let first = supervised.run_with(trial);
+        assert_eq!(computed.load(Ordering::Relaxed), 5);
+        // A "crashed and restarted" sweep: same journal, same seeds — every
+        // settled seed is skipped, and the merged verdicts are identical.
+        let second = supervised.run_with(trial);
+        assert_eq!(
+            computed.load(Ordering::Relaxed),
+            5,
+            "journaled seeds must not recompute"
+        );
+        assert_eq!(second, first);
+        // Widening the sweep only computes the new seeds.
+        let widened = TrialRunner::new(Backend::Count)
+            .seeds(7)
+            .threads(2)
+            .supervised()
+            .journal(&path)
+            .run_with(trial);
+        assert_eq!(computed.load(Ordering::Relaxed), 7);
+        assert_eq!(&widened[..5], &first[..]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

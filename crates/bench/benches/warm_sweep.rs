@@ -199,10 +199,13 @@ fn bench_warm_sweep(c: &mut Criterion) {
     // The real sweep, end-to-end: fresh table, first seed warms it
     // serially, the rest fan out against snapshots of it. Thread count is
     // configurable so CI can assert the report is thread-independent.
-    let threads: usize = std::env::var("PP_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let threads: usize = match pp_bench::env_override::<usize>("PP_BENCH_THREADS") {
+        Some(0) => {
+            pp_bench::env_override_fail("PP_BENCH_THREADS", "0", "thread count must be at least 1")
+        }
+        Some(threads) => threads,
+        None => 0, // unset: defer to the runner's default (all CPUs)
+    };
     // When a table cache is configured (CI shares the k = 30 store built by
     // the `table-store` job via `PP_TABLE_CACHE`), start the sweep from the
     // cached table instead of rediscovering it — trial reports are

@@ -11,30 +11,31 @@
 
 use pp_analysis::experiments::e11_faults::{run, Params};
 
-fn env_u64(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
-    match raw.parse() {
-        Ok(v) => Some(v),
-        Err(e) => {
-            eprintln!("ignoring {name}={raw}: {e}");
-            None
-        }
-    }
-}
-
 fn main() {
     let mut params = if pp_bench::quick_requested() {
         Params::quick()
     } else {
         Params::default()
     };
-    if let Some(n) = env_u64("PP_E11_HAZARD_N") {
+    // Invalid overrides are a hard exit(2) with a structured one-line
+    // error naming the variable — never a silent fallback, never a panic.
+    if let Some(n) = pp_bench::env_override::<u64>("PP_E11_HAZARD_N") {
+        if n == 0 {
+            pp_bench::env_override_fail("PP_E11_HAZARD_N", "0", "population must be at least 1");
+        }
         params.hazard_n = n;
     }
-    if let Some(k) = env_u64("PP_E11_HAZARD_K") {
-        params.hazard_k = k.try_into().expect("PP_E11_HAZARD_K out of range");
+    if let Some(k) = pp_bench::env_override::<u64>("PP_E11_HAZARD_K") {
+        params.hazard_k = match k.try_into() {
+            Ok(k) if k >= 2 => k,
+            _ => pp_bench::env_override_fail(
+                "PP_E11_HAZARD_K",
+                &k.to_string(),
+                "color count must be in 2..=65535",
+            ),
+        };
     }
-    if let Some(seeds) = env_u64("PP_E11_HAZARD_SEEDS") {
+    if let Some(seeds) = pp_bench::env_override::<u64>("PP_E11_HAZARD_SEEDS") {
         params.hazard_seeds = seeds;
     }
     let table = run(&params);

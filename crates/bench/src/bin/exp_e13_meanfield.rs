@@ -2,12 +2,19 @@
 //!
 //! `PP_E13_SAMPLER=count` switches to the count-engine sampler at the
 //! large-`n` preset (`n` up to `10^8`), the populations the SSA event loop
-//! cannot reach; default is the Gillespie reference sweep.
+//! cannot reach; `PP_E13_SAMPLER=gillespie` (or unset) is the Gillespie
+//! reference sweep. Any other value exits with a structured error.
 
 use pp_analysis::experiments::e13_meanfield::{run_with_figures, Params};
 
 fn main() {
-    let count_sampler = std::env::var("PP_E13_SAMPLER").is_ok_and(|v| v == "count");
+    let count_sampler = match pp_bench::env_override::<String>("PP_E13_SAMPLER").as_deref() {
+        None | Some("gillespie") => false,
+        Some("count") => true,
+        Some(other) => {
+            pp_bench::env_override_fail("PP_E13_SAMPLER", other, "expected `count` or `gillespie`")
+        }
+    };
     let params = if pp_bench::quick_requested() {
         Params::quick()
     } else if count_sampler {

@@ -1,7 +1,7 @@
 //! Many-thread stress harness for the lock-free transition-table publisher.
 //!
 //! ```text
-//! stress_racing_exports [--threads N] [--rounds R]
+//! stress_racing_exports [--threads N] [--rounds R] [--watchdog-secs S]
 //! ```
 //!
 //! Each round races `N` cold Circles engines (default 32, shifted
@@ -29,6 +29,14 @@
 //!
 //! Exit status: `0` on success; any violated invariant panics (non-zero).
 //!
+//! A wall-clock **watchdog** thread (default 300 s, `--watchdog-secs`, `0`
+//! disables) guards the whole run: a deadlocked or livelocked publication
+//! race aborts the process with the last recorded phase markers instead of
+//! hanging CI until the job-level timeout. The main thread cannot print a
+//! dump itself — it is the thread that is stuck — so the watchdog reports
+//! the phase registry (what each stage last logged) and `abort()`s, which
+//! fails the job in minutes with the stuck phase named.
+//!
 //! This binary is the `concurrency` CI job's release-mode companion to the
 //! ThreadSanitizer suites: TSan watches the small tests for data races,
 //! this watches the real protocol at real thread counts for lost updates.
@@ -36,6 +44,8 @@
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use circles_core::CirclesProtocol;
 use pp_analysis::table_cache::TableCache;
@@ -55,6 +65,66 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The watchdog's view of progress: each stage overwrites its slot with a
+/// human-readable marker as it starts, so on a hang the dump names exactly
+/// which phase (and round) stopped advancing.
+#[derive(Debug, Default)]
+struct PhaseRegistry {
+    phases: Mutex<Vec<String>>,
+}
+
+impl PhaseRegistry {
+    fn mark(&self, phase: impl Into<String>) {
+        let phase = phase.into();
+        let mut phases = self.phases.lock().expect("phase registry lock");
+        phases.push(phase);
+        // Keep the registry small: only the trailing window matters.
+        let excess = phases.len().saturating_sub(16);
+        if excess > 0 {
+            phases.drain(..excess);
+        }
+    }
+
+    fn dump(&self) -> String {
+        match self.phases.lock() {
+            Ok(phases) => phases.join("\n  "),
+            Err(_) => "phase registry poisoned".to_string(),
+        }
+    }
+}
+
+/// Starts the wall-clock watchdog: unless the returned flag is set within
+/// `limit`, the process prints the phase registry and aborts. The thread is
+/// detached — on normal completion it either observes the flag and returns,
+/// or dies with the process at exit.
+fn start_watchdog(limit: Duration, registry: &Arc<PhaseRegistry>) -> Arc<AtomicBool> {
+    let finished = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&finished);
+    let registry = Arc::clone(registry);
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + limit;
+        while Instant::now() < deadline {
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        if flag.load(Ordering::Acquire) {
+            return;
+        }
+        eprintln!(
+            "stress_racing_exports: WATCHDOG: no completion within {}s — \
+             the publication race is deadlocked or livelocked.\n\
+             last phase markers (most recent last):\n  {}\n\
+             aborting so CI fails in minutes instead of hanging at the job timeout",
+            limit.as_secs(),
+            registry.dump(),
+        );
+        std::process::abort();
+    });
+    finished
 }
 
 /// Order-independent digest of everything a snapshot serves: states and
@@ -188,10 +258,11 @@ fn check_union(
 
 /// Optional warm phase against the cached k = 30 store: concurrent epoch
 /// captures plus racing warm trials that export back into the big table.
-fn warm_phase(threads: usize) {
+fn warm_phase(threads: usize, registry: &PhaseRegistry) {
     let Some(cache) = TableCache::from_env() else {
         return;
     };
+    registry.mark("warm phase: loading cached k=30 store");
     let protocol = CirclesProtocol::new(30).expect("k = 30 is valid");
     let (table, status) = cache.load_or_empty(&protocol);
     if table.is_empty() {
@@ -202,6 +273,7 @@ fn warm_phase(threads: usize) {
         "warm phase: k=30 table loaded ({} states), racing {threads} warm trials",
         table.len()
     );
+    registry.mark("warm phase: racing warm exports");
     let pre = table.snapshot();
     let before = digest(&pre);
     std::thread::scope(|scope| {
@@ -243,10 +315,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads = flag(&args, "--threads", 32);
     let rounds = flag(&args, "--rounds", 4);
+    let watchdog_secs = flag(&args, "--watchdog-secs", 300);
+    let registry = Arc::new(PhaseRegistry::default());
+    let finished = (watchdog_secs > 0)
+        .then(|| start_watchdog(Duration::from_secs(watchdog_secs as u64), &registry));
     let protocol = CirclesProtocol::new(K_COLD).expect("k is valid");
     for round in 0..rounds {
         let table = TransitionTable::new();
+        registry.mark(format!("round {}/{rounds}: racing cold engines", round + 1));
         race_cold(&protocol, &table, threads);
+        registry.mark(format!(
+            "round {}/{rounds}: checking union vs serial replay",
+            round + 1
+        ));
         check_union(&protocol, &table, threads);
         println!(
             "round {}/{rounds}: ok ({} states, {} outcomes, {threads} threads)",
@@ -255,6 +336,9 @@ fn main() -> ExitCode {
             table.outcome_count(),
         );
     }
-    warm_phase(threads);
+    warm_phase(threads, &registry);
+    if let Some(finished) = finished {
+        finished.store(true, Ordering::Release);
+    }
     ExitCode::SUCCESS
 }

@@ -23,6 +23,35 @@ pub fn quick_requested() -> bool {
         || std::env::var("PP_EXP_QUICK").is_ok_and(|v| v != "0")
 }
 
+/// Reads the `PP_*` override `name` as a `T`. Unset is `None`; a set but
+/// unparsable value is a hard, structured failure via
+/// [`env_override_fail`] — an experiment or bench must never start a long
+/// run having silently ignored a typo'd override, and must never panic with
+/// a backtrace over one either.
+pub fn env_override<T>(name: &str) -> Option<T>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw = std::env::var_os(name)?;
+    let Some(text) = raw.to_str() else {
+        env_override_fail(name, &raw.to_string_lossy(), "value is not valid UTF-8");
+    };
+    match text.parse() {
+        Ok(value) => Some(value),
+        Err(e) => env_override_fail(name, text, e),
+    }
+}
+
+/// Reports an invalid `PP_*` environment override as one structured line on
+/// stderr — `error: invalid environment override NAME=VALUE: reason` — and
+/// exits with status 2 (the experiment binaries' contract for bad
+/// overrides; distinct from 1, a runtime failure).
+pub fn env_override_fail(name: &str, value: &str, reason: impl std::fmt::Display) -> ! {
+    eprintln!("error: invalid environment override {name}={value}: {reason}");
+    std::process::exit(2);
+}
+
 /// Prints the table and writes `results/<basename>.{md,csv}` relative to
 /// the workspace root (or the current directory when run elsewhere).
 ///

@@ -27,16 +27,25 @@
 //!   stuck-agent faults, churn (arrivals and departures), and adversarial
 //!   initial configurations, scaling the robustness probes to `n = 10^9`
 //!   populations on the batched [`CountEngine`](pp_protocol::CountEngine).
+//! - [`hazard_checkpoint`]: crash-tolerance for the hazard layer itself —
+//!   the driver's schedule tail, quarantine ledger and hazard-RNG position
+//!   persist inside engine run checkpoints (`.pprc`), so a killed hazardous
+//!   run resumes bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod hazard_checkpoint;
 pub mod hazards;
 pub mod ordering;
 pub mod ties;
 pub mod unordered;
 
+pub use hazard_checkpoint::{
+    decode_hazard_aux, encode_hazard_aux, run_with_hazards_checkpointed, HazardProgress,
+    HAZARD_AUX_SECTION,
+};
 pub use hazards::{Hazard, HazardKind, HazardOutcome, HazardPlan, HazardReport};
 pub use ordering::{OrderingProtocol, OrderingState, Role};
 pub use ties::{TieAnalysis, TieSemantics};

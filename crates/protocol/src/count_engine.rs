@@ -38,6 +38,7 @@ use crate::config::CountConfig;
 use crate::count_trace::CountTrace;
 use crate::error::FrameworkError;
 use crate::protocol::Protocol;
+use crate::run_checkpoint::{CheckpointError, ResumableRng, RunCheckpoint};
 use crate::scheduler::{CountScheduler, CountView, UniformCountScheduler};
 use crate::simulation::{RunReport, SimStats};
 use crate::transition_table::{Segment, TableSnapshot, TransitionTable};
@@ -616,6 +617,98 @@ where
         Ok(())
     }
 
+    /// [`run_until_silent`](Self::run_until_silent) with a periodic
+    /// checkpoint hook: after every `every_changes` state changes the hook
+    /// observes the engine at a change-point boundary — the natural place to
+    /// call [`checkpoint`](Self::checkpoint) and persist it. A hook
+    /// returning [`ControlFlow::Break`](std::ops::ControlFlow::Break) pauses
+    /// the run (supervisors use this for deadlines and graceful shutdown);
+    /// `every_changes == 0` disables the hook entirely.
+    ///
+    /// The hook runs strictly *between* change-points and never touches the
+    /// engine's RNG, so a hooked run — paused or not — follows the exact
+    /// trajectory of the unhooked run of the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::MaxStepsExceeded`] when the budget is
+    /// exhausted before silence, and [`FrameworkError::Interrupted`] when
+    /// the hook breaks — the engine then sits at a change-point, resumable
+    /// from its latest checkpoint (or in place).
+    pub fn run_until_silent_checkpointed<F>(
+        &mut self,
+        max_steps: u64,
+        every_changes: u64,
+        mut hook: F,
+    ) -> Result<RunReport<P::Output>, FrameworkError>
+    where
+        F: FnMut(&Self) -> std::ops::ControlFlow<()>,
+    {
+        let mut last_hook_changes = self.stats.state_changes;
+        loop {
+            if self.is_silent() {
+                return Ok(self.report());
+            }
+            let remaining = max_steps.saturating_sub(self.stats.steps);
+            if remaining == 0 {
+                return Err(FrameworkError::MaxStepsExceeded { max_steps });
+            }
+            self.advance_one_change(remaining);
+            if every_changes > 0 && self.stats.state_changes - last_hook_changes >= every_changes {
+                last_hook_changes = self.stats.state_changes;
+                if hook(self).is_break() {
+                    return Err(FrameworkError::Interrupted {
+                        steps: self.stats.steps,
+                    });
+                }
+            }
+        }
+    }
+
+    /// [`advance_to`](Self::advance_to) with the periodic checkpoint hook of
+    /// [`run_until_silent_checkpointed`](Self::run_until_silent_checkpointed)
+    /// — same cadence, same trajectory-neutrality contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::PopulationTooSmall`] for populations with
+    /// fewer than two agents, and [`FrameworkError::Interrupted`] when the
+    /// hook breaks.
+    pub fn advance_to_checkpointed<F>(
+        &mut self,
+        target_steps: u64,
+        every_changes: u64,
+        mut hook: F,
+    ) -> Result<(), FrameworkError>
+    where
+        F: FnMut(&Self) -> std::ops::ControlFlow<()>,
+    {
+        if self.n < 2 {
+            if target_steps > self.stats.steps {
+                return Err(FrameworkError::PopulationTooSmall { n: self.n as usize });
+            }
+            return Ok(());
+        }
+        let mut last_hook_changes = self.stats.state_changes;
+        while self.stats.steps < target_steps {
+            if self.is_silent() {
+                // Every remaining interaction is null.
+                self.stats.steps = target_steps;
+                return Ok(());
+            }
+            self.advance_one_change(target_steps - self.stats.steps);
+            if every_changes > 0 && self.stats.state_changes - last_hook_changes >= every_changes {
+                last_hook_changes = self.stats.state_changes;
+                if hook(self).is_break() {
+                    return Err(FrameworkError::Interrupted {
+                        steps: self.stats.steps,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Consumes up to `budget` interactions: the skipped nulls plus (when the
     /// budget allows) the next state-changing one.
     pub(crate) fn advance_one_change(&mut self, budget: u64) {
@@ -1123,6 +1216,193 @@ where
     }
 }
 
+impl<'p, P, CS, A, R> CountEngine<'p, P, CS, A, R>
+where
+    P: Protocol,
+    CS: CountScheduler<P::State>,
+    A: Activity,
+    R: ResumableRng,
+{
+    /// Captures this engine's resumable state as a [`RunCheckpoint`] —
+    /// `O(slots)` of data: the canonical slot→state list, per-slot counts,
+    /// the step/stats counters, the RNG stream position and the recorded
+    /// change-point trace (when recording). Everything else — the activity
+    /// index, the output histogram, the transition memo — is derivable and
+    /// deliberately not captured; [`resume`](Self::resume) rebuilds it.
+    ///
+    /// The capture happens at whatever point the engine currently sits;
+    /// call it from a
+    /// [`run_until_silent_checkpointed`](Self::run_until_silent_checkpointed)
+    /// hook to guarantee a change-point boundary. Layers above the engine
+    /// (hazard drivers, supervisors) attach their own state through
+    /// [`RunCheckpoint::set_aux`].
+    pub fn checkpoint(&self) -> RunCheckpoint<P::State> {
+        let trace = self.trace.as_ref().map(|pairs| {
+            pairs
+                .iter()
+                .map(|(a, b)| (self.index[a] as u32, self.index[b] as u32))
+                .collect()
+        });
+        RunCheckpoint {
+            protocol: self.protocol.name().to_string(),
+            fingerprint: crate::transition_store::fingerprint(self.protocol),
+            param: self.protocol.fingerprint_param(),
+            symmetric: self.symmetric,
+            n: self.n,
+            stats: self.stats,
+            last_disagreement: self.last_disagreement,
+            states: self.states.clone(),
+            counts: self.counts.clone(),
+            rng_kind: R::RNG_KIND,
+            rng_words: self.rng.save_words(),
+            trace,
+            aux: Vec::new(),
+        }
+    }
+
+    /// Reconstructs an engine from `checkpoint`, cold (no warm snapshot).
+    /// See [`resume_with_snapshot`](Self::resume_with_snapshot) for the
+    /// resume contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`resume_with_snapshot`](Self::resume_with_snapshot).
+    pub fn resume(
+        protocol: &'p P,
+        scheduler: CS,
+        checkpoint: &RunCheckpoint<P::State>,
+    ) -> Result<Self, CheckpointError> {
+        Self::resume_inner(protocol, scheduler, checkpoint, None)
+    }
+
+    /// Reconstructs an engine from `checkpoint`, warm-started from
+    /// `snapshot` (used as a lookup oracle, exactly as in
+    /// [`with_snapshot_rng`](Self::with_snapshot_rng)).
+    ///
+    /// **Resume contract.** The resumed engine continues the checkpointed
+    /// run bit-identically: slots are re-registered in their canonical
+    /// (checkpointed) order, the activity index and output histogram are
+    /// rebuilt deterministically from the counts, and the RNG resumes at
+    /// its exact saved stream position — so the remainder of the run
+    /// (trajectory, `RunReport`, recorded trace, RNG draws) matches the
+    /// uninterrupted run regardless of which snapshot (or none) the resumed
+    /// engine is warmed from. The transition memo restarts empty; misses
+    /// recompute through the snapshot or the protocol, which never affects
+    /// the trajectory. The scheduler must be stateless (as
+    /// [`UniformCountScheduler`] is) — a scheduler with history of its own
+    /// is not captured by checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// - [`CheckpointError::IdentityMismatch`] when the checkpoint was taken
+    ///   for a different protocol parameterization.
+    /// - [`CheckpointError::RngMismatch`] when it was taken under a
+    ///   different generator family than `R`.
+    /// - [`CheckpointError::Corrupt`] when the checkpoint is internally
+    ///   inconsistent (name/symmetry disagreement, duplicate states,
+    ///   undecodable RNG words, counts not summing to `n`).
+    pub fn resume_with_snapshot(
+        protocol: &'p P,
+        scheduler: CS,
+        checkpoint: &RunCheckpoint<P::State>,
+        snapshot: Arc<TableSnapshot<P::State>>,
+    ) -> Result<Self, CheckpointError> {
+        Self::resume_inner(protocol, scheduler, checkpoint, Some(snapshot))
+    }
+
+    fn resume_inner(
+        protocol: &'p P,
+        scheduler: CS,
+        checkpoint: &RunCheckpoint<P::State>,
+        snapshot: Option<Arc<TableSnapshot<P::State>>>,
+    ) -> Result<Self, CheckpointError> {
+        checkpoint.validate()?;
+        let expected = crate::transition_store::fingerprint(protocol);
+        if checkpoint.fingerprint != expected {
+            return Err(CheckpointError::IdentityMismatch {
+                stored: checkpoint.fingerprint,
+                expected,
+            });
+        }
+        if checkpoint.protocol != protocol.name() {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint names protocol {:?}, expected {:?}",
+                checkpoint.protocol,
+                protocol.name()
+            )));
+        }
+        if checkpoint.symmetric != protocol.is_symmetric() {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint symmetry flag {} disagrees with the protocol",
+                checkpoint.symmetric
+            )));
+        }
+        if checkpoint.rng_kind != R::RNG_KIND {
+            return Err(CheckpointError::RngMismatch {
+                stored: checkpoint.rng_kind,
+                expected: R::RNG_KIND,
+            });
+        }
+        let rng = R::load_words(&checkpoint.rng_words).ok_or_else(|| {
+            CheckpointError::Corrupt("rng state words do not decode to a generator state".into())
+        })?;
+
+        let mut engine = Self::empty(protocol, scheduler, rng, checkpoint.states.len());
+        if let Some(snap) = snapshot {
+            if !snap.is_empty() {
+                debug_assert_eq!(
+                    snap.symmetric(),
+                    engine.symmetric,
+                    "snapshot and engine disagree on adjacency symmetry"
+                );
+                engine.warm = Some(WarmState::new(snap));
+            }
+        }
+        // Re-register every slot in checkpointed (canonical) order —
+        // discovery, warm-ingestion and activity rows all rebuild here.
+        for (i, s) in checkpoint.states.iter().enumerate() {
+            let slot = engine.ensure_slot(s.clone());
+            if slot != i {
+                return Err(CheckpointError::Corrupt(format!(
+                    "state {i} duplicates slot {slot}"
+                )));
+            }
+        }
+        engine.n = checkpoint.n;
+        for (slot, &c) in checkpoint.counts.iter().enumerate() {
+            if c == 0 {
+                // Zero-count slots stay registered but must not enter the
+                // output histogram — a spurious entry would mask consensus.
+                continue;
+            }
+            engine.counts[slot] = c;
+            engine.activity.count_changed(slot, c as i64);
+            *engine
+                .output_counts
+                .entry(engine.outs[slot].clone())
+                .or_insert(0) += c as usize;
+        }
+        engine.activity.settle(&engine.counts);
+        engine.stats = checkpoint.stats;
+        engine.last_disagreement = checkpoint.last_disagreement;
+        if let Some(pairs) = &checkpoint.trace {
+            // Slot ids were validated `< slots` by `validate()`.
+            engine.trace = Some(
+                pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        (
+                            engine.states[a as usize].clone(),
+                            engine.states[b as usize].clone(),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        Ok(engine)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1526,6 +1806,123 @@ mod tests {
     fn perturb_transfer_checks_available_mass() {
         let mut engine = CountEngine::from_inputs(&Max, &[1u8, 2], 3);
         engine.perturb_transfer(&1u8, 2u8, 5);
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_run_is_bit_identical() {
+        use rand::rngs::Philox4x32;
+        use std::ops::ControlFlow;
+
+        let inputs: Vec<u8> = (0..2_000).map(|i| (i % 17) as u8).collect();
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut reference = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &Max,
+            config.clone(),
+            UniformCountScheduler::new(),
+            Philox4x32::stream(7, 1),
+        );
+        reference.record_trace();
+        let ref_report = reference.run_until_silent(u64::MAX).unwrap();
+        let ref_trace = reference.take_trace().unwrap();
+
+        let mut engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &Max,
+            config,
+            UniformCountScheduler::new(),
+            Philox4x32::stream(7, 1),
+        );
+        engine.record_trace();
+        let mut saved = None;
+        let err = engine
+            .run_until_silent_checkpointed(u64::MAX, 100, |e| {
+                saved = Some(e.checkpoint());
+                ControlFlow::Break(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::Interrupted { .. }));
+        let ck = saved.expect("hook fired before silence");
+        assert!(ck.stats.steps > 0 && !ck.counts.is_empty());
+
+        let mut resumed = CountEngine::<_, _, SparseActivity, Philox4x32>::resume(
+            &Max,
+            UniformCountScheduler::new(),
+            &ck,
+        )
+        .unwrap();
+        let report = resumed.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(report, ref_report);
+        assert_eq!(resumed.take_trace().unwrap(), ref_trace);
+        assert_eq!(resumed.config(), reference.config());
+    }
+
+    #[test]
+    fn interrupted_engine_continues_in_place_identically() {
+        use rand::rngs::Philox4x32;
+        use std::ops::ControlFlow;
+
+        let inputs: Vec<u8> = (0..500).map(|i| (i % 13) as u8).collect();
+        let config: CountConfig<u8> = inputs.iter().copied().collect();
+        let mut reference = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &Max,
+            config.clone(),
+            UniformCountScheduler::new(),
+            Philox4x32::stream(3, 2),
+        );
+        let ref_report = reference.run_until_silent(u64::MAX).unwrap();
+
+        // Pause every 50 changes, continuing in place each time — the hook
+        // must be trajectory-neutral.
+        let mut engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &Max,
+            config,
+            UniformCountScheduler::new(),
+            Philox4x32::stream(3, 2),
+        );
+        let report = loop {
+            match engine.run_until_silent_checkpointed(u64::MAX, 50, |_| ControlFlow::Break(())) {
+                Ok(report) => break report,
+                Err(FrameworkError::Interrupted { steps }) => {
+                    assert_eq!(steps, engine.steps());
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(report, ref_report);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_identity_and_rng() {
+        use crate::run_checkpoint::CheckpointError;
+        use rand::rngs::Philox4x32;
+
+        let engine = CountEngine::<_, _, SparseActivity, _>::with_rng(
+            &Max,
+            [1u8, 2, 3].iter().copied().collect(),
+            UniformCountScheduler::new(),
+            Philox4x32::stream(0, 0),
+        );
+        let ck = engine.checkpoint();
+        // Wrong protocol parameterization (SymMax fingerprints differently).
+        assert!(matches!(
+            CountEngine::<_, _, SparseActivity, Philox4x32>::resume(
+                &SymMax,
+                UniformCountScheduler::new(),
+                &ck
+            ),
+            Err(CheckpointError::IdentityMismatch { .. })
+        ));
+        // Wrong generator family.
+        assert!(matches!(
+            CountEngine::<_, _, SparseActivity, StdRng>::resume(
+                &Max,
+                UniformCountScheduler::new(),
+                &ck
+            ),
+            Err(CheckpointError::RngMismatch {
+                stored: 1,
+                expected: 2
+            })
+        ));
     }
 
     #[test]

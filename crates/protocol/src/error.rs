@@ -35,6 +35,15 @@ pub enum FrameworkError {
     },
     /// An interaction trace could not be parsed.
     TraceParse(String),
+    /// A checkpoint hook asked the run to pause
+    /// ([`ControlFlow::Break`](std::ops::ControlFlow::Break)): the engine
+    /// stopped at a change-point and can be resumed from its latest
+    /// checkpoint. A pause is not a failure — supervisors match on this
+    /// variant to schedule the resume.
+    Interrupted {
+        /// Interactions executed when the run paused.
+        steps: u64,
+    },
 }
 
 impl fmt::Display for FrameworkError {
@@ -54,6 +63,12 @@ impl fmt::Display for FrameworkError {
                 write!(f, "run did not converge within {max_steps} interactions")
             }
             FrameworkError::TraceParse(msg) => write!(f, "invalid interaction trace: {msg}"),
+            FrameworkError::Interrupted { steps } => {
+                write!(
+                    f,
+                    "run paused by its checkpoint hook after {steps} interactions"
+                )
+            }
         }
     }
 }
@@ -73,6 +88,7 @@ mod tests {
             FrameworkError::ReflexivePair { index: 2 },
             FrameworkError::MaxStepsExceeded { max_steps: 10 },
             FrameworkError::TraceParse("bad line".into()),
+            FrameworkError::Interrupted { steps: 5 },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -84,6 +84,7 @@ pub mod fenwick;
 mod hashing;
 mod population;
 mod protocol;
+pub mod run_checkpoint;
 pub mod scheduler;
 mod simulation;
 mod time;
@@ -102,6 +103,7 @@ pub use error::FrameworkError;
 pub use fenwick::Fenwick;
 pub use population::Population;
 pub use protocol::{EnumerableProtocol, Protocol};
+pub use run_checkpoint::{CheckpointError, CheckpointMeta, ResumableRng, RunCheckpoint};
 pub use scheduler::{
     CountScheduler, CountView, PairDraw, ReplayCountScheduler, Scheduler, UniformCountScheduler,
     UniformPairScheduler,

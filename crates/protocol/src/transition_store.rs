@@ -237,7 +237,8 @@ pub struct StoreMeta {
 
 /// Appends `v` as an LEB128 varint (7 data bits per byte, high bit set on
 /// continuation) — the same encoding `CompactAdj` rows use in memory.
-fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+/// Shared with the run-checkpoint codec ([`crate::run_checkpoint`]).
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         buf.push((v as u8 & 0x7F) | 0x80);
         v >>= 7;
@@ -309,11 +310,11 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn read_u32(buf: &[u8], at: usize) -> u32 {
+pub(crate) fn read_u32(buf: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(buf[at..at + 4].try_into().expect("4-byte slice"))
 }
 
-fn read_u64(buf: &[u8], at: usize) -> u64 {
+pub(crate) fn read_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
 }
 

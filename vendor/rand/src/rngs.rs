@@ -21,6 +21,25 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The generator's full internal state: the four xoshiro256++ words.
+    ///
+    /// Together with [`from_state_words`](Self::from_state_words) this makes
+    /// the generator checkpointable: restoring the words resumes the output
+    /// stream exactly where it left off.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Reconstructs a generator from [`state_words`](Self::state_words).
+    /// Every word combination is a valid xoshiro state (the all-zero state
+    /// is degenerate but cannot be produced by seeding), so this never
+    /// fails.
+    pub fn from_state_words(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut state = seed;
@@ -124,6 +143,57 @@ impl Philox4x32 {
             buf: [0; 4],
             used: 4,
         }
+    }
+
+    /// The generator's position as seven words: `key[0]`, `key[1]`,
+    /// `ctr[0..4]`, `used`.
+    ///
+    /// Because a Philox block is a pure function of `(key, counter)`, these
+    /// words fully determine the remaining output stream — the buffered
+    /// block itself need not be stored, as
+    /// [`from_state_words`](Self::from_state_words) regenerates it. Note the
+    /// words identify a *stream position*, which the restored generator
+    /// continues exactly; they are not secret-safe (the key is exposed).
+    pub fn state_words(&self) -> [u32; 7] {
+        [
+            self.key[0],
+            self.key[1],
+            self.ctr[0],
+            self.ctr[1],
+            self.ctr[2],
+            self.ctr[3],
+            u32::from(self.used),
+        ]
+    }
+
+    /// Reconstructs a generator from [`state_words`](Self::state_words),
+    /// regenerating the partially consumed block when `used < 4`. Returns
+    /// `None` if the `used` word is not one of `{0, 2, 4}` — the only
+    /// positions [`next_u64`](RngCore::next_u64) can ever leave the
+    /// generator in — so corrupted state cannot produce an out-of-bounds
+    /// buffer index later.
+    pub fn from_state_words(words: [u32; 7]) -> Option<Self> {
+        let used = words[6];
+        if !matches!(used, 0 | 2 | 4) {
+            return None;
+        }
+        let key = [words[0], words[1]];
+        let ctr = [words[2], words[3], words[4], words[5]];
+        let mut rng = Philox4x32 {
+            key,
+            ctr,
+            buf: [0; 4],
+            used: 4,
+        };
+        if used < 4 {
+            // The partially consumed block was generated just before the
+            // counter advanced, i.e. at block position `ctr - 1` (wrapping,
+            // mirroring next_u64's increment).
+            let pos = ((u64::from(ctr[1]) << 32) | u64::from(ctr[0])).wrapping_sub(1);
+            rng.buf = philox_block([pos as u32, (pos >> 32) as u32, ctr[2], ctr[3]], key);
+            rng.used = used as u8;
+        }
+        Some(rng)
     }
 
     /// Jumps `blocks` output blocks (of two `u64`s each) ahead in this
@@ -291,6 +361,47 @@ mod tests {
         let mut b = Philox4x32::stream(99, 0);
         for _ in 0..16 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn philox_state_round_trips_at_every_block_phase() {
+        // Save/restore at used = 4 (fresh), 0 and 2 (mid-block) positions:
+        // the restored generator must continue the stream identically.
+        for draws in 0..9u32 {
+            let mut original = Philox4x32::stream(0xDEAD_BEEF, 42);
+            for _ in 0..draws {
+                original.next_u64();
+            }
+            let mut restored =
+                Philox4x32::from_state_words(original.state_words()).expect("valid state");
+            for _ in 0..32 {
+                assert_eq!(restored.next_u64(), original.next_u64(), "draws = {draws}");
+            }
+        }
+    }
+
+    #[test]
+    fn philox_rejects_malformed_used_word() {
+        let mut words = Philox4x32::stream(1, 2).state_words();
+        for bad in [1u32, 3, 5, 6, u32::MAX] {
+            words[6] = bad;
+            assert!(
+                Philox4x32::from_state_words(words).is_none(),
+                "used = {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn stdrng_state_round_trips() {
+        let mut original = StdRng::seed_from_u64(314);
+        for _ in 0..17 {
+            original.next_u64();
+        }
+        let mut restored = StdRng::from_state_words(original.state_words());
+        for _ in 0..32 {
+            assert_eq!(restored.next_u64(), original.next_u64());
         }
     }
 
