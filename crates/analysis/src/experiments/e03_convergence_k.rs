@@ -3,6 +3,11 @@
 //! Circles' state space grows as `k³`, but how does *time* respond to more
 //! colors? More colors mean longer circles to assemble (`⋃ f(G_p)` has
 //! arcs spanning more distinct colors) but also fewer agents per color.
+//!
+//! The grid reaches `k = 50` (125 000 states): per-seed discovery at that
+//! size is paid through the color-orbit quotient — the engine classifies
+//! one canonical pair per orbit and expands the rest mechanically — so the
+//! sweep's transition bill stays `O(k⁵)`, not `O(k⁶)`.
 
 use crate::stats::{log_log_slope, Summary};
 use crate::table::{fmt_f64, Table};
@@ -31,7 +36,7 @@ impl Default for Params {
     fn default() -> Self {
         Params {
             n: 1024,
-            ks: vec![2, 3, 4, 6, 8, 12, 16, 24, 32],
+            ks: vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 40, 50],
             seeds: 32,
             max_steps: 2_000_000_000,
             threads: crate::runner::default_threads(),

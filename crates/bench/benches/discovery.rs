@@ -19,6 +19,15 @@
 //!    from one [`TransitionTable`] (same slot order, same seed), run to
 //!    silence — their `RunReport`s are **asserted bit-identical**, pinning
 //!    representation-independence of the sampling path at scale.
+//! 4. `discovery/quotient_*` — full `k³` enumeration (27 000 states,
+//!    rotation-closed unlike the scout set) discovered once through the
+//!    symmetric last-query memo and once through the color-orbit quotient
+//!    (one protocol call per canonical pair, the orbit reconstructed
+//!    mechanically). The quotient call ratio is **asserted ≥ 20×**
+//!    (structurally `k = 30×`: rotation folding `k×`, on top of the same
+//!    swap folding the memo already gets), the two tables are asserted
+//!    row-for-row identical, and a fixed-seed warm run over each must
+//!    produce bit-identical `RunReport`s.
 
 use std::cell::Cell;
 use std::time::Instant;
@@ -28,16 +37,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use circles_core::{CirclesProtocol, CirclesState};
 use pp_analysis::workloads::{margin_workload, true_winner};
 use pp_protocol::{
-    CompactActivity, CountConfig, CountEngine, DenseActivity, Protocol, SparseActivity,
-    UniformCountScheduler,
+    CompactActivity, CountConfig, CountEngine, DenseActivity, EnumerableProtocol, Protocol,
+    SparseActivity, UniformCountScheduler,
 };
 
 /// Forwards to an inner protocol while counting transition calls;
-/// optionally masks `is_symmetric` to force all-ordered-pairs discovery.
+/// optionally masks `is_symmetric` (forcing all-ordered-pairs discovery)
+/// and, separately, the color quotient — masked by default, so every
+/// measurement opts into quotient discovery explicitly.
 struct CallCounter<'a, P> {
     inner: &'a P,
     calls: Cell<u64>,
     force_asymmetric: bool,
+    expose_quotient: bool,
 }
 
 impl<P: Protocol> Protocol for CallCounter<'_, P> {
@@ -65,6 +77,20 @@ impl<P: Protocol> Protocol for CallCounter<'_, P> {
     fn is_symmetric(&self) -> bool {
         !self.force_asymmetric && self.inner.is_symmetric()
     }
+
+    fn color_quotient(&self) -> Option<&dyn pp_protocol::StateQuotient<Self::State>> {
+        if self.expose_quotient {
+            self.inner.color_quotient()
+        } else {
+            None
+        }
+    }
+}
+
+impl<P: EnumerableProtocol> EnumerableProtocol for CallCounter<'_, P> {
+    fn states(&self) -> Vec<Self::State> {
+        self.inner.states()
+    }
 }
 
 const K: u16 = 30;
@@ -81,6 +107,7 @@ fn timed_discovery(
         inner: protocol,
         calls: Cell::new(0),
         force_asymmetric,
+        expose_quotient: false,
     };
     let mut engine = CountEngine::from_config(&counter, CountConfig::new(), 7);
     let start = Instant::now();
@@ -187,6 +214,128 @@ fn bench_discovery(c: &mut Criterion) {
         "compact adjacency must be <= 0.25x the flat bytes/active-pair at \
          slots >= 10^4, got {bytes_ratio:.3}x"
     );
+
+    // Part 4: color-orbit quotient discovery over the full k³ enumeration.
+    // The scout-visited set above is not rotation-closed, so the quotient
+    // comparison runs on the enumeration (27 000 states at k = 30), where
+    // every orbit is complete and the compact index keeps the footprint in
+    // bitsets instead of a multi-GB flat table.
+    let full_states = protocol.states();
+    let full_slots = full_states.len();
+    let quotient = protocol
+        .color_quotient()
+        .expect("circles must expose its rotation quotient");
+    let mut canon = std::collections::HashSet::new();
+    for s in &full_states {
+        canon.insert(quotient.canonical_state(s).0);
+    }
+    let orbit_factor = full_slots as f64 / canon.len() as f64;
+
+    fn timed_full_discovery<'a>(
+        counter: &'a CallCounter<'a, CirclesProtocol>,
+        states: &[CirclesState],
+    ) -> (
+        f64,
+        u64,
+        pp_protocol::TransitionTable<CallCounter<'a, CirclesProtocol>>,
+    ) {
+        let mut engine = CountEngine::<_, _, CompactActivity>::with_parts(
+            counter,
+            CountConfig::new(),
+            UniformCountScheduler::new(),
+            7,
+        );
+        let start = Instant::now();
+        engine.prime_states(states.iter().copied());
+        let elapsed = start.elapsed().as_nanos() as f64;
+        (elapsed, counter.calls.get(), engine.warm_table())
+    }
+
+    let memo_counter = CallCounter {
+        inner: &protocol,
+        calls: Cell::new(0),
+        force_asymmetric: false,
+        expose_quotient: false,
+    };
+    let (memo_ns, memo_calls, memo_table) = timed_full_discovery(&memo_counter, &full_states);
+    let quot_counter = CallCounter {
+        inner: &protocol,
+        calls: Cell::new(0),
+        force_asymmetric: false,
+        expose_quotient: true,
+    };
+    let quot_start = Instant::now();
+    let quot_table =
+        pp_protocol::quotient_table(&quot_counter).expect("circles exposes a quotient");
+    let quot_ns = quot_start.elapsed().as_nanos() as f64;
+    let quot_calls = quot_counter.calls.get();
+    let quotient_ratio = memo_calls as f64 / quot_calls as f64;
+    criterion::report_external("discovery/full_slots", full_slots as f64, 1);
+    criterion::report_external("discovery/full_sym_calls", memo_calls as f64, 1);
+    criterion::report_external("discovery/quotient_calls", quot_calls as f64, 1);
+    criterion::report_external("discovery/quotient_call_ratio_x", quotient_ratio, 1);
+    criterion::report_external("discovery/orbit_factor", orbit_factor, 1);
+    println!(
+        "discovery: full k={K} enumeration {full_slots} slots; symmetric memo \
+         {memo_calls} calls ({:.2}s) vs quotient {quot_calls} calls ({:.2}s) => \
+         {quotient_ratio:.2}x fewer; orbit factor {orbit_factor:.2}",
+        memo_ns / 1e9,
+        quot_ns / 1e9,
+    );
+    assert!(
+        quotient_ratio >= 20.0,
+        "quotient discovery must make >= 20x fewer transition calls than the \
+         symmetric memo at k = 30, got {quotient_ratio:.2}x"
+    );
+
+    // The two tables must agree row for row: the quotient changes who
+    // answers a classification, never the answer (or the slot order).
+    let memo_snap = memo_table.snapshot();
+    let quot_snap = quot_table.snapshot();
+    assert_eq!(memo_snap.len(), quot_snap.len());
+    for i in 0..memo_snap.len() {
+        assert_eq!(memo_snap.state(i as u32), quot_snap.state(i as u32));
+        let mut memo_row = Vec::new();
+        memo_snap.walk_out(i as u32, |j| {
+            memo_row.push(j);
+            true
+        });
+        let mut quot_row = Vec::new();
+        quot_snap.walk_out(i as u32, |j| {
+            quot_row.push(j);
+            true
+        });
+        assert_eq!(
+            memo_row, quot_row,
+            "row {i}: memo- and quotient-discovered tables must be identical"
+        );
+    }
+
+    // And a fixed-seed warm run over each table — outcomes resolve through
+    // the quotient on one side and the raw protocol on the other — must
+    // execute the same trajectory.
+    fn run_full_warm<'a>(
+        counter: &'a CallCounter<'a, CirclesProtocol>,
+        config: &CountConfig<CirclesState>,
+        table: &pp_protocol::TransitionTable<CallCounter<'a, CirclesProtocol>>,
+    ) -> pp_protocol::RunReport<circles_core::Color> {
+        let mut e = CountEngine::<_, _, CompactActivity>::with_table_parts(
+            counter,
+            config.clone(),
+            UniformCountScheduler::new(),
+            7,
+            table,
+        );
+        e.run_until_silent(u64::MAX / 2).unwrap()
+    }
+    let memo_run = run_full_warm(&memo_counter, &config, &memo_table);
+    let quot_run = run_full_warm(&quot_counter, &config, &quot_table);
+    assert_eq!(
+        memo_run, quot_run,
+        "fixed-seed warm runs over memo- and quotient-discovered full tables \
+         must be bit-identical"
+    );
+
     let _ = c; // one-shot measurement; no criterion sampling needed
 }
 

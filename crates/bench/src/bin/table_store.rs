@@ -5,23 +5,28 @@
 //! operational surface CI and users drive:
 //!
 //! ```text
-//! table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
-//!                     [--cache-dir DIR]
+//! table_store build   --k K [--n N] [--seeds S] [--full] [--format v1|v2]
+//!                     [--out PATH] [--cache-dir DIR]
 //! table_store inspect PATH
 //! table_store verify  PATH [--k K] [--audit-pairs N]
 //! ```
 //!
 //! `build` discovers a Circles table — by default the states a 16-seed
 //! margin-workload sweep reaches (the set warm sweeps actually reuse), with
-//! `--full` the entire `k³` enumerable state space — and saves it
-//! atomically; `--cache-dir` additionally drops the store into a
+//! `--full` the entire `k³` enumerable state space, discovered through the
+//! color-orbit quotient (`O(k⁵)` transition calls instead of `O(k⁶)`) —
+//! and saves it atomically. `--format v2` writes the quotient layout (one
+//! row per canonical representative, `~k×` smaller on disk); it requires
+//! `--full`, because only the full enumeration is orbit-closed. `--cache-dir` additionally drops the store into a
 //! [`TableCache`] directory under its fingerprint-keyed name, so anything
 //! honoring `PP_TABLE_CACHE` (warm sweeps, benches, the stress binary)
 //! picks it up without rebuilding. `inspect` prints the verified header of
-//! any store without needing a protocol. `verify` loads the store
-//! (checksum + fingerprint + structural validation, zero protocol calls),
-//! then *audits* it by re-deriving pair activity and memoized outcomes
-//! through the protocol's own transition function, the one check loading
+//! any store without needing a protocol — for v2 stores including the
+//! quotient statistics (representatives, orbit factor, v1-vs-v2 bytes). `verify` loads the store
+//! (checksum + fingerprint + structural validation, zero protocol calls —
+//! a v2 store is expanded through the group action on the way in), then
+//! *audits* it by re-deriving pair activity and memoized outcomes through
+//! the protocol's own transition function, the one check loading
 //! deliberately skips.
 //!
 //! Exit status: `0` on success, `1` on any store error, `2` on usage
@@ -38,8 +43,8 @@ use pp_protocol::transition_store::{self, StoreMeta};
 use pp_protocol::{CountConfig, CountEngine, EnumerableProtocol, Protocol, TransitionTable};
 
 const USAGE: &str = "usage:
-  table_store build   --k K [--n N] [--seeds S] [--full] [--out PATH]
-                      [--cache-dir DIR]
+  table_store build   --k K [--n N] [--seeds S] [--full] [--format v1|v2]
+                      [--out PATH] [--cache-dir DIR]
   table_store inspect PATH
   table_store verify  PATH [--k K] [--audit-pairs N]";
 
@@ -108,6 +113,23 @@ fn print_meta(meta: &StoreMeta) {
     println!("outcomes:    {}", meta.outcomes);
     println!("file bytes:  {}", meta.file_bytes);
     println!("checksum:    {:#018x}", meta.checksum);
+    if let Some(q) = &meta.quotient {
+        println!(
+            "orbits:      {} representative(s), group order {}",
+            q.reps, q.group_order
+        );
+        if q.reps > 0 {
+            println!(
+                "orbit factor: {:.2} (states per representative)",
+                meta.states as f64 / q.reps as f64
+            );
+        }
+        println!(
+            "v1 bytes:    {} ({:.1}x larger than this file)",
+            q.v1_bytes,
+            q.v1_bytes as f64 / meta.file_bytes as f64
+        );
+    }
 }
 
 fn build(args: &[String]) -> Result<(), Failure> {
@@ -116,24 +138,43 @@ fn build(args: &[String]) -> Result<(), Failure> {
     let n: usize = flag_value(args, "--n")?.unwrap_or(3_000);
     let seeds: u64 = flag_value(args, "--seeds")?.unwrap_or(16);
     let full = args.iter().any(|a| a == "--full");
+    let format: String = flag_value(args, "--format")?.unwrap_or_else(|| "v1".to_string());
+    if !matches!(format.as_str(), "v1" | "v2") {
+        return Err(Failure::Usage(format!("unknown --format {format:?}")));
+    }
+    if format == "v2" && !full {
+        return Err(Failure::Usage(
+            "--format v2 requires --full: only the full enumeration is orbit-closed".into(),
+        ));
+    }
     let out: PathBuf =
         flag_value(args, "--out")?.unwrap_or_else(|| PathBuf::from(format!("circles-k{k}.ppts")));
 
     let protocol = CirclesProtocol::new(k).map_err(|e| Failure::Usage(format!("bad k: {e}")))?;
-    let table = TransitionTable::new();
 
-    if full {
-        // Prime the entire k³ state space through one engine: O(k⁶)
-        // pair classifications, halved by symmetry — exhaustive, so any
-        // future workload at this k runs warm.
-        let inputs = margin_workload(n.max(usize::from(k) + 2), k, 1);
-        let config: CountConfig<_> = inputs.iter().map(|i| protocol.input(i)).collect();
-        let mut engine = CountEngine::from_config(&protocol, config, 7);
-        engine.prime_states(protocol.states());
-        engine.export_to(&table);
+    let table = if full {
+        // The entire k³ state space. With the color-orbit quotient this
+        // costs O(k⁵) transition calls (one bra-0 representative per
+        // orbit, the rest expanded mechanically); without one, fall back
+        // to priming a cold engine — O(k⁶) classifications, halved by
+        // symmetry.
+        match pp_protocol::quotient_table(&protocol) {
+            Ok(full_table) => full_table,
+            Err(pp_protocol::QuotientError::Unsupported) => {
+                let table = TransitionTable::new();
+                let inputs = margin_workload(n.max(usize::from(k) + 2), k, 1);
+                let config: CountConfig<_> = inputs.iter().map(|i| protocol.input(i)).collect();
+                let mut engine = CountEngine::from_config(&protocol, config, 7);
+                engine.prime_states(protocol.states());
+                engine.export_to(&table);
+                table
+            }
+            Err(e) => return Err(Failure::Store(e.to_string())),
+        }
     } else {
         // Discover what a real sweep reaches: run the same margin workload
         // the warm-sweep bench uses through the warm TrialRunner path.
+        let table = TransitionTable::new();
         let inputs = margin_workload(n, k, n / 10);
         let expected = true_winner(&inputs, k);
         let results = TrialRunner::new(Backend::Count)
@@ -142,9 +183,14 @@ fn build(args: &[String]) -> Result<(), Failure> {
         if !results.iter().all(|r| r.stabilized) {
             return Err(Failure::Store("discovery sweep failed to stabilize".into()));
         }
-    }
+        table
+    };
 
-    let meta = transition_store::save(&table, &protocol, &out)?;
+    let meta = if format == "v2" {
+        transition_store::save_quotient(&table, &protocol, &out)?
+    } else {
+        transition_store::save(&table, &protocol, &out)?
+    };
     eprintln!("wrote {}", out.display());
     print_meta(&meta);
 

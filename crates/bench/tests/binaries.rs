@@ -48,6 +48,12 @@ fn invalid_env_overrides_exit_nonzero_with_the_variable_named() {
         "PP_E13_SAMPLER",
         "exact",
     );
+    let e03 = env!("CARGO_BIN_EXE_exp_e03_convergence_k");
+    assert_env_rejected(e03, "PP_E03_N", "0");
+    assert_env_rejected(e03, "PP_E03_SEEDS", "lots");
+    assert_env_rejected(e03, "PP_E03_KS", "8,1,30");
+    assert_env_rejected(e03, "PP_E03_KS", "8,,30");
+    assert_env_rejected(e03, "PP_E03_THREADS", "0");
 }
 
 #[test]

@@ -58,6 +58,7 @@ mod error;
 pub mod greedy;
 pub mod invariants;
 pub mod ordinal;
+pub mod perm;
 pub mod potential;
 pub mod prediction;
 mod protocol;
@@ -67,6 +68,7 @@ pub use braket::{weight, would_exchange, BraKet};
 pub use color::Color;
 pub use error::CirclesError;
 pub use greedy::GreedyDecomposition;
+pub use perm::{CirclesColorQuotient, ColorPerm};
 pub use protocol::{CirclesProtocol, CirclesState};
 
 /// Convenience: run Circles on `inputs` with `k` colors under the

@@ -4,11 +4,12 @@
 use std::fmt;
 use std::str::FromStr;
 
-use pp_protocol::{EnumerableProtocol, Protocol};
+use pp_protocol::{EnumerableProtocol, Protocol, StateQuotient};
 
 use crate::braket::{would_exchange, BraKet};
 use crate::color::Color;
 use crate::error::CirclesError;
+use crate::perm::CirclesColorQuotient;
 
 /// The full per-agent state: a bra-ket plus the output register — a triple
 /// `(i, j, o) ∈ [0, k-1]³`.
@@ -71,6 +72,7 @@ impl FromStr for CirclesState {
 pub struct CirclesProtocol {
     k: u16,
     name: &'static str,
+    quotient: CirclesColorQuotient,
 }
 
 impl CirclesProtocol {
@@ -83,7 +85,11 @@ impl CirclesProtocol {
         if k == 0 {
             return Err(CirclesError::ZeroColors);
         }
-        Ok(CirclesProtocol { k, name: "circles" })
+        Ok(CirclesProtocol {
+            k,
+            name: "circles",
+            quotient: CirclesColorQuotient::new(k),
+        })
     }
 
     /// The number of colors `k`.
@@ -173,6 +179,14 @@ impl Protocol for CirclesProtocol {
 
     fn is_symmetric(&self) -> bool {
         true
+    }
+
+    /// The rotation quotient `Z_k` (see
+    /// [`CirclesColorQuotient`]): the cyclic weight function makes the
+    /// transition equivariant under rotating all colors, so discovery
+    /// classifies one canonical pair per rotation-and-swap orbit.
+    fn color_quotient(&self) -> Option<&dyn StateQuotient<CirclesState>> {
+        Some(&self.quotient)
     }
 
     /// The color count `k`, so persisted transition tables for one `k`

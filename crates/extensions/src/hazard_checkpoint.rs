@@ -1,5 +1,5 @@
 //! Checkpoint persistence for hazardous runs — the glue that makes a
-//! [`run_with_hazards`](crate::run_with_hazards) campaign crash-tolerant.
+//! [`run_with_hazards`](crate::hazards::run_with_hazards) campaign crash-tolerant.
 //!
 //! The engine's own [`RunCheckpoint`] captures counts, counters and the
 //! trial RNG, but a hazardous run carries extra driver state: which hazards
@@ -302,7 +302,7 @@ where
     ))
 }
 
-/// [`run_with_hazards`](crate::run_with_hazards) with periodic resumable
+/// [`run_with_hazards`](crate::hazards::run_with_hazards) with periodic resumable
 /// checkpoints: every `every_changes` state changes the `save` hook
 /// receives a complete [`RunCheckpoint`] — engine state plus a
 /// [`HAZARD_AUX_SECTION`] carrying the schedule tail, quarantine ledger and
@@ -320,7 +320,7 @@ where
 ///
 /// # Errors
 ///
-/// As [`run_with_hazards`](crate::run_with_hazards), plus
+/// As [`run_with_hazards`](crate::hazards::run_with_hazards), plus
 /// [`FrameworkError::Interrupted`] when the hook breaks.
 ///
 /// # Panics

@@ -84,6 +84,7 @@ pub mod fenwick;
 mod hashing;
 mod population;
 mod protocol;
+pub mod quotient;
 pub mod run_checkpoint;
 pub mod scheduler;
 mod simulation;
@@ -103,6 +104,7 @@ pub use error::FrameworkError;
 pub use fenwick::Fenwick;
 pub use population::Population;
 pub use protocol::{EnumerableProtocol, Protocol};
+pub use quotient::{quotient_table, CanonicalPair, QuotientError, StateQuotient};
 pub use run_checkpoint::{CheckpointError, CheckpointMeta, ResumableRng, RunCheckpoint};
 pub use scheduler::{
     CountScheduler, CountView, PairDraw, ReplayCountScheduler, Scheduler, UniformCountScheduler,
@@ -111,5 +113,5 @@ pub use scheduler::{
 pub use simulation::{RunReport, SimStats, Simulation, StepReport};
 pub use time::{parallel_time, GillespieClock};
 pub use trace::InteractionTrace;
-pub use transition_store::{AuditReport, StoreError, StoreMeta};
+pub use transition_store::{AuditReport, QuotientStats, StoreError, StoreMeta};
 pub use transition_table::{TableDump, TableSnapshot, TransitionTable};

@@ -5,6 +5,8 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::quotient::StateQuotient;
+
 /// A population protocol.
 ///
 /// A protocol is a quadruple of a state set, an input function, an output
@@ -67,6 +69,24 @@ pub trait Protocol {
     fn is_null_interaction(&self, initiator: &Self::State, responder: &Self::State) -> bool {
         let (a, b) = self.transition(initiator, responder);
         a == *initiator && b == *responder
+    }
+
+    /// A symmetry quotient of the state space under which the transition
+    /// function is equivariant (see [`StateQuotient`] for the exact
+    /// contract), or `None` when the protocol has no usable quotient.
+    ///
+    /// Protocols that return one let discovery classify a single canonical
+    /// representative per orbit of state pairs and expand the rest
+    /// mechanically — for Circles (invariant under rotations of its `k`
+    /// colors) this cuts full-table discovery from `O(k⁶)` to `O(k⁵)`
+    /// transition calls. The engine's `add_slot_symmetric` memo remains
+    /// the fallback for protocols without one.
+    ///
+    /// Defaults to `None`. The flag `color_quotient().is_some()` is folded
+    /// into the identity fingerprint of persisted stores alongside
+    /// [`is_symmetric`](Protocol::is_symmetric).
+    fn color_quotient(&self) -> Option<&dyn StateQuotient<Self::State>> {
+        None
     }
 
     /// A numeric parameter distinguishing instances of the same named

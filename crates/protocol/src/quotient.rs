@@ -1,0 +1,662 @@
+//! Symmetry quotients of a protocol's state space, and the machinery that
+//! lets discovery classify one canonical representative per orbit instead
+//! of every concrete state pair.
+//!
+//! A [`StateQuotient`] names a finite group acting on the protocol's
+//! states such that the transition function is *equivariant*: applying a
+//! group element to both interaction partners commutes with the
+//! transition. Protocols advertise their quotient through
+//! [`Protocol::color_quotient`](crate::Protocol::color_quotient) (the
+//! Circles rotation quotient lives in `circles_core`); the discovery
+//! paths then consult it in two ways:
+//!
+//! - **Lazily** (`QuotientMemo`): [`CountEngine`](crate::CountEngine)
+//!   routes every pair classification and outcome resolution through a
+//!   memo keyed by *canonical pair*, so the protocol's transition function
+//!   runs once per orbit and every other member of the orbit is
+//!   reconstructed by applying the recorded group element. Slot
+//!   materialization order — and therefore every `RunReport` — is
+//!   untouched: only *who answers* a classification changes, never the
+//!   answer.
+//! - **In bulk** ([`quotient_table`]): full-table discovery classifies the
+//!   rows of the `|S| / |G|` canonical representatives through the
+//!   protocol and expands every other row mechanically through the group
+//!   action — zero further protocol calls. This is what makes Circles
+//!   `k = 50` (125 000 states, ~10¹⁰ ordered pairs) buildable in seconds,
+//!   and it is the in-memory half of the `.ppts` v2 store format (see
+//!   [`transition_store`](crate::transition_store)).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::activity::AdjRows;
+use crate::hashing::FxBuildHasher;
+use crate::protocol::EnumerableProtocol;
+use crate::transition_table::TransitionTable;
+
+/// The canonical representative of an ordered state pair's orbit, plus the
+/// data to reconstruct the original pair: `(a, b)` is the representative,
+/// and the original pair is `(apply(g, a), apply(g, b))` — the two swapped
+/// when `swapped` is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalPair<S> {
+    /// Canonical initiator.
+    pub a: S,
+    /// Canonical responder.
+    pub b: S,
+    /// Group element mapping the canonical pair back onto the original.
+    pub g: u32,
+    /// Whether the original pair is the *swap* of `(apply(g, a),
+    /// apply(g, b))`. Implementations may only set this for protocols
+    /// whose transition is symmetric
+    /// ([`Protocol::is_symmetric`](crate::Protocol::is_symmetric)), where
+    /// the outcome of the swapped pair is the swapped outcome.
+    pub swapped: bool,
+}
+
+/// A finite group action on a protocol's states under which the transition
+/// function is equivariant.
+///
+/// Group elements are named `0..group_order()`; **element `0` must be the
+/// identity**. The contract, for all states `a`, `b` and elements `g`:
+///
+/// - `apply(0, s) == s`, and `s ↦ apply(g, s)` is a bijection of the state
+///   set;
+/// - **equivariance**: `transition(apply(g, a), apply(g, b)) ==
+///   (apply(g, x), apply(g, y))` where `(x, y) = transition(a, b)`;
+/// - [`canonical_state`](Self::canonical_state) and
+///   [`canonical_pair`](Self::canonical_pair) are constant on orbits and
+///   return an element of the orbit together with the group element
+///   mapping it back onto the argument.
+///
+/// Everything the engine and the store do with a quotient — memoized
+/// classification, orbit expansion, the v2 store format — is correct
+/// exactly when this contract holds; `circles_core` verifies it
+/// exhaustively for small `k` and the property suite cross-checks
+/// quotient-discovered tables against brute force.
+pub trait StateQuotient<S> {
+    /// Number of group elements (the rotation count `k` for Circles).
+    fn group_order(&self) -> u32;
+
+    /// Applies group element `g` to `state`.
+    fn apply(&self, g: u32, state: &S) -> S;
+
+    /// The canonical representative of `state`'s orbit, and the element
+    /// `g` with `apply(g, canonical) == *state`.
+    fn canonical_state(&self, state: &S) -> (S, u32);
+
+    /// The canonical representative of the ordered pair's orbit (folding
+    /// the initiator/responder swap when the protocol is symmetric); see
+    /// [`CanonicalPair`] for the reconstruction contract.
+    fn canonical_pair(&self, a: &S, b: &S) -> CanonicalPair<S>;
+}
+
+/// Memo entries above this cap are recomputed instead of stored, bounding
+/// memory on adversarial state spaces. A full Circles `k = 30` enumeration
+/// holds ~12.2 M canonical pairs, comfortably below the cap — correctness
+/// never depends on a hit, only the measured call ratio does.
+const QUOTIENT_MEMO_CAP: usize = 1 << 24;
+
+/// The lazy canonical-pair memo a [`CountEngine`](crate::CountEngine)
+/// carries when its protocol exposes a quotient: canonical pair →
+/// canonical outcome. One protocol transition call per orbit; every
+/// concrete pair of the orbit resolves by hash lookup plus one group
+/// application per returned state.
+pub(crate) struct QuotientMemo<'p, S> {
+    quotient: &'p dyn StateQuotient<S>,
+    memo: HashMap<(S, S), (S, S), FxBuildHasher>,
+}
+
+impl<'p, S: Clone + Eq + Hash> QuotientMemo<'p, S> {
+    pub(crate) fn new(quotient: &'p dyn StateQuotient<S>) -> Self {
+        QuotientMemo {
+            quotient,
+            memo: HashMap::with_hasher(FxBuildHasher::default()),
+        }
+    }
+
+    /// The canonical outcome of canonical pair `(a, b)`, from the memo or
+    /// (on a miss) from one protocol transition call.
+    fn canonical_outcome(
+        &mut self,
+        transition: impl FnOnce(&S, &S) -> (S, S),
+        a: S,
+        b: S,
+    ) -> (S, S) {
+        if let Some(out) = self.memo.get(&(a.clone(), b.clone())) {
+            return out.clone();
+        }
+        let out = transition(&a, &b);
+        if self.memo.len() < QUOTIENT_MEMO_CAP {
+            self.memo.insert((a, b), out.clone());
+        }
+        out
+    }
+
+    /// The transition of concrete pair `(a, b)`, resolved through the
+    /// orbit representative. Agrees exactly with `transition(a, b)` by
+    /// equivariance.
+    pub(crate) fn resolve(
+        &mut self,
+        transition: impl FnOnce(&S, &S) -> (S, S),
+        a: &S,
+        b: &S,
+    ) -> (S, S) {
+        let cp = self.quotient.canonical_pair(a, b);
+        let g = cp.g;
+        let swapped = cp.swapped;
+        let (oa, ob) = self.canonical_outcome(transition, cp.a, cp.b);
+        if swapped {
+            (self.quotient.apply(g, &ob), self.quotient.apply(g, &oa))
+        } else {
+            (self.quotient.apply(g, &oa), self.quotient.apply(g, &ob))
+        }
+    }
+
+    /// Whether concrete pair `(a, b)` is a null interaction — a pair is
+    /// null iff its canonical representative is, so no group application
+    /// is needed on the way back.
+    pub(crate) fn is_null(
+        &mut self,
+        transition: impl FnOnce(&S, &S) -> (S, S),
+        a: &S,
+        b: &S,
+    ) -> bool {
+        let cp = self.quotient.canonical_pair(a, b);
+        let key = (cp.a, cp.b);
+        let (oa, ob) = self.canonical_outcome(transition, key.0.clone(), key.1.clone());
+        (oa, ob) == key
+    }
+
+    /// Read-only variant of [`is_null`](Self::is_null) for `&self`
+    /// contexts (segment publication): memo hits answer for free, misses
+    /// classify the representative through the protocol without recording.
+    pub(crate) fn is_null_readonly(
+        &self,
+        transition: impl FnOnce(&S, &S) -> (S, S),
+        a: &S,
+        b: &S,
+    ) -> bool {
+        let cp = self.quotient.canonical_pair(a, b);
+        let key = (cp.a, cp.b);
+        match self.memo.get(&key) {
+            Some(out) => *out == key,
+            None => {
+                let out = transition(&key.0, &key.1);
+                out == key
+            }
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for QuotientMemo<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuotientMemo")
+            .field("entries", &self.memo.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Failures of [`quotient_table`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QuotientError {
+    /// The protocol does not expose a color quotient.
+    Unsupported,
+    /// The group action left the enumerated state set, or a canonical
+    /// representative is not itself enumerated — the quotient violates its
+    /// contract on this protocol.
+    NotClosed(String),
+}
+
+impl fmt::Display for QuotientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotientError::Unsupported => {
+                write!(f, "protocol exposes no color quotient")
+            }
+            QuotientError::NotClosed(msg) => {
+                write!(f, "quotient is not closed over the state set: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotientError {}
+
+/// Builds the **full** transition table of an enumerable protocol through
+/// its color quotient: the rows of the `|S| / |G|` canonical
+/// representatives are classified with protocol transition calls, and
+/// every other row is expanded mechanically through the group action —
+/// zero further protocol calls.
+///
+/// The result is bit-identical to priming a cold
+/// [`CountEngine`](crate::CountEngine) with
+/// [`EnumerableProtocol::states`] and exporting — same state order (the
+/// enumeration order), same pair classification, no outcomes — the
+/// property suite pins this. For Circles this turns the `O(k⁶)` transition
+/// bill of a full `k = 50` build into `O(k⁵)`.
+///
+/// # Errors
+///
+/// [`QuotientError::Unsupported`] when the protocol exposes no quotient;
+/// [`QuotientError::NotClosed`] when the group action is inconsistent with
+/// the enumerated state set.
+pub fn quotient_table<P>(protocol: &P) -> Result<TransitionTable<P>, QuotientError>
+where
+    P: EnumerableProtocol,
+{
+    let quotient = protocol
+        .color_quotient()
+        .ok_or(QuotientError::Unsupported)?;
+    let states = protocol.states();
+    let slots = states.len();
+    let mut index: HashMap<&P::State, u32, FxBuildHasher> =
+        HashMap::with_capacity_and_hasher(slots, FxBuildHasher::default());
+    for (t, s) in states.iter().enumerate() {
+        index.insert(s, t as u32);
+    }
+
+    // Orbit decomposition: per state its representative's tid and the
+    // group element mapping the representative onto it.
+    let mut rep_of: Vec<(u32, u32)> = Vec::with_capacity(slots);
+    let mut rep_index: HashMap<u32, u32, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    let mut reps: Vec<u32> = Vec::new();
+    for s in &states {
+        let (canon, g) = quotient.canonical_state(s);
+        let &rep_tid = index.get(&canon).ok_or_else(|| {
+            QuotientError::NotClosed(format!(
+                "canonical representative {canon:?} is not an enumerated state"
+            ))
+        })?;
+        if quotient.apply(g, &canon) != *s {
+            return Err(QuotientError::NotClosed(format!(
+                "apply(g, canonical) does not recover {s:?}"
+            )));
+        }
+        rep_index.entry(rep_tid).or_insert_with(|| {
+            reps.push(rep_tid);
+            reps.len() as u32 - 1
+        });
+        rep_of.push((rep_tid, g));
+    }
+
+    // Classify the representatives' rows through the protocol — the only
+    // transition calls of the whole build. For swap-equivariant protocols
+    // (`is_symmetric`) the bill is halved again: once representative `j`'s
+    // row is known, the activity of `(rep_i, g·rep_j)` for any later `i`
+    // is `active(rep_j, g⁻¹·rep_i)` — a bit lookup, not a transition call.
+    let symmetric = protocol.is_symmetric();
+    let row_words = slots.div_ceil(64);
+    let mut rep_rows: Vec<Vec<u32>> = Vec::with_capacity(reps.len());
+    let mut rep_bits: Vec<Vec<u64>> = Vec::new();
+    // inv_perms[g][t] = tid of the state `g` maps onto `states[t]`.
+    let mut inv_perms: HashMap<u32, Vec<u32>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for (i, &rt) in reps.iter().enumerate() {
+        let rs = &states[rt as usize];
+        let mut row: Vec<u32> = Vec::new();
+        for t in 0..slots as u32 {
+            let (rb_tid, g) = rep_of[t as usize];
+            let j = rep_index[&rb_tid] as usize;
+            let active = if symmetric && j < i {
+                if let Entry::Vacant(e) = inv_perms.entry(g) {
+                    let mut inv = vec![u32::MAX; slots];
+                    for (src, s) in states.iter().enumerate() {
+                        let image = quotient.apply(g, s);
+                        let &it = index.get(&image).ok_or_else(|| {
+                            QuotientError::NotClosed(format!(
+                                "group element {g} maps {s:?} outside the state set"
+                            ))
+                        })?;
+                        inv[it as usize] = src as u32;
+                    }
+                    e.insert(inv);
+                }
+                let src = inv_perms[&g][rt as usize];
+                if src == u32::MAX {
+                    return Err(QuotientError::NotClosed(format!(
+                        "group element {g} does not act bijectively on the state set"
+                    )));
+                }
+                rep_bits[j][src as usize / 64] >> (src % 64) & 1 == 1
+            } else {
+                !protocol.is_null_interaction(rs, &states[t as usize])
+            };
+            if active {
+                row.push(t);
+            }
+        }
+        if symmetric {
+            let mut bits = vec![0u64; row_words];
+            for &t in &row {
+                bits[t as usize / 64] |= 1 << (t % 64);
+            }
+            rep_bits.push(bits);
+        }
+        rep_rows.push(row);
+    }
+    drop(inv_perms);
+    drop(rep_bits);
+
+    let rows = expand_orbit_rows(quotient, &states, &index, &rep_of, &rep_index, &rep_rows)
+        .map_err(QuotientError::NotClosed)?;
+    Ok(TransitionTable::from_parts(
+        states,
+        rows,
+        HashMap::with_hasher(FxBuildHasher::default()),
+        protocol.is_symmetric(),
+    ))
+}
+
+/// Expands per-representative out-rows into the full [`AdjRows`] through
+/// the group action: row of `apply(g, rep)` is the image of `rep`'s row
+/// under the tid-level permutation of `g`. Shared between
+/// [`quotient_table`] and the `.ppts` v2 loader. `rep_of[tid]` is
+/// `(rep_tid, g)`; `rep_index` maps a representative's tid to its index in
+/// `rep_rows`.
+///
+/// Rows land in the same representation the incremental discovery path
+/// would produce: delta-varint lists while small, blocked bitsets past the
+/// [`CompactAdj`](crate::CompactAdj) densify threshold.
+pub(crate) fn expand_orbit_rows<S, Q>(
+    quotient: &Q,
+    states: &[S],
+    index: &HashMap<&S, u32, FxBuildHasher>,
+    rep_of: &[(u32, u32)],
+    rep_index: &HashMap<u32, u32, FxBuildHasher>,
+    rep_rows: &[Vec<u32>],
+) -> Result<AdjRows, String>
+where
+    S: Clone + Eq + Hash + fmt::Debug,
+    Q: StateQuotient<S> + ?Sized,
+{
+    let slots = states.len();
+    let mut rows = AdjRows::new();
+    for _ in 0..slots {
+        rows.push_slot();
+    }
+    // Tid-level permutation tables, one per group element actually used,
+    // built lazily: perm[t] = tid of apply(g, states[t]).
+    let mut perms: HashMap<u32, Vec<u32>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    let threshold = slots / 8 + 8;
+    let row_words = slots.div_ceil(64);
+    let mut scratch: Vec<u32> = Vec::new();
+    for (tid, &(rep_tid, g)) in rep_of.iter().enumerate() {
+        let r = rep_index
+            .get(&rep_tid)
+            .copied()
+            .ok_or_else(|| format!("state {tid} names an unlisted representative"))?;
+        let rep_row = rep_rows
+            .get(r as usize)
+            .ok_or_else(|| format!("representative index {r} out of range"))?;
+        if tid as u32 == rep_tid {
+            // The representative's own row: already in ascending tid order.
+            set_sorted_row(&mut rows, tid, rep_row, threshold, row_words);
+            continue;
+        }
+        if let Entry::Vacant(e) = perms.entry(g) {
+            let mut perm = Vec::with_capacity(slots);
+            for s in states {
+                let image = quotient.apply(g, s);
+                let &t = index
+                    .get(&image)
+                    .ok_or_else(|| format!("group element {g} maps {s:?} outside the state set"))?;
+                perm.push(t);
+            }
+            e.insert(perm);
+        }
+        let perm = &perms[&g];
+        if rep_row.len() > threshold {
+            // A sparse encoding cannot fit (≥ 1 byte per id): go straight
+            // to the bitset, which needs no sort.
+            let mut blocks = vec![0u64; row_words];
+            for &t in rep_row {
+                let m = perm[t as usize] as usize;
+                blocks[m / 64] |= 1 << (m % 64);
+            }
+            rows.set_row_dense(tid, blocks, rep_row.len() as u32);
+        } else {
+            scratch.clear();
+            scratch.extend(rep_row.iter().map(|&t| perm[t as usize]));
+            scratch.sort_unstable();
+            set_sorted_row(&mut rows, tid, &scratch, threshold, row_words);
+        }
+    }
+    Ok(rows)
+}
+
+/// Installs `ids` (ascending) as row `tid`, choosing the same sparse/dense
+/// representation the incremental path would.
+fn set_sorted_row(rows: &mut AdjRows, tid: usize, ids: &[u32], threshold: usize, row_words: usize) {
+    if ids.is_empty() {
+        return;
+    }
+    if ids.len() > threshold {
+        let mut blocks = vec![0u64; row_words];
+        for &m in ids {
+            blocks[m as usize / 64] |= 1 << (m % 64);
+        }
+        rows.set_row_dense(tid, blocks, ids.len() as u32);
+        return;
+    }
+    let mut payload = Vec::with_capacity(ids.len() * 2);
+    let mut prev = 0u32;
+    for (n, &m) in ids.iter().enumerate() {
+        let delta = if n == 0 { m } else { m - prev };
+        let mut v = delta;
+        while v >= 0x80 {
+            payload.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        payload.push(v as u8);
+        prev = m;
+    }
+    // `set_row_varint` densifies by the shared threshold policy itself
+    // when the payload turns out too large.
+    rows.set_row_varint(tid, ids.len() as u32, prev, &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    /// A toy protocol invariant under rotation of `Z_m` (`m` even):
+    /// partners at odd cyclic distance exchange states, everyone else
+    /// ignores each other. Symmetric, swap-equivariant, and equivariant
+    /// under `x ↦ x + g mod m` — a minimal stand-in for Circles in
+    /// crate-local tests. (`m` must be even: `d` and `m − d` must share
+    /// parity for the exchange rule to commute with swapping.)
+    #[derive(Debug)]
+    struct RotMod {
+        m: u8,
+        quotient: RotModQuotient,
+    }
+
+    #[derive(Debug)]
+    struct RotModQuotient {
+        m: u8,
+    }
+
+    impl RotMod {
+        fn new(m: u8) -> Self {
+            assert_eq!(m % 2, 0, "RotMod needs an even modulus");
+            RotMod {
+                m,
+                quotient: RotModQuotient { m },
+            }
+        }
+    }
+
+    impl StateQuotient<u8> for RotModQuotient {
+        fn group_order(&self) -> u32 {
+            u32::from(self.m)
+        }
+
+        fn apply(&self, g: u32, state: &u8) -> u8 {
+            ((u32::from(*state) + g) % u32::from(self.m)) as u8
+        }
+
+        fn canonical_state(&self, state: &u8) -> (u8, u32) {
+            (0, u32::from(*state))
+        }
+
+        fn canonical_pair(&self, a: &u8, b: &u8) -> CanonicalPair<u8> {
+            let m = u32::from(self.m);
+            let fwd = (0u8, ((u32::from(*b) + m - u32::from(*a)) % m) as u8);
+            let rev = (0u8, ((u32::from(*a) + m - u32::from(*b)) % m) as u8);
+            if rev < fwd {
+                CanonicalPair {
+                    a: rev.0,
+                    b: rev.1,
+                    g: u32::from(*b),
+                    swapped: true,
+                }
+            } else {
+                CanonicalPair {
+                    a: fwd.0,
+                    b: fwd.1,
+                    g: u32::from(*a),
+                    swapped: false,
+                }
+            }
+        }
+    }
+
+    impl Protocol for RotMod {
+        type State = u8;
+        type Input = u8;
+        type Output = u8;
+
+        fn name(&self) -> &str {
+            "rot-mod"
+        }
+
+        fn input(&self, i: &u8) -> u8 {
+            *i % self.m
+        }
+
+        fn output(&self, s: &u8) -> u8 {
+            *s
+        }
+
+        fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+            let m = u16::from(self.m);
+            let d = (u16::from(*b) + m - u16::from(*a)) % m;
+            if d % 2 == 1 {
+                (*b, *a)
+            } else {
+                (*a, *b)
+            }
+        }
+
+        fn is_symmetric(&self) -> bool {
+            true
+        }
+
+        fn color_quotient(&self) -> Option<&dyn StateQuotient<u8>> {
+            Some(&self.quotient)
+        }
+    }
+
+    impl EnumerableProtocol for RotMod {
+        fn states(&self) -> Vec<u8> {
+            (0..self.m).collect()
+        }
+    }
+
+    #[test]
+    fn toy_quotient_is_equivariant() {
+        // Sanity-check the fixture itself; the real equivariance suite for
+        // Circles lives in `circles_core`.
+        let p = RotMod::new(8);
+        let q = p.color_quotient().unwrap();
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let (x, y) = p.transition(&a, &b);
+                for g in 0..8 {
+                    let (rx, ry) = p.transition(&q.apply(g, &a), &q.apply(g, &b));
+                    assert_eq!((rx, ry), (q.apply(g, &x), q.apply(g, &y)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_resolves_like_the_protocol() {
+        let p = RotMod::new(6);
+        let mut memo = QuotientMemo::new(p.color_quotient().unwrap());
+        for a in 0..6u8 {
+            for b in 0..6u8 {
+                let expect = p.transition(&a, &b);
+                let got = memo.resolve(|x, y| p.transition(x, y), &a, &b);
+                assert_eq!(got, expect, "resolve disagrees at ({a}, {b})");
+                assert_eq!(
+                    memo.is_null(|x, y| p.transition(x, y), &a, &b),
+                    p.is_null_interaction(&a, &b)
+                );
+                assert_eq!(
+                    memo.is_null_readonly(|x, y| p.transition(x, y), &a, &b),
+                    p.is_null_interaction(&a, &b)
+                );
+            }
+        }
+        // 6 states → 36 ordered pairs, but at most 6 canonical keys (the
+        // cyclic difference), swap-folded down to 4.
+        assert!(memo.memo.len() <= 4, "memo holds {} keys", memo.memo.len());
+    }
+
+    #[test]
+    fn quotient_table_matches_brute_force() {
+        let p = RotMod::new(10);
+        let table = quotient_table(&p).unwrap();
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 10);
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                let (a, b) = (i as u8, j as u8);
+                assert_eq!(
+                    snap.contains(i, j),
+                    !p.is_null_interaction(&a, &b),
+                    "pair ({i}, {j}) misclassified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_table_requires_a_quotient() {
+        struct Plain;
+        impl Protocol for Plain {
+            type State = u8;
+            type Input = u8;
+            type Output = u8;
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn input(&self, i: &u8) -> u8 {
+                *i
+            }
+            fn output(&self, s: &u8) -> u8 {
+                *s
+            }
+            fn transition(&self, a: &u8, b: &u8) -> (u8, u8) {
+                (*a.max(b), *a.max(b))
+            }
+        }
+        impl EnumerableProtocol for Plain {
+            fn states(&self) -> Vec<u8> {
+                (0..4).collect()
+            }
+        }
+        assert!(matches!(
+            quotient_table(&Plain),
+            Err(QuotientError::Unsupported)
+        ));
+    }
+}

@@ -227,7 +227,7 @@ pub struct CheckpointMeta {
     /// Format version of the file.
     pub version: u32,
     /// Protocol identity fingerprint
-    /// (see [`fingerprint`](crate::transition_store::fingerprint)).
+    /// (see [`fingerprint`]).
     pub fingerprint: u64,
     /// Protocol family parameter (`k` for Circles, `0` by default).
     pub param: u64,

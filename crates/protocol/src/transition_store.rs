@@ -38,6 +38,7 @@
 //! memory-mapping; at the ~MB scale of Circles stores the copy is
 //! negligible next to parsing.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::{self, Display};
 use std::fs;
@@ -48,10 +49,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::activity::{AdjRows, RowRepr};
 use crate::hashing::FxBuildHasher;
 use crate::protocol::Protocol;
+use crate::quotient::{expand_orbit_rows, StateQuotient};
 use crate::transition_table::TransitionTable;
 
-/// Current (and only) format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Newest format version this build reads. [`save`] writes version 1
+/// (every row expanded); [`save_quotient`] writes version 2 — one row per
+/// canonical orbit representative plus per-state expansion metadata, which
+/// [`load`] re-expands with zero protocol calls.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The v1 layout: fully expanded rows.
+pub const FORMAT_V1: u32 = 1;
+
+/// The v2 layout: quotient representative rows plus orbit-expansion
+/// metadata (see `docs/transition-store-format.md`).
+pub const FORMAT_V2: u32 = 2;
 
 /// Conventional file extension for store files (`.ppts`).
 pub const STORE_EXT: &str = "ppts";
@@ -62,6 +74,9 @@ const HEADER_LEN: usize = 0x88;
 const CHECKSUM_OFFSET: usize = 0x80;
 const SECTION_TABLE_OFFSET: usize = 0x40;
 const FLAG_SYMMETRIC: u32 = 1;
+/// Set exactly on v2 files: the rows section holds quotient representative
+/// rows plus expansion metadata instead of expanded rows.
+const FLAG_QUOTIENT: u32 = 2;
 
 /// Row-encoding flag byte: delta-varint id list.
 const ROW_SPARSE: u8 = 0x00;
@@ -106,15 +121,25 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
 
 /// The 64-bit identity fingerprint of a protocol parameterization: FNV-1a
 /// over the protocol [`name`](Protocol::name), the
-/// [`is_symmetric`](Protocol::is_symmetric) flag and the
-/// [`fingerprint_param`](Protocol::fingerprint_param) (separated by a byte
-/// that cannot occur in UTF-8, so a name cannot masquerade as a flag).
+/// [`is_symmetric`](Protocol::is_symmetric) flag, whether the protocol
+/// exposes a [color quotient](Protocol::color_quotient) (a quotient changes
+/// *who answers* discovery queries, so cached tables must not cross that
+/// line), and the [`fingerprint_param`](Protocol::fingerprint_param) (the
+/// color count `k` for Circles) — separated by a byte that cannot occur in
+/// UTF-8, so a name cannot masquerade as a flag.
 ///
 /// [`load`] refuses any store whose header records a different fingerprint,
 /// which is what makes cache lookups keyed by this value safe.
 pub fn fingerprint<P: Protocol>(protocol: &P) -> u64 {
     let mut h = fnv1a(FNV_OFFSET, protocol.name().as_bytes());
-    h = fnv1a(h, &[0xFF, u8::from(protocol.is_symmetric())]);
+    h = fnv1a(
+        h,
+        &[
+            0xFF,
+            u8::from(protocol.is_symmetric()),
+            u8::from(protocol.color_quotient().is_some()),
+        ],
+    );
     fnv1a(h, &protocol.fingerprint_param().to_le_bytes())
 }
 
@@ -162,6 +187,10 @@ pub enum StoreError {
     /// A section failed structural validation (bad varint, malformed state,
     /// out-of-range id, counts disagreeing with the header).
     Corrupt(String),
+    /// A v2 (quotient) store could not be written or expanded: the protocol
+    /// exposes no quotient, the state set is not orbit-closed, or the
+    /// stored rows are not coherent with the group action.
+    Quotient(String),
     /// An [`audit`] re-derivation disagreed with the table contents.
     AuditMismatch(String),
 }
@@ -174,7 +203,7 @@ impl fmt::Display for StoreError {
             StoreError::EndianMismatch => write!(f, "store endianness marker mismatch"),
             StoreError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "store format version {found} unsupported (this build reads version {supported})"
+                "store format version {found} unsupported (this build reads versions 1..={supported})"
             ),
             StoreError::Truncated { needed, len } => {
                 write!(f, "store truncated: {len} byte(s) present, {needed} required")
@@ -188,6 +217,7 @@ impl fmt::Display for StoreError {
                 "store fingerprint {stored:#018x} does not match protocol fingerprint {expected:#018x}"
             ),
             StoreError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
+            StoreError::Quotient(msg) => write!(f, "quotient store: {msg}"),
             StoreError::AuditMismatch(msg) => write!(f, "store audit failed: {msg}"),
         }
     }
@@ -206,6 +236,19 @@ impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
     }
+}
+
+/// Quotient statistics of a v2 store, decoded from the fixed prefix of its
+/// rows section — available from [`inspect`] without expanding anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotientStats {
+    /// Number of canonical orbit representatives whose rows are stored.
+    pub reps: u64,
+    /// Order of the quotient group (`k` for the Circles rotation quotient).
+    pub group_order: u32,
+    /// Byte size the same table would occupy in the v1 (expanded) layout —
+    /// recorded at save time so `inspect` can report the shrink factor.
+    pub v1_bytes: u64,
 }
 
 /// Header-level metadata of a store file, as returned by [`inspect`] and
@@ -233,6 +276,8 @@ pub struct StoreMeta {
     pub file_bytes: u64,
     /// Whole-file checksum recorded in (and verified against) the header.
     pub checksum: u64,
+    /// Quotient statistics — `Some` exactly for v2 files.
+    pub quotient: Option<QuotientStats>,
 }
 
 /// Appends `v` as an LEB128 varint (7 data bits per byte, high bit set on
@@ -351,7 +396,7 @@ fn parse_and_verify(bytes: &mut [u8]) -> Result<RawStore<'_>, StoreError> {
         return Err(StoreError::EndianMismatch);
     }
     let version = read_u32(bytes, 0x0C);
-    if version != FORMAT_VERSION {
+    if !(FORMAT_V1..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -383,11 +428,20 @@ fn parse_and_verify(bytes: &mut [u8]) -> Result<RawStore<'_>, StoreError> {
         }
         *slot = &bytes[off as usize..end as usize];
     }
+    // The quotient flag and the version must agree: the flag redundantly
+    // marks the rows-section layout, so a disagreement is writer damage
+    // the checksum cannot see.
+    let flags = read_u32(bytes, 0x20);
+    if (flags & FLAG_QUOTIENT != 0) != (version == FORMAT_V2) {
+        return Err(StoreError::Corrupt(format!(
+            "version {version} disagrees with the quotient flag ({flags:#x})"
+        )));
+    }
     Ok(RawStore {
         version,
         fingerprint: read_u64(bytes, 0x10),
         param: read_u64(bytes, 0x18),
-        flags: read_u32(bytes, 0x20),
+        flags,
         states: read_u64(bytes, 0x28),
         pairs: read_u64(bytes, 0x30),
         outcomes: read_u64(bytes, 0x38),
@@ -399,12 +453,219 @@ fn parse_and_verify(bytes: &mut [u8]) -> Result<RawStore<'_>, StoreError> {
     })
 }
 
-/// Serializes `table` for `protocol` into `path`.
+/// Number of bytes `v` occupies as an LEB128 varint.
+fn varint_len(v: u64) -> usize {
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Decodes an (in-memory, trusted) row representation into its ascending
+/// id list.
+fn row_ids(repr: RowRepr<'_>) -> Vec<u32> {
+    match repr {
+        RowRepr::Sparse { payload, len, .. } => {
+            let mut ids = Vec::with_capacity(len as usize);
+            let mut pos = 0;
+            let mut cur = 0u32;
+            for n in 0..len {
+                let mut v = 0u32;
+                let mut shift = 0;
+                loop {
+                    let b = payload[pos];
+                    pos += 1;
+                    v |= u32::from(b & 0x7F) << shift;
+                    if b & 0x80 == 0 {
+                        break;
+                    }
+                    shift += 7;
+                }
+                cur = if n == 0 { v } else { cur + v };
+                ids.push(cur);
+            }
+            ids
+        }
+        RowRepr::Dense { blocks, len } => {
+            let mut ids = Vec::with_capacity(len as usize);
+            for (w, &word) in blocks.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    ids.push((w as u32) * 64 + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
+            }
+            ids
+        }
+    }
+}
+
+/// The delta-varint payload of an ascending id list — the sparse row wire
+/// format.
+fn sparse_payload(ids: &[u32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(ids.len() * 2);
+    let mut prev = 0u32;
+    for (n, &id) in ids.iter().enumerate() {
+        push_varint(&mut payload, u64::from(if n == 0 { id } else { id - prev }));
+        prev = id;
+    }
+    payload
+}
+
+/// Appends one row's **canonical** v1 encoding: a varint count, then (when
+/// non-empty) a flag byte and either the delta-varint payload
+/// ([`ROW_SPARSE`]) or `row_words` bitset words ([`ROW_DENSE`]).
 ///
-/// The write is atomic: a temp file in the target directory is fully
-/// written, checksummed and then renamed over `path`, so a crash leaves
-/// either the previous store or none. `P::State: Display` supplies the
-/// state codec; [`load`] inverts it through `FromStr`.
+/// The representation is chosen from the row's *final contents* — sparse
+/// iff the delta-varint payload fits `threshold` (the shared
+/// [`CompactAdj`](crate::CompactAdj) densify policy) — **not** from the
+/// in-memory representation. The two can disagree: incremental discovery
+/// densifies against the slot count *at push time*, so a row filled early
+/// may sit in a bitset that the final, larger threshold would keep sparse.
+/// Re-deciding here is what makes equal tables byte-identical on disk
+/// regardless of how they were built.
+fn encode_row(out: &mut Vec<u8>, repr: RowRepr<'_>, threshold: usize, row_words: usize) {
+    let (RowRepr::Sparse { len, .. } | RowRepr::Dense { len, .. }) = repr;
+    push_varint(out, u64::from(len));
+    if len == 0 {
+        return;
+    }
+    let dense_bits = |out: &mut Vec<u8>, blocks: &[u64]| {
+        out.push(ROW_DENSE);
+        // In-memory rows may omit trailing all-zero words; the file always
+        // carries `row_words` of them.
+        for w in 0..row_words {
+            let word = blocks.get(w).copied().unwrap_or(0);
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    };
+    match repr {
+        RowRepr::Sparse { payload, .. } if payload.len() <= threshold => {
+            out.push(ROW_SPARSE);
+            push_varint(out, payload.len() as u64);
+            out.extend_from_slice(payload);
+        }
+        RowRepr::Sparse { .. } => {
+            let mut blocks = vec![0u64; row_words];
+            for id in row_ids(repr) {
+                blocks[id as usize / 64] |= 1 << (id % 64);
+            }
+            dense_bits(out, &blocks);
+        }
+        RowRepr::Dense { blocks, len } => {
+            // Every id costs at least one payload byte, so a count past
+            // the threshold can never round-trip to sparse.
+            let payload = (len as usize <= threshold).then(|| sparse_payload(&row_ids(repr)));
+            match payload.filter(|p| p.len() <= threshold) {
+                Some(p) => {
+                    out.push(ROW_SPARSE);
+                    push_varint(out, p.len() as u64);
+                    out.extend_from_slice(&p);
+                }
+                None => dense_bits(out, blocks),
+            }
+        }
+    }
+}
+
+/// Byte length [`encode_row`] would append for this row, without
+/// materializing the encoding — how [`save_quotient`] prices the v1 layout
+/// it is *not* writing.
+fn encoded_row_len(repr: RowRepr<'_>, threshold: usize, row_words: usize) -> usize {
+    let (RowRepr::Sparse { len, .. } | RowRepr::Dense { len, .. }) = repr;
+    let head = varint_len(u64::from(len));
+    if len == 0 {
+        return head;
+    }
+    let payload_len = match repr {
+        RowRepr::Sparse { payload, .. } => Some(payload.len()),
+        RowRepr::Dense { .. } if len as usize <= threshold => {
+            let mut total = 0usize;
+            let mut prev = 0u32;
+            for (n, id) in row_ids(repr).into_iter().enumerate() {
+                total += varint_len(u64::from(if n == 0 { id } else { id - prev }));
+                prev = id;
+            }
+            Some(total)
+        }
+        RowRepr::Dense { .. } => None,
+    };
+    match payload_len.filter(|&p| p <= threshold) {
+        Some(p) => head + 1 + varint_len(p as u64) + p,
+        None => head + 1 + row_words * 8,
+    }
+}
+
+/// Assembles a complete store file — header (checksum patched in place)
+/// followed by the four sections.
+#[allow(clippy::too_many_arguments)] // one argument per fixed header field
+fn assemble_file(
+    version: u32,
+    fp: u64,
+    param: u64,
+    flags: u32,
+    states: u64,
+    pairs: u64,
+    outcomes: u64,
+    sections: [&[u8]; 4],
+) -> Vec<u8> {
+    let body_len: usize = sections.iter().map(|s| s.len()).sum();
+    let mut file = Vec::with_capacity(HEADER_LEN + body_len);
+    file.extend_from_slice(&MAGIC);
+    file.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+    file.extend_from_slice(&version.to_le_bytes());
+    file.extend_from_slice(&fp.to_le_bytes());
+    file.extend_from_slice(&param.to_le_bytes());
+    file.extend_from_slice(&flags.to_le_bytes());
+    file.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    file.extend_from_slice(&states.to_le_bytes());
+    file.extend_from_slice(&pairs.to_le_bytes());
+    file.extend_from_slice(&outcomes.to_le_bytes());
+    let mut off = HEADER_LEN as u64;
+    for sec in sections {
+        file.extend_from_slice(&off.to_le_bytes());
+        file.extend_from_slice(&(sec.len() as u64).to_le_bytes());
+        off += sec.len() as u64;
+    }
+    file.extend_from_slice(&[0u8; 8]); // checksum, patched below
+    debug_assert_eq!(file.len(), HEADER_LEN);
+    for sec in sections {
+        file.extend_from_slice(sec);
+    }
+    // The placeholder is zero, so hashing the buffer as-is matches the
+    // zeroed-field convention the verifier uses.
+    let checksum = checksum64(&file);
+    file[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+    file
+}
+
+/// Atomically writes `bytes` to `path`: a temp file in the target
+/// directory is fully written and then renamed over `path`, so a crash
+/// leaves either the previous store or none.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("store");
+    let tmp = dir.join(format!(
+        ".{stem}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, bytes)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(StoreError::Io(e));
+    }
+    Ok(())
+}
+
+/// Serializes `table` for `protocol` into `path` (the v1 layout: every row
+/// expanded).
+///
+/// The write is atomic (temp file + rename), so a crash leaves either
+/// the previous store or none. `P::State: Display` supplies the state
+/// codec; [`load`] inverts it through `FromStr`.
 ///
 /// Returns the metadata of the written file.
 ///
@@ -437,37 +698,15 @@ where
         states_sec.extend_from_slice(text.as_bytes());
     });
 
-    // Rows: per row a varint count, then (when non-empty) a flag byte
-    // selecting the row's in-memory representation — a delta-varint id
-    // list ([`ROW_SPARSE`]) or a blocked bitset ([`ROW_DENSE`]). Which one
-    // a row uses is a pure function of its contents, so the encoding stays
-    // canonical; persisting the bitsets verbatim is what lets the dense
-    // bulk of a discovered table load back as word copies.
+    // Rows in the canonical per-row encoding (see [`encode_row`]): sparse
+    // delta-varints or a blocked bitset, re-decided from final contents so
+    // equal tables produce byte-identical files regardless of the order
+    // discovery filled them in.
     let row_words = slots.div_ceil(64);
+    let threshold = slots / 8 + 8;
     let mut rows_sec = Vec::with_capacity(rows.bytes() + 2 * slots);
     for i in 0..slots {
-        let repr = rows.row_repr(i);
-        let (RowRepr::Sparse { len, .. } | RowRepr::Dense { len, .. }) = repr;
-        push_varint(&mut rows_sec, u64::from(len));
-        if len == 0 {
-            continue;
-        }
-        match repr {
-            RowRepr::Sparse { payload, .. } => {
-                rows_sec.push(ROW_SPARSE);
-                push_varint(&mut rows_sec, payload.len() as u64);
-                rows_sec.extend_from_slice(payload);
-            }
-            RowRepr::Dense { blocks, .. } => {
-                rows_sec.push(ROW_DENSE);
-                // In-memory rows may omit trailing all-zero words; the
-                // file always carries `slots.div_ceil(64)` of them.
-                for w in 0..row_words {
-                    let word = blocks.get(w).copied().unwrap_or(0);
-                    rows_sec.extend_from_slice(&word.to_le_bytes());
-                }
-            }
-        }
+        encode_row(&mut rows_sec, rows.row_repr(i), threshold, row_words);
     }
 
     // Outcomes sorted by key pair, so the encoding is canonical: equal
@@ -486,55 +725,21 @@ where
     let pairs = rows.pairs() as u64;
     let n_outcomes = outcome_list.len() as u64;
 
-    let body_len = name.len() + states_sec.len() + rows_sec.len() + outcomes_sec.len();
-    let mut file = Vec::with_capacity(HEADER_LEN + body_len);
-    file.extend_from_slice(&MAGIC);
-    file.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
-    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    file.extend_from_slice(&fp.to_le_bytes());
-    file.extend_from_slice(&param.to_le_bytes());
-    file.extend_from_slice(&(if symmetric { FLAG_SYMMETRIC } else { 0 }).to_le_bytes());
-    file.extend_from_slice(&0u32.to_le_bytes()); // reserved
-    file.extend_from_slice(&(slots as u64).to_le_bytes());
-    file.extend_from_slice(&pairs.to_le_bytes());
-    file.extend_from_slice(&n_outcomes.to_le_bytes());
-    let mut off = HEADER_LEN as u64;
-    for sec in [&name, &states_sec, &rows_sec, &outcomes_sec] {
-        file.extend_from_slice(&off.to_le_bytes());
-        file.extend_from_slice(&(sec.len() as u64).to_le_bytes());
-        off += sec.len() as u64;
-    }
-    file.extend_from_slice(&[0u8; 8]); // checksum, patched below
-    debug_assert_eq!(file.len(), HEADER_LEN);
-    file.extend_from_slice(&name);
-    file.extend_from_slice(&states_sec);
-    file.extend_from_slice(&rows_sec);
-    file.extend_from_slice(&outcomes_sec);
-    // The placeholder is zero, so hashing the buffer as-is matches the
-    // zeroed-field convention the verifier uses.
-    let checksum = checksum64(&file);
-    file[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
-
-    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
-    let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("store");
-    let tmp = dir.join(format!(
-        ".{stem}.{}.{}.tmp",
-        std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    fs::write(&tmp, &file)?;
-    if let Err(e) = fs::rename(&tmp, path) {
-        let _ = fs::remove_file(&tmp);
-        return Err(StoreError::Io(e));
-    }
+    let file = assemble_file(
+        FORMAT_V1,
+        fp,
+        param,
+        if symmetric { FLAG_SYMMETRIC } else { 0 },
+        slots as u64,
+        pairs,
+        n_outcomes,
+        [&name, &states_sec, &rows_sec, &outcomes_sec].map(Vec::as_slice),
+    );
+    write_atomic(path, &file)?;
 
     Ok(StoreMeta {
         protocol: protocol.name().to_string(),
-        version: FORMAT_VERSION,
+        version: FORMAT_V1,
         fingerprint: fp,
         param,
         symmetric,
@@ -542,7 +747,209 @@ where
         pairs,
         outcomes: n_outcomes,
         file_bytes: file.len() as u64,
-        checksum,
+        checksum: read_u64(&file, CHECKSUM_OFFSET),
+        quotient: None,
+    })
+}
+
+/// Serializes `table` for `protocol` into `path` in the **v2 quotient
+/// layout**: the rows section stores one row per canonical orbit
+/// representative plus, per state, the `(representative, group element)`
+/// pair that reconstructs its row mechanically — shrinking row storage by
+/// roughly the group order (`~k×` for Circles, `~48×` at `k = 50`).
+/// States and outcomes persist exactly as in v1; [`load`] re-expands the
+/// rows with zero protocol calls.
+///
+/// Before writing, the table is checked to be *orbit-coherent*: every
+/// state's canonical representative must be a stored state, and every row
+/// must equal the group image of its representative's row. A table built
+/// by any discovery path over an orbit-closed state set (e.g.
+/// [`quotient_table`](crate::quotient_table), or a cold engine primed with
+/// the full enumeration) passes; a table over a partial, non-closed state
+/// set is rejected rather than silently mis-expanded on load.
+///
+/// # Errors
+///
+/// [`StoreError::Quotient`] when the protocol exposes no
+/// [color quotient](Protocol::color_quotient) or the coherence check
+/// fails; [`StoreError::Io`] as for [`save`].
+pub fn save_quotient<P>(
+    table: &TransitionTable<P>,
+    protocol: &P,
+    path: &Path,
+) -> Result<StoreMeta, StoreError>
+where
+    P: Protocol,
+    P::State: Display,
+{
+    let quotient = protocol.color_quotient().ok_or_else(|| {
+        StoreError::Quotient(
+            "protocol exposes no color quotient (write the v1 format instead)".into(),
+        )
+    })?;
+    let snap = table.snapshot();
+    let rows = snap.flat_rows();
+    let slots = snap.len();
+
+    let mut index: HashMap<&P::State, u32, FxBuildHasher> =
+        HashMap::with_capacity_and_hasher(slots, FxBuildHasher::default());
+    for t in 0..slots as u32 {
+        index.insert(snap.state(t), t);
+    }
+
+    // Orbit decomposition over the table's own state order.
+    let mut rep_of: Vec<(u32, u32)> = Vec::with_capacity(slots);
+    for t in 0..slots as u32 {
+        let s = snap.state(t);
+        let (canon, g) = quotient.canonical_state(s);
+        let Some(&rep) = index.get(&canon) else {
+            return Err(StoreError::Quotient(format!(
+                "state {t} canonicalizes outside the stored state set — the table is not \
+                 orbit-closed; rebuild from the full state enumeration"
+            )));
+        };
+        if &quotient.apply(g, &canon) != s {
+            return Err(StoreError::Quotient(format!(
+                "apply(g, canonical) does not recover state {t} — the quotient violates its \
+                 contract"
+            )));
+        }
+        rep_of.push((rep, g));
+    }
+    let mut rep_tids: Vec<u32> = rep_of.iter().map(|&(r, _)| r).collect();
+    rep_tids.sort_unstable();
+    rep_tids.dedup();
+    let rep_pos: HashMap<u32, u32, FxBuildHasher> = rep_tids
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i as u32))
+        .collect();
+
+    let threshold = slots / 8 + 8;
+    let row_words = slots.div_ceil(64);
+    let rep_ids: Vec<Vec<u32>> = rep_tids
+        .iter()
+        .map(|&r| row_ids(rows.row_repr(r as usize)))
+        .collect();
+
+    // Coherence check — every row must be the group image of its
+    // representative's row — folded together with the v1 byte accounting
+    // (the price of the expanded layout this save is avoiding).
+    let mut perms: HashMap<u32, Vec<u32>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    let mut v1_rows_len = 0usize;
+    let mut scratch: Vec<u32> = Vec::new();
+    for (t, &(rep, g)) in rep_of.iter().enumerate() {
+        v1_rows_len += encoded_row_len(rows.row_repr(t), threshold, row_words);
+        if t as u32 == rep {
+            continue;
+        }
+        if let Entry::Vacant(e) = perms.entry(g) {
+            let mut perm = Vec::with_capacity(slots);
+            for u in 0..slots as u32 {
+                let image = quotient.apply(g, snap.state(u));
+                let Some(&m) = index.get(&image) else {
+                    return Err(StoreError::Quotient(format!(
+                        "group element {g} maps state {u} outside the stored state set"
+                    )));
+                };
+                perm.push(m);
+            }
+            e.insert(perm);
+        }
+        let perm = &perms[&g];
+        scratch.clear();
+        scratch.extend(
+            rep_ids[rep_pos[&rep] as usize]
+                .iter()
+                .map(|&u| perm[u as usize]),
+        );
+        scratch.sort_unstable();
+        if row_ids(rows.row_repr(t)) != scratch {
+            return Err(StoreError::Quotient(format!(
+                "row {t} is not the orbit image of its representative {rep} — the table was \
+                 not built orbit-coherently"
+            )));
+        }
+    }
+
+    let name = protocol.name().as_bytes().to_vec();
+    let mut states_sec = Vec::new();
+    snap.for_each_state(|_, state| {
+        let text = state.to_string();
+        push_varint(&mut states_sec, text.len() as u64);
+        states_sec.extend_from_slice(text.as_bytes());
+    });
+    let outcome_list = snap.sorted_outcomes();
+    let mut outcomes_sec = Vec::with_capacity(outcome_list.len() * 4);
+    for ((i, j), (a, b)) in &outcome_list {
+        for v in [i, j, a, b] {
+            push_varint(&mut outcomes_sec, u64::from(*v));
+        }
+    }
+
+    let v1_bytes =
+        (HEADER_LEN + name.len() + states_sec.len() + v1_rows_len + outcomes_sec.len()) as u64;
+
+    // v2 rows section: group order, representative count, v1 byte price,
+    // the ascending representative tid list (delta-varint), per-state
+    // (representative index, group element) pairs, then the
+    // representatives' rows in their canonical v1 encodings.
+    let mut rows_sec = Vec::new();
+    push_varint(&mut rows_sec, u64::from(quotient.group_order()));
+    push_varint(&mut rows_sec, rep_tids.len() as u64);
+    push_varint(&mut rows_sec, v1_bytes);
+    let mut prev = 0u32;
+    for (n, &r) in rep_tids.iter().enumerate() {
+        push_varint(&mut rows_sec, u64::from(if n == 0 { r } else { r - prev }));
+        prev = r;
+    }
+    for &(rep, g) in &rep_of {
+        push_varint(&mut rows_sec, u64::from(rep_pos[&rep]));
+        push_varint(&mut rows_sec, u64::from(g));
+    }
+    for &r in &rep_tids {
+        encode_row(
+            &mut rows_sec,
+            rows.row_repr(r as usize),
+            threshold,
+            row_words,
+        );
+    }
+
+    let symmetric = protocol.is_symmetric();
+    let fp = fingerprint(protocol);
+    let param = protocol.fingerprint_param();
+    let pairs = rows.pairs() as u64;
+    let n_outcomes = outcome_list.len() as u64;
+    let file = assemble_file(
+        FORMAT_V2,
+        fp,
+        param,
+        (if symmetric { FLAG_SYMMETRIC } else { 0 }) | FLAG_QUOTIENT,
+        slots as u64,
+        pairs,
+        n_outcomes,
+        [&name, &states_sec, &rows_sec, &outcomes_sec].map(Vec::as_slice),
+    );
+    write_atomic(path, &file)?;
+
+    Ok(StoreMeta {
+        protocol: protocol.name().to_string(),
+        version: FORMAT_V2,
+        fingerprint: fp,
+        param,
+        symmetric,
+        states: slots as u64,
+        pairs,
+        outcomes: n_outcomes,
+        file_bytes: file.len() as u64,
+        checksum: read_u64(&file, CHECKSUM_OFFSET),
+        quotient: Some(QuotientStats {
+            reps: rep_tids.len() as u64,
+            group_order: quotient.group_order(),
+            v1_bytes,
+        }),
     })
 }
 
@@ -591,9 +998,229 @@ fn validate_sparse_row(
     Ok(last as u32)
 }
 
+/// One row decoded from a rows section, still in its wire representation.
+enum DecodedRow<'a> {
+    Empty,
+    Sparse {
+        count: u32,
+        last: u32,
+        payload: &'a [u8],
+    },
+    Dense {
+        blocks: Vec<u64>,
+        count: u32,
+    },
+}
+
+/// Decodes and structurally validates one row encoding at the cursor.
+fn decode_one_row<'a>(
+    cur: &mut Cursor<'a>,
+    i: usize,
+    slots: usize,
+    row_words: usize,
+) -> Result<DecodedRow<'a>, StoreError> {
+    let count = cur.varint()?;
+    if count == 0 {
+        return Ok(DecodedRow::Empty);
+    }
+    if count > slots as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "row {i} declares {count} responder(s), more than {slots} states"
+        )));
+    }
+    match cur.take(1)?[0] {
+        ROW_SPARSE => {
+            let byte_len = cur.varint()?;
+            let byte_len = usize::try_from(byte_len).map_err(|_| {
+                StoreError::Corrupt(format!("row {i} declares an absurd payload length"))
+            })?;
+            let payload = cur.take(byte_len)?;
+            let last = validate_sparse_row(i, payload, count, slots)?;
+            Ok(DecodedRow::Sparse {
+                count: count as u32,
+                last,
+                payload,
+            })
+        }
+        ROW_DENSE => {
+            let body = cur.take(row_words * 8)?;
+            let mut blocks = vec![0u64; row_words];
+            let mut ones = 0u64;
+            for (block, chunk) in blocks.iter_mut().zip(body.chunks_exact(8)) {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                ones += u64::from(word.count_ones());
+                *block = word;
+            }
+            let tail_bits = slots - (row_words - 1) * 64;
+            if tail_bits < 64 && blocks[row_words - 1] >> tail_bits != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "row {i}: bitset sets a responder beyond {slots} states"
+                )));
+            }
+            if ones != count {
+                return Err(StoreError::Corrupt(format!(
+                    "row {i}: bitset popcount {ones} disagrees with declared count {count}"
+                )));
+            }
+            Ok(DecodedRow::Dense {
+                blocks,
+                count: count as u32,
+            })
+        }
+        other => Err(StoreError::Corrupt(format!(
+            "row {i}: unknown row encoding {other:#04x}"
+        ))),
+    }
+}
+
+/// Decodes a v1 rows section into [`AdjRows`].
+fn decode_v1_rows(sec: &[u8], slots: usize) -> Result<AdjRows, StoreError> {
+    let mut cur = Cursor::new("rows", sec);
+    let mut rows = AdjRows::new();
+    for _ in 0..slots {
+        rows.push_slot();
+    }
+    let row_words = slots.div_ceil(64);
+    for i in 0..slots {
+        match decode_one_row(&mut cur, i, slots, row_words)? {
+            DecodedRow::Empty => {}
+            DecodedRow::Sparse {
+                count,
+                last,
+                payload,
+            } => {
+                // The validated payload is exactly the delta-varint
+                // encoding the in-memory rows use, so adopt it wholesale
+                // instead of re-encoding pair by pair.
+                rows.set_row_varint(i, count, last, payload);
+            }
+            DecodedRow::Dense { blocks, count } => rows.set_row_dense(i, blocks, count),
+        }
+    }
+    cur.finish()?;
+    Ok(rows)
+}
+
+/// Decodes a v2 rows section and re-expands it through the protocol's
+/// quotient into the full [`AdjRows`]. Zero protocol transition calls —
+/// the group action (and the per-state `apply(g, rep) == state` check that
+/// pins the expansion metadata to the protocol) is the only computation.
+fn decode_v2_rows<S>(
+    quotient: &dyn StateQuotient<S>,
+    sec: &[u8],
+    states: &[S],
+) -> Result<AdjRows, StoreError>
+where
+    S: Clone + Eq + std::hash::Hash + fmt::Debug,
+{
+    let slots = states.len();
+    let mut cur = Cursor::new("rows", sec);
+    let group_order = cur.varint()?;
+    if group_order != u64::from(quotient.group_order()) {
+        return Err(StoreError::Quotient(format!(
+            "store records group order {group_order}, the protocol's quotient has {}",
+            quotient.group_order()
+        )));
+    }
+    let n_reps = cur.varint()?;
+    if n_reps > slots as u64 || (n_reps == 0 && slots > 0) {
+        return Err(StoreError::Corrupt(format!(
+            "store declares {n_reps} representative(s) for {slots} state(s)"
+        )));
+    }
+    let n_reps = n_reps as usize;
+    let _v1_bytes = cur.varint()?;
+    let mut rep_tids: Vec<u32> = Vec::with_capacity(n_reps);
+    let mut prev = 0u64;
+    for n in 0..n_reps {
+        let v = cur.varint()?;
+        let r = if n == 0 {
+            v
+        } else {
+            if v == 0 {
+                return Err(StoreError::Corrupt(
+                    "representative tids must strictly ascend".into(),
+                ));
+            }
+            prev + v
+        };
+        if r >= slots as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "representative tid {r} out of range ({slots} states)"
+            )));
+        }
+        rep_tids.push(r as u32);
+        prev = r;
+    }
+    let mut rep_of: Vec<(u32, u32)> = Vec::with_capacity(slots);
+    for t in 0..slots {
+        let ri = cur.varint()?;
+        if ri >= n_reps as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "state {t} names representative index {ri}, out of {n_reps}"
+            )));
+        }
+        let g = cur.varint()?;
+        if g >= group_order {
+            return Err(StoreError::Corrupt(format!(
+                "state {t} names group element {g}, out of {group_order}"
+            )));
+        }
+        rep_of.push((rep_tids[ri as usize], g as u32));
+    }
+    let row_words = slots.div_ceil(64);
+    let mut rep_rows: Vec<Vec<u32>> = Vec::with_capacity(n_reps);
+    for &r in &rep_tids {
+        let ids = match decode_one_row(&mut cur, r as usize, slots, row_words)? {
+            DecodedRow::Empty => Vec::new(),
+            DecodedRow::Sparse {
+                count,
+                last,
+                payload,
+            } => row_ids(RowRepr::Sparse {
+                payload,
+                last,
+                len: count,
+            }),
+            DecodedRow::Dense { blocks, count } => row_ids(RowRepr::Dense {
+                blocks: &blocks,
+                len: count,
+            }),
+        };
+        rep_rows.push(ids);
+    }
+    cur.finish()?;
+
+    // The expansion metadata must actually recover every state from its
+    // representative, or the expanded rows would be coherent nonsense.
+    for (t, &(rep, g)) in rep_of.iter().enumerate() {
+        if quotient.apply(g, &states[rep as usize]) != states[t] {
+            return Err(StoreError::Quotient(format!(
+                "apply(g) of representative {rep} does not recover state {t} — the store \
+                 disagrees with the protocol's quotient"
+            )));
+        }
+    }
+    let mut index: HashMap<&S, u32, FxBuildHasher> =
+        HashMap::with_capacity_and_hasher(slots, FxBuildHasher::default());
+    for (t, s) in states.iter().enumerate() {
+        index.insert(s, t as u32);
+    }
+    let rep_index: HashMap<u32, u32, FxBuildHasher> = rep_tids
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i as u32))
+        .collect();
+    expand_orbit_rows(quotient, states, &index, &rep_of, &rep_index, &rep_rows)
+        .map_err(StoreError::Quotient)
+}
+
 /// Reads `path` and reconstructs the [`TransitionTable`] it stores, with
 /// **zero protocol calls**: the protocol value is consulted only for its
-/// identity ([`fingerprint`]) and the states' `FromStr` codec.
+/// identity ([`fingerprint`]) and the states' `FromStr` codec. A v2
+/// (quotient) store is re-expanded through the protocol's
+/// [color quotient](Protocol::color_quotient) — group applications, never
+/// transitions.
 ///
 /// # Errors
 ///
@@ -683,65 +1310,16 @@ where
     }
     cur.finish()?;
 
-    let mut cur = Cursor::new("rows", raw.rows_sec);
-    let mut rows = AdjRows::new();
-    for _ in 0..slots {
-        rows.push_slot();
-    }
-    let row_words = slots.div_ceil(64);
-    for i in 0..slots {
-        let count = cur.varint()?;
-        if count == 0 {
-            continue;
-        }
-        if count > slots as u64 {
-            return Err(StoreError::Corrupt(format!(
-                "row {i} declares {count} responder(s), more than {slots} states"
-            )));
-        }
-        match cur.take(1)?[0] {
-            ROW_SPARSE => {
-                let byte_len = cur.varint()?;
-                let byte_len = usize::try_from(byte_len).map_err(|_| {
-                    StoreError::Corrupt(format!("row {i} declares an absurd payload length"))
-                })?;
-                let payload = cur.take(byte_len)?;
-                let last = validate_sparse_row(i, payload, count, slots)?;
-                // The validated payload is exactly the delta-varint
-                // encoding the in-memory rows use, so adopt it wholesale
-                // instead of re-encoding pair by pair.
-                rows.set_row_varint(i, count as u32, last, payload);
-            }
-            ROW_DENSE => {
-                let body = cur.take(row_words * 8)?;
-                let mut blocks = vec![0u64; row_words];
-                let mut ones = 0u64;
-                for (block, chunk) in blocks.iter_mut().zip(body.chunks_exact(8)) {
-                    let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-                    ones += u64::from(word.count_ones());
-                    *block = word;
-                }
-                let tail_bits = slots - (row_words - 1) * 64;
-                if tail_bits < 64 && blocks[row_words - 1] >> tail_bits != 0 {
-                    return Err(StoreError::Corrupt(format!(
-                        "row {i}: bitset sets a responder beyond {slots} states"
-                    )));
-                }
-                if ones != count {
-                    return Err(StoreError::Corrupt(format!(
-                        "row {i}: bitset popcount {ones} disagrees with declared count {count}"
-                    )));
-                }
-                rows.set_row_dense(i, blocks, count as u32);
-            }
-            other => {
-                return Err(StoreError::Corrupt(format!(
-                    "row {i}: unknown row encoding {other:#04x}"
-                )));
-            }
-        }
-    }
-    cur.finish()?;
+    let rows = if raw.version == FORMAT_V2 {
+        let quotient = protocol.color_quotient().ok_or_else(|| {
+            StoreError::Quotient(
+                "store is v2 (quotient) but the protocol exposes no color quotient".into(),
+            )
+        })?;
+        decode_v2_rows(quotient, raw.rows_sec, &states)?
+    } else {
+        decode_v1_rows(raw.rows_sec, slots)?
+    };
     if rows.pairs() as u64 != raw.pairs {
         return Err(StoreError::Corrupt(format!(
             "header declares {} active pair(s), rows decode to {}",
@@ -788,15 +1366,17 @@ where
     ))
 }
 
-/// Reads and verifies only the header (plus the name section) of a store
-/// file. No states are decoded and no protocol value is needed, so any
-/// store can be inspected — this is what the `table_store inspect` CLI
-/// subcommand prints.
+/// Reads and verifies only the header (plus the name section and, for v2,
+/// the fixed quotient-stats prefix of the rows section) of a store file.
+/// No states are decoded and no protocol value is needed, so any store can
+/// be inspected — this is what the `table_store inspect` CLI subcommand
+/// prints.
 ///
 /// # Errors
 ///
 /// The same header-level errors as [`load`]; section contents beyond the
-/// name are covered by the checksum but not structurally decoded.
+/// name and the quotient prefix are covered by the checksum but not
+/// structurally decoded.
 pub fn inspect(path: &Path) -> Result<StoreMeta, StoreError> {
     let mut bytes = fs::read(path)?;
     let file_bytes = bytes.len() as u64;
@@ -804,6 +1384,24 @@ pub fn inspect(path: &Path) -> Result<StoreMeta, StoreError> {
     let protocol = std::str::from_utf8(raw.name)
         .map_err(|_| StoreError::Corrupt("protocol name is not valid utf-8".into()))?
         .to_string();
+    let quotient = if raw.version == FORMAT_V2 {
+        let mut cur = Cursor::new("rows", raw.rows_sec);
+        let group_order = cur.varint()?;
+        let reps = cur.varint()?;
+        let v1_bytes = cur.varint()?;
+        let group_order = u32::try_from(group_order).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "store declares an absurd group order {group_order}"
+            ))
+        })?;
+        Some(QuotientStats {
+            reps,
+            group_order,
+            v1_bytes,
+        })
+    } else {
+        None
+    };
     Ok(StoreMeta {
         protocol,
         version: raw.version,
@@ -815,6 +1413,7 @@ pub fn inspect(path: &Path) -> Result<StoreMeta, StoreError> {
         outcomes: raw.outcomes,
         file_bytes,
         checksum: raw.checksum,
+        quotient,
     })
 }
 
@@ -1005,6 +1604,7 @@ mod tests {
                 expected: 2,
             },
             StoreError::Corrupt("bad".into()),
+            StoreError::Quotient("bad".into()),
             StoreError::AuditMismatch("bad".into()),
         ];
         for e in errors {

@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pp_protocol::transition_store::{self, StoreError, FORMAT_VERSION};
+use pp_protocol::transition_store::{self, StoreError, FORMAT_V1, FORMAT_VERSION};
 use pp_protocol::{CountEngine, Protocol, TransitionTable};
 use proptest::prelude::*;
 
@@ -302,7 +302,7 @@ fn inspect_reports_the_header_without_a_protocol() {
     let inspected = transition_store::inspect(&tmp.0).unwrap();
     assert_eq!(inspected, saved);
     assert_eq!(inspected.protocol, "rand-sym");
-    assert_eq!(inspected.version, FORMAT_VERSION);
+    assert_eq!(inspected.version, FORMAT_V1);
     assert_eq!(
         inspected.fingerprint,
         transition_store::fingerprint(&protocol)

@@ -10,7 +10,9 @@ times the previous one fails the check. Quick-mode medians come from at most
 not a microbenchmark.
 
 Rows whose label ends in ``_x`` are ratios (e.g. ``implied_speedup_x``) where
-*higher* is better; they are asserted in-bench and skipped here. The
+*higher* is better, and rows ending in ``_factor`` are structural counts
+(e.g. ``discovery/orbit_factor``, states per canonical representative) with
+no time axis at all; both are asserted in-bench and skipped here. The
 ``table_store/*`` rows never reach this script at all: the dedicated CI job
 writes them to their own ``table_store_bench`` artifact (see
 ``results/README.md``) because millisecond-scale disk timings would flap a
@@ -49,7 +51,13 @@ def key_rows(rows):
             continue
         label = row.get("bench")
         median = row.get("median_ns")
-        if label is None or median is None or str(label).endswith("_x"):
+        label = str(label) if label is not None else None
+        if (
+            label is None
+            or median is None
+            or label.endswith("_x")
+            or label.endswith("_factor")
+        ):
             continue
         try:
             table[(str(label), bool(row.get("quick")))] = float(median)

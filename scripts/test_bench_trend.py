@@ -96,6 +96,15 @@ def test_ratio_labels_are_skipped():
     assert _run(ROWS, cur) == 0
 
 
+def test_factor_labels_are_skipped():
+    # Structural-count rows (states per orbit representative, etc.) have no
+    # time axis; a change is a protocol change, asserted in-bench, and must
+    # not read as a wall-clock regression.
+    prev = ROWS + [{"bench": "discovery/orbit_factor", "median_ns": 30.0, "quick": True}]
+    cur = ROWS + [{"bench": "discovery/orbit_factor", "median_ns": 1.0, "quick": True}]
+    assert _run(prev, cur) == 0
+
+
 def test_missing_args_is_usage_error():
     assert bench_trend.main(["bench_trend.py"]) == 2
 
